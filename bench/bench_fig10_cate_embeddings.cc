@@ -1,0 +1,102 @@
+// Figure 10 (paper §6.4): sensitivity of the CATE to the choice of
+// embedding, for (a) single-blind and (b) double-blind synthetic data.
+//
+// For each embedding we estimate the isolated effect within each
+// author-qualification quartile (the conditioning variable) and report the
+// per-stratum estimate with a bootstrap sd — the box-plot content of the
+// paper's figure, as rows.
+
+#include <cstdio>
+
+#include "bench_util.h"
+#include "datagen/review.h"
+#include "lang/parser.h"
+#include "stats/bootstrap.h"
+#include "stats/descriptive.h"
+
+namespace carl {
+namespace {
+
+void RunRegime(const char* label, double single_blind_fraction,
+               double truth, uint64_t seed) {
+  std::printf("\n--- (%s, true isolated effect %.1f) ---\n", label, truth);
+  datagen::ReviewConfig config;
+  config.num_authors = 2000;
+  config.num_institutions = 80;
+  config.num_papers = 12000;
+  config.num_venues = 20;
+  config.single_blind_fraction = single_blind_fraction;
+  config.tau_iso_single = 1.0;
+  config.tau_iso_double = 0.0;
+  config.tau_rel = 0.5;
+  config.seed = seed;
+  Result<datagen::ReviewData> data = datagen::GenerateReviewData(config);
+  CARL_CHECK_OK(data.status());
+  std::unique_ptr<CarlEngine> engine = bench::MakeEngine(data->dataset);
+
+  Result<CausalQuery> query = ParseQuery("AVG_Score[A] <= Prestige[A]?");
+  CARL_CHECK_OK(query.status());
+
+  bench::PrintRow({"Embedding", "Q1", "Q2", "Q3", "Q4"});
+  bench::PrintRule();
+  for (EmbeddingKind kind :
+       {EmbeddingKind::kMean, EmbeddingKind::kMedian, EmbeddingKind::kMoments,
+        EmbeddingKind::kPadding}) {
+    EngineOptions options;
+    options.embedding = kind;
+    Result<UnitTable> table =
+        engine->BuildUnitTableForQuery(*query, options);
+    CARL_CHECK_OK(table.status());
+    // First dimension of the own-qualification embedding (a location
+    // measure for every embedding kind: mean/median/m1/p0).
+    CARL_CHECK(!table->own_covariate_cols.empty());
+    const std::vector<double>& qual =
+        table->data.Column(table->own_covariate_cols.front());
+    std::vector<double> edges = {Quantile(qual, 0.25), Quantile(qual, 0.5),
+                                 Quantile(qual, 0.75)};
+    auto stratum_of = [&edges](double q) {
+      int s = 0;
+      for (double e : edges) {
+        if (q > e) ++s;
+      }
+      return s;
+    };
+
+    std::vector<std::string> cells{EmbeddingKindToString(kind)};
+    for (int s = 0; s < 4; ++s) {
+      FlatTable view = table->data.Filter(
+          [&](size_t r) { return stratum_of(qual[r]) == s; });
+      Result<BootstrapResult> boot = Bootstrap(
+          view.num_rows(), 120, 7 + static_cast<uint64_t>(s),
+          [&](const std::vector<size_t>& rows) {
+            return bench::IsolatedEffectOnView(*table,
+                                               view.SelectRows(rows));
+          });
+      if (boot.ok()) {
+        cells.push_back(StrFormat("%+.2f+/-%.2f", boot->mean, boot->sd));
+      } else {
+        cells.push_back("n/a");
+      }
+    }
+    bench::PrintRow(cells, 18);
+  }
+}
+
+int Run() {
+  bench::PrintHeader(
+      "Figure 10 - CATE sensitivity to the embedding "
+      "(per qualification quartile, bootstrap sd)");
+  RunRegime("a: single-blind", 1.0, 1.0, 808);
+  RunRegime("b: double-blind", 0.0, 0.0, 809);
+  bench::PrintRule();
+  std::printf(
+      "Shape (paper Fig 10): all embeddings centre on the truth in every\n"
+      "stratum; simple mean/median embeddings are noisier than the moment\n"
+      "and padding embeddings.\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace carl
+
+int main() { return carl::Run(); }

@@ -1,0 +1,104 @@
+// Figure 8 (paper §6.3): conditional average treatment effects estimated
+// on the universal table (join of all base relations + PSM) vs CaRL, on
+// SYNTHETIC REVIEWDATA where the true effect is known.
+//
+// CATEs are conditioned on the author-qualification quartile. The paper's
+// point: CaRL tracks the truth in every stratum while the universal table
+// is biased with high variance.
+
+#include <cstdio>
+
+#include "bench_util.h"
+#include "datagen/review.h"
+#include "lang/parser.h"
+#include "stats/descriptive.h"
+
+namespace carl {
+namespace {
+
+int Run() {
+  bench::PrintHeader(
+      "Figure 8 - CATEs by author-qualification quartile: CaRL vs universal "
+      "table (single-blind synthetic, true isolated effect = 1.0)");
+
+  datagen::ReviewConfig config;
+  config.num_authors = 3000;
+  config.num_institutions = 100;
+  config.num_papers = 18000;
+  config.num_venues = 20;
+  config.single_blind_fraction = 1.0;
+  config.tau_iso_single = 1.0;
+  config.tau_rel = 0.5;
+  config.seed = 404;
+  Result<datagen::ReviewData> data = datagen::GenerateReviewData(config);
+  CARL_CHECK_OK(data.status());
+  std::unique_ptr<CarlEngine> engine = bench::MakeEngine(data->dataset);
+
+  // CaRL: unit table once, then per-stratum regression estimates.
+  Result<CausalQuery> query = ParseQuery("AVG_Score[A] <= Prestige[A]?");
+  CARL_CHECK_OK(query.status());
+  Result<UnitTable> table = engine->BuildUnitTableForQuery(*query);
+  CARL_CHECK_OK(table.status());
+  const std::vector<double>& qual =
+      table->data.Column("own_Qualification_mean");
+  std::vector<double> edges = {Quantile(qual, 0.25), Quantile(qual, 0.5),
+                               Quantile(qual, 0.75)};
+  auto stratum_of = [&edges](double q) {
+    int s = 0;
+    for (double e : edges) {
+      if (q > e) ++s;
+    }
+    return s;
+  };
+
+  // Universal table: one row per (author, paper, collaborator).
+  UniversalTableSpec spec;
+  spec.join.atoms.push_back({"Author", {Term::Var("A"), Term::Var("S")}});
+  spec.join.atoms.push_back(
+      {"Collaborator", {Term::Var("A"), Term::Var("B")}});
+  spec.columns.push_back({"Score", {"S"}, "score"});
+  spec.columns.push_back({"Prestige", {"A"}, "prestige"});
+  spec.columns.push_back({"Qualification", {"A"}, "qual"});
+  spec.columns.push_back({"Prestige", {"B"}, "peer_prestige"});
+  spec.columns.push_back({"Qualification", {"B"}, "peer_qual"});
+  Result<UniversalTableResult> universal =
+      BuildUniversalTable(*data->dataset.instance, spec);
+  CARL_CHECK_OK(universal.status());
+  const FlatTable& u = universal->table;
+  const std::vector<double>& u_qual = u.Column("qual");
+
+  bench::PrintRow({"Quartile", "CaRL CATE", "Universal CATE", "Truth"});
+  bench::PrintRule();
+  for (int s = 0; s < 4; ++s) {
+    // CaRL stratum estimate (isolated effect within the stratum).
+    FlatTable carl_view = table->data.Filter(
+        [&](size_t r) { return stratum_of(qual[r]) == s; });
+    Result<double> carl_cate = bench::IsolatedEffectOnView(*table, carl_view);
+
+    // Universal stratum estimate (PSM within the stratum).
+    FlatTable u_view =
+        u.Filter([&](size_t r) { return stratum_of(u_qual[r]) == s; });
+    std::string universal_cell = "n/a";
+    Result<std::vector<double>> ps = PropensityScores(
+        u_view, "prestige", {"qual", "peer_prestige", "peer_qual"});
+    if (ps.ok()) {
+      Result<MatchingResult> m = PropensityScoreMatchingAte(
+          u_view.Column("score"), u_view.Column("prestige"), *ps);
+      if (m.ok()) universal_cell = StrFormat("%+.3f", m->ate);
+    }
+    bench::PrintRow({StrFormat("Q%d", s + 1),
+                     carl_cate.ok() ? StrFormat("%+.3f", *carl_cate) : "n/a",
+                     universal_cell, "+1.000"});
+  }
+  bench::PrintRule();
+  std::printf(
+      "Shape (paper Fig 8): CaRL CATEs hug the truth across strata; the\n"
+      "universal-table CATEs deviate, most visibly in the extreme\n"
+      "qualification quartiles where confounding is strongest.\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace carl
+
+int main() { return carl::Run(); }

@@ -1,0 +1,73 @@
+// Figure 9 (paper §6.2): relative likelihood (bootstrap distributions) of
+// the isolated, relational, and overall effects, for (a) single-blind and
+// (b) double-blind venues, on simulated REVIEWDATA.
+//
+// Prints each distribution as an ASCII density series (bin center,
+// relative likelihood, bar) with the component means, mirroring the
+// paper's density plots.
+
+#include <cstdio>
+
+#include "bench_util.h"
+#include "datagen/review.h"
+#include "stats/bootstrap.h"
+
+namespace carl {
+namespace {
+
+void PrintDistribution(const char* name, const EffectEstimate& estimate) {
+  std::printf("\n%s: mean %+.3f, sd %.3f, 95%% CI [%+.3f, %+.3f]\n", name,
+              estimate.value, estimate.std_error, estimate.ci_low,
+              estimate.ci_high);
+  Histogram h = MakeHistogram(estimate.samples, 13);
+  double max_density = 0.0;
+  for (double d : h.density) max_density = std::max(max_density, d);
+  for (size_t b = 0; b < h.centers.size(); ++b) {
+    int bar = max_density > 0
+                  ? static_cast<int>(h.density[b] / max_density * 40.0)
+                  : 0;
+    std::printf("  %+8.3f  %.3f  ", h.centers[b], h.density[b]);
+    for (int i = 0; i < bar; ++i) std::putchar('#');
+    std::putchar('\n');
+  }
+}
+
+void RunMode(const char* label, const char* blind_literal) {
+  std::printf("\n--- (%s venues) ---\n", label);
+  datagen::ReviewConfig config = datagen::RealisticReviewConfig();
+  Result<datagen::ReviewData> data = datagen::GenerateReviewData(config);
+  CARL_CHECK_OK(data.status());
+  std::unique_ptr<CarlEngine> engine = bench::MakeEngine(data->dataset);
+
+  EngineOptions options;
+  options.bootstrap_replicates = 300;
+  std::string query = StrFormat(
+      "AVG_Score[A] <= Prestige[A]? WHEN MORE THAN 1/3 PEERS TREATED "
+      "WHERE Submitted(S, C), Blind[C] = %s",
+      blind_literal);
+  Result<QueryAnswer> answer = engine->Answer(query, options);
+  CARL_CHECK_OK(answer.status());
+  const RelationalEffectsAnswer& effects = *answer->effects;
+  PrintDistribution("AIE (isolated)", effects.aie);
+  PrintDistribution("ARE (relational)", effects.are);
+  PrintDistribution("AOE (overall)", effects.aoe);
+}
+
+int Run() {
+  bench::PrintHeader(
+      "Figure 9 - bootstrap distributions of AIE / ARE / AOE "
+      "(simulated REVIEWDATA)");
+  RunMode("a: single-blind", "TRUE");
+  RunMode("b: double-blind", "FALSE");
+  bench::PrintRule();
+  std::printf(
+      "Shape (paper Fig 9): under single-blind the AIE mass sits clearly\n"
+      "right of zero and AOE right of AIE; under double-blind the AIE mass\n"
+      "centres near zero while ARE persists.\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace carl
+
+int main() { return carl::Run(); }

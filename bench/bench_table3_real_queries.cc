@@ -1,0 +1,77 @@
+// Table 3 (paper §6.2): ATE vs the naive difference of group averages on
+// the simulated MIMIC-III and NIS datasets.
+//
+//   MIMIC 1 (34-a): Death[P] <= SelfPay[P]?
+//   MIMIC 2 (34-b): Len[P]   <= SelfPay[P]?
+//   NIS 1   (35):   HighBill[P] <= AdmittedToLarge[P]?
+//
+// Paper rows:       treated  control  diff     ATE
+//   MIMIC 1         15.5%    9.8%     5.7%     0.5%
+//   MIMIC 2         154.2h   244.2h   -89.9h   -26.0h
+//   NIS 1           64%      31%      33%      -10%
+
+#include <cstdio>
+
+#include "bench_util.h"
+#include "datagen/mimic.h"
+#include "datagen/nis.h"
+
+namespace carl {
+namespace {
+
+void PrintAnswer(const char* name, const AteAnswer& answer,
+                 const char* unit, double scale) {
+  bench::PrintRow({name,
+                   StrFormat("%.2f%s", answer.naive.treated_mean * scale, unit),
+                   StrFormat("%.2f%s", answer.naive.control_mean * scale, unit),
+                   StrFormat("%+.2f%s", answer.naive.difference * scale, unit),
+                   StrFormat("%+.2f%s", answer.ate.value * scale, unit),
+                   StrFormat("%zu", answer.num_units)});
+}
+
+int Run() {
+  bench::PrintHeader(
+      "Table 3 - ATE vs naive difference of averages (simulated MIMIC, NIS)");
+  bench::PrintRow({"Query", "Avg treated", "Avg control", "Diff", "ATE",
+                   "units"});
+  bench::PrintRule();
+
+  {
+    datagen::MimicConfig config;
+    Result<datagen::Dataset> data = datagen::GenerateMimic(config);
+    CARL_CHECK_OK(data.status());
+    std::unique_ptr<CarlEngine> engine = bench::MakeEngine(*data);
+
+    Result<QueryAnswer> death = engine->Answer("Death[P] <= SelfPay[P]?");
+    CARL_CHECK_OK(death.status());
+    PrintAnswer("MIMIC 1 (34-a)", *death->ate, "%", 100.0);
+
+    Result<QueryAnswer> len = engine->Answer("Len[P] <= SelfPay[P]?");
+    CARL_CHECK_OK(len.status());
+    PrintAnswer("MIMIC 2 (34-b)", *len->ate, "h", 1.0);
+  }
+  {
+    datagen::NisConfig config;
+    Result<datagen::Dataset> data = datagen::GenerateNis(config);
+    CARL_CHECK_OK(data.status());
+    std::unique_ptr<CarlEngine> engine = bench::MakeEngine(*data);
+    Result<QueryAnswer> bill =
+        engine->Answer("HighBill[P] <= AdmittedToLarge[P]?");
+    CARL_CHECK_OK(bill.status());
+    PrintAnswer("NIS 1 (35)", *bill->ate, "%", 100.0);
+  }
+
+  bench::PrintRule();
+  std::printf(
+      "Paper: MIMIC 1: 15.5%% / 9.8%% / +5.7%% / +0.5%%\n"
+      "       MIMIC 2: 154.2h / 244.2h / -89.9h / -26.0h\n"
+      "       NIS 1:   64%% / 31%% / +33%% / -10%%\n"
+      "Shape to check: the naive contrast is large while the adjusted ATE\n"
+      "is ~0 (MIMIC 1), attenuated (MIMIC 2), or sign-reversed (NIS 1).\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace carl
+
+int main() { return carl::Run(); }

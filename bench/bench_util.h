@@ -1,0 +1,66 @@
+// Shared helpers for the bench binaries: fixed-width table printing and
+// engine construction. Each bench_*.cc regenerates one table or figure of
+// the paper and prints the same rows/series the paper reports.
+
+#ifndef CARL_BENCH_BENCH_UTIL_H_
+#define CARL_BENCH_BENCH_UTIL_H_
+
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "carl/carl.h"
+#include "common/str_util.h"
+#include "datagen/dataset.h"
+
+namespace carl {
+namespace bench {
+
+inline void PrintRule(char c = '-', int width = 78) {
+  for (int i = 0; i < width; ++i) std::putchar(c);
+  std::putchar('\n');
+}
+
+inline void PrintHeader(const std::string& title) {
+  PrintRule('=');
+  std::printf("%s\n", title.c_str());
+  PrintRule('=');
+}
+
+inline void PrintRow(const std::vector<std::string>& cells, int width = 14) {
+  for (const std::string& cell : cells) {
+    std::printf("%-*s", width, cell.c_str());
+  }
+  std::printf("\n");
+}
+
+/// Isolated-effect estimate (the coefficient on the unit's own treatment,
+/// adjusting for ψ(peer treatments) and the detected covariates) on a row
+/// subset of a unit table. The conditional-effect statistic of the
+/// Fig 8 / Fig 10 benches.
+inline Result<double> IsolatedEffectOnView(const UnitTable& meta,
+                                           const FlatTable& view) {
+  std::vector<std::string> cols{meta.t_col};
+  for (const std::string& c : meta.peer_t_cols) cols.push_back(c);
+  for (const std::string& c : meta.AllCovariateCols()) cols.push_back(c);
+  CARL_ASSIGN_OR_RETURN(OlsFit fit, FitOls(view, meta.y_col, cols));
+  return fit.CoefficientOr(meta.t_col, 0.0);
+}
+
+/// Builds an engine from a generated dataset; aborts on failure (benches
+/// are executables, not library code).
+inline std::unique_ptr<CarlEngine> MakeEngine(const datagen::Dataset& data) {
+  Result<RelationalCausalModel> model =
+      RelationalCausalModel::Parse(*data.schema, data.model_text);
+  CARL_CHECK_OK(model.status());
+  Result<std::unique_ptr<CarlEngine>> engine =
+      CarlEngine::Create(data.instance.get(), std::move(*model));
+  CARL_CHECK_OK(engine.status());
+  return std::move(*engine);
+}
+
+}  // namespace bench
+}  // namespace carl
+
+#endif  // CARL_BENCH_BENCH_UTIL_H_

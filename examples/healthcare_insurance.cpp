@@ -1,0 +1,71 @@
+// Healthcare analysis (the paper's MIMIC-III study, §6.2, queries 34a/34b):
+// what is the effect of being uninsured (self-pay) on ICU mortality and on
+// length of stay?
+//
+// Demonstrates covariate detection from the causal model: the engine
+// adjusts for the parents of SelfPay (demographics + diagnosis — the
+// "deferred admission" confounder) and leaves mediators alone, so the
+// reported ATE is the total causal effect.
+//
+//   build/examples/example_healthcare_insurance
+
+#include <cstdio>
+
+#include "carl/carl.h"
+#include "datagen/mimic.h"
+
+using namespace carl;
+
+int main() {
+  datagen::MimicConfig config;
+  config.num_patients = 20000;
+  config.num_caregivers = 700;
+  std::printf("Generating simulated MIMIC-III (%zu patients)...\n",
+              config.num_patients);
+  Result<datagen::Dataset> data = datagen::GenerateMimic(config);
+  CARL_CHECK_OK(data.status());
+
+  Result<RelationalCausalModel> model =
+      RelationalCausalModel::Parse(*data->schema, data->model_text);
+  CARL_CHECK_OK(model.status());
+  std::printf("\nCausal model (paper §6.1):\n%s\n", model->ToString().c_str());
+
+  Result<std::unique_ptr<CarlEngine>> engine =
+      CarlEngine::Create(data->instance.get(), std::move(*model));
+  CARL_CHECK_OK(engine.status());
+
+  EngineOptions options;
+  options.check_criterion = true;  // verify Theorem 5.2's condition
+
+  // Query (34-a): mortality.
+  Result<QueryAnswer> death =
+      (*engine)->Answer("Death[P] <= SelfPay[P]?", options);
+  CARL_CHECK_OK(death.status());
+  std::printf("Death[P] <= SelfPay[P]?\n");
+  std::printf("  mortality, self-pay:    %5.1f%%\n",
+              death->ate->naive.treated_mean * 100);
+  std::printf("  mortality, insured:     %5.1f%%\n",
+              death->ate->naive.control_mean * 100);
+  std::printf("  naive difference:       %+5.1f pp\n",
+              death->ate->naive.difference * 100);
+  std::printf("  ATE:                    %+5.1f pp\n",
+              death->ate->ate.value * 100);
+  std::printf("  adjustment criterion:   %s\n",
+              *death->ate->criterion_ok ? "holds" : "VIOLATED");
+
+  // Query (34-b): length of stay.
+  Result<QueryAnswer> len = (*engine)->Answer("Len[P] <= SelfPay[P]?");
+  CARL_CHECK_OK(len.status());
+  std::printf("\nLen[P] <= SelfPay[P]?\n");
+  std::printf("  naive difference:       %+7.1f hours\n",
+              len->ate->naive.difference);
+  std::printf("  ATE:                    %+7.1f hours\n",
+              len->ate->ate.value);
+
+  std::printf(
+      "\nInterpretation (paper §6.2): the raw mortality gap is driven by\n"
+      "self-payers deferring admission until severely ill — caregivers do\n"
+      "not discriminate. The length-of-stay effect is real but much\n"
+      "smaller than the naive contrast suggests.\n");
+  return 0;
+}

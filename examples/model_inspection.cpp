@@ -1,0 +1,53 @@
+// Model inspection: the static-analysis side of CaRL.
+//
+// Before trusting an estimate, an analyst wants to see *what the engine
+// will do*: which units, which adjustment set, whether interference is
+// present, whether the identification criterion holds — and the grounded
+// causal graph itself. This example prints the query plan for the paper's
+// queries and exports Figure 4/5-style DOT renderings.
+//
+//   build/examples/example_model_inspection [out.dot]
+
+#include <cstdio>
+#include <fstream>
+
+#include "carl/carl.h"
+#include "datagen/review_toy.h"
+
+using namespace carl;
+
+int main(int argc, char** argv) {
+  Result<datagen::Dataset> data = datagen::MakeReviewToy();
+  CARL_CHECK_OK(data.status());
+  Result<RelationalCausalModel> model =
+      RelationalCausalModel::Parse(*data->schema, data->model_text);
+  CARL_CHECK_OK(model.status());
+  std::printf("Relational causal model:\n%s\n", model->ToString().c_str());
+
+  Result<std::unique_ptr<CarlEngine>> engine =
+      CarlEngine::Create(data->instance.get(), std::move(*model));
+  CARL_CHECK_OK(engine.status());
+
+  EngineOptions options;
+  options.check_criterion = true;
+
+  for (const char* query :
+       {"AVG_Score[A] <= Prestige[A]?", "Score[S] <= Prestige[A]?",
+        "Qualification[A] <= Prestige[A]?"}) {
+    Result<QueryExplanation> explanation =
+        ExplainQuery(engine->get(), query, options);
+    CARL_CHECK_OK(explanation.status());
+    std::printf("%s\n", explanation->ToString().c_str());
+  }
+
+  // Export the grounded causal graph (Figures 4-5 of the paper).
+  Result<std::string> dot = ExportDot((*engine)->grounded());
+  CARL_CHECK_OK(dot.status());
+  const char* path = argc > 1 ? argv[1] : "review_toy_graph.dot";
+  std::ofstream out(path);
+  out << *dot;
+  std::printf("Grounded causal graph written to %s (%zu nodes); render\n"
+              "with: dot -Tpng %s -o graph.png\n",
+              path, (*engine)->grounded().graph().num_nodes(), path);
+  return 0;
+}

@@ -1,0 +1,120 @@
+#include "common/csv.h"
+
+#include <fstream>
+#include <sstream>
+
+#include "common/str_util.h"
+
+namespace carl {
+namespace {
+
+bool NeedsQuoting(const std::string& field) {
+  return field.find_first_of(",\"\n\r") != std::string::npos;
+}
+
+std::string QuoteField(const std::string& field) {
+  if (!NeedsQuoting(field)) return field;
+  std::string out = "\"";
+  for (char c : field) {
+    if (c == '"') out += "\"\"";
+    else out.push_back(c);
+  }
+  out += "\"";
+  return out;
+}
+
+void AppendRow(const std::vector<std::string>& row, std::string* out) {
+  for (size_t i = 0; i < row.size(); ++i) {
+    if (i > 0) out->push_back(',');
+    *out += QuoteField(row[i]);
+  }
+  out->push_back('\n');
+}
+
+}  // namespace
+
+std::string WriteCsv(const CsvDocument& doc) {
+  std::string out;
+  AppendRow(doc.header, &out);
+  for (const auto& row : doc.rows) AppendRow(row, &out);
+  return out;
+}
+
+Status WriteCsvFile(const CsvDocument& doc, const std::string& path) {
+  std::ofstream f(path);
+  if (!f.is_open()) {
+    return Status::InvalidArgument("cannot open for writing: " + path);
+  }
+  f << WriteCsv(doc);
+  if (!f.good()) return Status::Internal("write failed: " + path);
+  return Status::OK();
+}
+
+Result<CsvDocument> ParseCsv(const std::string& text) {
+  std::vector<std::vector<std::string>> all_rows;
+  std::vector<std::string> row;
+  std::string field;
+  bool in_quotes = false;
+  size_t i = 0;
+  const size_t n = text.size();
+  auto end_field = [&]() {
+    row.push_back(field);
+    field.clear();
+  };
+  auto end_row = [&]() {
+    end_field();
+    all_rows.push_back(row);
+    row.clear();
+  };
+  while (i < n) {
+    char c = text[i];
+    if (in_quotes) {
+      if (c == '"') {
+        if (i + 1 < n && text[i + 1] == '"') {
+          field.push_back('"');
+          ++i;
+        } else {
+          in_quotes = false;
+        }
+      } else {
+        field.push_back(c);
+      }
+    } else if (c == '"') {
+      in_quotes = true;
+    } else if (c == ',') {
+      end_field();
+    } else if (c == '\n') {
+      end_row();
+    } else if (c != '\r') {
+      field.push_back(c);
+    }
+    ++i;
+  }
+  if (in_quotes) return Status::InvalidArgument("unterminated quoted field");
+  if (!field.empty() || !row.empty()) end_row();
+  if (all_rows.empty()) return Status::InvalidArgument("empty CSV");
+
+  CsvDocument doc;
+  doc.header = all_rows[0];
+  for (size_t r = 1; r < all_rows.size(); ++r) {
+    if (all_rows[r].size() != doc.header.size()) {
+      return Status::InvalidArgument(
+          StrFormat("row %zu has %zu fields, header has %zu", r,
+                    all_rows[r].size(), doc.header.size()));
+    }
+    doc.rows.push_back(std::move(all_rows[r]));
+  }
+  return doc;
+}
+
+Result<CsvDocument> ReadCsvFile(const std::string& path) {
+  std::ifstream f(path);
+  if (!f.is_open()) {
+    return Status::NotFound("cannot open: " + path);
+  }
+  std::ostringstream buffer;
+  buffer << f.rdbuf();
+  return ParseCsv(buffer.str());
+}
+
+}  // namespace carl

@@ -1,0 +1,37 @@
+// Minimal CSV reading/writing, used to export unit tables and experiment
+// series for external plotting, and to round-trip datasets in tests.
+
+#ifndef CARL_COMMON_CSV_H_
+#define CARL_COMMON_CSV_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+
+namespace carl {
+
+/// A parsed CSV file: a header row plus data rows of equal width.
+struct CsvDocument {
+  std::vector<std::string> header;
+  std::vector<std::vector<std::string>> rows;
+};
+
+/// Serializes rows with RFC-4180-style quoting for fields containing
+/// commas, quotes, or newlines.
+std::string WriteCsv(const CsvDocument& doc);
+
+/// Writes a CSV document to `path`.
+Status WriteCsvFile(const CsvDocument& doc, const std::string& path);
+
+/// Parses CSV text; the first row is the header. Rejects rows whose width
+/// differs from the header's.
+Result<CsvDocument> ParseCsv(const std::string& text);
+
+/// Reads and parses a CSV file.
+Result<CsvDocument> ReadCsvFile(const std::string& path);
+
+}  // namespace carl
+
+#endif  // CARL_COMMON_CSV_H_

@@ -1,0 +1,28 @@
+#include "common/interner.h"
+
+#include "common/logging.h"
+
+namespace carl {
+
+SymbolId StringInterner::Intern(const std::string& s) {
+  auto it = ids_.find(s);
+  if (it != ids_.end()) return it->second;
+  SymbolId id = static_cast<SymbolId>(strings_.size());
+  strings_.push_back(s);
+  ids_.emplace(s, id);
+  return id;
+}
+
+SymbolId StringInterner::Lookup(const std::string& s) const {
+  auto it = ids_.find(s);
+  return it == ids_.end() ? kInvalidSymbol : it->second;
+}
+
+const std::string& StringInterner::ToString(SymbolId id) const {
+  CARL_CHECK(id >= 0 && static_cast<size_t>(id) < strings_.size())
+      << "symbol id " << id << " out of range (size " << strings_.size()
+      << ")";
+  return strings_[id];
+}
+
+}  // namespace carl

@@ -1,0 +1,45 @@
+// StringInterner: bijective mapping string <-> dense int32 symbol id.
+//
+// Relational skeletons ground rules over entity constants ("Bob", "s1", ...).
+// Interning constants once lets the grounding engine, causal graph, and
+// indexes work with flat int32 ids instead of strings.
+
+#ifndef CARL_COMMON_INTERNER_H_
+#define CARL_COMMON_INTERNER_H_
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace carl {
+
+/// Dense id assigned to an interned string. Ids start at 0 and are stable
+/// for the lifetime of the interner.
+using SymbolId = int32_t;
+inline constexpr SymbolId kInvalidSymbol = -1;
+
+class StringInterner {
+ public:
+  /// Returns the id for `s`, interning it if new.
+  SymbolId Intern(const std::string& s);
+
+  /// Returns the id for `s`, or kInvalidSymbol if never interned.
+  SymbolId Lookup(const std::string& s) const;
+
+  /// The string for `id`; dies on out-of-range ids.
+  const std::string& ToString(SymbolId id) const;
+
+  bool Contains(const std::string& s) const {
+    return Lookup(s) != kInvalidSymbol;
+  }
+  size_t size() const { return strings_.size(); }
+
+ private:
+  std::unordered_map<std::string, SymbolId> ids_;
+  std::vector<std::string> strings_;
+};
+
+}  // namespace carl
+
+#endif  // CARL_COMMON_INTERNER_H_

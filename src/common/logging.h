@@ -1,0 +1,72 @@
+// CARL_CHECK / CARL_DCHECK: invariant checks that abort with a message.
+// Used for programming errors only; recoverable conditions use Status.
+
+#ifndef CARL_COMMON_LOGGING_H_
+#define CARL_COMMON_LOGGING_H_
+
+#include <cstdlib>
+#include <iostream>
+#include <sstream>
+
+namespace carl {
+namespace internal {
+
+/// Accumulates a failure message and aborts the process on destruction.
+class FatalLogMessage {
+ public:
+  FatalLogMessage(const char* file, int line, const char* condition) {
+    stream_ << file << ":" << line << " CHECK failed: " << condition << " ";
+  }
+  [[noreturn]] ~FatalLogMessage() {
+    std::cerr << stream_.str() << std::endl;
+    std::abort();
+  }
+  template <typename T>
+  FatalLogMessage& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  std::ostringstream stream_;
+};
+
+/// Converts a streamed FatalLogMessage chain to void so it can sit in the
+/// false branch of the CARL_CHECK ternary. operator& binds looser than <<.
+struct Voidify {
+  void operator&(const FatalLogMessage&) {}
+};
+
+/// Swallows streamed values when the check is compiled out.
+class NullStream {
+ public:
+  template <typename T>
+  NullStream& operator<<(const T&) { return *this; }
+};
+
+}  // namespace internal
+}  // namespace carl
+
+#define CARL_CHECK(condition)                                       \
+  (condition) ? (void)0                                             \
+              : ::carl::internal::Voidify() &                       \
+                    ::carl::internal::FatalLogMessage(              \
+                        __FILE__, __LINE__, #condition)
+
+#define CARL_CHECK_OK(expr)                                           \
+  do {                                                                \
+    ::carl::Status _s = (expr);                                       \
+    if (!_s.ok()) {                                                   \
+      ::carl::internal::FatalLogMessage(__FILE__, __LINE__, #expr)    \
+          << _s.ToString();                                           \
+    }                                                                 \
+  } while (0)
+
+#ifndef NDEBUG
+#define CARL_DCHECK(condition) CARL_CHECK(condition)
+#else
+#define CARL_DCHECK(condition) \
+  while (false) ::carl::internal::NullStream()
+#endif
+
+#endif  // CARL_COMMON_LOGGING_H_

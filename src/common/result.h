@@ -1,0 +1,65 @@
+// Result<T>: a value-or-Status, the return type of fallible factories.
+
+#ifndef CARL_COMMON_RESULT_H_
+#define CARL_COMMON_RESULT_H_
+
+#include <optional>
+#include <utility>
+
+#include "common/logging.h"
+#include "common/status.h"
+
+namespace carl {
+
+/// Holds either a T (when status().ok()) or an error Status.
+///
+/// Usage:
+///   Result<UnitTable> r = BuildUnitTable(...);
+///   if (!r.ok()) return r.status();
+///   UnitTable t = std::move(r).ValueUnsafe();
+/// or, inside a Status/Result-returning function:
+///   CARL_ASSIGN_OR_RETURN(UnitTable t, BuildUnitTable(...));
+template <typename T>
+class Result {
+ public:
+  /// Implicit conversion from a value — the success case.
+  Result(T value) : status_(Status::OK()), value_(std::move(value)) {}
+  /// Implicit conversion from an error Status. Must not be OK.
+  Result(Status status) : status_(std::move(status)) {
+    CARL_CHECK(!status_.ok()) << "Result constructed from OK status";
+  }
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  /// Access the value; dies if this holds an error.
+  const T& ValueOrDie() const& {
+    CARL_CHECK(ok()) << "ValueOrDie on error: " << status_.ToString();
+    return *value_;
+  }
+  T& ValueOrDie() & {
+    CARL_CHECK(ok()) << "ValueOrDie on error: " << status_.ToString();
+    return *value_;
+  }
+  T ValueOrDie() && {
+    CARL_CHECK(ok()) << "ValueOrDie on error: " << status_.ToString();
+    return std::move(*value_);
+  }
+
+  /// Access without checking; used by CARL_ASSIGN_OR_RETURN after the check.
+  const T& ValueUnsafe() const& { return *value_; }
+  T ValueUnsafe() && { return std::move(*value_); }
+
+  const T& operator*() const& { return ValueOrDie(); }
+  T& operator*() & { return ValueOrDie(); }
+  const T* operator->() const { return &ValueOrDie(); }
+  T* operator->() { return &ValueOrDie(); }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+}  // namespace carl
+
+#endif  // CARL_COMMON_RESULT_H_

@@ -1,0 +1,103 @@
+// Status: exception-free error propagation for library code paths.
+//
+// Mirrors the Arrow/Abseil convention used across database C++ codebases:
+// functions that can fail return Status (or Result<T>, see result.h), and
+// callers propagate with CARL_RETURN_IF_ERROR / CARL_ASSIGN_OR_RETURN.
+
+#ifndef CARL_COMMON_STATUS_H_
+#define CARL_COMMON_STATUS_H_
+
+#include <ostream>
+#include <string>
+#include <utility>
+
+namespace carl {
+
+/// Error categories used across the library.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,   ///< malformed input (bad rule, bad query, bad config)
+  kNotFound,          ///< missing predicate/attribute/constant
+  kAlreadyExists,     ///< duplicate registration in a catalog
+  kFailedPrecondition,///< operation invalid in the current state
+  kOutOfRange,        ///< index/value outside the permitted range
+  kUnimplemented,     ///< feature declared by the paper but not supported
+  kInternal,          ///< invariant violation (a bug in this library)
+};
+
+/// Human-readable name of a status code ("InvalidArgument", ...).
+const char* StatusCodeToString(StatusCode code);
+
+/// A success-or-error value. Cheap to copy on the success path (no
+/// allocation); errors carry a message describing the failure.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status Unimplemented(std::string msg) {
+    return Status(StatusCode::kUnimplemented, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// "OK" or "<CodeName>: <message>".
+  std::string ToString() const;
+
+  bool operator==(const Status& other) const {
+    return code_ == other.code_ && message_ == other.message_;
+  }
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+inline std::ostream& operator<<(std::ostream& os, const Status& s) {
+  return os << s.ToString();
+}
+
+}  // namespace carl
+
+/// Propagates a non-OK Status to the caller.
+#define CARL_RETURN_IF_ERROR(expr)                  \
+  do {                                              \
+    ::carl::Status _carl_status = (expr);           \
+    if (!_carl_status.ok()) return _carl_status;    \
+  } while (0)
+
+#define CARL_CONCAT_IMPL_(x, y) x##y
+#define CARL_CONCAT_(x, y) CARL_CONCAT_IMPL_(x, y)
+
+/// Evaluates an expression returning Result<T>; on success binds the value
+/// to `lhs`, on failure returns the error Status to the caller.
+#define CARL_ASSIGN_OR_RETURN(lhs, rexpr)                             \
+  auto CARL_CONCAT_(_carl_result_, __LINE__) = (rexpr);               \
+  if (!CARL_CONCAT_(_carl_result_, __LINE__).ok())                    \
+    return CARL_CONCAT_(_carl_result_, __LINE__).status();            \
+  lhs = std::move(CARL_CONCAT_(_carl_result_, __LINE__)).ValueUnsafe()
+
+#endif  // CARL_COMMON_STATUS_H_

@@ -1,0 +1,46 @@
+// Small string helpers shared across parser, printers, and benches.
+
+#ifndef CARL_COMMON_STR_UTIL_H_
+#define CARL_COMMON_STR_UTIL_H_
+
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace carl {
+
+/// Joins elements with `sep`, using operator<< for formatting.
+template <typename Container>
+std::string Join(const Container& parts, const std::string& sep) {
+  std::ostringstream os;
+  bool first = true;
+  for (const auto& p : parts) {
+    if (!first) os << sep;
+    os << p;
+    first = false;
+  }
+  return os.str();
+}
+
+/// Splits on a single-character delimiter; keeps empty fields.
+std::vector<std::string> Split(const std::string& s, char delim);
+
+/// Strips ASCII whitespace from both ends.
+std::string Trim(const std::string& s);
+
+/// Case-insensitive ASCII equality.
+bool EqualsIgnoreCase(const std::string& a, const std::string& b);
+
+/// Uppercases ASCII letters.
+std::string ToUpper(const std::string& s);
+
+/// True if `s` starts with `prefix`.
+bool StartsWith(const std::string& s, const std::string& prefix);
+
+/// printf-style formatting into a std::string.
+std::string StrFormat(const char* fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+}  // namespace carl
+
+#endif  // CARL_COMMON_STR_UTIL_H_

@@ -1,0 +1,68 @@
+#include "common/value.h"
+
+#include <functional>
+#include <sstream>
+
+#include "common/logging.h"
+
+namespace carl {
+
+const char* ValueTypeToString(ValueType type) {
+  switch (type) {
+    case ValueType::kNull: return "null";
+    case ValueType::kBool: return "bool";
+    case ValueType::kInt: return "int";
+    case ValueType::kDouble: return "double";
+    case ValueType::kString: return "string";
+  }
+  return "unknown";
+}
+
+double Value::AsDouble() const {
+  switch (type()) {
+    case ValueType::kBool: return bool_value() ? 1.0 : 0.0;
+    case ValueType::kInt: return static_cast<double>(int_value());
+    case ValueType::kDouble: return double_value();
+    default:
+      CARL_CHECK(false) << "AsDouble on non-numeric value "
+                        << ToString();
+      return 0.0;
+  }
+}
+
+std::string Value::ToString() const {
+  switch (type()) {
+    case ValueType::kNull: return "NULL";
+    case ValueType::kBool: return bool_value() ? "true" : "false";
+    case ValueType::kInt: return std::to_string(int_value());
+    case ValueType::kDouble: {
+      std::ostringstream os;
+      os << double_value();
+      return os.str();
+    }
+    case ValueType::kString: return string_value();
+  }
+  return "?";
+}
+
+size_t Value::Hash() const {
+  size_t seed = static_cast<size_t>(type()) * 0x9e3779b97f4a7c15ull;
+  switch (type()) {
+    case ValueType::kNull: break;
+    case ValueType::kBool:
+      seed ^= std::hash<bool>()(bool_value());
+      break;
+    case ValueType::kInt:
+      seed ^= std::hash<int64_t>()(int_value());
+      break;
+    case ValueType::kDouble:
+      seed ^= std::hash<double>()(double_value());
+      break;
+    case ValueType::kString:
+      seed ^= std::hash<std::string>()(string_value());
+      break;
+  }
+  return seed;
+}
+
+}  // namespace carl

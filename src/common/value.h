@@ -1,0 +1,80 @@
+// Value: the dynamically-typed cell type of the relational engine.
+//
+// Attribute functions in a relational causal instance (§3.1 of the paper)
+// take values in heterogeneous domains: binary treatments, real-valued
+// responses, categorical covariates. Value is a small tagged union covering
+// those domains, with total ordering and hashing so it can key indexes.
+
+#ifndef CARL_COMMON_VALUE_H_
+#define CARL_COMMON_VALUE_H_
+
+#include <cstdint>
+#include <string>
+#include <variant>
+
+namespace carl {
+
+/// Runtime type tag of a Value.
+enum class ValueType { kNull = 0, kBool, kInt, kDouble, kString };
+
+/// Name of a value type ("null", "bool", ...).
+const char* ValueTypeToString(ValueType type);
+
+/// A null / bool / int64 / double / string cell.
+///
+/// Nulls model the paper's *unobserved* attribute functions (e.g. Quality):
+/// present in the schema, missing in every instance.
+class Value {
+ public:
+  Value() : data_(std::monostate{}) {}
+  explicit Value(bool b) : data_(b) {}
+  explicit Value(int64_t i) : data_(i) {}
+  explicit Value(int i) : data_(static_cast<int64_t>(i)) {}
+  explicit Value(double d) : data_(d) {}
+  explicit Value(std::string s) : data_(std::move(s)) {}
+  explicit Value(const char* s) : data_(std::string(s)) {}
+
+  static Value Null() { return Value(); }
+
+  ValueType type() const {
+    return static_cast<ValueType>(data_.index());
+  }
+  bool is_null() const { return type() == ValueType::kNull; }
+
+  bool bool_value() const { return std::get<bool>(data_); }
+  int64_t int_value() const { return std::get<int64_t>(data_); }
+  double double_value() const { return std::get<double>(data_); }
+  const std::string& string_value() const {
+    return std::get<std::string>(data_);
+  }
+
+  /// Numeric view: bool -> 0/1, int -> double, double -> itself.
+  /// Dies on string/null; use is_numeric() to guard.
+  double AsDouble() const;
+  bool is_numeric() const {
+    ValueType t = type();
+    return t == ValueType::kBool || t == ValueType::kInt ||
+           t == ValueType::kDouble;
+  }
+
+  std::string ToString() const;
+
+  /// Total order: first by type tag, then by payload. This makes Values
+  /// usable in ordered containers even across types.
+  bool operator==(const Value& other) const { return data_ == other.data_; }
+  bool operator!=(const Value& other) const { return !(*this == other); }
+  bool operator<(const Value& other) const { return data_ < other.data_; }
+
+  size_t Hash() const;
+
+ private:
+  std::variant<std::monostate, bool, int64_t, double, std::string> data_;
+};
+
+struct ValueHash {
+  size_t operator()(const Value& v) const { return v.Hash(); }
+};
+
+}  // namespace carl
+
+#endif  // CARL_COMMON_VALUE_H_

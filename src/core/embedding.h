@@ -1,0 +1,62 @@
+// Embedding functions ψ (paper §4.1 eq. 17 and §5.2.2).
+//
+// Different groundings of the same attribute can have different numbers of
+// parents (e.g. papers have varying author counts); structural homogeneity
+// is recovered by projecting each variable-size parent vector into a fixed,
+// low-dimensional embedding. The paper evaluates four strategies, all
+// implemented here and ablated in the Table 5 / Fig 10 benches:
+//   * mean + cardinality,
+//   * median + cardinality,
+//   * moment summary (mean, variance, skewness, ... + cardinality),
+//   * padding with an out-of-band marker to a fixed width.
+
+#ifndef CARL_CORE_EMBEDDING_H_
+#define CARL_CORE_EMBEDDING_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+
+namespace carl {
+
+enum class EmbeddingKind { kMean, kMedian, kMoments, kPadding };
+
+const char* EmbeddingKindToString(EmbeddingKind kind);
+Result<EmbeddingKind> ParseEmbeddingKind(const std::string& name);
+
+struct EmbeddingOptions {
+  /// Number of moments for kMoments (>= 1).
+  int moments = 3;
+  /// Hard cap on padding width (the paper notes padding grows with the
+  /// relational skeleton, limiting its applicability).
+  size_t padding_max_width = 32;
+  /// Out-of-band marker used to pad short vectors.
+  double padding_value = -1.0;
+};
+
+/// Strategy interface mapping a variable-size value vector to a fixed
+/// number of dimensions. Fit() sees all groups before any Apply() so
+/// data-dependent strategies (padding width) can size themselves.
+class Embedding {
+ public:
+  virtual ~Embedding() = default;
+  virtual EmbeddingKind kind() const = 0;
+  /// Observes the population of groups (default: no-op).
+  virtual void Fit(const std::vector<std::vector<double>>& groups);
+  virtual size_t dims() const = 0;
+  /// Short per-dimension suffixes, e.g. {"mean", "count"}.
+  virtual std::vector<std::string> DimNames() const = 0;
+  /// Projects one group; returns exactly dims() values. Groups larger than
+  /// a fitted padding width are truncated (values sorted descending first).
+  virtual std::vector<double> Apply(
+      const std::vector<double>& values) const = 0;
+};
+
+std::unique_ptr<Embedding> MakeEmbedding(EmbeddingKind kind,
+                                         const EmbeddingOptions& options = {});
+
+}  // namespace carl
+
+#endif  // CARL_CORE_EMBEDDING_H_

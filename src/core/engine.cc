@@ -1,0 +1,367 @@
+#include "core/engine.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "common/rng.h"
+#include "common/str_util.h"
+#include "core/relational_path.h"
+#include "lang/parser.h"
+#include "relational/evaluator.h"
+#include "stats/bootstrap.h"
+
+namespace carl {
+namespace {
+
+// Evaluates a query WHERE filter into the set of allowed source-unit
+// tuples. The filter must contain exactly one variable whose inferred
+// entity type is the source attribute's (entity) predicate; that variable
+// links the filter to the response sources.
+Result<std::optional<std::unordered_set<Tuple, TupleHash>>> EvaluateFilter(
+    const Instance& instance, const Schema& schema,
+    const ConjunctiveQuery& where, PredicateId source_pred) {
+  if (where.empty()) {
+    return std::optional<std::unordered_set<Tuple, TupleHash>>();
+  }
+  const Predicate& source = schema.predicate(source_pred);
+  if (source.kind != PredicateKind::kEntity) {
+    return Status::Unimplemented(
+        "query filters over relationship-attached responses are not "
+        "supported; filter on an entity-attached response");
+  }
+
+  // Infer variable entity types from atom and constraint positions.
+  std::unordered_map<std::string, std::string> var_entity;
+  auto note = [&var_entity](const Term& t, const std::string& entity)
+      -> Status {
+    if (!t.is_variable()) return Status::OK();
+    auto [it, inserted] = var_entity.emplace(t.text, entity);
+    if (!inserted && it->second != entity) {
+      return Status::InvalidArgument("filter variable " + t.text +
+                                     " used with two entity types: " +
+                                     it->second + " and " + entity);
+    }
+    return Status::OK();
+  };
+  for (const Atom& atom : where.atoms) {
+    CARL_ASSIGN_OR_RETURN(PredicateId pid,
+                          schema.FindPredicate(atom.predicate));
+    const Predicate& pred = schema.predicate(pid);
+    if (static_cast<int>(atom.args.size()) != pred.arity()) {
+      return Status::InvalidArgument("filter atom arity mismatch: " +
+                                     atom.ToString());
+    }
+    for (size_t i = 0; i < atom.args.size(); ++i) {
+      CARL_RETURN_IF_ERROR(note(atom.args[i], pred.arg_entities[i]));
+    }
+  }
+  for (const AttributeConstraint& c : where.constraints) {
+    CARL_ASSIGN_OR_RETURN(AttributeId aid, schema.FindAttribute(c.attribute));
+    const Predicate& pred = schema.predicate(schema.attribute(aid).predicate);
+    if (static_cast<int>(c.args.size()) != pred.arity()) {
+      return Status::InvalidArgument("filter constraint arity mismatch: " +
+                                     c.ToString());
+    }
+    for (size_t i = 0; i < c.args.size(); ++i) {
+      CARL_RETURN_IF_ERROR(note(c.args[i], pred.arg_entities[i]));
+    }
+  }
+
+  std::vector<std::string> link_vars;
+  for (const auto& [var, entity] : var_entity) {
+    if (entity == source.name) link_vars.push_back(var);
+  }
+  if (link_vars.size() != 1) {
+    return Status::InvalidArgument(StrFormat(
+        "query filter must reference the response unit (%s) through exactly "
+        "one variable; found %zu",
+        source.name.c_str(), link_vars.size()));
+  }
+
+  ConjunctiveQuery cq = where;
+  Atom unit_atom;
+  unit_atom.predicate = source.name;
+  unit_atom.args = {Term::Var(link_vars[0])};
+  cq.atoms.push_back(std::move(unit_atom));
+
+  QueryEvaluator evaluator(&instance);
+  CARL_ASSIGN_OR_RETURN(std::vector<Tuple> bindings,
+                        evaluator.Evaluate(cq, {link_vars[0]}));
+  std::unordered_set<Tuple, TupleHash> allowed(bindings.begin(),
+                                               bindings.end());
+  return std::optional<std::unordered_set<Tuple, TupleHash>>(
+      std::move(allowed));
+}
+
+UnitTableOptions MakeUnitTableOptions(const EngineOptions& options,
+                                      bool include_isolated) {
+  UnitTableOptions out;
+  out.embedding = options.embedding;
+  out.embedding_options = options.embedding_options;
+  out.include_isolated_units = include_isolated;
+  return out;
+}
+
+EffectEstimate PointEstimate(double value) {
+  EffectEstimate e;
+  e.value = value;
+  return e;
+}
+
+void AttachBootstrap(EffectEstimate* estimate, const BootstrapResult& b) {
+  estimate->std_error = b.sd;
+  estimate->ci_low = b.ci_low;
+  estimate->ci_high = b.ci_high;
+  estimate->samples = b.samples;
+}
+
+}  // namespace
+
+Result<std::unique_ptr<CarlEngine>> CarlEngine::Create(
+    const Instance* instance, RelationalCausalModel model) {
+  if (instance == nullptr) {
+    return Status::InvalidArgument("engine needs an instance");
+  }
+  std::unique_ptr<CarlEngine> engine(
+      new CarlEngine(instance, std::move(model)));
+  CARL_ASSIGN_OR_RETURN(GroundedModel grounded,
+                        GroundModel(*instance, engine->model_));
+  engine->grounded_.emplace(std::move(grounded));
+  return engine;
+}
+
+Result<CarlEngine::ResolvedQuery> CarlEngine::ResolveQuery(
+    const CausalQuery& query, const EngineOptions& options) {
+  const Schema& schema = model_.extended_schema();
+  CARL_ASSIGN_OR_RETURN(AttributeId t_attr,
+                        schema.FindAttribute(query.treatment.attribute));
+  PredicateId t_pred = schema.attribute(t_attr).predicate;
+
+  std::string response_name = query.response.attribute;
+  Result<AttributeId> y_attr = schema.FindAttribute(response_name);
+  bool reground = false;
+
+  if (y_attr.ok() &&
+      schema.attribute(*y_attr).predicate != t_pred) {
+    // Existing response on a different predicate: unify along a relational
+    // path (§4.3). Reuse a previously derived rule when present.
+    CARL_ASSIGN_OR_RETURN(
+        AggregateRule rule,
+        DeriveUnifyingAggregateRule(schema, query.treatment, query.response,
+                                    options.unification_aggregate));
+    response_name = rule.head.attribute;
+    if (!model_.FindAggregateRule(response_name).ok()) {
+      CARL_RETURN_IF_ERROR(model_.AddAggregateRule(std::move(rule)));
+      reground = true;
+    }
+  } else if (!y_attr.ok()) {
+    // Unknown response: allow AGG_<base> shorthand, deriving the
+    // aggregation over the relational path (the paper's query (36)).
+    AggregateKind agg;
+    if (!SplitAggregateName(response_name, &agg)) {
+      return y_attr.status();
+    }
+    std::string base_name = response_name.substr(response_name.find('_') + 1);
+    CARL_ASSIGN_OR_RETURN(AttributeId base_attr,
+                          schema.FindAttribute(base_name));
+    if (schema.attribute(base_attr).predicate == t_pred) {
+      return Status::InvalidArgument(
+          "aggregated response " + response_name +
+          " over an attribute already on the treatment's predicate; define "
+          "an explicit aggregate rule instead");
+    }
+    AttributeRef source_ref;
+    source_ref.attribute = base_name;
+    const Predicate& base_pred =
+        schema.predicate(schema.attribute(base_attr).predicate);
+    for (int i = 0; i < base_pred.arity(); ++i) {
+      source_ref.args.push_back(Term::Var(StrFormat("USRC%d", i)));
+    }
+    CARL_ASSIGN_OR_RETURN(
+        AggregateRule rule,
+        DeriveUnifyingAggregateRule(schema, query.treatment, source_ref, agg));
+    rule.head.attribute = response_name;
+    if (!model_.FindAggregateRule(response_name).ok()) {
+      CARL_RETURN_IF_ERROR(model_.AddAggregateRule(std::move(rule)));
+      reground = true;
+    }
+  }
+
+  if (reground) {
+    CARL_ASSIGN_OR_RETURN(GroundedModel grounded,
+                          GroundModel(*instance_, model_));
+    grounded_.emplace(std::move(grounded));
+  }
+
+  const Schema& xschema = model_.extended_schema();
+  ResolvedQuery resolved;
+  resolved.response_attribute = response_name;
+  CARL_ASSIGN_OR_RETURN(resolved.request.response,
+                        xschema.FindAttribute(response_name));
+  CARL_ASSIGN_OR_RETURN(resolved.request.treatment,
+                        xschema.FindAttribute(query.treatment.attribute));
+
+  // The WHERE filter applies to the response sources (aggregate responses
+  // filter the aggregated groundings).
+  AttributeId source_attr = resolved.request.response;
+  Result<const AggregateRule*> agg_rule =
+      model_.FindAggregateRule(response_name);
+  if (agg_rule.ok()) {
+    CARL_ASSIGN_OR_RETURN(source_attr,
+                          xschema.FindAttribute((*agg_rule)->source.attribute));
+  }
+  CARL_ASSIGN_OR_RETURN(
+      resolved.request.allowed_sources,
+      EvaluateFilter(*instance_, xschema, query.where,
+                     xschema.attribute(source_attr).predicate));
+  return resolved;
+}
+
+Result<std::optional<bool>> CarlEngine::MaybeCheckCriterion(
+    const UnitTableRequest& request, const UnitTable& table,
+    const EngineOptions& options) {
+  if (!options.check_criterion) return std::optional<bool>();
+  Rng rng(options.seed);
+  size_t sample = std::min<size_t>(
+      static_cast<size_t>(std::max(1, options.criterion_sample)),
+      table.units.size());
+  std::vector<size_t> picks =
+      rng.SampleWithoutReplacement(table.units.size(), sample);
+  for (size_t idx : picks) {
+    CARL_ASSIGN_OR_RETURN(
+        bool ok, CheckAdjustmentCriterion(*grounded_, request,
+                                          table.units[idx]));
+    if (!ok) return std::optional<bool>(false);
+  }
+  return std::optional<bool>(true);
+}
+
+Result<UnitTable> CarlEngine::BuildUnitTableForQuery(
+    const CausalQuery& query, const EngineOptions& options) {
+  CARL_ASSIGN_OR_RETURN(ResolvedQuery resolved, ResolveQuery(query, options));
+  bool include_isolated =
+      query.peer_condition.has_value() ? options.include_isolated_units : true;
+  return BuildUnitTable(*grounded_, resolved.request,
+                        MakeUnitTableOptions(options, include_isolated));
+}
+
+Result<AteAnswer> CarlEngine::AnswerAte(const CausalQuery& query,
+                                        const EngineOptions& options) {
+  if (query.peer_condition.has_value()) {
+    return Status::InvalidArgument(
+        "query has a WHEN clause; use AnswerRelationalEffects");
+  }
+  CARL_ASSIGN_OR_RETURN(ResolvedQuery resolved, ResolveQuery(query, options));
+  CARL_ASSIGN_OR_RETURN(
+      UnitTable table,
+      BuildUnitTable(*grounded_, resolved.request,
+                     MakeUnitTableOptions(options, /*include_isolated=*/true)));
+
+  AteAnswer answer;
+  answer.response_attribute = resolved.response_attribute;
+  answer.num_units = table.data.num_rows();
+  answer.dropped_units = table.dropped_units;
+  answer.relational = table.relational;
+  CARL_ASSIGN_OR_RETURN(answer.naive,
+                        ComputeNaiveContrast(table, table.data));
+  CARL_ASSIGN_OR_RETURN(double point,
+                        EstimateAte(table, table.data, options.estimator));
+  answer.ate = PointEstimate(point);
+
+  if (options.bootstrap_replicates > 0) {
+    CARL_ASSIGN_OR_RETURN(
+        BootstrapResult b,
+        Bootstrap(table.data.num_rows(), options.bootstrap_replicates,
+                  options.seed, [&](const std::vector<size_t>& rows) {
+                    return EstimateAte(table, table.data.SelectRows(rows),
+                                       options.estimator);
+                  }));
+    AttachBootstrap(&answer.ate, b);
+  }
+  CARL_ASSIGN_OR_RETURN(answer.criterion_ok,
+                        MaybeCheckCriterion(resolved.request, table, options));
+  return answer;
+}
+
+Result<RelationalEffectsAnswer> CarlEngine::AnswerRelationalEffects(
+    const CausalQuery& query, const EngineOptions& options) {
+  if (!query.peer_condition.has_value()) {
+    return Status::InvalidArgument(
+        "query has no WHEN clause; use AnswerAte");
+  }
+  CARL_ASSIGN_OR_RETURN(ResolvedQuery resolved, ResolveQuery(query, options));
+  CARL_ASSIGN_OR_RETURN(
+      UnitTable table,
+      BuildUnitTable(
+          *grounded_, resolved.request,
+          MakeUnitTableOptions(options, options.include_isolated_units)));
+
+  RelationalEffectsAnswer answer;
+  answer.condition = *query.peer_condition;
+  answer.response_attribute = resolved.response_attribute;
+  answer.num_units = table.data.num_rows();
+  answer.dropped_units = table.dropped_units;
+  CARL_ASSIGN_OR_RETURN(answer.naive,
+                        ComputeNaiveContrast(table, table.data));
+  CARL_ASSIGN_OR_RETURN(
+      RelationalEffects point,
+      EstimateRelationalEffects(table, table.data, *query.peer_condition,
+                                options.estimator));
+  answer.aie = PointEstimate(point.aie);
+  answer.are = PointEstimate(point.are);
+  answer.aoe = PointEstimate(point.aoe);
+  answer.aie_psi = PointEstimate(point.aie_psi);
+
+  if (options.bootstrap_replicates > 0) {
+    auto component =
+        [&](double RelationalEffects::*member) -> Result<BootstrapResult> {
+      return Bootstrap(
+          table.data.num_rows(), options.bootstrap_replicates, options.seed,
+          [&](const std::vector<size_t>& rows) -> Result<double> {
+            CARL_ASSIGN_OR_RETURN(
+                RelationalEffects e,
+                EstimateRelationalEffects(table, table.data.SelectRows(rows),
+                                          *query.peer_condition,
+                                          options.estimator));
+            return e.*member;
+          });
+    };
+    CARL_ASSIGN_OR_RETURN(BootstrapResult b_aie,
+                          component(&RelationalEffects::aie));
+    CARL_ASSIGN_OR_RETURN(BootstrapResult b_are,
+                          component(&RelationalEffects::are));
+    CARL_ASSIGN_OR_RETURN(BootstrapResult b_aoe,
+                          component(&RelationalEffects::aoe));
+    CARL_ASSIGN_OR_RETURN(BootstrapResult b_psi,
+                          component(&RelationalEffects::aie_psi));
+    AttachBootstrap(&answer.aie, b_aie);
+    AttachBootstrap(&answer.are, b_are);
+    AttachBootstrap(&answer.aoe, b_aoe);
+    AttachBootstrap(&answer.aie_psi, b_psi);
+  }
+  CARL_ASSIGN_OR_RETURN(answer.criterion_ok,
+                        MaybeCheckCriterion(resolved.request, table, options));
+  return answer;
+}
+
+Result<QueryAnswer> CarlEngine::Answer(const CausalQuery& query,
+                                       const EngineOptions& options) {
+  QueryAnswer answer;
+  if (query.peer_condition.has_value()) {
+    CARL_ASSIGN_OR_RETURN(RelationalEffectsAnswer effects,
+                          AnswerRelationalEffects(query, options));
+    answer.effects = std::move(effects);
+  } else {
+    CARL_ASSIGN_OR_RETURN(AteAnswer ate, AnswerAte(query, options));
+    answer.ate = std::move(ate);
+  }
+  return answer;
+}
+
+Result<QueryAnswer> CarlEngine::Answer(const std::string& query_text,
+                                       const EngineOptions& options) {
+  CARL_ASSIGN_OR_RETURN(CausalQuery query, ParseQuery(query_text));
+  return Answer(query, options);
+}
+
+}  // namespace carl

@@ -1,0 +1,143 @@
+// CarlEngine: end-to-end causal query answering (paper §5).
+//
+// Pipeline per query:
+//   1. resolve treatment/response attributes; if the response lives on a
+//      different predicate than the treatment, derive the unifying
+//      aggregation along a relational path (§4.3) and re-ground;
+//   2. evaluate the query's WHERE filter into an allowed-source set;
+//   3. build the unit table (Algorithm 1) with the configured embedding;
+//   4. estimate: ATE (eq. 23) for plain queries, AIE/ARE/AOE (eq. 24–26)
+//      for WHEN ... PEERS TREATED queries;
+//   5. optional bootstrap standard errors and an optional d-separation
+//      spot check of the adjustment criterion (Theorem 5.2).
+
+#ifndef CARL_CORE_ENGINE_H_
+#define CARL_CORE_ENGINE_H_
+
+#include <limits>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "core/causal_model.h"
+#include "core/estimation.h"
+#include "core/grounding.h"
+#include "core/unit_table.h"
+#include "lang/ast.h"
+
+namespace carl {
+
+struct EngineOptions {
+  EmbeddingKind embedding = EmbeddingKind::kMean;
+  EmbeddingOptions embedding_options;
+  EstimatorKind estimator = EstimatorKind::kRegression;
+  /// 0 disables the bootstrap (std_error and CI stay NaN).
+  int bootstrap_replicates = 0;
+  uint64_t seed = 42;
+  /// Spot-check Theorem 5.2's criterion by d-separation on sampled units.
+  bool check_criterion = false;
+  int criterion_sample = 8;
+  /// Peer-effect queries drop units without peers unless set.
+  bool include_isolated_units = false;
+  /// Aggregate used when unifying treated/response units (§4.3).
+  AggregateKind unification_aggregate = AggregateKind::kAvg;
+};
+
+struct EffectEstimate {
+  double value = 0.0;
+  double std_error = std::numeric_limits<double>::quiet_NaN();
+  double ci_low = std::numeric_limits<double>::quiet_NaN();
+  double ci_high = std::numeric_limits<double>::quiet_NaN();
+  /// Bootstrap samples (empty when the bootstrap is disabled).
+  std::vector<double> samples;
+};
+
+struct AteAnswer {
+  EffectEstimate ate;
+  NaiveContrast naive;
+  size_t num_units = 0;
+  size_t dropped_units = 0;
+  bool relational = false;
+  /// Resolved response attribute (the unified aggregate when derived).
+  std::string response_attribute;
+  /// Set when options.check_criterion: true iff all sampled units passed.
+  std::optional<bool> criterion_ok;
+};
+
+struct RelationalEffectsAnswer {
+  EffectEstimate aie;
+  EffectEstimate are;
+  EffectEstimate aoe;
+  /// Embedding-sensitive isolated-effect variant (see estimation.h).
+  EffectEstimate aie_psi;
+  NaiveContrast naive;
+  PeerCondition condition;
+  size_t num_units = 0;
+  size_t dropped_units = 0;
+  std::string response_attribute;
+  std::optional<bool> criterion_ok;
+};
+
+/// Either/or depending on the query form.
+struct QueryAnswer {
+  std::optional<AteAnswer> ate;
+  std::optional<RelationalEffectsAnswer> effects;
+};
+
+class CarlEngine {
+ public:
+  /// Grounds the model against the instance. Both must outlive the engine.
+  static Result<std::unique_ptr<CarlEngine>> Create(
+      const Instance* instance, RelationalCausalModel model);
+
+  CarlEngine(const CarlEngine&) = delete;
+  CarlEngine& operator=(const CarlEngine&) = delete;
+
+  const GroundedModel& grounded() const { return *grounded_; }
+  const RelationalCausalModel& model() const { return model_; }
+
+  /// Answers an ATE or aggregated-response query (no WHEN clause).
+  Result<AteAnswer> AnswerAte(const CausalQuery& query,
+                              const EngineOptions& options = {});
+
+  /// Answers a WHEN <cnd> PEERS TREATED query.
+  Result<RelationalEffectsAnswer> AnswerRelationalEffects(
+      const CausalQuery& query, const EngineOptions& options = {});
+
+  /// Dispatches on the query form.
+  Result<QueryAnswer> Answer(const CausalQuery& query,
+                             const EngineOptions& options = {});
+  /// Parses and answers a single query string.
+  Result<QueryAnswer> Answer(const std::string& query_text,
+                             const EngineOptions& options = {});
+
+  /// Exposes the unit table a query would use (Table 1; also used by the
+  /// CATE benches to stratify rows).
+  Result<UnitTable> BuildUnitTableForQuery(const CausalQuery& query,
+                                           const EngineOptions& options = {});
+
+ private:
+  CarlEngine(const Instance* instance, RelationalCausalModel model)
+      : instance_(instance), model_(std::move(model)) {}
+
+  struct ResolvedQuery {
+    UnitTableRequest request;
+    std::string response_attribute;
+  };
+  Result<ResolvedQuery> ResolveQuery(const CausalQuery& query,
+                                     const EngineOptions& options);
+
+  Result<std::optional<bool>> MaybeCheckCriterion(
+      const UnitTableRequest& request, const UnitTable& table,
+      const EngineOptions& options);
+
+  const Instance* instance_;
+  RelationalCausalModel model_;
+  std::optional<GroundedModel> grounded_;
+};
+
+}  // namespace carl
+
+#endif  // CARL_CORE_ENGINE_H_

@@ -1,0 +1,72 @@
+// Effect estimation on unit tables (paper §5.2, eq. 33).
+//
+// Free functions so that benches can re-estimate on row subsets of a unit
+// table (bootstrap replicates, CATE strata) without rebuilding it.
+//
+// Estimators:
+//  * kRegression — OLS on y ~ t + ψ(peer treatments) + covariates; the
+//    conditional expectation of eq. (33) as a regression function.
+//  * kMatching / kIpw / kStratification — propensity-score methods with
+//    e(x) = P(t=1 | covariates, ψ(peer treatments)).
+//
+// For ATE queries on relational data the regression estimator converts the
+// all-treated-vs-none intervention into coefficients: for each unit i with
+// n_i peers, ATE_i = β_t + Σ_d β_d (ψ_d(1^{n_i}) − ψ_d(0^{n_i})), averaged
+// over units (ψ evaluated with the fitted embedding). Propensity methods
+// estimate the isolated (own-treatment) contrast, which coincides with the
+// ATE when the data has no interference.
+
+#ifndef CARL_CORE_ESTIMATION_H_
+#define CARL_CORE_ESTIMATION_H_
+
+#include <string>
+
+#include "common/result.h"
+#include "core/unit_table.h"
+#include "lang/ast.h"
+#include "relational/flat_table.h"
+
+namespace carl {
+
+enum class EstimatorKind { kRegression, kMatching, kIpw, kStratification };
+
+const char* EstimatorKindToString(EstimatorKind kind);
+Result<EstimatorKind> ParseEstimatorKind(const std::string& name);
+
+/// Point ATE estimate on `view` (the unit table's data or a row subset of
+/// it — column layout must match `meta`).
+Result<double> EstimateAte(const UnitTable& meta, const FlatTable& view,
+                           EstimatorKind kind);
+
+/// Relational / isolated / overall effects for a peer condition
+/// (paper eq. 24–26; Proposition 4.1 holds by construction: aoe=aie+are).
+struct RelationalEffects {
+  double aie = 0.0;
+  double are = 0.0;
+  double aoe = 0.0;
+  /// Isolated effect re-estimated through the ψ(peer-treatment) columns
+  /// (embedding-sensitive variant used by the Table 5 / Fig 10 ablations;
+  /// equals aie up to estimation noise).
+  double aie_psi = 0.0;
+};
+Result<RelationalEffects> EstimateRelationalEffects(const UnitTable& meta,
+                                                    const FlatTable& view,
+                                                    const PeerCondition& cond,
+                                                    EstimatorKind kind);
+
+/// Naive difference of group means plus Pearson correlation — the
+/// "correlation is not causation" columns of Table 3 / Fig 7.
+struct NaiveContrast {
+  double treated_mean = 0.0;
+  double control_mean = 0.0;
+  double difference = 0.0;
+  double correlation = 0.0;
+  size_t n_treated = 0;
+  size_t n_control = 0;
+};
+Result<NaiveContrast> ComputeNaiveContrast(const UnitTable& meta,
+                                           const FlatTable& view);
+
+}  // namespace carl
+
+#endif  // CARL_CORE_ESTIMATION_H_

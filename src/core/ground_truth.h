@@ -1,0 +1,51 @@
+// Interventional ground truth for synthetic experiments (paper §6.3).
+//
+// Given the generating StructuralModel, the true AIE/ARE/AOE/ATE are
+// computed by actual do()-surgery on the grounded graph — never by
+// hard-coding the generator's coefficients:
+//   AIE: per unit, toggle the unit's own treatment with peers at their
+//        observed assignment (eq. 24 with ~t = observed);
+//   ARE: per unit, set all the unit's peers to treated vs none treated,
+//        own treatment at its observed value (eq. 25);
+//   AOE: own=1 & peers all treated vs own=0 & peers none treated (eq. 26);
+//   ATE: two global arms, do(T = 1) everywhere vs do(T = 0) everywhere
+//        (eq. 23).
+// Both arms of each contrast share per-node exogenous noise.
+
+#ifndef CARL_CORE_GROUND_TRUTH_H_
+#define CARL_CORE_GROUND_TRUTH_H_
+
+#include <cstdint>
+
+#include "common/result.h"
+#include "core/structural_model.h"
+
+namespace carl {
+
+struct GroundTruthOptions {
+  uint64_t seed = 7;
+  /// Cap on units used for the per-unit contrasts (0 = all units).
+  size_t max_units = 0;
+};
+
+struct GroundTruthEffects {
+  double aie = 0.0;
+  double are = 0.0;
+  double aoe = 0.0;
+  double ate = 0.0;
+  size_t units_evaluated = 0;
+};
+
+/// `treatment` and `response` are attributes on the same unit predicate
+/// (run the engine's unification first when they differ; the engine's
+/// derived aggregate attribute is a valid `response` here).
+Result<GroundTruthEffects> ComputeGroundTruth(const GroundedModel& grounded,
+                                              const StructuralModel& scm,
+                                              AttributeId treatment,
+                                              AttributeId response,
+                                              const GroundTruthOptions&
+                                                  options = {});
+
+}  // namespace carl
+
+#endif  // CARL_CORE_GROUND_TRUTH_H_

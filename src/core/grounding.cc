@@ -1,0 +1,201 @@
+#include "core/grounding.h"
+
+#include <unordered_map>
+
+#include "common/logging.h"
+#include "relational/evaluator.h"
+
+namespace carl {
+namespace {
+
+// Distinguished variables of a rule: all variables appearing in the head
+// and body attribute references, in first-occurrence order.
+std::vector<std::string> DistinguishedVars(
+    const AttributeRef& head, const std::vector<const AttributeRef*>& body) {
+  std::vector<std::string> vars;
+  auto add = [&vars](const Term& t) {
+    if (!t.is_variable()) return;
+    for (const std::string& v : vars) {
+      if (v == t.text) return;
+    }
+    vars.push_back(t.text);
+  };
+  for (const Term& t : head.args) add(t);
+  for (const AttributeRef* ref : body) {
+    for (const Term& t : ref->args) add(t);
+  }
+  return vars;
+}
+
+// Resolves an attribute reference into a grounded tuple under a binding of
+// the distinguished variables. Returns false if a constant in the ref was
+// never interned (no such grounding exists).
+bool ResolveArgs(const Instance& instance, const AttributeRef& ref,
+                 const std::unordered_map<std::string, size_t>& var_slots,
+                 const Tuple& binding, Tuple* out) {
+  out->clear();
+  out->reserve(ref.args.size());
+  for (const Term& t : ref.args) {
+    if (t.is_variable()) {
+      auto it = var_slots.find(t.text);
+      CARL_CHECK(it != var_slots.end())
+          << "unbound variable in grounded ref: " << t.text;
+      out->push_back(binding[it->second]);
+    } else {
+      SymbolId id = instance.LookupConstant(t.text);
+      if (id == kInvalidSymbol) return false;
+      out->push_back(id);
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+std::optional<AggregateKind> GroundedModel::NodeAggregate(NodeId id) const {
+  CARL_CHECK(id >= 0 && static_cast<size_t>(id) < node_has_aggregate_.size());
+  if (!node_has_aggregate_[id]) return std::nullopt;
+  return node_aggregate_[id];
+}
+
+std::optional<double> GroundedModel::NodeValue(NodeId id) const {
+  CARL_CHECK(id >= 0 && static_cast<size_t>(id) < value_state_.size());
+  if (value_state_[id] == 1) return std::nullopt;
+  if (value_state_[id] == 2) return value_cache_[id];
+
+  std::optional<double> result;
+  if (node_has_aggregate_[id]) {
+    std::vector<double> parent_values;
+    for (NodeId p : graph_.Parents(id)) {
+      std::optional<double> v = NodeValue(p);
+      if (v.has_value()) parent_values.push_back(*v);
+    }
+    if (!parent_values.empty()) {
+      result = ApplyAggregate(node_aggregate_[id], parent_values);
+    }
+  } else {
+    const GroundedAttribute& g = graph_.node(id);
+    std::optional<Value> v = instance_->GetAttribute(g.attribute, g.args);
+    if (v.has_value() && v->is_numeric()) result = v->AsDouble();
+  }
+
+  if (result.has_value()) {
+    value_state_[id] = 2;
+    value_cache_[id] = *result;
+  } else {
+    value_state_[id] = 1;
+  }
+  return result;
+}
+
+std::string GroundedModel::NodeName(NodeId id) const {
+  return graph_.NodeName(id, schema(), instance_->interner());
+}
+
+Result<GroundedModel> GroundModel(const Instance& instance,
+                                  const RelationalCausalModel& model) {
+  GroundedModel grounded;
+  grounded.instance_ = &instance;
+  grounded.model_ = &model;
+
+  const Schema& schema = model.extended_schema();
+  QueryEvaluator evaluator(&instance);
+
+  // 1. A node for every grounding of every attribute. Aggregate-defined
+  // attributes are skipped here; their groundings materialize from their
+  // rules (a grounding with no sources has no value anyway, but we still
+  // add the node so response lookups are uniform).
+  for (const AttributeDef& attr : schema.attributes()) {
+    for (const Tuple& row : instance.Rows(attr.predicate)) {
+      grounded.graph_.AddNode(attr.id, row);
+    }
+  }
+
+  // 2. Ground causal rules.
+  for (const CausalRule& rule : model.rules()) {
+    std::vector<const AttributeRef*> body;
+    body.reserve(rule.body.size());
+    for (const AttributeRef& b : rule.body) body.push_back(&b);
+    std::vector<std::string> vars = DistinguishedVars(rule.head, body);
+    std::unordered_map<std::string, size_t> var_slots;
+    for (size_t i = 0; i < vars.size(); ++i) var_slots.emplace(vars[i], i);
+
+    CARL_ASSIGN_OR_RETURN(std::vector<Tuple> bindings,
+                          evaluator.Evaluate(rule.where, vars));
+    CARL_ASSIGN_OR_RETURN(AttributeId head_attr,
+                          schema.FindAttribute(rule.head.attribute));
+    std::vector<AttributeId> body_attrs;
+    for (const AttributeRef& b : rule.body) {
+      CARL_ASSIGN_OR_RETURN(AttributeId aid,
+                            schema.FindAttribute(b.attribute));
+      body_attrs.push_back(aid);
+    }
+
+    Tuple head_args, body_args;
+    for (const Tuple& binding : bindings) {
+      if (!ResolveArgs(instance, rule.head, var_slots, binding, &head_args)) {
+        continue;
+      }
+      NodeId head_node = grounded.graph_.AddNode(head_attr, head_args);
+      for (size_t b = 0; b < rule.body.size(); ++b) {
+        if (!ResolveArgs(instance, rule.body[b], var_slots, binding,
+                         &body_args)) {
+          continue;
+        }
+        NodeId body_node = grounded.graph_.AddNode(body_attrs[b], body_args);
+        grounded.graph_.AddEdge(body_node, head_node);
+      }
+      ++grounded.num_groundings_;
+    }
+  }
+
+  // 3. Ground aggregate rules.
+  for (const AggregateRule& rule : model.aggregate_rules()) {
+    std::vector<const AttributeRef*> body{&rule.source};
+    std::vector<std::string> vars = DistinguishedVars(rule.head, body);
+    std::unordered_map<std::string, size_t> var_slots;
+    for (size_t i = 0; i < vars.size(); ++i) var_slots.emplace(vars[i], i);
+
+    CARL_ASSIGN_OR_RETURN(std::vector<Tuple> bindings,
+                          evaluator.Evaluate(rule.where, vars));
+    CARL_ASSIGN_OR_RETURN(AttributeId head_attr,
+                          schema.FindAttribute(rule.head.attribute));
+    CARL_ASSIGN_OR_RETURN(AttributeId source_attr,
+                          schema.FindAttribute(rule.source.attribute));
+
+    Tuple head_args, source_args;
+    for (const Tuple& binding : bindings) {
+      if (!ResolveArgs(instance, rule.head, var_slots, binding, &head_args) ||
+          !ResolveArgs(instance, rule.source, var_slots, binding,
+                       &source_args)) {
+        continue;
+      }
+      NodeId head_node = grounded.graph_.AddNode(head_attr, head_args);
+      NodeId source_node = grounded.graph_.AddNode(source_attr, source_args);
+      grounded.graph_.AddEdge(source_node, head_node);
+      ++grounded.num_groundings_;
+    }
+  }
+
+  // 4. Tag aggregate nodes with their kind.
+  grounded.node_has_aggregate_.assign(grounded.graph_.num_nodes(), 0);
+  grounded.node_aggregate_.assign(grounded.graph_.num_nodes(),
+                                  AggregateKind::kAvg);
+  for (const AggregateRule& rule : model.aggregate_rules()) {
+    Result<AttributeId> aid = schema.FindAttribute(rule.head.attribute);
+    if (!aid.ok()) continue;
+    for (NodeId n : grounded.graph_.NodesOfAttribute(*aid)) {
+      grounded.node_has_aggregate_[n] = 1;
+      grounded.node_aggregate_[n] = rule.aggregate;
+    }
+  }
+
+  grounded.value_state_.assign(grounded.graph_.num_nodes(), 0);
+  grounded.value_cache_.assign(grounded.graph_.num_nodes(), 0.0);
+
+  // 5. The paper requires non-recursive models; reject cyclic groundings.
+  CARL_RETURN_IF_ERROR(grounded.graph_.TopologicalOrder().status());
+  return grounded;
+}
+
+}  // namespace carl

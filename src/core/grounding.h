@@ -1,0 +1,73 @@
+// Grounding (paper Def 3.5, §3.2.3): instantiate a relational causal model
+// against a relational skeleton, producing the grounded causal graph G(Φ∆).
+//
+// Every grounding of every schema attribute becomes a node (so treatment
+// attributes that never head a rule still have nodes); each satisfying
+// binding of a rule's condition adds edges body-grounding -> head-grounding.
+// Aggregate rules add edges source-grounding -> aggregate-grounding and tag
+// the head nodes with their AggregateKind.
+
+#ifndef CARL_CORE_GROUNDING_H_
+#define CARL_CORE_GROUNDING_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "core/causal_model.h"
+#include "graph/causal_graph.h"
+#include "relational/aggregates.h"
+#include "relational/instance.h"
+
+namespace carl {
+
+/// The grounded model: graph + per-node metadata + a numeric value view.
+class GroundedModel {
+ public:
+  const CausalGraph& graph() const { return graph_; }
+  const Instance& instance() const { return *instance_; }
+  const RelationalCausalModel& model() const { return *model_; }
+  const Schema& schema() const { return model_->extended_schema(); }
+
+  /// Aggregate kind of a node, when the node's attribute is defined by an
+  /// aggregate rule.
+  std::optional<AggregateKind> NodeAggregate(NodeId id) const;
+
+  /// Numeric value of a grounded attribute: base attributes read the
+  /// instance (non-numeric or missing values yield nullopt); aggregate
+  /// nodes aggregate their parents' values, yielding nullopt when no
+  /// parent has a value. Results are memoized.
+  std::optional<double> NodeValue(NodeId id) const;
+
+  /// "Attr[c1, c2]" for diagnostics.
+  std::string NodeName(NodeId id) const;
+
+  /// Number of grounded rule instantiations processed (diagnostics).
+  size_t num_groundings() const { return num_groundings_; }
+
+ private:
+  friend Result<GroundedModel> GroundModel(const Instance&,
+                                           const RelationalCausalModel&);
+
+  const Instance* instance_ = nullptr;
+  const RelationalCausalModel* model_ = nullptr;
+  CausalGraph graph_;
+  std::vector<int8_t> node_has_aggregate_;
+  std::vector<AggregateKind> node_aggregate_;
+  size_t num_groundings_ = 0;
+
+  // Value memo: 0 = unknown, 1 = missing, 2 = cached.
+  mutable std::vector<int8_t> value_state_;
+  mutable std::vector<double> value_cache_;
+};
+
+/// Grounds `model` against `instance`. Fails if the grounded graph is
+/// cyclic (recursive model) or if a rule references unknown predicates.
+/// The instance and model must outlive the result.
+Result<GroundedModel> GroundModel(const Instance& instance,
+                                  const RelationalCausalModel& model);
+
+}  // namespace carl
+
+#endif  // CARL_CORE_GROUNDING_H_

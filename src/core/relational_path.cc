@@ -1,0 +1,167 @@
+#include "core/relational_path.h"
+
+#include <algorithm>
+#include <deque>
+#include <unordered_map>
+
+#include "common/logging.h"
+#include "common/str_util.h"
+#include "relational/aggregates.h"
+
+namespace carl {
+
+Result<std::vector<PredicateId>> FindRelationalPath(const Schema& schema,
+                                                    PredicateId from,
+                                                    PredicateId to) {
+  if (from == to) return std::vector<PredicateId>{from};
+
+  // Adjacency: relationship <-> entity of each argument position.
+  std::vector<std::vector<PredicateId>> adjacency(schema.num_predicates());
+  for (const Predicate& p : schema.predicates()) {
+    if (p.kind != PredicateKind::kRelationship) continue;
+    for (const std::string& entity : p.arg_entities) {
+      Result<PredicateId> eid = schema.FindPredicate(entity);
+      if (!eid.ok()) continue;
+      adjacency[p.id].push_back(*eid);
+      adjacency[*eid].push_back(p.id);
+    }
+  }
+
+  std::vector<PredicateId> previous(schema.num_predicates(),
+                                    kInvalidPredicate);
+  std::vector<bool> visited(schema.num_predicates(), false);
+  std::deque<PredicateId> frontier{from};
+  visited[from] = true;
+  while (!frontier.empty()) {
+    PredicateId cur = frontier.front();
+    frontier.pop_front();
+    for (PredicateId next : adjacency[cur]) {
+      if (visited[next]) continue;
+      visited[next] = true;
+      previous[next] = cur;
+      if (next == to) {
+        std::vector<PredicateId> path;
+        for (PredicateId n = to; n != kInvalidPredicate; n = previous[n]) {
+          path.push_back(n);
+        }
+        std::reverse(path.begin(), path.end());
+        return path;
+      }
+      frontier.push_back(next);
+    }
+  }
+  return Status::NotFound(
+      "treated and response units are not relationally connected: " +
+      schema.predicate(from).name + " and " + schema.predicate(to).name);
+}
+
+namespace {
+
+// Finds an argument position of `rel` typed by `entity`, skipping the
+// positions listed in `used`.
+Result<int> PositionOfEntity(const Predicate& rel, const std::string& entity,
+                             const std::vector<int>& used) {
+  for (int pos = 0; pos < rel.arity(); ++pos) {
+    if (rel.arg_entities[pos] != entity) continue;
+    bool is_used = false;
+    for (int u : used) {
+      if (u == pos) is_used = true;
+    }
+    if (!is_used) return pos;
+  }
+  return Status::NotFound("relationship " + rel.name +
+                          " has no free position of entity " + entity);
+}
+
+}  // namespace
+
+Result<AggregateRule> DeriveUnifyingAggregateRule(const Schema& schema,
+                                                  const AttributeRef& treatment,
+                                                  const AttributeRef& response,
+                                                  AggregateKind aggregate) {
+  CARL_ASSIGN_OR_RETURN(AttributeId t_attr,
+                        schema.FindAttribute(treatment.attribute));
+  CARL_ASSIGN_OR_RETURN(AttributeId y_attr,
+                        schema.FindAttribute(response.attribute));
+  PredicateId t_pred = schema.attribute(t_attr).predicate;
+  PredicateId y_pred = schema.attribute(y_attr).predicate;
+  if (t_pred == y_pred) {
+    return Status::InvalidArgument(
+        "treated and response units already coincide; no unification needed");
+  }
+  CARL_ASSIGN_OR_RETURN(std::vector<PredicateId> path,
+                        FindRelationalPath(schema, t_pred, y_pred));
+
+  AggregateRule rule;
+  rule.aggregate = aggregate;
+  rule.head.attribute = std::string(AggregateKindToString(aggregate)) + "_" +
+                        response.attribute + "_unified";
+  rule.head.args = treatment.args;
+  rule.source = response;
+
+  // Assign a variable to every entity node along the path; endpoints reuse
+  // the user's variable names. Relationship nodes become atoms whose linked
+  // positions carry the neighbouring entity variables and whose remaining
+  // positions get fresh variables.
+  std::unordered_map<size_t, std::vector<Term>> node_vars;  // path idx -> vars
+  int fresh_counter = 0;
+  auto fresh_var = [&fresh_counter]() {
+    return Term::Var(StrFormat("UV%d", fresh_counter++));
+  };
+
+  for (size_t i = 0; i < path.size(); ++i) {
+    const Predicate& pred = schema.predicate(path[i]);
+    if (i == 0) {
+      node_vars[i] = treatment.args;
+    } else if (i + 1 == path.size()) {
+      node_vars[i] = response.args;
+    } else if (pred.kind == PredicateKind::kEntity) {
+      node_vars[i] = {fresh_var()};
+    }
+    // Interior relationship nodes are filled in below once their
+    // neighbours' variables are known.
+  }
+
+  for (size_t i = 0; i < path.size(); ++i) {
+    const Predicate& pred = schema.predicate(path[i]);
+    if (pred.kind != PredicateKind::kRelationship) continue;
+
+    std::vector<Term> args;
+    if (node_vars.count(i)) {
+      // Endpoint relationship: the attribute's own argument variables.
+      args = node_vars[i];
+    } else {
+      args.assign(pred.arity(), Term());
+      std::vector<int> used;
+      // Link to the previous and next entity nodes on the path.
+      for (int delta : {-1, +1}) {
+        size_t j = i + static_cast<size_t>(delta);
+        if (j >= path.size()) continue;
+        const Predicate& neighbor = schema.predicate(path[j]);
+        if (neighbor.kind != PredicateKind::kEntity) continue;
+        CARL_ASSIGN_OR_RETURN(int pos,
+                              PositionOfEntity(pred, neighbor.name, used));
+        used.push_back(pos);
+        CARL_CHECK(node_vars.count(j)) << "entity node missing variable";
+        args[static_cast<size_t>(pos)] = node_vars[j][0];
+      }
+      for (size_t pos = 0; pos < args.size(); ++pos) {
+        if (args[pos].text.empty()) args[pos] = fresh_var();
+      }
+    }
+    Atom atom;
+    atom.predicate = pred.name;
+    atom.args = std::move(args);
+    rule.where.atoms.push_back(std::move(atom));
+  }
+
+  // Endpoint entities adjacent to endpoint relationships: if the treatment
+  // sits on an entity and the first relationship on the path references it,
+  // the shared variable already links them (handled above via node_vars).
+  // When the path endpoint is an entity adjacent to a relationship that is
+  // itself an endpoint (e.g. T on Author(A,S)), the linking happens through
+  // the shared user variables.
+  return rule;
+}
+
+}  // namespace carl

@@ -1,0 +1,43 @@
+// Relational paths (paper Def 4.2) and unit unification (§4.3).
+//
+// When the treated units and response units live in different predicates
+// (authors vs submissions), CaRL unifies them by aggregating the response
+// along a relational path connecting the two predicates — rule (21). This
+// module finds a shortest such path in the schema and derives the
+// corresponding aggregate rule, e.g. for Prestige[A] and Score[S]:
+//
+//   AVG_Score_unified[A] <= Score[S] WHERE Author(A, S)
+
+#ifndef CARL_CORE_RELATIONAL_PATH_H_
+#define CARL_CORE_RELATIONAL_PATH_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "lang/ast.h"
+#include "relational/schema.h"
+
+namespace carl {
+
+/// A shortest path between two predicates in the schema graph, where each
+/// relationship is adjacent to the entities of its argument positions.
+/// The result lists predicate ids from source to target (alternating
+/// entity / relationship, possibly starting or ending at a relationship).
+Result<std::vector<PredicateId>> FindRelationalPath(const Schema& schema,
+                                                    PredicateId from,
+                                                    PredicateId to);
+
+/// Derives the aggregate rule that maps `response` onto the units of
+/// `treatment` along a shortest relational path (paper rule (21)).
+/// `aggregate` is the response-combining function (the paper uses AVG).
+/// The head attribute is named "<AGG>_<response>_unified".
+/// Fails if the two predicates are not relationally connected.
+Result<AggregateRule> DeriveUnifyingAggregateRule(const Schema& schema,
+                                                  const AttributeRef& treatment,
+                                                  const AttributeRef& response,
+                                                  AggregateKind aggregate);
+
+}  // namespace carl
+
+#endif  // CARL_CORE_RELATIONAL_PATH_H_

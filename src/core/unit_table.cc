@@ -1,0 +1,368 @@
+#include "core/unit_table.h"
+
+#include <algorithm>
+#include <cmath>
+#include <deque>
+#include <map>
+
+#include "common/logging.h"
+#include "common/str_util.h"
+
+namespace carl {
+
+std::vector<std::string> UnitTable::AllCovariateCols() const {
+  std::vector<std::string> cols = own_covariate_cols;
+  cols.insert(cols.end(), peer_covariate_cols.begin(),
+              peer_covariate_cols.end());
+  return cols;
+}
+
+namespace {
+
+// Everything Algorithm 1 needs about one unit, resolved against the graph.
+struct UnitContext {
+  NodeId t_node = kInvalidNode;
+  double t_value = 0.0;
+  double y_value = 0.0;
+  // Response grounding(s): the node itself for base responses, or the
+  // (filtered) source parents for aggregate responses.
+  NodeId y_node = kInvalidNode;
+  std::vector<NodeId> y_sources;          // empty for base responses
+  std::vector<NodeId> peer_t_nodes;       // sorted, deduplicated
+  std::vector<NodeId> own_cov_nodes;      // observed parents of T[x]
+  std::vector<NodeId> peer_cov_nodes;     // observed parents of peer T's
+};
+
+struct RequestPlan {
+  AttributeId treatment;
+  AttributeId response;
+  AttributeId response_source = kInvalidAttribute;  // for aggregates
+  std::optional<AggregateKind> response_aggregate;
+  const std::unordered_set<Tuple, TupleHash>* allowed_sources = nullptr;
+};
+
+Result<RequestPlan> PlanRequest(const GroundedModel& grounded,
+                                const UnitTableRequest& request) {
+  const Schema& schema = grounded.schema();
+  if (request.treatment == kInvalidAttribute ||
+      request.response == kInvalidAttribute) {
+    return Status::InvalidArgument("unit table needs treatment and response");
+  }
+  const AttributeDef& t_def = schema.attribute(request.treatment);
+  const AttributeDef& y_def = schema.attribute(request.response);
+  if (t_def.predicate != y_def.predicate) {
+    return Status::FailedPrecondition(
+        "response " + y_def.name + " is not on the treatment's predicate " +
+        schema.predicate(t_def.predicate).name +
+        "; unify treated and response units first (see §4.3)");
+  }
+  RequestPlan plan;
+  plan.treatment = request.treatment;
+  plan.response = request.response;
+  if (request.allowed_sources.has_value()) {
+    plan.allowed_sources = &*request.allowed_sources;
+  }
+  Result<const AggregateRule*> agg =
+      grounded.model().FindAggregateRule(y_def.name);
+  if (agg.ok()) {
+    plan.response_aggregate = (*agg)->aggregate;
+    CARL_ASSIGN_OR_RETURN(plan.response_source,
+                          schema.FindAttribute((*agg)->source.attribute));
+  }
+  return plan;
+}
+
+bool SourceAllowed(const RequestPlan& plan, const GroundedAttribute& g) {
+  if (plan.allowed_sources == nullptr) return true;
+  return plan.allowed_sources->count(g.args) > 0;
+}
+
+// Collects the treatment-attribute ancestors of `starts` (excluding
+// `self`), i.e. the relational peers' treatment nodes (Def 4.3: p is a
+// peer of x iff a directed path T[p] -> Y[x] exists).
+std::vector<NodeId> PeerTreatmentNodes(const CausalGraph& graph,
+                                       AttributeId treatment,
+                                       const std::vector<NodeId>& starts,
+                                       NodeId self) {
+  std::vector<NodeId> peers;
+  std::unordered_set<NodeId> visited;
+  std::deque<NodeId> frontier;
+  for (NodeId s : starts) {
+    if (visited.insert(s).second) frontier.push_back(s);
+  }
+  while (!frontier.empty()) {
+    NodeId n = frontier.front();
+    frontier.pop_front();
+    if (n != self && graph.node(n).attribute == treatment) {
+      peers.push_back(n);
+    }
+    for (NodeId p : graph.Parents(n)) {
+      if (visited.insert(p).second) frontier.push_back(p);
+    }
+  }
+  std::sort(peers.begin(), peers.end());
+  return peers;
+}
+
+// Observed, valued parents of `t_node`, excluding treatment-attribute
+// nodes (those are carried by the t / peer_t columns).
+void CollectCovariateParents(const GroundedModel& grounded, NodeId t_node,
+                             AttributeId treatment,
+                             std::unordered_set<NodeId>* seen,
+                             std::vector<NodeId>* out) {
+  for (NodeId p : grounded.graph().Parents(t_node)) {
+    if (grounded.graph().node(p).attribute == treatment) continue;
+    if (!grounded.NodeValue(p).has_value()) continue;
+    if (seen->insert(p).second) out->push_back(p);
+  }
+}
+
+Result<std::optional<UnitContext>> ComputeUnitContext(
+    const GroundedModel& grounded, const RequestPlan& plan,
+    const Tuple& unit) {
+  const CausalGraph& graph = grounded.graph();
+  UnitContext ctx;
+
+  ctx.t_node = graph.FindNode(plan.treatment, unit);
+  if (ctx.t_node == kInvalidNode) return std::optional<UnitContext>();
+  std::optional<double> t = grounded.NodeValue(ctx.t_node);
+  if (!t.has_value()) return std::optional<UnitContext>();
+  if (*t != 0.0 && *t != 1.0) {
+    return Status::InvalidArgument(StrFormat(
+        "treatment must be binary 0/1; unit %s has value %g",
+        grounded.NodeName(ctx.t_node).c_str(), *t));
+  }
+  ctx.t_value = *t;
+
+  ctx.y_node = graph.FindNode(plan.response, unit);
+  if (ctx.y_node == kInvalidNode) return std::optional<UnitContext>();
+
+  std::vector<NodeId> response_starts;
+  if (plan.response_aggregate.has_value()) {
+    std::vector<double> source_values;
+    for (NodeId p : graph.Parents(ctx.y_node)) {
+      const GroundedAttribute& g = graph.node(p);
+      if (g.attribute != plan.response_source) continue;
+      if (!SourceAllowed(plan, g)) continue;
+      std::optional<double> v = grounded.NodeValue(p);
+      if (!v.has_value()) continue;
+      ctx.y_sources.push_back(p);
+      source_values.push_back(*v);
+    }
+    if (source_values.empty()) return std::optional<UnitContext>();
+    ctx.y_value = ApplyAggregate(*plan.response_aggregate, source_values);
+    response_starts = ctx.y_sources;
+  } else {
+    if (!SourceAllowed(plan, graph.node(ctx.y_node))) {
+      return std::optional<UnitContext>();
+    }
+    std::optional<double> y = grounded.NodeValue(ctx.y_node);
+    if (!y.has_value()) return std::optional<UnitContext>();
+    ctx.y_value = *y;
+    response_starts = {ctx.y_node};
+  }
+
+  ctx.peer_t_nodes =
+      PeerTreatmentNodes(graph, plan.treatment, response_starts, ctx.t_node);
+
+  std::unordered_set<NodeId> seen;
+  CollectCovariateParents(grounded, ctx.t_node, plan.treatment, &seen,
+                          &ctx.own_cov_nodes);
+  for (NodeId p : ctx.peer_t_nodes) {
+    CollectCovariateParents(grounded, p, plan.treatment, &seen,
+                            &ctx.peer_cov_nodes);
+  }
+  return std::optional<UnitContext>(std::move(ctx));
+}
+
+}  // namespace
+
+Result<UnitTable> BuildUnitTable(const GroundedModel& grounded,
+                                 const UnitTableRequest& request,
+                                 const UnitTableOptions& options) {
+  CARL_ASSIGN_OR_RETURN(RequestPlan plan, PlanRequest(grounded, request));
+  const Schema& schema = grounded.schema();
+  const std::vector<Tuple>& units =
+      grounded.instance().Rows(schema.attribute(plan.treatment).predicate);
+
+  // Pass 1: resolve every unit, keep contexts and raw groups for fitting.
+  std::vector<const Tuple*> kept_units;
+  std::vector<UnitContext> contexts;
+  size_t dropped = 0;
+  for (const Tuple& unit : units) {
+    CARL_ASSIGN_OR_RETURN(std::optional<UnitContext> ctx,
+                          ComputeUnitContext(grounded, plan, unit));
+    if (!ctx.has_value()) {
+      ++dropped;
+      continue;
+    }
+    if (!options.include_isolated_units && ctx->peer_t_nodes.empty()) {
+      ++dropped;
+      continue;
+    }
+    kept_units.push_back(&unit);
+    contexts.push_back(std::move(*ctx));
+  }
+  if (contexts.empty()) {
+    return Status::FailedPrecondition(
+        "no unit has both treatment and response values");
+  }
+
+  UnitTable table;
+  table.embedding_kind = options.embedding;
+  table.dropped_units = dropped;
+
+  // Group raw vectors: peers' treatments, own covariates per attribute,
+  // peers' covariates per attribute. std::map keeps column order stable.
+  size_t n = contexts.size();
+  std::vector<std::vector<double>> peer_t_groups(n);
+  std::map<AttributeId, std::vector<std::vector<double>>> own_groups;
+  std::map<AttributeId, std::vector<std::vector<double>>> peer_groups;
+
+  auto group_values = [&](const std::vector<NodeId>& nodes,
+                          std::map<AttributeId,
+                                   std::vector<std::vector<double>>>* groups,
+                          size_t row) {
+    for (NodeId node : nodes) {
+      AttributeId attr = grounded.graph().node(node).attribute;
+      auto [it, inserted] = groups->try_emplace(attr);
+      if (inserted) it->second.resize(n);
+      std::optional<double> v = grounded.NodeValue(node);
+      CARL_DCHECK(v.has_value());
+      it->second[row].push_back(*v);
+    }
+  };
+
+  for (size_t r = 0; r < n; ++r) {
+    const UnitContext& ctx = contexts[r];
+    for (NodeId p : ctx.peer_t_nodes) {
+      std::optional<double> v = grounded.NodeValue(p);
+      if (v.has_value()) peer_t_groups[r].push_back(*v);
+    }
+    group_values(ctx.own_cov_nodes, &own_groups, r);
+    group_values(ctx.peer_cov_nodes, &peer_groups, r);
+    if (!ctx.peer_t_nodes.empty()) table.relational = true;
+  }
+  // Late-joining attribute groups need resizing to n (try_emplace above
+  // resizes at first sight, which may be after row 0).
+  for (auto& [attr, groups] : own_groups) groups.resize(n);
+  for (auto& [attr, groups] : peer_groups) groups.resize(n);
+
+  // Pass 2: fit embeddings and emit columns.
+  std::vector<std::string> col_names{"y", "t"};
+  std::shared_ptr<Embedding> peer_t_embedding;
+  std::map<AttributeId, std::unique_ptr<Embedding>> own_embeddings;
+  std::map<AttributeId, std::unique_ptr<Embedding>> peer_embeddings;
+
+  if (table.relational) {
+    table.peer_count_col = "peer_count";
+    table.peer_treated_count_col = "peer_treated_count";
+    col_names.push_back(table.peer_count_col);
+    col_names.push_back(table.peer_treated_count_col);
+
+    peer_t_embedding =
+        MakeEmbedding(options.embedding, options.embedding_options);
+    peer_t_embedding->Fit(peer_t_groups);
+    for (const std::string& dim : peer_t_embedding->DimNames()) {
+      std::string name = "peer_t_" + dim;
+      table.peer_t_cols.push_back(name);
+      col_names.push_back(name);
+    }
+    table.peer_t_embedding = peer_t_embedding;
+  }
+
+  auto make_cov_embeddings =
+      [&](const std::map<AttributeId, std::vector<std::vector<double>>>&
+              groups,
+          std::map<AttributeId, std::unique_ptr<Embedding>>* embeddings,
+          const std::string& prefix, std::vector<std::string>* col_list) {
+        for (const auto& [attr, group] : groups) {
+          std::unique_ptr<Embedding> e =
+              MakeEmbedding(options.embedding, options.embedding_options);
+          e->Fit(group);
+          const std::string& attr_name = schema.attribute(attr).name;
+          for (const std::string& dim : e->DimNames()) {
+            std::string name = prefix + attr_name + "_" + dim;
+            col_list->push_back(name);
+            col_names.push_back(name);
+          }
+          (*embeddings)[attr] = std::move(e);
+        }
+      };
+  make_cov_embeddings(own_groups, &own_embeddings, "own_",
+                      &table.own_covariate_cols);
+  make_cov_embeddings(peer_groups, &peer_embeddings, "peer_",
+                      &table.peer_covariate_cols);
+
+  table.data = FlatTable(col_names);
+  std::vector<double> row;
+  for (size_t r = 0; r < n; ++r) {
+    const UnitContext& ctx = contexts[r];
+    row.clear();
+    row.push_back(ctx.y_value);
+    row.push_back(ctx.t_value);
+    if (table.relational) {
+      double treated = 0.0;
+      for (double v : peer_t_groups[r]) treated += (v != 0.0) ? 1.0 : 0.0;
+      row.push_back(static_cast<double>(peer_t_groups[r].size()));
+      row.push_back(treated);
+      for (double v : peer_t_embedding->Apply(peer_t_groups[r])) {
+        row.push_back(v);
+      }
+    }
+    for (const auto& [attr, embedding] : own_embeddings) {
+      for (double v : embedding->Apply(own_groups.at(attr)[r])) {
+        row.push_back(v);
+      }
+    }
+    for (const auto& [attr, embedding] : peer_embeddings) {
+      for (double v : embedding->Apply(peer_groups.at(attr)[r])) {
+        row.push_back(v);
+      }
+    }
+    table.data.AddRow(row);
+    table.units.push_back(*kept_units[r]);
+  }
+  return table;
+}
+
+Result<bool> CheckAdjustmentCriterion(const GroundedModel& grounded,
+                                      const UnitTableRequest& request,
+                                      const Tuple& unit) {
+  CARL_ASSIGN_OR_RETURN(RequestPlan plan, PlanRequest(grounded, request));
+  CARL_ASSIGN_OR_RETURN(std::optional<UnitContext> ctx,
+                        ComputeUnitContext(grounded, plan, unit));
+  if (!ctx.has_value()) {
+    return Status::NotFound("unit has no treatment/response values");
+  }
+
+  const CausalGraph& graph = grounded.graph();
+  // S' = the unit and its peers; condition on their treatment nodes plus
+  // the observed-parent covariate set Z.
+  std::vector<NodeId> conditioning{ctx->t_node};
+  conditioning.insert(conditioning.end(), ctx->peer_t_nodes.begin(),
+                      ctx->peer_t_nodes.end());
+  conditioning.insert(conditioning.end(), ctx->own_cov_nodes.begin(),
+                      ctx->own_cov_nodes.end());
+  conditioning.insert(conditioning.end(), ctx->peer_cov_nodes.begin(),
+                      ctx->peer_cov_nodes.end());
+
+  // X = all parents (observed or latent) of the treatment nodes.
+  std::vector<NodeId> all_parents;
+  std::unordered_set<NodeId> seen;
+  auto add_parents = [&](NodeId t_node) {
+    for (NodeId p : graph.Parents(t_node)) {
+      if (seen.insert(p).second) all_parents.push_back(p);
+    }
+  };
+  add_parents(ctx->t_node);
+  for (NodeId p : ctx->peer_t_nodes) add_parents(p);
+  if (all_parents.empty()) return true;  // exogenous treatment
+
+  std::vector<NodeId> response_side =
+      ctx->y_sources.empty() ? std::vector<NodeId>{ctx->y_node}
+                             : ctx->y_sources;
+  return DSeparated(graph, response_side, all_parents, conditioning);
+}
+
+}  // namespace carl

@@ -1,0 +1,99 @@
+// Unit-table construction — Algorithm 1 of the paper (§5.2.1, Table 1).
+//
+// Given a grounded model, a binary treatment attribute T and a response
+// attribute Y on the same unit predicate (after unification, §4.3), each
+// unit x contributes one row:
+//
+//   y                     response value (aggregate nodes aggregate their
+//                         — possibly query-filtered — source groundings)
+//   t                     the unit's own treatment
+//   peer_count            |P(x)|  (relational peers, Def 4.3)
+//   peer_treated_count    number of treated peers
+//   peer_t_<dim>          ψ(treatments of P(x))        [relational only]
+//   own_<Attr>_<dim>      ψ(values of Pa(T[x]) of attribute Attr)
+//   peer_<Attr>_<dim>     ψ(values of ∪_{p∈P(x)} Pa(T[p]) of Attr)
+//
+// The covariate columns realize the sufficient adjustment set of Theorem
+// 5.2 (parents of the treated units' treatment nodes), embedded per §5.2.2.
+
+#ifndef CARL_CORE_UNIT_TABLE_H_
+#define CARL_CORE_UNIT_TABLE_H_
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+#include "common/result.h"
+#include "core/embedding.h"
+#include "core/grounding.h"
+#include "relational/flat_table.h"
+
+namespace carl {
+
+struct UnitTableOptions {
+  EmbeddingKind embedding = EmbeddingKind::kMean;
+  EmbeddingOptions embedding_options;
+  /// Keep units with no relational peers (always kept for plain ATE
+  /// queries; peer-effect queries typically drop them).
+  bool include_isolated_units = true;
+};
+
+struct UnitTableRequest {
+  /// Treatment attribute (binary) in the extended schema.
+  AttributeId treatment = kInvalidAttribute;
+  /// Response attribute: either a base attribute on the treatment's
+  /// predicate or an aggregate-defined attribute on that predicate.
+  AttributeId response = kInvalidAttribute;
+  /// When set, only these groundings of the response *source* attribute
+  /// (for aggregate responses) or of the response itself (base responses)
+  /// are used — the query's WHERE filter.
+  std::optional<std::unordered_set<Tuple, TupleHash>> allowed_sources;
+};
+
+/// The flat single-table output of Algorithm 1, plus column bookkeeping.
+struct UnitTable {
+  FlatTable data;
+  /// Unit tuple per row (parallel to data rows).
+  std::vector<Tuple> units;
+
+  std::string y_col = "y";
+  std::string t_col = "t";
+  std::string peer_count_col;          ///< set iff relational
+  std::string peer_treated_count_col;  ///< set iff relational
+  std::vector<std::string> peer_t_cols;
+  std::vector<std::string> own_covariate_cols;
+  std::vector<std::string> peer_covariate_cols;
+
+  /// True if any unit has at least one relational peer.
+  bool relational = false;
+  /// Units dropped for missing treatment/response values.
+  size_t dropped_units = 0;
+  /// The fitted embedding used for the peers' treatment vector; needed by
+  /// estimators to evaluate ψ under counterfactual peer assignments.
+  std::shared_ptr<const Embedding> peer_t_embedding;
+  EmbeddingKind embedding_kind = EmbeddingKind::kMean;
+
+  std::vector<std::string> AllCovariateCols() const;
+};
+
+/// Runs Algorithm 1. Fails if the response is not on the treatment's
+/// predicate (unify first), or if the treatment is not binary 0/1.
+Result<UnitTable> BuildUnitTable(const GroundedModel& grounded,
+                                 const UnitTableRequest& request,
+                                 const UnitTableOptions& options = {});
+
+/// Spot-checks the relational adjustment criterion (Theorem 5.2, eq. 29)
+/// for one unit: with Z = the observed parents of the treatment nodes of
+/// the unit and its peers, and conditioning additionally on those
+/// treatment nodes, the response grounding must be d-separated from *all*
+/// parents (observed or not) of those treatment nodes. Returns true when
+/// the criterion holds (identifiability witness).
+Result<bool> CheckAdjustmentCriterion(const GroundedModel& grounded,
+                                      const UnitTableRequest& request,
+                                      const Tuple& unit);
+
+}  // namespace carl
+
+#endif  // CARL_CORE_UNIT_TABLE_H_

@@ -1,0 +1,27 @@
+// Dataset: a generated schema + instance + CaRL model text, the common
+// product of every generator in this directory.
+
+#ifndef CARL_DATAGEN_DATASET_H_
+#define CARL_DATAGEN_DATASET_H_
+
+#include <memory>
+#include <string>
+
+#include "relational/instance.h"
+#include "relational/schema.h"
+
+namespace carl {
+namespace datagen {
+
+struct Dataset {
+  /// Heap-allocated so the instance's schema pointer stays valid on move.
+  std::unique_ptr<Schema> schema;
+  std::unique_ptr<Instance> instance;
+  /// CaRL program text with the dataset's relational causal rules.
+  std::string model_text;
+};
+
+}  // namespace datagen
+}  // namespace carl
+
+#endif  // CARL_DATAGEN_DATASET_H_

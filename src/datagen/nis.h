@@ -1,0 +1,44 @@
+// Simulated NIS — Nationwide Inpatient Sample (paper §6.1): hospital
+// admissions with a 16-rule causal model over hospitals and patients.
+//
+// The headline experiment (paper eq. 35, Table 3 row "NIS 1") asks whether
+// large hospitals charge more. Generatively: severe/surgical patients are
+// routed to large hospitals AND run up larger bills (confounding), while
+// all else equal a large hospital is CHEAPER (economies of scale, the
+// meta-analysis [10] the paper cites). The naive contrast is therefore
+// strongly positive while the true effect is negative — the paper's
+// Simpson-style reversal (+33% naive vs −10% ATE).
+//
+// Substitution (DESIGN.md): HCUP distributes NIS under a data-use
+// agreement; this simulator reproduces the hospital/admission schema
+// fragment at configurable scale (default 1,035 hospitals / 200k
+// admissions vs the paper's 8M).
+
+#ifndef CARL_DATAGEN_NIS_H_
+#define CARL_DATAGEN_NIS_H_
+
+#include <cstdint>
+
+#include "common/result.h"
+#include "datagen/dataset.h"
+
+namespace carl {
+namespace datagen {
+
+struct NisConfig {
+  size_t num_hospitals = 1035;
+  size_t num_admissions = 200000;
+  /// Fraction of hospitals classified as large (bedsize category).
+  double large_fraction = 0.35;
+  /// True effect of admission-to-large on P(high bill): negative.
+  double large_highbill_effect = -0.10;
+  uint64_t seed = 19;
+};
+
+/// Query from the paper (eq. 35): "HighBill[P] <= AdmittedToLarge[P]?".
+Result<Dataset> GenerateNis(const NisConfig& config);
+
+}  // namespace datagen
+}  // namespace carl
+
+#endif  // CARL_DATAGEN_NIS_H_

@@ -1,0 +1,228 @@
+#include "datagen/review.h"
+
+#include <cmath>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "common/rng.h"
+#include "common/str_util.h"
+#include "core/causal_model.h"
+#include "core/grounding.h"
+#include "stats/logistic.h"
+
+namespace carl {
+namespace datagen {
+
+ReviewConfig RealisticReviewConfig() {
+  ReviewConfig config;
+  config.num_authors = 4490;
+  config.num_institutions = 150;
+  config.num_papers = 2075;
+  config.num_venues = 10;
+  config.single_blind_fraction = 0.5;
+  config.mean_collaborators = 3.0;
+  config.tau_iso_single = 0.5;
+  config.tau_iso_double = 0.0;
+  config.tau_rel = 0.25;
+  config.quality_weight = 1.0;
+  config.score_noise = 0.6;
+  config.seed = 7;
+  return config;
+}
+
+namespace {
+
+Result<Dataset> BuildSchemaAndModel() {
+  Dataset data;
+  data.schema = std::make_unique<Schema>();
+  Schema& schema = *data.schema;
+
+  CARL_RETURN_IF_ERROR(schema.AddEntity("Person").status());
+  CARL_RETURN_IF_ERROR(schema.AddEntity("Submission").status());
+  CARL_RETURN_IF_ERROR(schema.AddEntity("Conference").status());
+  CARL_RETURN_IF_ERROR(
+      schema.AddRelationship("Author", {"Person", "Submission"}).status());
+  CARL_RETURN_IF_ERROR(
+      schema.AddRelationship("Collaborator", {"Person", "Person"}).status());
+  CARL_RETURN_IF_ERROR(
+      schema.AddRelationship("Submitted", {"Submission", "Conference"})
+          .status());
+
+  CARL_RETURN_IF_ERROR(
+      schema.AddAttribute("Qualification", "Person", true, ValueType::kDouble)
+          .status());
+  CARL_RETURN_IF_ERROR(
+      schema.AddAttribute("Prestige", "Person", true, ValueType::kBool)
+          .status());
+  CARL_RETURN_IF_ERROR(
+      schema
+          .AddAttribute("CollabPrestigious", "Person", /*observed=*/false,
+                        ValueType::kDouble)
+          .status());
+  CARL_RETURN_IF_ERROR(
+      schema
+          .AddAttribute("Quality", "Submission", /*observed=*/false,
+                        ValueType::kDouble)
+          .status());
+  CARL_RETURN_IF_ERROR(
+      schema.AddAttribute("Score", "Submission", true, ValueType::kDouble)
+          .status());
+  CARL_RETURN_IF_ERROR(
+      schema.AddAttribute("Blind", "Conference", true, ValueType::kBool)
+          .status());
+
+  data.instance = std::make_unique<Instance>(data.schema.get());
+
+  data.model_text = R"(
+    # Relational causal model for REVIEWDATA (paper Example 3.4, extended
+    # with the collaborator channel). Blind[C] = true means single-blind.
+    Prestige[A] <= Qualification[A] WHERE Person(A)
+    CollabPrestigious[A] <= Prestige[B] WHERE Collaborator(A, B)
+    Quality[S] <= Qualification[A] WHERE Author(A, S)
+    Score[S] <= Quality[S] WHERE Submission(S)
+    Score[S] <= Prestige[A] WHERE Author(A, S)
+    Score[S] <= CollabPrestigious[A] WHERE Author(A, S)
+    Score[S] <= Blind[C] WHERE Submitted(S, C)
+    AVG_Score[A] <= Score[S] WHERE Author(A, S)
+  )";
+  return data;
+}
+
+}  // namespace
+
+Result<ReviewData> GenerateReviewData(const ReviewConfig& config) {
+  ReviewData out;
+  out.config = config;
+  CARL_ASSIGN_OR_RETURN(out.dataset, BuildSchemaAndModel());
+  Instance& db = *out.dataset.instance;
+  Rng rng(config.seed);
+
+  // --- Skeleton -----------------------------------------------------------
+  // Authors with institutions; qualification (h-index-like) drawn up front
+  // so productivity and collaboration can correlate with it.
+  std::vector<SymbolId> authors(config.num_authors);
+  std::vector<size_t> institution(config.num_authors);
+  std::vector<double> qualification(config.num_authors);
+  std::vector<std::vector<size_t>> inst_members(config.num_institutions);
+  std::unordered_map<SymbolId, double> qual_by_symbol;
+  for (size_t a = 0; a < config.num_authors; ++a) {
+    std::string name = StrFormat("a%zu", a);
+    authors[a] = db.Intern(name);
+    CARL_RETURN_IF_ERROR(db.AddFact("Person", {name}));
+    institution[a] = static_cast<size_t>(
+        rng.UniformInt(0, static_cast<int64_t>(config.num_institutions) - 1));
+    inst_members[institution[a]].push_back(a);
+    // Gamma-ish heavy tail: sum of two exponentials, mean ~20.
+    qualification[a] = -10.0 * std::log(rng.Uniform(1e-9, 1.0)) -
+                       10.0 * std::log(rng.Uniform(1e-9, 1.0));
+    qual_by_symbol[authors[a]] = qualification[a];
+  }
+
+  // Collaboration graph: homophilous within institutions; symmetric.
+  std::unordered_set<uint64_t> collab_pairs;
+  auto add_collab = [&](size_t a, size_t b) -> Status {
+    if (a == b) return Status::OK();
+    uint64_t key = (static_cast<uint64_t>(std::min(a, b)) << 32) |
+                   static_cast<uint32_t>(std::max(a, b));
+    if (!collab_pairs.insert(key).second) return Status::OK();
+    const std::string& na = db.ConstantName(authors[a]);
+    const std::string& nb = db.ConstantName(authors[b]);
+    CARL_RETURN_IF_ERROR(db.AddFact("Collaborator", {na, nb}));
+    CARL_RETURN_IF_ERROR(db.AddFact("Collaborator", {nb, na}));
+    return Status::OK();
+  };
+  for (size_t a = 0; a < config.num_authors; ++a) {
+    int64_t k = rng.Poisson(config.mean_collaborators / 2.0);
+    for (int64_t i = 0; i < k; ++i) {
+      size_t b;
+      const std::vector<size_t>& same = inst_members[institution[a]];
+      if (rng.Bernoulli(config.homophily) && same.size() > 1) {
+        b = same[static_cast<size_t>(
+            rng.UniformInt(0, static_cast<int64_t>(same.size()) - 1))];
+      } else {
+        b = static_cast<size_t>(
+            rng.UniformInt(0, static_cast<int64_t>(config.num_authors) - 1));
+      }
+      CARL_RETURN_IF_ERROR(add_collab(a, b));
+    }
+  }
+
+  // Venues: fixed blind policy per venue.
+  std::vector<bool> venue_single(config.num_venues);
+  for (size_t v = 0; v < config.num_venues; ++v) {
+    std::string name = StrFormat("conf%zu", v);
+    CARL_RETURN_IF_ERROR(db.AddFact("Conference", {name}));
+    venue_single[v] =
+        (static_cast<double>(v) + 0.5) / static_cast<double>(config.num_venues)
+            < config.single_blind_fraction;
+    CARL_RETURN_IF_ERROR(
+        db.SetAttribute("Blind", {name}, Value(venue_single[v])));
+  }
+
+  // Papers: productive (highly qualified) authors write more papers.
+  std::vector<double> productivity(config.num_authors);
+  for (size_t a = 0; a < config.num_authors; ++a) {
+    productivity[a] = 1.0 + qualification[a];
+  }
+  for (size_t p = 0; p < config.num_papers; ++p) {
+    std::string name = StrFormat("p%zu", p);
+    CARL_RETURN_IF_ERROR(db.AddFact("Submission", {name}));
+    size_t a = rng.Categorical(productivity);
+    CARL_RETURN_IF_ERROR(
+        db.AddFact("Author", {db.ConstantName(authors[a]), name}));
+    size_t v = static_cast<size_t>(
+        rng.UniformInt(0, static_cast<int64_t>(config.num_venues) - 1));
+    CARL_RETURN_IF_ERROR(db.AddFact("Submitted", {name, StrFormat("conf%zu", v)}));
+  }
+
+  // --- Structural causal model ---------------------------------------------
+  // Blind is exogenous and already written to the instance; nodes without
+  // an equation fall back to their observed value during simulation.
+  const ReviewConfig cfg = config;
+  out.scm.Define("Qualification",
+                 [qual_by_symbol](const Tuple& unit, const ParentView&, Rng&) {
+                   return qual_by_symbol.at(unit[0]);
+                 });
+  out.scm.Define("Prestige",
+                 [](const Tuple&, const ParentView& parents, Rng& rng) {
+                   double qual = parents.Mean("Qualification");
+                   double p = Sigmoid(0.08 * (qual - 25.0));
+                   return rng.Bernoulli(p) ? 1.0 : 0.0;
+                 });
+  out.scm.Define("CollabPrestigious",
+                 [](const Tuple&, const ParentView& parents, Rng&) {
+                   return parents.FractionNonzero("Prestige", 0.0);
+                 });
+  out.scm.Define("Quality",
+                 [](const Tuple&, const ParentView& parents, Rng& rng) {
+                   double qual = parents.Mean("Qualification", 20.0);
+                   return (qual - 20.0) / 15.0 + rng.Normal(0.0, 0.5);
+                 });
+  out.scm.Define(
+      "Score", [cfg](const Tuple&, const ParentView& parents, Rng& rng) {
+        double quality = parents.Mean("Quality", 0.0);
+        double blind = parents.Mean("Blind", 0.0);  // 1 = single-blind
+        double tau_iso =
+            blind != 0.0 ? cfg.tau_iso_single : cfg.tau_iso_double;
+        double own_prestige = parents.Mean("Prestige", 0.0);
+        double collab = parents.Mean("CollabPrestigious", 0.0);
+        double relational =
+            collab > cfg.collab_threshold ? cfg.tau_rel : 0.0;
+        return cfg.quality_weight * quality + tau_iso * own_prestige +
+               relational + rng.Normal(0.0, cfg.score_noise);
+      });
+
+  // --- Simulate and write observed values ----------------------------------
+  CARL_ASSIGN_OR_RETURN(
+      RelationalCausalModel model,
+      RelationalCausalModel::Parse(*out.dataset.schema,
+                                   out.dataset.model_text));
+  CARL_ASSIGN_OR_RETURN(GroundedModel grounded, GroundModel(db, model));
+  CARL_ASSIGN_OR_RETURN(std::vector<double> values,
+                        out.scm.Simulate(grounded, config.seed));
+  CARL_RETURN_IF_ERROR(out.scm.WriteObservedValues(grounded, values, &db));
+  return out;
+}
+
+}  // namespace datagen
+}  // namespace carl

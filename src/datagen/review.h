@@ -1,0 +1,76 @@
+// Generator for REVIEWDATA-style relational instances (paper §6.1).
+//
+// Two uses:
+//  * SYNTHETIC REVIEWDATA: 10,000 authors / 200 institutions / 75,000
+//    papers / 100 venues with a known generative SCM — isolated effect
+//    tau_iso_single (1.0) at single-blind venues, tau_iso_double (0.0) at
+//    double-blind venues, and a relational effect tau_rel (0.5) that fires
+//    when more than `collab_threshold` of an author's collaborators are
+//    prestigious. Ground truth is recovered by do()-simulation, not by
+//    reading off these constants.
+//  * simulated "real" REVIEWDATA: the same process at the paper's real
+//    data scale (~2k papers, ~4.5k authors, 10 venues, half double-blind)
+//    with weaker effects, standing in for the proprietary
+//    OpenReview/Scopus crawl.
+//
+// Substitution note (documented in DESIGN.md): papers have a single
+// credited author and collaboration is an explicit Person–Person relation.
+// This keeps the generative isolated and relational effects exactly
+// separable while exercising the identical unification/peer machinery
+// (peers of an author = their collaborators, via the latent
+// CollabPrestigious attribute).
+
+#ifndef CARL_DATAGEN_REVIEW_H_
+#define CARL_DATAGEN_REVIEW_H_
+
+#include <cstdint>
+
+#include "common/result.h"
+#include "core/structural_model.h"
+#include "datagen/dataset.h"
+
+namespace carl {
+namespace datagen {
+
+struct ReviewConfig {
+  size_t num_authors = 10000;
+  size_t num_institutions = 200;
+  size_t num_papers = 75000;
+  size_t num_venues = 100;
+  /// Fraction of venues that are single-blind (Blind[C] = true).
+  double single_blind_fraction = 0.5;
+  /// Mean number of collaborators per author.
+  double mean_collaborators = 4.0;
+  /// Probability a collaborator comes from the same institution.
+  double homophily = 0.7;
+
+  // Generative effects.
+  double tau_iso_single = 1.0;  ///< own-prestige effect, single-blind
+  double tau_iso_double = 0.0;  ///< own-prestige effect, double-blind
+  double tau_rel = 0.5;         ///< collaborator-prestige effect
+  double collab_threshold = 1.0 / 3.0;
+  double quality_weight = 1.0;
+  double score_noise = 0.5;
+
+  uint64_t seed = 42;
+};
+
+/// The paper's real-data scale with weaker effects (Fig 7–9 stand-in).
+ReviewConfig RealisticReviewConfig();
+
+struct ReviewData {
+  Dataset dataset;
+  /// The generating SCM (attribute name -> structural equation); pass to
+  /// ComputeGroundTruth for interventional truth.
+  StructuralModel scm;
+  ReviewConfig config;
+};
+
+/// Builds skeleton + model, grounds it, simulates the SCM, and writes all
+/// observed attribute values into the instance.
+Result<ReviewData> GenerateReviewData(const ReviewConfig& config);
+
+}  // namespace datagen
+}  // namespace carl
+
+#endif  // CARL_DATAGEN_REVIEW_H_

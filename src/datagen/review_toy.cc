@@ -1,0 +1,95 @@
+#include "datagen/review_toy.h"
+
+namespace carl {
+namespace datagen {
+
+Result<Dataset> MakeReviewToy() {
+  Dataset data;
+  data.schema = std::make_unique<Schema>();
+  Schema& schema = *data.schema;
+
+  CARL_RETURN_IF_ERROR(schema.AddEntity("Person").status());
+  CARL_RETURN_IF_ERROR(schema.AddEntity("Submission").status());
+  CARL_RETURN_IF_ERROR(schema.AddEntity("Conference").status());
+  CARL_RETURN_IF_ERROR(
+      schema.AddRelationship("Author", {"Person", "Submission"}).status());
+  CARL_RETURN_IF_ERROR(
+      schema.AddRelationship("Submitted", {"Submission", "Conference"})
+          .status());
+
+  CARL_RETURN_IF_ERROR(
+      schema.AddAttribute("Prestige", "Person", true, ValueType::kBool)
+          .status());
+  CARL_RETURN_IF_ERROR(
+      schema.AddAttribute("Qualification", "Person", true, ValueType::kDouble)
+          .status());
+  CARL_RETURN_IF_ERROR(
+      schema.AddAttribute("Score", "Submission", true, ValueType::kDouble)
+          .status());
+  CARL_RETURN_IF_ERROR(
+      schema.AddAttribute("Quality", "Submission", /*observed=*/false,
+                          ValueType::kDouble)
+          .status());
+  CARL_RETURN_IF_ERROR(
+      schema.AddAttribute("Blind", "Conference", true, ValueType::kBool)
+          .status());
+
+  data.instance = std::make_unique<Instance>(data.schema.get());
+  Instance& db = *data.instance;
+
+  // Authors table (person, prestige, qualification).
+  struct AuthorRow {
+    const char* name;
+    bool prestige;
+    double qualification;
+  };
+  for (const AuthorRow& a : std::initializer_list<AuthorRow>{
+           {"Bob", true, 50}, {"Carlos", false, 20}, {"Eva", true, 2}}) {
+    CARL_RETURN_IF_ERROR(db.AddFact("Person", {a.name}));
+    CARL_RETURN_IF_ERROR(
+        db.SetAttribute("Prestige", {a.name}, Value(a.prestige)));
+    CARL_RETURN_IF_ERROR(
+        db.SetAttribute("Qualification", {a.name}, Value(a.qualification)));
+  }
+
+  // Submissions (sub, score).
+  struct SubmissionRow {
+    const char* name;
+    double score;
+  };
+  for (const SubmissionRow& s : std::initializer_list<SubmissionRow>{
+           {"s1", 0.75}, {"s2", 0.4}, {"s3", 0.1}}) {
+    CARL_RETURN_IF_ERROR(db.AddFact("Submission", {s.name}));
+    CARL_RETURN_IF_ERROR(db.SetAttribute("Score", {s.name}, Value(s.score)));
+  }
+
+  // Authorship.
+  for (const auto& [person, sub] :
+       std::initializer_list<std::pair<const char*, const char*>>{
+           {"Bob", "s1"}, {"Eva", "s1"}, {"Eva", "s2"},
+           {"Eva", "s3"}, {"Carlos", "s3"}}) {
+    CARL_RETURN_IF_ERROR(db.AddFact("Author", {person, sub}));
+  }
+
+  // Submitted + Conferences. Blind = true means single-blind.
+  CARL_RETURN_IF_ERROR(db.AddFact("Conference", {"ConfDB"}));
+  CARL_RETURN_IF_ERROR(db.AddFact("Conference", {"ConfAI"}));
+  CARL_RETURN_IF_ERROR(db.SetAttribute("Blind", {"ConfDB"}, Value(true)));
+  CARL_RETURN_IF_ERROR(db.SetAttribute("Blind", {"ConfAI"}, Value(false)));
+  CARL_RETURN_IF_ERROR(db.AddFact("Submitted", {"s1", "ConfDB"}));
+  CARL_RETURN_IF_ERROR(db.AddFact("Submitted", {"s2", "ConfAI"}));
+  CARL_RETURN_IF_ERROR(db.AddFact("Submitted", {"s3", "ConfAI"}));
+
+  // Example 3.4, rules (5)-(8), plus the aggregate rule (12).
+  data.model_text = R"(
+    Prestige[A] <= Qualification[A] WHERE Person(A)
+    Quality[S] <= Qualification[A], Prestige[A] WHERE Author(A, S)
+    Score[S] <= Prestige[A] WHERE Author(A, S)
+    Score[S] <= Quality[S] WHERE Submission(S)
+    AVG_Score[A] <= Score[S] WHERE Author(A, S)
+  )";
+  return data;
+}
+
+}  // namespace datagen
+}  // namespace carl

@@ -1,0 +1,23 @@
+// The running example of the paper: the REVIEWDATA instance of Figure 2
+// (Bob, Carlos, Eva; submissions s1–s3; ConfDB single-blind, ConfAI
+// double-blind) with the causal model of Example 3.4 (rules 5–8) and the
+// aggregate rule (12). Used by the quickstart example and by unit tests
+// that check Example 3.6's grounding and Table 1's unit table.
+
+#ifndef CARL_DATAGEN_REVIEW_TOY_H_
+#define CARL_DATAGEN_REVIEW_TOY_H_
+
+#include "common/result.h"
+#include "datagen/dataset.h"
+
+namespace carl {
+namespace datagen {
+
+/// Builds the exact Figure 2 instance. Blind[C] is true for single-blind
+/// (ConfDB) and false for double-blind (ConfAI).
+Result<Dataset> MakeReviewToy();
+
+}  // namespace datagen
+}  // namespace carl
+
+#endif  // CARL_DATAGEN_REVIEW_TOY_H_

@@ -1,0 +1,235 @@
+#include "graph/causal_graph.h"
+
+#include <algorithm>
+#include <deque>
+
+#include "common/logging.h"
+#include "common/str_util.h"
+
+namespace carl {
+
+const std::vector<NodeId> CausalGraph::kNoNodes = {};
+
+NodeId CausalGraph::AddNode(AttributeId attribute, Tuple args) {
+  GroundedAttribute key{attribute, std::move(args)};
+  auto it = index_.find(key);
+  if (it != index_.end()) return it->second;
+  NodeId id = static_cast<NodeId>(nodes_.size());
+  nodes_.push_back(key);
+  parents_.emplace_back();
+  children_.emplace_back();
+  index_.emplace(std::move(key), id);
+  by_attribute_[attribute].push_back(id);
+  return id;
+}
+
+NodeId CausalGraph::FindNode(AttributeId attribute, const Tuple& args) const {
+  GroundedAttribute key{attribute, args};
+  auto it = index_.find(key);
+  return it == index_.end() ? kInvalidNode : it->second;
+}
+
+void CausalGraph::AddEdge(NodeId from, NodeId to) {
+  CARL_DCHECK(from >= 0 && static_cast<size_t>(from) < nodes_.size());
+  CARL_DCHECK(to >= 0 && static_cast<size_t>(to) < nodes_.size());
+  uint64_t key = (static_cast<uint64_t>(static_cast<uint32_t>(from)) << 32) |
+                 static_cast<uint32_t>(to);
+  if (!edge_set_.insert(key).second) return;
+  parents_[to].push_back(from);
+  children_[from].push_back(to);
+  ++num_edges_;
+}
+
+const GroundedAttribute& CausalGraph::node(NodeId id) const {
+  CARL_CHECK(id >= 0 && static_cast<size_t>(id) < nodes_.size())
+      << "node id out of range: " << id;
+  return nodes_[id];
+}
+
+const std::vector<NodeId>& CausalGraph::Parents(NodeId id) const {
+  CARL_CHECK(id >= 0 && static_cast<size_t>(id) < nodes_.size());
+  return parents_[id];
+}
+
+const std::vector<NodeId>& CausalGraph::Children(NodeId id) const {
+  CARL_CHECK(id >= 0 && static_cast<size_t>(id) < nodes_.size());
+  return children_[id];
+}
+
+const std::vector<NodeId>& CausalGraph::NodesOfAttribute(
+    AttributeId attribute) const {
+  auto it = by_attribute_.find(attribute);
+  return it == by_attribute_.end() ? kNoNodes : it->second;
+}
+
+Result<std::vector<NodeId>> CausalGraph::TopologicalOrder() const {
+  std::vector<int> in_degree(nodes_.size());
+  for (size_t n = 0; n < nodes_.size(); ++n) {
+    in_degree[n] = static_cast<int>(parents_[n].size());
+  }
+  std::deque<NodeId> ready;
+  for (size_t n = 0; n < nodes_.size(); ++n) {
+    if (in_degree[n] == 0) ready.push_back(static_cast<NodeId>(n));
+  }
+  std::vector<NodeId> order;
+  order.reserve(nodes_.size());
+  while (!ready.empty()) {
+    NodeId n = ready.front();
+    ready.pop_front();
+    order.push_back(n);
+    for (NodeId c : children_[n]) {
+      if (--in_degree[c] == 0) ready.push_back(c);
+    }
+  }
+  if (order.size() != nodes_.size()) {
+    return Status::FailedPrecondition(
+        "causal graph has a cycle (recursive rules are not supported)");
+  }
+  return order;
+}
+
+bool CausalGraph::HasDirectedPath(NodeId from, NodeId to) const {
+  if (from == to) return true;
+  std::vector<bool> visited(nodes_.size(), false);
+  std::deque<NodeId> frontier{from};
+  visited[from] = true;
+  while (!frontier.empty()) {
+    NodeId n = frontier.front();
+    frontier.pop_front();
+    for (NodeId c : children_[n]) {
+      if (c == to) return true;
+      if (!visited[c]) {
+        visited[c] = true;
+        frontier.push_back(c);
+      }
+    }
+  }
+  return false;
+}
+
+namespace {
+
+std::vector<NodeId> Closure(
+    const std::vector<NodeId>& seeds, size_t num_nodes,
+    const std::vector<std::vector<NodeId>>& neighbors) {
+  std::vector<bool> visited(num_nodes, false);
+  std::deque<NodeId> frontier;
+  for (NodeId s : seeds) {
+    if (!visited[s]) {
+      visited[s] = true;
+      frontier.push_back(s);
+    }
+  }
+  std::vector<NodeId> out;
+  while (!frontier.empty()) {
+    NodeId n = frontier.front();
+    frontier.pop_front();
+    out.push_back(n);
+    for (NodeId next : neighbors[n]) {
+      if (!visited[next]) {
+        visited[next] = true;
+        frontier.push_back(next);
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+std::vector<NodeId> CausalGraph::Ancestors(
+    const std::vector<NodeId>& seeds) const {
+  return Closure(seeds, nodes_.size(), parents_);
+}
+
+std::vector<NodeId> CausalGraph::Descendants(
+    const std::vector<NodeId>& seeds) const {
+  return Closure(seeds, nodes_.size(), children_);
+}
+
+std::string CausalGraph::NodeName(NodeId id, const Schema& schema,
+                                  const StringInterner& interner) const {
+  const GroundedAttribute& g = node(id);
+  std::vector<std::string> names;
+  names.reserve(g.args.size());
+  for (SymbolId s : g.args) names.push_back(interner.ToString(s));
+  return schema.attribute(g.attribute).name + "[" + Join(names, ", ") + "]";
+}
+
+std::vector<NodeId> DConnectedNodes(const CausalGraph& graph,
+                                    const std::vector<NodeId>& x,
+                                    const std::vector<NodeId>& z) {
+  const size_t n = graph.num_nodes();
+  std::vector<bool> in_z(n, false);
+  for (NodeId id : z) in_z[id] = true;
+
+  // Phase 1: ancestors of Z (inclusive).
+  std::vector<bool> anc_z(n, false);
+  for (NodeId id : graph.Ancestors(z)) anc_z[id] = true;
+
+  // Phase 2: breadth-first over (node, direction) states.
+  // direction: 0 = trail arrived from a child ("up"), 1 = from a parent
+  // ("down").
+  std::vector<bool> visited_up(n, false), visited_down(n, false);
+  std::vector<bool> reachable(n, false);
+  std::deque<std::pair<NodeId, int>> frontier;
+  for (NodeId id : x) {
+    if (!in_z[id]) frontier.emplace_back(id, 0);
+  }
+  while (!frontier.empty()) {
+    auto [node, dir] = frontier.front();
+    frontier.pop_front();
+    auto& visited = dir == 0 ? visited_up : visited_down;
+    if (visited[node]) continue;
+    visited[node] = true;
+    if (!in_z[node]) reachable[node] = true;
+
+    if (dir == 0) {
+      // Arrived from a child; if not conditioned, the trail may continue to
+      // parents (chain) and to children (fork at this node).
+      if (!in_z[node]) {
+        for (NodeId p : graph.Parents(node)) frontier.emplace_back(p, 0);
+        for (NodeId c : graph.Children(node)) frontier.emplace_back(c, 1);
+      }
+    } else {
+      // Arrived from a parent.
+      if (!in_z[node]) {
+        for (NodeId c : graph.Children(node)) frontier.emplace_back(c, 1);
+      }
+      // Collider (or descendant-of-conditioned) opens toward parents when
+      // this node is an ancestor of Z.
+      if (anc_z[node]) {
+        for (NodeId p : graph.Parents(node)) frontier.emplace_back(p, 0);
+      }
+    }
+  }
+  std::vector<NodeId> out;
+  for (size_t i = 0; i < n; ++i) {
+    if (reachable[i]) out.push_back(static_cast<NodeId>(i));
+  }
+  return out;
+}
+
+bool DSeparated(const CausalGraph& graph, const std::vector<NodeId>& x,
+                const std::vector<NodeId>& y, const std::vector<NodeId>& z) {
+  std::vector<bool> in_z(graph.num_nodes(), false);
+  for (NodeId id : z) in_z[id] = true;
+  std::vector<NodeId> x_eff, y_eff;
+  for (NodeId id : x) {
+    if (!in_z[id]) x_eff.push_back(id);
+  }
+  for (NodeId id : y) {
+    if (!in_z[id]) y_eff.push_back(id);
+  }
+  if (x_eff.empty() || y_eff.empty()) return true;
+
+  std::vector<NodeId> reachable = DConnectedNodes(graph, x_eff, z);
+  std::vector<bool> is_reachable(graph.num_nodes(), false);
+  for (NodeId id : reachable) is_reachable[id] = true;
+  for (NodeId id : y_eff) {
+    if (is_reachable[id]) return false;
+  }
+  return true;
+}
+
+}  // namespace carl

@@ -1,0 +1,110 @@
+// CausalGraph: the grounded relational causal graph G(Φ∆) (paper §3.2.3).
+//
+// Nodes are grounded attributes A[x] — an attribute function applied to a
+// tuple of interned constants. Edges run cause -> effect, i.e. from each
+// body grounding to the head grounding of a grounded rule. The graph must
+// be a DAG (the paper restricts models to non-recursive rule sets).
+
+#ifndef CARL_GRAPH_CAUSAL_GRAPH_H_
+#define CARL_GRAPH_CAUSAL_GRAPH_H_
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "common/result.h"
+#include "relational/schema.h"
+#include "relational/tuple.h"
+
+namespace carl {
+
+using NodeId = int32_t;
+inline constexpr NodeId kInvalidNode = -1;
+
+/// A grounded attribute A[x].
+struct GroundedAttribute {
+  AttributeId attribute = kInvalidAttribute;
+  Tuple args;
+
+  bool operator==(const GroundedAttribute& o) const {
+    return attribute == o.attribute && args == o.args;
+  }
+};
+
+struct GroundedAttributeHash {
+  size_t operator()(const GroundedAttribute& g) const {
+    return TupleHash()(g.args) * 31 + static_cast<size_t>(g.attribute);
+  }
+};
+
+class CausalGraph {
+ public:
+  /// Interns a node; returns the existing id when already present.
+  NodeId AddNode(AttributeId attribute, Tuple args);
+
+  /// Node id for A[x], or kInvalidNode.
+  NodeId FindNode(AttributeId attribute, const Tuple& args) const;
+
+  /// Adds a cause -> effect edge; duplicate edges are ignored.
+  void AddEdge(NodeId from, NodeId to);
+
+  size_t num_nodes() const { return nodes_.size(); }
+  size_t num_edges() const { return num_edges_; }
+
+  const GroundedAttribute& node(NodeId id) const;
+  const std::vector<NodeId>& Parents(NodeId id) const;
+  const std::vector<NodeId>& Children(NodeId id) const;
+
+  /// All groundings of one attribute function (the paper's A∆).
+  const std::vector<NodeId>& NodesOfAttribute(AttributeId attribute) const;
+
+  /// Topological order (parents before children), or FailedPrecondition
+  /// if the graph has a cycle (recursive rule set).
+  Result<std::vector<NodeId>> TopologicalOrder() const;
+
+  /// True if the graph is acyclic.
+  bool IsAcyclic() const { return TopologicalOrder().ok(); }
+
+  /// True if a directed path from `from` to `to` exists (including
+  /// from == to).
+  bool HasDirectedPath(NodeId from, NodeId to) const;
+
+  /// All ancestors of the seed set, including the seeds.
+  std::vector<NodeId> Ancestors(const std::vector<NodeId>& seeds) const;
+  /// All descendants of the seed set, including the seeds.
+  std::vector<NodeId> Descendants(const std::vector<NodeId>& seeds) const;
+
+  /// "Attr[c1,c2]" using a constant-name resolver (e.g. the instance's
+  /// interner) and schema for the attribute name.
+  std::string NodeName(NodeId id, const Schema& schema,
+                       const StringInterner& interner) const;
+
+ private:
+  std::vector<GroundedAttribute> nodes_;
+  std::vector<std::vector<NodeId>> parents_;
+  std::vector<std::vector<NodeId>> children_;
+  std::unordered_map<GroundedAttribute, NodeId, GroundedAttributeHash> index_;
+  std::unordered_set<uint64_t> edge_set_;
+  std::unordered_map<AttributeId, std::vector<NodeId>> by_attribute_;
+  size_t num_edges_ = 0;
+
+  static const std::vector<NodeId> kNoNodes;
+};
+
+/// d-separation test: X ⫫ Y | Z in `graph`? Implemented with the standard
+/// reachability ("Bayes ball") algorithm; linear in the graph size.
+/// Nodes appearing in Z are removed from both X and Y first.
+bool DSeparated(const CausalGraph& graph, const std::vector<NodeId>& x,
+                const std::vector<NodeId>& y, const std::vector<NodeId>& z);
+
+/// Nodes reachable from X by an active trail given conditioning set Z
+/// (excluding conditioned nodes). Exposed for testing.
+std::vector<NodeId> DConnectedNodes(const CausalGraph& graph,
+                                    const std::vector<NodeId>& x,
+                                    const std::vector<NodeId>& z);
+
+}  // namespace carl
+
+#endif  // CARL_GRAPH_CAUSAL_GRAPH_H_

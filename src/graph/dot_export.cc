@@ -1,0 +1,71 @@
+#include "graph/dot_export.h"
+
+#include <sstream>
+#include <unordered_set>
+
+namespace carl {
+namespace {
+
+std::string EscapeDot(const std::string& s) {
+  std::string out;
+  for (char c : s) {
+    if (c == '"' || c == '\\') out.push_back('\\');
+    out.push_back(c);
+  }
+  return out;
+}
+
+}  // namespace
+
+Result<std::string> ExportDot(const GroundedModel& grounded,
+                              const DotOptions& options) {
+  const CausalGraph& graph = grounded.graph();
+  const Schema& schema = grounded.schema();
+
+  std::unordered_set<AttributeId> keep_attrs;
+  for (const std::string& name : options.attributes) {
+    CARL_ASSIGN_OR_RETURN(AttributeId aid, schema.FindAttribute(name));
+    keep_attrs.insert(aid);
+  }
+
+  std::vector<bool> emit(graph.num_nodes(), false);
+  size_t emitted = 0;
+  for (NodeId n = 0; n < static_cast<NodeId>(graph.num_nodes()); ++n) {
+    if (!keep_attrs.empty() &&
+        keep_attrs.count(graph.node(n).attribute) == 0) {
+      continue;
+    }
+    if (options.max_nodes > 0 && emitted >= options.max_nodes) break;
+    emit[n] = true;
+    ++emitted;
+  }
+
+  std::ostringstream os;
+  os << "digraph " << options.graph_name << " {\n";
+  os << "  rankdir=BT;\n  node [fontsize=10];\n";
+  for (NodeId n = 0; n < static_cast<NodeId>(graph.num_nodes()); ++n) {
+    if (!emit[n]) continue;
+    const AttributeDef& def = schema.attribute(graph.node(n).attribute);
+    os << "  n" << n << " [label=\"" << EscapeDot(grounded.NodeName(n))
+       << "\"";
+    if (grounded.NodeAggregate(n).has_value()) {
+      os << ", shape=triangle";
+    } else if (!def.observed) {
+      os << ", style=dashed";
+    } else {
+      os << ", shape=ellipse";
+    }
+    os << "];\n";
+  }
+  for (NodeId n = 0; n < static_cast<NodeId>(graph.num_nodes()); ++n) {
+    if (!emit[n]) continue;
+    for (NodeId c : graph.Children(n)) {
+      if (!emit[c]) continue;
+      os << "  n" << n << " -> n" << c << ";\n";
+    }
+  }
+  os << "}\n";
+  return os.str();
+}
+
+}  // namespace carl

@@ -1,0 +1,29 @@
+// GraphViz (DOT) export of grounded causal graphs — renders the paper's
+// Figures 4–6 for any instance. Aggregate nodes are drawn as triangles
+// (the paper's ψ glyphs), latent attributes dashed.
+
+#ifndef CARL_GRAPH_DOT_EXPORT_H_
+#define CARL_GRAPH_DOT_EXPORT_H_
+
+#include <string>
+
+#include "common/result.h"
+#include "core/grounding.h"
+
+namespace carl {
+
+struct DotOptions {
+  /// Cap on emitted nodes (0 = no cap). Edges to uncapped nodes only.
+  size_t max_nodes = 0;
+  /// Restrict to groundings of these attribute names (empty = all).
+  std::vector<std::string> attributes;
+  std::string graph_name = "carl";
+};
+
+/// Renders the grounded causal graph as DOT text.
+Result<std::string> ExportDot(const GroundedModel& grounded,
+                              const DotOptions& options = {});
+
+}  // namespace carl
+
+#endif  // CARL_GRAPH_DOT_EXPORT_H_

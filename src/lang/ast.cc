@@ -1,0 +1,84 @@
+#include "lang/ast.h"
+
+#include <cmath>
+#include <sstream>
+
+#include "common/str_util.h"
+
+namespace carl {
+
+std::string AttributeRef::ToString() const {
+  std::vector<std::string> parts;
+  parts.reserve(args.size());
+  for (const Term& t : args) parts.push_back(t.ToString());
+  return attribute + "[" + Join(parts, ", ") + "]";
+}
+
+std::string CausalRule::ToString() const {
+  std::vector<std::string> parts;
+  parts.reserve(body.size());
+  for (const AttributeRef& b : body) parts.push_back(b.ToString());
+  std::string out = head.ToString() + " <= " + Join(parts, ", ");
+  if (!where.empty()) out += " WHERE " + where.ToString();
+  return out;
+}
+
+std::string AggregateRule::ToString() const {
+  std::string out = head.ToString() + " <= " + source.ToString();
+  if (!where.empty()) out += " WHERE " + where.ToString();
+  return out;
+}
+
+bool PeerCondition::Satisfied(size_t treated_peers, size_t total_peers) const {
+  double frac = total_peers == 0
+                    ? 0.0
+                    : static_cast<double>(treated_peers) /
+                          static_cast<double>(total_peers);
+  switch (kind) {
+    case Kind::kAll: return treated_peers == total_peers;
+    case Kind::kNone: return treated_peers == 0;
+    case Kind::kMoreThanFrac: return frac > value;
+    case Kind::kLessThanFrac: return frac < value;
+    case Kind::kAtLeastCount:
+      return static_cast<double>(treated_peers) >= value;
+    case Kind::kAtMostCount:
+      return static_cast<double>(treated_peers) <= value;
+    case Kind::kExactlyCount:
+      return static_cast<double>(treated_peers) == value;
+  }
+  return false;
+}
+
+std::string PeerCondition::ToString() const {
+  switch (kind) {
+    case Kind::kAll: return "ALL";
+    case Kind::kNone: return "NONE";
+    case Kind::kMoreThanFrac:
+      return StrFormat("MORE THAN %g%%", value * 100.0);
+    case Kind::kLessThanFrac:
+      return StrFormat("LESS THAN %g%%", value * 100.0);
+    case Kind::kAtLeastCount: return StrFormat("AT LEAST %g", value);
+    case Kind::kAtMostCount: return StrFormat("AT MOST %g", value);
+    case Kind::kExactlyCount: return StrFormat("EXACTLY %g", value);
+  }
+  return "?";
+}
+
+std::string CausalQuery::ToString() const {
+  std::string out = response.ToString() + " <= " + treatment.ToString() + "?";
+  if (peer_condition.has_value()) {
+    out += " WHEN " + peer_condition->ToString() + " PEERS TREATED";
+  }
+  if (!where.empty()) out += " WHERE " + where.ToString();
+  return out;
+}
+
+std::string Program::ToString() const {
+  std::ostringstream os;
+  for (const CausalRule& r : rules) os << r.ToString() << "\n";
+  for (const AggregateRule& r : aggregate_rules) os << r.ToString() << "\n";
+  for (const CausalQuery& q : queries) os << q.ToString() << "\n";
+  return os.str();
+}
+
+}  // namespace carl

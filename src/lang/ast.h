@@ -1,0 +1,94 @@
+// AST for the CaRL language (paper §3.2–§3.3).
+//
+// Statements:
+//   relational causal rule (Def 3.3):
+//       Score[S] <= Quality[S], Prestige[A] WHERE Author(A, S)
+//   aggregate rule (eq. 11), recognized by an aggregate-prefixed head:
+//       AVG_Score[A] <= Score[S] WHERE Author(A, S)
+//   causal queries (eq. 13–15):
+//       Score[S] <= Prestige[A]?
+//       AVG_Score[A] <= Prestige[A]?  WHERE Submitted(S,C), Blind[C] = "s"
+//       Score[S] <= Prestige[A]? WHEN MORE THAN 1/3 PEERS TREATED
+
+#ifndef CARL_LANG_AST_H_
+#define CARL_LANG_AST_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "relational/aggregates.h"
+#include "relational/conjunctive_query.h"
+
+namespace carl {
+
+/// An attribute applied to a term tuple: A[X] or A["Bob"].
+struct AttributeRef {
+  std::string attribute;
+  std::vector<Term> args;
+  std::string ToString() const;
+};
+
+/// A relational causal rule A[X] <= A1[X1], ..., Ak[Xk] WHERE Q(Y).
+struct CausalRule {
+  AttributeRef head;
+  std::vector<AttributeRef> body;
+  ConjunctiveQuery where;
+  std::string ToString() const;
+};
+
+/// An aggregate rule AGG_A[W] <= A[X] WHERE Q(Z). The head attribute name
+/// keeps its full prefixed form (e.g. "AVG_Score").
+struct AggregateRule {
+  AttributeRef head;
+  AggregateKind aggregate = AggregateKind::kAvg;
+  AttributeRef source;
+  ConjunctiveQuery where;
+  std::string ToString() const;
+};
+
+/// The WHEN ... PEERS TREATED condition grammar (eq. 16).
+struct PeerCondition {
+  enum class Kind {
+    kAll,              ///< ALL
+    kNone,             ///< NONE
+    kMoreThanFrac,     ///< MORE THAN k% (k stored as fraction in [0,1])
+    kLessThanFrac,     ///< LESS THAN k%
+    kAtLeastCount,     ///< AT LEAST k
+    kAtMostCount,      ///< AT MOST k
+    kExactlyCount,     ///< EXACTLY k
+  };
+  Kind kind = Kind::kAll;
+  double value = 0.0;  ///< fraction for percent kinds, count otherwise
+
+  /// True if a unit with `treated_peers` of `total_peers` treated peers
+  /// satisfies the condition.
+  bool Satisfied(size_t treated_peers, size_t total_peers) const;
+  std::string ToString() const;
+};
+
+/// A causal query  Y[X'] <= T[X]? [WHEN <cnd> PEERS TREATED] [WHERE Q].
+/// Covers ATE queries (no peer condition), aggregated-response queries
+/// (response attribute produced by an aggregate rule), and relational /
+/// isolated / overall effect queries (with peer condition).
+struct CausalQuery {
+  AttributeRef response;
+  AttributeRef treatment;
+  std::optional<PeerCondition> peer_condition;
+  /// Optional filter restricting response units (e.g. single-blind only).
+  ConjunctiveQuery where;
+  std::string ToString() const;
+};
+
+/// A parsed CaRL program: rules, aggregate rules, and queries in input
+/// order.
+struct Program {
+  std::vector<CausalRule> rules;
+  std::vector<AggregateRule> aggregate_rules;
+  std::vector<CausalQuery> queries;
+  std::string ToString() const;
+};
+
+}  // namespace carl
+
+#endif  // CARL_LANG_AST_H_

@@ -1,0 +1,216 @@
+#include "lang/lexer.h"
+
+#include <cctype>
+#include <cstdlib>
+
+#include "common/str_util.h"
+
+namespace carl {
+
+const char* TokenKindToString(TokenKind kind) {
+  switch (kind) {
+    case TokenKind::kIdent: return "identifier";
+    case TokenKind::kString: return "string";
+    case TokenKind::kNumber: return "number";
+    case TokenKind::kLBracket: return "'['";
+    case TokenKind::kRBracket: return "']'";
+    case TokenKind::kLParen: return "'('";
+    case TokenKind::kRParen: return "')'";
+    case TokenKind::kComma: return "','";
+    case TokenKind::kArrow: return "'<='";
+    case TokenKind::kQuestion: return "'?'";
+    case TokenKind::kEq: return "'='";
+    case TokenKind::kNe: return "'!='";
+    case TokenKind::kLt: return "'<'";
+    case TokenKind::kGt: return "'>'";
+    case TokenKind::kGe: return "'>='";
+    case TokenKind::kPercent: return "'%'";
+    case TokenKind::kSlash: return "'/'";
+    case TokenKind::kSemicolon: return "';'";
+    case TokenKind::kEnd: return "end of input";
+  }
+  return "?";
+}
+
+bool Token::IsKeyword(const std::string& keyword) const {
+  return kind == TokenKind::kIdent && EqualsIgnoreCase(text, keyword);
+}
+
+Result<std::vector<Token>> Tokenize(const std::string& input) {
+  std::vector<Token> tokens;
+  int line = 1;
+  int column = 1;
+  size_t i = 0;
+  const size_t n = input.size();
+
+  auto make = [&](TokenKind kind, std::string text) {
+    Token t;
+    t.kind = kind;
+    t.text = std::move(text);
+    t.line = line;
+    t.column = column;
+    return t;
+  };
+  auto advance = [&](size_t count) {
+    for (size_t k = 0; k < count && i < n; ++k) {
+      if (input[i] == '\n') {
+        ++line;
+        column = 1;
+      } else {
+        ++column;
+      }
+      ++i;
+    }
+  };
+
+  while (i < n) {
+    char c = input[i];
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      advance(1);
+      continue;
+    }
+    // Line comments: // and #.
+    if (c == '#' || (c == '/' && i + 1 < n && input[i + 1] == '/')) {
+      while (i < n && input[i] != '\n') advance(1);
+      continue;
+    }
+    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+      size_t start = i;
+      while (i < n && (std::isalnum(static_cast<unsigned char>(input[i])) ||
+                       input[i] == '_')) {
+        // Manual scan; columns updated below.
+        ++i;
+      }
+      std::string text = input.substr(start, i - start);
+      Token t;
+      t.kind = TokenKind::kIdent;
+      t.text = text;
+      t.line = line;
+      t.column = column;
+      column += static_cast<int>(text.size());
+      tokens.push_back(std::move(t));
+      continue;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c)) ||
+        (c == '.' && i + 1 < n &&
+         std::isdigit(static_cast<unsigned char>(input[i + 1])))) {
+      size_t start = i;
+      bool seen_dot = false;
+      bool seen_exp = false;
+      while (i < n) {
+        char d = input[i];
+        if (std::isdigit(static_cast<unsigned char>(d))) {
+          ++i;
+        } else if (d == '.' && !seen_dot && !seen_exp) {
+          seen_dot = true;
+          ++i;
+        } else if ((d == 'e' || d == 'E') && !seen_exp && i > start) {
+          seen_exp = true;
+          ++i;
+          if (i < n && (input[i] == '+' || input[i] == '-')) ++i;
+        } else {
+          break;
+        }
+      }
+      std::string text = input.substr(start, i - start);
+      Token t;
+      t.kind = TokenKind::kNumber;
+      t.text = text;
+      t.number = std::strtod(text.c_str(), nullptr);
+      t.line = line;
+      t.column = column;
+      column += static_cast<int>(text.size());
+      tokens.push_back(std::move(t));
+      continue;
+    }
+    if (c == '"') {
+      size_t start = i;
+      advance(1);
+      std::string text;
+      bool closed = false;
+      while (i < n) {
+        if (input[i] == '"') {
+          closed = true;
+          advance(1);
+          break;
+        }
+        if (input[i] == '\\' && i + 1 < n) {
+          advance(1);
+          text.push_back(input[i]);
+          advance(1);
+        } else {
+          text.push_back(input[i]);
+          advance(1);
+        }
+      }
+      if (!closed) {
+        return Status::InvalidArgument(
+            StrFormat("unterminated string literal at line %d", line));
+      }
+      Token t;
+      t.kind = TokenKind::kString;
+      t.text = std::move(text);
+      t.line = line;
+      t.column = column - static_cast<int>(i - start);
+      tokens.push_back(std::move(t));
+      continue;
+    }
+    // Punctuation / operators.
+    auto two = [&](char second) {
+      return i + 1 < n && input[i + 1] == second;
+    };
+    switch (c) {
+      case '[': tokens.push_back(make(TokenKind::kLBracket, "[")); advance(1); break;
+      case ']': tokens.push_back(make(TokenKind::kRBracket, "]")); advance(1); break;
+      case '(': tokens.push_back(make(TokenKind::kLParen, "(")); advance(1); break;
+      case ')': tokens.push_back(make(TokenKind::kRParen, ")")); advance(1); break;
+      case ',': tokens.push_back(make(TokenKind::kComma, ",")); advance(1); break;
+      case ';': tokens.push_back(make(TokenKind::kSemicolon, ";")); advance(1); break;
+      case '?': tokens.push_back(make(TokenKind::kQuestion, "?")); advance(1); break;
+      case '%': tokens.push_back(make(TokenKind::kPercent, "%")); advance(1); break;
+      case '/': tokens.push_back(make(TokenKind::kSlash, "/")); advance(1); break;
+      case '=':
+        tokens.push_back(make(TokenKind::kEq, "="));
+        advance(two('=') ? 2 : 1);
+        break;
+      case '!':
+        if (two('=')) {
+          tokens.push_back(make(TokenKind::kNe, "!="));
+          advance(2);
+        } else {
+          return Status::InvalidArgument(
+              StrFormat("unexpected '!' at line %d:%d", line, column));
+        }
+        break;
+      case '<':
+        if (two('=') || two('-')) {
+          tokens.push_back(make(TokenKind::kArrow, "<="));
+          advance(2);
+        } else {
+          tokens.push_back(make(TokenKind::kLt, "<"));
+          advance(1);
+        }
+        break;
+      case '>':
+        if (two('=')) {
+          tokens.push_back(make(TokenKind::kGe, ">="));
+          advance(2);
+        } else {
+          tokens.push_back(make(TokenKind::kGt, ">"));
+          advance(1);
+        }
+        break;
+      default:
+        return Status::InvalidArgument(StrFormat(
+            "unexpected character '%c' at line %d:%d", c, line, column));
+    }
+  }
+  Token end;
+  end.kind = TokenKind::kEnd;
+  end.line = line;
+  end.column = column;
+  tokens.push_back(std::move(end));
+  return tokens;
+}
+
+}  // namespace carl

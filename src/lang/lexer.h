@@ -1,0 +1,55 @@
+// Lexer for the CaRL language. Keywords are case-insensitive; identifiers
+// keep their case. `//` and `#` start line comments. `<=` and `<-` both
+// lex as kArrow (the parser treats kArrow as "<=" inside comparisons).
+
+#ifndef CARL_LANG_LEXER_H_
+#define CARL_LANG_LEXER_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+
+namespace carl {
+
+enum class TokenKind {
+  kIdent,      // Score, Person, A, s1
+  kString,     // "ConfDB"
+  kNumber,     // 42, 0.75
+  kLBracket,   // [
+  kRBracket,   // ]
+  kLParen,     // (
+  kRParen,     // )
+  kComma,      // ,
+  kArrow,      // <= or <-
+  kQuestion,   // ?
+  kEq,         // =  or ==
+  kNe,         // !=
+  kLt,         // <
+  kGt,         // >
+  kGe,         // >=
+  kPercent,    // %
+  kSlash,      // /
+  kSemicolon,  // ;
+  kEnd,        // end of input
+};
+
+const char* TokenKindToString(TokenKind kind);
+
+struct Token {
+  TokenKind kind = TokenKind::kEnd;
+  std::string text;     // identifier/string/number spelling
+  double number = 0.0;  // value when kind == kNumber
+  int line = 1;
+  int column = 1;
+
+  /// Case-insensitive keyword test for identifier tokens.
+  bool IsKeyword(const std::string& keyword) const;
+};
+
+/// Tokenizes `input`; the last token is always kEnd.
+Result<std::vector<Token>> Tokenize(const std::string& input);
+
+}  // namespace carl
+
+#endif  // CARL_LANG_LEXER_H_

@@ -1,0 +1,384 @@
+#include "lang/parser.h"
+
+#include <cmath>
+
+#include "common/str_util.h"
+#include "lang/lexer.h"
+
+namespace carl {
+
+bool SplitAggregateName(const std::string& name, AggregateKind* kind) {
+  size_t underscore = name.find('_');
+  if (underscore == std::string::npos || underscore == 0 ||
+      underscore + 1 >= name.size()) {
+    return false;
+  }
+  Result<AggregateKind> parsed =
+      ParseAggregateKind(name.substr(0, underscore));
+  if (!parsed.ok()) return false;
+  if (kind != nullptr) *kind = *parsed;
+  return true;
+}
+
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(std::vector<Token> tokens) : tokens_(std::move(tokens)) {}
+
+  Result<Program> ParseProgram() {
+    Program program;
+    while (!AtEnd()) {
+      CARL_RETURN_IF_ERROR(ParseStatement(&program));
+      while (Peek().kind == TokenKind::kSemicolon) ++pos_;
+    }
+    return program;
+  }
+
+ private:
+  const Token& Peek(size_t ahead = 0) const {
+    size_t i = pos_ + ahead;
+    if (i >= tokens_.size()) i = tokens_.size() - 1;  // kEnd sentinel
+    return tokens_[i];
+  }
+  bool AtEnd() const { return Peek().kind == TokenKind::kEnd; }
+  const Token& Advance() { return tokens_[pos_++]; }
+
+  Status ErrorAt(const Token& t, const std::string& message) const {
+    return Status::InvalidArgument(StrFormat(
+        "parse error at line %d:%d: %s (got %s '%s')", t.line, t.column,
+        message.c_str(), TokenKindToString(t.kind), t.text.c_str()));
+  }
+
+  Result<Token> Expect(TokenKind kind, const std::string& what) {
+    if (Peek().kind != kind) return ErrorAt(Peek(), "expected " + what);
+    return Advance();
+  }
+
+  Status ExpectKeyword(const std::string& keyword) {
+    if (!Peek().IsKeyword(keyword)) {
+      return ErrorAt(Peek(), "expected keyword " + keyword);
+    }
+    Advance();
+    return Status::OK();
+  }
+
+  // term := IDENT | STRING | NUMBER
+  Result<Term> ParseTerm() {
+    const Token& t = Peek();
+    if (t.kind == TokenKind::kIdent) {
+      Advance();
+      return Term::Var(t.text);
+    }
+    if (t.kind == TokenKind::kString) {
+      Advance();
+      return Term::Const(t.text);
+    }
+    if (t.kind == TokenKind::kNumber) {
+      Advance();
+      return Term::Const(t.text);
+    }
+    return ErrorAt(t, "expected a variable or constant");
+  }
+
+  // attr_ref := IDENT '[' term (',' term)* ']'
+  Result<AttributeRef> ParseAttributeRef() {
+    CARL_ASSIGN_OR_RETURN(Token name, Expect(TokenKind::kIdent,
+                                             "an attribute name"));
+    CARL_RETURN_IF_ERROR(Expect(TokenKind::kLBracket, "'['").status());
+    AttributeRef ref;
+    ref.attribute = name.text;
+    while (true) {
+      CARL_ASSIGN_OR_RETURN(Term t, ParseTerm());
+      ref.args.push_back(std::move(t));
+      if (Peek().kind == TokenKind::kComma) {
+        Advance();
+        continue;
+      }
+      break;
+    }
+    CARL_RETURN_IF_ERROR(Expect(TokenKind::kRBracket, "']'").status());
+    return ref;
+  }
+
+  Result<Value> ParseLiteral() {
+    const Token& t = Peek();
+    if (t.kind == TokenKind::kString) {
+      Advance();
+      return Value(t.text);
+    }
+    if (t.kind == TokenKind::kNumber) {
+      Advance();
+      double v = t.number;
+      if (v == std::floor(v) && t.text.find('.') == std::string::npos &&
+          t.text.find('e') == std::string::npos &&
+          t.text.find('E') == std::string::npos) {
+        return Value(static_cast<int64_t>(v));
+      }
+      return Value(v);
+    }
+    if (t.IsKeyword("TRUE")) {
+      Advance();
+      return Value(true);
+    }
+    if (t.IsKeyword("FALSE")) {
+      Advance();
+      return Value(false);
+    }
+    return ErrorAt(t, "expected a literal (string, number, TRUE, FALSE)");
+  }
+
+  Result<CompareOp> ParseCompareOp() {
+    switch (Peek().kind) {
+      case TokenKind::kEq: Advance(); return CompareOp::kEq;
+      case TokenKind::kNe: Advance(); return CompareOp::kNe;
+      case TokenKind::kLt: Advance(); return CompareOp::kLt;
+      case TokenKind::kArrow: Advance(); return CompareOp::kLe;  // "<="
+      case TokenKind::kGt: Advance(); return CompareOp::kGt;
+      case TokenKind::kGe: Advance(); return CompareOp::kGe;
+      default:
+        return ErrorAt(Peek(), "expected a comparison operator");
+    }
+  }
+
+  // cond_elem: atom IDENT '(' ... ')' or constraint IDENT '[' ... ']' op lit
+  Status ParseConditionElement(ConjunctiveQuery* query) {
+    if (Peek().kind != TokenKind::kIdent) {
+      return ErrorAt(Peek(), "expected a predicate or attribute");
+    }
+    if (Peek(1).kind == TokenKind::kLParen) {
+      Token name = Advance();
+      Advance();  // '('
+      Atom atom;
+      atom.predicate = name.text;
+      while (true) {
+        CARL_ASSIGN_OR_RETURN(Term t, ParseTerm());
+        atom.args.push_back(std::move(t));
+        if (Peek().kind == TokenKind::kComma) {
+          Advance();
+          continue;
+        }
+        break;
+      }
+      CARL_RETURN_IF_ERROR(Expect(TokenKind::kRParen, "')'").status());
+      query->atoms.push_back(std::move(atom));
+      return Status::OK();
+    }
+    if (Peek(1).kind == TokenKind::kLBracket) {
+      CARL_ASSIGN_OR_RETURN(AttributeRef ref, ParseAttributeRef());
+      CARL_ASSIGN_OR_RETURN(CompareOp op, ParseCompareOp());
+      CARL_ASSIGN_OR_RETURN(Value rhs, ParseLiteral());
+      AttributeConstraint constraint;
+      constraint.attribute = ref.attribute;
+      constraint.args = std::move(ref.args);
+      constraint.op = op;
+      constraint.rhs = std::move(rhs);
+      query->constraints.push_back(std::move(constraint));
+      return Status::OK();
+    }
+    return ErrorAt(Peek(1), "expected '(' (atom) or '[' (constraint)");
+  }
+
+  Result<ConjunctiveQuery> ParseCondition() {
+    ConjunctiveQuery query;
+    while (true) {
+      CARL_RETURN_IF_ERROR(ParseConditionElement(&query));
+      if (Peek().kind == TokenKind::kComma) {
+        Advance();
+        continue;
+      }
+      break;
+    }
+    return query;
+  }
+
+  // frac := NUMBER '%' | NUMBER '/' NUMBER | NUMBER in [0,1]
+  Result<double> ParseFraction() {
+    CARL_ASSIGN_OR_RETURN(Token num, Expect(TokenKind::kNumber, "a number"));
+    if (Peek().kind == TokenKind::kPercent) {
+      Advance();
+      double f = num.number / 100.0;
+      if (f < 0.0 || f > 1.0) {
+        return ErrorAt(num, "percentage must be between 0 and 100");
+      }
+      return f;
+    }
+    if (Peek().kind == TokenKind::kSlash) {
+      Advance();
+      CARL_ASSIGN_OR_RETURN(Token den,
+                            Expect(TokenKind::kNumber, "a denominator"));
+      if (den.number == 0.0) return ErrorAt(den, "division by zero");
+      double f = num.number / den.number;
+      if (f < 0.0 || f > 1.0) {
+        return ErrorAt(num, "fraction must be in [0, 1]");
+      }
+      return f;
+    }
+    if (num.number < 0.0 || num.number > 1.0) {
+      return ErrorAt(num,
+                     "bare fraction must be in [0, 1]; use % for percents");
+    }
+    return num.number;
+  }
+
+  Result<PeerCondition> ParsePeerCondition() {
+    PeerCondition cond;
+    const Token& t = Peek();
+    if (t.IsKeyword("ALL")) {
+      Advance();
+      cond.kind = PeerCondition::Kind::kAll;
+      return cond;
+    }
+    if (t.IsKeyword("NONE")) {
+      Advance();
+      cond.kind = PeerCondition::Kind::kNone;
+      return cond;
+    }
+    if (t.IsKeyword("MORE") || t.IsKeyword("LESS")) {
+      bool more = t.IsKeyword("MORE");
+      Advance();
+      CARL_RETURN_IF_ERROR(ExpectKeyword("THAN"));
+      CARL_ASSIGN_OR_RETURN(double frac, ParseFraction());
+      cond.kind = more ? PeerCondition::Kind::kMoreThanFrac
+                       : PeerCondition::Kind::kLessThanFrac;
+      cond.value = frac;
+      return cond;
+    }
+    if (t.IsKeyword("AT")) {
+      Advance();
+      bool least;
+      if (Peek().IsKeyword("LEAST")) {
+        least = true;
+      } else if (Peek().IsKeyword("MOST")) {
+        least = false;
+      } else {
+        return ErrorAt(Peek(), "expected LEAST or MOST after AT");
+      }
+      Advance();
+      CARL_ASSIGN_OR_RETURN(Token num, Expect(TokenKind::kNumber, "a count"));
+      cond.kind = least ? PeerCondition::Kind::kAtLeastCount
+                        : PeerCondition::Kind::kAtMostCount;
+      cond.value = num.number;
+      return cond;
+    }
+    if (t.IsKeyword("EXACTLY")) {
+      Advance();
+      CARL_ASSIGN_OR_RETURN(Token num, Expect(TokenKind::kNumber, "a count"));
+      cond.kind = PeerCondition::Kind::kExactlyCount;
+      cond.value = num.number;
+      return cond;
+    }
+    return ErrorAt(t, "expected ALL, NONE, MORE, LESS, AT, or EXACTLY");
+  }
+
+  Status ParseStatement(Program* program) {
+    CARL_ASSIGN_OR_RETURN(AttributeRef head, ParseAttributeRef());
+    CARL_RETURN_IF_ERROR(Expect(TokenKind::kArrow, "'<='").status());
+
+    std::vector<AttributeRef> body;
+    while (true) {
+      CARL_ASSIGN_OR_RETURN(AttributeRef ref, ParseAttributeRef());
+      body.push_back(std::move(ref));
+      if (Peek().kind == TokenKind::kComma) {
+        Advance();
+        continue;
+      }
+      break;
+    }
+
+    if (Peek().kind == TokenKind::kQuestion) {
+      Advance();
+      if (body.size() != 1) {
+        return ErrorAt(Peek(),
+                       "a causal query has exactly one treatment attribute");
+      }
+      CausalQuery query;
+      query.response = std::move(head);
+      query.treatment = std::move(body[0]);
+      if (Peek().IsKeyword("WHEN")) {
+        Advance();
+        CARL_ASSIGN_OR_RETURN(PeerCondition cond, ParsePeerCondition());
+        CARL_RETURN_IF_ERROR(ExpectKeyword("PEERS"));
+        CARL_RETURN_IF_ERROR(ExpectKeyword("TREATED"));
+        query.peer_condition = cond;
+      }
+      if (Peek().IsKeyword("WHERE")) {
+        Advance();
+        CARL_ASSIGN_OR_RETURN(query.where, ParseCondition());
+      }
+      program->queries.push_back(std::move(query));
+      return Status::OK();
+    }
+
+    ConjunctiveQuery where;
+    if (Peek().IsKeyword("WHERE")) {
+      Advance();
+      CARL_ASSIGN_OR_RETURN(where, ParseCondition());
+    }
+
+    AggregateKind agg;
+    if (SplitAggregateName(head.attribute, &agg)) {
+      if (body.size() != 1) {
+        return ErrorAt(Peek(),
+                       "an aggregate rule has exactly one source attribute");
+      }
+      AggregateRule rule;
+      rule.head = std::move(head);
+      rule.aggregate = agg;
+      rule.source = std::move(body[0]);
+      rule.where = std::move(where);
+      program->aggregate_rules.push_back(std::move(rule));
+      return Status::OK();
+    }
+
+    CausalRule rule;
+    rule.head = std::move(head);
+    rule.body = std::move(body);
+    rule.where = std::move(where);
+    program->rules.push_back(std::move(rule));
+    return Status::OK();
+  }
+
+  std::vector<Token> tokens_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+Result<Program> ParseProgram(const std::string& text) {
+  CARL_ASSIGN_OR_RETURN(std::vector<Token> tokens, Tokenize(text));
+  Parser parser(std::move(tokens));
+  return parser.ParseProgram();
+}
+
+Result<CausalRule> ParseRule(const std::string& text) {
+  CARL_ASSIGN_OR_RETURN(Program program, ParseProgram(text));
+  if (program.rules.size() != 1 || !program.queries.empty() ||
+      !program.aggregate_rules.empty()) {
+    return Status::InvalidArgument(
+        "expected exactly one causal rule in: " + text);
+  }
+  return std::move(program.rules[0]);
+}
+
+Result<AggregateRule> ParseAggregateRule(const std::string& text) {
+  CARL_ASSIGN_OR_RETURN(Program program, ParseProgram(text));
+  if (program.aggregate_rules.size() != 1 || !program.queries.empty() ||
+      !program.rules.empty()) {
+    return Status::InvalidArgument(
+        "expected exactly one aggregate rule in: " + text);
+  }
+  return std::move(program.aggregate_rules[0]);
+}
+
+Result<CausalQuery> ParseQuery(const std::string& text) {
+  CARL_ASSIGN_OR_RETURN(Program program, ParseProgram(text));
+  if (program.queries.size() != 1 || !program.rules.empty() ||
+      !program.aggregate_rules.empty()) {
+    return Status::InvalidArgument(
+        "expected exactly one causal query in: " + text);
+  }
+  return std::move(program.queries[0]);
+}
+
+}  // namespace carl

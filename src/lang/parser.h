@@ -1,0 +1,56 @@
+// Parser for CaRL programs.
+//
+// Grammar (keywords case-insensitive; statements need no separator, an
+// optional ';' is allowed):
+//
+//   program    := statement*
+//   statement  := rule | query
+//   rule       := attr_ref "<=" attr_ref ("," attr_ref)* [WHERE cond]
+//   query      := attr_ref "<=" attr_ref "?" [WHEN peer PEERS TREATED]
+//                 [WHERE cond]
+//   attr_ref   := IDENT "[" term ("," term)* "]"
+//   term       := IDENT            (variable)
+//               | STRING | NUMBER  (constant)
+//   cond       := elem ("," elem)*
+//   elem       := IDENT "(" term ("," term)* ")"        (atom)
+//               | attr_ref cmp literal                  (constraint)
+//   cmp        := "=" | "!=" | "<" | "<=" | ">" | ">="
+//   literal    := STRING | NUMBER | TRUE | FALSE
+//   peer       := (MORE | LESS) THAN frac
+//               | AT (MOST | LEAST) NUMBER
+//               | EXACTLY NUMBER | ALL | NONE
+//   frac       := NUMBER "%" | NUMBER "/" NUMBER | NUMBER   (in [0,1])
+//
+// A rule whose head attribute is prefixed by an aggregate name and an
+// underscore (AVG_Score, MEDIAN_Bill, ...) parses as an aggregate rule
+// (paper eq. 11) and must have exactly one body attribute.
+
+#ifndef CARL_LANG_PARSER_H_
+#define CARL_LANG_PARSER_H_
+
+#include <string>
+
+#include "common/result.h"
+#include "lang/ast.h"
+
+namespace carl {
+
+/// Parses a whole program (any mix of rules and queries).
+Result<Program> ParseProgram(const std::string& text);
+
+/// Parses text expected to contain exactly one causal rule.
+Result<CausalRule> ParseRule(const std::string& text);
+
+/// Parses text expected to contain exactly one aggregate rule.
+Result<AggregateRule> ParseAggregateRule(const std::string& text);
+
+/// Parses text expected to contain exactly one causal query.
+Result<CausalQuery> ParseQuery(const std::string& text);
+
+/// Splits "AVG_Score" into (kAvg, true); returns false for non-aggregate
+/// names. Exposed for the engine, which derives aggregated responses.
+bool SplitAggregateName(const std::string& name, AggregateKind* kind);
+
+}  // namespace carl
+
+#endif  // CARL_LANG_PARSER_H_

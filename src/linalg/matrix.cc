@@ -1,0 +1,127 @@
+#include "linalg/matrix.h"
+
+#include <cmath>
+#include <sstream>
+
+#include "common/logging.h"
+
+namespace carl {
+
+Matrix Matrix::FromRows(const std::vector<std::vector<double>>& rows) {
+  if (rows.empty()) return Matrix();
+  Matrix m(rows.size(), rows[0].size());
+  for (size_t r = 0; r < rows.size(); ++r) {
+    CARL_CHECK(rows[r].size() == m.cols_) << "ragged rows in FromRows";
+    for (size_t c = 0; c < m.cols_; ++c) m.At(r, c) = rows[r][c];
+  }
+  return m;
+}
+
+Matrix Matrix::Identity(size_t n) {
+  Matrix m(n, n);
+  for (size_t i = 0; i < n; ++i) m.At(i, i) = 1.0;
+  return m;
+}
+
+Matrix Matrix::Transpose() const {
+  Matrix t(cols_, rows_);
+  for (size_t r = 0; r < rows_; ++r) {
+    for (size_t c = 0; c < cols_; ++c) t.At(c, r) = At(r, c);
+  }
+  return t;
+}
+
+Matrix Matrix::MatMul(const Matrix& other) const {
+  CARL_CHECK(cols_ == other.rows_)
+      << "MatMul dimension mismatch: " << cols_ << " vs " << other.rows_;
+  Matrix out(rows_, other.cols_);
+  for (size_t r = 0; r < rows_; ++r) {
+    for (size_t k = 0; k < cols_; ++k) {
+      double a = At(r, k);
+      if (a == 0.0) continue;
+      for (size_t c = 0; c < other.cols_; ++c) {
+        out.At(r, c) += a * other.At(k, c);
+      }
+    }
+  }
+  return out;
+}
+
+std::vector<double> Matrix::MatVec(const std::vector<double>& v) const {
+  CARL_CHECK(v.size() == cols_) << "MatVec dimension mismatch";
+  std::vector<double> out(rows_, 0.0);
+  for (size_t r = 0; r < rows_; ++r) {
+    double acc = 0.0;
+    const double* row = &data_[r * cols_];
+    for (size_t c = 0; c < cols_; ++c) acc += row[c] * v[c];
+    out[r] = acc;
+  }
+  return out;
+}
+
+Matrix Matrix::Gram() const {
+  Matrix g(cols_, cols_);
+  for (size_t r = 0; r < rows_; ++r) {
+    const double* row = &data_[r * cols_];
+    for (size_t i = 0; i < cols_; ++i) {
+      double ri = row[i];
+      if (ri == 0.0) continue;
+      for (size_t j = i; j < cols_; ++j) {
+        g.At(i, j) += ri * row[j];
+      }
+    }
+  }
+  for (size_t i = 0; i < cols_; ++i) {
+    for (size_t j = 0; j < i; ++j) g.At(i, j) = g.At(j, i);
+  }
+  return g;
+}
+
+std::vector<double> Matrix::TransposeVec(const std::vector<double>& v) const {
+  CARL_CHECK(v.size() == rows_) << "TransposeVec dimension mismatch";
+  std::vector<double> out(cols_, 0.0);
+  for (size_t r = 0; r < rows_; ++r) {
+    double vr = v[r];
+    if (vr == 0.0) continue;
+    const double* row = &data_[r * cols_];
+    for (size_t c = 0; c < cols_; ++c) out[c] += row[c] * vr;
+  }
+  return out;
+}
+
+std::vector<double> Matrix::Row(size_t r) const {
+  CARL_CHECK(r < rows_) << "row out of range";
+  return std::vector<double>(data_.begin() + static_cast<long>(r * cols_),
+                             data_.begin() + static_cast<long>((r + 1) * cols_));
+}
+
+std::vector<double> Matrix::Col(size_t c) const {
+  CARL_CHECK(c < cols_) << "col out of range";
+  std::vector<double> out(rows_);
+  for (size_t r = 0; r < rows_; ++r) out[r] = At(r, c);
+  return out;
+}
+
+std::string Matrix::ToString() const {
+  std::ostringstream os;
+  for (size_t r = 0; r < rows_; ++r) {
+    os << "[";
+    for (size_t c = 0; c < cols_; ++c) {
+      if (c > 0) os << ", ";
+      os << At(r, c);
+    }
+    os << "]\n";
+  }
+  return os.str();
+}
+
+double Dot(const std::vector<double>& a, const std::vector<double>& b) {
+  CARL_CHECK(a.size() == b.size()) << "Dot size mismatch";
+  double acc = 0.0;
+  for (size_t i = 0; i < a.size(); ++i) acc += a[i] * b[i];
+  return acc;
+}
+
+double Norm2(const std::vector<double>& v) { return std::sqrt(Dot(v, v)); }
+
+}  // namespace carl

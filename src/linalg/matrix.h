@@ -1,0 +1,72 @@
+// Dense row-major matrix and the handful of operations the statistics
+// layer needs (products, transpose, symmetric solves). Deliberately small:
+// unit tables are tall-skinny (n rows, a few dozen columns), so the cost
+// centre is X^T X accumulation, not factorization.
+
+#ifndef CARL_LINALG_MATRIX_H_
+#define CARL_LINALG_MATRIX_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace carl {
+
+class Matrix {
+ public:
+  Matrix() : rows_(0), cols_(0) {}
+  Matrix(size_t rows, size_t cols, double fill = 0.0)
+      : rows_(rows), cols_(cols), data_(rows * cols, fill) {}
+
+  /// Builds a matrix from nested initializer data; all rows must have the
+  /// same width.
+  static Matrix FromRows(const std::vector<std::vector<double>>& rows);
+  static Matrix Identity(size_t n);
+
+  size_t rows() const { return rows_; }
+  size_t cols() const { return cols_; }
+  bool empty() const { return data_.empty(); }
+
+  double& At(size_t r, size_t c) { return data_[r * cols_ + c]; }
+  double At(size_t r, size_t c) const { return data_[r * cols_ + c]; }
+  double& operator()(size_t r, size_t c) { return At(r, c); }
+  double operator()(size_t r, size_t c) const { return At(r, c); }
+
+  const std::vector<double>& data() const { return data_; }
+
+  Matrix Transpose() const;
+
+  /// this * other; dimensions must agree.
+  Matrix MatMul(const Matrix& other) const;
+
+  /// this * v for a column vector v of length cols().
+  std::vector<double> MatVec(const std::vector<double>& v) const;
+
+  /// X^T X, exploiting symmetry (the Gram matrix of the columns).
+  Matrix Gram() const;
+
+  /// X^T v, for v of length rows().
+  std::vector<double> TransposeVec(const std::vector<double>& v) const;
+
+  /// Row r as a vector copy.
+  std::vector<double> Row(size_t r) const;
+  /// Column c as a vector copy.
+  std::vector<double> Col(size_t c) const;
+
+  std::string ToString() const;
+
+ private:
+  size_t rows_;
+  size_t cols_;
+  std::vector<double> data_;
+};
+
+/// Dot product; sizes must match.
+double Dot(const std::vector<double>& a, const std::vector<double>& b);
+
+/// Euclidean norm.
+double Norm2(const std::vector<double>& v);
+
+}  // namespace carl
+
+#endif  // CARL_LINALG_MATRIX_H_

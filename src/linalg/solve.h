@@ -1,0 +1,39 @@
+// Symmetric positive-definite solves and least squares.
+//
+// OLS and IRLS both reduce to solving (X^T W X) b = X^T W y; we factor the
+// Gram matrix with Cholesky and fall back to a progressively-ridged system
+// when columns are (near-)collinear — which happens routinely in unit
+// tables, e.g. when a peer-treatment embedding is constant within a stratum.
+
+#ifndef CARL_LINALG_SOLVE_H_
+#define CARL_LINALG_SOLVE_H_
+
+#include <vector>
+
+#include "common/result.h"
+#include "linalg/matrix.h"
+
+namespace carl {
+
+/// In-place Cholesky factorization A = L L^T of an SPD matrix.
+/// Returns the lower-triangular factor, or InvalidArgument if A is not
+/// positive definite (within tolerance).
+Result<Matrix> Cholesky(const Matrix& a);
+
+/// Solves A x = b for SPD A via Cholesky.
+Result<std::vector<double>> CholeskySolve(const Matrix& a,
+                                          const std::vector<double>& b);
+
+/// Least squares: minimizes ||X b - y||^2 via normal equations, adding an
+/// escalating ridge (up to `max_ridge`) if the Gram matrix is singular.
+/// Returns the coefficient vector of length X.cols().
+Result<std::vector<double>> SolveLeastSquares(const Matrix& x,
+                                              const std::vector<double>& y,
+                                              double max_ridge = 1e-4);
+
+/// Inverse of an SPD matrix via Cholesky; used for coefficient covariance.
+Result<Matrix> SpdInverse(const Matrix& a);
+
+}  // namespace carl
+
+#endif  // CARL_LINALG_SOLVE_H_

@@ -1,0 +1,114 @@
+#include "relational/aggregates.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/str_util.h"
+
+namespace carl {
+
+const char* AggregateKindToString(AggregateKind kind) {
+  switch (kind) {
+    case AggregateKind::kAvg: return "AVG";
+    case AggregateKind::kSum: return "SUM";
+    case AggregateKind::kCount: return "COUNT";
+    case AggregateKind::kMin: return "MIN";
+    case AggregateKind::kMax: return "MAX";
+    case AggregateKind::kMedian: return "MEDIAN";
+    case AggregateKind::kVariance: return "VAR";
+    case AggregateKind::kStd: return "STD";
+    case AggregateKind::kSkewness: return "SKEW";
+  }
+  return "?";
+}
+
+Result<AggregateKind> ParseAggregateKind(const std::string& name) {
+  std::string upper = ToUpper(name);
+  if (upper == "AVG" || upper == "MEAN") return AggregateKind::kAvg;
+  if (upper == "SUM") return AggregateKind::kSum;
+  if (upper == "COUNT") return AggregateKind::kCount;
+  if (upper == "MIN") return AggregateKind::kMin;
+  if (upper == "MAX") return AggregateKind::kMax;
+  if (upper == "MEDIAN") return AggregateKind::kMedian;
+  if (upper == "VAR" || upper == "VARIANCE") return AggregateKind::kVariance;
+  if (upper == "STD" || upper == "STDDEV") return AggregateKind::kStd;
+  if (upper == "SKEW" || upper == "SKEWNESS") return AggregateKind::kSkewness;
+  return Status::InvalidArgument("unknown aggregate: " + name);
+}
+
+namespace {
+
+double Mean(const std::vector<double>& v) {
+  if (v.empty()) return 0.0;
+  double s = 0.0;
+  for (double x : v) s += x;
+  return s / static_cast<double>(v.size());
+}
+
+double PopulationVariance(const std::vector<double>& v) {
+  if (v.size() < 2) return 0.0;
+  double m = Mean(v);
+  double s = 0.0;
+  for (double x : v) s += (x - m) * (x - m);
+  return s / static_cast<double>(v.size());
+}
+
+}  // namespace
+
+double ApplyAggregate(AggregateKind kind, const std::vector<double>& values) {
+  switch (kind) {
+    case AggregateKind::kCount:
+      return static_cast<double>(values.size());
+    case AggregateKind::kSum: {
+      double s = 0.0;
+      for (double x : values) s += x;
+      return s;
+    }
+    case AggregateKind::kAvg:
+      return Mean(values);
+    case AggregateKind::kMin:
+      return values.empty() ? 0.0
+                            : *std::min_element(values.begin(), values.end());
+    case AggregateKind::kMax:
+      return values.empty() ? 0.0
+                            : *std::max_element(values.begin(), values.end());
+    case AggregateKind::kMedian: {
+      if (values.empty()) return 0.0;
+      std::vector<double> sorted = values;
+      std::sort(sorted.begin(), sorted.end());
+      size_t n = sorted.size();
+      if (n % 2 == 1) return sorted[n / 2];
+      return 0.5 * (sorted[n / 2 - 1] + sorted[n / 2]);
+    }
+    case AggregateKind::kVariance:
+      return PopulationVariance(values);
+    case AggregateKind::kStd:
+      return std::sqrt(PopulationVariance(values));
+    case AggregateKind::kSkewness: {
+      if (values.size() < 2) return 0.0;
+      double m = Mean(values);
+      double var = PopulationVariance(values);
+      if (var <= 0.0) return 0.0;
+      double s3 = 0.0;
+      for (double x : values) s3 += std::pow(x - m, 3.0);
+      s3 /= static_cast<double>(values.size());
+      return s3 / std::pow(var, 1.5);
+    }
+  }
+  return 0.0;
+}
+
+double Moment(const std::vector<double>& values, int k) {
+  if (k <= 1) return Mean(values);
+  if (k == 2) return PopulationVariance(values);
+  if (values.size() < 2) return 0.0;
+  double m = Mean(values);
+  double var = PopulationVariance(values);
+  if (var <= 0.0) return 0.0;
+  double acc = 0.0;
+  for (double x : values) acc += std::pow(x - m, k);
+  acc /= static_cast<double>(values.size());
+  return acc / std::pow(std::sqrt(var), k);
+}
+
+}  // namespace carl

@@ -1,0 +1,44 @@
+// Aggregate functions over grounded attribute vectors: the AGG of
+// aggregated rules (paper eq. (11)) and the building blocks of embedding
+// functions ψ (§5.2.2 — mean/median + cardinality, moments).
+
+#ifndef CARL_RELATIONAL_AGGREGATES_H_
+#define CARL_RELATIONAL_AGGREGATES_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+
+namespace carl {
+
+enum class AggregateKind {
+  kAvg,
+  kSum,
+  kCount,
+  kMin,
+  kMax,
+  kMedian,
+  kVariance,   ///< population variance
+  kStd,        ///< population standard deviation
+  kSkewness,   ///< third standardized moment (0 for fewer than 2 values)
+};
+
+const char* AggregateKindToString(AggregateKind kind);
+
+/// Parses "AVG", "SUM", "COUNT", "MIN", "MAX", "MEDIAN", "VAR", "STD",
+/// "SKEW" (case-insensitive).
+Result<AggregateKind> ParseAggregateKind(const std::string& name);
+
+/// Applies the aggregate. For an empty input: kCount/kSum return 0 and all
+/// others return 0.0 — callers that need to distinguish "no parents" carry
+/// the cardinality separately (the paper's mean embedding does exactly
+/// this: aggregate plus cardinality).
+double ApplyAggregate(AggregateKind kind, const std::vector<double>& values);
+
+/// k-th central moment standardized for k >= 3; k=1 mean, k=2 variance.
+double Moment(const std::vector<double>& values, int k);
+
+}  // namespace carl
+
+#endif  // CARL_RELATIONAL_AGGREGATES_H_

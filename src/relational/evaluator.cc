@@ -1,0 +1,329 @@
+#include "relational/evaluator.h"
+
+#include <algorithm>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "common/logging.h"
+#include "common/str_util.h"
+
+namespace carl {
+namespace {
+
+// One argument position of a compiled atom: either a dense variable id or
+// an interned constant.
+struct CompiledTerm {
+  bool is_var = false;
+  int var = -1;          // dense variable id when is_var
+  SymbolId constant = kInvalidSymbol;  // when !is_var
+  bool unseen_constant = false;  // constant never interned -> no matches
+};
+
+struct CompiledAtom {
+  PredicateId predicate = kInvalidPredicate;
+  std::vector<CompiledTerm> terms;
+};
+
+struct CompiledConstraint {
+  AttributeId attribute = kInvalidAttribute;
+  std::vector<CompiledTerm> terms;
+  CompareOp op = CompareOp::kEq;
+  Value rhs;
+};
+
+struct CompiledQuery {
+  std::vector<CompiledAtom> atoms;
+  std::vector<CompiledConstraint> constraints;
+  int num_vars = 0;
+  std::unordered_map<std::string, int> var_ids;
+};
+
+class Compiler {
+ public:
+  Compiler(const Instance& instance) : instance_(instance) {}
+
+  Result<CompiledQuery> Compile(const ConjunctiveQuery& query) {
+    CompiledQuery out;
+    for (const Atom& atom : query.atoms) {
+      CARL_ASSIGN_OR_RETURN(PredicateId pid,
+                            instance_.schema().FindPredicate(atom.predicate));
+      const Predicate& p = instance_.schema().predicate(pid);
+      if (static_cast<int>(atom.args.size()) != p.arity()) {
+        return Status::InvalidArgument(
+            StrFormat("atom %s has %zu args, predicate arity is %d",
+                      atom.predicate.c_str(), atom.args.size(), p.arity()));
+      }
+      CompiledAtom ca;
+      ca.predicate = pid;
+      for (const Term& t : atom.args) ca.terms.push_back(CompileTerm(t, &out));
+      out.atoms.push_back(std::move(ca));
+    }
+    for (const AttributeConstraint& c : query.constraints) {
+      CARL_ASSIGN_OR_RETURN(AttributeId aid,
+                            instance_.schema().FindAttribute(c.attribute));
+      const AttributeDef& def = instance_.schema().attribute(aid);
+      const Predicate& p = instance_.schema().predicate(def.predicate);
+      if (static_cast<int>(c.args.size()) != p.arity()) {
+        return Status::InvalidArgument(
+            StrFormat("constraint on %s has %zu args, expected %d",
+                      c.attribute.c_str(), c.args.size(), p.arity()));
+      }
+      CompiledConstraint cc;
+      cc.attribute = aid;
+      cc.op = c.op;
+      cc.rhs = c.rhs;
+      for (const Term& t : c.args) {
+        CompiledTerm ct = CompileTerm(t, nullptr);
+        if (ct.is_var) {
+          auto it =
+              std::find_if(out.var_ids.begin(), out.var_ids.end(),
+                           [&](const auto& kv) { return kv.first == t.text; });
+          if (it == out.var_ids.end()) {
+            return Status::InvalidArgument(
+                "constraint variable " + t.text +
+                " does not occur in any atom (unsafe query)");
+          }
+          ct.var = it->second;
+        }
+        cc.terms.push_back(ct);
+      }
+      out.constraints.push_back(std::move(cc));
+    }
+    return out;
+  }
+
+ private:
+  // `query` non-null: new variables are registered. Null: lookup-only
+  // (used for constraints, which must reference atom variables).
+  CompiledTerm CompileTerm(const Term& t, CompiledQuery* query) {
+    CompiledTerm ct;
+    if (t.is_variable()) {
+      ct.is_var = true;
+      if (query != nullptr) {
+        auto [it, inserted] = query->var_ids.emplace(t.text, query->num_vars);
+        if (inserted) ++query->num_vars;
+        ct.var = it->second;
+      }
+    } else {
+      ct.constant = instance_.LookupConstant(t.text);
+      if (ct.constant == kInvalidSymbol) ct.unseen_constant = true;
+    }
+    return ct;
+  }
+
+  const Instance& instance_;
+};
+
+// Depth-first join over compiled atoms.
+class Searcher {
+ public:
+  Searcher(const Instance& instance, const CompiledQuery& query)
+      : instance_(instance),
+        query_(query),
+        assignment_(static_cast<size_t>(query.num_vars), kInvalidSymbol),
+        atom_done_(query.atoms.size(), false),
+        constraint_done_(query.constraints.size(), false) {}
+
+  // Calls `leaf` on each complete assignment. `leaf` returns false to stop.
+  template <typename Leaf>
+  void Run(Leaf&& leaf) {
+    stop_ = false;
+    Recurse(0, leaf);
+  }
+
+  const std::vector<SymbolId>& assignment() const { return assignment_; }
+
+ private:
+  bool TermBound(const CompiledTerm& t) const {
+    return !t.is_var || assignment_[t.var] != kInvalidSymbol;
+  }
+
+  SymbolId TermValue(const CompiledTerm& t) const {
+    return t.is_var ? assignment_[t.var] : t.constant;
+  }
+
+  // Evaluates constraints whose variables are all bound and which have not
+  // fired yet. Returns false if any fails; records fired ones in `fired`.
+  bool CheckReadyConstraints(std::vector<size_t>* fired) {
+    for (size_t i = 0; i < query_.constraints.size(); ++i) {
+      if (constraint_done_[i]) continue;
+      const CompiledConstraint& c = query_.constraints[i];
+      bool ready = true;
+      for (const CompiledTerm& t : c.terms) {
+        if (!TermBound(t)) { ready = false; break; }
+      }
+      if (!ready) continue;
+      Tuple args;
+      args.reserve(c.terms.size());
+      bool unseen = false;
+      for (const CompiledTerm& t : c.terms) {
+        if (t.unseen_constant) { unseen = true; break; }
+        args.push_back(TermValue(t));
+      }
+      bool pass = false;
+      if (!unseen) {
+        std::optional<Value> v = instance_.GetAttribute(c.attribute, args);
+        pass = v.has_value() && CompareValues(*v, c.op, c.rhs);
+      }
+      if (!pass) {
+        // Roll back constraints fired earlier in this call.
+        for (size_t f : *fired) constraint_done_[f] = false;
+        return false;
+      }
+      constraint_done_[i] = true;
+      fired->push_back(i);
+    }
+    return true;
+  }
+
+  // Chooses the undone atom with the most bound positions (ties: smaller
+  // relation). Returns its index or -1 when all atoms are placed.
+  int PickAtom() const {
+    int best = -1;
+    int best_bound = -1;
+    size_t best_size = 0;
+    for (size_t i = 0; i < query_.atoms.size(); ++i) {
+      if (atom_done_[i]) continue;
+      const CompiledAtom& atom = query_.atoms[i];
+      int bound = 0;
+      for (const CompiledTerm& t : atom.terms) {
+        if (TermBound(t)) ++bound;
+      }
+      size_t size = instance_.Rows(atom.predicate).size();
+      if (bound > best_bound ||
+          (bound == best_bound && size < best_size)) {
+        best = static_cast<int>(i);
+        best_bound = bound;
+        best_size = size;
+      }
+    }
+    return best;
+  }
+
+  template <typename Leaf>
+  void Recurse(size_t atoms_placed, Leaf&& leaf) {
+    if (stop_) return;
+    if (atoms_placed == query_.atoms.size()) {
+      if (!leaf(assignment_)) stop_ = true;
+      return;
+    }
+    int ai = PickAtom();
+    CARL_DCHECK(ai >= 0);
+    const CompiledAtom& atom = query_.atoms[ai];
+    atom_done_[ai] = true;
+
+    // Split positions into bound (index key) and free.
+    std::vector<int> bound_positions;
+    Tuple key;
+    bool unseen = false;
+    for (size_t p = 0; p < atom.terms.size(); ++p) {
+      const CompiledTerm& t = atom.terms[p];
+      if (!t.is_var && t.unseen_constant) { unseen = true; break; }
+      if (TermBound(t)) {
+        bound_positions.push_back(static_cast<int>(p));
+        key.push_back(TermValue(t));
+      }
+    }
+    if (!unseen) {
+      const std::vector<uint32_t>& rows =
+          instance_.Match(atom.predicate, bound_positions, key);
+      const std::vector<Tuple>& all = instance_.Rows(atom.predicate);
+      for (uint32_t r : rows) {
+        if (stop_) break;
+        const Tuple& row = all[r];
+        // Bind free positions; verify intra-atom repeated variables.
+        std::vector<int> newly_bound;
+        bool ok = true;
+        for (size_t p = 0; p < atom.terms.size(); ++p) {
+          const CompiledTerm& t = atom.terms[p];
+          if (!t.is_var) continue;
+          SymbolId cur = assignment_[t.var];
+          if (cur == kInvalidSymbol) {
+            assignment_[t.var] = row[p];
+            newly_bound.push_back(t.var);
+          } else if (cur != row[p]) {
+            ok = false;
+            break;
+          }
+        }
+        std::vector<size_t> fired;
+        if (ok && CheckReadyConstraints(&fired)) {
+          Recurse(atoms_placed + 1, leaf);
+          for (size_t f : fired) constraint_done_[f] = false;
+        }
+        for (int v : newly_bound) assignment_[v] = kInvalidSymbol;
+      }
+    }
+    atom_done_[ai] = false;
+  }
+
+  const Instance& instance_;
+  const CompiledQuery& query_;
+  std::vector<SymbolId> assignment_;
+  std::vector<bool> atom_done_;
+  std::vector<bool> constraint_done_;
+  bool stop_ = false;
+};
+
+}  // namespace
+
+QueryEvaluator::QueryEvaluator(const Instance* instance)
+    : instance_(instance) {
+  CARL_CHECK(instance != nullptr);
+}
+
+Result<std::vector<Tuple>> QueryEvaluator::Evaluate(
+    const ConjunctiveQuery& query,
+    const std::vector<std::string>& output_vars) const {
+  Compiler compiler(*instance_);
+  CARL_ASSIGN_OR_RETURN(CompiledQuery compiled, compiler.Compile(query));
+
+  std::vector<int> projection;
+  projection.reserve(output_vars.size());
+  for (const std::string& v : output_vars) {
+    auto it = compiled.var_ids.find(v);
+    if (it == compiled.var_ids.end()) {
+      return Status::InvalidArgument("output variable " + v +
+                                     " does not occur in the query");
+    }
+    projection.push_back(it->second);
+  }
+
+  std::unordered_set<Tuple, TupleHash> seen;
+  std::vector<Tuple> results;
+  Searcher searcher(*instance_, compiled);
+  searcher.Run([&](const std::vector<SymbolId>& assignment) {
+    Tuple projected;
+    projected.reserve(projection.size());
+    for (int v : projection) projected.push_back(assignment[v]);
+    if (seen.insert(projected).second) results.push_back(std::move(projected));
+    return true;
+  });
+  return results;
+}
+
+Result<bool> QueryEvaluator::Ask(const ConjunctiveQuery& query) const {
+  Compiler compiler(*instance_);
+  CARL_ASSIGN_OR_RETURN(CompiledQuery compiled, compiler.Compile(query));
+  bool found = false;
+  Searcher searcher(*instance_, compiled);
+  searcher.Run([&](const std::vector<SymbolId>&) {
+    found = true;
+    return false;  // stop at the first witness
+  });
+  return found;
+}
+
+Result<size_t> QueryEvaluator::Count(const ConjunctiveQuery& query) const {
+  Compiler compiler(*instance_);
+  CARL_ASSIGN_OR_RETURN(CompiledQuery compiled, compiler.Compile(query));
+  size_t count = 0;
+  Searcher searcher(*instance_, compiled);
+  searcher.Run([&](const std::vector<SymbolId>&) {
+    ++count;
+    return true;
+  });
+  return count;
+}
+
+}  // namespace carl

@@ -1,0 +1,51 @@
+// QueryEvaluator: evaluates conjunctive queries against an Instance.
+//
+// Grounding a CaRL rule (Def. 3.5) asks for all bindings of the
+// distinguished variables Z such that ∆ |= Q([Y/z]) with the remaining
+// variables existentially quantified; this evaluator answers exactly that.
+//
+// Strategy: greedy most-bound-first index-nested-loop join. At every step
+// the atom with the most bound argument positions is scheduled next (ties
+// broken towards the smaller relation), and its matching rows are fetched
+// through the instance's hash index on those positions. Attribute
+// constraints fire as soon as all their variables are bound. Results are
+// deduplicated on the projection to the distinguished variables.
+
+#ifndef CARL_RELATIONAL_EVALUATOR_H_
+#define CARL_RELATIONAL_EVALUATOR_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "relational/conjunctive_query.h"
+#include "relational/instance.h"
+#include "relational/tuple.h"
+
+namespace carl {
+
+class QueryEvaluator {
+ public:
+  explicit QueryEvaluator(const Instance* instance);
+
+  /// Distinct bindings of `output_vars`, each a Tuple of constant ids
+  /// aligned with `output_vars`. Every output variable must occur in some
+  /// atom of the query. An empty query with no output vars is satisfied
+  /// (returns one empty tuple).
+  Result<std::vector<Tuple>> Evaluate(
+      const ConjunctiveQuery& query,
+      const std::vector<std::string>& output_vars) const;
+
+  /// Boolean query: does any satisfying assignment exist?
+  Result<bool> Ask(const ConjunctiveQuery& query) const;
+
+  /// Number of satisfying assignments of all variables (no projection).
+  Result<size_t> Count(const ConjunctiveQuery& query) const;
+
+ private:
+  const Instance* instance_;
+};
+
+}  // namespace carl
+
+#endif  // CARL_RELATIONAL_EVALUATOR_H_

@@ -1,0 +1,87 @@
+#include "relational/flat_table.h"
+
+#include <sstream>
+
+#include "common/logging.h"
+#include "common/str_util.h"
+
+namespace carl {
+
+Result<size_t> FlatTable::ColumnIndex(const std::string& name) const {
+  for (size_t i = 0; i < column_names_.size(); ++i) {
+    if (column_names_[i] == name) return i;
+  }
+  return Status::NotFound("no such column: " + name);
+}
+
+const std::vector<double>& FlatTable::Column(size_t index) const {
+  CARL_CHECK(index < columns_.size()) << "column index out of range";
+  return columns_[index];
+}
+
+const std::vector<double>& FlatTable::Column(const std::string& name) const {
+  Result<size_t> idx = ColumnIndex(name);
+  CARL_CHECK(idx.ok()) << "no such column: " << name;
+  return columns_[*idx];
+}
+
+void FlatTable::AddRow(const std::vector<double>& row) {
+  CARL_CHECK(row.size() == columns_.size())
+      << "row width " << row.size() << " != table width " << columns_.size();
+  for (size_t c = 0; c < row.size(); ++c) columns_[c].push_back(row[c]);
+}
+
+void FlatTable::AddColumn(const std::string& name,
+                          std::vector<double> values) {
+  CARL_CHECK(columns_.empty() || values.size() == num_rows())
+      << "column length mismatch";
+  column_names_.push_back(name);
+  columns_.push_back(std::move(values));
+}
+
+FlatTable FlatTable::SelectRows(const std::vector<size_t>& row_indices) const {
+  FlatTable out(column_names_);
+  for (size_t c = 0; c < columns_.size(); ++c) {
+    std::vector<double> col;
+    col.reserve(row_indices.size());
+    for (size_t r : row_indices) {
+      CARL_CHECK(r < num_rows()) << "row index out of range";
+      col.push_back(columns_[c][r]);
+    }
+    out.columns_[c] = std::move(col);
+  }
+  return out;
+}
+
+CsvDocument FlatTable::ToCsv() const {
+  CsvDocument doc;
+  doc.header = column_names_;
+  for (size_t r = 0; r < num_rows(); ++r) {
+    std::vector<std::string> row;
+    row.reserve(num_cols());
+    for (size_t c = 0; c < num_cols(); ++c) {
+      row.push_back(StrFormat("%.10g", columns_[c][r]));
+    }
+    doc.rows.push_back(std::move(row));
+  }
+  return doc;
+}
+
+std::string FlatTable::ToString(size_t max_rows) const {
+  std::ostringstream os;
+  os << Join(column_names_, "\t") << "\n";
+  size_t shown = std::min(max_rows, num_rows());
+  for (size_t r = 0; r < shown; ++r) {
+    for (size_t c = 0; c < num_cols(); ++c) {
+      if (c > 0) os << "\t";
+      os << StrFormat("%.4g", columns_[c][r]);
+    }
+    os << "\n";
+  }
+  if (shown < num_rows()) {
+    os << "... (" << num_rows() - shown << " more rows)\n";
+  }
+  return os.str();
+}
+
+}  // namespace carl

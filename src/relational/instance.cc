@@ -1,0 +1,139 @@
+#include "relational/instance.h"
+
+#include <sstream>
+
+#include "common/logging.h"
+#include "common/str_util.h"
+
+namespace carl {
+
+const std::vector<uint32_t> Instance::kEmptyMatch = {};
+
+Instance::Instance(const Schema* schema) : schema_(schema) {
+  CARL_CHECK(schema != nullptr);
+  relations_.resize(schema->num_predicates());
+  fact_set_.resize(schema->num_predicates());
+  attribute_data_.resize(schema->num_attributes());
+  indexes_.resize(schema->num_predicates());
+}
+
+Status Instance::AddFact(const std::string& predicate,
+                         const std::vector<std::string>& constants) {
+  CARL_ASSIGN_OR_RETURN(PredicateId pid, schema_->FindPredicate(predicate));
+  Tuple args;
+  args.reserve(constants.size());
+  for (const std::string& c : constants) args.push_back(Intern(c));
+  return AddFactIds(pid, std::move(args));
+}
+
+Status Instance::AddFactIds(PredicateId predicate, Tuple args) {
+  const Predicate& p = schema_->predicate(predicate);
+  if (static_cast<int>(args.size()) != p.arity()) {
+    return Status::InvalidArgument(
+        StrFormat("fact for %s has arity %zu, expected %d", p.name.c_str(),
+                  args.size(), p.arity()));
+  }
+  auto [it, inserted] = fact_set_[predicate].emplace(args, true);
+  (void)it;
+  if (inserted) {
+    relations_[predicate].rows.push_back(std::move(args));
+    indexes_[predicate].clear();  // invalidate cached indexes
+  }
+  return Status::OK();
+}
+
+Status Instance::SetAttribute(const std::string& attribute,
+                              const std::vector<std::string>& constants,
+                              Value value) {
+  CARL_ASSIGN_OR_RETURN(AttributeId aid, schema_->FindAttribute(attribute));
+  Tuple args;
+  args.reserve(constants.size());
+  for (const std::string& c : constants) args.push_back(Intern(c));
+  return SetAttributeIds(aid, std::move(args), std::move(value));
+}
+
+Status Instance::SetAttributeIds(AttributeId attribute, Tuple args,
+                                 Value value) {
+  const AttributeDef& a = schema_->attribute(attribute);
+  const Predicate& p = schema_->predicate(a.predicate);
+  if (static_cast<int>(args.size()) != p.arity()) {
+    return Status::InvalidArgument(
+        StrFormat("attribute %s takes %d args, got %zu", a.name.c_str(),
+                  p.arity(), args.size()));
+  }
+  attribute_data_[attribute][std::move(args)] = std::move(value);
+  return Status::OK();
+}
+
+std::optional<Value> Instance::GetAttribute(AttributeId attribute,
+                                            const Tuple& args) const {
+  CARL_CHECK(attribute >= 0 &&
+             static_cast<size_t>(attribute) < attribute_data_.size());
+  const auto& map = attribute_data_[attribute];
+  auto it = map.find(args);
+  if (it == map.end()) return std::nullopt;
+  return it->second;
+}
+
+const std::vector<Tuple>& Instance::Rows(PredicateId predicate) const {
+  CARL_CHECK(predicate >= 0 &&
+             static_cast<size_t>(predicate) < relations_.size());
+  return relations_[predicate].rows;
+}
+
+const std::unordered_map<Tuple, Value, TupleHash>& Instance::AttributeMap(
+    AttributeId attribute) const {
+  CARL_CHECK(attribute >= 0 &&
+             static_cast<size_t>(attribute) < attribute_data_.size());
+  return attribute_data_[attribute];
+}
+
+const Instance::PositionIndex& Instance::GetOrBuildIndex(
+    PredicateId predicate, const std::vector<int>& positions) const {
+  std::string key;
+  for (int p : positions) {
+    key += std::to_string(p);
+    key.push_back(',');
+  }
+  auto& per_pred = indexes_[predicate];
+  auto it = per_pred.find(key);
+  if (it != per_pred.end()) return it->second;
+
+  PositionIndex index;
+  const std::vector<Tuple>& rows = relations_[predicate].rows;
+  for (uint32_t r = 0; r < rows.size(); ++r) {
+    Tuple projected;
+    projected.reserve(positions.size());
+    for (int p : positions) projected.push_back(rows[r][p]);
+    index.map[std::move(projected)].push_back(r);
+  }
+  auto [inserted, ok] = per_pred.emplace(key, std::move(index));
+  (void)ok;
+  return inserted->second;
+}
+
+const std::vector<uint32_t>& Instance::Match(
+    PredicateId predicate, const std::vector<int>& positions,
+    const Tuple& key) const {
+  CARL_CHECK(predicate >= 0 &&
+             static_cast<size_t>(predicate) < relations_.size());
+  CARL_CHECK(positions.size() == key.size());
+  const PositionIndex& index = GetOrBuildIndex(predicate, positions);
+  auto it = index.map.find(key);
+  if (it == index.map.end()) return kEmptyMatch;
+  return it->second;
+}
+
+size_t Instance::TotalFacts() const {
+  size_t total = 0;
+  for (const Relation& r : relations_) total += r.rows.size();
+  return total;
+}
+
+size_t Instance::TotalAttributeValues() const {
+  size_t total = 0;
+  for (const auto& m : attribute_data_) total += m.size();
+  return total;
+}
+
+}  // namespace carl

@@ -1,0 +1,122 @@
+// Instance: an observed relational instance over a Schema (paper §3.1).
+//
+// Holds the relational skeleton ∆ (ground entity/relationship tuples with
+// interned constants) plus the grounded attribute functions — a partial map
+// (attribute, tuple) -> Value. Unobserved attributes simply have no entries.
+//
+// The instance also owns lazily-built hash indexes per (predicate, bound-
+// position mask), which back the conjunctive-query evaluator used by rule
+// grounding and the universal-table baseline.
+
+#ifndef CARL_RELATIONAL_INSTANCE_H_
+#define CARL_RELATIONAL_INSTANCE_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/interner.h"
+#include "common/result.h"
+#include "common/status.h"
+#include "common/value.h"
+#include "relational/schema.h"
+#include "relational/tuple.h"
+
+namespace carl {
+
+/// Rows of one predicate, in insertion order.
+struct Relation {
+  std::vector<Tuple> rows;
+};
+
+class Instance {
+ public:
+  explicit Instance(const Schema* schema);
+
+  const Schema& schema() const { return *schema_; }
+
+  /// Interns a constant name to its SymbolId (shared across predicates).
+  SymbolId Intern(const std::string& constant) {
+    return interner_.Intern(constant);
+  }
+  /// Name of an interned constant.
+  const std::string& ConstantName(SymbolId id) const {
+    return interner_.ToString(id);
+  }
+  /// Id of a constant, or kInvalidSymbol if unseen.
+  SymbolId LookupConstant(const std::string& constant) const {
+    return interner_.Lookup(constant);
+  }
+
+  /// Adds a ground fact P(c1, ..., ck) by constant names. Duplicates are
+  /// ignored. Fails if the predicate is unknown or the arity mismatches.
+  Status AddFact(const std::string& predicate,
+                 const std::vector<std::string>& constants);
+  /// Adds a fact by pre-interned ids (fast path for generators).
+  Status AddFactIds(PredicateId predicate, Tuple args);
+
+  /// Sets A[args] = value (by constant names). Fails on unknown attribute
+  /// or arity mismatch with the attribute's predicate.
+  Status SetAttribute(const std::string& attribute,
+                      const std::vector<std::string>& constants, Value value);
+  /// Fast path by ids. The args must be a ground tuple of the attribute's
+  /// predicate.
+  Status SetAttributeIds(AttributeId attribute, Tuple args, Value value);
+
+  /// A[args], or nullopt if unset (unobserved or missing).
+  std::optional<Value> GetAttribute(AttributeId attribute,
+                                    const Tuple& args) const;
+
+  /// All ground tuples of `predicate`.
+  const std::vector<Tuple>& Rows(PredicateId predicate) const;
+  size_t NumRows(PredicateId predicate) const {
+    return Rows(predicate).size();
+  }
+
+  /// All (tuple, value) pairs set for an attribute.
+  const std::unordered_map<Tuple, Value, TupleHash>& AttributeMap(
+      AttributeId attribute) const;
+
+  /// Row indexes of `predicate` whose values at `positions` equal `key`
+  /// (in the same order). Builds and caches a hash index per position set.
+  /// An empty position set returns all rows.
+  const std::vector<uint32_t>& Match(PredicateId predicate,
+                                     const std::vector<int>& positions,
+                                     const Tuple& key) const;
+
+  /// Total fact count across predicates.
+  size_t TotalFacts() const;
+  /// Total attribute value count.
+  size_t TotalAttributeValues() const;
+
+  size_t NumConstants() const { return interner_.size(); }
+
+  /// The constant interner (for diagnostics/naming).
+  const StringInterner& interner() const { return interner_; }
+
+ private:
+  struct PositionIndex {
+    // key (projected tuple) -> row ids.
+    std::unordered_map<Tuple, std::vector<uint32_t>, TupleHash> map;
+  };
+
+  const PositionIndex& GetOrBuildIndex(PredicateId predicate,
+                                       const std::vector<int>& positions) const;
+
+  const Schema* schema_;
+  StringInterner interner_;
+  std::vector<Relation> relations_;                    // by PredicateId
+  std::vector<std::unordered_map<Tuple, bool, TupleHash>> fact_set_;  // dedupe
+  std::vector<std::unordered_map<Tuple, Value, TupleHash>> attribute_data_;
+
+  // Index cache: per predicate, keyed by the position list.
+  mutable std::vector<std::unordered_map<std::string, PositionIndex>> indexes_;
+
+  static const std::vector<uint32_t> kEmptyMatch;
+};
+
+}  // namespace carl
+
+#endif  // CARL_RELATIONAL_INSTANCE_H_

@@ -1,0 +1,110 @@
+#include "relational/instance_io.h"
+
+#include <cctype>
+#include <cstdlib>
+
+#include "common/str_util.h"
+
+namespace carl {
+
+Value ParseCsvValue(const std::string& cell) {
+  std::string trimmed = Trim(cell);
+  if (trimmed.empty()) return Value::Null();
+  if (EqualsIgnoreCase(trimmed, "true")) return Value(true);
+  if (EqualsIgnoreCase(trimmed, "false")) return Value(false);
+  // Numeric if the whole cell parses.
+  char* end = nullptr;
+  double d = std::strtod(trimmed.c_str(), &end);
+  if (end != nullptr && *end == '\0' && end != trimmed.c_str()) {
+    bool integral = trimmed.find_first_of(".eE") == std::string::npos;
+    if (integral) return Value(static_cast<int64_t>(d));
+    return Value(d);
+  }
+  return Value(trimmed);
+}
+
+Status LoadFactsCsv(const CsvDocument& doc, const std::string& predicate,
+                    Instance* instance) {
+  if (instance == nullptr) {
+    return Status::InvalidArgument("null instance");
+  }
+  CARL_ASSIGN_OR_RETURN(PredicateId pid,
+                        instance->schema().FindPredicate(predicate));
+  const Predicate& pred = instance->schema().predicate(pid);
+  if (static_cast<int>(doc.header.size()) != pred.arity()) {
+    return Status::InvalidArgument(StrFormat(
+        "facts CSV for %s has %zu columns, predicate arity is %d",
+        predicate.c_str(), doc.header.size(), pred.arity()));
+  }
+  for (const std::vector<std::string>& row : doc.rows) {
+    std::vector<std::string> constants;
+    constants.reserve(row.size());
+    for (const std::string& cell : row) constants.push_back(Trim(cell));
+    CARL_RETURN_IF_ERROR(instance->AddFact(predicate, constants));
+  }
+  return Status::OK();
+}
+
+Status LoadAttributesCsv(const CsvDocument& doc, int key_width,
+                         Instance* instance) {
+  if (instance == nullptr) {
+    return Status::InvalidArgument("null instance");
+  }
+  if (key_width < 1 ||
+      static_cast<size_t>(key_width) >= doc.header.size()) {
+    return Status::InvalidArgument(
+        "key_width must be >= 1 and leave at least one attribute column");
+  }
+  const Schema& schema = instance->schema();
+
+  // Resolve attribute columns and check they share a predicate of the
+  // right arity.
+  std::vector<AttributeId> attrs;
+  for (size_t c = static_cast<size_t>(key_width); c < doc.header.size();
+       ++c) {
+    CARL_ASSIGN_OR_RETURN(AttributeId aid,
+                          schema.FindAttribute(Trim(doc.header[c])));
+    const Predicate& pred = schema.predicate(schema.attribute(aid).predicate);
+    if (pred.arity() != key_width) {
+      return Status::InvalidArgument(StrFormat(
+          "attribute %s expects %d key column(s), file has %d",
+          doc.header[c].c_str(), pred.arity(), key_width));
+    }
+    attrs.push_back(aid);
+  }
+
+  for (const std::vector<std::string>& row : doc.rows) {
+    std::vector<std::string> key;
+    for (int k = 0; k < key_width; ++k) key.push_back(Trim(row[k]));
+    for (size_t a = 0; a < attrs.size(); ++a) {
+      Value value = ParseCsvValue(row[static_cast<size_t>(key_width) + a]);
+      if (value.is_null()) continue;  // missing cell
+      Tuple args;
+      for (const std::string& k : key) args.push_back(instance->Intern(k));
+      CARL_RETURN_IF_ERROR(
+          instance->SetAttributeIds(attrs[a], std::move(args),
+                                    std::move(value)));
+    }
+  }
+  return Status::OK();
+}
+
+Result<CsvDocument> DumpFactsCsv(const Instance& instance,
+                                 const std::string& predicate) {
+  CARL_ASSIGN_OR_RETURN(PredicateId pid,
+                        instance.schema().FindPredicate(predicate));
+  const Predicate& pred = instance.schema().predicate(pid);
+  CsvDocument doc;
+  for (int i = 0; i < pred.arity(); ++i) {
+    doc.header.push_back(StrFormat("arg%d", i));
+  }
+  for (const Tuple& row : instance.Rows(pid)) {
+    std::vector<std::string> cells;
+    cells.reserve(row.size());
+    for (SymbolId s : row) cells.push_back(instance.ConstantName(s));
+    doc.rows.push_back(std::move(cells));
+  }
+  return doc;
+}
+
+}  // namespace carl

@@ -1,0 +1,42 @@
+// CSV import/export for relational instances, so downstream users can load
+// their own data without writing loader code.
+//
+// Facts:       one CSV per predicate, one column per argument position.
+// Attributes:  one CSV per unit predicate: the key columns (argument
+//              positions) followed by one column per attribute; empty
+//              cells are missing values.
+
+#ifndef CARL_RELATIONAL_INSTANCE_IO_H_
+#define CARL_RELATIONAL_INSTANCE_IO_H_
+
+#include <string>
+#include <vector>
+
+#include "common/csv.h"
+#include "common/result.h"
+#include "relational/instance.h"
+
+namespace carl {
+
+/// Loads ground facts for `predicate` from a CSV document. The header is
+/// ignored except for arity checking; every row becomes one fact.
+Status LoadFactsCsv(const CsvDocument& doc, const std::string& predicate,
+                    Instance* instance);
+
+/// Loads attribute values. The first `key_width` columns identify the unit
+/// tuple; each remaining column must be named after a schema attribute of
+/// the same predicate. Cells parse as (in order): empty -> skipped,
+/// "true"/"false" -> bool, numeric -> int/double, otherwise string.
+Status LoadAttributesCsv(const CsvDocument& doc, int key_width,
+                         Instance* instance);
+
+/// Exports all facts of `predicate` as CSV (argument columns arg0..argk).
+Result<CsvDocument> DumpFactsCsv(const Instance& instance,
+                                 const std::string& predicate);
+
+/// Parses one CSV cell into a Value using the rules of LoadAttributesCsv.
+Value ParseCsvValue(const std::string& cell);
+
+}  // namespace carl
+
+#endif  // CARL_RELATIONAL_INSTANCE_IO_H_

@@ -1,0 +1,118 @@
+#include "relational/schema.h"
+
+#include <sstream>
+
+#include "common/logging.h"
+#include "common/str_util.h"
+
+namespace carl {
+
+Result<PredicateId> Schema::AddEntity(const std::string& name) {
+  if (FindPredicate(name).ok()) {
+    return Status::AlreadyExists("predicate already declared: " + name);
+  }
+  Predicate p;
+  p.id = static_cast<PredicateId>(predicates_.size());
+  p.name = name;
+  p.kind = PredicateKind::kEntity;
+  p.arg_entities = {name};
+  predicates_.push_back(std::move(p));
+  return predicates_.back().id;
+}
+
+Result<PredicateId> Schema::AddRelationship(
+    const std::string& name, const std::vector<std::string>& arg_entities) {
+  if (FindPredicate(name).ok()) {
+    return Status::AlreadyExists("predicate already declared: " + name);
+  }
+  if (arg_entities.size() < 2) {
+    return Status::InvalidArgument(
+        "relationship must have arity >= 2: " + name);
+  }
+  for (const std::string& e : arg_entities) {
+    Result<PredicateId> r = FindPredicate(e);
+    if (!r.ok()) {
+      return Status::NotFound("relationship " + name +
+                              " references unknown entity: " + e);
+    }
+    if (predicate(*r).kind != PredicateKind::kEntity) {
+      return Status::InvalidArgument("relationship " + name +
+                                     " argument is not an entity: " + e);
+    }
+  }
+  Predicate p;
+  p.id = static_cast<PredicateId>(predicates_.size());
+  p.name = name;
+  p.kind = PredicateKind::kRelationship;
+  p.arg_entities = arg_entities;
+  predicates_.push_back(std::move(p));
+  return predicates_.back().id;
+}
+
+Result<AttributeId> Schema::AddAttribute(const std::string& name,
+                                         const std::string& predicate_name,
+                                         bool observed, ValueType type) {
+  if (FindAttribute(name).ok()) {
+    return Status::AlreadyExists("attribute already declared: " + name);
+  }
+  CARL_ASSIGN_OR_RETURN(PredicateId pid, FindPredicate(predicate_name));
+  AttributeDef a;
+  a.id = static_cast<AttributeId>(attributes_.size());
+  a.name = name;
+  a.predicate = pid;
+  a.observed = observed;
+  a.type = type;
+  attributes_.push_back(std::move(a));
+  return attributes_.back().id;
+}
+
+Result<PredicateId> Schema::FindPredicate(const std::string& name) const {
+  for (const Predicate& p : predicates_) {
+    if (p.name == name) return p.id;
+  }
+  return Status::NotFound("unknown predicate: " + name);
+}
+
+Result<AttributeId> Schema::FindAttribute(const std::string& name) const {
+  for (const AttributeDef& a : attributes_) {
+    if (a.name == name) return a.id;
+  }
+  return Status::NotFound("unknown attribute: " + name);
+}
+
+const Predicate& Schema::predicate(PredicateId id) const {
+  CARL_CHECK(id >= 0 && static_cast<size_t>(id) < predicates_.size())
+      << "predicate id out of range: " << id;
+  return predicates_[id];
+}
+
+const AttributeDef& Schema::attribute(AttributeId id) const {
+  CARL_CHECK(id >= 0 && static_cast<size_t>(id) < attributes_.size())
+      << "attribute id out of range: " << id;
+  return attributes_[id];
+}
+
+std::string Schema::ToString() const {
+  std::ostringstream os;
+  os << "P = ";
+  std::vector<std::string> preds;
+  for (const Predicate& p : predicates_) {
+    if (p.kind == PredicateKind::kEntity) {
+      preds.push_back(p.name + "(.)");
+    } else {
+      preds.push_back(p.name + "(" + Join(p.arg_entities, ", ") + ")");
+    }
+  }
+  os << Join(preds, ", ") << "\n";
+  os << "A = ";
+  std::vector<std::string> attrs;
+  for (const AttributeDef& a : attributes_) {
+    std::string s = a.name + "[" + predicate(a.predicate).name + "]";
+    if (!a.observed) s += " (unobserved)";
+    attrs.push_back(s);
+  }
+  os << Join(attrs, ", ") << "\n";
+  return os.str();
+}
+
+}  // namespace carl

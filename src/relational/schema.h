@@ -1,0 +1,95 @@
+// Relational causal schema S = (P, A) (paper §3.1).
+//
+// P is a set of predicates: entities E (arity 1) and relationships R
+// (arity >= 2, each position typed by an entity). A is a set of attribute
+// functions, each attached to one predicate and flagged observed or
+// unobserved (latent, e.g. Quality[S] in the running example).
+
+#ifndef CARL_RELATIONAL_SCHEMA_H_
+#define CARL_RELATIONAL_SCHEMA_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "common/value.h"
+
+namespace carl {
+
+using PredicateId = int32_t;
+using AttributeId = int32_t;
+inline constexpr PredicateId kInvalidPredicate = -1;
+inline constexpr AttributeId kInvalidAttribute = -1;
+
+enum class PredicateKind { kEntity, kRelationship };
+
+/// A predicate P(.) in the schema: an entity like Person(A) or a
+/// relationship like Author(A, S).
+struct Predicate {
+  PredicateId id = kInvalidPredicate;
+  std::string name;
+  PredicateKind kind = PredicateKind::kEntity;
+  /// For each argument position, the name of the entity predicate that
+  /// position ranges over. Entities have exactly one position (themselves).
+  std::vector<std::string> arg_entities;
+
+  int arity() const { return static_cast<int>(arg_entities.size()); }
+};
+
+/// An attribute function A[X] attached to a predicate (paper: "attribute
+/// functions encode the standard attributes of the entities and their
+/// relationships").
+struct AttributeDef {
+  AttributeId id = kInvalidAttribute;
+  std::string name;
+  /// Predicate whose ground tuples this attribute is a function of.
+  PredicateId predicate = kInvalidPredicate;
+  /// False for latent attributes (missing in every instance).
+  bool observed = true;
+  /// Declared value type (kDouble by default; kBool for binary treatments).
+  ValueType type = ValueType::kDouble;
+};
+
+/// Catalog of predicates and attribute functions. Names are unique across
+/// each namespace (predicates vs attributes).
+class Schema {
+ public:
+  /// Declares an entity predicate E(X). Fails on duplicates.
+  Result<PredicateId> AddEntity(const std::string& name);
+
+  /// Declares a relationship predicate R(E1, ..., Ek) over previously
+  /// declared entities. Fails on duplicates or unknown entities.
+  Result<PredicateId> AddRelationship(
+      const std::string& name, const std::vector<std::string>& arg_entities);
+
+  /// Declares an attribute function `name` on predicate `predicate_name`.
+  Result<AttributeId> AddAttribute(const std::string& name,
+                                   const std::string& predicate_name,
+                                   bool observed = true,
+                                   ValueType type = ValueType::kDouble);
+
+  Result<PredicateId> FindPredicate(const std::string& name) const;
+  Result<AttributeId> FindAttribute(const std::string& name) const;
+
+  const Predicate& predicate(PredicateId id) const;
+  const AttributeDef& attribute(AttributeId id) const;
+
+  size_t num_predicates() const { return predicates_.size(); }
+  size_t num_attributes() const { return attributes_.size(); }
+
+  const std::vector<Predicate>& predicates() const { return predicates_; }
+  const std::vector<AttributeDef>& attributes() const { return attributes_; }
+
+  /// Human-readable schema listing, for diagnostics and docs.
+  std::string ToString() const;
+
+ private:
+  std::vector<Predicate> predicates_;
+  std::vector<AttributeDef> attributes_;
+};
+
+}  // namespace carl
+
+#endif  // CARL_RELATIONAL_SCHEMA_H_

@@ -1,0 +1,141 @@
+#include "relational/schema_parser.h"
+
+#include <sstream>
+
+#include "common/str_util.h"
+
+namespace carl {
+namespace {
+
+Result<ValueType> ParseType(const std::string& name) {
+  if (EqualsIgnoreCase(name, "bool")) return ValueType::kBool;
+  if (EqualsIgnoreCase(name, "int")) return ValueType::kInt;
+  if (EqualsIgnoreCase(name, "double") || EqualsIgnoreCase(name, "real")) {
+    return ValueType::kDouble;
+  }
+  if (EqualsIgnoreCase(name, "string")) return ValueType::kString;
+  return Status::InvalidArgument("unknown attribute type: " + name);
+}
+
+const char* TypeName(ValueType type) {
+  switch (type) {
+    case ValueType::kBool: return "bool";
+    case ValueType::kInt: return "int";
+    case ValueType::kDouble: return "double";
+    case ValueType::kString: return "string";
+    case ValueType::kNull: break;
+  }
+  return "double";
+}
+
+// Splits "Author(Person, Submission)" into name + argument list.
+Result<std::pair<std::string, std::vector<std::string>>> ParseSignature(
+    const std::string& text) {
+  size_t open = text.find('(');
+  size_t close = text.rfind(')');
+  if (open == std::string::npos || close == std::string::npos ||
+      close < open) {
+    return Status::InvalidArgument("expected Name(Arg, ...): " + text);
+  }
+  std::string name = Trim(text.substr(0, open));
+  std::vector<std::string> args;
+  for (const std::string& part :
+       Split(text.substr(open + 1, close - open - 1), ',')) {
+    std::string trimmed = Trim(part);
+    if (trimmed.empty()) {
+      return Status::InvalidArgument("empty argument in: " + text);
+    }
+    args.push_back(trimmed);
+  }
+  return std::make_pair(name, args);
+}
+
+}  // namespace
+
+Result<Schema> ParseSchema(const std::string& text) {
+  Schema schema;
+  int line_number = 0;
+  std::istringstream stream(text);
+  std::string raw_line;
+  while (std::getline(stream, raw_line)) {
+    ++line_number;
+    std::string line = Trim(raw_line);
+    size_t comment = line.find('#');
+    if (comment != std::string::npos) line = Trim(line.substr(0, comment));
+    if (line.empty()) continue;
+
+    size_t space = line.find_first_of(" \t");
+    std::string keyword = space == std::string::npos
+                              ? line
+                              : line.substr(0, space);
+    std::string rest = space == std::string::npos
+                           ? ""
+                           : Trim(line.substr(space + 1));
+    auto fail = [&](const std::string& message) {
+      return Status::InvalidArgument(
+          StrFormat("schema line %d: %s", line_number, message.c_str()));
+    };
+
+    if (EqualsIgnoreCase(keyword, "entity")) {
+      if (rest.empty()) return fail("entity needs a name");
+      Result<PredicateId> added = schema.AddEntity(rest);
+      if (!added.ok()) return fail(added.status().message());
+    } else if (EqualsIgnoreCase(keyword, "relationship")) {
+      Result<std::pair<std::string, std::vector<std::string>>> sig =
+          ParseSignature(rest);
+      if (!sig.ok()) return fail(sig.status().message());
+      Result<PredicateId> added =
+          schema.AddRelationship(sig->first, sig->second);
+      if (!added.ok()) return fail(added.status().message());
+    } else if (EqualsIgnoreCase(keyword, "attribute") ||
+               EqualsIgnoreCase(keyword, "latent")) {
+      bool observed = EqualsIgnoreCase(keyword, "attribute");
+      // "<Name> of <Predicate> [: <type>]"
+      ValueType type = ValueType::kDouble;
+      std::string decl = rest;
+      size_t colon = decl.find(':');
+      if (colon != std::string::npos) {
+        Result<ValueType> parsed = ParseType(Trim(decl.substr(colon + 1)));
+        if (!parsed.ok()) return fail(parsed.status().message());
+        type = *parsed;
+        decl = Trim(decl.substr(0, colon));
+      }
+      std::vector<std::string> words;
+      for (const std::string& w : Split(decl, ' ')) {
+        if (!Trim(w).empty()) words.push_back(Trim(w));
+      }
+      if (words.size() != 3 || !EqualsIgnoreCase(words[1], "of")) {
+        return fail("expected: attribute <Name> of <Predicate> [: type]");
+      }
+      Result<AttributeId> added =
+          schema.AddAttribute(words[0], words[2], observed, type);
+      if (!added.ok()) return fail(added.status().message());
+    } else {
+      return fail("unknown keyword: " + keyword);
+    }
+  }
+  if (schema.num_predicates() == 0) {
+    return Status::InvalidArgument("schema declares no predicates");
+  }
+  return schema;
+}
+
+std::string FormatSchema(const Schema& schema) {
+  std::ostringstream os;
+  for (const Predicate& p : schema.predicates()) {
+    if (p.kind == PredicateKind::kEntity) {
+      os << "entity " << p.name << "\n";
+    } else {
+      os << "relationship " << p.name << "(" << Join(p.arg_entities, ", ")
+         << ")\n";
+    }
+  }
+  for (const AttributeDef& a : schema.attributes()) {
+    os << (a.observed ? "attribute " : "latent ") << a.name << " of "
+       << schema.predicate(a.predicate).name << " : " << TypeName(a.type)
+       << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace carl

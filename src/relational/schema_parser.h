@@ -1,0 +1,34 @@
+// Text format for declaring relational causal schemas, so a complete CaRL
+// analysis can be driven from data files alone (see examples/carl_cli.cpp):
+//
+//   # comments allowed
+//   entity Person
+//   entity Submission
+//   relationship Author(Person, Submission)
+//   attribute Prestige of Person : bool
+//   attribute Score of Submission : double
+//   latent Quality of Submission : double
+//
+// Types: bool | int | double | string (default double). `latent`
+// declares an unobserved attribute function.
+
+#ifndef CARL_RELATIONAL_SCHEMA_PARSER_H_
+#define CARL_RELATIONAL_SCHEMA_PARSER_H_
+
+#include <string>
+
+#include "common/result.h"
+#include "relational/schema.h"
+
+namespace carl {
+
+/// Parses a schema declaration document into a Schema.
+Result<Schema> ParseSchema(const std::string& text);
+
+/// Renders a schema back into the declaration format (round-trips through
+/// ParseSchema).
+std::string FormatSchema(const Schema& schema);
+
+}  // namespace carl
+
+#endif  // CARL_RELATIONAL_SCHEMA_PARSER_H_

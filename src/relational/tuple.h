@@ -1,0 +1,29 @@
+// Tuple: a ground argument list (interned constants), the unit of storage
+// for relational skeletons and the key type for grounded attributes.
+
+#ifndef CARL_RELATIONAL_TUPLE_H_
+#define CARL_RELATIONAL_TUPLE_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "common/interner.h"
+
+namespace carl {
+
+using Tuple = std::vector<SymbolId>;
+
+struct TupleHash {
+  size_t operator()(const Tuple& t) const {
+    size_t h = 0xcbf29ce484222325ull;
+    for (SymbolId id : t) {
+      h ^= static_cast<size_t>(id) + 0x9e3779b97f4a7c15ull + (h << 6) +
+           (h >> 2);
+    }
+    return h;
+  }
+};
+
+}  // namespace carl
+
+#endif  // CARL_RELATIONAL_TUPLE_H_

@@ -1,0 +1,91 @@
+#include "relational/universal_table.h"
+
+#include <unordered_map>
+
+#include "common/str_util.h"
+#include "relational/evaluator.h"
+
+namespace carl {
+
+Result<UniversalTableResult> BuildUniversalTable(
+    const Instance& instance, const UniversalTableSpec& spec) {
+  if (spec.columns.empty()) {
+    return Status::InvalidArgument("universal table needs at least 1 column");
+  }
+
+  // Output variables: union of column vars, in first-use order.
+  std::vector<std::string> out_vars;
+  auto var_position = [&out_vars](const std::string& v) -> int {
+    for (size_t i = 0; i < out_vars.size(); ++i) {
+      if (out_vars[i] == v) return static_cast<int>(i);
+    }
+    return -1;
+  };
+  for (const UniversalColumn& col : spec.columns) {
+    for (const std::string& v : col.vars) {
+      if (var_position(v) < 0) out_vars.push_back(v);
+    }
+  }
+
+  // Resolve attribute ids and per-column variable positions.
+  struct ResolvedColumn {
+    AttributeId attribute;
+    std::vector<int> var_positions;
+    std::string name;
+  };
+  std::vector<ResolvedColumn> resolved;
+  for (const UniversalColumn& col : spec.columns) {
+    CARL_ASSIGN_OR_RETURN(AttributeId aid,
+                          instance.schema().FindAttribute(col.attribute));
+    ResolvedColumn rc;
+    rc.attribute = aid;
+    rc.name = col.name.empty() ? col.attribute : col.name;
+    for (const std::string& v : col.vars) {
+      int pos = var_position(v);
+      if (pos < 0) {
+        return Status::Internal("column variable vanished: " + v);
+      }
+      rc.var_positions.push_back(pos);
+    }
+    resolved.push_back(std::move(rc));
+  }
+
+  QueryEvaluator evaluator(&instance);
+  CARL_ASSIGN_OR_RETURN(std::vector<Tuple> bindings,
+                        evaluator.Evaluate(spec.join, out_vars));
+
+  std::vector<std::string> names;
+  names.reserve(resolved.size());
+  for (const ResolvedColumn& rc : resolved) names.push_back(rc.name);
+
+  UniversalTableResult result;
+  result.table = FlatTable(names);
+  std::vector<double> row(resolved.size());
+  for (const Tuple& binding : bindings) {
+    bool complete = true;
+    for (size_t c = 0; c < resolved.size(); ++c) {
+      Tuple args;
+      args.reserve(resolved[c].var_positions.size());
+      for (int p : resolved[c].var_positions) args.push_back(binding[p]);
+      std::optional<Value> v = instance.GetAttribute(resolved[c].attribute, args);
+      if (!v.has_value() || v->is_null()) {
+        complete = false;
+        break;
+      }
+      if (!v->is_numeric()) {
+        return Status::InvalidArgument(
+            "universal table requires numeric attributes; " +
+            resolved[c].name + " is " + ValueTypeToString(v->type()));
+      }
+      row[c] = v->AsDouble();
+    }
+    if (complete) {
+      result.table.AddRow(row);
+    } else {
+      ++result.dropped_rows;
+    }
+  }
+  return result;
+}
+
+}  // namespace carl

@@ -1,0 +1,51 @@
+// Universal-table baseline (paper §6.3, Table 5, Fig 8).
+//
+// The paper compares CaRL against "propensity score matching on the
+// universal table obtained by joining all base relations" — the naive
+// approach that flattens relational data and ignores interference. This
+// builder materializes that join: evaluate a conjunctive query over the
+// skeleton and attach one numeric column per requested attribute.
+
+#ifndef CARL_RELATIONAL_UNIVERSAL_TABLE_H_
+#define CARL_RELATIONAL_UNIVERSAL_TABLE_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "relational/conjunctive_query.h"
+#include "relational/flat_table.h"
+#include "relational/instance.h"
+
+namespace carl {
+
+/// One output column: the value of `attribute` at the binding of `vars`.
+struct UniversalColumn {
+  std::string attribute;
+  std::vector<std::string> vars;
+  /// Column name in the output (defaults to the attribute name).
+  std::string name;
+};
+
+struct UniversalTableSpec {
+  /// The join across base relations (e.g. Author(A,S), Submitted(S,C)).
+  ConjunctiveQuery join;
+  std::vector<UniversalColumn> columns;
+};
+
+struct UniversalTableResult {
+  FlatTable table;
+  /// Join results dropped because an attribute value was missing
+  /// (unobserved attributes make rows unusable for the naive baseline).
+  size_t dropped_rows = 0;
+};
+
+/// Materializes the universal table. Rows are the distinct bindings of the
+/// variables used by the columns; each row carries the numeric values of
+/// the requested attributes. Non-numeric attribute values are rejected.
+Result<UniversalTableResult> BuildUniversalTable(
+    const Instance& instance, const UniversalTableSpec& spec);
+
+}  // namespace carl
+
+#endif  // CARL_RELATIONAL_UNIVERSAL_TABLE_H_

@@ -1,0 +1,44 @@
+// Nonparametric bootstrap over unit-table rows: standard errors for every
+// effect estimate, and the effect distributions of Fig 9.
+
+#ifndef CARL_STATS_BOOTSTRAP_H_
+#define CARL_STATS_BOOTSTRAP_H_
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "common/result.h"
+
+namespace carl {
+
+struct BootstrapResult {
+  double mean = 0.0;
+  double sd = 0.0;
+  double ci_low = 0.0;   ///< 2.5th percentile
+  double ci_high = 0.0;  ///< 97.5th percentile
+  std::vector<double> samples;
+  /// Replicates whose statistic computation failed (e.g. a resample with
+  /// no control units); excluded from the summary.
+  size_t failures = 0;
+};
+
+/// Draws `replicates` resamples of row indices [0, n) with replacement and
+/// evaluates `statistic` on each. Requires at least one successful
+/// replicate.
+Result<BootstrapResult> Bootstrap(
+    size_t n, int replicates, uint64_t seed,
+    const std::function<Result<double>(const std::vector<size_t>&)>&
+        statistic);
+
+/// Histogram of samples over `bins` equal-width bins; returns bin centers
+/// and relative frequencies (sums to 1). Used to print Fig 9 series.
+struct Histogram {
+  std::vector<double> centers;
+  std::vector<double> density;
+};
+Histogram MakeHistogram(const std::vector<double>& samples, int bins);
+
+}  // namespace carl
+
+#endif  // CARL_STATS_BOOTSTRAP_H_

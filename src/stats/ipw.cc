@@ -1,0 +1,33 @@
+#include "stats/ipw.h"
+
+namespace carl {
+
+Result<double> IpwAte(const std::vector<double>& y,
+                      const std::vector<double>& t,
+                      const std::vector<double>& propensity) {
+  const size_t n = y.size();
+  if (t.size() != n || propensity.size() != n) {
+    return Status::InvalidArgument("IPW inputs differ in length");
+  }
+  double wy1 = 0.0, w1 = 0.0, wy0 = 0.0, w0 = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    double e = propensity[i];
+    if (e <= 0.0 || e >= 1.0) {
+      return Status::InvalidArgument("propensity must lie strictly in (0,1)");
+    }
+    if (t[i] != 0.0) {
+      wy1 += y[i] / e;
+      w1 += 1.0 / e;
+    } else {
+      wy0 += y[i] / (1.0 - e);
+      w0 += 1.0 / (1.0 - e);
+    }
+  }
+  if (w1 == 0.0 || w0 == 0.0) {
+    return Status::FailedPrecondition(
+        "IPW needs both treated and control units");
+  }
+  return wy1 / w1 - wy0 / w0;
+}
+
+}  // namespace carl

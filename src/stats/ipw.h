@@ -1,0 +1,20 @@
+// Inverse propensity weighting (Hajek-normalized) ATE estimator.
+
+#ifndef CARL_STATS_IPW_H_
+#define CARL_STATS_IPW_H_
+
+#include <vector>
+
+#include "common/result.h"
+
+namespace carl {
+
+/// Hajek IPW:  sum(t y / e) / sum(t / e)  -  sum((1-t) y / (1-e)) /
+/// sum((1-t) / (1-e)). Propensities should be pre-clipped away from 0/1.
+Result<double> IpwAte(const std::vector<double>& y,
+                      const std::vector<double>& t,
+                      const std::vector<double>& propensity);
+
+}  // namespace carl
+
+#endif  // CARL_STATS_IPW_H_

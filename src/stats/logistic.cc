@@ -1,0 +1,120 @@
+#include "stats/logistic.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "linalg/solve.h"
+#include "stats/descriptive.h"
+
+namespace carl {
+
+double Sigmoid(double z) {
+  if (z >= 0.0) {
+    double e = std::exp(-z);
+    return 1.0 / (1.0 + e);
+  }
+  double e = std::exp(z);
+  return e / (1.0 + e);
+}
+
+Result<LogisticFit> FitLogisticRaw(const Matrix& x,
+                                   const std::vector<double>& y,
+                                   int max_iterations, double tolerance,
+                                   double ridge) {
+  const size_t n = x.rows();
+  const size_t p = x.cols();
+  if (y.size() != n) {
+    return Status::InvalidArgument("logistic: |y| != rows(X)");
+  }
+  for (double v : y) {
+    if (v != 0.0 && v != 1.0) {
+      return Status::InvalidArgument("logistic outcome must be 0/1");
+    }
+  }
+
+  LogisticFit fit;
+  fit.coefficients.assign(p, 0.0);
+  std::vector<double> eta(n, 0.0), mu(n, 0.5);
+
+  for (int iter = 0; iter < max_iterations; ++iter) {
+    fit.iterations = iter + 1;
+    // Weighted Gram: X' W X + ridge I and X' (W eta + (y - mu)).
+    Matrix xtwx(p, p);
+    std::vector<double> rhs(p, 0.0);
+    for (size_t r = 0; r < n; ++r) {
+      double w = std::max(mu[r] * (1.0 - mu[r]), 1e-10);
+      double z = eta[r] + (y[r] - mu[r]) / w;  // working response
+      for (size_t i = 0; i < p; ++i) {
+        double xi = x.At(r, i);
+        if (xi == 0.0) continue;
+        rhs[i] += w * xi * z;
+        for (size_t j = i; j < p; ++j) {
+          xtwx.At(i, j) += w * xi * x.At(r, j);
+        }
+      }
+    }
+    for (size_t i = 0; i < p; ++i) {
+      for (size_t j = 0; j < i; ++j) xtwx.At(i, j) = xtwx.At(j, i);
+      xtwx.At(i, i) += ridge;
+    }
+    CARL_ASSIGN_OR_RETURN(std::vector<double> beta,
+                          CholeskySolve(xtwx, rhs));
+
+    double delta = 0.0;
+    for (size_t i = 0; i < p; ++i) {
+      delta = std::max(delta, std::abs(beta[i] - fit.coefficients[i]));
+    }
+    fit.coefficients = std::move(beta);
+    eta = x.MatVec(fit.coefficients);
+    for (size_t r = 0; r < n; ++r) mu[r] = Sigmoid(eta[r]);
+
+    if (delta < tolerance) {
+      fit.converged = true;
+      break;
+    }
+  }
+
+  fit.log_likelihood = 0.0;
+  for (size_t r = 0; r < n; ++r) {
+    double m = std::clamp(mu[r], 1e-12, 1.0 - 1e-12);
+    fit.log_likelihood += y[r] * std::log(m) + (1.0 - y[r]) * std::log(1.0 - m);
+  }
+  return fit;
+}
+
+Result<std::vector<double>> PropensityScores(
+    const FlatTable& table, const std::string& t_col,
+    const std::vector<std::string>& x_cols, double clip) {
+  CARL_ASSIGN_OR_RETURN(size_t t_idx, table.ColumnIndex(t_col));
+  const std::vector<double>& t = table.Column(t_idx);
+  const size_t n = t.size();
+
+  std::vector<const std::vector<double>*> cols;
+  std::vector<std::string> names{"(intercept)"};
+  for (const std::string& name : x_cols) {
+    CARL_ASSIGN_OR_RETURN(size_t idx, table.ColumnIndex(name));
+    const std::vector<double>& col = table.Column(idx);
+    if (SampleVariance(col) < 1e-12) continue;
+    cols.push_back(&col);
+    names.push_back(name);
+  }
+
+  Matrix x(n, cols.size() + 1);
+  for (size_t r = 0; r < n; ++r) {
+    x.At(r, 0) = 1.0;
+    for (size_t c = 0; c < cols.size(); ++c) x.At(r, c + 1) = (*cols[c])[r];
+  }
+  CARL_ASSIGN_OR_RETURN(LogisticFit fit, FitLogisticRaw(x, t));
+
+  std::vector<double> scores(n);
+  for (size_t r = 0; r < n; ++r) {
+    double eta = 0.0;
+    for (size_t c = 0; c < x.cols(); ++c) {
+      eta += x.At(r, c) * fit.coefficients[c];
+    }
+    scores[r] = std::clamp(Sigmoid(eta), clip, 1.0 - clip);
+  }
+  return scores;
+}
+
+}  // namespace carl

@@ -1,0 +1,43 @@
+// Logistic regression via iteratively reweighted least squares; the
+// propensity-score model behind matching, IPW, and stratification.
+
+#ifndef CARL_STATS_LOGISTIC_H_
+#define CARL_STATS_LOGISTIC_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "linalg/matrix.h"
+#include "relational/flat_table.h"
+
+namespace carl {
+
+struct LogisticFit {
+  std::vector<std::string> names;
+  std::vector<double> coefficients;
+  bool converged = false;
+  int iterations = 0;
+  double log_likelihood = 0.0;
+};
+
+/// Fits P(y=1|x) = sigmoid(x'b) with IRLS on a raw design matrix
+/// (including any intercept column). `y` must be 0/1. A small ridge keeps
+/// separated data from blowing up.
+Result<LogisticFit> FitLogisticRaw(const Matrix& x,
+                                   const std::vector<double>& y,
+                                   int max_iterations = 50,
+                                   double tolerance = 1e-8,
+                                   double ridge = 1e-6);
+
+/// Fits t ~ 1 + x_cols on `table` (constant columns dropped) and returns
+/// the fitted probabilities, clipped to [clip, 1-clip].
+Result<std::vector<double>> PropensityScores(
+    const FlatTable& table, const std::string& t_col,
+    const std::vector<std::string>& x_cols, double clip = 0.01);
+
+double Sigmoid(double z);
+
+}  // namespace carl
+
+#endif  // CARL_STATS_LOGISTIC_H_

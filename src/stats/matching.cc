@@ -1,0 +1,97 @@
+#include "stats/matching.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace carl {
+namespace {
+
+struct Scored {
+  double ps;
+  double y;
+};
+
+// For each query ps, the y of the nearest entry in `pool` (sorted by ps).
+// Returns false when outside the caliper.
+bool NearestY(const std::vector<Scored>& pool, double ps, double caliper,
+              double* out) {
+  auto it = std::lower_bound(
+      pool.begin(), pool.end(), ps,
+      [](const Scored& s, double v) { return s.ps < v; });
+  double best_dist = std::numeric_limits<double>::infinity();
+  double best_y = 0.0;
+  if (it != pool.end()) {
+    best_dist = std::abs(it->ps - ps);
+    best_y = it->y;
+  }
+  if (it != pool.begin()) {
+    auto prev = std::prev(it);
+    double d = std::abs(prev->ps - ps);
+    if (d < best_dist) {
+      best_dist = d;
+      best_y = prev->y;
+    }
+  }
+  if (caliper > 0.0 && best_dist > caliper) return false;
+  if (!std::isfinite(best_dist)) return false;
+  *out = best_y;
+  return true;
+}
+
+}  // namespace
+
+Result<MatchingResult> PropensityScoreMatchingAte(
+    const std::vector<double>& y, const std::vector<double>& t,
+    const std::vector<double>& propensity, double caliper) {
+  const size_t n = y.size();
+  if (t.size() != n || propensity.size() != n) {
+    return Status::InvalidArgument("matching inputs differ in length");
+  }
+  std::vector<Scored> treated, control;
+  for (size_t i = 0; i < n; ++i) {
+    (t[i] != 0.0 ? treated : control).push_back({propensity[i], y[i]});
+  }
+  if (treated.empty() || control.empty()) {
+    return Status::FailedPrecondition(
+        "matching needs both treated and control units");
+  }
+  auto by_ps = [](const Scored& a, const Scored& b) { return a.ps < b.ps; };
+  std::sort(treated.begin(), treated.end(), by_ps);
+  std::sort(control.begin(), control.end(), by_ps);
+
+  MatchingResult result;
+  double att_sum = 0.0;
+  size_t att_n = 0;
+  for (const Scored& u : treated) {
+    double match_y;
+    if (NearestY(control, u.ps, caliper, &match_y)) {
+      att_sum += u.y - match_y;
+      ++att_n;
+    } else {
+      ++result.unmatched;
+    }
+  }
+  double atc_sum = 0.0;
+  size_t atc_n = 0;
+  for (const Scored& u : control) {
+    double match_y;
+    if (NearestY(treated, u.ps, caliper, &match_y)) {
+      atc_sum += match_y - u.y;
+      ++atc_n;
+    } else {
+      ++result.unmatched;
+    }
+  }
+  if (att_n == 0 || atc_n == 0) {
+    return Status::FailedPrecondition("caliper left a group fully unmatched");
+  }
+  result.n_treated = treated.size();
+  result.n_control = control.size();
+  result.att = att_sum / static_cast<double>(att_n);
+  result.atc = atc_sum / static_cast<double>(atc_n);
+  double total = static_cast<double>(att_n + atc_n);
+  result.ate = (att_sum + atc_sum) / total;
+  return result;
+}
+
+}  // namespace carl

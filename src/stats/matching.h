@@ -1,0 +1,35 @@
+// Propensity-score matching (nearest neighbour with replacement) — one of
+// the standard covariate-adjustment estimators the paper invokes (§5.2,
+// [16,12,19]) and the baseline estimator used on the universal table
+// (§6.3, Table 5).
+
+#ifndef CARL_STATS_MATCHING_H_
+#define CARL_STATS_MATCHING_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "common/result.h"
+
+namespace carl {
+
+struct MatchingResult {
+  double ate = 0.0;  ///< (n_t * att + n_c * atc) / n
+  double att = 0.0;  ///< average effect on the treated
+  double atc = 0.0;  ///< average effect on the controls
+  size_t n_treated = 0;
+  size_t n_control = 0;
+  /// Units discarded by the caliper (no acceptable match).
+  size_t unmatched = 0;
+};
+
+/// 1-NN matching on the propensity score, with replacement. `caliper`
+/// (in propensity units) discards matches farther than the threshold;
+/// pass a non-positive caliper to disable.
+Result<MatchingResult> PropensityScoreMatchingAte(
+    const std::vector<double>& y, const std::vector<double>& t,
+    const std::vector<double>& propensity, double caliper = 0.0);
+
+}  // namespace carl
+
+#endif  // CARL_STATS_MATCHING_H_

@@ -1,0 +1,89 @@
+#include "stats/ols.h"
+
+#include <cmath>
+#include <limits>
+
+#include "linalg/matrix.h"
+#include "linalg/solve.h"
+#include "stats/descriptive.h"
+
+namespace carl {
+
+Result<double> OlsFit::Coefficient(const std::string& name) const {
+  for (size_t i = 0; i < names.size(); ++i) {
+    if (names[i] == name) return coefficients[i];
+  }
+  return Status::NotFound("no coefficient named " + name);
+}
+
+double OlsFit::CoefficientOr(const std::string& name, double fallback) const {
+  Result<double> c = Coefficient(name);
+  return c.ok() ? *c : fallback;
+}
+
+Result<OlsFit> FitOls(const FlatTable& table, const std::string& y_col,
+                      const std::vector<std::string>& x_cols,
+                      bool add_intercept) {
+  CARL_ASSIGN_OR_RETURN(size_t y_idx, table.ColumnIndex(y_col));
+  const std::vector<double>& y = table.Column(y_idx);
+  const size_t n = y.size();
+  if (n < 2) return Status::InvalidArgument("OLS needs at least 2 rows");
+
+  OlsFit fit;
+  fit.n = n;
+  std::vector<const std::vector<double>*> cols;
+  if (add_intercept) fit.names.push_back("(intercept)");
+  for (const std::string& name : x_cols) {
+    CARL_ASSIGN_OR_RETURN(size_t idx, table.ColumnIndex(name));
+    const std::vector<double>& col = table.Column(idx);
+    if (SampleVariance(col) < 1e-12) {
+      fit.dropped.push_back(name);
+      continue;
+    }
+    fit.names.push_back(name);
+    cols.push_back(&col);
+  }
+  const size_t p = fit.names.size();
+  if (p == 0) {
+    return Status::InvalidArgument("no usable regressors (all constant)");
+  }
+
+  Matrix x(n, p);
+  size_t c0 = 0;
+  if (add_intercept) {
+    for (size_t r = 0; r < n; ++r) x.At(r, 0) = 1.0;
+    c0 = 1;
+  }
+  for (size_t c = 0; c < cols.size(); ++c) {
+    for (size_t r = 0; r < n; ++r) x.At(r, c0 + c) = (*cols[c])[r];
+  }
+
+  CARL_ASSIGN_OR_RETURN(fit.coefficients, SolveLeastSquares(x, y));
+
+  // Residual variance and R^2.
+  std::vector<double> fitted = x.MatVec(fit.coefficients);
+  double rss = 0.0;
+  for (size_t r = 0; r < n; ++r) {
+    double e = y[r] - fitted[r];
+    rss += e * e;
+  }
+  double mean_y = Mean(y);
+  double tss = 0.0;
+  for (size_t r = 0; r < n; ++r) tss += (y[r] - mean_y) * (y[r] - mean_y);
+  size_t df = n > p ? n - p : 1;
+  fit.sigma2 = rss / static_cast<double>(df);
+  fit.r_squared = tss > 0.0 ? 1.0 - rss / tss : 0.0;
+
+  // Standard errors from sigma^2 (X'X)^-1.
+  fit.std_errors.assign(p, std::numeric_limits<double>::quiet_NaN());
+  Result<Matrix> inv = SpdInverse(x.Gram());
+  if (inv.ok()) {
+    for (size_t c = 0; c < p; ++c) {
+      double v = fit.sigma2 * inv->At(c, c);
+      if (v >= 0.0) fit.std_errors[c] = std::sqrt(v);
+    }
+  }
+  return fit;
+}
+
+}  // namespace carl

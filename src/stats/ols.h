@@ -1,0 +1,44 @@
+// Ordinary least squares with named coefficients — the regression
+// estimator behind the relational adjustment formula (paper eq. 33: the
+// conditional expectation is a regression function).
+
+#ifndef CARL_STATS_OLS_H_
+#define CARL_STATS_OLS_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "relational/flat_table.h"
+
+namespace carl {
+
+struct OlsFit {
+  /// Coefficient names; "(intercept)" first when an intercept was added.
+  std::vector<std::string> names;
+  std::vector<double> coefficients;
+  /// Standard errors (NaN when the Gram inverse was unavailable).
+  std::vector<double> std_errors;
+  /// Columns dropped for being (near-)constant.
+  std::vector<std::string> dropped;
+  double sigma2 = 0.0;
+  double r_squared = 0.0;
+  size_t n = 0;
+
+  /// Coefficient by name; 0.0 with ok()==false semantics avoided — returns
+  /// NotFound if the column was dropped or never included.
+  Result<double> Coefficient(const std::string& name) const;
+  /// Coefficient by name, or `fallback` when the column was dropped.
+  double CoefficientOr(const std::string& name, double fallback) const;
+};
+
+/// Fits y ~ [1] + x_cols on `table`. Near-constant columns (variance below
+/// 1e-12) are dropped and reported. Fails if no usable column remains or
+/// the system is singular beyond the solver's ridge budget.
+Result<OlsFit> FitOls(const FlatTable& table, const std::string& y_col,
+                      const std::vector<std::string>& x_cols,
+                      bool add_intercept = true);
+
+}  // namespace carl
+
+#endif  // CARL_STATS_OLS_H_

@@ -1,0 +1,71 @@
+#include "stats/stratification.h"
+
+#include <algorithm>
+
+#include "stats/descriptive.h"
+
+namespace carl {
+
+Result<StratifiedAteResult> StratifiedAte(
+    const std::vector<double>& y, const std::vector<double>& t,
+    const std::vector<double>& propensity, int num_strata) {
+  const size_t n = y.size();
+  if (t.size() != n || propensity.size() != n) {
+    return Status::InvalidArgument("stratification inputs differ in length");
+  }
+  if (num_strata < 1) {
+    return Status::InvalidArgument("need at least one stratum");
+  }
+
+  // Quantile edges over the propensity distribution.
+  std::vector<double> edges;
+  for (int s = 1; s < num_strata; ++s) {
+    edges.push_back(Quantile(propensity,
+                             static_cast<double>(s) /
+                                 static_cast<double>(num_strata)));
+  }
+  auto stratum_of = [&edges](double ps) {
+    int s = 0;
+    for (double e : edges) {
+      if (ps > e) ++s;
+    }
+    return s;
+  };
+
+  std::vector<double> sum_ty(num_strata, 0.0), sum_cy(num_strata, 0.0);
+  std::vector<size_t> n_t(num_strata, 0), n_c(num_strata, 0);
+  for (size_t i = 0; i < n; ++i) {
+    int s = stratum_of(propensity[i]);
+    if (t[i] != 0.0) {
+      sum_ty[s] += y[i];
+      ++n_t[s];
+    } else {
+      sum_cy[s] += y[i];
+      ++n_c[s];
+    }
+  }
+
+  StratifiedAteResult result;
+  double weighted = 0.0;
+  size_t total_used = 0;
+  for (int s = 0; s < num_strata; ++s) {
+    size_t size = n_t[s] + n_c[s];
+    if (n_t[s] == 0 || n_c[s] == 0) {
+      if (size > 0) ++result.skipped_strata;
+      continue;
+    }
+    double diff = sum_ty[s] / static_cast<double>(n_t[s]) -
+                  sum_cy[s] / static_cast<double>(n_c[s]);
+    weighted += diff * static_cast<double>(size);
+    total_used += size;
+    ++result.used_strata;
+  }
+  if (total_used == 0) {
+    return Status::FailedPrecondition(
+        "no stratum contains both treated and control units");
+  }
+  result.ate = weighted / static_cast<double>(total_used);
+  return result;
+}
+
+}  // namespace carl

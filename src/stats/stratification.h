@@ -1,0 +1,29 @@
+// Propensity-score stratification (subclassification) ATE estimator.
+
+#ifndef CARL_STATS_STRATIFICATION_H_
+#define CARL_STATS_STRATIFICATION_H_
+
+#include <vector>
+
+#include "common/result.h"
+
+namespace carl {
+
+/// Splits units into `num_strata` propensity quantile bins; within each
+/// bin computes the treated-control mean difference; returns the
+/// bin-size-weighted average. Bins missing a group are skipped (their
+/// weight is dropped), which the estimate reports via `skipped_strata`.
+struct StratifiedAteResult {
+  double ate = 0.0;
+  int used_strata = 0;
+  int skipped_strata = 0;
+};
+
+Result<StratifiedAteResult> StratifiedAte(const std::vector<double>& y,
+                                          const std::vector<double>& t,
+                                          const std::vector<double>& propensity,
+                                          int num_strata = 5);
+
+}  // namespace carl
+
+#endif  // CARL_STATS_STRATIFICATION_H_

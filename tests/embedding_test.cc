@@ -1,0 +1,124 @@
+// Tests for the embedding strategies of paper §5.2.2.
+
+#include <gtest/gtest.h>
+
+#include "core/embedding.h"
+
+namespace carl {
+namespace {
+
+TEST(EmbeddingTest, MeanPlusCount) {
+  std::unique_ptr<Embedding> e = MakeEmbedding(EmbeddingKind::kMean);
+  EXPECT_EQ(e->dims(), 2u);
+  EXPECT_EQ(e->DimNames(), (std::vector<std::string>{"mean", "count"}));
+  std::vector<double> out = e->Apply({1, 0, 1, 1});
+  EXPECT_DOUBLE_EQ(out[0], 0.75);
+  EXPECT_DOUBLE_EQ(out[1], 4.0);
+  out = e->Apply({});
+  EXPECT_DOUBLE_EQ(out[0], 0.0);
+  EXPECT_DOUBLE_EQ(out[1], 0.0);
+}
+
+TEST(EmbeddingTest, MedianPlusCount) {
+  std::unique_ptr<Embedding> e = MakeEmbedding(EmbeddingKind::kMedian);
+  std::vector<double> out = e->Apply({5, 1, 3});
+  EXPECT_DOUBLE_EQ(out[0], 3.0);
+  EXPECT_DOUBLE_EQ(out[1], 3.0);
+}
+
+TEST(EmbeddingTest, MomentsDimsFollowOption) {
+  EmbeddingOptions options;
+  options.moments = 2;
+  std::unique_ptr<Embedding> e =
+      MakeEmbedding(EmbeddingKind::kMoments, options);
+  EXPECT_EQ(e->dims(), 3u);  // m1, m2, count
+  std::vector<double> out = e->Apply({1, 2, 3, 4});
+  EXPECT_DOUBLE_EQ(out[0], 2.5);   // mean
+  EXPECT_DOUBLE_EQ(out[1], 1.25);  // population variance
+  EXPECT_DOUBLE_EQ(out[2], 4.0);   // count
+}
+
+TEST(EmbeddingTest, MomentsThirdIsSkewness) {
+  EmbeddingOptions options;
+  options.moments = 3;
+  std::unique_ptr<Embedding> e =
+      MakeEmbedding(EmbeddingKind::kMoments, options);
+  std::vector<double> sym = e->Apply({1, 2, 3});
+  EXPECT_NEAR(sym[2], 0.0, 1e-12);
+  std::vector<double> skewed = e->Apply({1, 1, 1, 10});
+  EXPECT_GT(skewed[2], 0.0);
+}
+
+TEST(EmbeddingTest, PaddingFitsWidthAndPads) {
+  EmbeddingOptions options;
+  options.padding_value = -1.0;
+  std::unique_ptr<Embedding> e =
+      MakeEmbedding(EmbeddingKind::kPadding, options);
+  e->Fit({{1, 0}, {1, 1, 0}, {0}});
+  EXPECT_EQ(e->dims(), 3u);
+  // Values sorted descending, padded with the out-of-band marker.
+  EXPECT_EQ(e->Apply({0, 1}), (std::vector<double>{1, 0, -1}));
+  EXPECT_EQ(e->Apply({}), (std::vector<double>{-1, -1, -1}));
+  // Oversized groups truncate to the fitted width.
+  EXPECT_EQ(e->Apply({5, 4, 3, 2}), (std::vector<double>{5, 4, 3}));
+}
+
+TEST(EmbeddingTest, PaddingRespectsMaxWidth) {
+  EmbeddingOptions options;
+  options.padding_max_width = 2;
+  std::unique_ptr<Embedding> e =
+      MakeEmbedding(EmbeddingKind::kPadding, options);
+  e->Fit({{1, 2, 3, 4, 5}});
+  EXPECT_EQ(e->dims(), 2u);
+}
+
+TEST(EmbeddingTest, ParseNames) {
+  EXPECT_TRUE(ParseEmbeddingKind("mean").ok());
+  EXPECT_TRUE(ParseEmbeddingKind("MEDIAN").ok());
+  EXPECT_TRUE(ParseEmbeddingKind("moments").ok());
+  EXPECT_TRUE(ParseEmbeddingKind("padding").ok());
+  EXPECT_FALSE(ParseEmbeddingKind("rnn").ok());
+  for (EmbeddingKind kind :
+       {EmbeddingKind::kMean, EmbeddingKind::kMedian, EmbeddingKind::kMoments,
+        EmbeddingKind::kPadding}) {
+    Result<EmbeddingKind> parsed =
+        ParseEmbeddingKind(EmbeddingKindToString(kind));
+    ASSERT_TRUE(parsed.ok());
+    EXPECT_EQ(*parsed, kind);
+  }
+}
+
+// Property sweep: every embedding returns exactly dims() values on any
+// group size, and is permutation-invariant (sets, not sequences).
+class EmbeddingPropertyTest
+    : public ::testing::TestWithParam<EmbeddingKind> {};
+
+TEST_P(EmbeddingPropertyTest, DimsStableAcrossGroupSizes) {
+  std::unique_ptr<Embedding> e = MakeEmbedding(GetParam());
+  e->Fit({{1, 2, 3, 4}, {5}, {}});
+  for (size_t n : {0u, 1u, 2u, 4u}) {
+    std::vector<double> group(n, 1.0);
+    EXPECT_EQ(e->Apply(group).size(), e->dims()) << "n=" << n;
+  }
+  EXPECT_EQ(e->DimNames().size(), e->dims());
+}
+
+TEST_P(EmbeddingPropertyTest, PermutationInvariant) {
+  std::unique_ptr<Embedding> e = MakeEmbedding(GetParam());
+  e->Fit({{3, 1, 2}});
+  std::vector<double> a = e->Apply({3, 1, 2});
+  std::vector<double> b = e->Apply({2, 3, 1});
+  EXPECT_EQ(a, b);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllEmbeddings, EmbeddingPropertyTest,
+                         ::testing::Values(EmbeddingKind::kMean,
+                                           EmbeddingKind::kMedian,
+                                           EmbeddingKind::kMoments,
+                                           EmbeddingKind::kPadding),
+                         [](const auto& info) {
+                           return EmbeddingKindToString(info.param);
+                         });
+
+}  // namespace
+}  // namespace carl

@@ -1,0 +1,129 @@
+// Tests for the query static-analysis API (ExplainQuery) and DOT export.
+
+#include <gtest/gtest.h>
+
+#include "core/explain.h"
+#include "datagen/review_toy.h"
+#include "graph/dot_export.h"
+
+namespace carl {
+namespace {
+
+class ExplainTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    Result<datagen::Dataset> data = datagen::MakeReviewToy();
+    CARL_CHECK_OK(data.status());
+    data_ = std::move(*data);
+    Result<RelationalCausalModel> model =
+        RelationalCausalModel::Parse(*data_.schema, data_.model_text);
+    CARL_CHECK_OK(model.status());
+    Result<std::unique_ptr<CarlEngine>> engine =
+        CarlEngine::Create(data_.instance.get(), std::move(*model));
+    CARL_CHECK_OK(engine.status());
+    engine_ = std::move(*engine);
+  }
+  datagen::Dataset data_;
+  std::unique_ptr<CarlEngine> engine_;
+};
+
+TEST_F(ExplainTest, ReportsPlanForAggregateQuery) {
+  Result<QueryExplanation> explanation =
+      ExplainQuery(engine_.get(), "AVG_Score[A] <= Prestige[A]?");
+  ASSERT_TRUE(explanation.ok());
+  EXPECT_EQ(explanation->treatment_attribute, "Prestige");
+  EXPECT_EQ(explanation->response_attribute, "AVG_Score");
+  EXPECT_EQ(explanation->unit_predicate, "Person");
+  EXPECT_FALSE(explanation->unified);
+  EXPECT_EQ(explanation->num_units, 3u);
+  EXPECT_TRUE(explanation->relational);
+  EXPECT_EQ(explanation->max_peers, 2u);
+  EXPECT_NEAR(explanation->mean_peers, (1 + 1 + 2) / 3.0, 1e-12);
+
+  // Adjustment set: own and peer Qualification.
+  ASSERT_EQ(explanation->covariates.size(), 2u);
+  EXPECT_EQ(explanation->covariates[0].attribute, "Qualification");
+  EXPECT_EQ(explanation->covariates[0].role, "own");
+  EXPECT_EQ(explanation->covariates[1].role, "peer");
+
+  std::string text = explanation->ToString();
+  EXPECT_NE(text.find("Prestige"), std::string::npos);
+  EXPECT_NE(text.find("Qualification"), std::string::npos);
+  EXPECT_NE(text.find("relational"), std::string::npos);
+}
+
+TEST_F(ExplainTest, ReportsUnificationRule) {
+  Result<QueryExplanation> explanation =
+      ExplainQuery(engine_.get(), "Score[S] <= Prestige[A]?");
+  ASSERT_TRUE(explanation.ok());
+  EXPECT_TRUE(explanation->unified);
+  EXPECT_EQ(explanation->response_attribute, "AVG_Score_unified");
+  EXPECT_NE(explanation->unification_rule.find("Author"),
+            std::string::npos);
+}
+
+TEST_F(ExplainTest, CriterionCheckIntegrated) {
+  EngineOptions options;
+  options.check_criterion = true;
+  Result<QueryExplanation> explanation =
+      ExplainQuery(engine_.get(), "AVG_Score[A] <= Prestige[A]?", options);
+  ASSERT_TRUE(explanation.ok());
+  EXPECT_TRUE(explanation->criterion_checked);
+  EXPECT_TRUE(explanation->criterion_ok);
+  EXPECT_NE(explanation->ToString().find("holds"), std::string::npos);
+}
+
+TEST_F(ExplainTest, NonRelationalQueryReportsSutva) {
+  Result<QueryExplanation> explanation =
+      ExplainQuery(engine_.get(), "Qualification[A] <= Prestige[A]?");
+  ASSERT_TRUE(explanation.ok());
+  EXPECT_FALSE(explanation->relational);
+  EXPECT_NE(explanation->ToString().find("SUTVA"), std::string::npos);
+}
+
+TEST_F(ExplainTest, RejectsBadInput) {
+  EXPECT_FALSE(ExplainQuery(nullptr, "AVG_Score[A] <= Prestige[A]?").ok());
+  EXPECT_FALSE(ExplainQuery(engine_.get(), "not a query").ok());
+  EXPECT_FALSE(ExplainQuery(engine_.get(), "Ghost[A] <= Prestige[A]?").ok());
+}
+
+TEST_F(ExplainTest, DotExportContainsNodesAndEdges) {
+  Result<std::string> dot = ExportDot(engine_->grounded());
+  ASSERT_TRUE(dot.ok());
+  EXPECT_NE(dot->find("digraph carl"), std::string::npos);
+  EXPECT_NE(dot->find("Score[s1]"), std::string::npos);
+  EXPECT_NE(dot->find("->"), std::string::npos);
+  // Latent Quality nodes render dashed; aggregates as triangles.
+  EXPECT_NE(dot->find("style=dashed"), std::string::npos);
+  EXPECT_NE(dot->find("shape=triangle"), std::string::npos);
+}
+
+TEST_F(ExplainTest, DotExportFiltersAttributes) {
+  DotOptions options;
+  options.attributes = {"Score"};
+  Result<std::string> dot = ExportDot(engine_->grounded(), options);
+  ASSERT_TRUE(dot.ok());
+  EXPECT_NE(dot->find("Score[s1]"), std::string::npos);
+  EXPECT_EQ(dot->find("Prestige[Bob]"), std::string::npos);
+
+  DotOptions bad;
+  bad.attributes = {"Ghost"};
+  EXPECT_FALSE(ExportDot(engine_->grounded(), bad).ok());
+}
+
+TEST_F(ExplainTest, DotExportCapsNodes) {
+  DotOptions options;
+  options.max_nodes = 2;
+  Result<std::string> dot = ExportDot(engine_->grounded(), options);
+  ASSERT_TRUE(dot.ok());
+  // Exactly two node declarations (lines with "[label=").
+  size_t count = 0, pos = 0;
+  while ((pos = dot->find("[label=", pos)) != std::string::npos) {
+    ++count;
+    ++pos;
+  }
+  EXPECT_EQ(count, 2u);
+}
+
+}  // namespace
+}  // namespace carl

@@ -1,0 +1,186 @@
+// Additional coverage: higher-arity relationships in paths and grounding,
+// non-AVG aggregate rules end to end, universal tables with constraints
+// and constants, and moment helpers.
+
+#include <gtest/gtest.h>
+
+#include "core/causal_model.h"
+#include "core/grounding.h"
+#include "core/relational_path.h"
+#include "datagen/review_toy.h"
+#include "relational/aggregates.h"
+#include "relational/universal_table.h"
+
+namespace carl {
+namespace {
+
+// A schema with a ternary relationship: Review(Referee, Submission, Round).
+struct TernaryFixture {
+  Schema schema;
+  std::unique_ptr<Instance> db;
+
+  TernaryFixture() {
+    CARL_CHECK_OK(schema.AddEntity("Referee").status());
+    CARL_CHECK_OK(schema.AddEntity("Submission").status());
+    CARL_CHECK_OK(schema.AddEntity("Round").status());
+    CARL_CHECK_OK(schema
+                      .AddRelationship("Review",
+                                       {"Referee", "Submission", "Round"})
+                      .status());
+    CARL_CHECK_OK(schema.AddAttribute("Harshness", "Referee").status());
+    CARL_CHECK_OK(schema.AddAttribute("Grade", "Review").status());
+    db = std::make_unique<Instance>(&schema);
+    for (const char* r : {"r1", "r2"}) CARL_CHECK_OK(db->AddFact("Referee", {r}));
+    for (const char* s : {"s1", "s2"}) {
+      CARL_CHECK_OK(db->AddFact("Submission", {s}));
+    }
+    CARL_CHECK_OK(db->AddFact("Round", {"round1"}));
+    CARL_CHECK_OK(db->AddFact("Review", {"r1", "s1", "round1"}));
+    CARL_CHECK_OK(db->AddFact("Review", {"r2", "s1", "round1"}));
+    CARL_CHECK_OK(db->AddFact("Review", {"r2", "s2", "round1"}));
+    CARL_CHECK_OK(db->SetAttribute("Harshness", {"r1"}, Value(2.0)));
+    CARL_CHECK_OK(db->SetAttribute("Harshness", {"r2"}, Value(5.0)));
+    CARL_CHECK_OK(
+        db->SetAttribute("Grade", {"r1", "s1", "round1"}, Value(3.0)));
+    CARL_CHECK_OK(
+        db->SetAttribute("Grade", {"r2", "s1", "round1"}, Value(1.0)));
+    CARL_CHECK_OK(
+        db->SetAttribute("Grade", {"r2", "s2", "round1"}, Value(4.0)));
+  }
+};
+
+TEST(TernaryRelationshipTest, RelationshipAttachedAttributesGround) {
+  TernaryFixture f;
+  // Grade (a relationship attribute) depends on the referee's harshness.
+  Result<RelationalCausalModel> model = RelationalCausalModel::Parse(
+      f.schema, "Grade[R, S, T] <= Harshness[R] WHERE Review(R, S, T)");
+  ASSERT_TRUE(model.ok());
+  Result<GroundedModel> grounded = GroundModel(*f.db, *model);
+  ASSERT_TRUE(grounded.ok());
+
+  AttributeId grade = *f.schema.FindAttribute("Grade");
+  Tuple key{f.db->LookupConstant("r2"), f.db->LookupConstant("s1"),
+            f.db->LookupConstant("round1")};
+  NodeId node = grounded->graph().FindNode(grade, key);
+  ASSERT_NE(node, kInvalidNode);
+  ASSERT_EQ(grounded->graph().Parents(node).size(), 1u);
+  EXPECT_EQ(grounded->NodeName(grounded->graph().Parents(node)[0]),
+            "Harshness[r2]");
+  EXPECT_DOUBLE_EQ(*grounded->NodeValue(node), 1.0);
+}
+
+TEST(TernaryRelationshipTest, PathThroughTernaryRelationship) {
+  TernaryFixture f;
+  // Referee -> Review -> Submission: the relationship has a third (Round)
+  // position that must become a fresh variable.
+  AttributeRef treatment{"Harshness", {Term::Var("R")}};
+  AttributeRef response{"Grade",
+                        {Term::Var("R"), Term::Var("S"), Term::Var("T")}};
+  Result<AggregateRule> rule = DeriveUnifyingAggregateRule(
+      f.schema, treatment, response, AggregateKind::kAvg);
+  ASSERT_TRUE(rule.ok());
+  // The endpoint relationship atom carries the response's own variables.
+  ASSERT_EQ(rule->where.atoms.size(), 1u);
+  EXPECT_EQ(rule->where.atoms[0].predicate, "Review");
+  EXPECT_EQ(rule->where.atoms[0].args[0].text, "R");
+
+  // The derived rule validates and grounds: AVG grade per referee.
+  Program program;
+  program.aggregate_rules.push_back(*rule);
+  Result<RelationalCausalModel> model =
+      RelationalCausalModel::Create(f.schema, program);
+  ASSERT_TRUE(model.ok());
+  Result<GroundedModel> grounded = GroundModel(*f.db, *model);
+  ASSERT_TRUE(grounded.ok());
+  AttributeId avg =
+      *model->extended_schema().FindAttribute("AVG_Grade_unified");
+  NodeId r2 = grounded->graph().FindNode(
+      avg, {f.db->LookupConstant("r2")});
+  ASSERT_NE(r2, kInvalidNode);
+  EXPECT_DOUBLE_EQ(*grounded->NodeValue(r2), (1.0 + 4.0) / 2.0);
+}
+
+TEST(AggregateKindsTest, CountAndVarianceRulesEndToEnd) {
+  Result<datagen::Dataset> data = datagen::MakeReviewToy();
+  CARL_CHECK_OK(data.status());
+  Result<RelationalCausalModel> model = RelationalCausalModel::Parse(
+      *data->schema,
+      "COUNT_Score[A] <= Score[S] WHERE Author(A, S)\n"
+      "VAR_Score[A] <= Score[S] WHERE Author(A, S)\n"
+      "MAX_Score[A] <= Score[S] WHERE Author(A, S)");
+  ASSERT_TRUE(model.ok());
+  Result<GroundedModel> grounded = GroundModel(*data->instance, *model);
+  ASSERT_TRUE(grounded.ok());
+
+  auto value_for = [&](const std::string& attr, const char* who) {
+    AttributeId aid = *model->extended_schema().FindAttribute(attr);
+    NodeId node = grounded->graph().FindNode(
+        aid, {data->instance->LookupConstant(who)});
+    CARL_CHECK(node != kInvalidNode);
+    return *grounded->NodeValue(node);
+  };
+  EXPECT_DOUBLE_EQ(value_for("COUNT_Score", "Eva"), 3.0);
+  EXPECT_DOUBLE_EQ(value_for("COUNT_Score", "Bob"), 1.0);
+  EXPECT_DOUBLE_EQ(value_for("MAX_Score", "Eva"), 0.75);
+  // Population variance of {0.75, 0.4, 0.1}.
+  double mean = (0.75 + 0.4 + 0.1) / 3.0;
+  double var = ((0.75 - mean) * (0.75 - mean) + (0.4 - mean) * (0.4 - mean) +
+                (0.1 - mean) * (0.1 - mean)) /
+               3.0;
+  EXPECT_NEAR(value_for("VAR_Score", "Eva"), var, 1e-12);
+}
+
+TEST(UniversalTableTest, ConstraintsAndConstantsInJoin) {
+  Result<datagen::Dataset> data = datagen::MakeReviewToy();
+  CARL_CHECK_OK(data.status());
+
+  // Only rows at double-blind venues, for one fixed author.
+  UniversalTableSpec spec;
+  spec.join.atoms.push_back(
+      {"Author", {Term::Const("Eva"), Term::Var("S")}});
+  spec.join.atoms.push_back(
+      {"Submitted", {Term::Var("S"), Term::Var("C")}});
+  AttributeConstraint blind;
+  blind.attribute = "Blind";
+  blind.args = {Term::Var("C")};
+  blind.op = CompareOp::kEq;
+  blind.rhs = Value(false);
+  spec.join.constraints.push_back(blind);
+  spec.columns.push_back({"Score", {"S"}, "score"});
+  Result<UniversalTableResult> result =
+      BuildUniversalTable(*data->instance, spec);
+  ASSERT_TRUE(result.ok());
+  // Eva's double-blind submissions: s2 and s3.
+  EXPECT_EQ(result->table.num_rows(), 2u);
+}
+
+TEST(MomentHelperTest, StandardizedMoments) {
+  std::vector<double> v{1, 2, 3, 4};
+  EXPECT_DOUBLE_EQ(Moment(v, 1), 2.5);
+  EXPECT_DOUBLE_EQ(Moment(v, 2), 1.25);
+  // Fourth standardized moment (kurtosis, non-excess) of a symmetric
+  // two-point mass {0,0,1,1} is 1.
+  EXPECT_NEAR(Moment({0, 0, 1, 1}, 4), 1.0, 1e-12);
+  // Degenerate inputs.
+  EXPECT_DOUBLE_EQ(Moment({5}, 3), 0.0);
+  EXPECT_DOUBLE_EQ(Moment({2, 2, 2}, 3), 0.0);
+}
+
+TEST(GroundingScaleTest, NodeAndEdgeCountsAreExact) {
+  // On the toy: Score rule (7) contributes one edge per authorship (5);
+  // rule (8) one per submission (3); Quality rule two body atoms per
+  // authorship (10); Prestige rule one per person (3); AVG rule one per
+  // authorship (5). Total distinct edges = 26.
+  Result<datagen::Dataset> data = datagen::MakeReviewToy();
+  CARL_CHECK_OK(data.status());
+  Result<RelationalCausalModel> model =
+      RelationalCausalModel::Parse(*data->schema, data->model_text);
+  CARL_CHECK_OK(model.status());
+  Result<GroundedModel> grounded = GroundModel(*data->instance, *model);
+  ASSERT_TRUE(grounded.ok());
+  EXPECT_EQ(grounded->graph().num_edges(), 26u);
+  EXPECT_EQ(grounded->graph().num_nodes(), 17u);
+}
+
+}  // namespace
+}  // namespace carl

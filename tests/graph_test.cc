@@ -1,0 +1,162 @@
+// Unit tests for src/graph: grounded causal graph structure, DAG
+// algorithms, d-separation.
+
+#include <gtest/gtest.h>
+
+#include "graph/causal_graph.h"
+
+namespace carl {
+namespace {
+
+// Small helper: nodes are (attribute 0, {i}).
+NodeId N(CausalGraph* g, int i) { return g->AddNode(0, {i}); }
+
+TEST(CausalGraphTest, AddNodeIsIdempotent) {
+  CausalGraph g;
+  NodeId a = g.AddNode(1, {10, 20});
+  NodeId b = g.AddNode(1, {10, 20});
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(g.num_nodes(), 1u);
+  EXPECT_EQ(g.FindNode(1, {10, 20}), a);
+  EXPECT_EQ(g.FindNode(1, {10, 21}), kInvalidNode);
+  EXPECT_EQ(g.FindNode(2, {10, 20}), kInvalidNode);
+}
+
+TEST(CausalGraphTest, EdgesDeduplicated) {
+  CausalGraph g;
+  NodeId a = N(&g, 0), b = N(&g, 1);
+  g.AddEdge(a, b);
+  g.AddEdge(a, b);
+  EXPECT_EQ(g.num_edges(), 1u);
+  EXPECT_EQ(g.Parents(b).size(), 1u);
+  EXPECT_EQ(g.Children(a).size(), 1u);
+}
+
+TEST(CausalGraphTest, NodesOfAttribute) {
+  CausalGraph g;
+  g.AddNode(3, {1});
+  g.AddNode(3, {2});
+  g.AddNode(4, {1});
+  EXPECT_EQ(g.NodesOfAttribute(3).size(), 2u);
+  EXPECT_EQ(g.NodesOfAttribute(4).size(), 1u);
+  EXPECT_TRUE(g.NodesOfAttribute(9).empty());
+}
+
+TEST(CausalGraphTest, TopologicalOrderRespectsEdges) {
+  CausalGraph g;
+  NodeId a = N(&g, 0), b = N(&g, 1), c = N(&g, 2);
+  g.AddEdge(a, b);
+  g.AddEdge(b, c);
+  g.AddEdge(a, c);
+  Result<std::vector<NodeId>> order = g.TopologicalOrder();
+  ASSERT_TRUE(order.ok());
+  std::vector<size_t> position(3);
+  for (size_t i = 0; i < order->size(); ++i) {
+    position[static_cast<size_t>((*order)[i])] = i;
+  }
+  EXPECT_LT(position[a], position[b]);
+  EXPECT_LT(position[b], position[c]);
+}
+
+TEST(CausalGraphTest, CycleDetected) {
+  CausalGraph g;
+  NodeId a = N(&g, 0), b = N(&g, 1);
+  g.AddEdge(a, b);
+  g.AddEdge(b, a);
+  EXPECT_FALSE(g.TopologicalOrder().ok());
+  EXPECT_FALSE(g.IsAcyclic());
+}
+
+TEST(CausalGraphTest, DirectedPathAndClosures) {
+  CausalGraph g;
+  NodeId a = N(&g, 0), b = N(&g, 1), c = N(&g, 2), d = N(&g, 3);
+  g.AddEdge(a, b);
+  g.AddEdge(b, c);
+  EXPECT_TRUE(g.HasDirectedPath(a, c));
+  EXPECT_TRUE(g.HasDirectedPath(a, a));
+  EXPECT_FALSE(g.HasDirectedPath(c, a));
+  EXPECT_FALSE(g.HasDirectedPath(a, d));
+
+  std::vector<NodeId> anc = g.Ancestors({c});
+  EXPECT_EQ(anc.size(), 3u);  // c, b, a
+  std::vector<NodeId> desc = g.Descendants({a});
+  EXPECT_EQ(desc.size(), 3u);
+  EXPECT_EQ(g.Ancestors({d}).size(), 1u);
+}
+
+// Classic d-separation cases on the three canonical triples.
+TEST(DSeparationTest, Chain) {
+  CausalGraph g;
+  NodeId a = N(&g, 0), b = N(&g, 1), c = N(&g, 2);
+  g.AddEdge(a, b);
+  g.AddEdge(b, c);
+  EXPECT_FALSE(DSeparated(g, {a}, {c}, {}));
+  EXPECT_TRUE(DSeparated(g, {a}, {c}, {b}));
+}
+
+TEST(DSeparationTest, Fork) {
+  CausalGraph g;
+  NodeId a = N(&g, 0), b = N(&g, 1), c = N(&g, 2);
+  g.AddEdge(b, a);
+  g.AddEdge(b, c);
+  EXPECT_FALSE(DSeparated(g, {a}, {c}, {}));
+  EXPECT_TRUE(DSeparated(g, {a}, {c}, {b}));
+}
+
+TEST(DSeparationTest, ColliderBlocksUntilConditioned) {
+  CausalGraph g;
+  NodeId a = N(&g, 0), b = N(&g, 1), c = N(&g, 2);
+  g.AddEdge(a, b);
+  g.AddEdge(c, b);
+  EXPECT_TRUE(DSeparated(g, {a}, {c}, {}));
+  EXPECT_FALSE(DSeparated(g, {a}, {c}, {b}));
+}
+
+TEST(DSeparationTest, ColliderDescendantAlsoActivates) {
+  CausalGraph g;
+  NodeId a = N(&g, 0), b = N(&g, 1), c = N(&g, 2), d = N(&g, 3);
+  g.AddEdge(a, b);
+  g.AddEdge(c, b);
+  g.AddEdge(b, d);  // d descends from the collider
+  EXPECT_TRUE(DSeparated(g, {a}, {c}, {}));
+  EXPECT_FALSE(DSeparated(g, {a}, {c}, {d}));
+}
+
+TEST(DSeparationTest, ConfounderAdjustment) {
+  // The paper's running example shape (Fig 3): Qualification -> Prestige,
+  // Qualification -> Quality -> Score, Prestige -> Score.
+  CausalGraph g;
+  NodeId qual = N(&g, 0), prestige = N(&g, 1), quality = N(&g, 2),
+         score = N(&g, 3);
+  g.AddEdge(qual, prestige);
+  g.AddEdge(qual, quality);
+  g.AddEdge(quality, score);
+  g.AddEdge(prestige, score);
+  // Score depends on Qualification even given Prestige (via Quality).
+  EXPECT_FALSE(DSeparated(g, {score}, {qual}, {prestige}));
+  // Conditioning on Prestige + Quality separates Score from Qualification.
+  EXPECT_TRUE(DSeparated(g, {score}, {qual}, {prestige, quality}));
+}
+
+TEST(DSeparationTest, NodesInsideZAreIgnored) {
+  CausalGraph g;
+  NodeId a = N(&g, 0), b = N(&g, 1);
+  g.AddEdge(a, b);
+  // X or Y intersecting Z is separated by convention.
+  EXPECT_TRUE(DSeparated(g, {a}, {b}, {b}));
+  EXPECT_TRUE(DSeparated(g, {a}, {b}, {a}));
+}
+
+TEST(DSeparationTest, DConnectedNodesFromSource) {
+  CausalGraph g;
+  NodeId a = N(&g, 0), b = N(&g, 1), c = N(&g, 2);
+  g.AddEdge(a, b);
+  g.AddEdge(b, c);
+  std::vector<NodeId> reach = DConnectedNodes(g, {a}, {});
+  EXPECT_EQ(reach.size(), 3u);
+  reach = DConnectedNodes(g, {a}, {b});
+  EXPECT_EQ(reach.size(), 1u);  // only a itself
+}
+
+}  // namespace
+}  // namespace carl

@@ -1,0 +1,116 @@
+// Tests for CSV instance import/export.
+
+#include <gtest/gtest.h>
+
+#include "relational/instance_io.h"
+
+namespace carl {
+namespace {
+
+Schema MakeSchema() {
+  Schema schema;
+  CARL_CHECK_OK(schema.AddEntity("Person").status());
+  CARL_CHECK_OK(schema.AddEntity("Paper").status());
+  CARL_CHECK_OK(
+      schema.AddRelationship("Wrote", {"Person", "Paper"}).status());
+  CARL_CHECK_OK(schema.AddAttribute("Age", "Person").status());
+  CARL_CHECK_OK(
+      schema.AddAttribute("Tenured", "Person", true, ValueType::kBool)
+          .status());
+  CARL_CHECK_OK(schema.AddAttribute("Venue", "Paper", true,
+                                    ValueType::kString)
+                    .status());
+  return schema;
+}
+
+TEST(ParseCsvValueTest, TypeInference) {
+  EXPECT_TRUE(ParseCsvValue("").is_null());
+  EXPECT_TRUE(ParseCsvValue("  ").is_null());
+  EXPECT_EQ(ParseCsvValue("true"), Value(true));
+  EXPECT_EQ(ParseCsvValue("FALSE"), Value(false));
+  EXPECT_EQ(ParseCsvValue("42"), Value(int64_t{42}));
+  EXPECT_EQ(ParseCsvValue("-3"), Value(int64_t{-3}));
+  EXPECT_EQ(ParseCsvValue("2.5"), Value(2.5));
+  EXPECT_EQ(ParseCsvValue("1e3"), Value(1000.0));
+  EXPECT_EQ(ParseCsvValue("Bob"), Value("Bob"));
+  EXPECT_EQ(ParseCsvValue("12abc"), Value("12abc"));
+}
+
+TEST(InstanceIoTest, LoadFactsRoundTrip) {
+  Schema schema = MakeSchema();
+  Instance db(&schema);
+  Result<CsvDocument> facts = ParseCsv("person,paper\nBob,p1\nEva,p1\nEva,p2\n");
+  ASSERT_TRUE(facts.ok());
+  ASSERT_TRUE(LoadFactsCsv(*facts, "Wrote", &db).ok());
+  EXPECT_EQ(db.NumRows(*schema.FindPredicate("Wrote")), 3u);
+
+  Result<CsvDocument> dumped = DumpFactsCsv(db, "Wrote");
+  ASSERT_TRUE(dumped.ok());
+  EXPECT_EQ(dumped->rows.size(), 3u);
+  EXPECT_EQ(dumped->rows[0], (std::vector<std::string>{"Bob", "p1"}));
+}
+
+TEST(InstanceIoTest, LoadFactsRejectsArityMismatch) {
+  Schema schema = MakeSchema();
+  Instance db(&schema);
+  Result<CsvDocument> facts = ParseCsv("a\nBob\n");
+  ASSERT_TRUE(facts.ok());
+  EXPECT_FALSE(LoadFactsCsv(*facts, "Wrote", &db).ok());
+  EXPECT_FALSE(LoadFactsCsv(*facts, "Ghost", &db).ok());
+  EXPECT_FALSE(LoadFactsCsv(*facts, "Person", nullptr).ok());
+}
+
+TEST(InstanceIoTest, LoadAttributesWithMissingCells) {
+  Schema schema = MakeSchema();
+  Instance db(&schema);
+  CARL_CHECK_OK(db.AddFact("Person", {"Bob"}));
+  CARL_CHECK_OK(db.AddFact("Person", {"Eva"}));
+  Result<CsvDocument> attrs =
+      ParseCsv("person,Age,Tenured\nBob,41,true\nEva,,false\n");
+  ASSERT_TRUE(attrs.ok());
+  ASSERT_TRUE(LoadAttributesCsv(*attrs, /*key_width=*/1, &db).ok());
+
+  AttributeId age = *schema.FindAttribute("Age");
+  AttributeId tenured = *schema.FindAttribute("Tenured");
+  Tuple bob{db.LookupConstant("Bob")}, eva{db.LookupConstant("Eva")};
+  EXPECT_DOUBLE_EQ(db.GetAttribute(age, bob)->AsDouble(), 41.0);
+  EXPECT_FALSE(db.GetAttribute(age, eva).has_value());  // empty cell
+  EXPECT_EQ(db.GetAttribute(tenured, eva), Value(false));
+}
+
+TEST(InstanceIoTest, LoadAttributesValidation) {
+  Schema schema = MakeSchema();
+  Instance db(&schema);
+  Result<CsvDocument> attrs = ParseCsv("p,Age\nBob,1\n");
+  ASSERT_TRUE(attrs.ok());
+  // key_width out of range.
+  EXPECT_FALSE(LoadAttributesCsv(*attrs, 0, &db).ok());
+  EXPECT_FALSE(LoadAttributesCsv(*attrs, 2, &db).ok());
+  // Unknown attribute column.
+  Result<CsvDocument> bad = ParseCsv("p,Nope\nBob,1\n");
+  ASSERT_TRUE(bad.ok());
+  EXPECT_FALSE(LoadAttributesCsv(*bad, 1, &db).ok());
+  // Attribute of a different arity (relationship attr would need 2 keys).
+  Result<CsvDocument> venue = ParseCsv("p,Venue,Age\np1,VLDB,3\n");
+  ASSERT_TRUE(venue.ok());
+  // Venue is on Paper (arity 1) and Age on Person (arity 1): both accept
+  // one key column; but a two-key file for them fails.
+  Result<CsvDocument> twokey = ParseCsv("a,b,Age\nx,y,3\n");
+  ASSERT_TRUE(twokey.ok());
+  EXPECT_FALSE(LoadAttributesCsv(*twokey, 2, &db).ok());
+}
+
+TEST(InstanceIoTest, StringAttributesSupported) {
+  Schema schema = MakeSchema();
+  Instance db(&schema);
+  CARL_CHECK_OK(db.AddFact("Paper", {"p1"}));
+  Result<CsvDocument> attrs = ParseCsv("paper,Venue\np1,SIGMOD\n");
+  ASSERT_TRUE(attrs.ok());
+  ASSERT_TRUE(LoadAttributesCsv(*attrs, 1, &db).ok());
+  AttributeId venue = *schema.FindAttribute("Venue");
+  Tuple p1{db.LookupConstant("p1")};
+  EXPECT_EQ(db.GetAttribute(venue, p1), Value("SIGMOD"));
+}
+
+}  // namespace
+}  // namespace carl

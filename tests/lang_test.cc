@@ -1,0 +1,245 @@
+// Unit tests for src/lang: lexer, parser, AST printing — the CaRL syntax
+// of paper §3.2–3.3.
+
+#include <gtest/gtest.h>
+
+#include "lang/ast.h"
+#include "lang/lexer.h"
+#include "lang/parser.h"
+
+namespace carl {
+namespace {
+
+TEST(LexerTest, BasicTokens) {
+  Result<std::vector<Token>> tokens =
+      Tokenize("Score[S] <= Prestige[A]? // comment\n# another");
+  ASSERT_TRUE(tokens.ok());
+  std::vector<TokenKind> kinds;
+  for (const Token& t : *tokens) kinds.push_back(t.kind);
+  EXPECT_EQ(kinds, (std::vector<TokenKind>{
+                       TokenKind::kIdent, TokenKind::kLBracket,
+                       TokenKind::kIdent, TokenKind::kRBracket,
+                       TokenKind::kArrow, TokenKind::kIdent,
+                       TokenKind::kLBracket, TokenKind::kIdent,
+                       TokenKind::kRBracket, TokenKind::kQuestion,
+                       TokenKind::kEnd}));
+}
+
+TEST(LexerTest, StringsAndNumbers) {
+  Result<std::vector<Token>> tokens = Tokenize(R"("Bob" 1.5 42 33% 1/3)");
+  ASSERT_TRUE(tokens.ok());
+  EXPECT_EQ((*tokens)[0].kind, TokenKind::kString);
+  EXPECT_EQ((*tokens)[0].text, "Bob");
+  EXPECT_DOUBLE_EQ((*tokens)[1].number, 1.5);
+  EXPECT_DOUBLE_EQ((*tokens)[2].number, 42.0);
+  EXPECT_EQ((*tokens)[4].kind, TokenKind::kPercent);
+  EXPECT_EQ((*tokens)[6].kind, TokenKind::kSlash);
+}
+
+TEST(LexerTest, ArrowVariants) {
+  for (const char* text : {"A[X] <= B[Y]", "A[X] <- B[Y]"}) {
+    Result<std::vector<Token>> tokens = Tokenize(text);
+    ASSERT_TRUE(tokens.ok());
+    EXPECT_EQ((*tokens)[4].kind, TokenKind::kArrow) << text;
+  }
+}
+
+TEST(LexerTest, ComparisonOperators) {
+  Result<std::vector<Token>> tokens = Tokenize("= != < > >= ==");
+  ASSERT_TRUE(tokens.ok());
+  EXPECT_EQ((*tokens)[0].kind, TokenKind::kEq);
+  EXPECT_EQ((*tokens)[1].kind, TokenKind::kNe);
+  EXPECT_EQ((*tokens)[2].kind, TokenKind::kLt);
+  EXPECT_EQ((*tokens)[3].kind, TokenKind::kGt);
+  EXPECT_EQ((*tokens)[4].kind, TokenKind::kGe);
+  EXPECT_EQ((*tokens)[5].kind, TokenKind::kEq);
+}
+
+TEST(LexerTest, ErrorsCarryLocation) {
+  Result<std::vector<Token>> bad = Tokenize("A[X] $ B");
+  ASSERT_FALSE(bad.ok());
+  EXPECT_NE(bad.status().message().find("line 1"), std::string::npos);
+  EXPECT_FALSE(Tokenize("\"unterminated").ok());
+  EXPECT_FALSE(Tokenize("a ! b").ok());
+}
+
+TEST(ParserTest, CausalRule) {
+  Result<CausalRule> rule = ParseRule(
+      "Score[S] <= Quality[S], Prestige[A] WHERE Author(A, S)");
+  ASSERT_TRUE(rule.ok());
+  EXPECT_EQ(rule->head.attribute, "Score");
+  ASSERT_EQ(rule->body.size(), 2u);
+  EXPECT_EQ(rule->body[1].attribute, "Prestige");
+  ASSERT_EQ(rule->where.atoms.size(), 1u);
+  EXPECT_EQ(rule->where.atoms[0].predicate, "Author");
+}
+
+TEST(ParserTest, RuleWithoutWhere) {
+  Result<CausalRule> rule = ParseRule("Bill[P] <= Severity[P]");
+  ASSERT_TRUE(rule.ok());
+  EXPECT_TRUE(rule->where.empty());
+}
+
+TEST(ParserTest, AggregateRuleByPrefix) {
+  Result<AggregateRule> rule =
+      ParseAggregateRule("AVG_Score[A] <= Score[S] WHERE Author(A, S)");
+  ASSERT_TRUE(rule.ok());
+  EXPECT_EQ(rule->aggregate, AggregateKind::kAvg);
+  EXPECT_EQ(rule->head.attribute, "AVG_Score");
+  EXPECT_EQ(rule->source.attribute, "Score");
+}
+
+TEST(ParserTest, AggregatePrefixes) {
+  for (const auto& [text, kind] :
+       std::initializer_list<std::pair<const char*, AggregateKind>>{
+           {"MEDIAN_X[A] <= X[B] WHERE R(A, B)", AggregateKind::kMedian},
+           {"COUNT_X[A] <= X[B] WHERE R(A, B)", AggregateKind::kCount},
+           {"VAR_X[A] <= X[B] WHERE R(A, B)", AggregateKind::kVariance}}) {
+    Result<AggregateRule> rule = ParseAggregateRule(text);
+    ASSERT_TRUE(rule.ok()) << text;
+    EXPECT_EQ(rule->aggregate, kind);
+  }
+}
+
+TEST(ParserTest, AteQuery) {
+  Result<CausalQuery> q = ParseQuery("Score[S] <= Prestige[A]?");
+  ASSERT_TRUE(q.ok());
+  EXPECT_EQ(q->response.attribute, "Score");
+  EXPECT_EQ(q->treatment.attribute, "Prestige");
+  EXPECT_FALSE(q->peer_condition.has_value());
+  EXPECT_TRUE(q->where.empty());
+}
+
+TEST(ParserTest, QueryWithWhereFilter) {
+  Result<CausalQuery> q = ParseQuery(
+      R"(AVG_Score[A] <= Prestige[A]? WHERE Submitted(S, C), Blind[C] = TRUE)");
+  ASSERT_TRUE(q.ok());
+  EXPECT_EQ(q->where.atoms.size(), 1u);
+  ASSERT_EQ(q->where.constraints.size(), 1u);
+  EXPECT_EQ(q->where.constraints[0].rhs, Value(true));
+}
+
+TEST(ParserTest, PeerConditions) {
+  struct Case {
+    const char* text;
+    PeerCondition::Kind kind;
+    double value;
+  };
+  for (const Case& c : std::initializer_list<Case>{
+           {"Y[S] <= T[A]? WHEN ALL PEERS TREATED",
+            PeerCondition::Kind::kAll, 0.0},
+           {"Y[S] <= T[A]? WHEN NONE PEERS TREATED",
+            PeerCondition::Kind::kNone, 0.0},
+           {"Y[S] <= T[A]? WHEN MORE THAN 1/3 PEERS TREATED",
+            PeerCondition::Kind::kMoreThanFrac, 1.0 / 3.0},
+           {"Y[S] <= T[A]? WHEN LESS THAN 25% PEERS TREATED",
+            PeerCondition::Kind::kLessThanFrac, 0.25},
+           {"Y[S] <= T[A]? WHEN AT LEAST 2 PEERS TREATED",
+            PeerCondition::Kind::kAtLeastCount, 2.0},
+           {"Y[S] <= T[A]? WHEN AT MOST 3 PEERS TREATED",
+            PeerCondition::Kind::kAtMostCount, 3.0},
+           {"Y[S] <= T[A]? WHEN EXACTLY 1 PEERS TREATED",
+            PeerCondition::Kind::kExactlyCount, 1.0}}) {
+    Result<CausalQuery> q = ParseQuery(c.text);
+    ASSERT_TRUE(q.ok()) << c.text;
+    ASSERT_TRUE(q->peer_condition.has_value());
+    EXPECT_EQ(q->peer_condition->kind, c.kind) << c.text;
+    EXPECT_NEAR(q->peer_condition->value, c.value, 1e-12) << c.text;
+  }
+}
+
+TEST(ParserTest, ProgramMixesStatements) {
+  Result<Program> program = ParseProgram(R"(
+    Prestige[A] <= Qualification[A] WHERE Person(A)
+    AVG_Score[A] <= Score[S] WHERE Author(A, S);
+    AVG_Score[A] <= Prestige[A]?
+  )");
+  ASSERT_TRUE(program.ok());
+  EXPECT_EQ(program->rules.size(), 1u);
+  EXPECT_EQ(program->aggregate_rules.size(), 1u);
+  EXPECT_EQ(program->queries.size(), 1u);
+}
+
+TEST(ParserTest, ConstantsInTerms) {
+  Result<CausalQuery> q =
+      ParseQuery(R"(Score[S] <= Prestige["Bob"]? WHERE Author("Bob", S))");
+  ASSERT_TRUE(q.ok());
+  EXPECT_EQ(q->treatment.args[0].kind, Term::Kind::kConstant);
+  EXPECT_EQ(q->where.atoms[0].args[0].text, "Bob");
+}
+
+TEST(ParserTest, Errors) {
+  EXPECT_FALSE(ParseQuery("Score[S] <= ?").ok());
+  EXPECT_FALSE(ParseQuery("Score[S] Prestige[A]?").ok());
+  EXPECT_FALSE(ParseQuery("Score[S] <= A[X], B[Y]?").ok());
+  EXPECT_FALSE(ParseRule("Score[S] <=").ok());
+  EXPECT_FALSE(
+      ParseQuery("Y[S] <= T[A]? WHEN MORE THAN 5 PEERS TREATED").ok());
+  EXPECT_FALSE(ParseQuery("Y[S] <= T[A]? WHEN AT 2 PEERS TREATED").ok());
+  EXPECT_FALSE(ParseRule("Score[S] <= T[A] WHERE").ok());
+  // A rule is not a query and vice versa.
+  EXPECT_FALSE(ParseRule("Score[S] <= T[A]?").ok());
+  EXPECT_FALSE(ParseQuery("Score[S] <= T[A]").ok());
+}
+
+TEST(ParserTest, FractionForms) {
+  for (const auto& [text, expected] :
+       std::initializer_list<std::pair<const char*, double>>{
+           {"Y[S] <= T[A]? WHEN MORE THAN 0.4 PEERS TREATED", 0.4},
+           {"Y[S] <= T[A]? WHEN MORE THAN 40% PEERS TREATED", 0.4},
+           {"Y[S] <= T[A]? WHEN MORE THAN 2/5 PEERS TREATED", 0.4}}) {
+    Result<CausalQuery> q = ParseQuery(text);
+    ASSERT_TRUE(q.ok()) << text;
+    EXPECT_NEAR(q->peer_condition->value, expected, 1e-12);
+  }
+}
+
+TEST(AstTest, PeerConditionSatisfied) {
+  PeerCondition all{PeerCondition::Kind::kAll, 0.0};
+  EXPECT_TRUE(all.Satisfied(3, 3));
+  EXPECT_FALSE(all.Satisfied(2, 3));
+  EXPECT_TRUE(all.Satisfied(0, 0));  // vacuous
+
+  PeerCondition none{PeerCondition::Kind::kNone, 0.0};
+  EXPECT_TRUE(none.Satisfied(0, 3));
+  EXPECT_FALSE(none.Satisfied(1, 3));
+
+  PeerCondition more{PeerCondition::Kind::kMoreThanFrac, 1.0 / 3.0};
+  EXPECT_TRUE(more.Satisfied(2, 3));
+  EXPECT_FALSE(more.Satisfied(1, 3));
+  EXPECT_FALSE(more.Satisfied(0, 0));
+
+  PeerCondition at_least{PeerCondition::Kind::kAtLeastCount, 2.0};
+  EXPECT_TRUE(at_least.Satisfied(2, 5));
+  EXPECT_FALSE(at_least.Satisfied(1, 5));
+
+  PeerCondition exactly{PeerCondition::Kind::kExactlyCount, 1.0};
+  EXPECT_TRUE(exactly.Satisfied(1, 4));
+  EXPECT_FALSE(exactly.Satisfied(2, 4));
+}
+
+TEST(AstTest, RoundTripPrinting) {
+  // Parse -> print -> parse is stable.
+  const char* text =
+      "Score[S] <= Prestige[A]? WHEN MORE THAN 33% PEERS TREATED "
+      "WHERE Submitted(S, C), Blind[C] = TRUE";
+  Result<CausalQuery> q = ParseQuery(text);
+  ASSERT_TRUE(q.ok());
+  Result<CausalQuery> again = ParseQuery(q->ToString());
+  ASSERT_TRUE(again.ok());
+  EXPECT_EQ(again->ToString(), q->ToString());
+}
+
+TEST(AstTest, SplitAggregateName) {
+  AggregateKind kind;
+  EXPECT_TRUE(SplitAggregateName("AVG_Score", &kind));
+  EXPECT_EQ(kind, AggregateKind::kAvg);
+  EXPECT_TRUE(SplitAggregateName("SUM_Bill", &kind));
+  EXPECT_FALSE(SplitAggregateName("Score", &kind));
+  EXPECT_FALSE(SplitAggregateName("Fancy_Score", &kind));
+  EXPECT_FALSE(SplitAggregateName("_Score", &kind));
+  EXPECT_FALSE(SplitAggregateName("AVG_", &kind));
+}
+
+}  // namespace
+}  // namespace carl

@@ -1,0 +1,127 @@
+// Tests for relational paths (Def 4.2) and the derived unifying
+// aggregation (§4.3, rule (21)).
+
+#include <gtest/gtest.h>
+
+#include "core/causal_model.h"
+#include "core/relational_path.h"
+#include "datagen/review_toy.h"
+
+namespace carl {
+namespace {
+
+class RelationalPathTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    Result<datagen::Dataset> data = datagen::MakeReviewToy();
+    CARL_CHECK_OK(data.status());
+    data_ = std::move(*data);
+  }
+  const Schema& schema() { return *data_.schema; }
+  datagen::Dataset data_;
+};
+
+TEST_F(RelationalPathTest, DirectNeighbour) {
+  PredicateId person = *schema().FindPredicate("Person");
+  PredicateId submission = *schema().FindPredicate("Submission");
+  Result<std::vector<PredicateId>> path =
+      FindRelationalPath(schema(), person, submission);
+  ASSERT_TRUE(path.ok());
+  // Person - Author - Submission.
+  ASSERT_EQ(path->size(), 3u);
+  EXPECT_EQ(schema().predicate((*path)[1]).name, "Author");
+}
+
+TEST_F(RelationalPathTest, TwoHops) {
+  PredicateId person = *schema().FindPredicate("Person");
+  PredicateId conference = *schema().FindPredicate("Conference");
+  Result<std::vector<PredicateId>> path =
+      FindRelationalPath(schema(), person, conference);
+  ASSERT_TRUE(path.ok());
+  // Person - Author - Submission - Submitted - Conference.
+  ASSERT_EQ(path->size(), 5u);
+  EXPECT_EQ(schema().predicate((*path)[3]).name, "Submitted");
+}
+
+TEST_F(RelationalPathTest, SelfPathTrivial) {
+  PredicateId person = *schema().FindPredicate("Person");
+  Result<std::vector<PredicateId>> path =
+      FindRelationalPath(schema(), person, person);
+  ASSERT_TRUE(path.ok());
+  EXPECT_EQ(path->size(), 1u);
+}
+
+TEST_F(RelationalPathTest, DisconnectedFails) {
+  Schema isolated;
+  CARL_CHECK_OK(isolated.AddEntity("A").status());
+  CARL_CHECK_OK(isolated.AddEntity("B").status());
+  Result<std::vector<PredicateId>> path = FindRelationalPath(
+      isolated, *isolated.FindPredicate("A"), *isolated.FindPredicate("B"));
+  EXPECT_FALSE(path.ok());
+  EXPECT_EQ(path.status().code(), StatusCode::kNotFound);
+}
+
+TEST_F(RelationalPathTest, DeriveUnifyingRuleOneHop) {
+  // The paper's example: Prestige[A] + Score[S] -> rule (12)-shaped
+  // aggregation AVG_Score_unified[A] <= Score[S] WHERE Author(A, S).
+  AttributeRef treatment{"Prestige", {Term::Var("A")}};
+  AttributeRef response{"Score", {Term::Var("S")}};
+  Result<AggregateRule> rule = DeriveUnifyingAggregateRule(
+      schema(), treatment, response, AggregateKind::kAvg);
+  ASSERT_TRUE(rule.ok());
+  EXPECT_EQ(rule->head.attribute, "AVG_Score_unified");
+  EXPECT_EQ(rule->head.args[0].text, "A");
+  EXPECT_EQ(rule->source.attribute, "Score");
+  ASSERT_EQ(rule->where.atoms.size(), 1u);
+  EXPECT_EQ(rule->where.atoms[0].predicate, "Author");
+  EXPECT_EQ(rule->where.atoms[0].args[0].text, "A");
+  EXPECT_EQ(rule->where.atoms[0].args[1].text, "S");
+
+  // The derived rule validates against the schema.
+  Program program;
+  program.aggregate_rules.push_back(*rule);
+  EXPECT_TRUE(RelationalCausalModel::Create(schema(), program).ok());
+}
+
+TEST_F(RelationalPathTest, DeriveUnifyingRuleTwoHops) {
+  // Blind[C] as treatment, Score[S] as response: path through Submitted.
+  AttributeRef treatment{"Blind", {Term::Var("C")}};
+  AttributeRef response{"Score", {Term::Var("S")}};
+  Result<AggregateRule> rule = DeriveUnifyingAggregateRule(
+      schema(), treatment, response, AggregateKind::kMedian);
+  ASSERT_TRUE(rule.ok());
+  EXPECT_EQ(rule->head.attribute, "MEDIAN_Score_unified");
+  ASSERT_EQ(rule->where.atoms.size(), 1u);
+  EXPECT_EQ(rule->where.atoms[0].predicate, "Submitted");
+  // Submitted(Submission, Conference): S first, C second.
+  EXPECT_EQ(rule->where.atoms[0].args[0].text, "S");
+  EXPECT_EQ(rule->where.atoms[0].args[1].text, "C");
+}
+
+TEST_F(RelationalPathTest, DeriveLongPathUsesFreshVars) {
+  // Prestige[A] (Person) to Blind[C] (Conference): two relationships with
+  // a fresh intermediate Submission variable.
+  AttributeRef treatment{"Prestige", {Term::Var("A")}};
+  AttributeRef response{"Blind", {Term::Var("C")}};
+  Result<AggregateRule> rule = DeriveUnifyingAggregateRule(
+      schema(), treatment, response, AggregateKind::kAvg);
+  ASSERT_TRUE(rule.ok());
+  ASSERT_EQ(rule->where.atoms.size(), 2u);
+  // The Author and Submitted atoms share the fresh Submission variable.
+  const Atom& author = rule->where.atoms[0];
+  const Atom& submitted = rule->where.atoms[1];
+  EXPECT_EQ(author.predicate, "Author");
+  EXPECT_EQ(submitted.predicate, "Submitted");
+  EXPECT_EQ(author.args[1].text, submitted.args[0].text);
+}
+
+TEST_F(RelationalPathTest, SamePredicateRejected) {
+  AttributeRef treatment{"Prestige", {Term::Var("A")}};
+  AttributeRef response{"Qualification", {Term::Var("A")}};
+  EXPECT_FALSE(DeriveUnifyingAggregateRule(schema(), treatment, response,
+                                           AggregateKind::kAvg)
+                   .ok());
+}
+
+}  // namespace
+}  // namespace carl

@@ -1,0 +1,83 @@
+// Tests for the schema declaration format.
+
+#include <gtest/gtest.h>
+
+#include "relational/schema_parser.h"
+
+namespace carl {
+namespace {
+
+constexpr char kReviewSchema[] = R"(
+  # REVIEWDATA (paper Example 3.1)
+  entity Person
+  entity Submission
+  entity Conference
+  relationship Author(Person, Submission)
+  relationship Submitted(Submission, Conference)
+  attribute Prestige of Person : bool
+  attribute Qualification of Person
+  attribute Score of Submission : double
+  latent Quality of Submission : double
+  attribute Blind of Conference : bool
+)";
+
+TEST(SchemaParserTest, ParsesFullDeclaration) {
+  Result<Schema> schema = ParseSchema(kReviewSchema);
+  ASSERT_TRUE(schema.ok());
+  EXPECT_EQ(schema->num_predicates(), 5u);
+  EXPECT_EQ(schema->num_attributes(), 5u);
+  const AttributeDef& prestige =
+      schema->attribute(*schema->FindAttribute("Prestige"));
+  EXPECT_EQ(prestige.type, ValueType::kBool);
+  EXPECT_TRUE(prestige.observed);
+  const AttributeDef& quality =
+      schema->attribute(*schema->FindAttribute("Quality"));
+  EXPECT_FALSE(quality.observed);
+  // Default type is double.
+  EXPECT_EQ(schema->attribute(*schema->FindAttribute("Qualification")).type,
+            ValueType::kDouble);
+  const Predicate& author =
+      schema->predicate(*schema->FindPredicate("Author"));
+  EXPECT_EQ(author.arg_entities,
+            (std::vector<std::string>{"Person", "Submission"}));
+}
+
+TEST(SchemaParserTest, RoundTripsThroughFormat) {
+  Result<Schema> schema = ParseSchema(kReviewSchema);
+  ASSERT_TRUE(schema.ok());
+  std::string formatted = FormatSchema(*schema);
+  Result<Schema> again = ParseSchema(formatted);
+  ASSERT_TRUE(again.ok());
+  EXPECT_EQ(FormatSchema(*again), formatted);
+}
+
+TEST(SchemaParserTest, ErrorsCarryLineNumbers) {
+  Result<Schema> bad = ParseSchema("entity A\nnonsense B\n");
+  ASSERT_FALSE(bad.ok());
+  EXPECT_NE(bad.status().message().find("line 2"), std::string::npos);
+}
+
+TEST(SchemaParserTest, RejectsMalformedDeclarations) {
+  EXPECT_FALSE(ParseSchema("").ok());
+  EXPECT_FALSE(ParseSchema("# only comments\n").ok());
+  EXPECT_FALSE(ParseSchema("entity\n").ok());
+  EXPECT_FALSE(ParseSchema("relationship R(A B)\nentity A\n").ok());
+  EXPECT_FALSE(ParseSchema("entity A\nrelationship R(A)\n").ok());
+  EXPECT_FALSE(ParseSchema("entity A\nattribute X of A : quaternion\n").ok());
+  EXPECT_FALSE(ParseSchema("entity A\nattribute X on A\n").ok());
+  EXPECT_FALSE(ParseSchema("entity A\nentity A\n").ok());
+  EXPECT_FALSE(
+      ParseSchema("entity A\nrelationship R(A, Missing)\n").ok());
+}
+
+TEST(SchemaParserTest, CommentsAndWhitespaceTolerated) {
+  Result<Schema> schema = ParseSchema(
+      "  entity   A   # trailing comment\n\n\t# whole-line comment\n"
+      "attribute X of A:int\n");
+  ASSERT_TRUE(schema.ok());
+  EXPECT_EQ(schema->attribute(*schema->FindAttribute("X")).type,
+            ValueType::kInt);
+}
+
+}  // namespace
+}  // namespace carl

@@ -1,0 +1,75 @@
+// Cross-module consistency: every generator's schema must round-trip
+// through the schema declaration format, and every generator's model text
+// must validate against its own schema (guards against the two formats
+// drifting apart).
+
+#include <gtest/gtest.h>
+
+#include "core/causal_model.h"
+#include "datagen/mimic.h"
+#include "datagen/nis.h"
+#include "datagen/review.h"
+#include "datagen/review_toy.h"
+#include "relational/schema_parser.h"
+
+namespace carl {
+namespace {
+
+void CheckRoundTrip(const Schema& schema, const std::string& model_text) {
+  // Schema -> text -> Schema preserves structure.
+  std::string formatted = FormatSchema(schema);
+  Result<Schema> reparsed = ParseSchema(formatted);
+  ASSERT_TRUE(reparsed.ok()) << formatted;
+  EXPECT_EQ(reparsed->num_predicates(), schema.num_predicates());
+  EXPECT_EQ(reparsed->num_attributes(), schema.num_attributes());
+  for (const AttributeDef& attr : schema.attributes()) {
+    Result<AttributeId> found = reparsed->FindAttribute(attr.name);
+    ASSERT_TRUE(found.ok()) << attr.name;
+    const AttributeDef& again = reparsed->attribute(*found);
+    EXPECT_EQ(again.observed, attr.observed) << attr.name;
+    EXPECT_EQ(again.type, attr.type) << attr.name;
+    EXPECT_EQ(reparsed->predicate(again.predicate).name,
+              schema.predicate(attr.predicate).name)
+        << attr.name;
+  }
+  // The dataset's model also validates against the REPARSED schema.
+  EXPECT_TRUE(RelationalCausalModel::Parse(*reparsed, model_text).ok());
+}
+
+TEST(SchemaRoundTripTest, ReviewToy) {
+  Result<datagen::Dataset> data = datagen::MakeReviewToy();
+  ASSERT_TRUE(data.ok());
+  CheckRoundTrip(*data->schema, data->model_text);
+}
+
+TEST(SchemaRoundTripTest, SyntheticReview) {
+  datagen::ReviewConfig config;
+  config.num_authors = 50;
+  config.num_papers = 100;
+  config.num_venues = 2;
+  config.num_institutions = 5;
+  Result<datagen::ReviewData> data = datagen::GenerateReviewData(config);
+  ASSERT_TRUE(data.ok());
+  CheckRoundTrip(*data->dataset.schema, data->dataset.model_text);
+}
+
+TEST(SchemaRoundTripTest, Mimic) {
+  datagen::MimicConfig config;
+  config.num_patients = 50;
+  config.num_caregivers = 5;
+  Result<datagen::Dataset> data = datagen::GenerateMimic(config);
+  ASSERT_TRUE(data.ok());
+  CheckRoundTrip(*data->schema, data->model_text);
+}
+
+TEST(SchemaRoundTripTest, Nis) {
+  datagen::NisConfig config;
+  config.num_hospitals = 10;
+  config.num_admissions = 50;
+  Result<datagen::Dataset> data = datagen::GenerateNis(config);
+  ASSERT_TRUE(data.ok());
+  CheckRoundTrip(*data->schema, data->model_text);
+}
+
+}  // namespace
+}  // namespace carl

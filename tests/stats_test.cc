@@ -1,0 +1,290 @@
+// Tests for src/stats: descriptive statistics, OLS, logistic/IRLS,
+// matching, IPW, stratification, bootstrap — on analytic fixtures and on
+// generated confounded data where the true effect is known.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.h"
+#include "relational/flat_table.h"
+#include "stats/bootstrap.h"
+#include "stats/descriptive.h"
+#include "stats/ipw.h"
+#include "stats/logistic.h"
+#include "stats/matching.h"
+#include "stats/ols.h"
+#include "stats/stratification.h"
+
+namespace carl {
+namespace {
+
+TEST(DescriptiveTest, MeanVarianceQuantile) {
+  std::vector<double> v{1, 2, 3, 4, 5};
+  EXPECT_DOUBLE_EQ(Mean(v), 3.0);
+  EXPECT_DOUBLE_EQ(SampleVariance(v), 2.5);
+  EXPECT_DOUBLE_EQ(StdDev(v), std::sqrt(2.5));
+  EXPECT_DOUBLE_EQ(Quantile(v, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(Quantile(v, 0.5), 3.0);
+  EXPECT_DOUBLE_EQ(Quantile(v, 1.0), 5.0);
+  EXPECT_DOUBLE_EQ(Quantile({4, 1}, 0.5), 2.5);
+}
+
+TEST(DescriptiveTest, PearsonCorrelation) {
+  Result<double> perfect = PearsonCorrelation({1, 2, 3}, {2, 4, 6});
+  ASSERT_TRUE(perfect.ok());
+  EXPECT_NEAR(*perfect, 1.0, 1e-12);
+  Result<double> inverse = PearsonCorrelation({1, 2, 3}, {3, 2, 1});
+  EXPECT_NEAR(*inverse, -1.0, 1e-12);
+  EXPECT_FALSE(PearsonCorrelation({1, 1, 1}, {1, 2, 3}).ok());
+  EXPECT_FALSE(PearsonCorrelation({1, 2}, {1, 2, 3}).ok());
+}
+
+TEST(DescriptiveTest, MeansByGroup) {
+  Result<GroupMeans> means =
+      MeansByGroup({10, 20, 1, 2}, {1, 1, 0, 0});
+  ASSERT_TRUE(means.ok());
+  EXPECT_DOUBLE_EQ(means->treated_mean, 15.0);
+  EXPECT_DOUBLE_EQ(means->control_mean, 1.5);
+  EXPECT_DOUBLE_EQ(means->difference, 13.5);
+  EXPECT_FALSE(MeansByGroup({1, 2}, {1, 1}).ok());
+}
+
+TEST(OlsTest, RecoversCoefficients) {
+  // y = 1 + 2a - 3b with tiny noise.
+  Rng rng(5);
+  FlatTable t({"y", "a", "b"});
+  for (int i = 0; i < 200; ++i) {
+    double a = rng.Normal(), b = rng.Normal();
+    t.AddRow({1 + 2 * a - 3 * b + rng.Normal(0, 0.01), a, b});
+  }
+  Result<OlsFit> fit = FitOls(t, "y", {"a", "b"});
+  ASSERT_TRUE(fit.ok());
+  EXPECT_NEAR(fit->CoefficientOr("(intercept)", 0), 1.0, 0.01);
+  EXPECT_NEAR(fit->CoefficientOr("a", 0), 2.0, 0.01);
+  EXPECT_NEAR(fit->CoefficientOr("b", 0), -3.0, 0.01);
+  EXPECT_GT(fit->r_squared, 0.99);
+  // Standard errors are finite and small.
+  for (double se : fit->std_errors) {
+    EXPECT_TRUE(std::isfinite(se));
+    EXPECT_LT(se, 0.1);
+  }
+}
+
+TEST(OlsTest, DropsConstantColumns) {
+  FlatTable t({"y", "x", "const"});
+  for (int i = 0; i < 10; ++i) {
+    t.AddRow({static_cast<double>(i), static_cast<double>(i), 7.0});
+  }
+  Result<OlsFit> fit = FitOls(t, "y", {"x", "const"});
+  ASSERT_TRUE(fit.ok());
+  EXPECT_EQ(fit->dropped, (std::vector<std::string>{"const"}));
+  EXPECT_FALSE(fit->Coefficient("const").ok());
+  EXPECT_NEAR(fit->CoefficientOr("x", 0), 1.0, 1e-9);
+}
+
+TEST(OlsTest, ErrorsOnDegenerateInput) {
+  FlatTable t({"y", "x"});
+  t.AddRow({1, 1});
+  EXPECT_FALSE(FitOls(t, "y", {"x"}).ok());  // one row
+  FlatTable all_const({"y", "x"});
+  all_const.AddRow({1, 2});
+  all_const.AddRow({2, 2});
+  Result<OlsFit> fit = FitOls(all_const, "y", {"x"});
+  ASSERT_TRUE(fit.ok());  // intercept-only fit
+  EXPECT_EQ(fit->names.size(), 1u);
+  EXPECT_FALSE(FitOls(all_const, "y", {"x"}, /*add_intercept=*/false).ok());
+  EXPECT_FALSE(FitOls(t, "nope", {"x"}).ok());
+}
+
+TEST(LogisticTest, RecoversCoefficients) {
+  Rng rng(11);
+  const size_t n = 4000;
+  Matrix x(n, 2);
+  std::vector<double> y(n);
+  for (size_t i = 0; i < n; ++i) {
+    x.At(i, 0) = 1.0;
+    x.At(i, 1) = rng.Normal();
+    double p = Sigmoid(-0.5 + 1.5 * x.At(i, 1));
+    y[i] = rng.Bernoulli(p) ? 1.0 : 0.0;
+  }
+  Result<LogisticFit> fit = FitLogisticRaw(x, y);
+  ASSERT_TRUE(fit.ok());
+  EXPECT_TRUE(fit->converged);
+  EXPECT_NEAR(fit->coefficients[0], -0.5, 0.15);
+  EXPECT_NEAR(fit->coefficients[1], 1.5, 0.15);
+  EXPECT_LT(fit->log_likelihood, 0.0);
+}
+
+TEST(LogisticTest, RejectsNonBinaryOutcome) {
+  Matrix x(3, 1, 1.0);
+  EXPECT_FALSE(FitLogisticRaw(x, {0, 1, 2}).ok());
+  EXPECT_FALSE(FitLogisticRaw(x, {0, 1}).ok());  // size mismatch
+}
+
+TEST(LogisticTest, SigmoidSymmetry) {
+  EXPECT_DOUBLE_EQ(Sigmoid(0.0), 0.5);
+  EXPECT_NEAR(Sigmoid(30) + Sigmoid(-30), 1.0, 1e-12);
+  EXPECT_GT(Sigmoid(1), Sigmoid(-1));
+}
+
+TEST(LogisticTest, PropensityScoresClipped) {
+  FlatTable t({"t", "x"});
+  Rng rng(3);
+  for (int i = 0; i < 500; ++i) {
+    double x = rng.Normal();
+    t.AddRow({rng.Bernoulli(Sigmoid(4 * x)) ? 1.0 : 0.0, x});
+  }
+  Result<std::vector<double>> ps = PropensityScores(t, "t", {"x"}, 0.05);
+  ASSERT_TRUE(ps.ok());
+  for (double p : *ps) {
+    EXPECT_GE(p, 0.05);
+    EXPECT_LE(p, 0.95);
+  }
+}
+
+// A confounded synthetic fixture shared by the adjustment estimators:
+// t depends on a confounder z, y = tau*t + 2*z + noise. Naive contrast is
+// badly biased; propensity adjustment on z must recover tau.
+struct ConfoundedData {
+  std::vector<double> y, t, ps_true;
+  FlatTable table;
+  double tau;
+};
+
+ConfoundedData MakeConfounded(double tau, size_t n, uint64_t seed) {
+  Rng rng(seed);
+  ConfoundedData d;
+  d.tau = tau;
+  d.table = FlatTable({"y", "t", "z"});
+  for (size_t i = 0; i < n; ++i) {
+    double z = rng.Normal();
+    double p = Sigmoid(1.5 * z);
+    double t = rng.Bernoulli(p) ? 1.0 : 0.0;
+    double y = tau * t + 2.0 * z + rng.Normal(0, 0.3);
+    d.y.push_back(y);
+    d.t.push_back(t);
+    d.ps_true.push_back(p);
+    d.table.AddRow({y, t, z});
+  }
+  return d;
+}
+
+TEST(MatchingTest, RecoversEffectUnderConfounding) {
+  ConfoundedData d = MakeConfounded(1.0, 6000, 21);
+  Result<GroupMeans> naive = MeansByGroup(d.y, d.t);
+  ASSERT_TRUE(naive.ok());
+  EXPECT_GT(naive->difference, 2.0);  // heavily biased upward
+
+  Result<std::vector<double>> ps =
+      PropensityScores(d.table, "t", {"z"});
+  ASSERT_TRUE(ps.ok());
+  Result<MatchingResult> m = PropensityScoreMatchingAte(d.y, d.t, *ps);
+  ASSERT_TRUE(m.ok());
+  EXPECT_NEAR(m->ate, d.tau, 0.25);
+  EXPECT_GT(m->n_treated, 0u);
+  EXPECT_GT(m->n_control, 0u);
+}
+
+TEST(MatchingTest, CaliperDiscardsFarMatches) {
+  // Controls live far away in propensity space for part of the range.
+  std::vector<double> y{1, 2, 10, 11};
+  std::vector<double> t{1, 1, 0, 0};
+  std::vector<double> ps{0.9, 0.85, 0.1, 0.12};
+  Result<MatchingResult> strict =
+      PropensityScoreMatchingAte(y, t, ps, /*caliper=*/0.05);
+  EXPECT_FALSE(strict.ok());  // nothing matches within the caliper
+  Result<MatchingResult> loose = PropensityScoreMatchingAte(y, t, ps);
+  ASSERT_TRUE(loose.ok());
+  EXPECT_EQ(loose->unmatched, 0u);
+}
+
+TEST(MatchingTest, InputValidation) {
+  EXPECT_FALSE(PropensityScoreMatchingAte({1}, {1}, {0.5}).ok());
+  EXPECT_FALSE(PropensityScoreMatchingAte({1, 2}, {1, 1}, {0.5, 0.5}).ok());
+  EXPECT_FALSE(PropensityScoreMatchingAte({1, 2}, {1}, {0.5}).ok());
+}
+
+TEST(IpwTest, RecoversEffectUnderConfounding) {
+  ConfoundedData d = MakeConfounded(-0.5, 6000, 22);
+  Result<std::vector<double>> ps =
+      PropensityScores(d.table, "t", {"z"});
+  ASSERT_TRUE(ps.ok());
+  Result<double> ate = IpwAte(d.y, d.t, *ps);
+  ASSERT_TRUE(ate.ok());
+  EXPECT_NEAR(*ate, d.tau, 0.3);
+}
+
+TEST(IpwTest, RejectsDegeneratePropensity) {
+  EXPECT_FALSE(IpwAte({1, 2}, {1, 0}, {1.0, 0.5}).ok());
+  EXPECT_FALSE(IpwAte({1, 2}, {1, 1}, {0.5, 0.5}).ok());
+}
+
+TEST(StratificationTest, RecoversEffectUnderConfounding) {
+  ConfoundedData d = MakeConfounded(2.0, 8000, 23);
+  Result<std::vector<double>> ps =
+      PropensityScores(d.table, "t", {"z"});
+  ASSERT_TRUE(ps.ok());
+  Result<StratifiedAteResult> ate = StratifiedAte(d.y, d.t, *ps, 10);
+  ASSERT_TRUE(ate.ok());
+  EXPECT_NEAR(ate->ate, d.tau, 0.35);
+  EXPECT_GT(ate->used_strata, 5);
+}
+
+TEST(StratificationTest, SkipsOneGroupStrata) {
+  // All treated units clustered at high propensity.
+  std::vector<double> y{1, 1, 0, 0};
+  std::vector<double> t{1, 1, 0, 0};
+  std::vector<double> ps{0.9, 0.91, 0.1, 0.11};
+  Result<StratifiedAteResult> r = StratifiedAte(y, t, ps, 2);
+  EXPECT_FALSE(r.ok());  // no stratum with both groups
+}
+
+TEST(BootstrapTest, MeanOfMeanMatches) {
+  std::vector<double> data{1, 2, 3, 4, 5, 6, 7, 8, 9, 10};
+  Result<BootstrapResult> b = Bootstrap(
+      data.size(), 500, 9,
+      [&](const std::vector<size_t>& idx) -> Result<double> {
+        double s = 0;
+        for (size_t i : idx) s += data[i];
+        return s / static_cast<double>(idx.size());
+      });
+  ASSERT_TRUE(b.ok());
+  EXPECT_NEAR(b->mean, 5.5, 0.15);
+  EXPECT_GT(b->sd, 0.0);
+  EXPECT_LT(b->ci_low, b->ci_high);
+  EXPECT_EQ(b->samples.size(), 500u);
+}
+
+TEST(BootstrapTest, FailuresCountedNotFatal) {
+  int calls = 0;
+  Result<BootstrapResult> b = Bootstrap(
+      4, 10, 1, [&](const std::vector<size_t>&) -> Result<double> {
+        return (++calls % 2 == 0)
+                   ? Result<double>(1.0)
+                   : Result<double>(Status::FailedPrecondition("flaky"));
+      });
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(b->failures, 5u);
+  EXPECT_EQ(b->samples.size(), 5u);
+}
+
+TEST(BootstrapTest, AllFailuresIsError) {
+  Result<BootstrapResult> b =
+      Bootstrap(4, 5, 1, [](const std::vector<size_t>&) -> Result<double> {
+        return Status::FailedPrecondition("always");
+      });
+  EXPECT_FALSE(b.ok());
+}
+
+TEST(BootstrapTest, HistogramSumsToOne) {
+  Histogram h = MakeHistogram({1, 1, 2, 2, 3, 3, 10}, 5);
+  ASSERT_EQ(h.centers.size(), 5u);
+  double total = 0;
+  for (double d : h.density) total += d;
+  EXPECT_NEAR(total, 1.0, 1e-12);
+  EXPECT_TRUE(MakeHistogram({}, 3).centers.empty());
+}
+
+}  // namespace
+}  // namespace carl

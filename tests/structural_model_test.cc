@@ -1,0 +1,193 @@
+// Tests for the SCM simulator: topological evaluation, deterministic
+// noise, do()-surgery (global and local), and interventional ground truth.
+
+#include <gtest/gtest.h>
+
+#include "core/causal_model.h"
+#include "core/ground_truth.h"
+#include "core/grounding.h"
+#include "core/structural_model.h"
+#include "datagen/review_toy.h"
+
+namespace carl {
+namespace {
+
+class StructuralModelTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    Result<datagen::Dataset> data = datagen::MakeReviewToy();
+    CARL_CHECK_OK(data.status());
+    data_ = std::move(*data);
+    Result<RelationalCausalModel> model =
+        RelationalCausalModel::Parse(*data_.schema, data_.model_text);
+    CARL_CHECK_OK(model.status());
+    model_.emplace(std::move(*model));
+    Result<GroundedModel> grounded = GroundModel(*data_.instance, *model_);
+    CARL_CHECK_OK(grounded.status());
+    grounded_.emplace(std::move(*grounded));
+
+    // A fully deterministic SCM with a known additive structure:
+    // Quality = mean(Qualification)/10; Score = Quality + 2*mean(Prestige).
+    scm_.Define("Qualification",
+                [](const Tuple&, const ParentView&, Rng&) { return 10.0; });
+    scm_.Define("Prestige", [](const Tuple&, const ParentView& p, Rng&) {
+      return p.Mean("Qualification") >= 10.0 ? 1.0 : 0.0;
+    });
+    scm_.Define("Quality", [](const Tuple&, const ParentView& p, Rng&) {
+      return p.Mean("Qualification") / 10.0;
+    });
+    scm_.Define("Score", [](const Tuple&, const ParentView& p, Rng&) {
+      return p.Mean("Quality") + 2.0 * p.Mean("Prestige");
+    });
+  }
+
+  NodeId Node(const std::string& attr, const std::string& constant) {
+    Result<AttributeId> aid = grounded_->schema().FindAttribute(attr);
+    CARL_CHECK_OK(aid.status());
+    return grounded_->graph().FindNode(
+        *aid, {data_.instance->LookupConstant(constant)});
+  }
+
+  datagen::Dataset data_;
+  std::optional<RelationalCausalModel> model_;
+  std::optional<GroundedModel> grounded_;
+  StructuralModel scm_;
+};
+
+TEST_F(StructuralModelTest, TopologicalEvaluation) {
+  Result<std::vector<double>> values = scm_.Simulate(*grounded_, 1);
+  ASSERT_TRUE(values.ok());
+  // Everyone qualified 10 -> prestigious; quality 1; score = 1 + 2 = 3.
+  EXPECT_DOUBLE_EQ((*values)[Node("Score", "s1")], 3.0);
+  EXPECT_DOUBLE_EQ((*values)[Node("Quality", "s2")], 1.0);
+  EXPECT_DOUBLE_EQ((*values)[Node("Prestige", "Eva")], 1.0);
+  // AVG_Score aggregates simulated scores.
+  EXPECT_DOUBLE_EQ((*values)[Node("AVG_Score", "Eva")], 3.0);
+}
+
+TEST_F(StructuralModelTest, NoiseIsDeterministicPerSeed) {
+  StructuralModel noisy;
+  noisy.Define("Score", [](const Tuple&, const ParentView&, Rng& rng) {
+    return rng.Normal(0.0, 1.0);
+  });
+  Result<std::vector<double>> a = noisy.Simulate(*grounded_, 99);
+  Result<std::vector<double>> b = noisy.Simulate(*grounded_, 99);
+  Result<std::vector<double>> c = noisy.Simulate(*grounded_, 100);
+  ASSERT_TRUE(a.ok() && b.ok() && c.ok());
+  EXPECT_EQ((*a)[Node("Score", "s1")], (*b)[Node("Score", "s1")]);
+  EXPECT_NE((*a)[Node("Score", "s1")], (*c)[Node("Score", "s1")]);
+  // Different nodes draw different noise.
+  EXPECT_NE((*a)[Node("Score", "s1")], (*a)[Node("Score", "s2")]);
+}
+
+TEST_F(StructuralModelTest, GlobalIntervention) {
+  StructuralModel::Intervention iv;
+  iv.attribute = "Prestige";
+  iv.value = [](const Tuple&) { return std::optional<double>(0.0); };
+  Result<std::vector<double>> values = scm_.Simulate(*grounded_, 1, {iv});
+  ASSERT_TRUE(values.ok());
+  // do(Prestige = 0): scores drop to quality only.
+  EXPECT_DOUBLE_EQ((*values)[Node("Score", "s1")], 1.0);
+  EXPECT_DOUBLE_EQ((*values)[Node("Prestige", "Bob")], 0.0);
+  // Qualification upstream is untouched.
+  EXPECT_DOUBLE_EQ((*values)[Node("Qualification", "Bob")], 10.0);
+}
+
+TEST_F(StructuralModelTest, SelectiveIntervention) {
+  SymbolId eva = data_.instance->LookupConstant("Eva");
+  StructuralModel::Intervention iv;
+  iv.attribute = "Prestige";
+  iv.value = [eva](const Tuple& unit) {
+    return unit[0] == eva ? std::optional<double>(0.0) : std::nullopt;
+  };
+  Result<std::vector<double>> values = scm_.Simulate(*grounded_, 1, {iv});
+  ASSERT_TRUE(values.ok());
+  EXPECT_DOUBLE_EQ((*values)[Node("Prestige", "Eva")], 0.0);
+  EXPECT_DOUBLE_EQ((*values)[Node("Prestige", "Bob")], 1.0);
+  // s2 has only Eva: mean prestige 0 -> score 1. s1 has Bob+Eva: mean 0.5.
+  EXPECT_DOUBLE_EQ((*values)[Node("Score", "s2")], 1.0);
+  EXPECT_DOUBLE_EQ((*values)[Node("Score", "s1")], 2.0);
+}
+
+TEST_F(StructuralModelTest, LocalSimulationMatchesGlobal) {
+  Result<std::vector<double>> base = scm_.Simulate(*grounded_, 1);
+  ASSERT_TRUE(base.ok());
+  NodeId prestige_eva = Node("Prestige", "Eva");
+  std::unordered_map<NodeId, double> dos{{prestige_eva, 0.0}};
+  Result<std::vector<double>> local =
+      scm_.SimulateLocal(*grounded_, 1, *base, dos);
+  ASSERT_TRUE(local.ok());
+
+  SymbolId eva = data_.instance->LookupConstant("Eva");
+  StructuralModel::Intervention iv;
+  iv.attribute = "Prestige";
+  iv.value = [eva](const Tuple& unit) {
+    return unit[0] == eva ? std::optional<double>(0.0) : std::nullopt;
+  };
+  Result<std::vector<double>> global = scm_.Simulate(*grounded_, 1, {iv});
+  ASSERT_TRUE(global.ok());
+  for (NodeId n = 0;
+       n < static_cast<NodeId>(grounded_->graph().num_nodes()); ++n) {
+    EXPECT_DOUBLE_EQ((*local)[n], (*global)[n]) << grounded_->NodeName(n);
+  }
+  // Non-descendants kept their base values (same vector object semantics).
+  EXPECT_DOUBLE_EQ((*local)[Node("Qualification", "Bob")],
+                   (*base)[Node("Qualification", "Bob")]);
+}
+
+TEST_F(StructuralModelTest, WriteObservedValuesSkipsLatent) {
+  Result<std::vector<double>> values = scm_.Simulate(*grounded_, 1);
+  ASSERT_TRUE(values.ok());
+  ASSERT_TRUE(
+      scm_.WriteObservedValues(*grounded_, *values, data_.instance.get())
+          .ok());
+  AttributeId score = *data_.schema->FindAttribute("Score");
+  AttributeId quality = *data_.schema->FindAttribute("Quality");
+  Tuple s1{data_.instance->LookupConstant("s1")};
+  ASSERT_TRUE(data_.instance->GetAttribute(score, s1).has_value());
+  EXPECT_DOUBLE_EQ(data_.instance->GetAttribute(score, s1)->AsDouble(), 3.0);
+  // Quality is latent: never written.
+  EXPECT_FALSE(data_.instance->GetAttribute(quality, s1).has_value());
+}
+
+// Ground truth on a hand-solvable SCM: score = quality + 2 * mean(prestige)
+// per submission; response AVG_Score[A].
+TEST_F(StructuralModelTest, GroundTruthMatchesAnalytic) {
+  AttributeId prestige = *grounded_->schema().FindAttribute("Prestige");
+  AttributeId avg_score = *grounded_->schema().FindAttribute("AVG_Score");
+  Result<GroundTruthEffects> truth =
+      ComputeGroundTruth(*grounded_, scm_, prestige, avg_score);
+  ASSERT_TRUE(truth.ok());
+  EXPECT_EQ(truth->units_evaluated, 3u);
+  // AIE: toggling own prestige changes each submission's score by
+  // 2 * (1/#authors): Bob: s1 has 2 authors -> 1.0. Carlos: s3 -> 1.0.
+  // Eva: (s1: 1, s2: 2, s3: 1)/3 = 4/3. Mean = (1 + 1 + 4/3)/3 = 10/9.
+  EXPECT_NEAR(truth->aie, 10.0 / 9.0, 1e-9);
+  // ATE (all treated vs none): every score moves by 2 regardless of
+  // author count; every unit's AVG moves by 2.
+  EXPECT_NEAR(truth->ate, 2.0, 1e-9);
+  // AOE = ATE here (toggling own+peers covers all authors of own papers),
+  // and AIE + ARE = AOE by additivity.
+  EXPECT_NEAR(truth->aoe, 2.0, 1e-9);
+  EXPECT_NEAR(truth->aie + truth->are, truth->aoe, 1e-9);
+}
+
+TEST_F(StructuralModelTest, GroundTruthHonoursMaxUnits) {
+  AttributeId prestige = *grounded_->schema().FindAttribute("Prestige");
+  AttributeId avg_score = *grounded_->schema().FindAttribute("AVG_Score");
+  GroundTruthOptions options;
+  options.max_units = 1;
+  Result<GroundTruthEffects> truth =
+      ComputeGroundTruth(*grounded_, scm_, prestige, avg_score, options);
+  ASSERT_TRUE(truth.ok());
+  EXPECT_EQ(truth->units_evaluated, 1u);
+}
+
+TEST_F(StructuralModelTest, GroundTruthRequiresUnifiedUnits) {
+  AttributeId prestige = *grounded_->schema().FindAttribute("Prestige");
+  AttributeId score = *grounded_->schema().FindAttribute("Score");
+  EXPECT_FALSE(ComputeGroundTruth(*grounded_, scm_, prestige, score).ok());
+}
+
+}  // namespace
+}  // namespace carl
