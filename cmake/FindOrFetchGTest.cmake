@@ -1,0 +1,21 @@
+# Resolves GTest::gtest_main: prefer the system package, fall back to
+# FetchContent — which itself prefers a local source tree (the Debian
+# googletest package installs one at /usr/src/googletest) so offline
+# builds work, and only then reaches for the network.
+
+find_package(GTest QUIET)
+if(NOT GTest_FOUND)
+  include(FetchContent)
+  if(EXISTS /usr/src/googletest/CMakeLists.txt)
+    FetchContent_Declare(googletest SOURCE_DIR /usr/src/googletest)
+  else()
+    FetchContent_Declare(googletest
+      URL https://github.com/google/googletest/archive/refs/tags/v1.14.0.tar.gz)
+  endif()
+  set(INSTALL_GTEST OFF CACHE BOOL "" FORCE)
+  set(gtest_force_shared_crt ON CACHE BOOL "" FORCE)
+  FetchContent_MakeAvailable(googletest)
+  if(NOT TARGET GTest::gtest_main)
+    add_library(GTest::gtest_main ALIAS gtest_main)
+  endif()
+endif()

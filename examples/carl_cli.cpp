@@ -1,7 +1,7 @@
 // carl_cli: drive a complete CaRL analysis from files — no C++ required.
 //
 // Usage:
-//   example_carl_cli <schema.txt> <model.carl> <query> [--facts P=file.csv]...
+//   build/carl_cli <schema.txt> <model.carl> <query> [--facts P=file.csv]...
 //                    [--attrs K=file.csv]... [--embedding mean|median|...]
 //                    [--estimator regression|matching|ipw|stratification]
 //                    [--bootstrap N] [--explain]

@@ -7,7 +7,7 @@
 // "deferred admission" confounder) and leaves mediators alone, so the
 // reported ATE is the total causal effect.
 //
-//   build/examples/example_healthcare_insurance
+//   build/healthcare_insurance
 
 #include <cstdio>
 

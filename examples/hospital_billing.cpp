@@ -6,7 +6,7 @@
 // equal they are cheaper — and compares all four estimators on the same
 // unit table.
 //
-//   build/examples/example_hospital_billing
+//   build/hospital_billing
 
 #include <cstdio>
 

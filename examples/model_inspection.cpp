@@ -6,7 +6,7 @@
 // causal graph itself. This example prints the query plan for the paper's
 // queries and exports Figure 4/5-style DOT renderings.
 //
-//   build/examples/example_model_inspection [out.dot]
+//   build/model_inspection [out.dot]
 
 #include <cstdio>
 #include <fstream>

@@ -6,7 +6,7 @@
 //   2. decomposes the effect into isolated and relational parts (Fig 7b),
 //   3. shows how the conclusion would differ with a naive reading.
 //
-//   build/examples/example_peer_review_bias
+//   build/peer_review_bias
 
 #include <cstdio>
 

@@ -4,7 +4,7 @@
 // Example 3.4 with CaRL rules, and answers the paper's headline question:
 // does an author's institutional prestige causally affect review scores?
 //
-//   build/examples/example_quickstart
+//   build/quickstart
 
 #include <cstdio>
 

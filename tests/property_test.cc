@@ -141,7 +141,7 @@ TEST(EvaluatorPropertyTest, AgreesWithNaiveEnumeration) {
       names.push_back("c" + std::to_string(i));
       CARL_CHECK_OK(db.AddFact("E", {names.back()}));
     }
-    for (const std::string& pred : {"R", "Q"}) {
+    for (const char* pred : {"R", "Q"}) {
       for (const std::string& a : names) {
         for (const std::string& b : names) {
           if (rng.Bernoulli(0.3)) CARL_CHECK_OK(db.AddFact(pred, {a, b}));
