@@ -8,22 +8,24 @@
 
 #include <cstdio>
 
+#include "bench_timer.h"
 #include "bench_util.h"
 #include "datagen/review.h"
 
 namespace carl {
 namespace {
 
-int Run() {
+int Run(const bench::BenchFlags& flags) {
+  bench::Stopwatch total;
   bench::PrintHeader(
       "Ablation - estimator choice (single-blind synthetic, true isolated "
       "effect = 1.0)");
 
   datagen::ReviewConfig config;
-  config.num_authors = 3000;
-  config.num_institutions = 100;
-  config.num_papers = 18000;
-  config.num_venues = 20;
+  config.num_authors = flags.quick ? 800 : 3000;
+  config.num_institutions = flags.quick ? 40 : 100;
+  config.num_papers = flags.quick ? 4800 : 18000;
+  config.num_venues = flags.quick ? 10 : 20;
   config.single_blind_fraction = 1.0;
   config.tau_iso_single = 1.0;
   config.tau_rel = 0.5;
@@ -52,7 +54,7 @@ int Run() {
         EstimatorKind::kIpw, EstimatorKind::kStratification}) {
     EngineOptions options;
     options.estimator = kind;
-    options.bootstrap_replicates = 60;
+    options.bootstrap_replicates = flags.quick ? 20 : 60;
     Result<QueryAnswer> answer = engine->Answer(query, options);
     if (!answer.ok()) {
       bench::PrintRow({EstimatorKindToString(kind), "failed",
@@ -71,10 +73,13 @@ int Run() {
       "(qualification -> prestige, quality); every adjusted estimator\n"
       "removes most of it, with regression tightest on this linear "
       "generative model.\n");
+  bench::EmitJson("ablation_estimators", "", "wall_s", total.Seconds());
   return 0;
 }
 
 }  // namespace
 }  // namespace carl
 
-int main() { return carl::Run(); }
+int main(int argc, char** argv) {
+  return carl::Run(carl::bench::ParseFlags(argc, argv));
+}

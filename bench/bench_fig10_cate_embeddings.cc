@@ -8,6 +8,7 @@
 
 #include <cstdio>
 
+#include "bench_timer.h"
 #include "bench_util.h"
 #include "datagen/review.h"
 #include "lang/parser.h"
@@ -18,13 +19,13 @@ namespace carl {
 namespace {
 
 void RunRegime(const char* label, double single_blind_fraction,
-               double truth, uint64_t seed) {
+               double truth, uint64_t seed, const bench::BenchFlags& flags) {
   std::printf("\n--- (%s, true isolated effect %.1f) ---\n", label, truth);
   datagen::ReviewConfig config;
-  config.num_authors = 2000;
-  config.num_institutions = 80;
-  config.num_papers = 12000;
-  config.num_venues = 20;
+  config.num_authors = flags.quick ? 500 : 2000;
+  config.num_institutions = flags.quick ? 25 : 80;
+  config.num_papers = flags.quick ? 3000 : 12000;
+  config.num_venues = flags.quick ? 10 : 20;
   config.single_blind_fraction = single_blind_fraction;
   config.tau_iso_single = 1.0;
   config.tau_iso_double = 0.0;
@@ -67,7 +68,8 @@ void RunRegime(const char* label, double single_blind_fraction,
       FlatTable view = table->data.Filter(
           [&](size_t r) { return stratum_of(qual[r]) == s; });
       Result<BootstrapResult> boot = Bootstrap(
-          view.num_rows(), 120, 7 + static_cast<uint64_t>(s),
+          view.num_rows(), flags.quick ? 30 : 120,
+          7 + static_cast<uint64_t>(s),
           [&](const std::vector<size_t>& rows) {
             return bench::IsolatedEffectOnView(*table,
                                                view.SelectRows(rows));
@@ -82,21 +84,25 @@ void RunRegime(const char* label, double single_blind_fraction,
   }
 }
 
-int Run() {
+int Run(const bench::BenchFlags& flags) {
+  bench::Stopwatch total;
   bench::PrintHeader(
       "Figure 10 - CATE sensitivity to the embedding "
       "(per qualification quartile, bootstrap sd)");
-  RunRegime("a: single-blind", 1.0, 1.0, 808);
-  RunRegime("b: double-blind", 0.0, 0.0, 809);
+  RunRegime("a: single-blind", 1.0, 1.0, 808, flags);
+  RunRegime("b: double-blind", 0.0, 0.0, 809, flags);
   bench::PrintRule();
   std::printf(
       "Shape (paper Fig 10): all embeddings centre on the truth in every\n"
       "stratum; simple mean/median embeddings are noisier than the moment\n"
       "and padding embeddings.\n");
+  bench::EmitJson("fig10_cate_embeddings", "", "wall_s", total.Seconds());
   return 0;
 }
 
 }  // namespace
 }  // namespace carl
 
-int main() { return carl::Run(); }
+int main(int argc, char** argv) {
+  return carl::Run(carl::bench::ParseFlags(argc, argv));
+}

@@ -11,13 +11,15 @@
 
 #include <cstdio>
 
+#include "bench_timer.h"
 #include "bench_util.h"
 #include "datagen/review.h"
 
 namespace carl {
 namespace {
 
-int Run() {
+int Run(const bench::BenchFlags& flags) {
+  bench::Stopwatch total;
   bench::PrintHeader(
       "Figure 7 - prestige effects on simulated REVIEWDATA (2,075 papers / "
       "4,490 authors / 10 venues)");
@@ -28,7 +30,7 @@ int Run() {
   std::unique_ptr<CarlEngine> engine = bench::MakeEngine(data->dataset);
 
   EngineOptions options;
-  options.bootstrap_replicates = 200;
+  options.bootstrap_replicates = flags.quick ? 25 : 200;
 
   std::printf("\n(a) correlation, total ATE, and isolated effect by mode\n");
   bench::PrintRow({"Mode", "Pearson r", "ATE", "AIE", "AIE 95% CI",
@@ -90,10 +92,13 @@ int Run() {
       "Shape (paper Fig 7b): AIE > ARE, AOE = AIE + ARE "
       "(here %.3f + %.3f = %.3f).\n",
       effects.aie.value, effects.are.value, effects.aoe.value);
+  bench::EmitJson("fig7_reviewdata", "", "wall_s", total.Seconds());
   return 0;
 }
 
 }  // namespace
 }  // namespace carl
 
-int main() { return carl::Run(); }
+int main(int argc, char** argv) {
+  return carl::Run(carl::bench::ParseFlags(argc, argv));
+}

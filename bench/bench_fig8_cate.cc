@@ -8,6 +8,7 @@
 
 #include <cstdio>
 
+#include "bench_timer.h"
 #include "bench_util.h"
 #include "datagen/review.h"
 #include "lang/parser.h"
@@ -16,16 +17,17 @@
 namespace carl {
 namespace {
 
-int Run() {
+int Run(const bench::BenchFlags& flags) {
+  bench::Stopwatch total;
   bench::PrintHeader(
       "Figure 8 - CATEs by author-qualification quartile: CaRL vs universal "
       "table (single-blind synthetic, true isolated effect = 1.0)");
 
   datagen::ReviewConfig config;
-  config.num_authors = 3000;
-  config.num_institutions = 100;
-  config.num_papers = 18000;
-  config.num_venues = 20;
+  config.num_authors = flags.quick ? 600 : 3000;
+  config.num_institutions = flags.quick ? 30 : 100;
+  config.num_papers = flags.quick ? 3600 : 18000;
+  config.num_venues = flags.quick ? 10 : 20;
   config.single_blind_fraction = 1.0;
   config.tau_iso_single = 1.0;
   config.tau_rel = 0.5;
@@ -95,10 +97,13 @@ int Run() {
       "Shape (paper Fig 8): CaRL CATEs hug the truth across strata; the\n"
       "universal-table CATEs deviate, most visibly in the extreme\n"
       "qualification quartiles where confounding is strongest.\n");
+  bench::EmitJson("fig8_cate", "", "wall_s", total.Seconds());
   return 0;
 }
 
 }  // namespace
 }  // namespace carl
 
-int main() { return carl::Run(); }
+int main(int argc, char** argv) {
+  return carl::Run(carl::bench::ParseFlags(argc, argv));
+}

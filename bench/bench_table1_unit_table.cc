@@ -5,6 +5,7 @@
 
 #include <cstdio>
 
+#include "bench_timer.h"
 #include "bench_util.h"
 #include "datagen/review_toy.h"
 #include "lang/parser.h"
@@ -12,7 +13,8 @@
 namespace carl {
 namespace {
 
-int Run() {
+int Run(const bench::BenchFlags&) {
+  bench::Stopwatch total;
   bench::PrintHeader(
       "Table 1 - unit table for Prestige[A] -> AVG_Score[A] (Fig 2 toy)");
 
@@ -43,10 +45,13 @@ int Run() {
   std::printf(
       "Paper's Table 1: Bob (0.75, 1, 1, 2), Carlos (0.1, 1, 1, 2),\n"
       "                 Eva (0.41, 0.5, 2, 35).\n");
+  bench::EmitJson("table1_unit_table", "", "wall_s", total.Seconds());
   return 0;
 }
 
 }  // namespace
 }  // namespace carl
 
-int main() { return carl::Run(); }
+int main(int argc, char** argv) {
+  return carl::Run(carl::bench::ParseFlags(argc, argv));
+}

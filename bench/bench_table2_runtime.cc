@@ -1,5 +1,5 @@
-// Table 2 (paper §6.1): dataset description plus unit-table construction
-// and query-answering runtimes, measured with google-benchmark.
+// Table 2 (paper §6.1): dataset description plus grounding, unit-table
+// construction, and query-answering runtimes.
 //
 // Paper (on the authors' 60-core server, real data):
 //   MIMIC-III   26 tables / 324 attrs / 400M rows  : 6h      / 4.5h
@@ -7,15 +7,18 @@
 //   REVIEWDATA   3 tables /   7 attrs /   6K rows  : 10.6s   / 1.2s
 //   SYNTHETIC    3 tables /   7 attrs / 300K rows  : 17.2s   / 1.3s
 //
-// Our simulated datasets are smaller (see DESIGN.md); absolute numbers are
-// not comparable, but the relative ordering (MIMIC >> NIS >> REVIEWDATA)
-// should hold.
-
-#include <benchmark/benchmark.h>
+// Our simulated datasets are smaller (see docs/benchmarks.md); absolute
+// numbers are not comparable, but the relative ordering
+// (MIMIC >> NIS >> REVIEWDATA) should hold.
+//
+// Measured with the repo's portable timer harness (bench_timer.h) — no
+// Google Benchmark dependency — so this target always builds and runs.
+// CARL_THREADS=N parallelizes the measured paths via carl_exec.
 
 #include <cstdio>
 #include <memory>
 
+#include "bench_timer.h"
 #include "bench_util.h"
 #include "datagen/mimic.h"
 #include "datagen/nis.h"
@@ -24,6 +27,8 @@
 namespace carl {
 namespace {
 
+constexpr char kBenchName[] = "table2_runtime";
+
 struct Workload {
   const char* name;
   std::unique_ptr<datagen::Dataset> dataset;
@@ -31,124 +36,113 @@ struct Workload {
   std::string query;
 };
 
-std::vector<Workload>& Workloads() {
-  static std::vector<Workload>* workloads = [] {
-    auto* w = new std::vector<Workload>();
+std::vector<Workload> MakeWorkloads(const bench::BenchFlags& flags) {
+  std::vector<Workload> workloads;
 
-    {
-      datagen::MimicConfig config;
-      config.num_patients = 50000;
-      config.num_caregivers = 1600;
-      Result<datagen::Dataset> data = datagen::GenerateMimic(config);
-      CARL_CHECK_OK(data.status());
-      Workload wl;
-      wl.name = "MIMIC-III(sim)";
-      wl.dataset = std::make_unique<datagen::Dataset>(std::move(*data));
-      wl.query = "Death[P] <= SelfPay[P]?";
-      w->push_back(std::move(wl));
-    }
-    {
-      datagen::NisConfig config;
-      config.num_admissions = 80000;
-      Result<datagen::Dataset> data = datagen::GenerateNis(config);
-      CARL_CHECK_OK(data.status());
-      Workload wl;
-      wl.name = "NIS(sim)";
-      wl.dataset = std::make_unique<datagen::Dataset>(std::move(*data));
-      wl.query = "HighBill[P] <= AdmittedToLarge[P]?";
-      w->push_back(std::move(wl));
-    }
-    {
-      datagen::ReviewConfig config = datagen::RealisticReviewConfig();
-      Result<datagen::ReviewData> data = datagen::GenerateReviewData(config);
-      CARL_CHECK_OK(data.status());
-      Workload wl;
-      wl.name = "REVIEWDATA(sim)";
-      wl.dataset =
-          std::make_unique<datagen::Dataset>(std::move(data->dataset));
-      wl.query = "AVG_Score[A] <= Prestige[A]?";
-      w->push_back(std::move(wl));
-    }
-    {
-      datagen::ReviewConfig config;  // paper-scale synthetic
-      config.num_authors = 10000;
-      config.num_papers = 75000;
-      config.num_venues = 100;
-      Result<datagen::ReviewData> data = datagen::GenerateReviewData(config);
-      CARL_CHECK_OK(data.status());
-      Workload wl;
-      wl.name = "SYNTH-REVIEW";
-      wl.dataset =
-          std::make_unique<datagen::Dataset>(std::move(data->dataset));
-      wl.query = "AVG_Score[A] <= Prestige[A]?";
-      w->push_back(std::move(wl));
-    }
-
-    std::printf("\nTable 2 - dataset description\n");
-    std::printf("%-18s%-12s%-12s%-14s%-12s\n", "Dataset", "Tables[#]",
-                "Attr.[#]", "Facts[#]", "Consts[#]");
-    for (Workload& wl : *w) {
-      wl.engine = bench::MakeEngine(*wl.dataset);
-      std::printf("%-18s%-12zu%-12zu%-14zu%-12zu\n", wl.name,
-                  wl.dataset->schema->num_predicates(),
-                  wl.dataset->schema->num_attributes(),
-                  wl.dataset->instance->TotalFacts(),
-                  wl.dataset->instance->NumConstants());
-    }
-    std::printf("\n");
-    return w;
-  }();
-  return *workloads;
-}
-
-void BM_UnitTableConstruction(benchmark::State& state) {
-  Workload& wl = Workloads()[static_cast<size_t>(state.range(0))];
-  Result<CausalQuery> query = ParseQuery(wl.query);
-  CARL_CHECK_OK(query.status());
-  for (auto _ : state) {
-    Result<UnitTable> table = wl.engine->BuildUnitTableForQuery(*query);
-    CARL_CHECK_OK(table.status());
-    benchmark::DoNotOptimize(table->data.num_rows());
+  {
+    datagen::MimicConfig config;
+    config.num_patients = flags.quick ? 2000 : 50000;
+    config.num_caregivers = flags.quick ? 80 : 1600;
+    Result<datagen::Dataset> data = datagen::GenerateMimic(config);
+    CARL_CHECK_OK(data.status());
+    Workload wl;
+    wl.name = "MIMIC-III(sim)";
+    wl.dataset = std::make_unique<datagen::Dataset>(std::move(*data));
+    wl.query = "Death[P] <= SelfPay[P]?";
+    workloads.push_back(std::move(wl));
   }
-  state.SetLabel(wl.name);
-}
-
-void BM_QueryAnswering(benchmark::State& state) {
-  Workload& wl = Workloads()[static_cast<size_t>(state.range(0))];
-  for (auto _ : state) {
-    Result<QueryAnswer> answer = wl.engine->Answer(wl.query);
-    CARL_CHECK_OK(answer.status());
-    benchmark::DoNotOptimize(answer->ate->ate.value);
+  {
+    datagen::NisConfig config;
+    config.num_admissions = flags.quick ? 8000 : 80000;
+    if (flags.quick) config.num_hospitals = 120;
+    Result<datagen::Dataset> data = datagen::GenerateNis(config);
+    CARL_CHECK_OK(data.status());
+    Workload wl;
+    wl.name = "NIS(sim)";
+    wl.dataset = std::make_unique<datagen::Dataset>(std::move(*data));
+    wl.query = "HighBill[P] <= AdmittedToLarge[P]?";
+    workloads.push_back(std::move(wl));
   }
-  state.SetLabel(wl.name);
-}
-
-void BM_Grounding(benchmark::State& state) {
-  Workload& wl = Workloads()[static_cast<size_t>(state.range(0))];
-  Result<RelationalCausalModel> model = RelationalCausalModel::Parse(
-      *wl.dataset->schema, wl.dataset->model_text);
-  CARL_CHECK_OK(model.status());
-  for (auto _ : state) {
-    Result<GroundedModel> grounded =
-        GroundModel(*wl.dataset->instance, *model);
-    CARL_CHECK_OK(grounded.status());
-    benchmark::DoNotOptimize(grounded->graph().num_nodes());
+  {
+    datagen::ReviewConfig config = datagen::RealisticReviewConfig();
+    Result<datagen::ReviewData> data = datagen::GenerateReviewData(config);
+    CARL_CHECK_OK(data.status());
+    Workload wl;
+    wl.name = "REVIEWDATA(sim)";
+    wl.dataset = std::make_unique<datagen::Dataset>(std::move(data->dataset));
+    wl.query = "AVG_Score[A] <= Prestige[A]?";
+    workloads.push_back(std::move(wl));
   }
-  state.SetLabel(wl.name);
+  {
+    datagen::ReviewConfig config;  // paper-scale synthetic
+    config.num_authors = flags.quick ? 1000 : 10000;
+    config.num_papers = flags.quick ? 7500 : 75000;
+    config.num_venues = 100;
+    Result<datagen::ReviewData> data = datagen::GenerateReviewData(config);
+    CARL_CHECK_OK(data.status());
+    Workload wl;
+    wl.name = "SYNTH-REVIEW";
+    wl.dataset = std::make_unique<datagen::Dataset>(std::move(data->dataset));
+    wl.query = "AVG_Score[A] <= Prestige[A]?";
+    workloads.push_back(std::move(wl));
+  }
+
+  std::printf("\nTable 2 - dataset description\n");
+  std::printf("%-18s%-12s%-12s%-14s%-12s\n", "Dataset", "Tables[#]",
+              "Attr.[#]", "Facts[#]", "Consts[#]");
+  for (Workload& wl : workloads) {
+    wl.engine = bench::MakeEngine(*wl.dataset);
+    std::printf("%-18s%-12zu%-12zu%-14zu%-12zu\n", wl.name,
+                wl.dataset->schema->num_predicates(),
+                wl.dataset->schema->num_attributes(),
+                wl.dataset->instance->TotalFacts(),
+                wl.dataset->instance->NumConstants());
+  }
+  std::printf("\n");
+  return workloads;
 }
 
-BENCHMARK(BM_Grounding)->DenseRange(0, 3)->Unit(benchmark::kMillisecond)
-    ->Iterations(2);
-BENCHMARK(BM_UnitTableConstruction)
-    ->DenseRange(0, 3)
-    ->Unit(benchmark::kMillisecond)
-    ->Iterations(2);
-BENCHMARK(BM_QueryAnswering)
-    ->DenseRange(0, 3)
-    ->Unit(benchmark::kMillisecond)
-    ->Iterations(2);
+int Run(const bench::BenchFlags& flags) {
+  std::vector<Workload> workloads = MakeWorkloads(flags);
+  const int iters = flags.quick ? 1 : 2;
+
+  std::printf("Table 2 - runtimes (best of %d, seconds)\n", iters);
+  std::printf("%-18s%-14s%-14s%-14s\n", "Dataset", "Grounding",
+              "UnitTable", "QueryAnswer");
+  for (Workload& wl : workloads) {
+    Result<RelationalCausalModel> model = RelationalCausalModel::Parse(
+        *wl.dataset->schema, wl.dataset->model_text);
+    CARL_CHECK_OK(model.status());
+    double ground_s = bench::TimeBest(iters, [&] {
+      Result<GroundedModel> grounded =
+          GroundModel(*wl.dataset->instance, *model);
+      CARL_CHECK_OK(grounded.status());
+    });
+
+    Result<CausalQuery> query = ParseQuery(wl.query);
+    CARL_CHECK_OK(query.status());
+    double table_s = bench::TimeBest(iters, [&] {
+      Result<UnitTable> table = wl.engine->BuildUnitTableForQuery(*query);
+      CARL_CHECK_OK(table.status());
+    });
+
+    double answer_s = bench::TimeBest(iters, [&] {
+      Result<QueryAnswer> answer = wl.engine->Answer(wl.query);
+      CARL_CHECK_OK(answer.status());
+    });
+
+    std::printf("%-18s%-14.3f%-14.3f%-14.3f\n", wl.name, ground_s, table_s,
+                answer_s);
+    bench::EmitJson(kBenchName, wl.name, "grounding_s", ground_s);
+    bench::EmitJson(kBenchName, wl.name, "unit_table_s", table_s);
+    bench::EmitJson(kBenchName, wl.name, "query_answer_s", answer_s);
+  }
+  return 0;
+}
 
 }  // namespace
 }  // namespace carl
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  return carl::Run(carl::bench::ParseFlags(argc, argv));
+}

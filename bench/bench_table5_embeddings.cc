@@ -10,21 +10,20 @@
 
 #include <cstdio>
 
+#include "bench_timer.h"
 #include "bench_util.h"
 #include "datagen/review.h"
 
 namespace carl {
 namespace {
 
-constexpr int kReplicates = 8;
-
-datagen::ReviewConfig MakeConfig(double single_blind_fraction,
-                                 uint64_t seed) {
+datagen::ReviewConfig MakeConfig(double single_blind_fraction, uint64_t seed,
+                                 const bench::BenchFlags& flags) {
   datagen::ReviewConfig config;
-  config.num_authors = 1500;
-  config.num_institutions = 60;
-  config.num_papers = 9000;
-  config.num_venues = 20;
+  config.num_authors = flags.quick ? 500 : 1500;
+  config.num_institutions = flags.quick ? 25 : 60;
+  config.num_papers = flags.quick ? 3000 : 9000;
+  config.num_venues = flags.quick ? 10 : 20;
   config.single_blind_fraction = single_blind_fraction;
   config.tau_iso_single = 1.0;
   config.tau_iso_double = 0.0;
@@ -71,19 +70,21 @@ struct Series {
   }
 };
 
-void RunRegime(const char* label, double single_blind_fraction, double truth) {
+void RunRegime(const char* label, double single_blind_fraction, double truth,
+               const bench::BenchFlags& flags) {
   const EmbeddingKind kinds[] = {EmbeddingKind::kMean, EmbeddingKind::kMedian,
                                  EmbeddingKind::kMoments,
                                  EmbeddingKind::kPadding};
   Series per_embedding[4];
   Series universal;
 
-  for (int r = 0; r < kReplicates; ++r) {
+  const int replicates = flags.quick ? 2 : 8;
+  for (int r = 0; r < replicates; ++r) {
     datagen::ReviewConfig config =
-        MakeConfig(single_blind_fraction, 1000 + 17 * r +
-                                               (single_blind_fraction > 0.5
-                                                    ? 0
-                                                    : 500));
+        MakeConfig(single_blind_fraction,
+                   1000 + 17 * r +
+                       (single_blind_fraction > 0.5 ? 0 : 500),
+                   flags);
     Result<datagen::ReviewData> data = datagen::GenerateReviewData(config);
     CARL_CHECK_OK(data.status());
     std::unique_ptr<CarlEngine> engine = bench::MakeEngine(data->dataset);
@@ -114,15 +115,16 @@ void RunRegime(const char* label, double single_blind_fraction, double truth) {
                    StrFormat("%.2f", truth)});
 }
 
-int Run() {
+int Run(const bench::BenchFlags& flags) {
+  bench::Stopwatch total;
   bench::PrintHeader(
       "Table 5 - embedding sensitivity vs universal-table baseline\n"
       "(isolated effect of query (37); mean +/- sd over replicates)");
   bench::PrintRow({"Method", "Embedding", "Regime", "Estimated", "True"});
   bench::PrintRule();
-  RunRegime("Single-Blind", 1.0, 1.0);
+  RunRegime("Single-Blind", 1.0, 1.0, flags);
   bench::PrintRule();
-  RunRegime("Double-Blind", 0.0, 0.0);
+  RunRegime("Double-Blind", 0.0, 0.0, flags);
   bench::PrintRule();
   std::printf(
       "Paper (single-blind / double-blind, true 1.0 / 0.0):\n"
@@ -131,10 +133,13 @@ int Run() {
       "  universal table 0.54+/-0.73 / 0.201+/-0.64.\n"
       "Shape: every CaRL embedding is near the truth; the universal table\n"
       "is biased with much larger variance.\n");
+  bench::EmitJson("table5_embeddings", "", "wall_s", total.Seconds());
   return 0;
 }
 
 }  // namespace
 }  // namespace carl
 
-int main() { return carl::Run(); }
+int main(int argc, char** argv) {
+  return carl::Run(carl::bench::ParseFlags(argc, argv));
+}

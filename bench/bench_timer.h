@@ -1,0 +1,84 @@
+// Portable timing + reporting harness for the bench binaries.
+//
+// No external dependency (Google Benchmark is no longer required): a
+// steady_clock stopwatch, a best-of-N measurement loop, a --quick flag
+// shared by every bench, and a one-line JSON emitter so CI and scripts
+// can scrape results:
+//
+//   BENCH_JSON {"bench":"table3_real_queries","metric":"wall_s","value":12.3}
+//
+// One line per metric, greppable with '^BENCH_JSON ' and parseable as
+// JSON after the prefix — compatible with a BENCH_<name>.json collector
+// that appends each line's payload.
+
+#ifndef CARL_BENCH_BENCH_TIMER_H_
+#define CARL_BENCH_BENCH_TIMER_H_
+
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+namespace carl {
+namespace bench {
+
+/// Flags shared by all bench binaries. --quick shrinks datasets and
+/// iteration counts to a CI-friendly smoke run.
+struct BenchFlags {
+  bool quick = false;
+};
+
+inline BenchFlags ParseFlags(int argc, char** argv) {
+  BenchFlags flags;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--quick") == 0) flags.quick = true;
+  }
+  return flags;
+}
+
+class Stopwatch {
+ public:
+  Stopwatch() : start_(std::chrono::steady_clock::now()) {}
+  void Reset() { start_ = std::chrono::steady_clock::now(); }
+  double Seconds() const {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                         start_)
+        .count();
+  }
+
+ private:
+  std::chrono::steady_clock::time_point start_;
+};
+
+/// Best-of-`iters` wall time of `fn`, in seconds.
+template <typename Fn>
+double TimeBest(int iters, const Fn& fn) {
+  double best = -1.0;
+  for (int i = 0; i < iters; ++i) {
+    Stopwatch sw;
+    fn();
+    double t = sw.Seconds();
+    if (best < 0.0 || t < best) best = t;
+  }
+  return best;
+}
+
+/// Emits one BENCH_JSON line. `label` disambiguates repeated metrics
+/// (e.g. the dataset); pass "" to omit it.
+inline void EmitJson(const std::string& bench, const std::string& label,
+                     const std::string& metric, double value) {
+  if (label.empty()) {
+    std::printf("BENCH_JSON {\"bench\":\"%s\",\"metric\":\"%s\",\"value\":%g}\n",
+                bench.c_str(), metric.c_str(), value);
+  } else {
+    std::printf(
+        "BENCH_JSON {\"bench\":\"%s\",\"label\":\"%s\",\"metric\":\"%s\","
+        "\"value\":%g}\n",
+        bench.c_str(), label.c_str(), metric.c_str(), value);
+  }
+}
+
+}  // namespace bench
+}  // namespace carl
+
+#endif  // CARL_BENCH_BENCH_TIMER_H_

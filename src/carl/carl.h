@@ -28,9 +28,12 @@
 #include "core/explain.h"
 #include "core/ground_truth.h"
 #include "core/grounding.h"
+#include "core/query_session.h"
 #include "core/relational_path.h"
 #include "core/structural_model.h"
 #include "core/unit_table.h"
+#include "exec/exec_context.h"
+#include "exec/parallel.h"
 #include "graph/causal_graph.h"
 #include "graph/dot_export.h"
 #include "lang/ast.h"

@@ -122,11 +122,18 @@ Result<std::unique_ptr<CarlEngine>> CarlEngine::Create(
   if (instance == nullptr) {
     return Status::InvalidArgument("engine needs an instance");
   }
+  return Create(std::make_shared<QuerySession>(instance), std::move(model));
+}
+
+Result<std::unique_ptr<CarlEngine>> CarlEngine::Create(
+    std::shared_ptr<QuerySession> session, RelationalCausalModel model) {
+  if (session == nullptr) {
+    return Status::InvalidArgument("engine needs a query session");
+  }
   std::unique_ptr<CarlEngine> engine(
-      new CarlEngine(instance, std::move(model)));
-  CARL_ASSIGN_OR_RETURN(GroundedModel grounded,
-                        GroundModel(*instance, engine->model_));
-  engine->grounded_.emplace(std::move(grounded));
+      new CarlEngine(std::move(session), std::move(model)));
+  CARL_ASSIGN_OR_RETURN(engine->grounded_,
+                        engine->session_->Ground(engine->model_));
   return engine;
 }
 
@@ -188,9 +195,9 @@ Result<CarlEngine::ResolvedQuery> CarlEngine::ResolveQuery(
   }
 
   if (reground) {
-    CARL_ASSIGN_OR_RETURN(GroundedModel grounded,
-                          GroundModel(*instance_, model_));
-    grounded_.emplace(std::move(grounded));
+    // The derived rule changed the model; fetch (or build) the grounding
+    // of the new variant from the session cache.
+    CARL_ASSIGN_OR_RETURN(grounded_, session_->Ground(model_));
   }
 
   const Schema& xschema = model_.extended_schema();

@@ -24,6 +24,7 @@
 #include "core/causal_model.h"
 #include "core/estimation.h"
 #include "core/grounding.h"
+#include "core/query_session.h"
 #include "core/unit_table.h"
 #include "lang/ast.h"
 
@@ -88,15 +89,24 @@ struct QueryAnswer {
 
 class CarlEngine {
  public:
-  /// Grounds the model against the instance. Both must outlive the engine.
+  /// Grounds the model against the instance through a private
+  /// QuerySession. Instance and model must outlive the engine.
   static Result<std::unique_ptr<CarlEngine>> Create(
       const Instance* instance, RelationalCausalModel model);
+
+  /// Grounds through a shared session: engines over the same instance
+  /// reuse each other's cached groundings (including the re-groundings
+  /// triggered by §4.3 derived aggregations), so a multi-query pipeline
+  /// grounds each distinct model variant once.
+  static Result<std::unique_ptr<CarlEngine>> Create(
+      std::shared_ptr<QuerySession> session, RelationalCausalModel model);
 
   CarlEngine(const CarlEngine&) = delete;
   CarlEngine& operator=(const CarlEngine&) = delete;
 
   const GroundedModel& grounded() const { return *grounded_; }
   const RelationalCausalModel& model() const { return model_; }
+  const QuerySession& session() const { return *session_; }
 
   /// Answers an ATE or aggregated-response query (no WHEN clause).
   Result<AteAnswer> AnswerAte(const CausalQuery& query,
@@ -119,8 +129,11 @@ class CarlEngine {
                                            const EngineOptions& options = {});
 
  private:
-  CarlEngine(const Instance* instance, RelationalCausalModel model)
-      : instance_(instance), model_(std::move(model)) {}
+  CarlEngine(std::shared_ptr<QuerySession> session,
+             RelationalCausalModel model)
+      : session_(std::move(session)),
+        instance_(&session_->instance()),
+        model_(std::move(model)) {}
 
   struct ResolvedQuery {
     UnitTableRequest request;
@@ -133,9 +146,10 @@ class CarlEngine {
       const UnitTableRequest& request, const UnitTable& table,
       const EngineOptions& options);
 
+  std::shared_ptr<QuerySession> session_;
   const Instance* instance_;
   RelationalCausalModel model_;
-  std::optional<GroundedModel> grounded_;
+  std::shared_ptr<const GroundedModel> grounded_;
 };
 
 }  // namespace carl

@@ -1,12 +1,18 @@
 #include "core/grounding.h"
 
+#include <algorithm>
 #include <unordered_map>
+#include <unordered_set>
 
 #include "common/logging.h"
+#include "exec/parallel.h"
 #include "relational/evaluator.h"
 
 namespace carl {
 namespace {
+
+// Shards below this many root-candidate rows are not worth a task.
+constexpr size_t kMinRowsPerShard = 1024;
 
 // Distinguished variables of a rule: all variables appearing in the head
 // and body attribute references, in first-occurrence order.
@@ -50,6 +56,50 @@ bool ResolveArgs(const Instance& instance, const AttributeRef& ref,
   return true;
 }
 
+// Enumerates a rule condition's bindings, sharding the root atom's
+// candidate rows across the pool when the input is large enough. Shard
+// outputs merge first-occurrence in shard order, which reproduces the
+// serial Evaluate() result exactly — so the binding sequence (and with it
+// every downstream node/edge id) is thread-count independent.
+Result<std::vector<Tuple>> EnumerateBindings(
+    const QueryEvaluator& evaluator, const ConjunctiveQuery& where,
+    const std::vector<std::string>& vars, ExecContext& ctx) {
+  if (ctx.serial()) return evaluator.Evaluate(where, vars);
+  CARL_ASSIGN_OR_RETURN(size_t candidates,
+                        evaluator.CountRootCandidates(where));
+  size_t shards = std::min(static_cast<size_t>(ctx.threads()) * 4,
+                           candidates / kMinRowsPerShard);
+  if (shards <= 1) return evaluator.Evaluate(where, vars);
+
+  std::vector<std::vector<Tuple>> shard_results(shards);
+  std::vector<Status> shard_status(shards);
+  ParallelFor(ctx, shards, [&](size_t begin, size_t end, size_t) {
+    for (size_t s = begin; s < end; ++s) {
+      Result<std::vector<Tuple>> r =
+          evaluator.EvaluateShard(where, vars, s, shards);
+      if (r.ok()) {
+        shard_results[s] = std::move(*r);
+      } else {
+        shard_status[s] = r.status();
+      }
+    }
+  });
+  for (const Status& s : shard_status) CARL_RETURN_IF_ERROR(s);
+
+  size_t total = 0;
+  for (const std::vector<Tuple>& sr : shard_results) total += sr.size();
+  std::unordered_set<Tuple, TupleHash> seen;
+  seen.reserve(total);
+  std::vector<Tuple> bindings;
+  bindings.reserve(total);
+  for (std::vector<Tuple>& sr : shard_results) {
+    for (Tuple& t : sr) {
+      if (seen.insert(t).second) bindings.push_back(std::move(t));
+    }
+  }
+  return bindings;
+}
+
 }  // namespace
 
 std::optional<AggregateKind> GroundedModel::NodeAggregate(NodeId id) const {
@@ -60,32 +110,45 @@ std::optional<AggregateKind> GroundedModel::NodeAggregate(NodeId id) const {
 
 std::optional<double> GroundedModel::NodeValue(NodeId id) const {
   CARL_CHECK(id >= 0 && static_cast<size_t>(id) < value_state_.size());
-  if (value_state_[id] == 1) return std::nullopt;
-  if (value_state_[id] == 2) return value_cache_[id];
+  if (value_state_[id] != 2) return std::nullopt;
+  return value_cache_[id];
+}
 
-  std::optional<double> result;
-  if (node_has_aggregate_[id]) {
-    std::vector<double> parent_values;
+void GroundedModel::FinalizeValues(const std::vector<NodeId>& topo_order) {
+  size_t n = graph_.num_nodes();
+  value_state_.assign(n, 1);
+  value_cache_.assign(n, 0.0);
+
+  // Base attributes: independent instance lookups, one column slot each.
+  ParallelFor(ExecContext::Global(), n, [&](size_t begin, size_t end,
+                                            size_t) {
+    for (size_t id = begin; id < end; ++id) {
+      if (node_has_aggregate_[id]) continue;
+      const GroundedAttribute& g = graph_.node(static_cast<NodeId>(id));
+      std::optional<Value> v = instance_->GetAttribute(g.attribute, g.args);
+      if (v.has_value() && v->is_numeric()) {
+        value_cache_[id] = v->AsDouble();
+        value_state_[id] = 2;
+      }
+    }
+  });
+
+  // Aggregates: parents precede children in topological order, so parent
+  // values (including aggregate-of-aggregate chains) are already final.
+  // Parent iteration order matches the lazy implementation's, keeping
+  // floating-point aggregation bit-identical.
+  std::vector<double> parent_values;
+  for (NodeId id : topo_order) {
+    if (!node_has_aggregate_[id]) continue;
+    parent_values.clear();
     for (NodeId p : graph_.Parents(id)) {
-      std::optional<double> v = NodeValue(p);
-      if (v.has_value()) parent_values.push_back(*v);
+      if (value_state_[p] == 2) parent_values.push_back(value_cache_[p]);
     }
     if (!parent_values.empty()) {
-      result = ApplyAggregate(node_aggregate_[id], parent_values);
+      value_cache_[id] = ApplyAggregate(node_aggregate_[id], parent_values);
+      value_state_[id] = 2;
     }
-  } else {
-    const GroundedAttribute& g = graph_.node(id);
-    std::optional<Value> v = instance_->GetAttribute(g.attribute, g.args);
-    if (v.has_value() && v->is_numeric()) result = v->AsDouble();
   }
-
-  if (result.has_value()) {
-    value_state_[id] = 2;
-    value_cache_[id] = *result;
-  } else {
-    value_state_[id] = 1;
-  }
-  return result;
 }
 
 std::string GroundedModel::NodeName(NodeId id) const {
@@ -94,6 +157,7 @@ std::string GroundedModel::NodeName(NodeId id) const {
 
 Result<GroundedModel> GroundModel(const Instance& instance,
                                   const RelationalCausalModel& model) {
+  ExecContext& ctx = ExecContext::Global();
   GroundedModel grounded;
   grounded.instance_ = &instance;
   grounded.model_ = &model;
@@ -101,17 +165,20 @@ Result<GroundedModel> GroundModel(const Instance& instance,
   const Schema& schema = model.extended_schema();
   QueryEvaluator evaluator(&instance);
 
-  // 1. A node for every grounding of every attribute. Aggregate-defined
-  // attributes are skipped here; their groundings materialize from their
-  // rules (a grounding with no sources has no value anyway, but we still
-  // add the node so response lookups are uniform).
+  // 1. A node for every grounding of every attribute, bulk-built with ids
+  // in (attribute, row) order — the same ids a serial AddNode loop
+  // assigns. Aggregate-defined attributes get nodes here too, so response
+  // lookups are uniform even for groundings with no sources.
+  std::vector<CausalGraph::NodeBatch> batches;
+  batches.reserve(schema.attributes().size());
   for (const AttributeDef& attr : schema.attributes()) {
-    for (const Tuple& row : instance.Rows(attr.predicate)) {
-      grounded.graph_.AddNode(attr.id, row);
-    }
+    batches.push_back(
+        CausalGraph::NodeBatch{attr.id, &instance.Rows(attr.predicate)});
   }
+  grounded.graph_.AddNodesBulk(batches, ctx);
 
-  // 2. Ground causal rules.
+  // 2. Ground causal rules: enumerate bindings in parallel shards, then
+  // merge nodes and edges serially in binding order (deterministic).
   for (const CausalRule& rule : model.rules()) {
     std::vector<const AttributeRef*> body;
     body.reserve(rule.body.size());
@@ -121,7 +188,7 @@ Result<GroundedModel> GroundModel(const Instance& instance,
     for (size_t i = 0; i < vars.size(); ++i) var_slots.emplace(vars[i], i);
 
     CARL_ASSIGN_OR_RETURN(std::vector<Tuple> bindings,
-                          evaluator.Evaluate(rule.where, vars));
+                          EnumerateBindings(evaluator, rule.where, vars, ctx));
     CARL_ASSIGN_OR_RETURN(AttributeId head_attr,
                           schema.FindAttribute(rule.head.attribute));
     std::vector<AttributeId> body_attrs;
@@ -131,6 +198,7 @@ Result<GroundedModel> GroundModel(const Instance& instance,
       body_attrs.push_back(aid);
     }
 
+    grounded.graph_.ReserveEdges(bindings.size() * rule.body.size());
     Tuple head_args, body_args;
     for (const Tuple& binding : bindings) {
       if (!ResolveArgs(instance, rule.head, var_slots, binding, &head_args)) {
@@ -157,12 +225,13 @@ Result<GroundedModel> GroundModel(const Instance& instance,
     for (size_t i = 0; i < vars.size(); ++i) var_slots.emplace(vars[i], i);
 
     CARL_ASSIGN_OR_RETURN(std::vector<Tuple> bindings,
-                          evaluator.Evaluate(rule.where, vars));
+                          EnumerateBindings(evaluator, rule.where, vars, ctx));
     CARL_ASSIGN_OR_RETURN(AttributeId head_attr,
                           schema.FindAttribute(rule.head.attribute));
     CARL_ASSIGN_OR_RETURN(AttributeId source_attr,
                           schema.FindAttribute(rule.source.attribute));
 
+    grounded.graph_.ReserveEdges(bindings.size());
     Tuple head_args, source_args;
     for (const Tuple& binding : bindings) {
       if (!ResolveArgs(instance, rule.head, var_slots, binding, &head_args) ||
@@ -190,11 +259,11 @@ Result<GroundedModel> GroundModel(const Instance& instance,
     }
   }
 
-  grounded.value_state_.assign(grounded.graph_.num_nodes(), 0);
-  grounded.value_cache_.assign(grounded.graph_.num_nodes(), 0.0);
-
   // 5. The paper requires non-recursive models; reject cyclic groundings.
-  CARL_RETURN_IF_ERROR(grounded.graph_.TopologicalOrder().status());
+  // The topological order then drives the eager value pass.
+  CARL_ASSIGN_OR_RETURN(std::vector<NodeId> topo_order,
+                        grounded.graph_.TopologicalOrder());
+  grounded.FinalizeValues(topo_order);
   return grounded;
 }
 

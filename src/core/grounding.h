@@ -6,6 +6,13 @@
 // binding of a rule's condition adds edges body-grounding -> head-grounding.
 // Aggregate rules add edges source-grounding -> aggregate-grounding and tag
 // the head nodes with their AggregateKind.
+//
+// Execution: GroundModel runs on ExecContext::Global(). Node creation is
+// bulk-built per attribute, rule bindings are enumerated in parallel
+// shards of the root atom's candidate rows, and node values are finalized
+// in a parallel column pass. Shard outputs merge in shard order, so the
+// grounded graph — node ids, edge insertion order, values — is identical
+// for every thread count, bit-for-bit with the serial implementation.
 
 #ifndef CARL_CORE_GROUNDING_H_
 #define CARL_CORE_GROUNDING_H_
@@ -37,7 +44,9 @@ class GroundedModel {
   /// Numeric value of a grounded attribute: base attributes read the
   /// instance (non-numeric or missing values yield nullopt); aggregate
   /// nodes aggregate their parents' values, yielding nullopt when no
-  /// parent has a value. Results are memoized.
+  /// parent has a value. All values are precomputed at grounding time
+  /// (topological column pass), so this is a pure read — safe to call
+  /// from concurrent threads.
   std::optional<double> NodeValue(NodeId id) const;
 
   /// "Attr[c1, c2]" for diagnostics.
@@ -50,6 +59,10 @@ class GroundedModel {
   friend Result<GroundedModel> GroundModel(const Instance&,
                                            const RelationalCausalModel&);
 
+  // Eagerly computes every node value: base attributes in a parallel
+  // column pass, aggregates in topological order (parents first).
+  void FinalizeValues(const std::vector<NodeId>& topo_order);
+
   const Instance* instance_ = nullptr;
   const RelationalCausalModel* model_ = nullptr;
   CausalGraph graph_;
@@ -57,9 +70,9 @@ class GroundedModel {
   std::vector<AggregateKind> node_aggregate_;
   size_t num_groundings_ = 0;
 
-  // Value memo: 0 = unknown, 1 = missing, 2 = cached.
-  mutable std::vector<int8_t> value_state_;
-  mutable std::vector<double> value_cache_;
+  // Precomputed values: state 1 = missing, 2 = present.
+  std::vector<int8_t> value_state_;
+  std::vector<double> value_cache_;
 };
 
 /// Grounds `model` against `instance`. Fails if the grounded graph is

@@ -1,0 +1,154 @@
+#include "core/query_session.h"
+
+#include "common/logging.h"
+
+namespace carl {
+namespace {
+
+uint64_t HashCombine(uint64_t h, uint64_t v) {
+  h ^= v + 0x9e3779b97f4a7c15ull + (h << 12) + (h >> 4);
+  return h;
+}
+
+uint64_t HashString(const std::string& s) {
+  uint64_t h = 0xcbf29ce484222325ull;
+  for (unsigned char c : s) {
+    h ^= c;
+    h *= 0x100000001b3ull;
+  }
+  return h;
+}
+
+}  // namespace
+
+QuerySession::QuerySession(const Instance* instance) : instance_(instance) {
+  CARL_CHECK(instance != nullptr) << "query session needs an instance";
+  instance_fp_ = instance_fingerprint();
+}
+
+uint64_t QuerySession::instance_fingerprint() const {
+  const Schema& schema = instance_->schema();
+  uint64_t h = 0x9ae16a3b2f90404full;
+  h = HashCombine(h, schema.num_predicates());
+  h = HashCombine(h, schema.num_attributes());
+  // The generation counter covers every mutation — fact insertions and
+  // attribute writes, including in-place value overwrites (which change
+  // no cardinality but would stale the NodeValues baked in at grounding
+  // time). O(1), so the cache-hit path stays cheap on large instances.
+  h = HashCombine(h, instance_->generation());
+  h = HashCombine(h, instance_->NumConstants());
+  return h;
+}
+
+uint64_t QuerySession::ModelFingerprint(const RelationalCausalModel& model) {
+  return HashString(model.ToString());
+}
+
+size_t QuerySession::num_cached_groundings() const {
+  size_t total = 0;
+  for (const auto& [key, bucket] : cache_) total += bucket.size();
+  return total;
+}
+
+Result<std::shared_ptr<const GroundedModel>> QuerySession::Ground(
+    const RelationalCausalModel& model) {
+  uint64_t fp = instance_fingerprint();
+  if (fp != instance_fp_) {
+    // The instance changed under us; every cached grounding is stale.
+    // Start over rather than serve wrong graphs.
+    cache_.clear();
+    insertion_order_.clear();
+    instance_fp_ = fp;
+  }
+
+  // Grounding depends on the rule set AND the extended schema (step 1
+  // adds a node per schema attribute grounding), so both go into the key.
+  std::string model_text =
+      model.ToString() + "\n@schema\n" + model.extended_schema().ToString();
+  uint64_t key = HashCombine(HashString(model_text), instance_fp_);
+  std::vector<Entry>& bucket = cache_[key];
+  for (Entry& entry : bucket) {
+    if (entry.model_text == model_text) {
+      ++stats_.ground_hits;
+      return entry.grounded;
+    }
+  }
+
+  ++stats_.ground_misses;
+  // The grounding references the model copy by pointer, so both live in
+  // one holder and the handed-out shared_ptr aliases into it: however
+  // long any consumer keeps the grounding — across evictions, even past
+  // the session's destruction — the model copy stays alive with it.
+  auto holder = std::make_shared<GroundingHolder>();
+  holder->model = std::make_shared<RelationalCausalModel>(model);
+  CARL_ASSIGN_OR_RETURN(GroundedModel grounded,
+                        GroundModel(*instance_, *holder->model));
+  holder->grounded = std::move(grounded);
+
+  Entry entry;
+  entry.model_text = model_text;
+  entry.grounded = std::shared_ptr<const GroundedModel>(
+      holder, &holder->grounded);
+  while (num_cached_groundings() >= max_cached_groundings_) {
+    EvictOldestEntry();
+  }
+  // Re-fetch the bucket: eviction may have touched cache_.
+  std::vector<Entry>& target = cache_[key];
+  target.push_back(std::move(entry));
+  insertion_order_.emplace_back(key, std::move(model_text));
+  return target.back().grounded;
+}
+
+void QuerySession::EvictOldestEntry() {
+  CARL_CHECK(!insertion_order_.empty());
+  auto [key, text] = std::move(insertion_order_.front());
+  insertion_order_.erase(insertion_order_.begin());
+  auto bucket_it = cache_.find(key);
+  if (bucket_it == cache_.end()) return;
+  std::vector<Entry>& bucket = bucket_it->second;
+  for (auto it = bucket.begin(); it != bucket.end(); ++it) {
+    if (it->model_text == text) {
+      bucket.erase(it);
+      ++stats_.ground_evictions;
+      break;
+    }
+  }
+  if (bucket.empty()) cache_.erase(bucket_it);
+}
+
+Result<std::shared_ptr<const AttributeValueColumn>> QuerySession::ValueColumn(
+    const std::shared_ptr<const GroundedModel>& grounded,
+    AttributeId attribute) {
+  if (grounded == nullptr) {
+    return Status::InvalidArgument("value column needs a grounding");
+  }
+  if (attribute == kInvalidAttribute ||
+      static_cast<size_t>(attribute) >=
+          grounded->schema().num_attributes()) {
+    return Status::NotFound("attribute unknown to the grounded schema");
+  }
+  for (auto& [key, bucket] : cache_) {
+    for (Entry& entry : bucket) {
+      if (entry.grounded != grounded) continue;
+      auto it = entry.columns.find(attribute);
+      if (it != entry.columns.end()) {
+        ++stats_.column_hits;
+        return it->second;
+      }
+      ++stats_.column_misses;
+      auto column = std::make_shared<AttributeValueColumn>();
+      column->attribute = attribute;
+      column->nodes = grounded->graph().NodesOfAttribute(attribute);
+      column->values.reserve(column->nodes.size());
+      for (NodeId n : column->nodes) {
+        column->values.push_back(grounded->NodeValue(n));
+      }
+      entry.columns.emplace(attribute, column);
+      return std::shared_ptr<const AttributeValueColumn>(column);
+    }
+  }
+  return Status::NotFound(
+      "grounding is not cached in this session (use QuerySession::Ground)");
+}
+
+}  // namespace carl

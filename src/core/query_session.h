@@ -1,0 +1,132 @@
+// QuerySession: cached grounded state shared by every query (and every
+// engine) over one relational instance.
+//
+// Grounding dominates end-to-end query cost (docs/benchmarks.md), and the
+// engine's §4.3 unification re-grounds whenever a query derives a new
+// aggregate attribute. A session interns each distinct grounding once,
+// keyed by (model fingerprint, instance fingerprint, derived-aggregate
+// set) — the derived aggregates a query added are part of the model rule
+// set and thus of its fingerprint — so a pipeline of queries grounds each
+// *variant* once instead of once per query. Fingerprint collisions are
+// impossible: the fingerprint only routes to a bucket whose entries store
+// and compare the full serialized model.
+//
+// The session also memoizes per-attribute value columns (NodeValue over
+// NodesOfAttribute order) of cached groundings, for column-oriented
+// consumers like benches and stats exports.
+//
+// Sessions are not thread-safe; share one per pipeline thread. Cached
+// GroundedModels reference a model copy owned by the session, so they
+// stay valid for as long as the returned shared_ptr lives — even after
+// the session itself is destroyed the entry keeps the model alive.
+
+#ifndef CARL_CORE_QUERY_SESSION_H_
+#define CARL_CORE_QUERY_SESSION_H_
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/result.h"
+#include "core/causal_model.h"
+#include "core/grounding.h"
+
+namespace carl {
+
+/// One attribute's groundings and their (possibly missing) values, in
+/// NodesOfAttribute order.
+struct AttributeValueColumn {
+  AttributeId attribute = kInvalidAttribute;
+  std::vector<NodeId> nodes;
+  std::vector<std::optional<double>> values;
+};
+
+class QuerySession {
+ public:
+  /// The instance must outlive the session. Mutating it between queries
+  /// is detected — the fingerprint covers fact cardinalities AND all
+  /// attribute values — and drops every cached grounding (NodeValues are
+  /// baked in at grounding time, so stale entries would answer wrongly).
+  explicit QuerySession(const Instance* instance);
+
+  const Instance& instance() const { return *instance_; }
+
+  /// The cached grounding of `model` against the session's instance,
+  /// grounding on a miss. The model is copied into the cache entry; the
+  /// returned GroundedModel references that stable copy.
+  Result<std::shared_ptr<const GroundedModel>> Ground(
+      const RelationalCausalModel& model);
+
+  /// Memoized value column of `attribute` in a grounding previously
+  /// returned by Ground(). Fails on attributes unknown to the grounding's
+  /// schema.
+  Result<std::shared_ptr<const AttributeValueColumn>> ValueColumn(
+      const std::shared_ptr<const GroundedModel>& grounded,
+      AttributeId attribute);
+
+  struct CacheStats {
+    size_t ground_hits = 0;
+    size_t ground_misses = 0;
+    size_t column_hits = 0;
+    size_t column_misses = 0;
+    size_t ground_evictions = 0;
+  };
+  const CacheStats& stats() const { return stats_; }
+
+  /// Cache capacity in distinct groundings; inserting beyond it evicts
+  /// the oldest entry (FIFO). Engines holding a shared_ptr to an evicted
+  /// grounding keep it alive; only future reuse is lost.
+  size_t max_cached_groundings() const { return max_cached_groundings_; }
+  void set_max_cached_groundings(size_t max) {
+    max_cached_groundings_ = max == 0 ? 1 : max;
+  }
+
+  /// Cached grounding count (distinct model variants).
+  size_t num_cached_groundings() const;
+
+  /// Fingerprint of the instance: schema/constant cardinalities plus the
+  /// instance's mutation generation counter. O(1), recomputed per
+  /// Ground() call; any mutation — fact insertions and attribute writes,
+  /// including in-place value overwrites — changes it and invalidates
+  /// the cache.
+  uint64_t instance_fingerprint() const;
+
+  /// Stable fingerprint of a model's full rule set (serialized form).
+  static uint64_t ModelFingerprint(const RelationalCausalModel& model);
+
+ private:
+  // A grounding and the model copy it references, owned together: the
+  // cached shared_ptr<const GroundedModel> aliases into the holder, so
+  // the model cannot outlive-race the grounding.
+  struct GroundingHolder {
+    std::shared_ptr<const RelationalCausalModel> model;
+    GroundedModel grounded;
+  };
+
+  struct Entry {
+    std::string model_text;  // exact key; fingerprints only route
+    std::shared_ptr<const GroundedModel> grounded;  // aliases its holder
+    std::unordered_map<AttributeId,
+                       std::shared_ptr<const AttributeValueColumn>>
+        columns;
+  };
+
+  void EvictOldestEntry();
+
+  const Instance* instance_;
+  uint64_t instance_fp_;
+  // Fingerprint -> entries (collisions resolved by model_text equality).
+  std::unordered_map<uint64_t, std::vector<Entry>> cache_;
+  // Insertion order of (fingerprint, model_text), oldest first — the
+  // FIFO eviction queue.
+  std::vector<std::pair<uint64_t, std::string>> insertion_order_;
+  size_t max_cached_groundings_ = 16;
+  CacheStats stats_;
+};
+
+}  // namespace carl
+
+#endif  // CARL_CORE_QUERY_SESSION_H_

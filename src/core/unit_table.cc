@@ -7,6 +7,7 @@
 
 #include "common/logging.h"
 #include "common/str_util.h"
+#include "exec/parallel.h"
 
 namespace carl {
 
@@ -185,13 +186,32 @@ Result<UnitTable> BuildUnitTable(const GroundedModel& grounded,
   const std::vector<Tuple>& units =
       grounded.instance().Rows(schema.attribute(plan.treatment).predicate);
 
-  // Pass 1: resolve every unit, keep contexts and raw groups for fitting.
+  // Pass 1: resolve every unit in parallel — contexts land in per-unit
+  // slots, so the kept order (and with it every downstream column) is
+  // identical for any thread count. NodeValue reads are precomputed at
+  // grounding time, making this loop side-effect free.
+  ExecContext& exec = ExecContext::Global();
+  std::vector<std::optional<UnitContext>> raw(units.size());
+  std::vector<Status> chunk_status(exec.NumChunks(units.size()));
+  ParallelFor(exec, units.size(), [&](size_t begin, size_t end,
+                                      size_t chunk) {
+    for (size_t i = begin; i < end; ++i) {
+      Result<std::optional<UnitContext>> ctx =
+          ComputeUnitContext(grounded, plan, units[i]);
+      if (!ctx.ok()) {
+        chunk_status[chunk] = ctx.status();
+        return;
+      }
+      raw[i] = std::move(*ctx);
+    }
+  });
+  for (const Status& s : chunk_status) CARL_RETURN_IF_ERROR(s);
+
   std::vector<const Tuple*> kept_units;
   std::vector<UnitContext> contexts;
   size_t dropped = 0;
-  for (const Tuple& unit : units) {
-    CARL_ASSIGN_OR_RETURN(std::optional<UnitContext> ctx,
-                          ComputeUnitContext(grounded, plan, unit));
+  for (size_t i = 0; i < units.size(); ++i) {
+    std::optional<UnitContext>& ctx = raw[i];
     if (!ctx.has_value()) {
       ++dropped;
       continue;
@@ -200,7 +220,7 @@ Result<UnitTable> BuildUnitTable(const GroundedModel& grounded,
       ++dropped;
       continue;
     }
-    kept_units.push_back(&unit);
+    kept_units.push_back(&units[i]);
     contexts.push_back(std::move(*ctx));
   }
   if (contexts.empty()) {

@@ -1,0 +1,63 @@
+#include "exec/parallel.h"
+
+#include <algorithm>
+#include <atomic>
+#include <condition_variable>
+#include <memory>
+#include <mutex>
+
+namespace carl {
+namespace {
+
+// Shared between the calling thread and pool helpers. Heap-allocated and
+// reference-counted so a helper scheduled after the loop already finished
+// can still safely observe "no chunks left" and exit.
+struct LoopState {
+  std::vector<std::pair<size_t, size_t>> chunks;
+  std::function<void(size_t, size_t, size_t)> body;
+  std::atomic<size_t> next{0};
+  std::mutex mu;
+  std::condition_variable done_cv;
+  size_t remaining = 0;
+
+  void RunChunks() {
+    for (;;) {
+      size_t c = next.fetch_add(1, std::memory_order_relaxed);
+      if (c >= chunks.size()) return;
+      body(chunks[c].first, chunks[c].second, c);
+      std::lock_guard<std::mutex> lock(mu);
+      if (--remaining == 0) done_cv.notify_all();
+    }
+  }
+};
+
+}  // namespace
+
+void ParallelFor(ExecContext& ctx, size_t n,
+                 const std::function<void(size_t, size_t, size_t)>& body) {
+  std::vector<std::pair<size_t, size_t>> chunks = ctx.Chunks(n);
+  if (chunks.empty()) return;
+  if (ctx.serial() || chunks.size() == 1) {
+    for (size_t c = 0; c < chunks.size(); ++c) {
+      body(chunks[c].first, chunks[c].second, c);
+    }
+    return;
+  }
+
+  auto state = std::make_shared<LoopState>();
+  state->chunks = std::move(chunks);
+  state->body = body;
+  state->remaining = state->chunks.size();
+
+  size_t helpers = std::min(static_cast<size_t>(ctx.threads()) - 1,
+                            state->chunks.size() - 1);
+  for (size_t h = 0; h < helpers; ++h) {
+    ctx.pool().Submit([state] { state->RunChunks(); });
+  }
+  state->RunChunks();
+
+  std::unique_lock<std::mutex> lock(state->mu);
+  state->done_cv.wait(lock, [&] { return state->remaining == 0; });
+}
+
+}  // namespace carl

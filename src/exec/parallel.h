@@ -1,0 +1,50 @@
+// ParallelFor / ParallelReduce: the chunked data-parallel primitives of
+// carl_exec.
+//
+// Both primitives split [0, n) into the ExecContext's deterministic chunk
+// plan (a pure function of n, see exec_context.h), execute chunks on the
+// shared pool with the calling thread participating, and combine results
+// in chunk-index order. Consequences:
+//
+//  * ParallelFor bodies writing to disjoint, index-addressed slots produce
+//    results independent of the thread count;
+//  * ParallelReduce folds partials left-to-right over the fixed chunk
+//    plan, so even floating-point reductions are bit-identical for every
+//    thread count (including 1).
+//
+// Bodies must not throw; propagate failures through Result slots instead.
+
+#ifndef CARL_EXEC_PARALLEL_H_
+#define CARL_EXEC_PARALLEL_H_
+
+#include <cstddef>
+#include <functional>
+#include <vector>
+
+#include "exec/exec_context.h"
+
+namespace carl {
+
+/// Runs `body(begin, end, chunk_index)` over every chunk of [0, n).
+/// Serial contexts (and single-chunk plans) run inline, in chunk order.
+void ParallelFor(ExecContext& ctx, size_t n,
+                 const std::function<void(size_t, size_t, size_t)>& body);
+
+/// Maps every chunk of [0, n) through `map(begin, end)` and folds the
+/// partials in chunk-index order: init op m0 op m1 ... Deterministic for
+/// any thread count.
+template <typename T, typename MapFn, typename ReduceFn>
+T ParallelReduce(ExecContext& ctx, size_t n, T init, const MapFn& map,
+                 const ReduceFn& reduce) {
+  std::vector<T> partials(ctx.NumChunks(n));
+  ParallelFor(ctx, n, [&](size_t begin, size_t end, size_t chunk) {
+    partials[chunk] = map(begin, end);
+  });
+  T result = std::move(init);
+  for (T& partial : partials) result = reduce(std::move(result), partial);
+  return result;
+}
+
+}  // namespace carl
+
+#endif  // CARL_EXEC_PARALLEL_H_

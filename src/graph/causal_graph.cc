@@ -5,28 +5,73 @@
 
 #include "common/logging.h"
 #include "common/str_util.h"
+#include "exec/parallel.h"
 
 namespace carl {
 
 const std::vector<NodeId> CausalGraph::kNoNodes = {};
 
 NodeId CausalGraph::AddNode(AttributeId attribute, Tuple args) {
-  GroundedAttribute key{attribute, std::move(args)};
-  auto it = index_.find(key);
-  if (it != index_.end()) return it->second;
+  auto& attr_index = index_[attribute];
+  auto it = attr_index.find(args);
+  if (it != attr_index.end()) return it->second;
   NodeId id = static_cast<NodeId>(nodes_.size());
-  nodes_.push_back(key);
+  nodes_.push_back(GroundedAttribute{attribute, args});
   parents_.emplace_back();
   children_.emplace_back();
-  index_.emplace(std::move(key), id);
+  attr_index.emplace(std::move(args), id);
   by_attribute_[attribute].push_back(id);
   return id;
 }
 
+void CausalGraph::AddNodesBulk(const std::vector<NodeBatch>& batches,
+                               ExecContext& ctx) {
+  // Lay out id ranges and pre-create the per-attribute containers so the
+  // parallel phase only touches pre-existing map elements.
+  std::vector<size_t> offsets(batches.size());
+  size_t total = nodes_.size();
+  for (size_t b = 0; b < batches.size(); ++b) {
+    const NodeBatch& batch = batches[b];
+    CARL_CHECK(batch.rows != nullptr);
+    CARL_CHECK(index_[batch.attribute].empty() &&
+               by_attribute_[batch.attribute].empty())
+        << "AddNodesBulk: attribute already has nodes";
+    offsets[b] = total;
+    total += batch.rows->size();
+  }
+  nodes_.resize(total);
+  parents_.resize(total);
+  children_.resize(total);
+
+  ParallelFor(ctx, batches.size(), [&](size_t begin, size_t end, size_t) {
+    for (size_t b = begin; b < end; ++b) {
+      const NodeBatch& batch = batches[b];
+      const std::vector<Tuple>& rows = *batch.rows;
+      auto& attr_index = index_[batch.attribute];
+      std::vector<NodeId>& ids = by_attribute_[batch.attribute];
+      attr_index.reserve(rows.size());
+      ids.reserve(rows.size());
+      for (size_t r = 0; r < rows.size(); ++r) {
+        NodeId id = static_cast<NodeId>(offsets[b] + r);
+        nodes_[id] = GroundedAttribute{batch.attribute, rows[r]};
+        attr_index.emplace(rows[r], id);
+        ids.push_back(id);
+      }
+      CARL_CHECK(attr_index.size() == rows.size())
+          << "AddNodesBulk: duplicate rows in batch";
+    }
+  });
+}
+
 NodeId CausalGraph::FindNode(AttributeId attribute, const Tuple& args) const {
-  GroundedAttribute key{attribute, args};
-  auto it = index_.find(key);
-  return it == index_.end() ? kInvalidNode : it->second;
+  auto attr_it = index_.find(attribute);
+  if (attr_it == index_.end()) return kInvalidNode;
+  auto it = attr_it->second.find(args);
+  return it == attr_it->second.end() ? kInvalidNode : it->second;
+}
+
+void CausalGraph::ReserveEdges(size_t expected) {
+  edge_set_.reserve(edge_set_.size() + expected);
 }
 
 void CausalGraph::AddEdge(NodeId from, NodeId to) {

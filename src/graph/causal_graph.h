@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "common/result.h"
+#include "exec/exec_context.h"
 #include "relational/schema.h"
 #include "relational/tuple.h"
 
@@ -33,22 +34,33 @@ struct GroundedAttribute {
   }
 };
 
-struct GroundedAttributeHash {
-  size_t operator()(const GroundedAttribute& g) const {
-    return TupleHash()(g.args) * 31 + static_cast<size_t>(g.attribute);
-  }
-};
-
 class CausalGraph {
  public:
   /// Interns a node; returns the existing id when already present.
   NodeId AddNode(AttributeId attribute, Tuple args);
+
+  /// One attribute's grounding set for AddNodesBulk. `rows` must outlive
+  /// the call and contain no duplicates (Instance::Rows qualifies).
+  struct NodeBatch {
+    AttributeId attribute = kInvalidAttribute;
+    const std::vector<Tuple>* rows = nullptr;
+  };
+
+  /// Bulk-interns one node per (batch attribute, row), assigning ids in
+  /// batch-then-row order — exactly the ids a serial AddNode loop over the
+  /// same batches would assign. Per-attribute indexes are built in
+  /// parallel on `ctx`. Batch attributes must not already have nodes and
+  /// must be pairwise distinct.
+  void AddNodesBulk(const std::vector<NodeBatch>& batches, ExecContext& ctx);
 
   /// Node id for A[x], or kInvalidNode.
   NodeId FindNode(AttributeId attribute, const Tuple& args) const;
 
   /// Adds a cause -> effect edge; duplicate edges are ignored.
   void AddEdge(NodeId from, NodeId to);
+
+  /// Pre-sizes the edge dedup set for an expected number of AddEdge calls.
+  void ReserveEdges(size_t expected);
 
   size_t num_nodes() const { return nodes_.size(); }
   size_t num_edges() const { return num_edges_; }
@@ -85,7 +97,10 @@ class CausalGraph {
   std::vector<GroundedAttribute> nodes_;
   std::vector<std::vector<NodeId>> parents_;
   std::vector<std::vector<NodeId>> children_;
-  std::unordered_map<GroundedAttribute, NodeId, GroundedAttributeHash> index_;
+  // Per-attribute tuple -> id maps: probes take const Tuple& (no copy) and
+  // AddNodesBulk can build the maps of distinct attributes concurrently.
+  std::unordered_map<AttributeId, std::unordered_map<Tuple, NodeId, TupleHash>>
+      index_;
   std::unordered_set<uint64_t> edge_set_;
   std::unordered_map<AttributeId, std::vector<NodeId>> by_attribute_;
   size_t num_edges_ = 0;

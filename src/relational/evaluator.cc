@@ -131,6 +131,41 @@ class Searcher {
     Recurse(0, leaf);
   }
 
+  // The root atom the search would place first, and its candidate row
+  // count — the shard domain. atom stays -1 for atom-less queries.
+  struct RootPlan {
+    int atom = -1;
+    size_t candidates = 0;
+  };
+  RootPlan PlanRoot() {
+    RootPlan plan;
+    if (query_.atoms.empty()) return plan;
+    plan.atom = PickAtom();
+    CARL_DCHECK(plan.atom >= 0);
+    const CompiledAtom& atom = query_.atoms[plan.atom];
+    std::vector<int> bound_positions;
+    Tuple key;
+    for (size_t p = 0; p < atom.terms.size(); ++p) {
+      const CompiledTerm& t = atom.terms[p];
+      if (!t.is_var && t.unseen_constant) return plan;  // zero candidates
+      if (TermBound(t)) {
+        bound_positions.push_back(static_cast<int>(p));
+        key.push_back(TermValue(t));
+      }
+    }
+    plan.candidates =
+        instance_.Match(atom.predicate, bound_positions, key).size();
+    return plan;
+  }
+
+  // Restricts the search to rows [begin, end) of the root atom's candidate
+  // set. Must be called before Run, with the atom from PlanRoot.
+  void RestrictRoot(int atom, size_t begin, size_t end) {
+    root_atom_ = atom;
+    root_begin_ = begin;
+    root_end_ = end;
+  }
+
   const std::vector<SymbolId>& assignment() const { return assignment_; }
 
  private:
@@ -207,7 +242,8 @@ class Searcher {
       if (!leaf(assignment_)) stop_ = true;
       return;
     }
-    int ai = PickAtom();
+    bool at_root = atoms_placed == 0 && root_atom_ >= 0;
+    int ai = at_root ? root_atom_ : PickAtom();
     CARL_DCHECK(ai >= 0);
     const CompiledAtom& atom = query_.atoms[ai];
     atom_done_[ai] = true;
@@ -225,10 +261,19 @@ class Searcher {
       }
     }
     if (!unseen) {
-      const std::vector<uint32_t>& rows =
+      const std::vector<uint32_t>& all_rows =
           instance_.Match(atom.predicate, bound_positions, key);
+      const uint32_t* row_begin = all_rows.data();
+      const uint32_t* row_end = row_begin + all_rows.size();
+      if (at_root) {
+        // Shard restriction: only this slice of the candidate rows.
+        CARL_DCHECK(root_end_ <= all_rows.size());
+        row_end = row_begin + root_end_;
+        row_begin += root_begin_;
+      }
       const std::vector<Tuple>& all = instance_.Rows(atom.predicate);
-      for (uint32_t r : rows) {
+      for (const uint32_t* rp = row_begin; rp != row_end; ++rp) {
+        uint32_t r = *rp;
         if (stop_) break;
         const Tuple& row = all[r];
         // Bind free positions; verify intra-atom repeated variables.
@@ -263,6 +308,9 @@ class Searcher {
   std::vector<bool> atom_done_;
   std::vector<bool> constraint_done_;
   bool stop_ = false;
+  int root_atom_ = -1;  // >= 0: fixed root with a candidate-row slice
+  size_t root_begin_ = 0;
+  size_t root_end_ = 0;
 };
 
 }  // namespace
@@ -292,6 +340,57 @@ Result<std::vector<Tuple>> QueryEvaluator::Evaluate(
   std::unordered_set<Tuple, TupleHash> seen;
   std::vector<Tuple> results;
   Searcher searcher(*instance_, compiled);
+  searcher.Run([&](const std::vector<SymbolId>& assignment) {
+    Tuple projected;
+    projected.reserve(projection.size());
+    for (int v : projection) projected.push_back(assignment[v]);
+    if (seen.insert(projected).second) results.push_back(std::move(projected));
+    return true;
+  });
+  return results;
+}
+
+Result<size_t> QueryEvaluator::CountRootCandidates(
+    const ConjunctiveQuery& query) const {
+  Compiler compiler(*instance_);
+  CARL_ASSIGN_OR_RETURN(CompiledQuery compiled, compiler.Compile(query));
+  Searcher searcher(*instance_, compiled);
+  return searcher.PlanRoot().candidates;
+}
+
+Result<std::vector<Tuple>> QueryEvaluator::EvaluateShard(
+    const ConjunctiveQuery& query,
+    const std::vector<std::string>& output_vars, size_t shard,
+    size_t num_shards) const {
+  CARL_CHECK(num_shards >= 1 && shard < num_shards);
+  Compiler compiler(*instance_);
+  CARL_ASSIGN_OR_RETURN(CompiledQuery compiled, compiler.Compile(query));
+
+  std::vector<int> projection;
+  projection.reserve(output_vars.size());
+  for (const std::string& v : output_vars) {
+    auto it = compiled.var_ids.find(v);
+    if (it == compiled.var_ids.end()) {
+      return Status::InvalidArgument("output variable " + v +
+                                     " does not occur in the query");
+    }
+    projection.push_back(it->second);
+  }
+
+  Searcher searcher(*instance_, compiled);
+  Searcher::RootPlan plan = searcher.PlanRoot();
+  if (plan.atom < 0) {
+    // Atom-less query: the whole result belongs to shard 0.
+    if (shard != 0) return std::vector<Tuple>();
+  } else {
+    size_t begin = plan.candidates * shard / num_shards;
+    size_t end = plan.candidates * (shard + 1) / num_shards;
+    if (begin >= end) return std::vector<Tuple>();
+    searcher.RestrictRoot(plan.atom, begin, end);
+  }
+
+  std::unordered_set<Tuple, TupleHash> seen;
+  std::vector<Tuple> results;
   searcher.Run([&](const std::vector<SymbolId>& assignment) {
     Tuple projected;
     projected.reserve(projection.size());

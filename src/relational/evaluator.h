@@ -36,6 +36,22 @@ class QueryEvaluator {
       const ConjunctiveQuery& query,
       const std::vector<std::string>& output_vars) const;
 
+  /// Number of candidate rows of the query's root atom — the atom the
+  /// join would schedule first, chosen deterministically. This is the
+  /// domain EvaluateShard partitions. Queries without atoms report 0.
+  Result<size_t> CountRootCandidates(const ConjunctiveQuery& query) const;
+
+  /// Evaluates the `shard`-th of `num_shards` contiguous partitions of the
+  /// root atom's candidate rows. Results are deduplicated within the
+  /// shard and returned in enumeration order; concatenating all shards in
+  /// shard order and keeping first occurrences reproduces Evaluate()
+  /// exactly, for any num_shards. Safe to call from concurrent threads on
+  /// the same evaluator/instance.
+  Result<std::vector<Tuple>> EvaluateShard(
+      const ConjunctiveQuery& query,
+      const std::vector<std::string>& output_vars, size_t shard,
+      size_t num_shards) const;
+
   /// Boolean query: does any satisfying assignment exist?
   Result<bool> Ask(const ConjunctiveQuery& query) const;
 

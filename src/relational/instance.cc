@@ -1,5 +1,6 @@
 #include "relational/instance.h"
 
+#include <mutex>
 #include <sstream>
 
 #include "common/logging.h"
@@ -38,6 +39,7 @@ Status Instance::AddFactIds(PredicateId predicate, Tuple args) {
   if (inserted) {
     relations_[predicate].rows.push_back(std::move(args));
     indexes_[predicate].clear();  // invalidate cached indexes
+    ++generation_;
   }
   return Status::OK();
 }
@@ -62,6 +64,7 @@ Status Instance::SetAttributeIds(AttributeId attribute, Tuple args,
                   p.arity(), args.size()));
   }
   attribute_data_[attribute][std::move(args)] = std::move(value);
+  ++generation_;
   return Status::OK();
 }
 
@@ -96,7 +99,14 @@ const Instance::PositionIndex& Instance::GetOrBuildIndex(
     key.push_back(',');
   }
   auto& per_pred = indexes_[predicate];
-  auto it = per_pred.find(key);
+  {
+    std::shared_lock<std::shared_mutex> read_lock(index_mu_);
+    auto it = per_pred.find(key);
+    if (it != per_pred.end()) return it->second;
+  }
+
+  std::unique_lock<std::shared_mutex> write_lock(index_mu_);
+  auto it = per_pred.find(key);  // raced builders: first one wins
   if (it != per_pred.end()) return it->second;
 
   PositionIndex index;

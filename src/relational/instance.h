@@ -13,6 +13,7 @@
 
 #include <cstdint>
 #include <optional>
+#include <shared_mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -81,7 +82,9 @@ class Instance {
 
   /// Row indexes of `predicate` whose values at `positions` equal `key`
   /// (in the same order). Builds and caches a hash index per position set.
-  /// An empty position set returns all rows.
+  /// An empty position set returns all rows. Safe to call from concurrent
+  /// readers (index builds are serialized internally); concurrent with
+  /// AddFact/SetAttribute it is not.
   const std::vector<uint32_t>& Match(PredicateId predicate,
                                      const std::vector<int>& positions,
                                      const Tuple& key) const;
@@ -90,6 +93,12 @@ class Instance {
   size_t TotalFacts() const;
   /// Total attribute value count.
   size_t TotalAttributeValues() const;
+
+  /// Mutation generation: bumped by every successful fact insertion and
+  /// attribute write (including in-place value overwrites). Cached
+  /// consumers (QuerySession) compare generations to detect staleness
+  /// without scanning the data.
+  uint64_t generation() const { return generation_; }
 
   size_t NumConstants() const { return interner_.size(); }
 
@@ -107,12 +116,16 @@ class Instance {
 
   const Schema* schema_;
   StringInterner interner_;
+  uint64_t generation_ = 0;
   std::vector<Relation> relations_;                    // by PredicateId
   std::vector<std::unordered_map<Tuple, bool, TupleHash>> fact_set_;  // dedupe
   std::vector<std::unordered_map<Tuple, Value, TupleHash>> attribute_data_;
 
-  // Index cache: per predicate, keyed by the position list.
+  // Index cache: per predicate, keyed by the position list. Guarded by
+  // index_mu_ so parallel query evaluation can share one instance; element
+  // references stay valid across inserts (node-based map).
   mutable std::vector<std::unordered_map<std::string, PositionIndex>> indexes_;
+  mutable std::shared_mutex index_mu_;
 
   static const std::vector<uint32_t> kEmptyMatch;
 };

@@ -26,6 +26,14 @@ struct BootstrapResult {
 /// Draws `replicates` resamples of row indices [0, n) with replacement and
 /// evaluates `statistic` on each. Requires at least one successful
 /// replicate.
+///
+/// Runs on ExecContext::Global(). With threads == 1 the replicates share
+/// one sequential generator, reproducing the historical serial draws
+/// bit-for-bit. With threads > 1 each replicate draws from its own RNG
+/// stream (ExecContext::StreamSeed(seed, replicate)), so results are
+/// deterministic and identical for every parallel thread count — but the
+/// draws differ from the serial sequence. `statistic` must be safe to
+/// call concurrently in the parallel case.
 Result<BootstrapResult> Bootstrap(
     size_t n, int replicates, uint64_t seed,
     const std::function<Result<double>(const std::vector<size_t>&)>&

@@ -1,0 +1,500 @@
+// carl_exec determinism suite: chunk-plan invariants, ParallelFor /
+// ParallelReduce semantics, RNG stream derivation, and — the load-bearing
+// guarantee — that grounding, unit tables, and the bootstrap produce
+// identical results for every thread count (grounding equivalence is
+// checked as canonical-form graph equality on the review and MIMIC
+// datasets). Also covers QuerySession caching: repeated groundings hit,
+// derived-aggregation re-groundings are shared across engines, and value
+// columns memoize.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "carl/carl.h"
+#include "datagen/mimic.h"
+#include "datagen/review_toy.h"
+
+namespace carl {
+namespace {
+
+// Restores the previous global thread count on scope exit so tests
+// cannot leak a thread configuration into each other (the TSan CI job
+// runs this binary with CARL_THREADS=4 and must stay parallel).
+class ScopedThreads {
+ public:
+  explicit ScopedThreads(int threads)
+      : prev_(ExecContext::Global().threads()) {
+    ExecContext::Global().set_threads(threads);
+  }
+  ~ScopedThreads() { ExecContext::Global().set_threads(prev_); }
+
+ private:
+  int prev_;
+};
+
+// ---------------------------------------------------------------------------
+// Chunk plan + primitives
+// ---------------------------------------------------------------------------
+
+TEST(ExecContextTest, ChunkPlanCoversRangeInOrder) {
+  ExecContext ctx(4);
+  for (size_t n : {0ul, 1ul, 7ul, 64ul, 65ul, 1000ul, 123457ul}) {
+    std::vector<std::pair<size_t, size_t>> chunks = ctx.Chunks(n);
+    ASSERT_EQ(chunks.size(), ctx.NumChunks(n));
+    size_t expected_begin = 0;
+    for (const auto& [begin, end] : chunks) {
+      EXPECT_EQ(begin, expected_begin);
+      EXPECT_LT(begin, end);
+      expected_begin = end;
+    }
+    EXPECT_EQ(expected_begin, n);
+  }
+}
+
+TEST(ExecContextTest, ChunkPlanIndependentOfThreadCount) {
+  ExecContext serial(1), quad(4), wide(32);
+  for (size_t n : {1ul, 100ul, 5000ul, 123457ul}) {
+    EXPECT_EQ(serial.Chunks(n), quad.Chunks(n));
+    EXPECT_EQ(serial.Chunks(n), wide.Chunks(n));
+  }
+}
+
+TEST(ExecContextTest, StreamSeedsAreStableAndDistinct) {
+  uint64_t s0 = ExecContext::StreamSeed(42, 0);
+  EXPECT_EQ(s0, ExecContext::StreamSeed(42, 0));
+  std::vector<uint64_t> seeds;
+  for (uint64_t i = 0; i < 100; ++i) {
+    seeds.push_back(ExecContext::StreamSeed(42, i));
+  }
+  std::sort(seeds.begin(), seeds.end());
+  EXPECT_EQ(std::unique(seeds.begin(), seeds.end()), seeds.end());
+  EXPECT_NE(ExecContext::StreamSeed(42, 1), ExecContext::StreamSeed(43, 1));
+}
+
+TEST(ParallelForTest, VisitsEveryIndexExactlyOnce) {
+  ExecContext ctx(4);
+  const size_t n = 100000;
+  std::vector<std::atomic<int>> visits(n);
+  ParallelFor(ctx, n, [&](size_t begin, size_t end, size_t) {
+    for (size_t i = begin; i < end; ++i) {
+      visits[i].fetch_add(1, std::memory_order_relaxed);
+    }
+  });
+  for (size_t i = 0; i < n; ++i) {
+    ASSERT_EQ(visits[i].load(), 1) << "index " << i;
+  }
+}
+
+TEST(ParallelForTest, ChunkIndexMatchesThePlan) {
+  ExecContext ctx(4);
+  const size_t n = 12345;
+  std::vector<std::pair<size_t, size_t>> plan = ctx.Chunks(n);
+  std::vector<std::pair<size_t, size_t>> observed(plan.size());
+  ParallelFor(ctx, n, [&](size_t begin, size_t end, size_t chunk) {
+    observed[chunk] = {begin, end};
+  });
+  EXPECT_EQ(observed, plan);
+}
+
+TEST(ParallelForTest, EmptyRangeRunsNothing) {
+  ExecContext ctx(4);
+  std::atomic<int> calls{0};
+  ParallelFor(ctx, 0, [&](size_t, size_t, size_t) { calls++; });
+  EXPECT_EQ(calls.load(), 0);
+}
+
+TEST(ParallelReduceTest, FloatingPointSumBitIdenticalAcrossThreadCounts) {
+  const size_t n = 54321;
+  std::vector<double> data(n);
+  for (size_t i = 0; i < n; ++i) data[i] = 0.1 * static_cast<double>(i + 1);
+  auto sum_with = [&](int threads) {
+    ExecContext ctx(threads);
+    return ParallelReduce<double>(
+        ctx, n, 0.0,
+        [&](size_t begin, size_t end) {
+          double s = 0.0;
+          for (size_t i = begin; i < end; ++i) s += data[i];
+          return s;
+        },
+        [](double a, double b) { return a + b; });
+  };
+  double serial = sum_with(1);
+  EXPECT_EQ(serial, sum_with(2));  // exact: same chunk plan, same fold order
+  EXPECT_EQ(serial, sum_with(4));
+  EXPECT_EQ(serial, sum_with(16));
+}
+
+// ---------------------------------------------------------------------------
+// Grounding / unit-table equivalence
+// ---------------------------------------------------------------------------
+
+// Canonical form: nodes, edges, and values as sorted name strings — equal
+// canonical forms mean the graphs are isomorphic under the only sensible
+// isomorphism (grounded-attribute identity).
+struct CanonicalGraph {
+  std::vector<std::string> nodes;
+  std::vector<std::string> edges;
+  std::vector<std::string> values;
+
+  bool operator==(const CanonicalGraph& o) const {
+    return nodes == o.nodes && edges == o.edges && values == o.values;
+  }
+};
+
+CanonicalGraph Canonicalize(const GroundedModel& grounded) {
+  CanonicalGraph canon;
+  const CausalGraph& graph = grounded.graph();
+  for (NodeId id = 0; id < static_cast<NodeId>(graph.num_nodes()); ++id) {
+    std::string name = grounded.NodeName(id);
+    canon.nodes.push_back(name);
+    for (NodeId p : graph.Parents(id)) {
+      canon.edges.push_back(grounded.NodeName(p) + " -> " + name);
+    }
+    std::optional<double> v = grounded.NodeValue(id);
+    canon.values.push_back(
+        name + " = " + (v.has_value() ? std::to_string(*v) : "missing"));
+  }
+  std::sort(canon.nodes.begin(), canon.nodes.end());
+  std::sort(canon.edges.begin(), canon.edges.end());
+  std::sort(canon.values.begin(), canon.values.end());
+  return canon;
+}
+
+Result<datagen::Dataset> SmallMimic() {
+  datagen::MimicConfig config;
+  config.num_patients = 3000;  // large enough to engage binding shards
+  config.num_caregivers = 120;
+  return datagen::GenerateMimic(config);
+}
+
+void ExpectGroundingEquivalence(const datagen::Dataset& data) {
+  Result<RelationalCausalModel> model =
+      RelationalCausalModel::Parse(*data.schema, data.model_text);
+  ASSERT_TRUE(model.ok()) << model.status();
+
+  Result<GroundedModel> serial = [&] {
+    ScopedThreads scoped(1);
+    return GroundModel(*data.instance, *model);
+  }();
+  ASSERT_TRUE(serial.ok()) << serial.status();
+  CanonicalGraph serial_canon = Canonicalize(*serial);
+  size_t serial_groundings = serial->num_groundings();
+
+  for (int threads : {2, 4}) {
+    ScopedThreads scoped(threads);
+    Result<GroundedModel> parallel = GroundModel(*data.instance, *model);
+    ASSERT_TRUE(parallel.ok()) << parallel.status();
+    EXPECT_EQ(parallel->graph().num_nodes(), serial->graph().num_nodes());
+    EXPECT_EQ(parallel->graph().num_edges(), serial->graph().num_edges());
+    EXPECT_EQ(parallel->num_groundings(), serial_groundings);
+    EXPECT_TRUE(Canonicalize(*parallel) == serial_canon)
+        << "grounded graph differs at threads=" << threads;
+  }
+}
+
+TEST(GroundingEquivalenceTest, ReviewToy) {
+  Result<datagen::Dataset> data = datagen::MakeReviewToy();
+  ASSERT_TRUE(data.ok());
+  ExpectGroundingEquivalence(*data);
+}
+
+TEST(GroundingEquivalenceTest, SimulatedMimic) {
+  Result<datagen::Dataset> data = SmallMimic();
+  ASSERT_TRUE(data.ok());
+  ExpectGroundingEquivalence(*data);
+}
+
+TEST(GroundingEquivalenceTest, NodeIdsIdenticalNotJustIsomorphic) {
+  // Stronger than the canonical check: the parallel merge preserves the
+  // serial interning order, so even raw node ids match.
+  Result<datagen::Dataset> data = SmallMimic();
+  ASSERT_TRUE(data.ok());
+  Result<RelationalCausalModel> model =
+      RelationalCausalModel::Parse(*data->schema, data->model_text);
+  ASSERT_TRUE(model.ok());
+
+  Result<GroundedModel> serial = [&] {
+    ScopedThreads scoped(1);
+    return GroundModel(*data->instance, *model);
+  }();
+  ASSERT_TRUE(serial.ok());
+  ScopedThreads scoped(4);
+  Result<GroundedModel> parallel = GroundModel(*data->instance, *model);
+  ASSERT_TRUE(parallel.ok());
+  ASSERT_EQ(parallel->graph().num_nodes(), serial->graph().num_nodes());
+  for (NodeId id = 0; id < static_cast<NodeId>(serial->graph().num_nodes());
+       ++id) {
+    ASSERT_TRUE(serial->graph().node(id) == parallel->graph().node(id))
+        << "node " << id;
+    ASSERT_EQ(serial->graph().Parents(id), parallel->graph().Parents(id))
+        << "parents of node " << id;
+  }
+}
+
+TEST(UnitTableEquivalenceTest, MimicColumnsBitIdentical) {
+  Result<datagen::Dataset> data = SmallMimic();
+  ASSERT_TRUE(data.ok());
+  Result<CausalQuery> query = ParseQuery("Death[P] <= SelfPay[P]?");
+  ASSERT_TRUE(query.ok());
+
+  auto build = [&]() -> Result<UnitTable> {
+    Result<RelationalCausalModel> model =
+        RelationalCausalModel::Parse(*data->schema, data->model_text);
+    CARL_RETURN_IF_ERROR(model.status());
+    CARL_ASSIGN_OR_RETURN(
+        std::unique_ptr<CarlEngine> engine,
+        CarlEngine::Create(data->instance.get(), std::move(*model)));
+    return engine->BuildUnitTableForQuery(*query);
+  };
+
+  Result<UnitTable> serial = [&] {
+    ScopedThreads scoped(1);
+    return build();
+  }();
+  ASSERT_TRUE(serial.ok()) << serial.status();
+  ScopedThreads scoped(4);
+  Result<UnitTable> parallel = build();
+  ASSERT_TRUE(parallel.ok()) << parallel.status();
+
+  ASSERT_EQ(serial->data.column_names(), parallel->data.column_names());
+  ASSERT_EQ(serial->data.num_rows(), parallel->data.num_rows());
+  EXPECT_EQ(serial->dropped_units, parallel->dropped_units);
+  EXPECT_EQ(serial->units, parallel->units);
+  for (const std::string& col : serial->data.column_names()) {
+    EXPECT_EQ(serial->data.Column(col), parallel->data.Column(col))
+        << "column " << col;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Bootstrap determinism
+// ---------------------------------------------------------------------------
+
+TEST(BootstrapParallelTest, DeterministicAcrossParallelThreadCounts) {
+  std::vector<double> data(500);
+  for (size_t i = 0; i < data.size(); ++i) {
+    data[i] = static_cast<double>(i % 17);
+  }
+  auto statistic = [&](const std::vector<size_t>& idx) -> Result<double> {
+    double s = 0;
+    for (size_t i : idx) s += data[i];
+    return s / static_cast<double>(idx.size());
+  };
+  auto run = [&](int threads) {
+    ScopedThreads scoped(threads);
+    Result<BootstrapResult> b = Bootstrap(data.size(), 100, 7, statistic);
+    EXPECT_TRUE(b.ok());
+    return b->samples;
+  };
+  std::vector<double> two = run(2);
+  EXPECT_EQ(two.size(), 100u);
+  EXPECT_EQ(two, run(4));
+  EXPECT_EQ(two, run(8));
+}
+
+// ---------------------------------------------------------------------------
+// QuerySession cache
+// ---------------------------------------------------------------------------
+
+TEST(QuerySessionTest, RepeatedGroundingHitsTheCache) {
+  Result<datagen::Dataset> data = datagen::MakeReviewToy();
+  ASSERT_TRUE(data.ok());
+  Result<RelationalCausalModel> model =
+      RelationalCausalModel::Parse(*data->schema, data->model_text);
+  ASSERT_TRUE(model.ok());
+
+  QuerySession session(data->instance.get());
+  Result<std::shared_ptr<const GroundedModel>> first = session.Ground(*model);
+  ASSERT_TRUE(first.ok()) << first.status();
+  Result<std::shared_ptr<const GroundedModel>> second =
+      session.Ground(*model);
+  ASSERT_TRUE(second.ok());
+  EXPECT_EQ(first->get(), second->get());  // same cached object
+  EXPECT_EQ(session.stats().ground_misses, 1u);
+  EXPECT_EQ(session.stats().ground_hits, 1u);
+  EXPECT_EQ(session.num_cached_groundings(), 1u);
+}
+
+TEST(QuerySessionTest, DerivedAggregationRegroundSharedAcrossEngines) {
+  Result<datagen::Dataset> data = datagen::MakeReviewToy();
+  ASSERT_TRUE(data.ok());
+  auto session = std::make_shared<QuerySession>(data->instance.get());
+
+  auto answer_with_fresh_engine = [&]() -> Status {
+    Result<RelationalCausalModel> model =
+        RelationalCausalModel::Parse(*data->schema, data->model_text);
+    CARL_RETURN_IF_ERROR(model.status());
+    CARL_ASSIGN_OR_RETURN(
+        std::unique_ptr<CarlEngine> engine,
+        CarlEngine::Create(session, std::move(*model)));
+    // MAX_Score is not in the model: the engine derives the unifying
+    // aggregate (§4.3) and re-grounds the extended variant.
+    return engine->Answer("MAX_Score[A] <= Prestige[A]?").status();
+  };
+
+  ASSERT_TRUE(answer_with_fresh_engine().ok());
+  EXPECT_EQ(session->stats().ground_misses, 2u);  // base + MAX_Score variant
+  size_t misses_after_first = session->stats().ground_misses;
+
+  // A second engine repeats the pipeline: base grounding and the derived
+  // variant both come from the cache — zero new groundings.
+  ASSERT_TRUE(answer_with_fresh_engine().ok());
+  EXPECT_EQ(session->stats().ground_misses, misses_after_first);
+  EXPECT_GE(session->stats().ground_hits, 2u);
+}
+
+TEST(QuerySessionTest, ValueColumnsMemoizeAndMatchNodeValues) {
+  Result<datagen::Dataset> data = datagen::MakeReviewToy();
+  ASSERT_TRUE(data.ok());
+  Result<RelationalCausalModel> model =
+      RelationalCausalModel::Parse(*data->schema, data->model_text);
+  ASSERT_TRUE(model.ok());
+
+  QuerySession session(data->instance.get());
+  Result<std::shared_ptr<const GroundedModel>> grounded =
+      session.Ground(*model);
+  ASSERT_TRUE(grounded.ok());
+  Result<AttributeId> score =
+      model->extended_schema().FindAttribute("Score");
+  ASSERT_TRUE(score.ok());
+
+  Result<std::shared_ptr<const AttributeValueColumn>> col =
+      session.ValueColumn(*grounded, *score);
+  ASSERT_TRUE(col.ok()) << col.status();
+  EXPECT_EQ((*col)->nodes.size(), (*col)->values.size());
+  EXPECT_FALSE((*col)->nodes.empty());
+  for (size_t i = 0; i < (*col)->nodes.size(); ++i) {
+    EXPECT_EQ((*col)->values[i], (*grounded)->NodeValue((*col)->nodes[i]));
+  }
+
+  Result<std::shared_ptr<const AttributeValueColumn>> again =
+      session.ValueColumn(*grounded, *score);
+  ASSERT_TRUE(again.ok());
+  EXPECT_EQ(col->get(), again->get());  // memoized
+  EXPECT_EQ(session.stats().column_misses, 1u);
+  EXPECT_EQ(session.stats().column_hits, 1u);
+
+  // Unknown groundings and attributes are rejected, not miscached.
+  EXPECT_FALSE(session.ValueColumn(nullptr, *score).ok());
+  EXPECT_FALSE(session.ValueColumn(*grounded, kInvalidAttribute).ok());
+}
+
+TEST(QuerySessionTest, EvictionBoundsTheCache) {
+  Result<datagen::Dataset> data = datagen::MakeReviewToy();
+  ASSERT_TRUE(data.ok());
+  auto session = std::make_shared<QuerySession>(data->instance.get());
+  session->set_max_cached_groundings(1);
+
+  Result<RelationalCausalModel> model =
+      RelationalCausalModel::Parse(*data->schema, data->model_text);
+  ASSERT_TRUE(model.ok());
+  Result<std::unique_ptr<CarlEngine>> engine =
+      CarlEngine::Create(session, std::move(*model));
+  ASSERT_TRUE(engine.ok());
+  // The derived MAX_Score variant is a second grounding: with capacity 1
+  // the base grounding is evicted, the engine keeps its shared_ptr alive.
+  ASSERT_TRUE((*engine)->Answer("MAX_Score[A] <= Prestige[A]?").ok());
+  EXPECT_EQ(session->num_cached_groundings(), 1u);
+  EXPECT_GE(session->stats().ground_evictions, 1u);
+}
+
+TEST(QuerySessionTest, EngineSurvivesEvictionOfItsGrounding) {
+  Result<datagen::Dataset> data = datagen::MakeReviewToy();
+  ASSERT_TRUE(data.ok());
+  auto session = std::make_shared<QuerySession>(data->instance.get());
+  session->set_max_cached_groundings(1);
+
+  auto make_engine = [&]() -> std::unique_ptr<CarlEngine> {
+    Result<RelationalCausalModel> model =
+        RelationalCausalModel::Parse(*data->schema, data->model_text);
+    CARL_CHECK_OK(model.status());
+    Result<std::unique_ptr<CarlEngine>> engine =
+        CarlEngine::Create(session, std::move(*model));
+    CARL_CHECK_OK(engine.status());
+    return std::move(*engine);
+  };
+
+  std::unique_ptr<CarlEngine> holder_engine = make_engine();
+  Result<QueryAnswer> before =
+      holder_engine->Answer("AVG_Score[A] <= Prestige[A]?");
+  ASSERT_TRUE(before.ok());
+
+  // A second engine grounds a derived variant, evicting the first
+  // engine's grounding from the cache. The first engine's aliased
+  // shared_ptr must keep grounding AND model copy alive (the grounding
+  // references the model by pointer), so it keeps answering correctly.
+  std::unique_ptr<CarlEngine> evictor = make_engine();
+  ASSERT_TRUE(evictor->Answer("MAX_Score[A] <= Prestige[A]?").ok());
+  EXPECT_GE(session->stats().ground_evictions, 1u);
+
+  Result<QueryAnswer> after =
+      holder_engine->Answer("AVG_Score[A] <= Prestige[A]?");
+  ASSERT_TRUE(after.ok());
+  EXPECT_DOUBLE_EQ(after->ate->ate.value, before->ate->ate.value);
+}
+
+TEST(QuerySessionTest, ValueMutationInvalidatesCachedGroundings) {
+  Result<datagen::Dataset> data = datagen::MakeReviewToy();
+  ASSERT_TRUE(data.ok());
+  Result<RelationalCausalModel> model =
+      RelationalCausalModel::Parse(*data->schema, data->model_text);
+  ASSERT_TRUE(model.ok());
+
+  QuerySession session(data->instance.get());
+  Result<std::shared_ptr<const GroundedModel>> before =
+      session.Ground(*model);
+  ASSERT_TRUE(before.ok());
+
+  // Overwrite one existing Score value in place: no cardinality changes,
+  // but the value fold in the fingerprint must still notice.
+  Result<AttributeId> score =
+      model->extended_schema().FindAttribute("Score");
+  ASSERT_TRUE(score.ok());
+  const auto& score_map = data->instance->AttributeMap(*score);
+  ASSERT_FALSE(score_map.empty());
+  Tuple target = score_map.begin()->first;
+  ASSERT_TRUE(
+      data->instance->SetAttributeIds(*score, target, Value(123.5)).ok());
+
+  Result<std::shared_ptr<const GroundedModel>> after = session.Ground(*model);
+  ASSERT_TRUE(after.ok());
+  EXPECT_NE(before->get(), after->get());  // re-grounded, not served stale
+  EXPECT_EQ(session.stats().ground_misses, 2u);
+  NodeId changed = after->get()->graph().FindNode(*score, target);
+  ASSERT_NE(changed, kInvalidNode);
+  EXPECT_EQ(after->get()->NodeValue(changed), std::optional<double>(123.5));
+}
+
+TEST(QuerySessionTest, EngineAnswersIdenticalThroughSharedSession) {
+  Result<datagen::Dataset> data = datagen::MakeReviewToy();
+  ASSERT_TRUE(data.ok());
+  auto session = std::make_shared<QuerySession>(data->instance.get());
+
+  auto answer = [&](bool shared) -> Result<double> {
+    Result<RelationalCausalModel> model =
+        RelationalCausalModel::Parse(*data->schema, data->model_text);
+    CARL_RETURN_IF_ERROR(model.status());
+    Result<std::unique_ptr<CarlEngine>> engine =
+        shared ? CarlEngine::Create(session, std::move(*model))
+               : CarlEngine::Create(data->instance.get(), std::move(*model));
+    CARL_RETURN_IF_ERROR(engine.status());
+    CARL_ASSIGN_OR_RETURN(QueryAnswer qa,
+                          (*engine)->Answer("AVG_Score[A] <= Prestige[A]?"));
+    return qa.ate->ate.value;
+  };
+
+  Result<double> isolated = answer(false);
+  Result<double> cached_once = answer(true);
+  Result<double> cached_twice = answer(true);
+  ASSERT_TRUE(isolated.ok() && cached_once.ok() && cached_twice.ok());
+  EXPECT_DOUBLE_EQ(*isolated, *cached_once);
+  EXPECT_DOUBLE_EQ(*cached_once, *cached_twice);
+}
+
+}  // namespace
+}  // namespace carl
