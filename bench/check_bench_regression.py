@@ -1,0 +1,86 @@
+#!/usr/bin/env python3
+"""Diffs freshly collected BENCH_table*.json files against committed
+baselines and fails on large regressions of the gated metrics.
+
+Usage: check_bench_regression.py FRESH_DIR BASELINE_DIR [--factor 2.0]
+
+Only grounding and unit-table wall times are gated (the paper's Table 2
+hot paths); everything else is reported informationally. The factor is
+deliberately generous — CI machines differ from the baseline machine —
+so only order-of-magnitude regressions trip it. Absolute times below
+MIN_GATED_SECONDS are ignored (pure noise).
+"""
+
+import json
+import pathlib
+import sys
+
+GATED_METRICS = {"grounding_s", "unit_table_s"}
+MIN_GATED_SECONDS = 0.05
+TABLES = ["BENCH_table1.json", "BENCH_table2.json", "BENCH_table3.json"]
+
+
+def load(path):
+    metrics = {}
+    for line in path.read_text().splitlines():
+        line = line.strip()
+        if not line:
+            continue
+        entry = json.loads(line)
+        key = (entry["bench"], entry.get("label", ""), entry["metric"])
+        metrics[key] = entry["value"]
+    return metrics
+
+
+def main(argv):
+    if len(argv) < 3:
+        print(__doc__)
+        return 2
+    fresh_dir, baseline_dir = pathlib.Path(argv[1]), pathlib.Path(argv[2])
+    factor = 2.0
+    if "--factor" in argv:
+        factor = float(argv[argv.index("--factor") + 1])
+
+    failures = []
+    for name in TABLES:
+        fresh_path, base_path = fresh_dir / name, baseline_dir / name
+        if not base_path.exists():
+            print(f"[skip] no baseline {base_path}")
+            continue
+        if not fresh_path.exists():
+            failures.append(f"{name}: fresh collection missing ({fresh_path})")
+            continue
+        fresh, base = load(fresh_path), load(base_path)
+        for key, base_value in sorted(base.items()):
+            bench, label, metric = key
+            fresh_value = fresh.get(key)
+            if fresh_value is None:
+                failures.append(f"{name}: metric vanished: {key}")
+                continue
+            gated = (
+                metric in GATED_METRICS and base_value >= MIN_GATED_SECONDS
+            )
+            ratio = fresh_value / base_value if base_value > 0 else float("inf")
+            flag = " <-- REGRESSION" if gated and ratio > factor else ""
+            print(
+                f"{'[gate]' if gated else '[info]'} {bench}/{label}/{metric}: "
+                f"baseline {base_value:.4g} fresh {fresh_value:.4g} "
+                f"(x{ratio:.2f}){flag}"
+            )
+            if flag:
+                failures.append(
+                    f"{bench}/{label}/{metric}: {base_value:.4g} -> "
+                    f"{fresh_value:.4g} (>{factor}x)"
+                )
+
+    if failures:
+        print("\nFAIL: bench regression gate")
+        for f in failures:
+            print(f"  {f}")
+        return 1
+    print("\nOK: no gated regressions")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -1,0 +1,36 @@
+#!/usr/bin/env bash
+# Runs the table benches in --quick mode and collects their BENCH_JSON
+# lines into BENCH_table{1,2,3}.json (one JSON object per line).
+#
+#   bench/collect_bench.sh [BUILD_DIR] [OUT_DIR]
+#
+# BUILD_DIR defaults to ./build, OUT_DIR to the repo root (where the
+# committed baselines live). CARL_THREADS is honored; the committed
+# baselines were collected single-threaded (CARL_THREADS=1) so they are
+# comparable across machines with different core counts.
+#
+# Compare a fresh collection against the committed baselines with
+#   python3 bench/check_bench_regression.py <fresh_dir> <baseline_dir>
+
+set -euo pipefail
+
+BUILD_DIR="${1:-build}"
+OUT_DIR="${2:-$(cd "$(dirname "$0")/.." && pwd)}"
+
+for table in 1 2 3; do
+  case "$table" in
+    1) bin="bench_table1_unit_table" ;;
+    2) bin="bench_table2_runtime" ;;
+    3) bin="bench_table3_real_queries" ;;
+  esac
+  exe="$BUILD_DIR/$bin"
+  if [[ ! -x "$exe" ]]; then
+    echo "missing bench binary: $exe (build with -DCARL_BUILD_BENCH=ON)" >&2
+    exit 1
+  fi
+  out="$OUT_DIR/BENCH_table$table.json"
+  echo "== $bin --quick -> $out"
+  "$exe" --quick | sed -n 's/^BENCH_JSON //p' > "$out"
+  test -s "$out" || { echo "no BENCH_JSON lines from $bin" >&2; exit 1; }
+done
+echo "collected: $OUT_DIR/BENCH_table{1,2,3}.json"

@@ -58,7 +58,7 @@ Result<GroundTruthEffects> ComputeGroundTruth(
                         scm.Simulate(grounded, options.seed, {all(0.0)}));
 
   GroundTruthEffects out;
-  const std::vector<Tuple>& units =
+  const RelationView units =
       grounded.instance().Rows(schema.attribute(treatment).predicate);
   size_t limit = options.max_units == 0
                      ? units.size()

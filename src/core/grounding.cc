@@ -13,6 +13,8 @@ namespace {
 
 // Shards below this many root-candidate rows are not worth a task.
 constexpr size_t kMinRowsPerShard = 1024;
+// Node/edge merges below this many bindings run the plain serial loop.
+constexpr size_t kMinBindingsParallelMerge = 4096;
 
 // Distinguished variables of a rule: all variables appearing in the head
 // and body attribute references, in first-occurrence order.
@@ -33,50 +35,75 @@ std::vector<std::string> DistinguishedVars(
   return vars;
 }
 
-// Resolves an attribute reference into a grounded tuple under a binding of
-// the distinguished variables. Returns false if a constant in the ref was
-// never interned (no such grounding exists).
-bool ResolveArgs(const Instance& instance, const AttributeRef& ref,
-                 const std::unordered_map<std::string, size_t>& var_slots,
-                 const Tuple& binding, Tuple* out) {
-  out->clear();
-  out->reserve(ref.args.size());
+// An attribute reference compiled against the binding layout: each
+// argument is either a binding slot or a pre-interned constant, so
+// resolving a grounding is a flat array fill (no per-binding hash
+// lookups or string interning).
+struct CompiledRef {
+  AttributeId attribute = kInvalidAttribute;
+  std::vector<int> slots;            // >= 0: binding slot; -1: constant
+  std::vector<SymbolId> constants;   // aligned with slots
+  bool unresolvable = false;  // a constant was never interned -> no grounding
+
+  size_t arity() const { return slots.size(); }
+
+  // Fills out[0..arity) from a binding; false when unresolvable.
+  bool Resolve(const Tuple& binding, SymbolId* out) const {
+    if (unresolvable) return false;
+    for (size_t i = 0; i < slots.size(); ++i) {
+      out[i] = slots[i] >= 0 ? binding[slots[i]] : constants[i];
+    }
+    return true;
+  }
+};
+
+CompiledRef CompileRef(
+    const Instance& instance, AttributeId attribute, const AttributeRef& ref,
+    const std::unordered_map<std::string, size_t>& var_slots) {
+  CompiledRef out;
+  out.attribute = attribute;
+  out.slots.reserve(ref.args.size());
+  out.constants.reserve(ref.args.size());
   for (const Term& t : ref.args) {
     if (t.is_variable()) {
       auto it = var_slots.find(t.text);
       CARL_CHECK(it != var_slots.end())
           << "unbound variable in grounded ref: " << t.text;
-      out->push_back(binding[it->second]);
+      out.slots.push_back(static_cast<int>(it->second));
+      out.constants.push_back(kInvalidSymbol);
     } else {
       SymbolId id = instance.LookupConstant(t.text);
-      if (id == kInvalidSymbol) return false;
-      out->push_back(id);
+      if (id == kInvalidSymbol) out.unresolvable = true;
+      out.slots.push_back(-1);
+      out.constants.push_back(id);
     }
   }
-  return true;
+  return out;
 }
 
 // Enumerates a rule condition's bindings, sharding the root atom's
-// candidate rows across the pool when the input is large enough. Shard
+// candidate rows across the pool when the input is large enough. The
+// query is compiled once and the plan shared by every shard. Shard
 // outputs merge first-occurrence in shard order, which reproduces the
 // serial Evaluate() result exactly — so the binding sequence (and with it
 // every downstream node/edge id) is thread-count independent.
 Result<std::vector<Tuple>> EnumerateBindings(
     const QueryEvaluator& evaluator, const ConjunctiveQuery& where,
     const std::vector<std::string>& vars, ExecContext& ctx) {
-  if (ctx.serial()) return evaluator.Evaluate(where, vars);
+  CARL_ASSIGN_OR_RETURN(PreparedQuery prepared, evaluator.Prepare(where));
+  if (ctx.serial()) return evaluator.Evaluate(prepared, vars);
   CARL_ASSIGN_OR_RETURN(size_t candidates,
-                        evaluator.CountRootCandidates(where));
+                        evaluator.CountRootCandidates(prepared));
   size_t shards = std::min(static_cast<size_t>(ctx.threads()) * 4,
                            candidates / kMinRowsPerShard);
-  if (shards <= 1) return evaluator.Evaluate(where, vars);
+  if (shards <= 1) return evaluator.Evaluate(prepared, vars);
 
   std::vector<std::vector<Tuple>> shard_results(shards);
   std::vector<Status> shard_status(shards);
   ParallelFor(ctx, shards, [&](size_t begin, size_t end, size_t) {
     for (size_t s = begin; s < end; ++s) {
       Result<std::vector<Tuple>> r =
-          evaluator.EvaluateShard(where, vars, s, shards);
+          evaluator.EvaluateShard(prepared, vars, s, shards);
       if (r.ok()) {
         shard_results[s] = std::move(*r);
       } else {
@@ -98,6 +125,121 @@ Result<std::vector<Tuple>> EnumerateBindings(
     }
   }
   return bindings;
+}
+
+// Merges one rule's groundings into the graph, in binding order.
+//
+// `require_all` distinguishes the two rule kinds: causal rules skip only
+// the failing body edge (the head grounding still counts), aggregate
+// rules skip the whole binding unless head and source both resolve.
+//
+// Serial contexts (or small inputs) run the legacy loop. Parallel
+// contexts split the work in two phases: a parallel pass resolves every
+// reference and probes the graph's node interner read-only (the hash-
+// heavy part — after step 1's bulk build nearly every grounding already
+// has a node), then a serial splice walks the bindings in order, interns
+// the rare misses, and appends edges. The AddNode/AddEdge sequence of the
+// splice is exactly the serial loop's, so node ids, edge order, and
+// num_groundings are bit-identical for every thread count.
+void MergeRuleGroundings(const std::vector<Tuple>& bindings,
+                         const CompiledRef& head,
+                         const std::vector<CompiledRef>& body,
+                         bool require_all, ExecContext& ctx,
+                         CausalGraph* graph, size_t* num_groundings) {
+  size_t max_arity = head.arity();
+  for (const CompiledRef& b : body) max_arity = std::max(max_arity, b.arity());
+  std::vector<SymbolId> scratch(std::max<size_t>(max_arity, 1));
+  graph->ReserveEdges(bindings.size() * body.size());
+
+  if (ctx.serial() || bindings.size() < kMinBindingsParallelMerge) {
+    std::vector<SymbolId> body_scratch(scratch.size());
+    for (const Tuple& binding : bindings) {
+      if (!head.Resolve(binding, scratch.data())) continue;
+      if (require_all) {
+        bool all = true;
+        for (const CompiledRef& b : body) {
+          if (b.unresolvable) {
+            all = false;
+            break;
+          }
+        }
+        if (!all) continue;
+      }
+      NodeId head_node = graph->AddNode(
+          head.attribute, TupleView(scratch.data(), head.arity()));
+      for (const CompiledRef& b : body) {
+        if (!b.Resolve(binding, body_scratch.data())) continue;
+        NodeId body_node = graph->AddNode(
+            b.attribute, TupleView(body_scratch.data(), b.arity()));
+        graph->AddEdge(body_node, head_node);
+      }
+      ++*num_groundings;
+    }
+    return;
+  }
+
+  // Phase A (parallel): resolve + read-only node probe, results in
+  // per-binding slots.
+  enum : uint8_t { kSkip = 0, kFound = 1, kMiss = 2 };
+  const size_t nb = bindings.size();
+  const size_t nbody = body.size();
+  std::vector<NodeId> head_node(nb, kInvalidNode);
+  std::vector<uint8_t> head_state(nb, kSkip);
+  std::vector<NodeId> body_node(nb * nbody, kInvalidNode);
+  std::vector<uint8_t> body_state(nb * nbody, kSkip);
+  ParallelFor(ctx, nb, [&](size_t begin, size_t end, size_t) {
+    std::vector<SymbolId> buf(std::max<size_t>(max_arity, 1));
+    for (size_t i = begin; i < end; ++i) {
+      if (head.Resolve(bindings[i], buf.data())) {
+        NodeId n = graph->FindNode(head.attribute,
+                                   TupleView(buf.data(), head.arity()));
+        head_state[i] = n == kInvalidNode ? kMiss : kFound;
+        head_node[i] = n;
+      }
+      for (size_t b = 0; b < nbody; ++b) {
+        if (!body[b].Resolve(bindings[i], buf.data())) continue;
+        NodeId n = graph->FindNode(body[b].attribute,
+                                   TupleView(buf.data(), body[b].arity()));
+        body_state[i * nbody + b] = n == kInvalidNode ? kMiss : kFound;
+        body_node[i * nbody + b] = n;
+      }
+    }
+  });
+
+  // Phase B (serial splice): intern misses and append edges in binding
+  // order. A miss may have been interned by an earlier binding; AddNode
+  // dedupes.
+  for (size_t i = 0; i < nb; ++i) {
+    if (head_state[i] == kSkip) continue;
+    if (require_all) {
+      bool all = true;
+      for (size_t b = 0; b < nbody; ++b) {
+        if (body_state[i * nbody + b] == kSkip) {
+          all = false;
+          break;
+        }
+      }
+      if (!all) continue;
+    }
+    NodeId h = head_node[i];
+    if (head_state[i] == kMiss) {
+      head.Resolve(bindings[i], scratch.data());
+      h = graph->AddNode(head.attribute,
+                         TupleView(scratch.data(), head.arity()));
+    }
+    for (size_t b = 0; b < nbody; ++b) {
+      uint8_t state = body_state[i * nbody + b];
+      if (state == kSkip) continue;
+      NodeId n = body_node[i * nbody + b];
+      if (state == kMiss) {
+        body[b].Resolve(bindings[i], scratch.data());
+        n = graph->AddNode(body[b].attribute,
+                           TupleView(scratch.data(), body[b].arity()));
+      }
+      graph->AddEdge(n, h);
+    }
+    ++*num_groundings;
+  }
 }
 
 }  // namespace
@@ -125,8 +267,9 @@ void GroundedModel::FinalizeValues(const std::vector<NodeId>& topo_order) {
     for (size_t id = begin; id < end; ++id) {
       if (node_has_aggregate_[id]) continue;
       const GroundedAttribute& g = graph_.node(static_cast<NodeId>(id));
-      std::optional<Value> v = instance_->GetAttribute(g.attribute, g.args);
-      if (v.has_value() && v->is_numeric()) {
+      const Value* v = instance_->FindAttributeValue(
+          g.attribute, g.args.data(), g.args.size());
+      if (v != nullptr && v->is_numeric()) {
         value_cache_[id] = v->AsDouble();
         value_state_[id] = 2;
       }
@@ -173,12 +316,13 @@ Result<GroundedModel> GroundModel(const Instance& instance,
   batches.reserve(schema.attributes().size());
   for (const AttributeDef& attr : schema.attributes()) {
     batches.push_back(
-        CausalGraph::NodeBatch{attr.id, &instance.Rows(attr.predicate)});
+        CausalGraph::NodeBatch{attr.id, instance.Rows(attr.predicate)});
   }
   grounded.graph_.AddNodesBulk(batches, ctx);
 
-  // 2. Ground causal rules: enumerate bindings in parallel shards, then
-  // merge nodes and edges serially in binding order (deterministic).
+  // 2. Ground causal rules: enumerate bindings in parallel shards of one
+  // shared compiled plan, then merge nodes and edges in binding order
+  // (parallel resolve/probe + deterministic serial splice).
   for (const CausalRule& rule : model.rules()) {
     std::vector<const AttributeRef*> body;
     body.reserve(rule.body.size());
@@ -191,33 +335,20 @@ Result<GroundedModel> GroundModel(const Instance& instance,
                           EnumerateBindings(evaluator, rule.where, vars, ctx));
     CARL_ASSIGN_OR_RETURN(AttributeId head_attr,
                           schema.FindAttribute(rule.head.attribute));
-    std::vector<AttributeId> body_attrs;
+    CompiledRef head = CompileRef(instance, head_attr, rule.head, var_slots);
+    std::vector<CompiledRef> body_refs;
+    body_refs.reserve(rule.body.size());
     for (const AttributeRef& b : rule.body) {
       CARL_ASSIGN_OR_RETURN(AttributeId aid,
                             schema.FindAttribute(b.attribute));
-      body_attrs.push_back(aid);
+      body_refs.push_back(CompileRef(instance, aid, b, var_slots));
     }
-
-    grounded.graph_.ReserveEdges(bindings.size() * rule.body.size());
-    Tuple head_args, body_args;
-    for (const Tuple& binding : bindings) {
-      if (!ResolveArgs(instance, rule.head, var_slots, binding, &head_args)) {
-        continue;
-      }
-      NodeId head_node = grounded.graph_.AddNode(head_attr, head_args);
-      for (size_t b = 0; b < rule.body.size(); ++b) {
-        if (!ResolveArgs(instance, rule.body[b], var_slots, binding,
-                         &body_args)) {
-          continue;
-        }
-        NodeId body_node = grounded.graph_.AddNode(body_attrs[b], body_args);
-        grounded.graph_.AddEdge(body_node, head_node);
-      }
-      ++grounded.num_groundings_;
-    }
+    MergeRuleGroundings(bindings, head, body_refs, /*require_all=*/false,
+                        ctx, &grounded.graph_, &grounded.num_groundings_);
   }
 
-  // 3. Ground aggregate rules.
+  // 3. Ground aggregate rules (all-or-nothing per binding: head and
+  // source must both resolve).
   for (const AggregateRule& rule : model.aggregate_rules()) {
     std::vector<const AttributeRef*> body{&rule.source};
     std::vector<std::string> vars = DistinguishedVars(rule.head, body);
@@ -230,20 +361,11 @@ Result<GroundedModel> GroundModel(const Instance& instance,
                           schema.FindAttribute(rule.head.attribute));
     CARL_ASSIGN_OR_RETURN(AttributeId source_attr,
                           schema.FindAttribute(rule.source.attribute));
-
-    grounded.graph_.ReserveEdges(bindings.size());
-    Tuple head_args, source_args;
-    for (const Tuple& binding : bindings) {
-      if (!ResolveArgs(instance, rule.head, var_slots, binding, &head_args) ||
-          !ResolveArgs(instance, rule.source, var_slots, binding,
-                       &source_args)) {
-        continue;
-      }
-      NodeId head_node = grounded.graph_.AddNode(head_attr, head_args);
-      NodeId source_node = grounded.graph_.AddNode(source_attr, source_args);
-      grounded.graph_.AddEdge(source_node, head_node);
-      ++grounded.num_groundings_;
-    }
+    CompiledRef head = CompileRef(instance, head_attr, rule.head, var_slots);
+    std::vector<CompiledRef> source{
+        CompileRef(instance, source_attr, rule.source, var_slots)};
+    MergeRuleGroundings(bindings, head, source, /*require_all=*/true, ctx,
+                        &grounded.graph_, &grounded.num_groundings_);
   }
 
   // 4. Tag aggregate nodes with their kind.

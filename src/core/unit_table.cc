@@ -120,7 +120,7 @@ void CollectCovariateParents(const GroundedModel& grounded, NodeId t_node,
 
 Result<std::optional<UnitContext>> ComputeUnitContext(
     const GroundedModel& grounded, const RequestPlan& plan,
-    const Tuple& unit) {
+    TupleView unit) {
   const CausalGraph& graph = grounded.graph();
   UnitContext ctx;
 
@@ -183,7 +183,7 @@ Result<UnitTable> BuildUnitTable(const GroundedModel& grounded,
                                  const UnitTableOptions& options) {
   CARL_ASSIGN_OR_RETURN(RequestPlan plan, PlanRequest(grounded, request));
   const Schema& schema = grounded.schema();
-  const std::vector<Tuple>& units =
+  const RelationView units =
       grounded.instance().Rows(schema.attribute(plan.treatment).predicate);
 
   // Pass 1: resolve every unit in parallel — contexts land in per-unit
@@ -207,7 +207,7 @@ Result<UnitTable> BuildUnitTable(const GroundedModel& grounded,
   });
   for (const Status& s : chunk_status) CARL_RETURN_IF_ERROR(s);
 
-  std::vector<const Tuple*> kept_units;
+  std::vector<size_t> kept_rows;
   std::vector<UnitContext> contexts;
   size_t dropped = 0;
   for (size_t i = 0; i < units.size(); ++i) {
@@ -220,7 +220,7 @@ Result<UnitTable> BuildUnitTable(const GroundedModel& grounded,
       ++dropped;
       continue;
     }
-    kept_units.push_back(&units[i]);
+    kept_rows.push_back(i);
     contexts.push_back(std::move(*ctx));
   }
   if (contexts.empty()) {
@@ -268,21 +268,46 @@ Result<UnitTable> BuildUnitTable(const GroundedModel& grounded,
   for (auto& [attr, groups] : own_groups) groups.resize(n);
   for (auto& [attr, groups] : peer_groups) groups.resize(n);
 
-  // Pass 2: fit embeddings and emit columns.
+  // Pass 2: fit embeddings (one independent fit per attribute group, run
+  // in parallel — fits only read their own group and write their own
+  // embedding, and column naming below consumes them in the same stable
+  // std::map order for every thread count), then emit columns.
   std::vector<std::string> col_names{"y", "t"};
   std::shared_ptr<Embedding> peer_t_embedding;
   std::map<AttributeId, std::unique_ptr<Embedding>> own_embeddings;
   std::map<AttributeId, std::unique_ptr<Embedding>> peer_embeddings;
+
+  struct FitJob {
+    Embedding* embedding;
+    const std::vector<std::vector<double>>* groups;
+  };
+  std::vector<FitJob> fits;
+  if (table.relational) {
+    peer_t_embedding =
+        MakeEmbedding(options.embedding, options.embedding_options);
+    fits.push_back(FitJob{peer_t_embedding.get(), &peer_t_groups});
+  }
+  for (const auto& [attr, group] : own_groups) {
+    auto e = MakeEmbedding(options.embedding, options.embedding_options);
+    fits.push_back(FitJob{e.get(), &group});
+    own_embeddings[attr] = std::move(e);
+  }
+  for (const auto& [attr, group] : peer_groups) {
+    auto e = MakeEmbedding(options.embedding, options.embedding_options);
+    fits.push_back(FitJob{e.get(), &group});
+    peer_embeddings[attr] = std::move(e);
+  }
+  ParallelFor(exec, fits.size(), [&](size_t begin, size_t end, size_t) {
+    for (size_t f = begin; f < end; ++f) {
+      fits[f].embedding->Fit(*fits[f].groups);
+    }
+  });
 
   if (table.relational) {
     table.peer_count_col = "peer_count";
     table.peer_treated_count_col = "peer_treated_count";
     col_names.push_back(table.peer_count_col);
     col_names.push_back(table.peer_treated_count_col);
-
-    peer_t_embedding =
-        MakeEmbedding(options.embedding, options.embedding_options);
-    peer_t_embedding->Fit(peer_t_groups);
     for (const std::string& dim : peer_t_embedding->DimNames()) {
       std::string name = "peer_t_" + dim;
       table.peer_t_cols.push_back(name);
@@ -291,28 +316,20 @@ Result<UnitTable> BuildUnitTable(const GroundedModel& grounded,
     table.peer_t_embedding = peer_t_embedding;
   }
 
-  auto make_cov_embeddings =
-      [&](const std::map<AttributeId, std::vector<std::vector<double>>>&
-              groups,
-          std::map<AttributeId, std::unique_ptr<Embedding>>* embeddings,
+  auto name_cov_columns =
+      [&](const std::map<AttributeId, std::unique_ptr<Embedding>>& embeddings,
           const std::string& prefix, std::vector<std::string>* col_list) {
-        for (const auto& [attr, group] : groups) {
-          std::unique_ptr<Embedding> e =
-              MakeEmbedding(options.embedding, options.embedding_options);
-          e->Fit(group);
+        for (const auto& [attr, e] : embeddings) {
           const std::string& attr_name = schema.attribute(attr).name;
           for (const std::string& dim : e->DimNames()) {
             std::string name = prefix + attr_name + "_" + dim;
             col_list->push_back(name);
             col_names.push_back(name);
           }
-          (*embeddings)[attr] = std::move(e);
         }
       };
-  make_cov_embeddings(own_groups, &own_embeddings, "own_",
-                      &table.own_covariate_cols);
-  make_cov_embeddings(peer_groups, &peer_embeddings, "peer_",
-                      &table.peer_covariate_cols);
+  name_cov_columns(own_embeddings, "own_", &table.own_covariate_cols);
+  name_cov_columns(peer_embeddings, "peer_", &table.peer_covariate_cols);
 
   table.data = FlatTable(col_names);
   std::vector<double> row;
@@ -341,7 +358,7 @@ Result<UnitTable> BuildUnitTable(const GroundedModel& grounded,
       }
     }
     table.data.AddRow(row);
-    table.units.push_back(*kept_units[r]);
+    table.units.push_back(units[kept_rows[r]].ToTuple());
   }
   return table;
 }

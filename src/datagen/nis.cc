@@ -75,7 +75,37 @@ Result<Dataset> BuildSchemaAndModel() {
 Result<Dataset> GenerateNis(const NisConfig& config) {
   CARL_ASSIGN_OR_RETURN(Dataset data, BuildSchemaAndModel());
   Instance& db = *data.instance;
+  const Schema& schema = *data.schema;
   Rng rng(config.seed);
+
+  // Fast-path handles: resolve names once, insert by interned ids.
+  CARL_ASSIGN_OR_RETURN(PredicateId patient_p,
+                        schema.FindPredicate("Patient"));
+  CARL_ASSIGN_OR_RETURN(PredicateId hospital_p,
+                        schema.FindPredicate("Hospital"));
+  CARL_ASSIGN_OR_RETURN(PredicateId admitted_p,
+                        schema.FindPredicate("Admitted"));
+  CARL_ASSIGN_OR_RETURN(AttributeId age_a, schema.FindAttribute("Age"));
+  CARL_ASSIGN_OR_RETURN(AttributeId income_a, schema.FindAttribute("Income"));
+  CARL_ASSIGN_OR_RETURN(AttributeId chronic_a,
+                        schema.FindAttribute("Chronic"));
+  CARL_ASSIGN_OR_RETURN(AttributeId urban_a, schema.FindAttribute("Urban"));
+  CARL_ASSIGN_OR_RETURN(AttributeId severity_a,
+                        schema.FindAttribute("Severity"));
+  CARL_ASSIGN_OR_RETURN(AttributeId surgery_a,
+                        schema.FindAttribute("Surgery"));
+  CARL_ASSIGN_OR_RETURN(AttributeId to_large_a,
+                        schema.FindAttribute("AdmittedToLarge"));
+  CARL_ASSIGN_OR_RETURN(AttributeId los_a, schema.FindAttribute("Los"));
+  CARL_ASSIGN_OR_RETURN(AttributeId bill_a, schema.FindAttribute("Bill"));
+  CARL_ASSIGN_OR_RETURN(AttributeId highbill_a,
+                        schema.FindAttribute("HighBill"));
+  CARL_ASSIGN_OR_RETURN(AttributeId died_a, schema.FindAttribute("Died"));
+  CARL_ASSIGN_OR_RETURN(AttributeId large_a, schema.FindAttribute("Large"));
+  CARL_ASSIGN_OR_RETURN(AttributeId private_a,
+                        schema.FindAttribute("Private"));
+  CARL_ASSIGN_OR_RETURN(AttributeId teaching_a,
+                        schema.FindAttribute("Teaching"));
 
   // Hospitals. Size and ownership are independent so that ownership is not
   // a hidden confounder of the admission mechanism (the model's rules are
@@ -83,18 +113,20 @@ Result<Dataset> GenerateNis(const NisConfig& config) {
   std::vector<size_t> large_pool, small_pool;
   std::vector<bool> is_private(config.num_hospitals),
       is_teaching(config.num_hospitals);
+  std::vector<SymbolId> hospital_sym(config.num_hospitals);
   for (size_t h = 0; h < config.num_hospitals; ++h) {
-    std::string name = StrFormat("h%zu", h);
-    CARL_RETURN_IF_ERROR(db.AddFact("Hospital", {name}));
+    SymbolId sym = db.Intern(StrFormat("h%zu", h));
+    hospital_sym[h] = sym;
+    CARL_RETURN_IF_ERROR(db.AddFactSpan(hospital_p, &sym, 1));
     bool large = rng.Bernoulli(config.large_fraction);
     is_private[h] = rng.Bernoulli(0.55);
     is_teaching[h] = rng.Bernoulli(0.30);
     (large ? large_pool : small_pool).push_back(h);
-    CARL_RETURN_IF_ERROR(db.SetAttribute("Large", {name}, Value(large)));
+    CARL_RETURN_IF_ERROR(db.SetAttributeSpan(large_a, &sym, 1, Value(large)));
     CARL_RETURN_IF_ERROR(
-        db.SetAttribute("Private", {name}, Value(is_private[h])));
+        db.SetAttributeSpan(private_a, &sym, 1, Value(is_private[h])));
     CARL_RETURN_IF_ERROR(
-        db.SetAttribute("Teaching", {name}, Value(is_teaching[h])));
+        db.SetAttributeSpan(teaching_a, &sym, 1, Value(is_teaching[h])));
   }
   if (large_pool.empty() || small_pool.empty()) {
     return Status::FailedPrecondition(
@@ -109,26 +141,30 @@ Result<Dataset> GenerateNis(const NisConfig& config) {
       -config.large_highbill_effect / 0.10 * 2600.0;
 
   for (size_t p = 0; p < config.num_admissions; ++p) {
-    std::string pname = StrFormat("p%zu", p);
-    CARL_RETURN_IF_ERROR(db.AddFact("Patient", {pname}));
+    SymbolId pat = db.Intern(StrFormat("p%zu", p));
+    CARL_RETURN_IF_ERROR(db.AddFactSpan(patient_p, &pat, 1));
 
     double age = std::clamp(rng.Normal(56.0, 19.0), 18.0, 95.0);
     double income = std::max(0.5, rng.Normal(3.2, 1.1));  // $10k units
     bool chronic = rng.Bernoulli(Sigmoid(-1.2 + 0.035 * (age - 56.0)));
     bool urban = rng.Bernoulli(0.62);
-    CARL_RETURN_IF_ERROR(db.SetAttribute("Age", {pname}, Value(age)));
-    CARL_RETURN_IF_ERROR(db.SetAttribute("Income", {pname}, Value(income)));
-    CARL_RETURN_IF_ERROR(db.SetAttribute("Chronic", {pname}, Value(chronic)));
-    CARL_RETURN_IF_ERROR(db.SetAttribute("Urban", {pname}, Value(urban)));
+    CARL_RETURN_IF_ERROR(db.SetAttributeSpan(age_a, &pat, 1, Value(age)));
+    CARL_RETURN_IF_ERROR(
+        db.SetAttributeSpan(income_a, &pat, 1, Value(income)));
+    CARL_RETURN_IF_ERROR(
+        db.SetAttributeSpan(chronic_a, &pat, 1, Value(chronic)));
+    CARL_RETURN_IF_ERROR(db.SetAttributeSpan(urban_a, &pat, 1, Value(urban)));
 
     double severity = std::max(
         0.0, 0.55 + 0.014 * (age - 56.0) + 0.55 * (chronic ? 1.0 : 0.0) -
                  0.04 * (income - 3.2) + rng.Normal(0.0, 0.3));
-    CARL_RETURN_IF_ERROR(db.SetAttribute("Severity", {pname}, Value(severity)));
+    CARL_RETURN_IF_ERROR(
+        db.SetAttributeSpan(severity_a, &pat, 1, Value(severity)));
 
     bool surgery =
         rng.Bernoulli(Sigmoid(-1.6 + 1.25 * severity + 0.008 * (age - 56.0)));
-    CARL_RETURN_IF_ERROR(db.SetAttribute("Surgery", {pname}, Value(surgery)));
+    CARL_RETURN_IF_ERROR(
+        db.SetAttributeSpan(surgery_a, &pat, 1, Value(surgery)));
 
     // Routing: severe / surgical / urban / affluent patients go to large
     // hospitals (the confounding mechanism).
@@ -136,17 +172,17 @@ Result<Dataset> GenerateNis(const NisConfig& config) {
                          0.35 * (urban ? 1.0 : 0.0) + 0.12 * (income - 3.2);
     bool to_large = rng.Bernoulli(Sigmoid(large_logit));
     CARL_RETURN_IF_ERROR(
-        db.SetAttribute("AdmittedToLarge", {pname}, Value(to_large)));
+        db.SetAttributeSpan(to_large_a, &pat, 1, Value(to_large)));
     const std::vector<size_t>& pool = to_large ? large_pool : small_pool;
     size_t h = pool[static_cast<size_t>(
         rng.UniformInt(0, static_cast<int64_t>(pool.size()) - 1))];
-    CARL_RETURN_IF_ERROR(
-        db.AddFact("Admitted", {pname, StrFormat("h%zu", h)}));
+    SymbolId admitted_args[2] = {pat, hospital_sym[h]};
+    CARL_RETURN_IF_ERROR(db.AddFactSpan(admitted_p, admitted_args, 2));
 
     double los = std::max(0.5, 1.8 + 2.6 * severity + 1.9 * (surgery ? 1.0 : 0.0) -
                                    0.5 * (to_large ? 1.0 : 0.0) +
                                    rng.Normal(0.0, 1.1));
-    CARL_RETURN_IF_ERROR(db.SetAttribute("Los", {pname}, Value(los)));
+    CARL_RETURN_IF_ERROR(db.SetAttributeSpan(los_a, &pat, 1, Value(los)));
 
     double bill = 6000.0 + 10500.0 * severity +
                   11500.0 * (surgery ? 1.0 : 0.0) +
@@ -155,13 +191,13 @@ Result<Dataset> GenerateNis(const NisConfig& config) {
                   kLargeDiscount * (to_large ? 1.0 : 0.0) +
                   rng.Normal(0.0, 2500.0);
     bill = std::max(500.0, bill);
-    CARL_RETURN_IF_ERROR(db.SetAttribute("Bill", {pname}, Value(bill)));
-    CARL_RETURN_IF_ERROR(
-        db.SetAttribute("HighBill", {pname}, Value(bill > kBillThreshold)));
+    CARL_RETURN_IF_ERROR(db.SetAttributeSpan(bill_a, &pat, 1, Value(bill)));
+    CARL_RETURN_IF_ERROR(db.SetAttributeSpan(highbill_a, &pat, 1,
+                                             Value(bill > kBillThreshold)));
 
     bool died = rng.Bernoulli(
         Sigmoid(-4.2 + 1.4 * severity + 0.5 * (surgery ? 1.0 : 0.0)));
-    CARL_RETURN_IF_ERROR(db.SetAttribute("Died", {pname}, Value(died)));
+    CARL_RETURN_IF_ERROR(db.SetAttributeSpan(died_a, &pat, 1, Value(died)));
   }
   return data;
 }

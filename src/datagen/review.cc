@@ -95,7 +95,21 @@ Result<ReviewData> GenerateReviewData(const ReviewConfig& config) {
   out.config = config;
   CARL_ASSIGN_OR_RETURN(out.dataset, BuildSchemaAndModel());
   Instance& db = *out.dataset.instance;
+  const Schema& schema = *out.dataset.schema;
   Rng rng(config.seed);
+
+  // Fast-path handles: resolve names once, insert by interned ids.
+  CARL_ASSIGN_OR_RETURN(PredicateId person_p, schema.FindPredicate("Person"));
+  CARL_ASSIGN_OR_RETURN(PredicateId submission_p,
+                        schema.FindPredicate("Submission"));
+  CARL_ASSIGN_OR_RETURN(PredicateId conference_p,
+                        schema.FindPredicate("Conference"));
+  CARL_ASSIGN_OR_RETURN(PredicateId author_p, schema.FindPredicate("Author"));
+  CARL_ASSIGN_OR_RETURN(PredicateId collaborator_p,
+                        schema.FindPredicate("Collaborator"));
+  CARL_ASSIGN_OR_RETURN(PredicateId submitted_p,
+                        schema.FindPredicate("Submitted"));
+  CARL_ASSIGN_OR_RETURN(AttributeId blind_a, schema.FindAttribute("Blind"));
 
   // --- Skeleton -----------------------------------------------------------
   // Authors with institutions; qualification (h-index-like) drawn up front
@@ -106,9 +120,8 @@ Result<ReviewData> GenerateReviewData(const ReviewConfig& config) {
   std::vector<std::vector<size_t>> inst_members(config.num_institutions);
   std::unordered_map<SymbolId, double> qual_by_symbol;
   for (size_t a = 0; a < config.num_authors; ++a) {
-    std::string name = StrFormat("a%zu", a);
-    authors[a] = db.Intern(name);
-    CARL_RETURN_IF_ERROR(db.AddFact("Person", {name}));
+    authors[a] = db.Intern(StrFormat("a%zu", a));
+    CARL_RETURN_IF_ERROR(db.AddFactSpan(person_p, &authors[a], 1));
     institution[a] = static_cast<size_t>(
         rng.UniformInt(0, static_cast<int64_t>(config.num_institutions) - 1));
     inst_members[institution[a]].push_back(a);
@@ -125,10 +138,10 @@ Result<ReviewData> GenerateReviewData(const ReviewConfig& config) {
     uint64_t key = (static_cast<uint64_t>(std::min(a, b)) << 32) |
                    static_cast<uint32_t>(std::max(a, b));
     if (!collab_pairs.insert(key).second) return Status::OK();
-    const std::string& na = db.ConstantName(authors[a]);
-    const std::string& nb = db.ConstantName(authors[b]);
-    CARL_RETURN_IF_ERROR(db.AddFact("Collaborator", {na, nb}));
-    CARL_RETURN_IF_ERROR(db.AddFact("Collaborator", {nb, na}));
+    SymbolId ab[2] = {authors[a], authors[b]};
+    SymbolId ba[2] = {authors[b], authors[a]};
+    CARL_RETURN_IF_ERROR(db.AddFactSpan(collaborator_p, ab, 2));
+    CARL_RETURN_IF_ERROR(db.AddFactSpan(collaborator_p, ba, 2));
     return Status::OK();
   };
   for (size_t a = 0; a < config.num_authors; ++a) {
@@ -149,14 +162,16 @@ Result<ReviewData> GenerateReviewData(const ReviewConfig& config) {
 
   // Venues: fixed blind policy per venue.
   std::vector<bool> venue_single(config.num_venues);
+  std::vector<SymbolId> venue_sym(config.num_venues);
   for (size_t v = 0; v < config.num_venues; ++v) {
-    std::string name = StrFormat("conf%zu", v);
-    CARL_RETURN_IF_ERROR(db.AddFact("Conference", {name}));
+    venue_sym[v] = db.Intern(StrFormat("conf%zu", v));
+    CARL_RETURN_IF_ERROR(db.AddFactSpan(conference_p, &venue_sym[v], 1));
     venue_single[v] =
         (static_cast<double>(v) + 0.5) / static_cast<double>(config.num_venues)
             < config.single_blind_fraction;
     CARL_RETURN_IF_ERROR(
-        db.SetAttribute("Blind", {name}, Value(venue_single[v])));
+        db.SetAttributeSpan(blind_a, &venue_sym[v], 1,
+                            Value(venue_single[v])));
   }
 
   // Papers: productive (highly qualified) authors write more papers.
@@ -165,14 +180,15 @@ Result<ReviewData> GenerateReviewData(const ReviewConfig& config) {
     productivity[a] = 1.0 + qualification[a];
   }
   for (size_t p = 0; p < config.num_papers; ++p) {
-    std::string name = StrFormat("p%zu", p);
-    CARL_RETURN_IF_ERROR(db.AddFact("Submission", {name}));
+    SymbolId paper = db.Intern(StrFormat("p%zu", p));
+    CARL_RETURN_IF_ERROR(db.AddFactSpan(submission_p, &paper, 1));
     size_t a = rng.Categorical(productivity);
-    CARL_RETURN_IF_ERROR(
-        db.AddFact("Author", {db.ConstantName(authors[a]), name}));
+    SymbolId author_args[2] = {authors[a], paper};
+    CARL_RETURN_IF_ERROR(db.AddFactSpan(author_p, author_args, 2));
     size_t v = static_cast<size_t>(
         rng.UniformInt(0, static_cast<int64_t>(config.num_venues) - 1));
-    CARL_RETURN_IF_ERROR(db.AddFact("Submitted", {name, StrFormat("conf%zu", v)}));
+    SymbolId submitted_args[2] = {paper, venue_sym[v]};
+    CARL_RETURN_IF_ERROR(db.AddFactSpan(submitted_p, submitted_args, 2));
   }
 
   // --- Structural causal model ---------------------------------------------

@@ -11,15 +11,29 @@ namespace carl {
 
 const std::vector<NodeId> CausalGraph::kNoNodes = {};
 
+NodeId CausalGraph::AddNode(AttributeId attribute, TupleView args) {
+  return AddNodeImpl(attribute, args, nullptr);
+}
+
 NodeId CausalGraph::AddNode(AttributeId attribute, Tuple args) {
-  auto& attr_index = index_[attribute];
-  auto it = attr_index.find(args);
-  if (it != attr_index.end()) return it->second;
+  return AddNodeImpl(attribute, TupleView(args), &args);
+}
+
+// `owned` non-null: a movable Tuple equal to `args` (spares the copy on a
+// miss). The view is only read before the node list can reallocate.
+NodeId CausalGraph::AddNodeImpl(AttributeId attribute, TupleView args,
+                                Tuple* owned) {
+  SpanIndex& attr_index = index_[attribute];
+  auto key_of = [this](uint32_t id) { return TupleView(nodes_[id].args); };
+  uint64_t hash = args.Hash();
+  uint32_t found = attr_index.Find(args, hash, key_of);
+  if (found != SpanIndex::kNpos) return static_cast<NodeId>(found);
   NodeId id = static_cast<NodeId>(nodes_.size());
-  nodes_.push_back(GroundedAttribute{attribute, args});
+  nodes_.push_back(GroundedAttribute{
+      attribute, owned != nullptr ? std::move(*owned) : args.ToTuple()});
   parents_.emplace_back();
   children_.emplace_back();
-  attr_index.emplace(std::move(args), id);
+  attr_index.Insert(static_cast<uint32_t>(id), hash, key_of);
   by_attribute_[attribute].push_back(id);
   return id;
 }
@@ -32,12 +46,11 @@ void CausalGraph::AddNodesBulk(const std::vector<NodeBatch>& batches,
   size_t total = nodes_.size();
   for (size_t b = 0; b < batches.size(); ++b) {
     const NodeBatch& batch = batches[b];
-    CARL_CHECK(batch.rows != nullptr);
     CARL_CHECK(index_[batch.attribute].empty() &&
                by_attribute_[batch.attribute].empty())
         << "AddNodesBulk: attribute already has nodes";
     offsets[b] = total;
-    total += batch.rows->size();
+    total += batch.rows.size();
   }
   nodes_.resize(total);
   parents_.resize(total);
@@ -46,28 +59,36 @@ void CausalGraph::AddNodesBulk(const std::vector<NodeBatch>& batches,
   ParallelFor(ctx, batches.size(), [&](size_t begin, size_t end, size_t) {
     for (size_t b = begin; b < end; ++b) {
       const NodeBatch& batch = batches[b];
-      const std::vector<Tuple>& rows = *batch.rows;
-      auto& attr_index = index_[batch.attribute];
+      const RelationView& rows = batch.rows;
+      SpanIndex& attr_index = index_[batch.attribute];
+      auto key_of = [this](uint32_t id) { return TupleView(nodes_[id].args); };
       std::vector<NodeId>& ids = by_attribute_[batch.attribute];
-      attr_index.reserve(rows.size());
+      attr_index.Reserve(rows.size(), key_of);
       ids.reserve(rows.size());
       for (size_t r = 0; r < rows.size(); ++r) {
         NodeId id = static_cast<NodeId>(offsets[b] + r);
-        nodes_[id] = GroundedAttribute{batch.attribute, rows[r]};
-        attr_index.emplace(rows[r], id);
+        nodes_[id] = GroundedAttribute{batch.attribute, rows[r].ToTuple()};
+        CARL_DCHECK(attr_index.Find(rows[r], rows[r].Hash(), key_of) ==
+                    SpanIndex::kNpos)
+            << "AddNodesBulk: duplicate rows in batch";
+        attr_index.Insert(static_cast<uint32_t>(id), rows[r].Hash(), key_of);
         ids.push_back(id);
       }
+      // Release-mode guard: a duplicate row would have collapsed two ids
+      // onto one key and silently split the node across the index.
       CARL_CHECK(attr_index.size() == rows.size())
           << "AddNodesBulk: duplicate rows in batch";
     }
   });
 }
 
-NodeId CausalGraph::FindNode(AttributeId attribute, const Tuple& args) const {
+NodeId CausalGraph::FindNode(AttributeId attribute, TupleView args) const {
   auto attr_it = index_.find(attribute);
   if (attr_it == index_.end()) return kInvalidNode;
-  auto it = attr_it->second.find(args);
-  return it == attr_it->second.end() ? kInvalidNode : it->second;
+  auto key_of = [this](uint32_t id) { return TupleView(nodes_[id].args); };
+  uint32_t found = attr_it->second.Find(args, args.Hash(), key_of);
+  return found == SpanIndex::kNpos ? kInvalidNode
+                                   : static_cast<NodeId>(found);
 }
 
 void CausalGraph::ReserveEdges(size_t expected) {

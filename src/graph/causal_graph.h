@@ -17,6 +17,7 @@
 #include "common/result.h"
 #include "exec/exec_context.h"
 #include "relational/schema.h"
+#include "relational/span_index.h"
 #include "relational/tuple.h"
 
 namespace carl {
@@ -36,14 +37,17 @@ struct GroundedAttribute {
 
 class CausalGraph {
  public:
-  /// Interns a node; returns the existing id when already present.
+  /// Interns a node; returns the existing id when already present. The
+  /// TupleView overload materializes an owned Tuple only on a miss.
   NodeId AddNode(AttributeId attribute, Tuple args);
+  NodeId AddNode(AttributeId attribute, TupleView args);
 
-  /// One attribute's grounding set for AddNodesBulk. `rows` must outlive
-  /// the call and contain no duplicates (Instance::Rows qualifies).
+  /// One attribute's grounding set for AddNodesBulk. The view must stay
+  /// valid for the call and contain no duplicates (Instance::Rows
+  /// qualifies).
   struct NodeBatch {
     AttributeId attribute = kInvalidAttribute;
-    const std::vector<Tuple>* rows = nullptr;
+    RelationView rows;
   };
 
   /// Bulk-interns one node per (batch attribute, row), assigning ids in
@@ -53,8 +57,12 @@ class CausalGraph {
   /// must be pairwise distinct.
   void AddNodesBulk(const std::vector<NodeBatch>& batches, ExecContext& ctx);
 
-  /// Node id for A[x], or kInvalidNode.
-  NodeId FindNode(AttributeId attribute, const Tuple& args) const;
+  /// Node id for A[x], or kInvalidNode. The span overload is
+  /// allocation-free and safe to call from concurrent readers (no writer).
+  NodeId FindNode(AttributeId attribute, const Tuple& args) const {
+    return FindNode(attribute, TupleView(args));
+  }
+  NodeId FindNode(AttributeId attribute, TupleView args) const;
 
   /// Adds a cause -> effect edge; duplicate edges are ignored.
   void AddEdge(NodeId from, NodeId to);
@@ -94,13 +102,15 @@ class CausalGraph {
                        const StringInterner& interner) const;
 
  private:
+  NodeId AddNodeImpl(AttributeId attribute, TupleView args, Tuple* owned);
+
   std::vector<GroundedAttribute> nodes_;
   std::vector<std::vector<NodeId>> parents_;
   std::vector<std::vector<NodeId>> children_;
-  // Per-attribute tuple -> id maps: probes take const Tuple& (no copy) and
-  // AddNodesBulk can build the maps of distinct attributes concurrently.
-  std::unordered_map<AttributeId, std::unordered_map<Tuple, NodeId, TupleHash>>
-      index_;
+  // Per-attribute span indexes over nodes_: probes take a TupleView (no
+  // copy, no owned keys) and AddNodesBulk can build the indexes of
+  // distinct attributes concurrently.
+  std::unordered_map<AttributeId, SpanIndex> index_;
   std::unordered_set<uint64_t> edge_set_;
   std::unordered_map<AttributeId, std::vector<NodeId>> by_attribute_;
   size_t num_edges_ = 0;

@@ -2,13 +2,14 @@
 
 #include <algorithm>
 #include <unordered_map>
-#include <unordered_set>
 
 #include "common/logging.h"
 #include "common/str_util.h"
+#include "relational/span_index.h"
+#include "relational/storage_stats.h"
 
 namespace carl {
-namespace {
+namespace evaluator_internal {
 
 // One argument position of a compiled atom: either a dense variable id or
 // an interned constant.
@@ -24,19 +25,63 @@ struct CompiledAtom {
   std::vector<CompiledTerm> terms;
 };
 
+// A scratch-buffer slot filled from the assignment at evaluation time.
+struct Fill {
+  int idx = 0;  // index into the key/args template
+  int var = 0;  // dense variable id to read
+};
+
 struct CompiledConstraint {
   AttributeId attribute = kInvalidAttribute;
-  std::vector<CompiledTerm> terms;
   CompareOp op = CompareOp::kEq;
   Value rhs;
+  bool unseen = false;               // some constant arg was never interned
+  std::vector<SymbolId> args_template;  // constants baked in
+  std::vector<Fill> fills;
+};
+
+// One depth of the join: the atom the greedy most-bound-first scheduler
+// places there. Atom choice depends only on which atoms are placed (never
+// on row values), so the whole order — and each step's bound positions,
+// first-occurrence binds, repeated-variable checks, and ready
+// constraints — is computed once at compile time.
+struct PlanStep {
+  PredicateId predicate = kInvalidPredicate;
+  size_t arity = 0;
+  bool unseen = false;  // an argument constant was never interned
+  std::vector<int> bound_positions;     // index key positions, ascending
+  std::vector<SymbolId> key_template;   // constants baked in
+  std::vector<Fill> key_fills;          // variable key slots
+  struct VarBind {
+    int pos = 0;
+    int var = 0;
+  };
+  std::vector<VarBind> binds;   // first occurrence: assignment[var] = row[pos]
+  std::vector<VarBind> checks;  // intra-atom repeat: assignment[var] == row[pos]
+  std::vector<int> ready_constraints;  // constraint ids checked at this depth
 };
 
 struct CompiledQuery {
   std::vector<CompiledAtom> atoms;
   std::vector<CompiledConstraint> constraints;
+  std::vector<PlanStep> steps;  // one per atom, in scheduling order
   int num_vars = 0;
   std::unordered_map<std::string, int> var_ids;
+  // Some always-checked atom/constraint references an unseen constant, so
+  // the query (if it has atoms) cannot have results.
+  bool always_empty = false;
 };
+
+}  // namespace evaluator_internal
+
+namespace {
+
+using evaluator_internal::CompiledAtom;
+using evaluator_internal::CompiledConstraint;
+using evaluator_internal::CompiledQuery;
+using evaluator_internal::CompiledTerm;
+using evaluator_internal::Fill;
+using evaluator_internal::PlanStep;
 
 class Compiler {
  public:
@@ -74,21 +119,24 @@ class Compiler {
       cc.rhs = c.rhs;
       for (const Term& t : c.args) {
         CompiledTerm ct = CompileTerm(t, nullptr);
+        int idx = static_cast<int>(cc.args_template.size());
         if (ct.is_var) {
-          auto it =
-              std::find_if(out.var_ids.begin(), out.var_ids.end(),
-                           [&](const auto& kv) { return kv.first == t.text; });
+          auto it = out.var_ids.find(t.text);
           if (it == out.var_ids.end()) {
             return Status::InvalidArgument(
                 "constraint variable " + t.text +
                 " does not occur in any atom (unsafe query)");
           }
-          ct.var = it->second;
+          cc.args_template.push_back(kInvalidSymbol);
+          cc.fills.push_back(Fill{idx, it->second});
+        } else {
+          if (ct.unseen_constant) cc.unseen = true;
+          cc.args_template.push_back(ct.constant);
         }
-        cc.terms.push_back(ct);
       }
       out.constraints.push_back(std::move(cc));
     }
+    PlanJoin(&out);
     return out;
   }
 
@@ -111,207 +159,300 @@ class Compiler {
     return ct;
   }
 
+  // Replays the greedy scheduler (most bound positions first; ties toward
+  // the smaller relation, then the lower atom index) over the
+  // value-independent boundness state, materializing one PlanStep per
+  // depth and assigning each constraint to the first depth where all its
+  // variables are bound.
+  void PlanJoin(CompiledQuery* q) {
+    size_t n = q->atoms.size();
+    std::vector<char> placed(n, 0);
+    std::vector<char> var_bound(static_cast<size_t>(q->num_vars), 0);
+    std::vector<int> var_depth(static_cast<size_t>(q->num_vars), 0);
+    q->steps.reserve(n);
+    for (size_t depth = 0; depth < n; ++depth) {
+      int best = -1;
+      int best_bound = -1;
+      size_t best_size = 0;
+      for (size_t i = 0; i < n; ++i) {
+        if (placed[i]) continue;
+        const CompiledAtom& atom = q->atoms[i];
+        int bound = 0;
+        for (const CompiledTerm& t : atom.terms) {
+          if (!t.is_var || var_bound[t.var]) ++bound;
+        }
+        size_t size = instance_.NumRows(atom.predicate);
+        if (bound > best_bound || (bound == best_bound && size < best_size)) {
+          best = static_cast<int>(i);
+          best_bound = bound;
+          best_size = size;
+        }
+      }
+      placed[best] = 1;
+      const CompiledAtom& atom = q->atoms[best];
+
+      PlanStep step;
+      step.predicate = atom.predicate;
+      step.arity = atom.terms.size();
+      for (size_t p = 0; p < atom.terms.size(); ++p) {
+        const CompiledTerm& t = atom.terms[p];
+        if (!t.is_var) {
+          if (t.unseen_constant) {
+            step.unseen = true;
+            q->always_empty = true;
+            break;
+          }
+          step.bound_positions.push_back(static_cast<int>(p));
+          step.key_template.push_back(t.constant);
+        } else if (var_bound[t.var]) {
+          step.bound_positions.push_back(static_cast<int>(p));
+          step.key_fills.push_back(
+              Fill{static_cast<int>(step.key_template.size()), t.var});
+          step.key_template.push_back(kInvalidSymbol);
+        } else {
+          bool repeat = false;
+          for (const PlanStep::VarBind& b : step.binds) {
+            if (b.var == t.var) {
+              repeat = true;
+              break;
+            }
+          }
+          if (repeat) {
+            step.checks.push_back(PlanStep::VarBind{static_cast<int>(p), t.var});
+          } else {
+            step.binds.push_back(PlanStep::VarBind{static_cast<int>(p), t.var});
+          }
+        }
+      }
+      for (const PlanStep::VarBind& b : step.binds) {
+        var_bound[b.var] = 1;
+        var_depth[b.var] = static_cast<int>(depth);
+      }
+      q->steps.push_back(std::move(step));
+    }
+
+    // Constraints fire at the first depth where every variable is bound
+    // (checked once per candidate row of that depth, exactly like the
+    // dynamic ready-set of the historical searcher). Constant-only
+    // constraints fire at depth 0. With no atoms, constraints are never
+    // checked (an atom-less query is vacuously satisfied).
+    if (!q->steps.empty()) {
+      for (size_t c = 0; c < q->constraints.size(); ++c) {
+        const CompiledConstraint& cc = q->constraints[c];
+        if (cc.unseen) q->always_empty = true;
+        int ready = 0;
+        for (const Fill& f : cc.fills) {
+          ready = std::max(ready, var_depth[f.var]);
+        }
+        q->steps[ready].ready_constraints.push_back(static_cast<int>(c));
+      }
+    }
+  }
+
   const Instance& instance_;
 };
 
-// Depth-first join over compiled atoms.
+// Deduplicating result sink: projected bindings live in one stride-strided
+// arena, dedupe probes it through a SpanIndex. Nothing per-result is
+// heap-allocated until Materialize.
+class ResultCollector {
+ public:
+  explicit ResultCollector(size_t stride) : stride_(stride) {}
+
+  void Add(const SymbolId* vals) {
+    auto key_of = [this](uint32_t id) {
+      return TupleView(arena_.data() + static_cast<size_t>(id) * stride_,
+                       stride_);
+    };
+    uint64_t hash = HashSpan(vals, stride_);
+    if (set_.Find(TupleView(vals, stride_), hash, key_of) != SpanIndex::kNpos) {
+      return;
+    }
+    storage_stats::CountGrowth(arena_, stride_);
+    arena_.insert(arena_.end(), vals, vals + stride_);
+    set_.Insert(count_++, hash, key_of);
+  }
+
+  std::vector<Tuple> Materialize() const {
+    std::vector<Tuple> out;
+    out.reserve(count_);
+    for (uint32_t i = 0; i < count_; ++i) {
+      const SymbolId* p = arena_.data() + static_cast<size_t>(i) * stride_;
+      out.emplace_back(p, p + stride_);
+    }
+    return out;
+  }
+
+ private:
+  size_t stride_;
+  std::vector<SymbolId> arena_;
+  SpanIndex set_;
+  uint32_t count_ = 0;
+};
+
+// Depth-first join over the compiled plan. All scratch (assignment, key
+// buffers, constraint args) is preallocated at construction; the run loop
+// performs no heap allocation.
 class Searcher {
  public:
   Searcher(const Instance& instance, const CompiledQuery& query)
       : instance_(instance),
         query_(query),
-        assignment_(static_cast<size_t>(query.num_vars), kInvalidSymbol),
-        atom_done_(query.atoms.size(), false),
-        constraint_done_(query.constraints.size(), false) {}
-
-  // Calls `leaf` on each complete assignment. `leaf` returns false to stop.
-  template <typename Leaf>
-  void Run(Leaf&& leaf) {
-    stop_ = false;
-    Recurse(0, leaf);
-  }
-
-  // The root atom the search would place first, and its candidate row
-  // count — the shard domain. atom stays -1 for atom-less queries.
-  struct RootPlan {
-    int atom = -1;
-    size_t candidates = 0;
-  };
-  RootPlan PlanRoot() {
-    RootPlan plan;
-    if (query_.atoms.empty()) return plan;
-    plan.atom = PickAtom();
-    CARL_DCHECK(plan.atom >= 0);
-    const CompiledAtom& atom = query_.atoms[plan.atom];
-    std::vector<int> bound_positions;
-    Tuple key;
-    for (size_t p = 0; p < atom.terms.size(); ++p) {
-      const CompiledTerm& t = atom.terms[p];
-      if (!t.is_var && t.unseen_constant) return plan;  // zero candidates
-      if (TermBound(t)) {
-        bound_positions.push_back(static_cast<int>(p));
-        key.push_back(TermValue(t));
-      }
+        assignment_(static_cast<size_t>(query.num_vars), kInvalidSymbol) {
+    storage_stats::CountAlloc();
+    step_keys_.reserve(query.steps.size());
+    step_index_.reserve(query.steps.size());
+    step_rows_.reserve(query.steps.size());
+    for (const PlanStep& step : query.steps) {
+      step_keys_.push_back(step.key_template);
+      step_index_.push_back(
+          step.unseen ? nullptr
+                      : instance.MatchIndex(step.predicate,
+                                            step.bound_positions.data(),
+                                            step.bound_positions.size()));
+      step_rows_.push_back(instance.Rows(step.predicate));
     }
-    plan.candidates =
-        instance_.Match(atom.predicate, bound_positions, key).size();
-    return plan;
+    constraint_args_.reserve(query.constraints.size());
+    for (const CompiledConstraint& c : query.constraints) {
+      constraint_args_.push_back(c.args_template);
+    }
   }
 
-  // Restricts the search to rows [begin, end) of the root atom's candidate
-  // set. Must be called before Run, with the atom from PlanRoot.
-  void RestrictRoot(int atom, size_t begin, size_t end) {
-    root_atom_ = atom;
+  // Restricts the root step to candidate rows [begin, end).
+  void RestrictRoot(size_t begin, size_t end) {
+    restricted_ = true;
     root_begin_ = begin;
     root_end_ = end;
   }
 
-  const std::vector<SymbolId>& assignment() const { return assignment_; }
-
- private:
-  bool TermBound(const CompiledTerm& t) const {
-    return !t.is_var || assignment_[t.var] != kInvalidSymbol;
-  }
-
-  SymbolId TermValue(const CompiledTerm& t) const {
-    return t.is_var ? assignment_[t.var] : t.constant;
-  }
-
-  // Evaluates constraints whose variables are all bound and which have not
-  // fired yet. Returns false if any fails; records fired ones in `fired`.
-  bool CheckReadyConstraints(std::vector<size_t>* fired) {
-    for (size_t i = 0; i < query_.constraints.size(); ++i) {
-      if (constraint_done_[i]) continue;
-      const CompiledConstraint& c = query_.constraints[i];
-      bool ready = true;
-      for (const CompiledTerm& t : c.terms) {
-        if (!TermBound(t)) { ready = false; break; }
-      }
-      if (!ready) continue;
-      Tuple args;
-      args.reserve(c.terms.size());
-      bool unseen = false;
-      for (const CompiledTerm& t : c.terms) {
-        if (t.unseen_constant) { unseen = true; break; }
-        args.push_back(TermValue(t));
-      }
-      bool pass = false;
-      if (!unseen) {
-        std::optional<Value> v = instance_.GetAttribute(c.attribute, args);
-        pass = v.has_value() && CompareValues(*v, c.op, c.rhs);
-      }
-      if (!pass) {
-        // Roll back constraints fired earlier in this call.
-        for (size_t f : *fired) constraint_done_[f] = false;
-        return false;
-      }
-      constraint_done_[i] = true;
-      fired->push_back(i);
-    }
-    return true;
-  }
-
-  // Chooses the undone atom with the most bound positions (ties: smaller
-  // relation). Returns its index or -1 when all atoms are placed.
-  int PickAtom() const {
-    int best = -1;
-    int best_bound = -1;
-    size_t best_size = 0;
-    for (size_t i = 0; i < query_.atoms.size(); ++i) {
-      if (atom_done_[i]) continue;
-      const CompiledAtom& atom = query_.atoms[i];
-      int bound = 0;
-      for (const CompiledTerm& t : atom.terms) {
-        if (TermBound(t)) ++bound;
-      }
-      size_t size = instance_.Rows(atom.predicate).size();
-      if (bound > best_bound ||
-          (bound == best_bound && size < best_size)) {
-        best = static_cast<int>(i);
-        best_bound = bound;
-        best_size = size;
-      }
-    }
-    return best;
-  }
-
+  // Calls `leaf` on each complete assignment; `leaf` returns false to
+  // stop. An atom-less query fires the leaf exactly once.
   template <typename Leaf>
-  void Recurse(size_t atoms_placed, Leaf&& leaf) {
-    if (stop_) return;
-    if (atoms_placed == query_.atoms.size()) {
-      if (!leaf(assignment_)) stop_ = true;
+  void Run(Leaf&& leaf) {
+    if (query_.steps.empty()) {
+      leaf(assignment_);
       return;
     }
-    bool at_root = atoms_placed == 0 && root_atom_ >= 0;
-    int ai = at_root ? root_atom_ : PickAtom();
-    CARL_DCHECK(ai >= 0);
-    const CompiledAtom& atom = query_.atoms[ai];
-    atom_done_[ai] = true;
+    if (query_.always_empty) return;
+    Recurse(0, leaf);
+  }
 
-    // Split positions into bound (index key) and free.
-    std::vector<int> bound_positions;
-    Tuple key;
-    bool unseen = false;
-    for (size_t p = 0; p < atom.terms.size(); ++p) {
-      const CompiledTerm& t = atom.terms[p];
-      if (!t.is_var && t.unseen_constant) { unseen = true; break; }
-      if (TermBound(t)) {
-        bound_positions.push_back(static_cast<int>(p));
-        key.push_back(TermValue(t));
-      }
+ private:
+  bool EvalConstraint(int cid) {
+    const CompiledConstraint& c = query_.constraints[cid];
+    std::vector<SymbolId>& args = constraint_args_[cid];
+    for (const Fill& f : c.fills) args[f.idx] = assignment_[f.var];
+    const Value* v =
+        instance_.FindAttributeValue(c.attribute, args.data(), args.size());
+    return v != nullptr && CompareValues(*v, c.op, c.rhs);
+  }
+
+  // Returns false to propagate a stop request. Variables are not unbound
+  // on backtrack: the plan guarantees a variable is only read at depths
+  // after its binding depth, where it has been (re)bound.
+  template <typename Leaf>
+  bool Recurse(size_t depth, Leaf& leaf) {
+    if (depth == query_.steps.size()) return leaf(assignment_);
+    const PlanStep& step = query_.steps[depth];
+    std::vector<SymbolId>& key = step_keys_[depth];
+    for (const Fill& f : step.key_fills) key[f.idx] = assignment_[f.var];
+    RowIdSpan rows = step_index_[depth]->Lookup(key.data(), key.size());
+    const uint32_t* it = rows.begin();
+    const uint32_t* end = rows.end();
+    if (depth == 0 && restricted_) {
+      CARL_DCHECK(root_end_ <= rows.size());
+      end = rows.begin() + root_end_;
+      it = rows.begin() + root_begin_;
     }
-    if (!unseen) {
-      const std::vector<uint32_t>& all_rows =
-          instance_.Match(atom.predicate, bound_positions, key);
-      const uint32_t* row_begin = all_rows.data();
-      const uint32_t* row_end = row_begin + all_rows.size();
-      if (at_root) {
-        // Shard restriction: only this slice of the candidate rows.
-        CARL_DCHECK(root_end_ <= all_rows.size());
-        row_end = row_begin + root_end_;
-        row_begin += root_begin_;
+    const SymbolId* base = step_rows_[depth].data();
+    const size_t arity = step.arity;
+    for (; it != end; ++it) {
+      const SymbolId* row = base + static_cast<size_t>(*it) * arity;
+      for (const PlanStep::VarBind& b : step.binds) {
+        assignment_[b.var] = row[b.pos];
       }
-      const std::vector<Tuple>& all = instance_.Rows(atom.predicate);
-      for (const uint32_t* rp = row_begin; rp != row_end; ++rp) {
-        uint32_t r = *rp;
-        if (stop_) break;
-        const Tuple& row = all[r];
-        // Bind free positions; verify intra-atom repeated variables.
-        std::vector<int> newly_bound;
-        bool ok = true;
-        for (size_t p = 0; p < atom.terms.size(); ++p) {
-          const CompiledTerm& t = atom.terms[p];
-          if (!t.is_var) continue;
-          SymbolId cur = assignment_[t.var];
-          if (cur == kInvalidSymbol) {
-            assignment_[t.var] = row[p];
-            newly_bound.push_back(t.var);
-          } else if (cur != row[p]) {
+      bool ok = true;
+      for (const PlanStep::VarBind& c : step.checks) {
+        if (assignment_[c.var] != row[c.pos]) {
+          ok = false;
+          break;
+        }
+      }
+      if (ok) {
+        for (int cid : step.ready_constraints) {
+          if (!EvalConstraint(cid)) {
             ok = false;
             break;
           }
         }
-        std::vector<size_t> fired;
-        if (ok && CheckReadyConstraints(&fired)) {
-          Recurse(atoms_placed + 1, leaf);
-          for (size_t f : fired) constraint_done_[f] = false;
-        }
-        for (int v : newly_bound) assignment_[v] = kInvalidSymbol;
       }
+      if (ok && !Recurse(depth + 1, leaf)) return false;
     }
-    atom_done_[ai] = false;
+    return true;
   }
 
   const Instance& instance_;
   const CompiledQuery& query_;
   std::vector<SymbolId> assignment_;
-  std::vector<bool> atom_done_;
-  std::vector<bool> constraint_done_;
-  bool stop_ = false;
-  int root_atom_ = -1;  // >= 0: fixed root with a candidate-row slice
+  std::vector<std::vector<SymbolId>> step_keys_;  // per depth, mutable key
+  std::vector<const Instance::PositionIndex*> step_index_;
+  std::vector<RelationView> step_rows_;
+  std::vector<std::vector<SymbolId>> constraint_args_;
+  bool restricted_ = false;
   size_t root_begin_ = 0;
   size_t root_end_ = 0;
 };
+
+// Candidate-row count of the root (depth-0) step — the shard domain.
+// Zero when the query has no atoms or the root references an unseen
+// constant (mirroring the historical planner). Cheap: resolves one index,
+// no Searcher construction.
+size_t RootCandidateCount(const Instance& instance,
+                          const CompiledQuery& query) {
+  if (query.steps.empty()) return 0;
+  const PlanStep& root = query.steps[0];
+  if (root.unseen) return 0;
+  // Depth 0 has no variable key slots; the template is the full key.
+  return instance
+      .MatchIndex(root.predicate, root.bound_positions.data(),
+                  root.bound_positions.size())
+      ->Lookup(root.key_template.data(), root.key_template.size())
+      .size();
+}
+
+Result<std::vector<int>> ResolveProjection(
+    const CompiledQuery& query, const std::vector<std::string>& output_vars) {
+  std::vector<int> projection;
+  projection.reserve(output_vars.size());
+  for (const std::string& v : output_vars) {
+    auto it = query.var_ids.find(v);
+    if (it == query.var_ids.end()) {
+      return Status::InvalidArgument("output variable " + v +
+                                     " does not occur in the query");
+    }
+    projection.push_back(it->second);
+  }
+  return projection;
+}
+
+std::vector<Tuple> RunProjected(const Instance& instance,
+                                const CompiledQuery& compiled,
+                                const std::vector<int>& projection,
+                                size_t root_begin, size_t root_end,
+                                bool restricted) {
+  Searcher searcher(instance, compiled);
+  if (restricted) searcher.RestrictRoot(root_begin, root_end);
+  ResultCollector collector(projection.size());
+  std::vector<SymbolId> projected(projection.size());
+  searcher.Run([&](const std::vector<SymbolId>& assignment) {
+    for (size_t i = 0; i < projection.size(); ++i) {
+      projected[i] = assignment[projection[i]];
+    }
+    collector.Add(projected.data());
+    return true;
+  });
+  return collector.Materialize();
+}
 
 }  // namespace
 
@@ -320,85 +461,75 @@ QueryEvaluator::QueryEvaluator(const Instance* instance)
   CARL_CHECK(instance != nullptr);
 }
 
+Result<PreparedQuery> QueryEvaluator::Prepare(
+    const ConjunctiveQuery& query) const {
+  Compiler compiler(*instance_);
+  CARL_ASSIGN_OR_RETURN(CompiledQuery compiled, compiler.Compile(query));
+  PreparedQuery prepared;
+  prepared.impl_ =
+      std::make_shared<const CompiledQuery>(std::move(compiled));
+  return prepared;
+}
+
 Result<std::vector<Tuple>> QueryEvaluator::Evaluate(
     const ConjunctiveQuery& query,
     const std::vector<std::string>& output_vars) const {
-  Compiler compiler(*instance_);
-  CARL_ASSIGN_OR_RETURN(CompiledQuery compiled, compiler.Compile(query));
+  CARL_ASSIGN_OR_RETURN(PreparedQuery prepared, Prepare(query));
+  return Evaluate(prepared, output_vars);
+}
 
-  std::vector<int> projection;
-  projection.reserve(output_vars.size());
-  for (const std::string& v : output_vars) {
-    auto it = compiled.var_ids.find(v);
-    if (it == compiled.var_ids.end()) {
-      return Status::InvalidArgument("output variable " + v +
-                                     " does not occur in the query");
-    }
-    projection.push_back(it->second);
-  }
-
-  std::unordered_set<Tuple, TupleHash> seen;
-  std::vector<Tuple> results;
-  Searcher searcher(*instance_, compiled);
-  searcher.Run([&](const std::vector<SymbolId>& assignment) {
-    Tuple projected;
-    projected.reserve(projection.size());
-    for (int v : projection) projected.push_back(assignment[v]);
-    if (seen.insert(projected).second) results.push_back(std::move(projected));
-    return true;
-  });
-  return results;
+Result<std::vector<Tuple>> QueryEvaluator::Evaluate(
+    const PreparedQuery& prepared,
+    const std::vector<std::string>& output_vars) const {
+  CARL_CHECK(prepared.impl_ != nullptr) << "unprepared query";
+  const CompiledQuery& compiled = *prepared.impl_;
+  CARL_ASSIGN_OR_RETURN(std::vector<int> projection,
+                        ResolveProjection(compiled, output_vars));
+  return RunProjected(*instance_, compiled, projection, 0, 0,
+                      /*restricted=*/false);
 }
 
 Result<size_t> QueryEvaluator::CountRootCandidates(
     const ConjunctiveQuery& query) const {
-  Compiler compiler(*instance_);
-  CARL_ASSIGN_OR_RETURN(CompiledQuery compiled, compiler.Compile(query));
-  Searcher searcher(*instance_, compiled);
-  return searcher.PlanRoot().candidates;
+  CARL_ASSIGN_OR_RETURN(PreparedQuery prepared, Prepare(query));
+  return CountRootCandidates(prepared);
+}
+
+Result<size_t> QueryEvaluator::CountRootCandidates(
+    const PreparedQuery& prepared) const {
+  CARL_CHECK(prepared.impl_ != nullptr) << "unprepared query";
+  return RootCandidateCount(*instance_, *prepared.impl_);
 }
 
 Result<std::vector<Tuple>> QueryEvaluator::EvaluateShard(
     const ConjunctiveQuery& query,
     const std::vector<std::string>& output_vars, size_t shard,
     size_t num_shards) const {
+  CARL_ASSIGN_OR_RETURN(PreparedQuery prepared, Prepare(query));
+  return EvaluateShard(prepared, output_vars, shard, num_shards);
+}
+
+Result<std::vector<Tuple>> QueryEvaluator::EvaluateShard(
+    const PreparedQuery& prepared,
+    const std::vector<std::string>& output_vars, size_t shard,
+    size_t num_shards) const {
   CARL_CHECK(num_shards >= 1 && shard < num_shards);
-  Compiler compiler(*instance_);
-  CARL_ASSIGN_OR_RETURN(CompiledQuery compiled, compiler.Compile(query));
-
-  std::vector<int> projection;
-  projection.reserve(output_vars.size());
-  for (const std::string& v : output_vars) {
-    auto it = compiled.var_ids.find(v);
-    if (it == compiled.var_ids.end()) {
-      return Status::InvalidArgument("output variable " + v +
-                                     " does not occur in the query");
-    }
-    projection.push_back(it->second);
-  }
-
-  Searcher searcher(*instance_, compiled);
-  Searcher::RootPlan plan = searcher.PlanRoot();
-  if (plan.atom < 0) {
+  CARL_CHECK(prepared.impl_ != nullptr) << "unprepared query";
+  const CompiledQuery& compiled = *prepared.impl_;
+  CARL_ASSIGN_OR_RETURN(std::vector<int> projection,
+                        ResolveProjection(compiled, output_vars));
+  if (compiled.steps.empty()) {
     // Atom-less query: the whole result belongs to shard 0.
     if (shard != 0) return std::vector<Tuple>();
-  } else {
-    size_t begin = plan.candidates * shard / num_shards;
-    size_t end = plan.candidates * (shard + 1) / num_shards;
-    if (begin >= end) return std::vector<Tuple>();
-    searcher.RestrictRoot(plan.atom, begin, end);
+    return RunProjected(*instance_, compiled, projection, 0, 0,
+                        /*restricted=*/false);
   }
-
-  std::unordered_set<Tuple, TupleHash> seen;
-  std::vector<Tuple> results;
-  searcher.Run([&](const std::vector<SymbolId>& assignment) {
-    Tuple projected;
-    projected.reserve(projection.size());
-    for (int v : projection) projected.push_back(assignment[v]);
-    if (seen.insert(projected).second) results.push_back(std::move(projected));
-    return true;
-  });
-  return results;
+  size_t candidates = RootCandidateCount(*instance_, compiled);
+  size_t begin = candidates * shard / num_shards;
+  size_t end = candidates * (shard + 1) / num_shards;
+  if (begin >= end) return std::vector<Tuple>();
+  return RunProjected(*instance_, compiled, projection, begin, end,
+                      /*restricted=*/true);
 }
 
 Result<bool> QueryEvaluator::Ask(const ConjunctiveQuery& query) const {

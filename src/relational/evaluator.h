@@ -4,16 +4,26 @@
 // distinguished variables Z such that ∆ |= Q([Y/z]) with the remaining
 // variables existentially quantified; this evaluator answers exactly that.
 //
-// Strategy: greedy most-bound-first index-nested-loop join. At every step
-// the atom with the most bound argument positions is scheduled next (ties
-// broken towards the smaller relation), and its matching rows are fetched
-// through the instance's hash index on those positions. Attribute
-// constraints fire as soon as all their variables are bound. Results are
-// deduplicated on the projection to the distinguished variables.
+// Strategy: greedy most-bound-first index-nested-loop join, planned once
+// at compile time. Which atom the search schedules next depends only on
+// which atoms are already placed (never on row values), so the entire
+// atom order — and with it each step's bound positions, variable binds,
+// repeated-variable checks, and ready constraints — is memoized per depth
+// in the compiled plan. The run loop then does no planning, no per-row
+// allocation, and probes the instance's CSR match indexes with keys
+// assembled in preallocated scratch. Results are deduplicated on the
+// projection to the distinguished variables via a span-hashed arena.
+//
+// Prepare() compiles a query once into a shareable PreparedQuery;
+// Evaluate/EvaluateShard/CountRootCandidates accept either a raw query
+// (compiling on the fly) or a PreparedQuery, so parallel shards share one
+// compilation. A PreparedQuery is tied to the instance contents at
+// Prepare time — re-prepare after mutating the instance.
 
 #ifndef CARL_RELATIONAL_EVALUATOR_H_
 #define CARL_RELATIONAL_EVALUATOR_H_
 
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -24,9 +34,28 @@
 
 namespace carl {
 
+namespace evaluator_internal {
+struct CompiledQuery;
+}  // namespace evaluator_internal
+
+/// A compiled conjunctive query (join plan + constraint schedule),
+/// shareable across threads and shards. Cheap to copy.
+class PreparedQuery {
+ public:
+  PreparedQuery() = default;
+
+ private:
+  friend class QueryEvaluator;
+  std::shared_ptr<const evaluator_internal::CompiledQuery> impl_;
+};
+
 class QueryEvaluator {
  public:
   explicit QueryEvaluator(const Instance* instance);
+
+  /// Compiles `query` into a reusable plan. Invalidated by instance
+  /// mutation (the plan bakes in atom order tie-breaks and constant ids).
+  Result<PreparedQuery> Prepare(const ConjunctiveQuery& query) const;
 
   /// Distinct bindings of `output_vars`, each a Tuple of constant ids
   /// aligned with `output_vars`. Every output variable must occur in some
@@ -35,20 +64,28 @@ class QueryEvaluator {
   Result<std::vector<Tuple>> Evaluate(
       const ConjunctiveQuery& query,
       const std::vector<std::string>& output_vars) const;
+  Result<std::vector<Tuple>> Evaluate(
+      const PreparedQuery& prepared,
+      const std::vector<std::string>& output_vars) const;
 
   /// Number of candidate rows of the query's root atom — the atom the
-  /// join would schedule first, chosen deterministically. This is the
-  /// domain EvaluateShard partitions. Queries without atoms report 0.
+  /// join schedules first. This is the domain EvaluateShard partitions.
+  /// Queries without atoms report 0.
   Result<size_t> CountRootCandidates(const ConjunctiveQuery& query) const;
+  Result<size_t> CountRootCandidates(const PreparedQuery& prepared) const;
 
   /// Evaluates the `shard`-th of `num_shards` contiguous partitions of the
   /// root atom's candidate rows. Results are deduplicated within the
   /// shard and returned in enumeration order; concatenating all shards in
   /// shard order and keeping first occurrences reproduces Evaluate()
   /// exactly, for any num_shards. Safe to call from concurrent threads on
-  /// the same evaluator/instance.
+  /// the same evaluator/instance (prepare once and share the plan).
   Result<std::vector<Tuple>> EvaluateShard(
       const ConjunctiveQuery& query,
+      const std::vector<std::string>& output_vars, size_t shard,
+      size_t num_shards) const;
+  Result<std::vector<Tuple>> EvaluateShard(
+      const PreparedQuery& prepared,
       const std::vector<std::string>& output_vars, size_t shard,
       size_t num_shards) const;
 

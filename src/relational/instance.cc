@@ -1,14 +1,13 @@
 #include "relational/instance.h"
 
+#include <algorithm>
 #include <mutex>
-#include <sstream>
 
 #include "common/logging.h"
 #include "common/str_util.h"
+#include "relational/storage_stats.h"
 
 namespace carl {
-
-const std::vector<uint32_t> Instance::kEmptyMatch = {};
 
 Instance::Instance(const Schema* schema) : schema_(schema) {
   CARL_CHECK(schema != nullptr);
@@ -16,31 +15,49 @@ Instance::Instance(const Schema* schema) : schema_(schema) {
   fact_set_.resize(schema->num_predicates());
   attribute_data_.resize(schema->num_attributes());
   indexes_.resize(schema->num_predicates());
+  for (size_t p = 0; p < relations_.size(); ++p) {
+    int arity = schema->predicate(static_cast<PredicateId>(p)).arity();
+    CARL_CHECK(arity >= 1) << "zero-arity predicates are not storable";
+    relations_[p].arity = static_cast<size_t>(arity);
+  }
 }
 
 Status Instance::AddFact(const std::string& predicate,
                          const std::vector<std::string>& constants) {
   CARL_ASSIGN_OR_RETURN(PredicateId pid, schema_->FindPredicate(predicate));
-  Tuple args;
-  args.reserve(constants.size());
-  for (const std::string& c : constants) args.push_back(Intern(c));
-  return AddFactIds(pid, std::move(args));
+  SymbolScratch args(constants.size());
+  for (size_t i = 0; i < constants.size(); ++i) args[i] = Intern(constants[i]);
+  return AddFactSpan(pid, args.data(), constants.size());
 }
 
-Status Instance::AddFactIds(PredicateId predicate, Tuple args) {
+Status Instance::AddFactSpan(PredicateId predicate, const SymbolId* args,
+                             size_t n) {
   const Predicate& p = schema_->predicate(predicate);
-  if (static_cast<int>(args.size()) != p.arity()) {
+  if (static_cast<int>(n) != p.arity()) {
     return Status::InvalidArgument(
-        StrFormat("fact for %s has arity %zu, expected %d", p.name.c_str(),
-                  args.size(), p.arity()));
+        StrFormat("fact for %s has arity %zu, expected %d", p.name.c_str(), n,
+                  p.arity()));
   }
-  auto [it, inserted] = fact_set_[predicate].emplace(args, true);
-  (void)it;
-  if (inserted) {
-    relations_[predicate].rows.push_back(std::move(args));
-    indexes_[predicate].clear();  // invalidate cached indexes
-    ++generation_;
+  RelationStore& rel = relations_[predicate];
+  uint64_t hash = HashSpan(args, n);
+  auto key_of = [&rel](uint32_t id) { return rel.row(id); };
+  SpanIndex& dedupe = fact_set_[predicate];
+  if (dedupe.Find(TupleView(args, n), hash, key_of) != SpanIndex::kNpos) {
+    return Status::OK();  // duplicate fact
   }
+  storage_stats::CountGrowth(rel.data, n);
+  rel.data.insert(rel.data.end(), args, args + n);
+  uint32_t id = static_cast<uint32_t>(rel.num_rows++);
+  dedupe.Insert(id, hash, key_of);
+  // Invalidate this predicate's cached match indexes. The unlocked empty
+  // probe is safe: mutation concurrent with queries is unsupported, so
+  // nothing builds indexes while we insert — this keeps bulk loading
+  // lock-free on the common build-then-query lifecycle.
+  if (!indexes_[predicate].empty()) {
+    std::unique_lock<std::shared_mutex> lock(index_mu_);
+    indexes_[predicate].clear();
+  }
+  ++generation_;
   return Status::OK();
 }
 
@@ -48,101 +65,223 @@ Status Instance::SetAttribute(const std::string& attribute,
                               const std::vector<std::string>& constants,
                               Value value) {
   CARL_ASSIGN_OR_RETURN(AttributeId aid, schema_->FindAttribute(attribute));
-  Tuple args;
-  args.reserve(constants.size());
-  for (const std::string& c : constants) args.push_back(Intern(c));
-  return SetAttributeIds(aid, std::move(args), std::move(value));
+  SymbolScratch args(constants.size());
+  for (size_t i = 0; i < constants.size(); ++i) args[i] = Intern(constants[i]);
+  return SetAttributeSpan(aid, args.data(), constants.size(),
+                          std::move(value));
 }
 
-Status Instance::SetAttributeIds(AttributeId attribute, Tuple args,
-                                 Value value) {
+Status Instance::SetAttributeSpan(AttributeId attribute, const SymbolId* args,
+                                  size_t n, Value value) {
   const AttributeDef& a = schema_->attribute(attribute);
   const Predicate& p = schema_->predicate(a.predicate);
-  if (static_cast<int>(args.size()) != p.arity()) {
+  if (static_cast<int>(n) != p.arity()) {
     return Status::InvalidArgument(
         StrFormat("attribute %s takes %d args, got %zu", a.name.c_str(),
-                  p.arity(), args.size()));
+                  p.arity(), n));
   }
-  attribute_data_[attribute][std::move(args)] = std::move(value);
+  AttributeStore& store = attribute_data_[attribute];
+  uint32_t row = FindRow(a.predicate, args, n);
+  if (row == kNoRow) {
+    // Not a fact (yet): keep the value keyed by an owned tuple.
+    store.overflow[Tuple(args, args + n)] = std::move(value);
+  } else {
+    if (store.value_of_row.size() <= row) {
+      storage_stats::CountGrowth(store.value_of_row,
+                                 row + 1 - store.value_of_row.size());
+      store.value_of_row.resize(relations_[a.predicate].num_rows, kNoRow);
+    }
+    uint32_t& slot = store.value_of_row[row];
+    if (slot == kNoRow) {
+      slot = static_cast<uint32_t>(store.values.size());
+      storage_stats::CountGrowth(store.values, 1);
+      store.values.push_back(std::move(value));
+      store.row_of_value.push_back(row);
+    } else {
+      store.values[slot] = std::move(value);
+    }
+    // A value set before its fact existed lives in overflow; the row-keyed
+    // write supersedes it.
+    if (!store.overflow.empty()) store.overflow.erase(Tuple(args, args + n));
+  }
   ++generation_;
   return Status::OK();
 }
 
-std::optional<Value> Instance::GetAttribute(AttributeId attribute,
-                                            const Tuple& args) const {
+const Value* Instance::FindAttributeValue(AttributeId attribute,
+                                          const SymbolId* args,
+                                          size_t n) const {
   CARL_CHECK(attribute >= 0 &&
              static_cast<size_t>(attribute) < attribute_data_.size());
-  const auto& map = attribute_data_[attribute];
-  auto it = map.find(args);
-  if (it == map.end()) return std::nullopt;
-  return it->second;
+  const AttributeStore& store = attribute_data_[attribute];
+  const AttributeDef& a = schema_->attribute(attribute);
+  uint32_t row = FindRow(a.predicate, args, n);
+  if (row != kNoRow && row < store.value_of_row.size()) {
+    uint32_t slot = store.value_of_row[row];
+    if (slot != kNoRow) return &store.values[slot];
+  }
+  if (!store.overflow.empty()) {
+    auto it = store.overflow.find(Tuple(args, args + n));
+    if (it != store.overflow.end()) return &it->second;
+  }
+  return nullptr;
 }
 
-const std::vector<Tuple>& Instance::Rows(PredicateId predicate) const {
+RelationView Instance::Rows(PredicateId predicate) const {
   CARL_CHECK(predicate >= 0 &&
              static_cast<size_t>(predicate) < relations_.size());
-  return relations_[predicate].rows;
+  const RelationStore& rel = relations_[predicate];
+  return RelationView(rel.data.data(), rel.arity, rel.num_rows);
 }
 
-const std::unordered_map<Tuple, Value, TupleHash>& Instance::AttributeMap(
+uint32_t Instance::FindRow(PredicateId predicate, const SymbolId* args,
+                           size_t n) const {
+  const RelationStore& rel = relations_[predicate];
+  if (n != rel.arity) return kNoRow;
+  auto key_of = [&rel](uint32_t id) { return rel.row(id); };
+  return fact_set_[predicate].Find(TupleView(args, n), HashSpan(args, n),
+                                   key_of);
+}
+
+std::vector<std::pair<Tuple, Value>> Instance::AttributeEntries(
     AttributeId attribute) const {
   CARL_CHECK(attribute >= 0 &&
              static_cast<size_t>(attribute) < attribute_data_.size());
-  return attribute_data_[attribute];
+  const AttributeStore& store = attribute_data_[attribute];
+  const AttributeDef& a = schema_->attribute(attribute);
+  const RelationStore& rel = relations_[a.predicate];
+  std::vector<std::pair<Tuple, Value>> entries;
+  entries.reserve(store.values.size() + store.overflow.size());
+  for (size_t i = 0; i < store.values.size(); ++i) {
+    entries.emplace_back(rel.row(store.row_of_value[i]).ToTuple(),
+                         store.values[i]);
+  }
+  for (const auto& [tuple, value] : store.overflow) {
+    entries.emplace_back(tuple, value);
+  }
+  return entries;
 }
 
-const Instance::PositionIndex& Instance::GetOrBuildIndex(
-    PredicateId predicate, const std::vector<int>& positions) const {
-  std::string key;
-  for (int p : positions) {
-    key += std::to_string(p);
-    key.push_back(',');
+size_t Instance::NumAttributeValues(AttributeId attribute) const {
+  CARL_CHECK(attribute >= 0 &&
+             static_cast<size_t>(attribute) < attribute_data_.size());
+  const AttributeStore& store = attribute_data_[attribute];
+  return store.values.size() + store.overflow.size();
+}
+
+RowIdSpan Instance::PositionIndex::Lookup(const SymbolId* key,
+                                          size_t n) const {
+  if (n != positions_.size() || table_.empty()) return RowIdSpan();
+  auto key_of = [this](uint32_t id) {
+    return TupleView(keys_.data() + static_cast<size_t>(id) * positions_.size(),
+                     positions_.size());
+  };
+  uint32_t kid = table_.Find(TupleView(key, n), HashSpan(key, n), key_of);
+  if (kid == SpanIndex::kNpos) return RowIdSpan();
+  return RowIdSpan(row_ids_.data() + offsets_[kid],
+                   offsets_[kid + 1] - offsets_[kid]);
+}
+
+void Instance::BuildIndex(const RelationStore& rel, PositionIndex* index) {
+  storage_stats::CountAlloc();
+  const std::vector<int>& positions = index->positions_;
+  const size_t stride = positions.size();
+  const size_t n = rel.num_rows;
+  auto key_of = [index, stride](uint32_t id) {
+    return TupleView(index->keys_.data() + static_cast<size_t>(id) * stride,
+                     stride);
+  };
+
+  // Pass 1 (counting): assign each row its distinct-key id, appending
+  // first-seen keys to the key arena. The table grows with the distinct-
+  // key count (not the row count), so low-cardinality indexes — the
+  // empty-position index has one key — stay small for the lifetime of
+  // the cache.
+  std::vector<uint32_t> row_kid(n);
+  std::vector<uint32_t> counts;
+  SymbolScratch key_scratch(stride);
+  SymbolId* key = key_scratch.data();
+  for (uint32_t r = 0; r < n; ++r) {
+    const SymbolId* row = rel.data.data() + static_cast<size_t>(r) * rel.arity;
+    for (size_t i = 0; i < stride; ++i) key[i] = row[positions[i]];
+    uint64_t hash = HashSpan(key, stride);
+    uint32_t kid = index->table_.Find(TupleView(key, stride), hash, key_of);
+    if (kid == SpanIndex::kNpos) {
+      kid = static_cast<uint32_t>(counts.size());
+      index->keys_.insert(index->keys_.end(), key, key + stride);
+      index->table_.Insert(kid, hash, key_of);
+      counts.push_back(0);
+    }
+    row_kid[r] = kid;
+    ++counts[kid];
   }
+
+  // Pass 2 (scatter): prefix-sum the counts into offsets, then drop each
+  // row id into its key's postings range, preserving row order.
+  index->offsets_.assign(counts.size() + 1, 0);
+  for (size_t k = 0; k < counts.size(); ++k) {
+    index->offsets_[k + 1] = index->offsets_[k] + counts[k];
+  }
+  index->row_ids_.resize(n);
+  std::vector<uint32_t> cursor(index->offsets_.begin(),
+                               index->offsets_.end() - 1);
+  for (uint32_t r = 0; r < n; ++r) {
+    index->row_ids_[cursor[row_kid[r]]++] = r;
+  }
+}
+
+const Instance::PositionIndex* Instance::GetOrBuildIndex(
+    PredicateId predicate, const int* positions, size_t n) const {
   auto& per_pred = indexes_[predicate];
+  auto matches = [&](const PositionIndex& index) {
+    return index.positions_.size() == n &&
+           std::equal(index.positions_.begin(), index.positions_.end(),
+                      positions);
+  };
   {
     std::shared_lock<std::shared_mutex> read_lock(index_mu_);
-    auto it = per_pred.find(key);
-    if (it != per_pred.end()) return it->second;
+    for (const auto& index : per_pred) {
+      if (matches(*index)) return index.get();
+    }
   }
-
   std::unique_lock<std::shared_mutex> write_lock(index_mu_);
-  auto it = per_pred.find(key);  // raced builders: first one wins
-  if (it != per_pred.end()) return it->second;
-
-  PositionIndex index;
-  const std::vector<Tuple>& rows = relations_[predicate].rows;
-  for (uint32_t r = 0; r < rows.size(); ++r) {
-    Tuple projected;
-    projected.reserve(positions.size());
-    for (int p : positions) projected.push_back(rows[r][p]);
-    index.map[std::move(projected)].push_back(r);
+  for (const auto& index : per_pred) {  // raced builders: first one wins
+    if (matches(*index)) return index.get();
   }
-  auto [inserted, ok] = per_pred.emplace(key, std::move(index));
-  (void)ok;
-  return inserted->second;
+  auto index = std::make_unique<PositionIndex>();
+  index->positions_.assign(positions, positions + n);
+  BuildIndex(relations_[predicate], index.get());
+  per_pred.push_back(std::move(index));
+  return per_pred.back().get();
 }
 
-const std::vector<uint32_t>& Instance::Match(
-    PredicateId predicate, const std::vector<int>& positions,
-    const Tuple& key) const {
+const Instance::PositionIndex* Instance::MatchIndex(PredicateId predicate,
+                                                    const int* positions,
+                                                    size_t n) const {
   CARL_CHECK(predicate >= 0 &&
              static_cast<size_t>(predicate) < relations_.size());
+  return GetOrBuildIndex(predicate, positions, n);
+}
+
+RowIdSpan Instance::Match(PredicateId predicate,
+                          const std::vector<int>& positions,
+                          const Tuple& key) const {
   CARL_CHECK(positions.size() == key.size());
-  const PositionIndex& index = GetOrBuildIndex(predicate, positions);
-  auto it = index.map.find(key);
-  if (it == index.map.end()) return kEmptyMatch;
-  return it->second;
+  return MatchIndex(predicate, positions.data(), positions.size())
+      ->Lookup(key.data(), key.size());
 }
 
 size_t Instance::TotalFacts() const {
   size_t total = 0;
-  for (const Relation& r : relations_) total += r.rows.size();
+  for (const RelationStore& r : relations_) total += r.num_rows;
   return total;
 }
 
 size_t Instance::TotalAttributeValues() const {
   size_t total = 0;
-  for (const auto& m : attribute_data_) total += m.size();
+  for (const AttributeStore& s : attribute_data_) {
+    total += s.values.size() + s.overflow.size();
+  }
   return total;
 }
 

@@ -4,18 +4,35 @@
 // interned constants) plus the grounded attribute functions — a partial map
 // (attribute, tuple) -> Value. Unobserved attributes simply have no entries.
 //
-// The instance also owns lazily-built hash indexes per (predicate, bound-
-// position mask), which back the conjunctive-query evaluator used by rule
-// grounding and the universal-table baseline.
+// Storage layout (the grounding hot path is memory-bound, so the layout is
+// the design):
+//   * Each relation is ONE arity-strided SymbolId arena; a row is a span
+//     into it (TupleView), never a per-row heap vector.
+//   * Fact dedupe is an open-addressed SpanIndex of row ids probing the
+//     arena directly — no owned key tuples, no dead payload.
+//   * Attribute values are dense per-attribute columns keyed by row id
+//     (value index per row + insertion-ordered value vector); tuples that
+//     are not facts of the attribute's predicate fall back to a tiny
+//     overflow map that is empty in practice.
+//   * Match indexes are CSR postings: one contiguous row-id array plus an
+//     open-addressed offset table probed with a span hash. Match returns a
+//     span over the postings and never materializes anything; an index is
+//     built in one counting pass per (predicate, position set).
+//
+// Index builds are lazily triggered and serialized behind a shared_mutex,
+// so concurrent query evaluation over one instance is safe; concurrent
+// mutation is not.
 
 #ifndef CARL_RELATIONAL_INSTANCE_H_
 #define CARL_RELATIONAL_INSTANCE_H_
 
 #include <cstdint>
+#include <memory>
 #include <optional>
 #include <shared_mutex>
 #include <string>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "common/interner.h"
@@ -23,17 +40,15 @@
 #include "common/status.h"
 #include "common/value.h"
 #include "relational/schema.h"
+#include "relational/span_index.h"
 #include "relational/tuple.h"
 
 namespace carl {
 
-/// Rows of one predicate, in insertion order.
-struct Relation {
-  std::vector<Tuple> rows;
-};
-
 class Instance {
  public:
+  static constexpr uint32_t kNoRow = SpanIndex::kNpos;
+
   explicit Instance(const Schema* schema);
 
   const Schema& schema() const { return *schema_; }
@@ -55,39 +70,85 @@ class Instance {
   /// ignored. Fails if the predicate is unknown or the arity mismatches.
   Status AddFact(const std::string& predicate,
                  const std::vector<std::string>& constants);
-  /// Adds a fact by pre-interned ids (fast path for generators).
-  Status AddFactIds(PredicateId predicate, Tuple args);
+  /// Adds a fact by pre-interned ids.
+  Status AddFactIds(PredicateId predicate, const Tuple& args) {
+    return AddFactSpan(predicate, args.data(), args.size());
+  }
+  /// Zero-copy fast path for generators: appends the span to the
+  /// relation's arena (dedupe by span hash, no Tuple built).
+  Status AddFactSpan(PredicateId predicate, const SymbolId* args, size_t n);
 
   /// Sets A[args] = value (by constant names). Fails on unknown attribute
   /// or arity mismatch with the attribute's predicate.
   Status SetAttribute(const std::string& attribute,
                       const std::vector<std::string>& constants, Value value);
   /// Fast path by ids. The args must be a ground tuple of the attribute's
-  /// predicate.
-  Status SetAttributeIds(AttributeId attribute, Tuple args, Value value);
+  /// predicate (tuples that are not facts are kept in a side map).
+  Status SetAttributeIds(AttributeId attribute, const Tuple& args,
+                         Value value) {
+    return SetAttributeSpan(attribute, args.data(), args.size(),
+                            std::move(value));
+  }
+  Status SetAttributeSpan(AttributeId attribute, const SymbolId* args,
+                          size_t n, Value value);
 
   /// A[args], or nullopt if unset (unobserved or missing).
   std::optional<Value> GetAttribute(AttributeId attribute,
-                                    const Tuple& args) const;
+                                    const Tuple& args) const {
+    const Value* v = FindAttributeValue(attribute, args.data(), args.size());
+    if (v == nullptr) return std::nullopt;
+    return *v;
+  }
+  /// Allocation-free probe: pointer to the stored value or nullptr. The
+  /// pointer is valid until the next attribute write.
+  const Value* FindAttributeValue(AttributeId attribute, const SymbolId* args,
+                                  size_t n) const;
 
-  /// All ground tuples of `predicate`.
-  const std::vector<Tuple>& Rows(PredicateId predicate) const;
+  /// All ground tuples of `predicate`, in insertion order, as a view over
+  /// the relation's arena. The view is invalidated by fact insertion.
+  RelationView Rows(PredicateId predicate) const;
   size_t NumRows(PredicateId predicate) const {
     return Rows(predicate).size();
   }
 
-  /// All (tuple, value) pairs set for an attribute.
-  const std::unordered_map<Tuple, Value, TupleHash>& AttributeMap(
-      AttributeId attribute) const;
+  /// Row id of a ground tuple of `predicate`, or kNoRow.
+  uint32_t FindRow(PredicateId predicate, const SymbolId* args,
+                   size_t n) const;
 
-  /// Row indexes of `predicate` whose values at `positions` equal `key`
-  /// (in the same order). Builds and caches a hash index per position set.
-  /// An empty position set returns all rows. Safe to call from concurrent
-  /// readers (index builds are serialized internally); concurrent with
-  /// AddFact/SetAttribute it is not.
-  const std::vector<uint32_t>& Match(PredicateId predicate,
-                                     const std::vector<int>& positions,
-                                     const Tuple& key) const;
+  /// All (tuple, value) pairs set for an attribute, in insertion order
+  /// (materialized snapshot; iteration-safe under concurrent writes from
+  /// the same thread).
+  std::vector<std::pair<Tuple, Value>> AttributeEntries(
+      AttributeId attribute) const;
+  /// Number of values set for an attribute.
+  size_t NumAttributeValues(AttributeId attribute) const;
+
+  /// A cached CSR index of `predicate` keyed on `positions`: Lookup
+  /// returns the row ids whose values at `positions` equal the probed key
+  /// (in row order), as a span over the postings array. An empty position
+  /// set keys every row under the empty key. Safe to call from concurrent
+  /// readers (builds are serialized internally); concurrent with
+  /// AddFact/SetAttribute it is not. The pointer is invalidated by fact
+  /// insertion into the predicate.
+  class PositionIndex {
+   public:
+    RowIdSpan Lookup(const SymbolId* key, size_t n) const;
+
+   private:
+    friend class Instance;
+    std::vector<int> positions_;
+    std::vector<SymbolId> keys_;      // distinct keys, positions_.size()-strided
+    SpanIndex table_;                 // key span -> distinct-key id
+    std::vector<uint32_t> offsets_;   // per key id: postings range
+    std::vector<uint32_t> row_ids_;   // CSR postings, row order within key
+  };
+  const PositionIndex* MatchIndex(PredicateId predicate, const int* positions,
+                                  size_t n) const;
+
+  /// Row ids of `predicate` whose values at `positions` equal `key` (in
+  /// the same order). Convenience wrapper over MatchIndex + Lookup.
+  RowIdSpan Match(PredicateId predicate, const std::vector<int>& positions,
+                  const Tuple& key) const;
 
   /// Total fact count across predicates.
   size_t TotalFacts() const;
@@ -106,28 +167,42 @@ class Instance {
   const StringInterner& interner() const { return interner_; }
 
  private:
-  struct PositionIndex {
-    // key (projected tuple) -> row ids.
-    std::unordered_map<Tuple, std::vector<uint32_t>, TupleHash> map;
+  // One predicate's rows: a single arity-strided arena.
+  struct RelationStore {
+    size_t arity = 1;
+    size_t num_rows = 0;
+    std::vector<SymbolId> data;
+
+    TupleView row(uint32_t r) const {
+      return TupleView(data.data() + static_cast<size_t>(r) * arity, arity);
+    }
   };
 
-  const PositionIndex& GetOrBuildIndex(PredicateId predicate,
-                                       const std::vector<int>& positions) const;
+  // One attribute's values, keyed by row id of its predicate.
+  struct AttributeStore {
+    std::vector<uint32_t> value_of_row;  // row id -> index into values
+    std::vector<Value> values;           // insertion order
+    std::vector<uint32_t> row_of_value;  // parallel to values
+    // Tuples set before (or without) the matching fact; empty in practice.
+    std::unordered_map<Tuple, Value, TupleHash> overflow;
+  };
+
+  const PositionIndex* GetOrBuildIndex(PredicateId predicate,
+                                       const int* positions, size_t n) const;
+  static void BuildIndex(const RelationStore& rel, PositionIndex* index);
 
   const Schema* schema_;
   StringInterner interner_;
   uint64_t generation_ = 0;
-  std::vector<Relation> relations_;                    // by PredicateId
-  std::vector<std::unordered_map<Tuple, bool, TupleHash>> fact_set_;  // dedupe
-  std::vector<std::unordered_map<Tuple, Value, TupleHash>> attribute_data_;
+  std::vector<RelationStore> relations_;  // by PredicateId
+  std::vector<SpanIndex> fact_set_;       // row-id dedupe, by PredicateId
+  std::vector<AttributeStore> attribute_data_;  // by AttributeId
 
-  // Index cache: per predicate, keyed by the position list. Guarded by
-  // index_mu_ so parallel query evaluation can share one instance; element
-  // references stay valid across inserts (node-based map).
-  mutable std::vector<std::unordered_map<std::string, PositionIndex>> indexes_;
+  // Index cache: per predicate, one entry per distinct position list
+  // (linear scan — the count is bounded by the query shapes, a handful).
+  // unique_ptr keeps element addresses stable across cache growth.
+  mutable std::vector<std::vector<std::unique_ptr<PositionIndex>>> indexes_;
   mutable std::shared_mutex index_mu_;
-
-  static const std::vector<uint32_t> kEmptyMatch;
 };
 
 }  // namespace carl

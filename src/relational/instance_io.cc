@@ -98,7 +98,7 @@ Result<CsvDocument> DumpFactsCsv(const Instance& instance,
   for (int i = 0; i < pred.arity(); ++i) {
     doc.header.push_back(StrFormat("arg%d", i));
   }
-  for (const Tuple& row : instance.Rows(pid)) {
+  for (TupleView row : instance.Rows(pid)) {
     std::vector<std::string> cells;
     cells.reserve(row.size());
     for (SymbolId s : row) cells.push_back(instance.ConstantName(s));

@@ -1,0 +1,54 @@
+// Allocation accounting for the relational storage/join layer.
+//
+// The columnar storage rework (arena relations, CSR match indexes, the
+// plan-driven searcher) is about keeping heap allocation out of the hot
+// join loops, but wall time alone can't tell an allocation regression
+// from noise. The layer therefore counts its allocation *events* — arena
+// and posting-list growth, hash-table rehashes, index builds, per-search
+// scratch acquisition — through this one relaxed atomic. Steady-state
+// evaluation over warm indexes should add ~0; benches snapshot the
+// counter around a phase (ScopedAllocCounter) and report the delta so
+// future PRs surface regressions as a number, not a hunch.
+
+#ifndef CARL_RELATIONAL_STORAGE_STATS_H_
+#define CARL_RELATIONAL_STORAGE_STATS_H_
+
+#include <atomic>
+#include <cstdint>
+
+namespace carl {
+namespace storage_stats {
+
+inline std::atomic<uint64_t>& AllocCount() {
+  static std::atomic<uint64_t> count{0};
+  return count;
+}
+
+inline void CountAlloc(uint64_t n = 1) {
+  AllocCount().fetch_add(n, std::memory_order_relaxed);
+}
+
+/// Bumps the counter when appending `extra` elements to `v` would grow
+/// its capacity.
+template <typename V>
+inline void CountGrowth(const V& v, size_t extra) {
+  if (v.size() + extra > v.capacity()) CountAlloc();
+}
+
+/// Snapshot-and-delta helper for bench phases.
+class ScopedAllocCounter {
+ public:
+  ScopedAllocCounter()
+      : start_(AllocCount().load(std::memory_order_relaxed)) {}
+  uint64_t delta() const {
+    return AllocCount().load(std::memory_order_relaxed) - start_;
+  }
+
+ private:
+  uint64_t start_;
+};
+
+}  // namespace storage_stats
+}  // namespace carl
+
+#endif  // CARL_RELATIONAL_STORAGE_STATS_H_

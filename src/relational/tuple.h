@@ -1,10 +1,19 @@
-// Tuple: a ground argument list (interned constants), the unit of storage
-// for relational skeletons and the key type for grounded attributes.
+// Tuple: a ground argument list (interned constants). Owned Tuples remain
+// the API currency for insertion and for long-lived keys (graph nodes,
+// query results); the storage layer itself keeps rows in arity-strided
+// SymbolId arenas and hands out non-owning TupleViews over them, so the
+// hot join loops never touch a per-row heap vector.
+//
+// HashSpan is the single hash function for both representations — a Tuple
+// and the TupleView over the same ids hash identically, which lets the
+// open-addressed span indexes (span_index.h) probe arena rows with keys
+// assembled in stack scratch buffers.
 
 #ifndef CARL_RELATIONAL_TUPLE_H_
 #define CARL_RELATIONAL_TUPLE_H_
 
 #include <cstddef>
+#include <cstdint>
 #include <vector>
 
 #include "common/interner.h"
@@ -13,15 +22,132 @@ namespace carl {
 
 using Tuple = std::vector<SymbolId>;
 
-struct TupleHash {
-  size_t operator()(const Tuple& t) const {
-    size_t h = 0xcbf29ce484222325ull;
-    for (SymbolId id : t) {
-      h ^= static_cast<size_t>(id) + 0x9e3779b97f4a7c15ull + (h << 6) +
-           (h >> 2);
-    }
-    return h;
+/// Hash of a SymbolId span (FNV-offset seeded mix; identical to the
+/// historical TupleHash so fingerprints and bucket orders are unchanged).
+inline uint64_t HashSpan(const SymbolId* data, size_t size) {
+  uint64_t h = 0xcbf29ce484222325ull;
+  for (size_t i = 0; i < size; ++i) {
+    h ^= static_cast<uint64_t>(data[i]) + 0x9e3779b97f4a7c15ull + (h << 6) +
+         (h >> 2);
   }
+  return h;
+}
+
+/// Non-owning view of one row (or key): a pointer into an arena plus a
+/// length. Valid as long as the underlying storage is not mutated.
+class TupleView {
+ public:
+  TupleView() = default;
+  TupleView(const SymbolId* data, size_t size) : data_(data), size_(size) {}
+  /* implicit */ TupleView(const Tuple& t) : data_(t.data()), size_(t.size()) {}
+
+  const SymbolId* data() const { return data_; }
+  size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+  SymbolId operator[](size_t i) const { return data_[i]; }
+  const SymbolId* begin() const { return data_; }
+  const SymbolId* end() const { return data_ + size_; }
+
+  /// Materializes an owned Tuple (one allocation).
+  Tuple ToTuple() const { return Tuple(data_, data_ + size_); }
+
+  uint64_t Hash() const { return HashSpan(data_, size_); }
+
+  friend bool operator==(TupleView a, TupleView b) {
+    if (a.size_ != b.size_) return false;
+    for (size_t i = 0; i < a.size_; ++i) {
+      if (a.data_[i] != b.data_[i]) return false;
+    }
+    return true;
+  }
+  friend bool operator!=(TupleView a, TupleView b) { return !(a == b); }
+
+ private:
+  const SymbolId* data_ = nullptr;
+  size_t size_ = 0;
+};
+
+/// Non-owning view of a sorted run of row ids (a Match posting list).
+class RowIdSpan {
+ public:
+  RowIdSpan() = default;
+  RowIdSpan(const uint32_t* data, size_t size) : data_(data), size_(size) {}
+
+  const uint32_t* data() const { return data_; }
+  size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+  uint32_t operator[](size_t i) const { return data_[i]; }
+  const uint32_t* begin() const { return data_; }
+  const uint32_t* end() const { return data_ + size_; }
+
+ private:
+  const uint32_t* data_ = nullptr;
+  size_t size_ = 0;
+};
+
+/// View of one predicate's rows: an arity-strided arena. Row r is the
+/// span [data + r*arity, data + (r+1)*arity).
+class RelationView {
+ public:
+  RelationView() = default;
+  RelationView(const SymbolId* data, size_t arity, size_t num_rows)
+      : data_(data), arity_(arity), num_rows_(num_rows) {}
+
+  size_t size() const { return num_rows_; }
+  bool empty() const { return num_rows_ == 0; }
+  size_t arity() const { return arity_; }
+  const SymbolId* data() const { return data_; }
+  TupleView operator[](size_t r) const {
+    return TupleView(data_ + r * arity_, arity_);
+  }
+
+  class iterator {
+   public:
+    iterator(const SymbolId* p, size_t arity) : p_(p), arity_(arity) {}
+    TupleView operator*() const { return TupleView(p_, arity_); }
+    iterator& operator++() {
+      p_ += arity_;
+      return *this;
+    }
+    bool operator!=(const iterator& o) const { return p_ != o.p_; }
+
+   private:
+    const SymbolId* p_;
+    size_t arity_;
+  };
+  iterator begin() const { return iterator(data_, arity_); }
+  iterator end() const { return iterator(data_ + num_rows_ * arity_, arity_); }
+
+ private:
+  const SymbolId* data_ = nullptr;
+  size_t arity_ = 1;
+  size_t num_rows_ = 0;
+};
+
+struct TupleHash {
+  size_t operator()(const Tuple& t) const { return HashSpan(t.data(), t.size()); }
+};
+
+/// Key-assembly scratch: stack storage for the common small arities, one
+/// heap allocation beyond that.
+class SymbolScratch {
+ public:
+  explicit SymbolScratch(size_t n) {
+    if (n <= kInlineCapacity) {
+      data_ = inline_;
+    } else {
+      heap_.resize(n);
+      data_ = heap_.data();
+    }
+  }
+  SymbolId* data() { return data_; }
+  SymbolId& operator[](size_t i) { return data_[i]; }
+
+ private:
+  static constexpr size_t kInlineCapacity = 16;
+  SymbolId inline_[kInlineCapacity];
+  Tuple heap_;
+  SymbolId* data_ = nullptr;
 };
 
 }  // namespace carl

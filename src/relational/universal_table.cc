@@ -1,5 +1,6 @@
 #include "relational/universal_table.h"
 
+#include <algorithm>
 #include <unordered_map>
 
 #include "common/str_util.h"
@@ -61,14 +62,21 @@ Result<UniversalTableResult> BuildUniversalTable(
   UniversalTableResult result;
   result.table = FlatTable(names);
   std::vector<double> row(resolved.size());
+  size_t max_args = 0;
+  for (const ResolvedColumn& rc : resolved) {
+    max_args = std::max(max_args, rc.var_positions.size());
+  }
+  std::vector<SymbolId> args(std::max<size_t>(max_args, 1));
   for (const Tuple& binding : bindings) {
     bool complete = true;
     for (size_t c = 0; c < resolved.size(); ++c) {
-      Tuple args;
-      args.reserve(resolved[c].var_positions.size());
-      for (int p : resolved[c].var_positions) args.push_back(binding[p]);
-      std::optional<Value> v = instance.GetAttribute(resolved[c].attribute, args);
-      if (!v.has_value() || v->is_null()) {
+      const std::vector<int>& positions = resolved[c].var_positions;
+      for (size_t i = 0; i < positions.size(); ++i) {
+        args[i] = binding[positions[i]];
+      }
+      const Value* v = instance.FindAttributeValue(
+          resolved[c].attribute, args.data(), positions.size());
+      if (v == nullptr || v->is_null()) {
         complete = false;
         break;
       }

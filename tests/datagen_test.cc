@@ -16,7 +16,7 @@ std::vector<double> AttributeValues(const Instance& db,
                                     const std::string& attribute) {
   AttributeId aid = *db.schema().FindAttribute(attribute);
   std::vector<double> out;
-  for (const auto& [tuple, value] : db.AttributeMap(aid)) {
+  for (const auto& [tuple, value] : db.AttributeEntries(aid)) {
     (void)tuple;
     if (value.is_numeric()) out.push_back(value.AsDouble());
   }
@@ -132,7 +132,7 @@ TEST(ReviewGeneratorTest, ConfoundingAndEffectsPresent) {
   // Collaboration is symmetric.
   PredicateId collab = *data->dataset.schema->FindPredicate("Collaborator");
   for (size_t i = 0; i < std::min<size_t>(50, db.NumRows(collab)); ++i) {
-    const Tuple& row = db.Rows(collab)[i];
+    TupleView row = db.Rows(collab)[i];
     EXPECT_FALSE(db.Match(collab, {0, 1}, {row[1], row[0]}).empty());
   }
 }

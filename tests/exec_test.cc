@@ -455,9 +455,9 @@ TEST(QuerySessionTest, ValueMutationInvalidatesCachedGroundings) {
   Result<AttributeId> score =
       model->extended_schema().FindAttribute("Score");
   ASSERT_TRUE(score.ok());
-  const auto& score_map = data->instance->AttributeMap(*score);
-  ASSERT_FALSE(score_map.empty());
-  Tuple target = score_map.begin()->first;
+  const auto score_entries = data->instance->AttributeEntries(*score);
+  ASSERT_FALSE(score_entries.empty());
+  Tuple target = score_entries.front().first;
   ASSERT_TRUE(
       data->instance->SetAttributeIds(*score, target, Value(123.5)).ok());
 

@@ -58,9 +58,9 @@ TEST_F(SyntheticReviewTest, GeneratorShapes) {
   EXPECT_GT(db.NumRows(*schema.FindPredicate("Collaborator")), 100u);
   // Observed attributes written; latent ones not.
   AttributeId score = *schema.FindAttribute("Score");
-  EXPECT_EQ(db.AttributeMap(score).size(), 2400u);
+  EXPECT_EQ(db.NumAttributeValues(score), 2400u);
   AttributeId quality = *schema.FindAttribute("Quality");
-  EXPECT_TRUE(db.AttributeMap(quality).empty());
+  EXPECT_EQ(db.NumAttributeValues(quality), 0u);
 }
 
 TEST_F(SyntheticReviewTest, RecoversIsolatedAndRelationalEffects) {

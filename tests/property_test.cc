@@ -162,7 +162,7 @@ TEST(EvaluatorPropertyTest, AgreesWithNaiveEnumeration) {
     PredicateId r = *schema.FindPredicate("R");
     PredicateId q = *schema.FindPredicate("Q");
     auto has = [&db](PredicateId p, SymbolId a, SymbolId b) {
-      for (const Tuple& row : db.Rows(p)) {
+      for (TupleView row : db.Rows(p)) {
         if (row[0] == a && row[1] == b) return true;
       }
       return false;

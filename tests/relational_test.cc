@@ -97,7 +97,7 @@ TEST(InstanceTest, MatchIndex) {
   CARL_CHECK_OK(db.AddFact("Author", {"Eva", "s2"}));
   PredicateId author = *schema.FindPredicate("Author");
   SymbolId eva = db.LookupConstant("Eva");
-  const std::vector<uint32_t>& rows = db.Match(author, {0}, {eva});
+  RowIdSpan rows = db.Match(author, {0}, {eva});
   EXPECT_EQ(rows.size(), 2u);
   SymbolId s1 = db.LookupConstant("s1");
   EXPECT_EQ(db.Match(author, {1}, {s1}).size(), 2u);

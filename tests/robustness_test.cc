@@ -51,7 +51,7 @@ class RobustnessTest : public ::testing::Test {
     AttributeId aid = *data_->dataset.schema->FindAttribute(attribute);
     Rng rng(seed);
     std::vector<Tuple> to_clear;
-    for (const auto& [tuple, value] : db.AttributeMap(aid)) {
+    for (const auto& [tuple, value] : db.AttributeEntries(aid)) {
       (void)value;
       if (rng.Bernoulli(fraction)) to_clear.push_back(tuple);
     }
@@ -101,7 +101,7 @@ TEST_F(RobustnessTest, AllTreatedIsCleanError) {
   Instance& db = *data_->dataset.instance;
   AttributeId prestige = *data_->dataset.schema->FindAttribute("Prestige");
   std::vector<Tuple> units;
-  for (const auto& [tuple, value] : db.AttributeMap(prestige)) {
+  for (const auto& [tuple, value] : db.AttributeEntries(prestige)) {
     (void)value;
     units.push_back(tuple);
   }
@@ -118,7 +118,7 @@ TEST_F(RobustnessTest, AllTreatedIsCleanError) {
 TEST_F(RobustnessTest, NonBinaryTreatmentIsCleanError) {
   Instance& db = *data_->dataset.instance;
   AttributeId prestige = *data_->dataset.schema->FindAttribute("Prestige");
-  Tuple first = db.AttributeMap(prestige).begin()->first;
+  Tuple first = db.AttributeEntries(prestige).front().first;
   CARL_CHECK_OK(db.SetAttributeIds(prestige, first, Value(0.5)));
   std::unique_ptr<CarlEngine> engine = MakeEngine();
   Result<QueryAnswer> answer =
