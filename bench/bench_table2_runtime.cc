@@ -123,15 +123,23 @@ int Run(const bench::BenchFlags& flags) {
     });
     // One extra warm pass under a scoped counter: with the match indexes
     // hot, the remaining events are the per-pass allocation cost of the
-    // storage/join layer — the number future PRs must not regress.
+    // storage/join layer — the number future PRs must not regress. The
+    // eval-result counter must be exactly zero: bindings stream columnar
+    // from the evaluator into the graph merge, never through owned
+    // Tuples.
     uint64_t ground_allocs = 0;
+    uint64_t ground_eval_allocs = 0;
     {
       storage_stats::ScopedAllocCounter allocs;
       Result<GroundedModel> grounded =
           GroundModel(*wl.dataset->instance, *model);
       CARL_CHECK_OK(grounded.status());
       ground_allocs = allocs.delta();
+      ground_eval_allocs = allocs.eval_result_delta();
     }
+    CARL_CHECK(ground_eval_allocs == 0)
+        << "per-binding Tuple materialization crept back into the "
+        << "grounding hot path: " << ground_eval_allocs << " events";
 
     Result<CausalQuery> query = ParseQuery(wl.query);
     CARL_CHECK_OK(query.status());
@@ -159,6 +167,8 @@ int Run(const bench::BenchFlags& flags) {
     bench::EmitJson(kBenchName, wl.name, "grounding_s", ground_s);
     bench::EmitJson(kBenchName, wl.name, "grounding_allocs",
                     static_cast<double>(ground_allocs));
+    bench::EmitJson(kBenchName, wl.name, "grounding_eval_result_allocs",
+                    static_cast<double>(ground_eval_allocs));
     bench::EmitJson(kBenchName, wl.name, "unit_table_s", table_s);
     bench::EmitJson(kBenchName, wl.name, "unit_table_allocs",
                     static_cast<double>(table_allocs));

@@ -9,6 +9,12 @@ hot paths); everything else is reported informationally. The factor is
 deliberately generous — CI machines differ from the baseline machine —
 so only order-of-magnitude regressions trip it. Absolute times below
 MIN_GATED_SECONDS are ignored (pure noise).
+
+The gate fails loudly — never vacuously — when its inputs are broken:
+a missing baseline file, a gated metric whose baseline value is zero or
+non-positive (a zero wall time means the timer or collector broke, and
+every future ratio against it would pass), or a gated metric present in
+the fresh collection but absent from the baseline.
 """
 
 import json
@@ -45,17 +51,29 @@ def main(argv):
     for name in TABLES:
         fresh_path, base_path = fresh_dir / name, baseline_dir / name
         if not base_path.exists():
-            print(f"[skip] no baseline {base_path}")
+            # A vanished baseline would make every future run pass
+            # vacuously; refuse instead of skipping.
+            failures.append(f"{name}: baseline missing ({base_path})")
             continue
         if not fresh_path.exists():
             failures.append(f"{name}: fresh collection missing ({fresh_path})")
             continue
         fresh, base = load(fresh_path), load(base_path)
+        if not base:
+            failures.append(f"{name}: baseline is empty ({base_path})")
+            continue
         for key, base_value in sorted(base.items()):
             bench, label, metric = key
             fresh_value = fresh.get(key)
             if fresh_value is None:
                 failures.append(f"{name}: metric vanished: {key}")
+                continue
+            if metric in GATED_METRICS and base_value <= 0:
+                failures.append(
+                    f"{bench}/{label}/{metric}: baseline value is "
+                    f"{base_value!r} — timer or collector broke; "
+                    f"re-collect the baseline"
+                )
                 continue
             gated = (
                 metric in GATED_METRICS and base_value >= MIN_GATED_SECONDS
@@ -71,6 +89,15 @@ def main(argv):
                 failures.append(
                     f"{bench}/{label}/{metric}: {base_value:.4g} -> "
                     f"{fresh_value:.4g} (>{factor}x)"
+                )
+        # A gated metric present fresh but unknown to the baseline means
+        # the baseline predates the bench change — refresh it in the same
+        # PR so the new metric is gated from day one.
+        for key in sorted(fresh):
+            if key[2] in GATED_METRICS and key not in base:
+                failures.append(
+                    f"{name}: gated metric {key} has no baseline; refresh "
+                    f"the committed BENCH files"
                 )
 
     if failures:

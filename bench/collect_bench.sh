@@ -30,7 +30,20 @@ for table in 1 2 3; do
   fi
   out="$OUT_DIR/BENCH_table$table.json"
   echo "== $bin --quick -> $out"
-  "$exe" --quick | sed -n 's/^BENCH_JSON //p' > "$out"
+  # Run the bench to a scratch file and check its exit code explicitly:
+  # piping straight into sed can leave a truncated output file behind a
+  # crashed bench, and makes the failure surface as a confusing parse
+  # error downstream instead of the bench's own status.
+  raw="$(mktemp)"
+  trap 'rm -f "$raw"' EXIT
+  status=0
+  "$exe" --quick > "$raw" || status=$?
+  if [[ "$status" -ne 0 ]]; then
+    echo "$bin --quick failed with exit code $status" >&2
+    exit "$status"
+  fi
+  sed -n 's/^BENCH_JSON //p' "$raw" > "$out"
+  rm -f "$raw"
   test -s "$out" || { echo "no BENCH_JSON lines from $bin" >&2; exit 1; }
 done
 echo "collected: $OUT_DIR/BENCH_table{1,2,3}.json"

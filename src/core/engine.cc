@@ -85,10 +85,14 @@ Result<std::optional<std::unordered_set<Tuple, TupleHash>>> EvaluateFilter(
   cq.atoms.push_back(std::move(unit_atom));
 
   QueryEvaluator evaluator(&instance);
-  CARL_ASSIGN_OR_RETURN(std::vector<Tuple> bindings,
+  CARL_ASSIGN_OR_RETURN(BindingTable bindings,
                         evaluator.Evaluate(cq, {link_vars[0]}));
-  std::unordered_set<Tuple, TupleHash> allowed(bindings.begin(),
-                                               bindings.end());
+  // Cold path (one filter per query): the unit-table probe wants owned
+  // keys, so materialize here — through the counted ToTuples API, never
+  // row-by-row — rather than on the evaluator hot path.
+  std::unordered_set<Tuple, TupleHash> allowed;
+  allowed.reserve(bindings.size());
+  for (Tuple& t : bindings.ToTuples()) allowed.insert(std::move(t));
   return std::optional<std::unordered_set<Tuple, TupleHash>>(
       std::move(allowed));
 }

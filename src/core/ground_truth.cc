@@ -1,6 +1,7 @@
 #include "core/ground_truth.h"
 
 #include <deque>
+#include <unordered_set>
 
 #include "common/logging.h"
 

@@ -1,18 +1,67 @@
 #include "core/grounding.h"
 
 #include <algorithm>
+#include <cstdio>
 #include <unordered_map>
-#include <unordered_set>
 
 #include "common/logging.h"
 #include "exec/parallel.h"
 #include "relational/evaluator.h"
 
 namespace carl {
+
+size_t PlanBindingShards(size_t candidates, int threads) {
+  if (threads <= 1) return 1;
+  size_t max_by_size = candidates / kBindingShardMinRows;
+  size_t shards = std::min(static_cast<size_t>(threads) * 4, max_by_size);
+  if (shards <= 1) return 1;
+  // Defensive clamp: the balanced split [c*s/n, c*(s+1)/n) has a smallest
+  // shard of floor(candidates / shards) rows; shrink until it clears the
+  // per-shard floor so no task is woken for under-threshold work.
+  while (shards > 1 && candidates / shards < kBindingShardMinRows) {
+    --shards;
+  }
+  return shards;
+}
+
+std::shared_ptr<const BindingTable> BindingCache::Find(
+    const std::string& key) {
+  auto it = entries_.find(key);
+  if (it == entries_.end()) {
+    ++misses_;
+    return nullptr;
+  }
+  ++hits_;
+  return it->second;
+}
+
+void BindingCache::Insert(std::string key,
+                          std::shared_ptr<const BindingTable> table) {
+  if (entries_.count(key) > 0) return;  // first producer wins
+  size_t incoming = table->arena_bytes();
+  while (!insertion_order_.empty() &&
+         (entries_.size() >= max_entries_ ||
+          total_bytes_ + incoming > max_bytes_)) {
+    auto it = entries_.find(insertion_order_.front());
+    if (it != entries_.end()) {
+      total_bytes_ -= it->second->arena_bytes();
+      entries_.erase(it);
+    }
+    insertion_order_.erase(insertion_order_.begin());
+  }
+  total_bytes_ += incoming;
+  insertion_order_.push_back(key);
+  entries_.emplace(std::move(key), std::move(table));
+}
+
+void BindingCache::Clear() {
+  entries_.clear();
+  insertion_order_.clear();
+  total_bytes_ = 0;
+}
+
 namespace {
 
-// Shards below this many root-candidate rows are not worth a task.
-constexpr size_t kMinRowsPerShard = 1024;
 // Node/edge merges below this many bindings run the plain serial loop.
 constexpr size_t kMinBindingsParallelMerge = 4096;
 
@@ -47,8 +96,8 @@ struct CompiledRef {
 
   size_t arity() const { return slots.size(); }
 
-  // Fills out[0..arity) from a binding; false when unresolvable.
-  bool Resolve(const Tuple& binding, SymbolId* out) const {
+  // Fills out[0..arity) from a binding row; false when unresolvable.
+  bool Resolve(TupleView binding, SymbolId* out) const {
     if (unresolvable) return false;
     for (size_t i = 0; i < slots.size(); ++i) {
       out[i] = slots[i] >= 0 ? binding[slots[i]] : constants[i];
@@ -81,28 +130,28 @@ CompiledRef CompileRef(
   return out;
 }
 
-// Enumerates a rule condition's bindings, sharding the root atom's
-// candidate rows across the pool when the input is large enough. The
-// query is compiled once and the plan shared by every shard. Shard
-// outputs merge first-occurrence in shard order, which reproduces the
-// serial Evaluate() result exactly — so the binding sequence (and with it
-// every downstream node/edge id) is thread-count independent.
-Result<std::vector<Tuple>> EnumerateBindings(
+// Enumerates a rule condition's bindings into one columnar table,
+// sharding the root atom's candidate rows across the pool when the input
+// is large enough. The query is compiled once and the plan shared by
+// every shard. Shard tables stream first-occurrence in shard order into
+// the merged table, which reproduces the serial Evaluate() result exactly
+// — so the binding sequence (and with it every downstream node/edge id)
+// is thread-count independent. No owned Tuple is built anywhere.
+Result<BindingTable> EnumerateBindings(
     const QueryEvaluator& evaluator, const ConjunctiveQuery& where,
     const std::vector<std::string>& vars, ExecContext& ctx) {
   CARL_ASSIGN_OR_RETURN(PreparedQuery prepared, evaluator.Prepare(where));
   if (ctx.serial()) return evaluator.Evaluate(prepared, vars);
   CARL_ASSIGN_OR_RETURN(size_t candidates,
                         evaluator.CountRootCandidates(prepared));
-  size_t shards = std::min(static_cast<size_t>(ctx.threads()) * 4,
-                           candidates / kMinRowsPerShard);
+  size_t shards = PlanBindingShards(candidates, ctx.threads());
   if (shards <= 1) return evaluator.Evaluate(prepared, vars);
 
-  std::vector<std::vector<Tuple>> shard_results(shards);
+  std::vector<BindingTable> shard_results(shards);
   std::vector<Status> shard_status(shards);
   ParallelFor(ctx, shards, [&](size_t begin, size_t end, size_t) {
     for (size_t s = begin; s < end; ++s) {
-      Result<std::vector<Tuple>> r =
+      Result<BindingTable> r =
           evaluator.EvaluateShard(prepared, vars, s, shards);
       if (r.ok()) {
         shard_results[s] = std::move(*r);
@@ -114,17 +163,94 @@ Result<std::vector<Tuple>> EnumerateBindings(
   for (const Status& s : shard_status) CARL_RETURN_IF_ERROR(s);
 
   size_t total = 0;
-  for (const std::vector<Tuple>& sr : shard_results) total += sr.size();
-  std::unordered_set<Tuple, TupleHash> seen;
-  seen.reserve(total);
-  std::vector<Tuple> bindings;
-  bindings.reserve(total);
-  for (std::vector<Tuple>& sr : shard_results) {
-    for (Tuple& t : sr) {
-      if (seen.insert(t).second) bindings.push_back(std::move(t));
+  for (const BindingTable& sr : shard_results) total += sr.size();
+  BindingTable merged(vars.size());
+  merged.Reserve(total);
+  for (const BindingTable& sr : shard_results) {
+    for (size_t r = 0; r < sr.size(); ++r) {
+      merged.InsertDistinct(sr.row(r).data());
     }
   }
-  return bindings;
+  return merged;
+}
+
+// Cache key of one rule condition's binding table. The projection order
+// matters (it is the row layout), so it is part of the key. The pretty
+// ToString forms are NOT sufficient on their own: numeric constraint
+// values render at 6 significant digits (two distinct thresholds can
+// print identically) and string values embed unescaped — so every
+// constraint rhs is additionally encoded exactly (hex-float doubles,
+// length-prefixed strings). A key collision here would silently reuse
+// the wrong rule's bindings.
+std::string BindingCacheKey(const ConjunctiveQuery& where,
+                            const std::vector<std::string>& vars) {
+  std::string key;
+  for (const Atom& atom : where.atoms) {
+    key += atom.ToString();
+    key += ';';
+  }
+  for (const AttributeConstraint& c : where.constraints) {
+    key += c.attribute;
+    key += '(';
+    for (const Term& t : c.args) {
+      key += t.is_variable() ? 'V' : 'C';
+      key += std::to_string(t.text.size());
+      key += ':';
+      key += t.text;
+    }
+    key += ')';
+    key += CompareOpToString(c.op);
+    switch (c.rhs.type()) {
+      case ValueType::kNull:
+        key += "null";
+        break;
+      case ValueType::kBool:
+        key += c.rhs.bool_value() ? "b1" : "b0";
+        break;
+      case ValueType::kInt:
+        key += 'i';
+        key += std::to_string(c.rhs.int_value());
+        break;
+      case ValueType::kDouble: {
+        char buf[40];
+        std::snprintf(buf, sizeof(buf), "d%a", c.rhs.double_value());
+        key += buf;
+        break;
+      }
+      case ValueType::kString:
+        key += 's';
+        key += std::to_string(c.rhs.string_value().size());
+        key += ':';
+        key += c.rhs.string_value();
+        break;
+    }
+    key += ';';
+  }
+  key += '|';
+  for (const std::string& v : vars) {
+    key += std::to_string(v.size());
+    key += ':';
+    key += v;
+  }
+  return key;
+}
+
+Result<std::shared_ptr<const BindingTable>> EnumerateBindingsCached(
+    const QueryEvaluator& evaluator, const ConjunctiveQuery& where,
+    const std::vector<std::string>& vars, ExecContext& ctx,
+    BindingCache* cache) {
+  std::string key;
+  if (cache != nullptr) {
+    key = BindingCacheKey(where, vars);
+    if (std::shared_ptr<const BindingTable> hit = cache->Find(key)) {
+      return hit;
+    }
+  }
+  CARL_ASSIGN_OR_RETURN(BindingTable table,
+                        EnumerateBindings(evaluator, where, vars, ctx));
+  auto shared = std::make_shared<const BindingTable>(std::move(table));
+  if (cache != nullptr) cache->Insert(std::move(key), shared);
+  return shared;
 }
 
 // Merges one rule's groundings into the graph, in binding order.
@@ -133,15 +259,20 @@ Result<std::vector<Tuple>> EnumerateBindings(
 // the failing body edge (the head grounding still counts), aggregate
 // rules skip the whole binding unless head and source both resolve.
 //
-// Serial contexts (or small inputs) run the legacy loop. Parallel
-// contexts split the work in two phases: a parallel pass resolves every
-// reference and probes the graph's node interner read-only (the hash-
-// heavy part — after step 1's bulk build nearly every grounding already
-// has a node), then a serial splice walks the bindings in order, interns
-// the rare misses, and appends edges. The AddNode/AddEdge sequence of the
-// splice is exactly the serial loop's, so node ids, edge order, and
-// num_groundings are bit-identical for every thread count.
-void MergeRuleGroundings(const std::vector<Tuple>& bindings,
+// Nodes are interned in binding order (ids match the serial loop's);
+// edges are buffered per rule and committed in one AddEdges batch, whose
+// first-occurrence order equals the historical per-binding AddEdge
+// sequence — the graph's sorted-run dedupe replaces the packed-key hash
+// set without changing a single adjacency list.
+//
+// Serial contexts (or small inputs) run the plain loop. Parallel contexts
+// split the work in two phases: a parallel pass resolves every reference
+// and probes the graph's node interner read-only (the hash-heavy part —
+// after step 1's bulk build nearly every grounding already has a node),
+// then a serial splice walks the bindings in order, interns the rare
+// misses, and buffers edges. Node ids, edge order, and num_groundings are
+// bit-identical for every thread count.
+void MergeRuleGroundings(const BindingTable& bindings,
                          const CompiledRef& head,
                          const std::vector<CompiledRef>& body,
                          bool require_all, ExecContext& ctx,
@@ -149,11 +280,14 @@ void MergeRuleGroundings(const std::vector<Tuple>& bindings,
   size_t max_arity = head.arity();
   for (const CompiledRef& b : body) max_arity = std::max(max_arity, b.arity());
   std::vector<SymbolId> scratch(std::max<size_t>(max_arity, 1));
+  std::vector<CausalGraph::Edge> edges;
+  edges.reserve(bindings.size() * body.size());
   graph->ReserveEdges(bindings.size() * body.size());
 
   if (ctx.serial() || bindings.size() < kMinBindingsParallelMerge) {
     std::vector<SymbolId> body_scratch(scratch.size());
-    for (const Tuple& binding : bindings) {
+    for (size_t i = 0; i < bindings.size(); ++i) {
+      TupleView binding = bindings.row(i);
       if (!head.Resolve(binding, scratch.data())) continue;
       if (require_all) {
         bool all = true;
@@ -171,10 +305,11 @@ void MergeRuleGroundings(const std::vector<Tuple>& bindings,
         if (!b.Resolve(binding, body_scratch.data())) continue;
         NodeId body_node = graph->AddNode(
             b.attribute, TupleView(body_scratch.data(), b.arity()));
-        graph->AddEdge(body_node, head_node);
+        edges.push_back(CausalGraph::Edge{body_node, head_node});
       }
       ++*num_groundings;
     }
+    graph->AddEdges(edges);
     return;
   }
 
@@ -190,14 +325,15 @@ void MergeRuleGroundings(const std::vector<Tuple>& bindings,
   ParallelFor(ctx, nb, [&](size_t begin, size_t end, size_t) {
     std::vector<SymbolId> buf(std::max<size_t>(max_arity, 1));
     for (size_t i = begin; i < end; ++i) {
-      if (head.Resolve(bindings[i], buf.data())) {
+      TupleView binding = bindings.row(i);
+      if (head.Resolve(binding, buf.data())) {
         NodeId n = graph->FindNode(head.attribute,
                                    TupleView(buf.data(), head.arity()));
         head_state[i] = n == kInvalidNode ? kMiss : kFound;
         head_node[i] = n;
       }
       for (size_t b = 0; b < nbody; ++b) {
-        if (!body[b].Resolve(bindings[i], buf.data())) continue;
+        if (!body[b].Resolve(binding, buf.data())) continue;
         NodeId n = graph->FindNode(body[b].attribute,
                                    TupleView(buf.data(), body[b].arity()));
         body_state[i * nbody + b] = n == kInvalidNode ? kMiss : kFound;
@@ -206,7 +342,7 @@ void MergeRuleGroundings(const std::vector<Tuple>& bindings,
     }
   });
 
-  // Phase B (serial splice): intern misses and append edges in binding
+  // Phase B (serial splice): intern misses and buffer edges in binding
   // order. A miss may have been interned by an earlier binding; AddNode
   // dedupes.
   for (size_t i = 0; i < nb; ++i) {
@@ -223,7 +359,7 @@ void MergeRuleGroundings(const std::vector<Tuple>& bindings,
     }
     NodeId h = head_node[i];
     if (head_state[i] == kMiss) {
-      head.Resolve(bindings[i], scratch.data());
+      head.Resolve(bindings.row(i), scratch.data());
       h = graph->AddNode(head.attribute,
                          TupleView(scratch.data(), head.arity()));
     }
@@ -232,14 +368,15 @@ void MergeRuleGroundings(const std::vector<Tuple>& bindings,
       if (state == kSkip) continue;
       NodeId n = body_node[i * nbody + b];
       if (state == kMiss) {
-        body[b].Resolve(bindings[i], scratch.data());
+        body[b].Resolve(bindings.row(i), scratch.data());
         n = graph->AddNode(body[b].attribute,
                            TupleView(scratch.data(), body[b].arity()));
       }
-      graph->AddEdge(n, h);
+      edges.push_back(CausalGraph::Edge{n, h});
     }
     ++*num_groundings;
   }
+  graph->AddEdges(edges);
 }
 
 }  // namespace
@@ -261,17 +398,62 @@ void GroundedModel::FinalizeValues(const std::vector<NodeId>& topo_order) {
   value_state_.assign(n, 1);
   value_cache_.assign(n, 0.0);
 
-  // Base attributes: independent instance lookups, one column slot each.
-  ParallelFor(ExecContext::Global(), n, [&](size_t begin, size_t end,
-                                            size_t) {
-    for (size_t id = begin; id < end; ++id) {
-      if (node_has_aggregate_[id]) continue;
-      const GroundedAttribute& g = graph_.node(static_cast<NodeId>(id));
-      const Value* v = instance_->FindAttributeValue(
-          g.attribute, g.args.data(), g.args.size());
-      if (v != nullptr && v->is_numeric()) {
-        value_cache_[id] = v->AsDouble();
-        value_state_[id] = 2;
+  // Base attributes: one typed-column copy per attribute. Step 1
+  // bulk-builds nodes in (attribute, row) order, so an attribute's first
+  // NumRows(predicate) nodes are row-aligned with the instance's numeric
+  // column — the hot path is a present-masked copy, no per-node hash
+  // probe. Slow fallbacks remain only for values living in the overflow
+  // map (set before their fact existed, or attached to rule-added
+  // non-fact groundings past the bulk prefix).
+  const Schema& s = schema();
+  std::vector<AttributeId> attrs;
+  attrs.reserve(s.attributes().size());
+  for (const AttributeDef& attr : s.attributes()) attrs.push_back(attr.id);
+
+  auto slow_path = [this](NodeId id) {
+    const GroundedAttribute& g = graph_.node(id);
+    const Value* v = instance_->FindAttributeValue(
+        g.attribute, g.args.data(), g.args.size());
+    if (v != nullptr && v->is_numeric()) {
+      value_cache_[id] = v->AsDouble();
+      value_state_[id] = 2;
+    }
+  };
+
+  ParallelFor(ExecContext::Global(), attrs.size(),
+              [&](size_t begin, size_t end, size_t) {
+    for (size_t a = begin; a < end; ++a) {
+      AttributeId aid = attrs[a];
+      // Extended-schema attributes (derived aggregates) are unknown to
+      // the instance: every one of their nodes is aggregate-tagged and
+      // valued by the topological pass below, never by a column read.
+      if (static_cast<size_t>(aid) >=
+          instance_->schema().num_attributes()) {
+        continue;
+      }
+      const std::vector<NodeId>& nodes = graph_.NodesOfAttribute(aid);
+      if (nodes.empty()) continue;
+      size_t bulk = std::min(
+          nodes.size(), instance_->NumRows(s.attribute(aid).predicate));
+      Instance::NumericColumn col = instance_->NumericColumnOf(aid);
+      size_t covered = std::min(bulk, col.num_rows);
+      for (size_t r = 0; r < covered; ++r) {
+        NodeId id = nodes[r];
+        if (node_has_aggregate_[id]) continue;
+        if (col.present[r]) {
+          value_cache_[id] = col.values[r];
+          value_state_[id] = 2;
+        } else if (col.may_overflow) {
+          slow_path(id);
+        }
+      }
+      // Rows past the column's written extent, then rule-added non-fact
+      // groundings: values (if any) can only live in the overflow map.
+      if (col.may_overflow || bulk < nodes.size()) {
+        for (size_t r = covered; r < nodes.size(); ++r) {
+          NodeId id = nodes[r];
+          if (!node_has_aggregate_[id]) slow_path(id);
+        }
       }
     }
   });
@@ -299,7 +481,8 @@ std::string GroundedModel::NodeName(NodeId id) const {
 }
 
 Result<GroundedModel> GroundModel(const Instance& instance,
-                                  const RelationalCausalModel& model) {
+                                  const RelationalCausalModel& model,
+                                  BindingCache* binding_cache) {
   ExecContext& ctx = ExecContext::Global();
   GroundedModel grounded;
   grounded.instance_ = &instance;
@@ -321,8 +504,10 @@ Result<GroundedModel> GroundModel(const Instance& instance,
   grounded.graph_.AddNodesBulk(batches, ctx);
 
   // 2. Ground causal rules: enumerate bindings in parallel shards of one
-  // shared compiled plan, then merge nodes and edges in binding order
-  // (parallel resolve/probe + deterministic serial splice).
+  // shared compiled plan into a columnar table (reused from the binding
+  // cache when the same condition was enumerated before), then merge
+  // nodes and edges in binding order (parallel resolve/probe +
+  // deterministic serial splice + one sorted-run edge batch).
   for (const CausalRule& rule : model.rules()) {
     std::vector<const AttributeRef*> body;
     body.reserve(rule.body.size());
@@ -331,8 +516,10 @@ Result<GroundedModel> GroundModel(const Instance& instance,
     std::unordered_map<std::string, size_t> var_slots;
     for (size_t i = 0; i < vars.size(); ++i) var_slots.emplace(vars[i], i);
 
-    CARL_ASSIGN_OR_RETURN(std::vector<Tuple> bindings,
-                          EnumerateBindings(evaluator, rule.where, vars, ctx));
+    CARL_ASSIGN_OR_RETURN(
+        std::shared_ptr<const BindingTable> bindings,
+        EnumerateBindingsCached(evaluator, rule.where, vars, ctx,
+                                binding_cache));
     CARL_ASSIGN_OR_RETURN(AttributeId head_attr,
                           schema.FindAttribute(rule.head.attribute));
     CompiledRef head = CompileRef(instance, head_attr, rule.head, var_slots);
@@ -343,7 +530,7 @@ Result<GroundedModel> GroundModel(const Instance& instance,
                             schema.FindAttribute(b.attribute));
       body_refs.push_back(CompileRef(instance, aid, b, var_slots));
     }
-    MergeRuleGroundings(bindings, head, body_refs, /*require_all=*/false,
+    MergeRuleGroundings(*bindings, head, body_refs, /*require_all=*/false,
                         ctx, &grounded.graph_, &grounded.num_groundings_);
   }
 
@@ -355,8 +542,10 @@ Result<GroundedModel> GroundModel(const Instance& instance,
     std::unordered_map<std::string, size_t> var_slots;
     for (size_t i = 0; i < vars.size(); ++i) var_slots.emplace(vars[i], i);
 
-    CARL_ASSIGN_OR_RETURN(std::vector<Tuple> bindings,
-                          EnumerateBindings(evaluator, rule.where, vars, ctx));
+    CARL_ASSIGN_OR_RETURN(
+        std::shared_ptr<const BindingTable> bindings,
+        EnumerateBindingsCached(evaluator, rule.where, vars, ctx,
+                                binding_cache));
     CARL_ASSIGN_OR_RETURN(AttributeId head_attr,
                           schema.FindAttribute(rule.head.attribute));
     CARL_ASSIGN_OR_RETURN(AttributeId source_attr,
@@ -364,7 +553,7 @@ Result<GroundedModel> GroundModel(const Instance& instance,
     CompiledRef head = CompileRef(instance, head_attr, rule.head, var_slots);
     std::vector<CompiledRef> source{
         CompileRef(instance, source_attr, rule.source, var_slots)};
-    MergeRuleGroundings(bindings, head, source, /*require_all=*/true, ctx,
+    MergeRuleGroundings(*bindings, head, source, /*require_all=*/true, ctx,
                         &grounded.graph_, &grounded.num_groundings_);
   }
 

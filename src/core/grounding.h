@@ -9,25 +9,83 @@
 //
 // Execution: GroundModel runs on ExecContext::Global(). Node creation is
 // bulk-built per attribute, rule bindings are enumerated in parallel
-// shards of the root atom's candidate rows, and node values are finalized
-// in a parallel column pass. Shard outputs merge in shard order, so the
+// shards of the root atom's candidate rows as columnar BindingTables
+// (streamed straight into the node/edge merge — no per-binding Tuple is
+// ever built), edges are committed per rule through the graph's sorted-run
+// batch build, and node values are finalized by copying the instance's
+// typed per-attribute columns. Shard outputs merge in shard order, so the
 // grounded graph — node ids, edge insertion order, values — is identical
 // for every thread count, bit-for-bit with the serial implementation.
+//
+// Repeated groundings over one unchanged instance can share rule-condition
+// binding tables through a BindingCache (QuerySession owns one): a derived
+// §4.3 aggregate variant re-grounds without re-enumerating the base rules
+// it shares with its parent model.
 
 #ifndef CARL_CORE_GROUNDING_H_
 #define CARL_CORE_GROUNDING_H_
 
+#include <memory>
 #include <optional>
 #include <string>
+#include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "common/result.h"
 #include "core/causal_model.h"
 #include "graph/causal_graph.h"
 #include "relational/aggregates.h"
+#include "relational/binding_table.h"
 #include "relational/instance.h"
 
 namespace carl {
+
+/// Shards below this many root-candidate rows are not worth a task.
+inline constexpr size_t kBindingShardMinRows = 1024;
+
+/// Number of shards the binding enumeration splits `candidates`
+/// root-candidate rows into on a `threads`-wide context. Guarantees:
+/// returns 1 when sharding is not worth it (serial context, or fewer than
+/// 2 * kBindingShardMinRows candidates), never exceeds 4 tasks per
+/// thread, and every shard of the balanced split carries at least
+/// kBindingShardMinRows rows.
+size_t PlanBindingShards(size_t candidates, int threads);
+
+/// Memoizes rule-condition binding tables by an exact (condition,
+/// projection) encoding over one fixed instance. The owner must drop the
+/// cache when the instance mutates (QuerySession clears it together with
+/// its grounding cache). Bounded FIFO on BOTH entry count and total
+/// arena bytes — a binding table on a >10M-fact workload is
+/// rows*arity*4 bytes, so a count bound alone could pin gigabytes.
+/// Not thread-safe — share one per pipeline thread.
+class BindingCache {
+ public:
+  std::shared_ptr<const BindingTable> Find(const std::string& key);
+  void Insert(std::string key, std::shared_ptr<const BindingTable> table);
+  void Clear();
+
+  size_t size() const { return entries_.size(); }
+  /// Total arena bytes pinned by the cached tables.
+  size_t total_bytes() const { return total_bytes_; }
+  size_t hits() const { return hits_; }
+  size_t misses() const { return misses_; }
+  /// Entry capacity; inserting beyond it evicts the oldest entry.
+  void set_max_entries(size_t max) { max_entries_ = max == 0 ? 1 : max; }
+  /// Byte budget; oldest entries are evicted until the remainder fits.
+  /// A single table larger than the budget is still cached (alone).
+  void set_max_bytes(size_t max) { max_bytes_ = max; }
+
+ private:
+  std::unordered_map<std::string, std::shared_ptr<const BindingTable>>
+      entries_;
+  std::vector<std::string> insertion_order_;  // oldest first
+  size_t max_entries_ = 64;
+  size_t max_bytes_ = size_t{256} << 20;  // 256 MiB
+  size_t total_bytes_ = 0;
+  size_t hits_ = 0;
+  size_t misses_ = 0;
+};
 
 /// The grounded model: graph + per-node metadata + a numeric value view.
 class GroundedModel {
@@ -57,10 +115,15 @@ class GroundedModel {
 
  private:
   friend Result<GroundedModel> GroundModel(const Instance&,
-                                           const RelationalCausalModel&);
+                                           const RelationalCausalModel&,
+                                           BindingCache*);
 
-  // Eagerly computes every node value: base attributes in a parallel
-  // column pass, aggregates in topological order (parents first).
+  // Eagerly computes every node value: base attributes by copying the
+  // instance's typed per-attribute columns (the bulk-built node prefix of
+  // an attribute is row-aligned with its predicate's fact rows), with a
+  // FindAttributeValue fallback only for overflow-stored values and
+  // rule-added non-fact groundings; aggregates in topological order
+  // (parents first).
   void FinalizeValues(const std::vector<NodeId>& topo_order);
 
   const Instance* instance_ = nullptr;
@@ -77,9 +140,16 @@ class GroundedModel {
 
 /// Grounds `model` against `instance`. Fails if the grounded graph is
 /// cyclic (recursive model) or if a rule references unknown predicates.
-/// The instance and model must outlive the result.
+/// The instance and model must outlive the result. A non-null
+/// `binding_cache` memoizes rule-condition binding tables across calls;
+/// the caller must keep it paired with this exact instance state.
 Result<GroundedModel> GroundModel(const Instance& instance,
-                                  const RelationalCausalModel& model);
+                                  const RelationalCausalModel& model,
+                                  BindingCache* binding_cache);
+inline Result<GroundedModel> GroundModel(const Instance& instance,
+                                         const RelationalCausalModel& model) {
+  return GroundModel(instance, model, nullptr);
+}
 
 }  // namespace carl
 

@@ -54,10 +54,12 @@ Result<std::shared_ptr<const GroundedModel>> QuerySession::Ground(
     const RelationalCausalModel& model) {
   uint64_t fp = instance_fingerprint();
   if (fp != instance_fp_) {
-    // The instance changed under us; every cached grounding is stale.
-    // Start over rather than serve wrong graphs.
+    // The instance changed under us; every cached grounding — and every
+    // cached binding table — is stale. Start over rather than serve
+    // wrong graphs.
     cache_.clear();
     insertion_order_.clear();
+    binding_cache_.Clear();
     instance_fp_ = fp;
   }
 
@@ -81,8 +83,9 @@ Result<std::shared_ptr<const GroundedModel>> QuerySession::Ground(
   // the session's destruction — the model copy stays alive with it.
   auto holder = std::make_shared<GroundingHolder>();
   holder->model = std::make_shared<RelationalCausalModel>(model);
-  CARL_ASSIGN_OR_RETURN(GroundedModel grounded,
-                        GroundModel(*instance_, *holder->model));
+  CARL_ASSIGN_OR_RETURN(
+      GroundedModel grounded,
+      GroundModel(*instance_, *holder->model, &binding_cache_));
   holder->grounded = std::move(grounded);
 
   Entry entry;

@@ -13,7 +13,12 @@
 //
 // The session also memoizes per-attribute value columns (NodeValue over
 // NodesOfAttribute order) of cached groundings, for column-oriented
-// consumers like benches and stats exports.
+// consumers like benches and stats exports — and a BindingCache of
+// rule-condition binding tables (columnar, see binding_table.h): when a
+// query derives an aggregate variant, the variant shares every base rule
+// with its parent model, so re-grounding it reuses the parent's binding
+// tables instead of re-running the joins. Both caches drop together when
+// the instance fingerprint moves.
 //
 // Sessions are not thread-safe; share one per pipeline thread. Cached
 // GroundedModels reference a model copy owned by the session, so they
@@ -76,6 +81,10 @@ class QuerySession {
   };
   const CacheStats& stats() const { return stats_; }
 
+  /// The session's rule-condition binding cache (columnar tables shared
+  /// across groundings of model variants over the same instance state).
+  const BindingCache& binding_cache() const { return binding_cache_; }
+
   /// Cache capacity in distinct groundings; inserting beyond it evicts
   /// the oldest entry (FIFO). Engines holding a shared_ptr to an evicted
   /// grounding keep it alive; only future reuse is lost.
@@ -118,6 +127,7 @@ class QuerySession {
 
   const Instance* instance_;
   uint64_t instance_fp_;
+  BindingCache binding_cache_;
   // Fingerprint -> entries (collisions resolved by model_text equality).
   std::unordered_map<uint64_t, std::vector<Entry>> cache_;
   // Insertion order of (fingerprint, model_text), oldest first — the

@@ -43,6 +43,13 @@ class ExecContext {
   /// Must not be called while parallel work is in flight.
   void set_threads(int threads);
 
+  /// Re-reads CARL_THREADS (falling back to hardware concurrency when
+  /// unset) and reconfigures. The global context samples the environment
+  /// once at first use; tests that change the variable afterwards must
+  /// call this, or their setting is silently ignored. Must not be called
+  /// while parallel work is in flight.
+  void RefreshFromEnv() { set_threads(0); }
+
   /// The shared pool, created on first use with threads()-1 workers (the
   /// calling thread always participates in parallel loops). Only valid
   /// when threads() > 1.

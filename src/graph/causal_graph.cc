@@ -9,6 +9,47 @@
 
 namespace carl {
 
+namespace causal_graph_internal {
+
+std::vector<PendingEdge> MergeEdgeRun(std::vector<PendingEdge> pending,
+                                      std::vector<EdgeKey>* committed) {
+  // Sort by (key, seq): equal keys group together with their first
+  // occurrence leading the group.
+  std::sort(pending.begin(), pending.end(),
+            [](const PendingEdge& a, const PendingEdge& b) {
+              return a.key == b.key ? a.seq < b.seq : a.key < b.key;
+            });
+  std::vector<PendingEdge> survivors;
+  survivors.reserve(pending.size());
+  size_t keep = 0;
+  for (size_t i = 0; i < pending.size(); ++i) {
+    if (i > 0 && pending[i].key == pending[i - 1].key) continue;
+    if (std::binary_search(committed->begin(), committed->end(),
+                           pending[i].key)) {
+      continue;
+    }
+    survivors.push_back(pending[i]);
+    pending[keep++] = pending[i];  // compact the new keys, still sorted
+  }
+  // Merge the new keys into the committed run (both halves sorted).
+  size_t old_size = committed->size();
+  committed->reserve(old_size + keep);
+  for (size_t i = 0; i < keep; ++i) committed->push_back(pending[i].key);
+  std::inplace_merge(committed->begin(), committed->begin() + old_size,
+                     committed->end());
+  // Replay the survivors in their original call order.
+  std::sort(survivors.begin(), survivors.end(),
+            [](const PendingEdge& a, const PendingEdge& b) {
+              return a.seq < b.seq;
+            });
+  return survivors;
+}
+
+}  // namespace causal_graph_internal
+
+using causal_graph_internal::EdgeKey;
+using causal_graph_internal::PendingEdge;
+
 const std::vector<NodeId> CausalGraph::kNoNodes = {};
 
 NodeId CausalGraph::AddNode(AttributeId attribute, TupleView args) {
@@ -92,18 +133,40 @@ NodeId CausalGraph::FindNode(AttributeId attribute, TupleView args) const {
 }
 
 void CausalGraph::ReserveEdges(size_t expected) {
-  edge_set_.reserve(edge_set_.size() + expected);
+  edge_run_.reserve(edge_run_.size() + expected);
 }
 
 void CausalGraph::AddEdge(NodeId from, NodeId to) {
   CARL_DCHECK(from >= 0 && static_cast<size_t>(from) < nodes_.size());
   CARL_DCHECK(to >= 0 && static_cast<size_t>(to) < nodes_.size());
-  uint64_t key = (static_cast<uint64_t>(static_cast<uint32_t>(from)) << 32) |
-                 static_cast<uint32_t>(to);
-  if (!edge_set_.insert(key).second) return;
+  EdgeKey key{from, to};
+  auto it = std::lower_bound(edge_run_.begin(), edge_run_.end(), key);
+  if (it != edge_run_.end() && *it == key) return;
+  edge_run_.insert(it, key);
   parents_[to].push_back(from);
   children_[from].push_back(to);
   ++num_edges_;
+}
+
+void CausalGraph::AddEdges(const std::vector<Edge>& batch) {
+  std::vector<PendingEdge> pending;
+  pending.reserve(batch.size());
+  for (size_t i = 0; i < batch.size(); ++i) {
+    CARL_DCHECK(batch[i].from >= 0 &&
+                static_cast<size_t>(batch[i].from) < nodes_.size());
+    CARL_DCHECK(batch[i].to >= 0 &&
+                static_cast<size_t>(batch[i].to) < nodes_.size());
+    pending.push_back(
+        PendingEdge{EdgeKey{batch[i].from, batch[i].to},
+                    static_cast<uint32_t>(i)});
+  }
+  for (const PendingEdge& e : MergeEdgeRun(std::move(pending), &edge_run_)) {
+    NodeId from = static_cast<NodeId>(e.key.from);
+    NodeId to = static_cast<NodeId>(e.key.to);
+    parents_[to].push_back(from);
+    children_[from].push_back(to);
+    ++num_edges_;
+  }
 }
 
 const GroundedAttribute& CausalGraph::node(NodeId id) const {

@@ -11,7 +11,6 @@
 #include <cstdint>
 #include <string>
 #include <unordered_map>
-#include <unordered_set>
 #include <vector>
 
 #include "common/result.h"
@@ -24,6 +23,41 @@ namespace carl {
 
 using NodeId = int32_t;
 inline constexpr NodeId kInvalidNode = -1;
+
+namespace causal_graph_internal {
+
+/// Edge identity for the sorted-run dedupe, compared field-wise over
+/// 64-bit ids. The historical dedupe packed (from << 32) | (uint32)to
+/// into one uint64_t, which silently collides for any NodeId wider than
+/// 32 bits; this representation is collision-free for every id width.
+struct EdgeKey {
+  int64_t from = 0;
+  int64_t to = 0;
+
+  friend bool operator==(const EdgeKey& a, const EdgeKey& b) {
+    return a.from == b.from && a.to == b.to;
+  }
+  friend bool operator<(const EdgeKey& a, const EdgeKey& b) {
+    return a.from != b.from ? a.from < b.from : a.to < b.to;
+  }
+};
+
+/// A batched edge plus its AddEdges call position.
+struct PendingEdge {
+  EdgeKey key;
+  uint32_t seq = 0;
+};
+
+/// The sorted-run merge behind CausalGraph::AddEdges: drops pending
+/// duplicates (keeping the lowest seq of each key) and keys already in
+/// the sorted `committed` run, merges the survivors' keys into
+/// `committed` (which stays sorted), and returns the survivors ordered
+/// by seq — the exact first-occurrence sequence a serial AddEdge loop
+/// would have committed. Exposed for width-regression testing.
+std::vector<PendingEdge> MergeEdgeRun(std::vector<PendingEdge> pending,
+                                      std::vector<EdgeKey>* committed);
+
+}  // namespace causal_graph_internal
 
 /// A grounded attribute A[x].
 struct GroundedAttribute {
@@ -65,9 +99,25 @@ class CausalGraph {
   NodeId FindNode(AttributeId attribute, TupleView args) const;
 
   /// Adds a cause -> effect edge; duplicate edges are ignored.
+  /// Incremental convenience (tests, hand-built graphs) — bulk producers
+  /// should batch through AddEdges.
   void AddEdge(NodeId from, NodeId to);
 
-  /// Pre-sizes the edge dedup set for an expected number of AddEdge calls.
+  /// One cause -> effect edge of an AddEdges batch.
+  struct Edge {
+    NodeId from = kInvalidNode;
+    NodeId to = kInvalidNode;
+  };
+
+  /// Commits a batch of edges with first-occurrence semantics: duplicates
+  /// (within the batch or against already-present edges) are ignored, and
+  /// surviving edges are appended in batch order — exactly the adjacency
+  /// order a serial AddEdge loop over the same sequence produces. Dedupe
+  /// is a sorted-run build (no hash set, collision-free for any NodeId
+  /// width).
+  void AddEdges(const std::vector<Edge>& batch);
+
+  /// Pre-sizes edge storage for an expected number of additional edges.
   void ReserveEdges(size_t expected);
 
   size_t num_nodes() const { return nodes_.size(); }
@@ -111,7 +161,9 @@ class CausalGraph {
   // copy, no owned keys) and AddNodesBulk can build the indexes of
   // distinct attributes concurrently.
   std::unordered_map<AttributeId, SpanIndex> index_;
-  std::unordered_set<uint64_t> edge_set_;
+  // Committed edges as one sorted run, kept merged across batches; the
+  // dedupe probe is a binary search, never a packed-key hash.
+  std::vector<causal_graph_internal::EdgeKey> edge_run_;
   std::unordered_map<AttributeId, std::vector<NodeId>> by_attribute_;
   size_t num_edges_ = 0;
 

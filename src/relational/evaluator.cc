@@ -252,44 +252,6 @@ class Compiler {
   const Instance& instance_;
 };
 
-// Deduplicating result sink: projected bindings live in one stride-strided
-// arena, dedupe probes it through a SpanIndex. Nothing per-result is
-// heap-allocated until Materialize.
-class ResultCollector {
- public:
-  explicit ResultCollector(size_t stride) : stride_(stride) {}
-
-  void Add(const SymbolId* vals) {
-    auto key_of = [this](uint32_t id) {
-      return TupleView(arena_.data() + static_cast<size_t>(id) * stride_,
-                       stride_);
-    };
-    uint64_t hash = HashSpan(vals, stride_);
-    if (set_.Find(TupleView(vals, stride_), hash, key_of) != SpanIndex::kNpos) {
-      return;
-    }
-    storage_stats::CountGrowth(arena_, stride_);
-    arena_.insert(arena_.end(), vals, vals + stride_);
-    set_.Insert(count_++, hash, key_of);
-  }
-
-  std::vector<Tuple> Materialize() const {
-    std::vector<Tuple> out;
-    out.reserve(count_);
-    for (uint32_t i = 0; i < count_; ++i) {
-      const SymbolId* p = arena_.data() + static_cast<size_t>(i) * stride_;
-      out.emplace_back(p, p + stride_);
-    }
-    return out;
-  }
-
- private:
-  size_t stride_;
-  std::vector<SymbolId> arena_;
-  SpanIndex set_;
-  uint32_t count_ = 0;
-};
-
 // Depth-first join over the compiled plan. All scratch (assignment, key
 // buffers, constraint args) is preallocated at construction; the run loop
 // performs no heap allocation.
@@ -435,23 +397,25 @@ Result<std::vector<int>> ResolveProjection(
   return projection;
 }
 
-std::vector<Tuple> RunProjected(const Instance& instance,
-                                const CompiledQuery& compiled,
-                                const std::vector<int>& projection,
-                                size_t root_begin, size_t root_end,
-                                bool restricted) {
+// Runs the search, deduplicating projected bindings straight into the
+// columnar result table — no per-binding materialization anywhere.
+BindingTable RunProjected(const Instance& instance,
+                          const CompiledQuery& compiled,
+                          const std::vector<int>& projection,
+                          size_t root_begin, size_t root_end,
+                          bool restricted) {
   Searcher searcher(instance, compiled);
   if (restricted) searcher.RestrictRoot(root_begin, root_end);
-  ResultCollector collector(projection.size());
+  BindingTable table(projection.size());
   std::vector<SymbolId> projected(projection.size());
   searcher.Run([&](const std::vector<SymbolId>& assignment) {
     for (size_t i = 0; i < projection.size(); ++i) {
       projected[i] = assignment[projection[i]];
     }
-    collector.Add(projected.data());
+    table.InsertDistinct(projected.data());
     return true;
   });
-  return collector.Materialize();
+  return table;
 }
 
 }  // namespace
@@ -471,14 +435,14 @@ Result<PreparedQuery> QueryEvaluator::Prepare(
   return prepared;
 }
 
-Result<std::vector<Tuple>> QueryEvaluator::Evaluate(
+Result<BindingTable> QueryEvaluator::Evaluate(
     const ConjunctiveQuery& query,
     const std::vector<std::string>& output_vars) const {
   CARL_ASSIGN_OR_RETURN(PreparedQuery prepared, Prepare(query));
   return Evaluate(prepared, output_vars);
 }
 
-Result<std::vector<Tuple>> QueryEvaluator::Evaluate(
+Result<BindingTable> QueryEvaluator::Evaluate(
     const PreparedQuery& prepared,
     const std::vector<std::string>& output_vars) const {
   CARL_CHECK(prepared.impl_ != nullptr) << "unprepared query";
@@ -501,7 +465,7 @@ Result<size_t> QueryEvaluator::CountRootCandidates(
   return RootCandidateCount(*instance_, *prepared.impl_);
 }
 
-Result<std::vector<Tuple>> QueryEvaluator::EvaluateShard(
+Result<BindingTable> QueryEvaluator::EvaluateShard(
     const ConjunctiveQuery& query,
     const std::vector<std::string>& output_vars, size_t shard,
     size_t num_shards) const {
@@ -509,7 +473,7 @@ Result<std::vector<Tuple>> QueryEvaluator::EvaluateShard(
   return EvaluateShard(prepared, output_vars, shard, num_shards);
 }
 
-Result<std::vector<Tuple>> QueryEvaluator::EvaluateShard(
+Result<BindingTable> QueryEvaluator::EvaluateShard(
     const PreparedQuery& prepared,
     const std::vector<std::string>& output_vars, size_t shard,
     size_t num_shards) const {
@@ -520,14 +484,14 @@ Result<std::vector<Tuple>> QueryEvaluator::EvaluateShard(
                         ResolveProjection(compiled, output_vars));
   if (compiled.steps.empty()) {
     // Atom-less query: the whole result belongs to shard 0.
-    if (shard != 0) return std::vector<Tuple>();
+    if (shard != 0) return BindingTable(projection.size());
     return RunProjected(*instance_, compiled, projection, 0, 0,
                         /*restricted=*/false);
   }
   size_t candidates = RootCandidateCount(*instance_, compiled);
   size_t begin = candidates * shard / num_shards;
   size_t end = candidates * (shard + 1) / num_shards;
-  if (begin >= end) return std::vector<Tuple>();
+  if (begin >= end) return BindingTable(projection.size());
   return RunProjected(*instance_, compiled, projection, begin, end,
                       /*restricted=*/true);
 }

@@ -12,7 +12,9 @@
 // in the compiled plan. The run loop then does no planning, no per-row
 // allocation, and probes the instance's CSR match indexes with keys
 // assembled in preallocated scratch. Results are deduplicated on the
-// projection to the distinguished variables via a span-hashed arena.
+// projection to the distinguished variables straight into a columnar
+// BindingTable (span-hashed arena) — no owned Tuple is ever built on the
+// result path; consumers read rows as TupleView spans.
 //
 // Prepare() compiles a query once into a shareable PreparedQuery;
 // Evaluate/EvaluateShard/CountRootCandidates accept either a raw query
@@ -28,6 +30,7 @@
 #include <vector>
 
 #include "common/result.h"
+#include "relational/binding_table.h"
 #include "relational/conjunctive_query.h"
 #include "relational/instance.h"
 #include "relational/tuple.h"
@@ -57,14 +60,14 @@ class QueryEvaluator {
   /// mutation (the plan bakes in atom order tie-breaks and constant ids).
   Result<PreparedQuery> Prepare(const ConjunctiveQuery& query) const;
 
-  /// Distinct bindings of `output_vars`, each a Tuple of constant ids
-  /// aligned with `output_vars`. Every output variable must occur in some
-  /// atom of the query. An empty query with no output vars is satisfied
-  /// (returns one empty tuple).
-  Result<std::vector<Tuple>> Evaluate(
+  /// Distinct bindings of `output_vars` as a columnar BindingTable whose
+  /// rows align with `output_vars`. Every output variable must occur in
+  /// some atom of the query. An empty query with no output vars is
+  /// satisfied (returns one arity-0 binding).
+  Result<BindingTable> Evaluate(
       const ConjunctiveQuery& query,
       const std::vector<std::string>& output_vars) const;
-  Result<std::vector<Tuple>> Evaluate(
+  Result<BindingTable> Evaluate(
       const PreparedQuery& prepared,
       const std::vector<std::string>& output_vars) const;
 
@@ -76,15 +79,16 @@ class QueryEvaluator {
 
   /// Evaluates the `shard`-th of `num_shards` contiguous partitions of the
   /// root atom's candidate rows. Results are deduplicated within the
-  /// shard and returned in enumeration order; concatenating all shards in
-  /// shard order and keeping first occurrences reproduces Evaluate()
-  /// exactly, for any num_shards. Safe to call from concurrent threads on
-  /// the same evaluator/instance (prepare once and share the plan).
-  Result<std::vector<Tuple>> EvaluateShard(
+  /// shard and returned in enumeration order; streaming all shards in
+  /// shard order through BindingTable::InsertDistinct reproduces
+  /// Evaluate() exactly, for any num_shards. Safe to call from concurrent
+  /// threads on the same evaluator/instance (prepare once and share the
+  /// plan).
+  Result<BindingTable> EvaluateShard(
       const ConjunctiveQuery& query,
       const std::vector<std::string>& output_vars, size_t shard,
       size_t num_shards) const;
-  Result<std::vector<Tuple>> EvaluateShard(
+  Result<BindingTable> EvaluateShard(
       const PreparedQuery& prepared,
       const std::vector<std::string>& output_vars, size_t shard,
       size_t num_shards) const;

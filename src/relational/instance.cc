@@ -89,8 +89,14 @@ Status Instance::SetAttributeSpan(AttributeId attribute, const SymbolId* args,
     if (store.value_of_row.size() <= row) {
       storage_stats::CountGrowth(store.value_of_row,
                                  row + 1 - store.value_of_row.size());
-      store.value_of_row.resize(relations_[a.predicate].num_rows, kNoRow);
+      size_t rows = relations_[a.predicate].num_rows;
+      store.value_of_row.resize(rows, kNoRow);
+      store.numeric_of_row.resize(rows, 0.0);
+      store.numeric_present.resize(rows, 0);
     }
+    // The typed shadow column mirrors every row-keyed write.
+    store.numeric_present[row] = value.is_numeric() ? 1 : 0;
+    store.numeric_of_row[row] = value.is_numeric() ? value.AsDouble() : 0.0;
     uint32_t& slot = store.value_of_row[row];
     if (slot == kNoRow) {
       slot = static_cast<uint32_t>(store.values.size());
@@ -125,6 +131,19 @@ const Value* Instance::FindAttributeValue(AttributeId attribute,
     if (it != store.overflow.end()) return &it->second;
   }
   return nullptr;
+}
+
+Instance::NumericColumn Instance::NumericColumnOf(
+    AttributeId attribute) const {
+  CARL_CHECK(attribute >= 0 &&
+             static_cast<size_t>(attribute) < attribute_data_.size());
+  const AttributeStore& store = attribute_data_[attribute];
+  NumericColumn column;
+  column.values = store.numeric_of_row.data();
+  column.present = store.numeric_present.data();
+  column.num_rows = store.numeric_present.size();
+  column.may_overflow = !store.overflow.empty();
+  return column;
 }
 
 RelationView Instance::Rows(PredicateId predicate) const {

@@ -104,6 +104,25 @@ class Instance {
   const Value* FindAttributeValue(AttributeId attribute, const SymbolId* args,
                                   size_t n) const;
 
+  /// Typed view of one attribute's numeric values, keyed by row id of the
+  /// attribute's predicate: values[r] is meaningful only where
+  /// present[r] != 0 (a numeric value is set for fact row r); rows at or
+  /// beyond num_rows are absent. Maintained alongside the Value column on
+  /// every write, so bulk consumers (the grounding value pass) read
+  /// doubles straight off the column instead of probing FindAttributeValue
+  /// per row. When `may_overflow` is set, the attribute also has values
+  /// keyed by non-fact tuples (or set before their fact existed) in the
+  /// overflow map — absent rows then require a FindAttributeValue
+  /// fallback for full lookup semantics. Pointers are invalidated by the
+  /// next attribute write.
+  struct NumericColumn {
+    const double* values = nullptr;
+    const uint8_t* present = nullptr;
+    size_t num_rows = 0;
+    bool may_overflow = false;
+  };
+  NumericColumn NumericColumnOf(AttributeId attribute) const;
+
   /// All ground tuples of `predicate`, in insertion order, as a view over
   /// the relation's arena. The view is invalidated by fact insertion.
   RelationView Rows(PredicateId predicate) const;
@@ -183,6 +202,12 @@ class Instance {
     std::vector<uint32_t> value_of_row;  // row id -> index into values
     std::vector<Value> values;           // insertion order
     std::vector<uint32_t> row_of_value;  // parallel to values
+    // Typed shadow of the row-keyed values (sized with value_of_row):
+    // numeric_present[r] iff row r holds a numeric value, whose double
+    // form is numeric_of_row[r]. This is the column NumericColumnOf hands
+    // to bulk readers.
+    std::vector<double> numeric_of_row;
+    std::vector<uint8_t> numeric_present;
     // Tuples set before (or without) the matching fact; empty in practice.
     std::unordered_map<Tuple, Value, TupleHash> overflow;
   };

@@ -28,6 +28,19 @@ inline void CountAlloc(uint64_t n = 1) {
   AllocCount().fetch_add(n, std::memory_order_relaxed);
 }
 
+/// Per-binding materializations on the evaluator result path (owned Tuple
+/// construction from a BindingTable). The grounding hot path streams
+/// columnar bindings end-to-end, so a warm grounding pass must report 0
+/// here — a nonzero delta means a per-binding Tuple path crept back in.
+inline std::atomic<uint64_t>& EvalResultAllocCount() {
+  static std::atomic<uint64_t> count{0};
+  return count;
+}
+
+inline void CountEvalResultAlloc(uint64_t n = 1) {
+  EvalResultAllocCount().fetch_add(n, std::memory_order_relaxed);
+}
+
 /// Bumps the counter when appending `extra` elements to `v` would grow
 /// its capacity.
 template <typename V>
@@ -39,13 +52,19 @@ inline void CountGrowth(const V& v, size_t extra) {
 class ScopedAllocCounter {
  public:
   ScopedAllocCounter()
-      : start_(AllocCount().load(std::memory_order_relaxed)) {}
+      : start_(AllocCount().load(std::memory_order_relaxed)),
+        eval_start_(EvalResultAllocCount().load(std::memory_order_relaxed)) {}
   uint64_t delta() const {
     return AllocCount().load(std::memory_order_relaxed) - start_;
+  }
+  uint64_t eval_result_delta() const {
+    return EvalResultAllocCount().load(std::memory_order_relaxed) -
+           eval_start_;
   }
 
  private:
   uint64_t start_;
+  uint64_t eval_start_;
 };
 
 }  // namespace storage_stats

@@ -52,7 +52,7 @@ Result<UniversalTableResult> BuildUniversalTable(
   }
 
   QueryEvaluator evaluator(&instance);
-  CARL_ASSIGN_OR_RETURN(std::vector<Tuple> bindings,
+  CARL_ASSIGN_OR_RETURN(BindingTable bindings,
                         evaluator.Evaluate(spec.join, out_vars));
 
   std::vector<std::string> names;
@@ -67,7 +67,8 @@ Result<UniversalTableResult> BuildUniversalTable(
     max_args = std::max(max_args, rc.var_positions.size());
   }
   std::vector<SymbolId> args(std::max<size_t>(max_args, 1));
-  for (const Tuple& binding : bindings) {
+  for (size_t b = 0; b < bindings.size(); ++b) {
+    TupleView binding = bindings.row(b);
     bool complete = true;
     for (size_t c = 0; c < resolved.size(); ++c) {
       const std::vector<int>& positions = resolved[c].var_positions;

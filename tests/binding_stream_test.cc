@@ -1,0 +1,282 @@
+// Binding-stream equivalence suite: the columnar BindingTable path
+// (evaluator arena -> shard-order InsertDistinct merge -> grounding) must
+// reproduce the legacy owned-Tuple path — same bindings, same order, same
+// grounded graph — on the REVIEW / MIMIC / NIS workloads at CARL_THREADS
+// 1 and 4. Also covers the overflow-attribute round-trip through the
+// typed per-attribute value columns and the session-level binding-table
+// cache.
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <memory>
+#include <optional>
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+#include "carl/carl.h"
+#include "datagen/mimic.h"
+#include "datagen/nis.h"
+#include "datagen/review_toy.h"
+
+namespace carl {
+namespace {
+
+class ScopedThreads {
+ public:
+  explicit ScopedThreads(int threads)
+      : prev_(ExecContext::Global().threads()) {
+    ExecContext::Global().set_threads(threads);
+  }
+  ~ScopedThreads() { ExecContext::Global().set_threads(prev_); }
+
+ private:
+  int prev_;
+};
+
+struct NamedDataset {
+  const char* name;
+  datagen::Dataset dataset;
+};
+
+std::vector<NamedDataset> Workloads() {
+  std::vector<NamedDataset> out;
+  {
+    Result<datagen::Dataset> review = datagen::MakeReviewToy();
+    CARL_CHECK_OK(review.status());
+    out.push_back(NamedDataset{"REVIEW", std::move(*review)});
+  }
+  {
+    datagen::MimicConfig config;
+    config.num_patients = 3000;  // large enough to engage binding shards
+    config.num_caregivers = 120;
+    Result<datagen::Dataset> mimic = datagen::GenerateMimic(config);
+    CARL_CHECK_OK(mimic.status());
+    out.push_back(NamedDataset{"MIMIC", std::move(*mimic)});
+  }
+  {
+    datagen::NisConfig config;
+    config.num_admissions = 6000;
+    config.num_hospitals = 100;
+    Result<datagen::Dataset> nis = datagen::GenerateNis(config);
+    CARL_CHECK_OK(nis.status());
+    out.push_back(NamedDataset{"NIS", std::move(*nis)});
+  }
+  return out;
+}
+
+// Replays the historical EnumerateBindings: per-shard owned Tuples merged
+// first-occurrence through an unordered_set, in shard order.
+std::vector<Tuple> LegacyTupleMerge(const QueryEvaluator& evaluator,
+                                    const PreparedQuery& prepared,
+                                    const std::vector<std::string>& vars,
+                                    size_t shards) {
+  std::vector<Tuple> merged;
+  std::unordered_set<Tuple, TupleHash> seen;
+  for (size_t s = 0; s < shards; ++s) {
+    Result<BindingTable> shard =
+        evaluator.EvaluateShard(prepared, vars, s, shards);
+    CARL_CHECK_OK(shard.status());
+    for (Tuple& t : shard->ToTuples()) {
+      if (seen.insert(t).second) merged.push_back(std::move(t));
+    }
+  }
+  return merged;
+}
+
+TEST(BindingStreamTest, StreamingEqualsLegacyTuplePathOnAllWorkloads) {
+  for (NamedDataset& wl : Workloads()) {
+    Result<RelationalCausalModel> model = RelationalCausalModel::Parse(
+        *wl.dataset.schema, wl.dataset.model_text);
+    ASSERT_TRUE(model.ok()) << wl.name << ": " << model.status();
+    QueryEvaluator evaluator(wl.dataset.instance.get());
+
+    size_t conditions = 0;
+    for (const CausalRule& rule : model->rules()) {
+      std::vector<std::string> vars = rule.where.Variables();
+      if (vars.empty()) continue;
+      ++conditions;
+      Result<PreparedQuery> prepared = evaluator.Prepare(rule.where);
+      ASSERT_TRUE(prepared.ok()) << wl.name;
+      Result<BindingTable> unsharded = evaluator.Evaluate(*prepared, vars);
+      ASSERT_TRUE(unsharded.ok()) << wl.name;
+
+      for (int threads : {1, 4}) {
+        ScopedThreads scoped(threads);
+        Result<size_t> candidates =
+            evaluator.CountRootCandidates(*prepared);
+        ASSERT_TRUE(candidates.ok());
+        size_t shards = PlanBindingShards(*candidates, threads);
+
+        // Legacy path: owned Tuples, unordered_set first-occurrence.
+        std::vector<Tuple> legacy =
+            LegacyTupleMerge(evaluator, *prepared, vars, shards);
+        // Streamed path: columnar shard tables, InsertDistinct merge.
+        BindingTable streamed(vars.size());
+        for (size_t s = 0; s < shards; ++s) {
+          Result<BindingTable> shard =
+              evaluator.EvaluateShard(*prepared, vars, s, shards);
+          ASSERT_TRUE(shard.ok());
+          for (size_t r = 0; r < shard->size(); ++r) {
+            streamed.InsertDistinct(shard->row(r));
+          }
+        }
+
+        // Same bindings, same order — and both equal the unsharded
+        // enumeration.
+        EXPECT_EQ(streamed.ToTuples(), legacy)
+            << wl.name << " threads=" << threads << " shards=" << shards;
+        EXPECT_EQ(streamed.ToTuples(), unsharded->ToTuples())
+            << wl.name << " threads=" << threads;
+      }
+    }
+    EXPECT_GT(conditions, 0u) << wl.name << ": model has no rule to check";
+  }
+}
+
+// One stable fingerprint of a grounded graph: names, edges, and value
+// bit patterns folded in node order.
+uint64_t GraphFingerprint(const GroundedModel& grounded) {
+  auto mix = [](uint64_t h, uint64_t v) {
+    h ^= v + 0x9e3779b97f4a7c15ull + (h << 12) + (h >> 4);
+    return h;
+  };
+  auto mix_string = [&mix](uint64_t h, const std::string& s) {
+    for (unsigned char c : s) h = mix(h, c);
+    return h;
+  };
+  const CausalGraph& graph = grounded.graph();
+  uint64_t h = 0xcbf29ce484222325ull;
+  h = mix(h, graph.num_nodes());
+  h = mix(h, graph.num_edges());
+  for (NodeId id = 0; id < static_cast<NodeId>(graph.num_nodes()); ++id) {
+    h = mix_string(h, grounded.NodeName(id));
+    for (NodeId p : graph.Parents(id)) h = mix(h, static_cast<uint64_t>(p));
+    std::optional<double> v = grounded.NodeValue(id);
+    uint64_t bits = 0;
+    if (v.has_value()) {
+      static_assert(sizeof(double) == sizeof(uint64_t), "");
+      std::memcpy(&bits, &*v, sizeof(bits));
+      bits += 1;  // distinguish "0.0" from "missing"
+    }
+    h = mix(h, bits);
+  }
+  return h;
+}
+
+TEST(BindingStreamTest, GraphFingerprintIdenticalAcrossThreadCounts) {
+  for (NamedDataset& wl : Workloads()) {
+    Result<RelationalCausalModel> model = RelationalCausalModel::Parse(
+        *wl.dataset.schema, wl.dataset.model_text);
+    ASSERT_TRUE(model.ok()) << wl.name;
+
+    uint64_t serial_fp = 0;
+    {
+      ScopedThreads scoped(1);
+      Result<GroundedModel> serial = GroundModel(*wl.dataset.instance, *model);
+      ASSERT_TRUE(serial.ok()) << wl.name << ": " << serial.status();
+      serial_fp = GraphFingerprint(*serial);
+    }
+    for (int threads : {2, 4}) {
+      ScopedThreads scoped(threads);
+      Result<GroundedModel> parallel =
+          GroundModel(*wl.dataset.instance, *model);
+      ASSERT_TRUE(parallel.ok()) << wl.name;
+      EXPECT_EQ(GraphFingerprint(*parallel), serial_fp)
+          << wl.name << " differs at threads=" << threads;
+    }
+  }
+}
+
+TEST(BindingStreamTest, OverflowAttributeValueSurvivesGrounding) {
+  // A value set before its fact exists lives in the overflow map; the
+  // typed-column value pass must fall back to it instead of reading
+  // "absent" off the dense column (regression guard for the column copy).
+  Schema schema;
+  CARL_CHECK_OK(schema.AddEntity("Person").status());
+  CARL_CHECK_OK(
+      schema.AddAttribute("Age", "Person", true, ValueType::kDouble).status());
+  CARL_CHECK_OK(schema.AddAttribute("Risk", "Person", true,
+                                    ValueType::kDouble).status());
+  Instance db(&schema);
+  CARL_CHECK_OK(db.AddFact("Person", {"bob"}));
+  CARL_CHECK_OK(db.SetAttribute("Age", {"bob"}, Value(41.0)));
+  // ghost's Age arrives before the ghost fact -> overflow entry.
+  CARL_CHECK_OK(db.SetAttribute("Age", {"ghost"}, Value(7.0)));
+  CARL_CHECK_OK(db.AddFact("Person", {"ghost"}));
+
+  Result<RelationalCausalModel> model =
+      RelationalCausalModel::Parse(schema, "Risk[P] <= Age[P]");
+  ASSERT_TRUE(model.ok()) << model.status();
+  for (int threads : {1, 4}) {
+    ScopedThreads scoped(threads);
+    Result<GroundedModel> grounded = GroundModel(db, *model);
+    ASSERT_TRUE(grounded.ok()) << grounded.status();
+    Result<AttributeId> age = schema.FindAttribute("Age");
+    ASSERT_TRUE(age.ok());
+    NodeId bob = grounded->graph().FindNode(
+        *age, Tuple{db.LookupConstant("bob")});
+    NodeId ghost = grounded->graph().FindNode(
+        *age, Tuple{db.LookupConstant("ghost")});
+    ASSERT_NE(bob, kInvalidNode);
+    ASSERT_NE(ghost, kInvalidNode);
+    EXPECT_EQ(grounded->NodeValue(bob), std::optional<double>(41.0));
+    EXPECT_EQ(grounded->NodeValue(ghost), std::optional<double>(7.0))
+        << "overflow-stored value lost by the typed-column pass";
+  }
+}
+
+TEST(BindingStreamTest, SessionReusesBindingTablesAcrossModelVariants) {
+  Result<datagen::Dataset> data = datagen::MakeReviewToy();
+  ASSERT_TRUE(data.ok());
+  auto session = std::make_shared<QuerySession>(data->instance.get());
+
+  auto answer = [&](const std::string& query) -> Result<double> {
+    Result<RelationalCausalModel> model =
+        RelationalCausalModel::Parse(*data->schema, data->model_text);
+    CARL_RETURN_IF_ERROR(model.status());
+    CARL_ASSIGN_OR_RETURN(
+        std::unique_ptr<CarlEngine> engine,
+        CarlEngine::Create(session, std::move(*model)));
+    CARL_ASSIGN_OR_RETURN(QueryAnswer qa, engine->Answer(query));
+    return qa.ate->ate.value;
+  };
+
+  // The first grounding fills the binding cache; the derived MAX_Score
+  // variant re-grounds but shares every base rule condition, so its
+  // enumeration comes from the cache.
+  Result<double> derived = answer("MAX_Score[A] <= Prestige[A]?");
+  ASSERT_TRUE(derived.ok()) << derived.status();
+  EXPECT_EQ(session->stats().ground_misses, 2u);  // base + variant grounded
+  EXPECT_GT(session->binding_cache().size(), 0u);
+  EXPECT_GT(session->binding_cache().hits(), 0u)
+      << "variant re-grounding re-enumerated shared rule conditions";
+
+  // Cached-binding answers match a cache-free engine bit-for-bit.
+  Result<RelationalCausalModel> fresh_model =
+      RelationalCausalModel::Parse(*data->schema, data->model_text);
+  ASSERT_TRUE(fresh_model.ok());
+  Result<std::unique_ptr<CarlEngine>> isolated =
+      CarlEngine::Create(data->instance.get(), std::move(*fresh_model));
+  ASSERT_TRUE(isolated.ok());
+  Result<QueryAnswer> isolated_answer =
+      (*isolated)->Answer("MAX_Score[A] <= Prestige[A]?");
+  ASSERT_TRUE(isolated_answer.ok());
+  EXPECT_DOUBLE_EQ(*derived, isolated_answer->ate->ate.value);
+
+  // Instance mutation drops the binding cache with the groundings.
+  const auto entries = data->instance->AttributeEntries(
+      *data->schema->FindAttribute("Score"));
+  ASSERT_FALSE(entries.empty());
+  ASSERT_TRUE(data->instance
+                  ->SetAttributeIds(*data->schema->FindAttribute("Score"),
+                                    entries.front().first, Value(99.0))
+                  .ok());
+  Result<double> after = answer("MAX_Score[A] <= Prestige[A]?");
+  ASSERT_TRUE(after.ok());
+  EXPECT_EQ(session->stats().ground_misses, 4u);  // re-grounded both variants
+}
+
+}  // namespace
+}  // namespace carl

@@ -11,6 +11,7 @@
 
 #include <algorithm>
 #include <atomic>
+#include <cstdlib>
 #include <string>
 #include <utility>
 #include <vector>
@@ -61,6 +62,68 @@ TEST(ExecContextTest, ChunkPlanIndependentOfThreadCount) {
   for (size_t n : {1ul, 100ul, 5000ul, 123457ul}) {
     EXPECT_EQ(serial.Chunks(n), quad.Chunks(n));
     EXPECT_EQ(serial.Chunks(n), wide.Chunks(n));
+  }
+}
+
+TEST(ExecContextTest, RefreshFromEnvPicksUpLateCarlThreads) {
+  // The global context samples CARL_THREADS once at first use; a test
+  // that sets the variable afterwards was silently ignored until
+  // RefreshFromEnv. Exercise the hook on the global instance and restore
+  // everything on the way out.
+  ExecContext& global = ExecContext::Global();
+  int prev_threads = global.threads();
+  const char* prev_env = std::getenv("CARL_THREADS");
+  std::string prev_value = prev_env != nullptr ? prev_env : "";
+
+  ::setenv("CARL_THREADS", "3", /*overwrite=*/1);
+  EXPECT_EQ(global.threads(), prev_threads);  // env change alone: ignored
+  global.RefreshFromEnv();
+  EXPECT_EQ(global.threads(), 3);
+
+  ::setenv("CARL_THREADS", "1", 1);
+  global.RefreshFromEnv();
+  EXPECT_EQ(global.threads(), 1);
+  EXPECT_TRUE(global.serial());
+
+  if (prev_env != nullptr) {
+    ::setenv("CARL_THREADS", prev_value.c_str(), 1);
+  } else {
+    ::unsetenv("CARL_THREADS");
+  }
+  global.set_threads(prev_threads);
+}
+
+TEST(BindingShardPlanTest, NoShardSmallerThanTheFloor) {
+  // PlanBindingShards must never cut a shard below kBindingShardMinRows,
+  // return 1 whenever sharding is pointless, and cap tasks at 4x the
+  // thread count. Sweep the boundary region exhaustively plus a few
+  // large inputs.
+  EXPECT_EQ(PlanBindingShards(0, 8), 1u);
+  EXPECT_EQ(PlanBindingShards(kBindingShardMinRows - 1, 8), 1u);
+  EXPECT_EQ(PlanBindingShards(kBindingShardMinRows, 8), 1u);
+  EXPECT_EQ(PlanBindingShards(2 * kBindingShardMinRows - 1, 8), 1u);
+  EXPECT_EQ(PlanBindingShards(1000000, 1), 1u);  // serial context
+
+  for (int threads : {2, 4, 8, 32}) {
+    for (size_t candidates :
+         {kBindingShardMinRows * 2 - 1, kBindingShardMinRows * 2,
+          kBindingShardMinRows * 2 + 1, kBindingShardMinRows * 3 - 1,
+          kBindingShardMinRows * 7 + 13, size_t{100000}, size_t{1000003}}) {
+      size_t shards = PlanBindingShards(candidates, threads);
+      ASSERT_GE(shards, 1u);
+      EXPECT_LE(shards, static_cast<size_t>(threads) * 4);
+      if (shards > 1) {
+        // Smallest shard of the balanced split [c*s/n, c*(s+1)/n).
+        size_t min_shard = candidates;
+        for (size_t s = 0; s < shards; ++s) {
+          size_t begin = candidates * s / shards;
+          size_t end = candidates * (s + 1) / shards;
+          min_shard = std::min(min_shard, end - begin);
+        }
+        EXPECT_GE(min_shard, kBindingShardMinRows)
+            << candidates << " candidates, " << threads << " threads";
+      }
+    }
   }
 }
 

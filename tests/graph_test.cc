@@ -3,6 +3,9 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <vector>
+
 #include "graph/causal_graph.h"
 
 namespace carl {
@@ -30,6 +33,66 @@ TEST(CausalGraphTest, EdgesDeduplicated) {
   EXPECT_EQ(g.num_edges(), 1u);
   EXPECT_EQ(g.Parents(b).size(), 1u);
   EXPECT_EQ(g.Children(a).size(), 1u);
+}
+
+TEST(CausalGraphTest, AddEdgesBatchMatchesSerialFirstOccurrence) {
+  // The batched sorted-run build must reproduce a serial AddEdge loop
+  // exactly: duplicates dropped (within the batch and against edges
+  // already committed), survivors appended in call order.
+  CausalGraph serial, batched;
+  for (int i = 0; i < 6; ++i) {
+    N(&serial, i);
+    N(&batched, i);
+  }
+  serial.AddEdge(2, 0);
+  batched.AddEdge(2, 0);
+  std::vector<CausalGraph::Edge> batch{
+      {4, 0}, {1, 0}, {4, 0}, {2, 0}, {3, 5}, {1, 0}, {5, 3}, {0, 1}};
+  for (const CausalGraph::Edge& e : batch) serial.AddEdge(e.from, e.to);
+  batched.AddEdges(batch);
+  ASSERT_EQ(batched.num_edges(), serial.num_edges());
+  for (NodeId n = 0; n < 6; ++n) {
+    EXPECT_EQ(batched.Parents(n), serial.Parents(n)) << "parents of " << n;
+    EXPECT_EQ(batched.Children(n), serial.Children(n)) << "children of " << n;
+  }
+  // A second batch still dedupes against the first.
+  batched.AddEdges({{4, 0}, {0, 2}});
+  serial.AddEdge(4, 0);
+  serial.AddEdge(0, 2);
+  EXPECT_EQ(batched.num_edges(), serial.num_edges());
+  EXPECT_EQ(batched.Children(0), serial.Children(0));
+}
+
+TEST(CausalGraphTest, EdgeDedupeIsCollisionFreeBeyond32Bits) {
+  // Regression test for the historical packed edge key,
+  // (uint64)(uint32)from << 32 | (uint32)to: any two ids that agree in
+  // their low 32 bits collided, so for a NodeId wider than 32 bits the
+  // second edge silently vanished. The sorted-run dedupe compares ids
+  // field-wise; run it directly on >32-bit values.
+  using causal_graph_internal::EdgeKey;
+  using causal_graph_internal::MergeEdgeRun;
+  using causal_graph_internal::PendingEdge;
+  constexpr int64_t kHigh = int64_t{1} << 32;
+  std::vector<PendingEdge> pending{
+      {EdgeKey{5, 7}, 0},
+      {EdgeKey{kHigh + 5, 7}, 1},   // collides with seq 0 under (uint32)from
+      {EdgeKey{5, kHigh + 7}, 2},   // collides with seq 0 under (uint32)to
+      {EdgeKey{5, 7}, 3},           // genuine duplicate of seq 0
+      {EdgeKey{kHigh + 5, 7}, 4},   // genuine duplicate of seq 1
+  };
+  std::vector<EdgeKey> committed;
+  std::vector<PendingEdge> survivors =
+      MergeEdgeRun(std::move(pending), &committed);
+  ASSERT_EQ(survivors.size(), 3u);  // the three distinct (from, to) pairs
+  EXPECT_EQ(survivors[0].seq, 0u);
+  EXPECT_EQ(survivors[1].seq, 1u);
+  EXPECT_EQ(survivors[2].seq, 2u);
+  EXPECT_EQ(committed.size(), 3u);
+  EXPECT_TRUE(std::is_sorted(committed.begin(), committed.end()));
+  // Replaying one of them against the committed run drops it.
+  EXPECT_TRUE(
+      MergeEdgeRun({{EdgeKey{kHigh + 5, 7}, 0}}, &committed).empty());
+  EXPECT_EQ(committed.size(), 3u);
 }
 
 TEST(CausalGraphTest, NodesOfAttribute) {

@@ -154,7 +154,7 @@ TEST(EvaluatorPropertyTest, AgreesWithNaiveEnumeration) {
     query.atoms.push_back({"R", {Term::Var("X"), Term::Var("Y")}});
     query.atoms.push_back({"Q", {Term::Var("Y"), Term::Var("Z")}});
     QueryEvaluator evaluator(&db);
-    Result<std::vector<Tuple>> fast = evaluator.Evaluate(query, {"X", "Z"});
+    Result<BindingTable> fast = evaluator.Evaluate(query, {"X", "Z"});
     ASSERT_TRUE(fast.ok());
 
     // Brute force over all (x, y, z) constant triples.
@@ -177,7 +177,9 @@ TEST(EvaluatorPropertyTest, AgreesWithNaiveEnumeration) {
       }
     }
     std::set<std::pair<SymbolId, SymbolId>> fast_set;
-    for (const Tuple& t : *fast) fast_set.insert({t[0], t[1]});
+    for (size_t r = 0; r < fast->size(); ++r) {
+      fast_set.insert({fast->row(r)[0], fast->row(r)[1]});
+    }
     ASSERT_EQ(fast_set, slow) << "trial " << trial;
   }
 }

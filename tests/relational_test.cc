@@ -122,7 +122,7 @@ TEST_F(EvaluatorTest, SingleAtom) {
   QueryEvaluator eval(data_.instance.get());
   ConjunctiveQuery q;
   q.atoms.push_back({"Person", {Term::Var("A")}});
-  Result<std::vector<Tuple>> rows = eval.Evaluate(q, {"A"});
+  Result<BindingTable> rows = eval.Evaluate(q, {"A"});
   ASSERT_TRUE(rows.ok());
   EXPECT_EQ(rows->size(), 3u);  // Bob, Carlos, Eva
 }
@@ -133,7 +133,7 @@ TEST_F(EvaluatorTest, JoinAcrossAtoms) {
   ConjunctiveQuery q;
   q.atoms.push_back({"Author", {Term::Var("A"), Term::Var("S")}});
   q.atoms.push_back({"Submitted", {Term::Var("S"), Term::Const("ConfAI")}});
-  Result<std::vector<Tuple>> rows = eval.Evaluate(q, {"A"});
+  Result<BindingTable> rows = eval.Evaluate(q, {"A"});
   ASSERT_TRUE(rows.ok());
   // s2 (Eva), s3 (Eva, Carlos) -> distinct authors {Eva, Carlos}.
   EXPECT_EQ(rows->size(), 2u);
@@ -144,7 +144,7 @@ TEST_F(EvaluatorTest, ExistentialProjectionDeduplicates) {
   // People with at least one submission: all three.
   ConjunctiveQuery q;
   q.atoms.push_back({"Author", {Term::Var("A"), Term::Var("S")}});
-  Result<std::vector<Tuple>> rows = eval.Evaluate(q, {"A"});
+  Result<BindingTable> rows = eval.Evaluate(q, {"A"});
   ASSERT_TRUE(rows.ok());
   EXPECT_EQ(rows->size(), 3u);
 }
@@ -160,10 +160,10 @@ TEST_F(EvaluatorTest, AttributeConstraint) {
   c.op = CompareOp::kEq;
   c.rhs = Value(true);
   q.constraints.push_back(c);
-  Result<std::vector<Tuple>> rows = eval.Evaluate(q, {"S"});
+  Result<BindingTable> rows = eval.Evaluate(q, {"S"});
   ASSERT_TRUE(rows.ok());
   ASSERT_EQ(rows->size(), 1u);
-  EXPECT_EQ(data_.instance->ConstantName((*rows)[0][0]), "s1");
+  EXPECT_EQ(data_.instance->ConstantName(rows->row(0)[0]), "s1");
 }
 
 TEST_F(EvaluatorTest, NumericConstraint) {
@@ -177,7 +177,7 @@ TEST_F(EvaluatorTest, NumericConstraint) {
   c.op = CompareOp::kGe;
   c.rhs = Value(0.4);
   q.constraints.push_back(c);
-  Result<std::vector<Tuple>> rows = eval.Evaluate(q, {"S"});
+  Result<BindingTable> rows = eval.Evaluate(q, {"S"});
   ASSERT_TRUE(rows.ok());
   EXPECT_EQ(rows->size(), 2u);
 }
@@ -193,7 +193,7 @@ TEST_F(EvaluatorTest, MissingAttributeFailsConstraint) {
   c.op = CompareOp::kGt;
   c.rhs = Value(0.0);
   q.constraints.push_back(c);
-  Result<std::vector<Tuple>> rows = eval.Evaluate(q, {"S"});
+  Result<BindingTable> rows = eval.Evaluate(q, {"S"});
   ASSERT_TRUE(rows.ok());
   EXPECT_TRUE(rows->empty());
 }
@@ -203,7 +203,7 @@ TEST_F(EvaluatorTest, RepeatedVariableWithinAtom) {
   QueryEvaluator eval(data_.instance.get());
   ConjunctiveQuery q;
   q.atoms.push_back({"Author", {Term::Var("A"), Term::Var("A")}});
-  Result<std::vector<Tuple>> rows = eval.Evaluate(q, {"A"});
+  Result<BindingTable> rows = eval.Evaluate(q, {"A"});
   ASSERT_TRUE(rows.ok());
   EXPECT_TRUE(rows->empty());
 }
@@ -212,7 +212,7 @@ TEST_F(EvaluatorTest, UnknownConstantYieldsEmpty) {
   QueryEvaluator eval(data_.instance.get());
   ConjunctiveQuery q;
   q.atoms.push_back({"Author", {Term::Const("Nobody"), Term::Var("S")}});
-  Result<std::vector<Tuple>> rows = eval.Evaluate(q, {"S"});
+  Result<BindingTable> rows = eval.Evaluate(q, {"S"});
   ASSERT_TRUE(rows.ok());
   EXPECT_TRUE(rows->empty());
 }

@@ -132,6 +132,80 @@ TEST(StorageTest, AttributeSetBeforeFactSurvivesViaOverflow) {
   EXPECT_EQ(db.NumAttributeValues(age), 1u);
 }
 
+TEST(StorageTest, NumericColumnMirrorsAttributeWrites) {
+  Schema schema = MakeSchema();
+  Instance db(&schema);
+  CARL_CHECK_OK(db.AddFact("Person", {"bob"}));
+  CARL_CHECK_OK(db.AddFact("Person", {"eva"}));
+  CARL_CHECK_OK(db.AddFact("Person", {"ann"}));
+  AttributeId age = *schema.FindAttribute("Age");
+
+  // Untouched attribute: an empty, overflow-free column.
+  Instance::NumericColumn col = db.NumericColumnOf(age);
+  EXPECT_EQ(col.num_rows, 0u);
+  EXPECT_FALSE(col.may_overflow);
+
+  // Row-keyed writes land in the typed column at their row id; the gap
+  // (eva, row 1) stays absent.
+  CARL_CHECK_OK(db.SetAttribute("Age", {"bob"}, Value(41.0)));
+  CARL_CHECK_OK(db.SetAttribute("Age", {"ann"}, Value(29.0)));
+  col = db.NumericColumnOf(age);
+  ASSERT_EQ(col.num_rows, 3u);
+  EXPECT_EQ(col.present[0], 1);
+  EXPECT_EQ(col.present[1], 0);
+  EXPECT_EQ(col.present[2], 1);
+  EXPECT_DOUBLE_EQ(col.values[0], 41.0);
+  EXPECT_DOUBLE_EQ(col.values[2], 29.0);
+
+  // In-place overwrite updates the typed shadow too.
+  CARL_CHECK_OK(db.SetAttribute("Age", {"bob"}, Value(42.0)));
+  col = db.NumericColumnOf(age);
+  EXPECT_DOUBLE_EQ(col.values[0], 42.0);
+
+  // A non-numeric value is "set" in the Value column but absent from the
+  // typed one (NodeValue semantics: non-numeric reads as missing).
+  CARL_CHECK_OK(db.SetAttribute("Age", {"eva"}, Value("unknown")));
+  col = db.NumericColumnOf(age);
+  EXPECT_EQ(col.present[1], 0);
+}
+
+TEST(StorageTest, OverflowAttributeRoundTripsThroughTypedColumns) {
+  // A value set before its fact exists lives in the overflow map, not the
+  // row-keyed column — even after the fact arrives. The typed column must
+  // advertise that (may_overflow), and the grounding value pass must fall
+  // back to FindAttributeValue for such rows instead of reading "absent"
+  // off the column.
+  Schema schema = MakeSchema();
+  Instance db(&schema);
+  CARL_CHECK_OK(db.AddFact("Person", {"bob"}));
+  AttributeId age = *schema.FindAttribute("Age");
+  CARL_CHECK_OK(db.SetAttribute("Age", {"ghost"}, Value(7.0)));  // no fact yet
+  CARL_CHECK_OK(db.AddFact("Person", {"ghost"}));  // fact arrives later
+
+  Instance::NumericColumn col = db.NumericColumnOf(age);
+  EXPECT_TRUE(col.may_overflow);
+  uint32_t ghost_row = db.FindRow(
+      *schema.FindPredicate("Person"),
+      Tuple{db.LookupConstant("ghost")}.data(), 1);
+  ASSERT_NE(ghost_row, Instance::kNoRow);
+  // The column itself has no row-keyed entry for ghost...
+  EXPECT_TRUE(col.num_rows <= ghost_row || col.present[ghost_row] == 0);
+  // ...but the full lookup still finds the overflow value.
+  Tuple ghost{db.LookupConstant("ghost")};
+  const Value* v = db.FindAttributeValue(age, ghost.data(), 1);
+  ASSERT_NE(v, nullptr);
+  EXPECT_DOUBLE_EQ(v->AsDouble(), 7.0);
+
+  // A row-keyed overwrite supersedes the overflow entry and the column
+  // becomes authoritative again.
+  CARL_CHECK_OK(db.SetAttribute("Age", {"ghost"}, Value(8.0)));
+  col = db.NumericColumnOf(age);
+  EXPECT_FALSE(col.may_overflow);
+  ASSERT_GT(col.num_rows, ghost_row);
+  EXPECT_EQ(col.present[ghost_row], 1);
+  EXPECT_DOUBLE_EQ(col.values[ghost_row], 8.0);
+}
+
 TEST(StorageTest, MatchMatchesNaiveScanUnderRandomMasks) {
   Schema schema = MakeSchema();
   Rng rng(4242);
@@ -240,26 +314,33 @@ TEST(StorageTest, PreparedQueryReuseAndShardConcatenation) {
 
   Result<PreparedQuery> prepared = evaluator.Prepare(q);
   ASSERT_TRUE(prepared.ok());
-  Result<std::vector<Tuple>> full = evaluator.Evaluate(*prepared, out_vars);
+  Result<BindingTable> full = evaluator.Evaluate(*prepared, out_vars);
   ASSERT_TRUE(full.ok());
-  Result<std::vector<Tuple>> again = evaluator.Evaluate(q, out_vars);
+  Result<BindingTable> again = evaluator.Evaluate(q, out_vars);
   ASSERT_TRUE(again.ok());
-  EXPECT_EQ(*full, *again);  // the plan is reusable and deterministic
+  // The plan is reusable and deterministic.
+  EXPECT_EQ(full->ToTuples(), again->ToTuples());
 
-  // Concatenating shards of the shared plan, keeping first occurrences,
+  // Streaming shards of the shared plan through first-occurrence dedupe
+  // (both the legacy owned-Tuple way and the columnar InsertDistinct way)
   // reproduces the unsharded enumeration exactly.
   for (size_t num_shards : {1u, 2u, 3u, 7u}) {
     std::vector<Tuple> merged;
     std::set<Tuple> seen;
+    BindingTable streamed(out_vars.size());
     for (size_t s = 0; s < num_shards; ++s) {
-      Result<std::vector<Tuple>> shard =
+      Result<BindingTable> shard =
           evaluator.EvaluateShard(*prepared, out_vars, s, num_shards);
       ASSERT_TRUE(shard.ok());
-      for (Tuple& t : *shard) {
+      for (size_t r = 0; r < shard->size(); ++r) {
+        streamed.InsertDistinct(shard->row(r));
+        Tuple t = shard->row(r).ToTuple();
         if (seen.insert(t).second) merged.push_back(std::move(t));
       }
     }
-    EXPECT_EQ(merged, *full) << num_shards << " shards";
+    EXPECT_EQ(merged, full->ToTuples()) << num_shards << " shards";
+    EXPECT_EQ(streamed.ToTuples(), full->ToTuples())
+        << num_shards << " shards (columnar merge)";
   }
 }
 
