@@ -123,12 +123,15 @@ int Run(const bench::BenchFlags& flags) {
     });
     // One extra warm pass under a scoped counter: with the match indexes
     // hot, the remaining events are the per-pass allocation cost of the
-    // storage/join layer — the number future PRs must not regress. The
-    // eval-result counter must be exactly zero: bindings stream columnar
-    // from the evaluator into the graph merge, never through owned
-    // Tuples.
+    // storage/join layer — the number future PRs must not regress. Two
+    // counters must be exactly zero: eval-result allocs (bindings stream
+    // columnar from the evaluator into the graph merge, never through
+    // owned Tuples) and graph-node allocs (node args live in the graph's
+    // argument arena, never in per-node owned Tuples).
     uint64_t ground_allocs = 0;
     uint64_t ground_eval_allocs = 0;
+    uint64_t ground_node_allocs = 0;
+    double graph_build_s = 0.0;
     {
       storage_stats::ScopedAllocCounter allocs;
       Result<GroundedModel> grounded =
@@ -136,10 +139,15 @@ int Run(const bench::BenchFlags& flags) {
       CARL_CHECK_OK(grounded.status());
       ground_allocs = allocs.delta();
       ground_eval_allocs = allocs.eval_result_delta();
+      ground_node_allocs = allocs.graph_node_delta();
+      graph_build_s = grounded->phase_stats().graph_build_s();
     }
     CARL_CHECK(ground_eval_allocs == 0)
         << "per-binding Tuple materialization crept back into the "
         << "grounding hot path: " << ground_eval_allocs << " events";
+    CARL_CHECK(ground_node_allocs == 0)
+        << "per-node Tuple materialization crept back into the causal-"
+        << "graph node store: " << ground_node_allocs << " events";
 
     Result<CausalQuery> query = ParseQuery(wl.query);
     CARL_CHECK_OK(query.status());
@@ -165,10 +173,14 @@ int Run(const bench::BenchFlags& flags) {
                 static_cast<unsigned long long>(ground_allocs),
                 static_cast<unsigned long long>(table_allocs));
     bench::EmitJson(kBenchName, wl.name, "grounding_s", ground_s);
+    bench::EmitJson(kBenchName, wl.name, "grounding_graph_build_s",
+                    graph_build_s);
     bench::EmitJson(kBenchName, wl.name, "grounding_allocs",
                     static_cast<double>(ground_allocs));
     bench::EmitJson(kBenchName, wl.name, "grounding_eval_result_allocs",
                     static_cast<double>(ground_eval_allocs));
+    bench::EmitJson(kBenchName, wl.name, "grounding_graph_node_allocs",
+                    static_cast<double>(ground_node_allocs));
     bench::EmitJson(kBenchName, wl.name, "unit_table_s", table_s);
     bench::EmitJson(kBenchName, wl.name, "unit_table_allocs",
                     static_cast<double>(table_allocs));

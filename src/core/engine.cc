@@ -14,14 +14,16 @@ namespace carl {
 namespace {
 
 // Evaluates a query WHERE filter into the set of allowed source-unit
-// tuples. The filter must contain exactly one variable whose inferred
-// entity type is the source attribute's (entity) predicate; that variable
-// links the filter to the response sources.
-Result<std::optional<std::unordered_set<Tuple, TupleHash>>> EvaluateFilter(
+// tuples — kept as the evaluator's columnar BindingTable, whose span
+// index serves the unit-table membership probes directly. The filter must
+// contain exactly one variable whose inferred entity type is the source
+// attribute's (entity) predicate; that variable links the filter to the
+// response sources.
+Result<std::optional<BindingTable>> EvaluateFilter(
     const Instance& instance, const Schema& schema,
     const ConjunctiveQuery& where, PredicateId source_pred) {
   if (where.empty()) {
-    return std::optional<std::unordered_set<Tuple, TupleHash>>();
+    return std::optional<BindingTable>();
   }
   const Predicate& source = schema.predicate(source_pred);
   if (source.kind != PredicateKind::kEntity) {
@@ -87,14 +89,7 @@ Result<std::optional<std::unordered_set<Tuple, TupleHash>>> EvaluateFilter(
   QueryEvaluator evaluator(&instance);
   CARL_ASSIGN_OR_RETURN(BindingTable bindings,
                         evaluator.Evaluate(cq, {link_vars[0]}));
-  // Cold path (one filter per query): the unit-table probe wants owned
-  // keys, so materialize here — through the counted ToTuples API, never
-  // row-by-row — rather than on the evaluator hot path.
-  std::unordered_set<Tuple, TupleHash> allowed;
-  allowed.reserve(bindings.size());
-  for (Tuple& t : bindings.ToTuples()) allowed.insert(std::move(t));
-  return std::optional<std::unordered_set<Tuple, TupleHash>>(
-      std::move(allowed));
+  return std::optional<BindingTable>(std::move(bindings));
 }
 
 UnitTableOptions MakeUnitTableOptions(const EngineOptions& options,

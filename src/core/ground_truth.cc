@@ -50,7 +50,7 @@ Result<GroundTruthEffects> ComputeGroundTruth(
   auto all = [&](double v) {
     StructuralModel::Intervention iv;
     iv.attribute = t_name;
-    iv.value = [v](const Tuple&) { return std::optional<double>(v); };
+    iv.value = [v](TupleView) { return std::optional<double>(v); };
     return iv;
   };
   CARL_ASSIGN_OR_RETURN(std::vector<double> arm1,
@@ -65,11 +65,19 @@ Result<GroundTruthEffects> ComputeGroundTruth(
                      ? units.size()
                      : std::min(options.max_units, units.size());
 
+  // Row-aligned node-id columns: the bulk node build assigns one node per
+  // (attribute, fact row) in row order, so indexing replaces the per-unit
+  // FindNode hash probes.
+  const std::vector<NodeId>& t_col = graph.NodesOfAttribute(treatment);
+  const std::vector<NodeId>& y_col = graph.NodesOfAttribute(response);
+  CARL_CHECK(t_col.size() >= units.size() && y_col.size() >= units.size())
+      << "grounded graph lacks bulk-built nodes for the unit predicate";
+
   double sum_ate = 0.0, sum_aie = 0.0, sum_are = 0.0, sum_aoe = 0.0;
   size_t evaluated = 0;
   for (size_t u = 0; u < units.size() && evaluated < limit; ++u) {
-    NodeId t_node = graph.FindNode(treatment, units[u]);
-    NodeId y_node = graph.FindNode(response, units[u]);
+    NodeId t_node = t_col[u];
+    NodeId y_node = y_col[u];
     if (t_node == kInvalidNode || y_node == kInvalidNode) continue;
     if (graph.Parents(y_node).empty() &&
         grounded.NodeAggregate(y_node).has_value()) {

@@ -11,9 +11,14 @@
 // bulk-built per attribute, rule bindings are enumerated in parallel
 // shards of the root atom's candidate rows as columnar BindingTables
 // (streamed straight into the node/edge merge — no per-binding Tuple is
-// ever built), edges are committed per rule through the graph's sorted-run
-// batch build, and node values are finalized by copying the instance's
-// typed per-attribute columns. Shard outputs merge in shard order, so the
+// ever built), and the rule merges run cross-rule parallel: one flat
+// probe pass resolves every rule's groundings against the bulk-built node
+// set concurrently (read-only FindNode, the hash-heavy part), then a
+// serial splice walks the rules in model order interning the rare misses
+// and committing each rule's edges through the graph's sorted-run batch
+// build. Node values are finalized by copying the instance's typed
+// per-attribute columns onto the row-aligned node-id columns. Shard
+// outputs merge in shard order and splices run in rule order, so the
 // grounded graph — node ids, edge insertion order, values — is identical
 // for every thread count, bit-for-bit with the serial implementation.
 //
@@ -87,6 +92,18 @@ class BindingCache {
   size_t misses_ = 0;
 };
 
+/// Wall-clock breakdown of one GroundModel call, for benches and phase
+/// regression tracking (a handful of steady_clock reads per pass).
+struct GroundingPhaseStats {
+  double node_build_s = 0.0;  ///< step 1: bulk node build
+  double enumerate_s = 0.0;   ///< rule compile + binding enumeration
+  double merge_s = 0.0;       ///< node/edge merge (probe + splice + batches)
+  double finalize_s = 0.0;    ///< topo order + value pass
+  /// The graph-build share of a pass (everything that touches the graph
+  /// store: bulk nodes plus the rule merges).
+  double graph_build_s() const { return node_build_s + merge_s; }
+};
+
 /// The grounded model: graph + per-node metadata + a numeric value view.
 class GroundedModel {
  public:
@@ -113,6 +130,9 @@ class GroundedModel {
   /// Number of grounded rule instantiations processed (diagnostics).
   size_t num_groundings() const { return num_groundings_; }
 
+  /// Phase timings of the GroundModel call that built this model.
+  const GroundingPhaseStats& phase_stats() const { return phase_stats_; }
+
  private:
   friend Result<GroundedModel> GroundModel(const Instance&,
                                            const RelationalCausalModel&,
@@ -132,6 +152,7 @@ class GroundedModel {
   std::vector<int8_t> node_has_aggregate_;
   std::vector<AggregateKind> node_aggregate_;
   size_t num_groundings_ = 0;
+  GroundingPhaseStats phase_stats_;
 
   // Precomputed values: state 1 = missing, 2 = present.
   std::vector<int8_t> value_state_;

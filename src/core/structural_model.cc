@@ -86,7 +86,7 @@ double StructuralModel::EvaluateNode(const GroundedModel& grounded,
     return parent_values.empty() ? 0.0 : ApplyAggregate(*agg, parent_values);
   }
 
-  const GroundedAttribute& g = graph.node(node);
+  const GroundedAttribute g = graph.node(node);
   const std::string& attr_name = schema.attribute(g.attribute).name;
   auto eq = equations_.find(attr_name);
   if (eq != equations_.end()) {
@@ -193,11 +193,11 @@ Status StructuralModel::WriteObservedValues(const GroundedModel& grounded,
   }
   for (NodeId n = 0; n < static_cast<NodeId>(graph.num_nodes()); ++n) {
     if (grounded.NodeAggregate(n).has_value()) continue;
-    const GroundedAttribute& g = graph.node(n);
+    const GroundedAttribute g = graph.node(n);
     const AttributeDef& def = schema.attribute(g.attribute);
     if (!def.observed) continue;
-    CARL_RETURN_IF_ERROR(
-        instance->SetAttributeIds(g.attribute, g.args, Value(values[n])));
+    CARL_RETURN_IF_ERROR(instance->SetAttributeSpan(
+        g.attribute, g.args.data(), g.args.size(), Value(values[n])));
   }
   return Status::OK();
 }

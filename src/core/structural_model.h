@@ -52,12 +52,13 @@ class ParentView {
   static const std::vector<double> kEmpty;
 };
 
-/// value = f(unit, parents, rng). `unit` is the grounding tuple (interned
-/// constants), letting generators pin pre-drawn exogenous values per unit.
-/// The rng is seeded deterministically per node so repeated simulations
-/// with the same seed reproduce the same noise.
+/// value = f(unit, parents, rng). `unit` is a view of the grounding tuple
+/// (interned constants, straight from the graph's node arena), letting
+/// generators pin pre-drawn exogenous values per unit. The rng is seeded
+/// deterministically per node so repeated simulations with the same seed
+/// reproduce the same noise.
 using StructuralEquation =
-    std::function<double(const Tuple&, const ParentView&, Rng&)>;
+    std::function<double(TupleView, const ParentView&, Rng&)>;
 
 class StructuralModel {
  public:
@@ -69,7 +70,7 @@ class StructuralModel {
   /// returns nullopt for units that keep their structural value.
   struct Intervention {
     std::string attribute;
-    std::function<std::optional<double>(const Tuple&)> value;
+    std::function<std::optional<double>(TupleView)> value;
   };
 
   /// Evaluates every node in topological order. Precedence per node:

@@ -4,6 +4,7 @@
 #include <cmath>
 #include <deque>
 #include <map>
+#include <unordered_set>
 
 #include "common/logging.h"
 #include "common/str_util.h"
@@ -39,7 +40,7 @@ struct RequestPlan {
   AttributeId response;
   AttributeId response_source = kInvalidAttribute;  // for aggregates
   std::optional<AggregateKind> response_aggregate;
-  const std::unordered_set<Tuple, TupleHash>* allowed_sources = nullptr;
+  const BindingTable* allowed_sources = nullptr;
 };
 
 Result<RequestPlan> PlanRequest(const GroundedModel& grounded,
@@ -75,7 +76,7 @@ Result<RequestPlan> PlanRequest(const GroundedModel& grounded,
 
 bool SourceAllowed(const RequestPlan& plan, const GroundedAttribute& g) {
   if (plan.allowed_sources == nullptr) return true;
-  return plan.allowed_sources->count(g.args) > 0;
+  return plan.allowed_sources->Contains(g.args);
 }
 
 // Collects the treatment-attribute ancestors of `starts` (excluding
@@ -118,13 +119,16 @@ void CollectCovariateParents(const GroundedModel& grounded, NodeId t_node,
   }
 }
 
+// Resolves one unit's context from its pre-resolved treatment/response
+// node ids (the row-aligned node-id columns in BuildUnitTable, a FindNode
+// probe in CheckAdjustmentCriterion).
 Result<std::optional<UnitContext>> ComputeUnitContext(
-    const GroundedModel& grounded, const RequestPlan& plan,
-    TupleView unit) {
+    const GroundedModel& grounded, const RequestPlan& plan, NodeId t_node,
+    NodeId y_node) {
   const CausalGraph& graph = grounded.graph();
   UnitContext ctx;
 
-  ctx.t_node = graph.FindNode(plan.treatment, unit);
+  ctx.t_node = t_node;
   if (ctx.t_node == kInvalidNode) return std::optional<UnitContext>();
   std::optional<double> t = grounded.NodeValue(ctx.t_node);
   if (!t.has_value()) return std::optional<UnitContext>();
@@ -135,7 +139,7 @@ Result<std::optional<UnitContext>> ComputeUnitContext(
   }
   ctx.t_value = *t;
 
-  ctx.y_node = graph.FindNode(plan.response, unit);
+  ctx.y_node = y_node;
   if (ctx.y_node == kInvalidNode) return std::optional<UnitContext>();
 
   std::vector<NodeId> response_starts;
@@ -186,6 +190,17 @@ Result<UnitTable> BuildUnitTable(const GroundedModel& grounded,
   const RelationView units =
       grounded.instance().Rows(schema.attribute(plan.treatment).predicate);
 
+  // Row-aligned node-id columns: GroundModel's step 1 bulk-builds one
+  // node per (attribute, fact row) in row order, so an attribute's first
+  // NumRows(predicate) ids in NodesOfAttribute ARE the per-row node ids.
+  // Pass 1 reads them by index — no per-unit FindNode hash probes.
+  const std::vector<NodeId>& t_col =
+      grounded.graph().NodesOfAttribute(plan.treatment);
+  const std::vector<NodeId>& y_col =
+      grounded.graph().NodesOfAttribute(plan.response);
+  CARL_CHECK(t_col.size() >= units.size() && y_col.size() >= units.size())
+      << "grounded graph lacks bulk-built nodes for the unit predicate";
+
   // Pass 1: resolve every unit in parallel — contexts land in per-unit
   // slots, so the kept order (and with it every downstream column) is
   // identical for any thread count. NodeValue reads are precomputed at
@@ -196,8 +211,10 @@ Result<UnitTable> BuildUnitTable(const GroundedModel& grounded,
   ParallelFor(exec, units.size(), [&](size_t begin, size_t end,
                                       size_t chunk) {
     for (size_t i = begin; i < end; ++i) {
+      CARL_DCHECK(grounded.graph().node(t_col[i]).args == units[i])
+          << "node-id column misaligned with unit rows";
       Result<std::optional<UnitContext>> ctx =
-          ComputeUnitContext(grounded, plan, units[i]);
+          ComputeUnitContext(grounded, plan, t_col[i], y_col[i]);
       if (!ctx.ok()) {
         chunk_status[chunk] = ctx.status();
         return;
@@ -367,8 +384,12 @@ Result<bool> CheckAdjustmentCriterion(const GroundedModel& grounded,
                                       const UnitTableRequest& request,
                                       const Tuple& unit) {
   CARL_ASSIGN_OR_RETURN(RequestPlan plan, PlanRequest(grounded, request));
+  // Cold path (a handful of sampled units per query): resolve the unit's
+  // nodes with allocation-free span probes.
+  NodeId t_node = grounded.graph().FindNode(plan.treatment, TupleView(unit));
+  NodeId y_node = grounded.graph().FindNode(plan.response, TupleView(unit));
   CARL_ASSIGN_OR_RETURN(std::optional<UnitContext> ctx,
-                        ComputeUnitContext(grounded, plan, unit));
+                        ComputeUnitContext(grounded, plan, t_node, y_node));
   if (!ctx.has_value()) {
     return Status::NotFound("unit has no treatment/response values");
   }

@@ -22,12 +22,12 @@
 #include <memory>
 #include <optional>
 #include <string>
-#include <unordered_set>
 #include <vector>
 
 #include "common/result.h"
 #include "core/embedding.h"
 #include "core/grounding.h"
+#include "relational/binding_table.h"
 #include "relational/flat_table.h"
 
 namespace carl {
@@ -48,8 +48,10 @@ struct UnitTableRequest {
   AttributeId response = kInvalidAttribute;
   /// When set, only these groundings of the response *source* attribute
   /// (for aggregate responses) or of the response itself (base responses)
-  /// are used — the query's WHERE filter.
-  std::optional<std::unordered_set<Tuple, TupleHash>> allowed_sources;
+  /// are used — the query's WHERE filter. Stored as the evaluator's
+  /// columnar binding table; membership tests probe its span index
+  /// directly (no owned key tuples).
+  std::optional<BindingTable> allowed_sources;
 };
 
 /// The flat single-table output of Algorithm 1, plus column bookkeeping.

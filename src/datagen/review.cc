@@ -196,26 +196,26 @@ Result<ReviewData> GenerateReviewData(const ReviewConfig& config) {
   // an equation fall back to their observed value during simulation.
   const ReviewConfig cfg = config;
   out.scm.Define("Qualification",
-                 [qual_by_symbol](const Tuple& unit, const ParentView&, Rng&) {
+                 [qual_by_symbol](TupleView unit, const ParentView&, Rng&) {
                    return qual_by_symbol.at(unit[0]);
                  });
   out.scm.Define("Prestige",
-                 [](const Tuple&, const ParentView& parents, Rng& rng) {
+                 [](TupleView, const ParentView& parents, Rng& rng) {
                    double qual = parents.Mean("Qualification");
                    double p = Sigmoid(0.08 * (qual - 25.0));
                    return rng.Bernoulli(p) ? 1.0 : 0.0;
                  });
   out.scm.Define("CollabPrestigious",
-                 [](const Tuple&, const ParentView& parents, Rng&) {
+                 [](TupleView, const ParentView& parents, Rng&) {
                    return parents.FractionNonzero("Prestige", 0.0);
                  });
   out.scm.Define("Quality",
-                 [](const Tuple&, const ParentView& parents, Rng& rng) {
+                 [](TupleView, const ParentView& parents, Rng& rng) {
                    double qual = parents.Mean("Qualification", 20.0);
                    return (qual - 20.0) / 15.0 + rng.Normal(0.0, 0.5);
                  });
   out.scm.Define(
-      "Score", [cfg](const Tuple&, const ParentView& parents, Rng& rng) {
+      "Score", [cfg](TupleView, const ParentView& parents, Rng& rng) {
         double quality = parents.Mean("Quality", 0.0);
         double blind = parents.Mean("Blind", 0.0);  // 1 = single-blind
         double tau_iso =

@@ -1,11 +1,13 @@
 #include "graph/causal_graph.h"
 
 #include <algorithm>
+#include <cstring>
 #include <deque>
 
 #include "common/logging.h"
 #include "common/str_util.h"
 #include "exec/parallel.h"
+#include "relational/storage_stats.h"
 
 namespace carl {
 
@@ -52,63 +54,139 @@ using causal_graph_internal::PendingEdge;
 
 const std::vector<NodeId> CausalGraph::kNoNodes = {};
 
+CausalGraph::CausalGraph(CausalGraph&& o) noexcept
+    : node_attrs_(std::move(o.node_attrs_)),
+      arg_arena_(std::move(o.arg_arena_)),
+      arg_offsets_(std::move(o.arg_offsets_)),
+      index_(std::move(o.index_)),
+      by_attribute_(std::move(o.by_attribute_)),
+      edge_order_(std::move(o.edge_order_)),
+      edge_run_(std::move(o.edge_run_)),
+      parent_offsets_(std::move(o.parent_offsets_)),
+      parent_data_(std::move(o.parent_data_)),
+      child_offsets_(std::move(o.child_offsets_)),
+      child_data_(std::move(o.child_data_)),
+      adjacency_fresh_(o.adjacency_fresh_.load(std::memory_order_relaxed)) {
+  o.adjacency_fresh_.store(false, std::memory_order_relaxed);
+}
+
+CausalGraph& CausalGraph::operator=(CausalGraph&& o) noexcept {
+  if (this == &o) return *this;
+  node_attrs_ = std::move(o.node_attrs_);
+  arg_arena_ = std::move(o.arg_arena_);
+  arg_offsets_ = std::move(o.arg_offsets_);
+  index_ = std::move(o.index_);
+  by_attribute_ = std::move(o.by_attribute_);
+  edge_order_ = std::move(o.edge_order_);
+  edge_run_ = std::move(o.edge_run_);
+  parent_offsets_ = std::move(o.parent_offsets_);
+  parent_data_ = std::move(o.parent_data_);
+  child_offsets_ = std::move(o.child_offsets_);
+  child_data_ = std::move(o.child_data_);
+  adjacency_fresh_.store(o.adjacency_fresh_.load(std::memory_order_relaxed),
+                         std::memory_order_relaxed);
+  o.adjacency_fresh_.store(false, std::memory_order_relaxed);
+  return *this;
+}
+
+CausalGraph::CausalGraph(const CausalGraph& o)
+    : node_attrs_(o.node_attrs_),
+      arg_arena_(o.arg_arena_),
+      arg_offsets_(o.arg_offsets_),
+      index_(o.index_),
+      by_attribute_(o.by_attribute_),
+      edge_order_(o.edge_order_),
+      edge_run_(o.edge_run_) {
+  // The copy recompacts its own CSR on first read.
+}
+
+CausalGraph& CausalGraph::operator=(const CausalGraph& o) {
+  if (this == &o) return *this;
+  *this = CausalGraph(o);
+  return *this;
+}
+
 NodeId CausalGraph::AddNode(AttributeId attribute, TupleView args) {
-  return AddNodeImpl(attribute, args, nullptr);
+  return AddNodeImpl(attribute, args);
 }
 
-NodeId CausalGraph::AddNode(AttributeId attribute, Tuple args) {
-  return AddNodeImpl(attribute, TupleView(args), &args);
+NodeId CausalGraph::AddNode(AttributeId attribute, const Tuple& args) {
+  // The caller materialized an owned per-node key; count the event so a
+  // per-node Tuple path cannot silently creep back into grounding.
+  storage_stats::CountGraphNodeAlloc();
+  return AddNodeImpl(attribute, TupleView(args));
 }
 
-// `owned` non-null: a movable Tuple equal to `args` (spares the copy on a
-// miss). The view is only read before the node list can reallocate.
-NodeId CausalGraph::AddNodeImpl(AttributeId attribute, TupleView args,
-                                Tuple* owned) {
+NodeId CausalGraph::AddNodeImpl(AttributeId attribute, TupleView args) {
   SpanIndex& attr_index = index_[attribute];
-  auto key_of = [this](uint32_t id) { return TupleView(nodes_[id].args); };
+  auto key_of = [this](uint32_t id) { return NodeArgs(id); };
   uint64_t hash = args.Hash();
   uint32_t found = attr_index.Find(args, hash, key_of);
   if (found != SpanIndex::kNpos) return static_cast<NodeId>(found);
-  NodeId id = static_cast<NodeId>(nodes_.size());
-  nodes_.push_back(GroundedAttribute{
-      attribute, owned != nullptr ? std::move(*owned) : args.ToTuple()});
-  parents_.emplace_back();
-  children_.emplace_back();
+  NodeId id = static_cast<NodeId>(node_attrs_.size());
+  node_attrs_.push_back(attribute);
+  storage_stats::CountGrowth(arg_arena_, args.size());
+  arg_arena_.insert(arg_arena_.end(), args.begin(), args.end());
+  arg_offsets_.push_back(arg_arena_.size());
   attr_index.Insert(static_cast<uint32_t>(id), hash, key_of);
   by_attribute_[attribute].push_back(id);
+  // The CSR offset arrays do not cover the new node yet.
+  adjacency_fresh_.store(false, std::memory_order_relaxed);
   return id;
 }
 
 void CausalGraph::AddNodesBulk(const std::vector<NodeBatch>& batches,
                                ExecContext& ctx) {
-  // Lay out id ranges and pre-create the per-attribute containers so the
-  // parallel phase only touches pre-existing map elements.
-  std::vector<size_t> offsets(batches.size());
-  size_t total = nodes_.size();
+  // Lay out id and arena ranges, size both stores once, and pre-create
+  // the per-attribute containers so the parallel phase only touches
+  // pre-existing map elements and never reallocates the arena.
+  std::vector<size_t> id_offsets(batches.size());
+  std::vector<size_t> sym_offsets(batches.size());
+  size_t total = node_attrs_.size();
+  size_t sym_total = arg_arena_.size();
   for (size_t b = 0; b < batches.size(); ++b) {
     const NodeBatch& batch = batches[b];
     CARL_CHECK(index_[batch.attribute].empty() &&
                by_attribute_[batch.attribute].empty())
         << "AddNodesBulk: attribute already has nodes";
-    offsets[b] = total;
+    id_offsets[b] = total;
+    sym_offsets[b] = sym_total;
     total += batch.rows.size();
+    sym_total += batch.rows.size() * batch.rows.arity();
   }
-  nodes_.resize(total);
-  parents_.resize(total);
-  children_.resize(total);
+  node_attrs_.resize(total);
+  arg_arena_.resize(sym_total);
+  arg_offsets_.resize(total + 1);
 
   ParallelFor(ctx, batches.size(), [&](size_t begin, size_t end, size_t) {
     for (size_t b = begin; b < end; ++b) {
       const NodeBatch& batch = batches[b];
       const RelationView& rows = batch.rows;
+      const size_t arity = rows.arity();
       SpanIndex& attr_index = index_[batch.attribute];
-      auto key_of = [this](uint32_t id) { return TupleView(nodes_[id].args); };
+      // Batch-local key accessor: the index only ever holds this batch's
+      // ids, whose spans are derivable from the batch's own arena range.
+      // Going through NodeArgs/arg_offsets_ here would race — a batch's
+      // first boundary offset is written by the neighboring batch's
+      // thread.
+      const SymbolId* base = arg_arena_.data() + sym_offsets[b];
+      const size_t first_id = id_offsets[b];
+      auto key_of = [base, first_id, arity](uint32_t id) {
+        return TupleView(base + (id - first_id) * arity, arity);
+      };
       std::vector<NodeId>& ids = by_attribute_[batch.attribute];
       attr_index.Reserve(rows.size(), key_of);
       ids.reserve(rows.size());
+      if (rows.size() > 0) {
+        // One contiguous copy: the batch's rows are an arity-strided
+        // arena themselves.
+        std::memcpy(arg_arena_.data() + sym_offsets[b], rows.data(),
+                    rows.size() * arity * sizeof(SymbolId));
+      }
       for (size_t r = 0; r < rows.size(); ++r) {
-        NodeId id = static_cast<NodeId>(offsets[b] + r);
-        nodes_[id] = GroundedAttribute{batch.attribute, rows[r].ToTuple()};
+        NodeId id = static_cast<NodeId>(id_offsets[b] + r);
+        node_attrs_[id] = batch.attribute;
+        arg_offsets_[id + 1] = sym_offsets[b] + (r + 1) * arity;
         CARL_DCHECK(attr_index.Find(rows[r], rows[r].Hash(), key_of) ==
                     SpanIndex::kNpos)
             << "AddNodesBulk: duplicate rows in batch";
@@ -121,12 +199,13 @@ void CausalGraph::AddNodesBulk(const std::vector<NodeBatch>& batches,
           << "AddNodesBulk: duplicate rows in batch";
     }
   });
+  adjacency_fresh_.store(false, std::memory_order_relaxed);
 }
 
 NodeId CausalGraph::FindNode(AttributeId attribute, TupleView args) const {
   auto attr_it = index_.find(attribute);
   if (attr_it == index_.end()) return kInvalidNode;
-  auto key_of = [this](uint32_t id) { return TupleView(nodes_[id].args); };
+  auto key_of = [this](uint32_t id) { return NodeArgs(id); };
   uint32_t found = attr_it->second.Find(args, args.Hash(), key_of);
   return found == SpanIndex::kNpos ? kInvalidNode
                                    : static_cast<NodeId>(found);
@@ -134,18 +213,18 @@ NodeId CausalGraph::FindNode(AttributeId attribute, TupleView args) const {
 
 void CausalGraph::ReserveEdges(size_t expected) {
   edge_run_.reserve(edge_run_.size() + expected);
+  edge_order_.reserve(edge_order_.size() + expected);
 }
 
 void CausalGraph::AddEdge(NodeId from, NodeId to) {
-  CARL_DCHECK(from >= 0 && static_cast<size_t>(from) < nodes_.size());
-  CARL_DCHECK(to >= 0 && static_cast<size_t>(to) < nodes_.size());
+  CARL_DCHECK(from >= 0 && static_cast<size_t>(from) < num_nodes());
+  CARL_DCHECK(to >= 0 && static_cast<size_t>(to) < num_nodes());
   EdgeKey key{from, to};
   auto it = std::lower_bound(edge_run_.begin(), edge_run_.end(), key);
   if (it != edge_run_.end() && *it == key) return;
   edge_run_.insert(it, key);
-  parents_[to].push_back(from);
-  children_[from].push_back(to);
-  ++num_edges_;
+  edge_order_.push_back(Edge{from, to});
+  adjacency_fresh_.store(false, std::memory_order_relaxed);
 }
 
 void CausalGraph::AddEdges(const std::vector<Edge>& batch) {
@@ -153,36 +232,78 @@ void CausalGraph::AddEdges(const std::vector<Edge>& batch) {
   pending.reserve(batch.size());
   for (size_t i = 0; i < batch.size(); ++i) {
     CARL_DCHECK(batch[i].from >= 0 &&
-                static_cast<size_t>(batch[i].from) < nodes_.size());
+                static_cast<size_t>(batch[i].from) < num_nodes());
     CARL_DCHECK(batch[i].to >= 0 &&
-                static_cast<size_t>(batch[i].to) < nodes_.size());
+                static_cast<size_t>(batch[i].to) < num_nodes());
     pending.push_back(
         PendingEdge{EdgeKey{batch[i].from, batch[i].to},
                     static_cast<uint32_t>(i)});
   }
-  for (const PendingEdge& e : MergeEdgeRun(std::move(pending), &edge_run_)) {
-    NodeId from = static_cast<NodeId>(e.key.from);
-    NodeId to = static_cast<NodeId>(e.key.to);
-    parents_[to].push_back(from);
-    children_[from].push_back(to);
-    ++num_edges_;
+  std::vector<PendingEdge> survivors =
+      MergeEdgeRun(std::move(pending), &edge_run_);
+  if (survivors.empty()) return;
+  edge_order_.reserve(edge_order_.size() + survivors.size());
+  for (const PendingEdge& e : survivors) {
+    edge_order_.push_back(Edge{static_cast<NodeId>(e.key.from),
+                               static_cast<NodeId>(e.key.to)});
+  }
+  adjacency_fresh_.store(false, std::memory_order_relaxed);
+}
+
+void CausalGraph::RebuildAdjacency() const {
+  const size_t n = num_nodes();
+  const size_t e = edge_order_.size();
+  parent_offsets_.assign(n + 1, 0);
+  child_offsets_.assign(n + 1, 0);
+  for (const Edge& edge : edge_order_) {
+    ++parent_offsets_[edge.to + 1];
+    ++child_offsets_[edge.from + 1];
+  }
+  for (size_t i = 1; i <= n; ++i) {
+    parent_offsets_[i] += parent_offsets_[i - 1];
+    child_offsets_[i] += child_offsets_[i - 1];
+  }
+  parent_data_.resize(e);
+  child_data_.resize(e);
+  // Fill in commit order: within each node the list order equals the
+  // order a serial per-node push_back loop produced.
+  std::vector<uint32_t> pcur(parent_offsets_.begin(),
+                             parent_offsets_.end() - 1);
+  std::vector<uint32_t> ccur(child_offsets_.begin(),
+                             child_offsets_.end() - 1);
+  for (const Edge& edge : edge_order_) {
+    parent_data_[pcur[edge.to]++] = edge.from;
+    child_data_[ccur[edge.from]++] = edge.to;
   }
 }
 
-const GroundedAttribute& CausalGraph::node(NodeId id) const {
-  CARL_CHECK(id >= 0 && static_cast<size_t>(id) < nodes_.size())
+void CausalGraph::EnsureAdjacency() const {
+  if (adjacency_fresh_.load(std::memory_order_acquire)) return;
+  std::lock_guard<std::mutex> lock(adjacency_mu_);
+  if (adjacency_fresh_.load(std::memory_order_relaxed)) return;
+  RebuildAdjacency();
+  adjacency_fresh_.store(true, std::memory_order_release);
+}
+
+GroundedAttribute CausalGraph::node(NodeId id) const {
+  CARL_CHECK(id >= 0 && static_cast<size_t>(id) < num_nodes())
       << "node id out of range: " << id;
-  return nodes_[id];
+  return GroundedAttribute{node_attrs_[id],
+                           NodeArgs(static_cast<uint32_t>(id))};
 }
 
-const std::vector<NodeId>& CausalGraph::Parents(NodeId id) const {
-  CARL_CHECK(id >= 0 && static_cast<size_t>(id) < nodes_.size());
-  return parents_[id];
+NodeIdSpan CausalGraph::Parents(NodeId id) const {
+  CARL_CHECK(id >= 0 && static_cast<size_t>(id) < num_nodes());
+  EnsureAdjacency();
+  return NodeIdSpan(parent_data_.data() + parent_offsets_[id],
+                    parent_offsets_[id + 1] - parent_offsets_[id]);
 }
 
-const std::vector<NodeId>& CausalGraph::Children(NodeId id) const {
-  CARL_CHECK(id >= 0 && static_cast<size_t>(id) < nodes_.size());
-  return children_[id];
+NodeIdSpan CausalGraph::Children(NodeId id) const {
+  CARL_CHECK(id >= 0 && static_cast<size_t>(id) < num_nodes());
+  EnsureAdjacency();
+  return NodeIdSpan(child_data_.data() + child_offsets_[id],
+                    child_offsets_[id + 1] - child_offsets_[id]);
 }
 
 const std::vector<NodeId>& CausalGraph::NodesOfAttribute(
@@ -192,25 +313,28 @@ const std::vector<NodeId>& CausalGraph::NodesOfAttribute(
 }
 
 Result<std::vector<NodeId>> CausalGraph::TopologicalOrder() const {
-  std::vector<int> in_degree(nodes_.size());
-  for (size_t n = 0; n < nodes_.size(); ++n) {
-    in_degree[n] = static_cast<int>(parents_[n].size());
+  EnsureAdjacency();
+  const size_t n = num_nodes();
+  std::vector<int> in_degree(n);
+  for (size_t node = 0; node < n; ++node) {
+    in_degree[node] =
+        static_cast<int>(parent_offsets_[node + 1] - parent_offsets_[node]);
   }
   std::deque<NodeId> ready;
-  for (size_t n = 0; n < nodes_.size(); ++n) {
-    if (in_degree[n] == 0) ready.push_back(static_cast<NodeId>(n));
+  for (size_t node = 0; node < n; ++node) {
+    if (in_degree[node] == 0) ready.push_back(static_cast<NodeId>(node));
   }
   std::vector<NodeId> order;
-  order.reserve(nodes_.size());
+  order.reserve(n);
   while (!ready.empty()) {
-    NodeId n = ready.front();
+    NodeId node = ready.front();
     ready.pop_front();
-    order.push_back(n);
-    for (NodeId c : children_[n]) {
+    order.push_back(node);
+    for (NodeId c : Children(node)) {
       if (--in_degree[c] == 0) ready.push_back(c);
     }
   }
-  if (order.size() != nodes_.size()) {
+  if (order.size() != n) {
     return Status::FailedPrecondition(
         "causal graph has a cycle (recursive rules are not supported)");
   }
@@ -219,13 +343,13 @@ Result<std::vector<NodeId>> CausalGraph::TopologicalOrder() const {
 
 bool CausalGraph::HasDirectedPath(NodeId from, NodeId to) const {
   if (from == to) return true;
-  std::vector<bool> visited(nodes_.size(), false);
+  std::vector<bool> visited(num_nodes(), false);
   std::deque<NodeId> frontier{from};
   visited[from] = true;
   while (!frontier.empty()) {
     NodeId n = frontier.front();
     frontier.pop_front();
-    for (NodeId c : children_[n]) {
+    for (NodeId c : Children(n)) {
       if (c == to) return true;
       if (!visited[c]) {
         visited[c] = true;
@@ -238,10 +362,12 @@ bool CausalGraph::HasDirectedPath(NodeId from, NodeId to) const {
 
 namespace {
 
-std::vector<NodeId> Closure(
-    const std::vector<NodeId>& seeds, size_t num_nodes,
-    const std::vector<std::vector<NodeId>>& neighbors) {
-  std::vector<bool> visited(num_nodes, false);
+enum class Direction { kParents, kChildren };
+
+std::vector<NodeId> Closure(const CausalGraph& graph,
+                            const std::vector<NodeId>& seeds,
+                            Direction direction) {
+  std::vector<bool> visited(graph.num_nodes(), false);
   std::deque<NodeId> frontier;
   for (NodeId s : seeds) {
     if (!visited[s]) {
@@ -254,10 +380,12 @@ std::vector<NodeId> Closure(
     NodeId n = frontier.front();
     frontier.pop_front();
     out.push_back(n);
-    for (NodeId next : neighbors[n]) {
-      if (!visited[next]) {
-        visited[next] = true;
-        frontier.push_back(next);
+    NodeIdSpan next = direction == Direction::kParents ? graph.Parents(n)
+                                                       : graph.Children(n);
+    for (NodeId id : next) {
+      if (!visited[id]) {
+        visited[id] = true;
+        frontier.push_back(id);
       }
     }
   }
@@ -268,17 +396,17 @@ std::vector<NodeId> Closure(
 
 std::vector<NodeId> CausalGraph::Ancestors(
     const std::vector<NodeId>& seeds) const {
-  return Closure(seeds, nodes_.size(), parents_);
+  return Closure(*this, seeds, Direction::kParents);
 }
 
 std::vector<NodeId> CausalGraph::Descendants(
     const std::vector<NodeId>& seeds) const {
-  return Closure(seeds, nodes_.size(), children_);
+  return Closure(*this, seeds, Direction::kChildren);
 }
 
 std::string CausalGraph::NodeName(NodeId id, const Schema& schema,
                                   const StringInterner& interner) const {
-  const GroundedAttribute& g = node(id);
+  const GroundedAttribute g = node(id);
   std::vector<std::string> names;
   names.reserve(g.args.size());
   for (SymbolId s : g.args) names.push_back(interner.ToString(s));

@@ -4,11 +4,32 @@
 // tuple of interned constants. Edges run cause -> effect, i.e. from each
 // body grounding to the head grounding of a grounded rule. The graph must
 // be a DAG (the paper restricts models to non-recursive rule sets).
+//
+// Storage layout (the graph is rebuilt per model variant, so build cost
+// and per-node footprint are the design):
+//   * Node arguments live in ONE arity-strided SymbolId arena; a node's
+//     args are a TupleView span into it, never an owned per-node Tuple.
+//     Interning probes the arena through per-attribute SpanIndexes with
+//     keys assembled in caller scratch — zero owned key tuples anywhere.
+//   * Adjacency is CSR: one contiguous parent array + one child array with
+//     per-node offset ranges, built in a single counting pass over the
+//     committed edge sequence. Edges committed after a build land in a
+//     dynamic overlay (the uncompacted tail of the edge log) and are
+//     folded in by recompacting on the first adjacency read — reads always
+//     see per-node lists byte-identical to the historical per-node
+//     push_back vectors.
+//
+// Thread contract: writes (AddNode*, AddEdge*) are single-threaded and
+// must not overlap reads; FindNode / node / Parents / Children are safe
+// from concurrent readers (the lazy adjacency compaction is internally
+// synchronized).
 
 #ifndef CARL_GRAPH_CAUSAL_GRAPH_H_
 #define CARL_GRAPH_CAUSAL_GRAPH_H_
 
+#include <atomic>
 #include <cstdint>
+#include <mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -59,22 +80,68 @@ std::vector<PendingEdge> MergeEdgeRun(std::vector<PendingEdge> pending,
 
 }  // namespace causal_graph_internal
 
-/// A grounded attribute A[x].
+/// A grounded attribute A[x]. `args` is a span into the graph's argument
+/// arena — valid until the next node insertion into the graph.
 struct GroundedAttribute {
   AttributeId attribute = kInvalidAttribute;
-  Tuple args;
+  TupleView args;
 
   bool operator==(const GroundedAttribute& o) const {
     return attribute == o.attribute && args == o.args;
   }
 };
 
+/// Non-owning view of one CSR adjacency list (a node's parents or
+/// children, in edge commit order). Valid until the next graph mutation.
+class NodeIdSpan {
+ public:
+  using value_type = NodeId;
+  using const_iterator = const NodeId*;
+
+  NodeIdSpan() = default;
+  NodeIdSpan(const NodeId* data, size_t size) : data_(data), size_(size) {}
+
+  const NodeId* data() const { return data_; }
+  size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+  NodeId operator[](size_t i) const { return data_[i]; }
+  const NodeId* begin() const { return data_; }
+  const NodeId* end() const { return data_ + size_; }
+
+  friend bool operator==(NodeIdSpan a, NodeIdSpan b) {
+    if (a.size_ != b.size_) return false;
+    for (size_t i = 0; i < a.size_; ++i) {
+      if (a.data_[i] != b.data_[i]) return false;
+    }
+    return true;
+  }
+  friend bool operator!=(NodeIdSpan a, NodeIdSpan b) { return !(a == b); }
+
+ private:
+  const NodeId* data_ = nullptr;
+  size_t size_ = 0;
+};
+
 class CausalGraph {
  public:
+  CausalGraph() = default;
+  /// Moves/copies transfer the node and edge stores; the adjacency
+  /// synchronization state is rebuilt (the CSR recompacts lazily on the
+  /// next read). Must not race in-flight readers of the source.
+  CausalGraph(CausalGraph&& o) noexcept;
+  CausalGraph& operator=(CausalGraph&& o) noexcept;
+  CausalGraph(const CausalGraph& o);
+  CausalGraph& operator=(const CausalGraph& o);
+
   /// Interns a node; returns the existing id when already present. The
-  /// TupleView overload materializes an owned Tuple only on a miss.
-  NodeId AddNode(AttributeId attribute, Tuple args);
+  /// span overload is the hot path and appends straight into the argument
+  /// arena on a miss — `args` must not alias this graph's own arena. The
+  /// Tuple overload is the owned-key convenience for tests and hand-built
+  /// graphs; each call counts as a graph-node allocation event
+  /// (storage_stats::GraphNodeAllocCount), so per-node Tuple paths cannot
+  /// silently creep back into grounding.
   NodeId AddNode(AttributeId attribute, TupleView args);
+  NodeId AddNode(AttributeId attribute, const Tuple& args);
 
   /// One attribute's grounding set for AddNodesBulk. The view must stay
   /// valid for the call and contain no duplicates (Instance::Rows
@@ -86,9 +153,10 @@ class CausalGraph {
 
   /// Bulk-interns one node per (batch attribute, row), assigning ids in
   /// batch-then-row order — exactly the ids a serial AddNode loop over the
-  /// same batches would assign. Per-attribute indexes are built in
-  /// parallel on `ctx`. Batch attributes must not already have nodes and
-  /// must be pairwise distinct.
+  /// same batches would assign. The argument arena is sized once for the
+  /// whole bulk (each batch is one contiguous copy); per-attribute indexes
+  /// are built in parallel on `ctx`. Batch attributes must not already
+  /// have nodes and must be pairwise distinct.
   void AddNodesBulk(const std::vector<NodeBatch>& batches, ExecContext& ctx);
 
   /// Node id for A[x], or kInvalidNode. The span overload is
@@ -100,7 +168,9 @@ class CausalGraph {
 
   /// Adds a cause -> effect edge; duplicate edges are ignored.
   /// Incremental convenience (tests, hand-built graphs) — bulk producers
-  /// should batch through AddEdges.
+  /// should batch through AddEdges. After the CSR adjacency has been
+  /// built, the edge lands in the dynamic overlay and is folded in on the
+  /// next adjacency read.
   void AddEdge(NodeId from, NodeId to);
 
   /// One cause -> effect edge of an AddEdges batch.
@@ -120,14 +190,25 @@ class CausalGraph {
   /// Pre-sizes edge storage for an expected number of additional edges.
   void ReserveEdges(size_t expected);
 
-  size_t num_nodes() const { return nodes_.size(); }
-  size_t num_edges() const { return num_edges_; }
+  size_t num_nodes() const { return node_attrs_.size(); }
+  size_t num_edges() const { return edge_order_.size(); }
 
-  const GroundedAttribute& node(NodeId id) const;
-  const std::vector<NodeId>& Parents(NodeId id) const;
-  const std::vector<NodeId>& Children(NodeId id) const;
+  /// The node's attribute and argument span. The span stays valid until
+  /// the next node insertion.
+  GroundedAttribute node(NodeId id) const;
 
-  /// All groundings of one attribute function (the paper's A∆).
+  /// Parents / children of a node, in edge commit order (byte-identical
+  /// to the historical per-node vectors). Triggers adjacency compaction
+  /// when edges or nodes were added since the last read; the span is
+  /// valid until the next graph mutation.
+  NodeIdSpan Parents(NodeId id) const;
+  NodeIdSpan Children(NodeId id) const;
+
+  /// All groundings of one attribute function (the paper's A∆), in id
+  /// order. For attributes bulk-built by AddNodesBulk the first
+  /// batch-size entries are row-aligned with the batch's rows — the
+  /// row-aligned node-id column the grounding value pass and unit-table
+  /// pass 1 read instead of per-row FindNode probes.
   const std::vector<NodeId>& NodesOfAttribute(AttributeId attribute) const;
 
   /// Topological order (parents before children), or FailedPrecondition
@@ -152,20 +233,49 @@ class CausalGraph {
                        const StringInterner& interner) const;
 
  private:
-  NodeId AddNodeImpl(AttributeId attribute, TupleView args, Tuple* owned);
+  NodeId AddNodeImpl(AttributeId attribute, TupleView args);
+  TupleView NodeArgs(uint32_t id) const {
+    return TupleView(arg_arena_.data() + arg_offsets_[id],
+                     static_cast<size_t>(arg_offsets_[id + 1] -
+                                         arg_offsets_[id]));
+  }
+  /// Compacts the committed edge log into the CSR arrays when stale.
+  /// Safe from concurrent readers; never runs concurrent with writes
+  /// (the graph's thread contract).
+  void EnsureAdjacency() const;
+  void RebuildAdjacency() const;
 
-  std::vector<GroundedAttribute> nodes_;
-  std::vector<std::vector<NodeId>> parents_;
-  std::vector<std::vector<NodeId>> children_;
-  // Per-attribute span indexes over nodes_: probes take a TupleView (no
-  // copy, no owned keys) and AddNodesBulk can build the indexes of
-  // distinct attributes concurrently.
+  // Node store: one argument arena; node i's args are the span
+  // [arg_offsets_[i], arg_offsets_[i+1]) of arg_arena_.
+  std::vector<AttributeId> node_attrs_;
+  std::vector<SymbolId> arg_arena_;
+  std::vector<uint64_t> arg_offsets_{0};
+
+  // Per-attribute span indexes over the node arena: probes take a
+  // TupleView (no copy, no owned keys) and AddNodesBulk can build the
+  // indexes of distinct attributes concurrently.
   std::unordered_map<AttributeId, SpanIndex> index_;
-  // Committed edges as one sorted run, kept merged across batches; the
-  // dedupe probe is a binary search, never a packed-key hash.
-  std::vector<causal_graph_internal::EdgeKey> edge_run_;
   std::unordered_map<AttributeId, std::vector<NodeId>> by_attribute_;
-  size_t num_edges_ = 0;
+
+  // Committed edges in first-occurrence order (the CSR fill source) plus
+  // one sorted dedupe run, kept merged across batches; the dedupe probe
+  // is a binary search, never a packed-key hash. Edges committed after
+  // the last compaction are the dynamic overlay: they live only in this
+  // log (flagged by adjacency_fresh_) until a read recompacts the CSR
+  // over the whole sequence.
+  std::vector<Edge> edge_order_;
+  std::vector<causal_graph_internal::EdgeKey> edge_run_;
+
+  // CSR adjacency, rebuilt lazily on first read after a mutation. The
+  // flag is the only cross-thread handshake: readers acquire-load it,
+  // the (reader-side, mutex-serialized) compaction release-stores it,
+  // writers relax-store false.
+  mutable std::vector<uint32_t> parent_offsets_;
+  mutable std::vector<NodeId> parent_data_;
+  mutable std::vector<uint32_t> child_offsets_;
+  mutable std::vector<NodeId> child_data_;
+  mutable std::atomic<bool> adjacency_fresh_{false};
+  mutable std::mutex adjacency_mu_;
 
   static const std::vector<NodeId> kNoNodes;
 };

@@ -90,6 +90,13 @@ class BindingTable {
   }
   bool InsertDistinct(TupleView v) { return InsertDistinct(v.data()); }
 
+  /// True if an equal row is present. Allocation-free span probe — this
+  /// is how consumers (e.g. the unit table's WHERE-filter source set)
+  /// membership-test arena keys without owning any Tuple.
+  bool Contains(TupleView v) const {
+    return index_.Find(v, v.Hash(), KeyOf()) != SpanIndex::kNpos;
+  }
+
   /// Materializes owned Tuples (cold paths and tests only); each row is
   /// one heap allocation, counted as an evaluator-result allocation.
   std::vector<Tuple> ToTuples() const {

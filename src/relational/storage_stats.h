@@ -41,6 +41,20 @@ inline void CountEvalResultAlloc(uint64_t n = 1) {
   EvalResultAllocCount().fetch_add(n, std::memory_order_relaxed);
 }
 
+/// Per-node owned-Tuple materializations on the causal-graph node path.
+/// The graph stores node arguments in one arity-strided arena (spans, no
+/// owned key tuples), so a warm grounding pass must report 0 here — a
+/// nonzero delta means a per-node Tuple path (the historical
+/// GroundedAttribute::args) crept back into node interning.
+inline std::atomic<uint64_t>& GraphNodeAllocCount() {
+  static std::atomic<uint64_t> count{0};
+  return count;
+}
+
+inline void CountGraphNodeAlloc(uint64_t n = 1) {
+  GraphNodeAllocCount().fetch_add(n, std::memory_order_relaxed);
+}
+
 /// Bumps the counter when appending `extra` elements to `v` would grow
 /// its capacity.
 template <typename V>
@@ -53,7 +67,9 @@ class ScopedAllocCounter {
  public:
   ScopedAllocCounter()
       : start_(AllocCount().load(std::memory_order_relaxed)),
-        eval_start_(EvalResultAllocCount().load(std::memory_order_relaxed)) {}
+        eval_start_(EvalResultAllocCount().load(std::memory_order_relaxed)),
+        graph_node_start_(
+            GraphNodeAllocCount().load(std::memory_order_relaxed)) {}
   uint64_t delta() const {
     return AllocCount().load(std::memory_order_relaxed) - start_;
   }
@@ -61,10 +77,15 @@ class ScopedAllocCounter {
     return EvalResultAllocCount().load(std::memory_order_relaxed) -
            eval_start_;
   }
+  uint64_t graph_node_delta() const {
+    return GraphNodeAllocCount().load(std::memory_order_relaxed) -
+           graph_node_start_;
+  }
 
  private:
   uint64_t start_;
   uint64_t eval_start_;
+  uint64_t graph_node_start_;
 };
 
 }  // namespace storage_stats

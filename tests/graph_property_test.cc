@@ -79,7 +79,7 @@ TEST_P(DagInvariantTest, ParentChildListsConsistent) {
   for (NodeId n = 0; n < static_cast<NodeId>(graph.num_nodes()); ++n) {
     total_parent_links += graph.Parents(n).size();
     for (NodeId p : graph.Parents(n)) {
-      const std::vector<NodeId>& children = graph.Children(p);
+      const NodeIdSpan children = graph.Children(p);
       EXPECT_NE(std::find(children.begin(), children.end(), n),
                 children.end());
     }
@@ -107,7 +107,7 @@ TEST(DSeparationInvariantTest, SymmetryAndMonotoneBehaviour) {
       EXPECT_EQ(DSeparated(graph, {x}, {y}, z),
                 DSeparated(graph, {y}, {x}, z));
       // Adjacent nodes are never d-separated (no Z can block the edge).
-      const std::vector<NodeId>& children = graph.Children(x);
+      const NodeIdSpan children = graph.Children(x);
       if (std::find(children.begin(), children.end(), y) != children.end()) {
         EXPECT_FALSE(DSeparated(graph, {x}, {y}, z));
       }

@@ -1,0 +1,195 @@
+// Graph-store suite: the arena-backed CausalGraph node store and the
+// cross-rule parallel grounding must be invisible to consumers — node-id
+// columns stay row-aligned with the instance's fact rows, node args read
+// back exactly, and the grounded graph (ids, adjacency, values) is
+// bit-identical across thread counts on MIMIC and SYNTH-REVIEW, where the
+// cross-rule merge threshold is actually crossed.
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "carl/carl.h"
+#include "datagen/mimic.h"
+#include "datagen/review.h"
+#include "relational/storage_stats.h"
+
+namespace carl {
+namespace {
+
+class ScopedThreads {
+ public:
+  explicit ScopedThreads(int threads)
+      : prev_(ExecContext::Global().threads()) {
+    ExecContext::Global().set_threads(threads);
+  }
+  ~ScopedThreads() { ExecContext::Global().set_threads(prev_); }
+
+ private:
+  int prev_;
+};
+
+struct NamedDataset {
+  const char* name;
+  datagen::Dataset dataset;
+};
+
+// MIMIC and SYNTH-REVIEW sized so the total binding count crosses the
+// cross-rule parallel-merge threshold (the serial fallback would make
+// the threads=N legs vacuous).
+std::vector<NamedDataset> Workloads() {
+  std::vector<NamedDataset> out;
+  {
+    datagen::MimicConfig config;
+    config.num_patients = 3000;
+    config.num_caregivers = 120;
+    Result<datagen::Dataset> mimic = datagen::GenerateMimic(config);
+    CARL_CHECK_OK(mimic.status());
+    out.push_back(NamedDataset{"MIMIC", std::move(*mimic)});
+  }
+  {
+    datagen::ReviewConfig config;
+    config.num_authors = 800;
+    config.num_institutions = 40;
+    config.num_papers = 6000;
+    config.num_venues = 20;
+    Result<datagen::ReviewData> review = datagen::GenerateReviewData(config);
+    CARL_CHECK_OK(review.status());
+    out.push_back(NamedDataset{"SYNTH-REVIEW",
+                               std::move(review->dataset)});
+  }
+  return out;
+}
+
+// One stable fingerprint of a grounded graph: names, parent lists, and
+// value bit patterns folded in node order.
+uint64_t GraphFingerprint(const GroundedModel& grounded) {
+  auto mix = [](uint64_t h, uint64_t v) {
+    h ^= v + 0x9e3779b97f4a7c15ull + (h << 12) + (h >> 4);
+    return h;
+  };
+  auto mix_string = [&mix](uint64_t h, const std::string& s) {
+    for (unsigned char c : s) h = mix(h, c);
+    return h;
+  };
+  const CausalGraph& graph = grounded.graph();
+  uint64_t h = 0xcbf29ce484222325ull;
+  h = mix(h, graph.num_nodes());
+  h = mix(h, graph.num_edges());
+  h = mix(h, grounded.num_groundings());
+  for (NodeId id = 0; id < static_cast<NodeId>(graph.num_nodes()); ++id) {
+    h = mix_string(h, grounded.NodeName(id));
+    for (NodeId p : graph.Parents(id)) h = mix(h, static_cast<uint64_t>(p));
+    for (NodeId c : graph.Children(id)) h = mix(h, static_cast<uint64_t>(c));
+    std::optional<double> v = grounded.NodeValue(id);
+    uint64_t bits = 0;
+    if (v.has_value()) {
+      static_assert(sizeof(double) == sizeof(uint64_t), "");
+      std::memcpy(&bits, &*v, sizeof(bits));
+      bits += 1;  // distinguish "0.0" from "missing"
+    }
+    h = mix(h, bits);
+  }
+  return h;
+}
+
+// The invariant the node-id columns rely on: for every schema attribute,
+// the first NumRows(predicate) entries of NodesOfAttribute are the
+// per-row node ids, in row order.
+TEST(GraphStoreTest, NodeIdColumnsAreRowAligned) {
+  for (NamedDataset& wl : Workloads()) {
+    Result<RelationalCausalModel> model = RelationalCausalModel::Parse(
+        *wl.dataset.schema, wl.dataset.model_text);
+    ASSERT_TRUE(model.ok()) << wl.name << ": " << model.status();
+    Result<GroundedModel> grounded = GroundModel(*wl.dataset.instance, *model);
+    ASSERT_TRUE(grounded.ok()) << wl.name << ": " << grounded.status();
+    const CausalGraph& graph = grounded->graph();
+    const Schema& schema = grounded->schema();
+
+    for (const AttributeDef& attr : schema.attributes()) {
+      const RelationView rows = wl.dataset.instance->Rows(attr.predicate);
+      const std::vector<NodeId>& col = graph.NodesOfAttribute(attr.id);
+      ASSERT_GE(col.size(), rows.size()) << wl.name << " " << attr.name;
+      for (size_t r = 0; r < rows.size(); ++r) {
+        GroundedAttribute node = graph.node(col[r]);
+        ASSERT_EQ(node.attribute, attr.id) << wl.name << " " << attr.name;
+        ASSERT_EQ(node.args, rows[r])
+            << wl.name << " " << attr.name << " row " << r;
+      }
+    }
+  }
+}
+
+// Full structural equality of serial vs cross-rule-parallel grounding:
+// node count, per-node attribute/args, adjacency spans, values, and the
+// folded fingerprint, at threads 1 vs {2, 4}.
+TEST(GraphStoreTest, CrossRuleGroundingIdenticalAcrossThreadCounts) {
+  for (NamedDataset& wl : Workloads()) {
+    Result<RelationalCausalModel> model = RelationalCausalModel::Parse(
+        *wl.dataset.schema, wl.dataset.model_text);
+    ASSERT_TRUE(model.ok()) << wl.name;
+
+    std::optional<GroundedModel> serial;
+    uint64_t serial_fp = 0;
+    {
+      ScopedThreads scoped(1);
+      Result<GroundedModel> grounded =
+          GroundModel(*wl.dataset.instance, *model);
+      ASSERT_TRUE(grounded.ok()) << wl.name << ": " << grounded.status();
+      serial_fp = GraphFingerprint(*grounded);
+      serial.emplace(std::move(*grounded));
+    }
+    for (int threads : {2, 4}) {
+      ScopedThreads scoped(threads);
+      Result<GroundedModel> parallel =
+          GroundModel(*wl.dataset.instance, *model);
+      ASSERT_TRUE(parallel.ok()) << wl.name;
+      ASSERT_EQ(parallel->graph().num_nodes(), serial->graph().num_nodes())
+          << wl.name << " threads=" << threads;
+      ASSERT_EQ(parallel->graph().num_edges(), serial->graph().num_edges())
+          << wl.name << " threads=" << threads;
+      EXPECT_EQ(parallel->num_groundings(), serial->num_groundings())
+          << wl.name << " threads=" << threads;
+      for (NodeId id = 0;
+           id < static_cast<NodeId>(serial->graph().num_nodes()); ++id) {
+        ASSERT_TRUE(serial->graph().node(id) == parallel->graph().node(id))
+            << wl.name << " node " << id << " threads=" << threads;
+        ASSERT_EQ(serial->graph().Parents(id), parallel->graph().Parents(id))
+            << wl.name << " node " << id << " threads=" << threads;
+        ASSERT_EQ(serial->graph().Children(id),
+                  parallel->graph().Children(id))
+            << wl.name << " node " << id << " threads=" << threads;
+      }
+      EXPECT_EQ(GraphFingerprint(*parallel), serial_fp)
+          << wl.name << " differs at threads=" << threads;
+    }
+  }
+}
+
+// The grounding hot path must intern every node through span fast paths:
+// zero owned per-node Tuples, at every thread count.
+TEST(GraphStoreTest, GroundingBuildsZeroOwnedNodeTuples) {
+  for (NamedDataset& wl : Workloads()) {
+    Result<RelationalCausalModel> model = RelationalCausalModel::Parse(
+        *wl.dataset.schema, wl.dataset.model_text);
+    ASSERT_TRUE(model.ok()) << wl.name;
+    for (int threads : {1, 4}) {
+      ScopedThreads scoped(threads);
+      storage_stats::ScopedAllocCounter allocs;
+      Result<GroundedModel> grounded =
+          GroundModel(*wl.dataset.instance, *model);
+      ASSERT_TRUE(grounded.ok()) << wl.name;
+      EXPECT_EQ(allocs.graph_node_delta(), 0u)
+          << wl.name << " threads=" << threads
+          << ": per-node Tuple path crept back into grounding";
+      EXPECT_EQ(allocs.eval_result_delta(), 0u)
+          << wl.name << " threads=" << threads;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace carl

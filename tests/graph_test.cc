@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "graph/causal_graph.h"
+#include "relational/storage_stats.h"
 
 namespace carl {
 namespace {
@@ -93,6 +94,102 @@ TEST(CausalGraphTest, EdgeDedupeIsCollisionFreeBeyond32Bits) {
   EXPECT_TRUE(
       MergeEdgeRun({{EdgeKey{kHigh + 5, 7}, 0}}, &committed).empty());
   EXPECT_EQ(committed.size(), 3u);
+}
+
+TEST(CausalGraphTest, NodeArgsLiveInArena) {
+  CausalGraph g;
+  NodeId a = g.AddNode(1, {10, 20});
+  NodeId b = g.AddNode(2, {30});
+  EXPECT_EQ(g.node(a).attribute, 1);
+  EXPECT_EQ(g.node(a).args, TupleView(Tuple{10, 20}));
+  EXPECT_EQ(g.node(b).args, TupleView(Tuple{30}));
+  // Views are re-derived per call, so they stay correct across arena
+  // growth from later insertions.
+  for (int i = 0; i < 100; ++i) g.AddNode(3, {100 + i});
+  EXPECT_EQ(g.node(a).args, TupleView(Tuple{10, 20}));
+  EXPECT_EQ(g.node(b).args, TupleView(Tuple{30}));
+}
+
+TEST(CausalGraphTest, OwnedTupleAddNodeCountsGraphNodeAllocs) {
+  storage_stats::ScopedAllocCounter allocs;
+  CausalGraph g;
+  g.AddNode(1, Tuple{10});         // owned-key convenience: counted
+  g.AddNode(1, Tuple{10});         // hit, still an owned key: counted
+  EXPECT_EQ(allocs.graph_node_delta(), 2u);
+  SymbolId buf[] = {11};
+  g.AddNode(1, TupleView(buf, 1));  // span fast path: not counted
+  EXPECT_EQ(allocs.graph_node_delta(), 2u);
+}
+
+// CSR adjacency must read byte-identical to per-node push_back vectors at
+// every point of an interleaved write/read/write sequence: before any
+// read (first compaction), after a read (hot CSR), after post-build
+// AddEdge / AddEdges land in the overlay and the next read recompacts.
+TEST(CausalGraphTest, CsrAdjacencyMatchesReferenceAcrossOverlayWrites) {
+  constexpr int kNodes = 40;
+  CausalGraph g;
+  for (int i = 0; i < kNodes; ++i) N(&g, i);
+  std::vector<std::vector<NodeId>> ref_parents(kNodes), ref_children(kNodes);
+
+  uint64_t state = 12345;
+  auto next = [&state]() {
+    state = state * 6364136223846793005ull + 1442695040888963407ull;
+    return static_cast<NodeId>((state >> 33) % kNodes);
+  };
+  auto ref_add = [&](NodeId from, NodeId to) {
+    std::vector<NodeId>& c = ref_children[from];
+    if (std::find(c.begin(), c.end(), to) != c.end()) return;
+    c.push_back(to);
+    ref_parents[to].push_back(from);
+  };
+  auto check_all = [&](const char* when) {
+    for (NodeId n = 0; n < kNodes; ++n) {
+      ASSERT_EQ(g.Parents(n),
+                NodeIdSpan(ref_parents[n].data(), ref_parents[n].size()))
+          << when << ": parents of " << n;
+      ASSERT_EQ(g.Children(n),
+                NodeIdSpan(ref_children[n].data(), ref_children[n].size()))
+          << when << ": children of " << n;
+    }
+  };
+
+  // Batch writes, read (compacts), then overlay writes, read again.
+  for (int round = 0; round < 4; ++round) {
+    std::vector<CausalGraph::Edge> batch;
+    for (int i = 0; i < 50; ++i) {
+      NodeId from = next(), to = next();
+      batch.push_back({from, to});
+      ref_add(from, to);
+    }
+    g.AddEdges(batch);
+    check_all("after batch");
+    check_all("re-read (compaction idempotent)");
+    // Post-build incremental edges land in the dynamic overlay.
+    for (int i = 0; i < 5; ++i) {
+      NodeId from = next(), to = next();
+      g.AddEdge(from, to);
+      ref_add(from, to);
+    }
+    check_all("after overlay AddEdge");
+  }
+  size_t ref_edges = 0;
+  for (const auto& p : ref_parents) ref_edges += p.size();
+  EXPECT_EQ(g.num_edges(), ref_edges);
+}
+
+TEST(CausalGraphTest, AdjacencyCoversNodesAddedAfterCompaction) {
+  CausalGraph g;
+  NodeId a = N(&g, 0), b = N(&g, 1);
+  g.AddEdge(a, b);
+  EXPECT_EQ(g.Parents(b).size(), 1u);  // compacts the CSR
+  // A node interned after the build must still be readable (the offset
+  // arrays recompact to cover it).
+  NodeId c = N(&g, 2);
+  EXPECT_TRUE(g.Parents(c).empty());
+  EXPECT_TRUE(g.Children(c).empty());
+  g.AddEdge(b, c);
+  EXPECT_EQ(g.Parents(c).size(), 1u);
+  EXPECT_EQ(g.Parents(c)[0], b);
 }
 
 TEST(CausalGraphTest, NodesOfAttribute) {

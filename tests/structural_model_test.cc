@@ -29,14 +29,14 @@ class StructuralModelTest : public ::testing::Test {
     // A fully deterministic SCM with a known additive structure:
     // Quality = mean(Qualification)/10; Score = Quality + 2*mean(Prestige).
     scm_.Define("Qualification",
-                [](const Tuple&, const ParentView&, Rng&) { return 10.0; });
-    scm_.Define("Prestige", [](const Tuple&, const ParentView& p, Rng&) {
+                [](TupleView, const ParentView&, Rng&) { return 10.0; });
+    scm_.Define("Prestige", [](TupleView, const ParentView& p, Rng&) {
       return p.Mean("Qualification") >= 10.0 ? 1.0 : 0.0;
     });
-    scm_.Define("Quality", [](const Tuple&, const ParentView& p, Rng&) {
+    scm_.Define("Quality", [](TupleView, const ParentView& p, Rng&) {
       return p.Mean("Qualification") / 10.0;
     });
-    scm_.Define("Score", [](const Tuple&, const ParentView& p, Rng&) {
+    scm_.Define("Score", [](TupleView, const ParentView& p, Rng&) {
       return p.Mean("Quality") + 2.0 * p.Mean("Prestige");
     });
   }
@@ -67,7 +67,7 @@ TEST_F(StructuralModelTest, TopologicalEvaluation) {
 
 TEST_F(StructuralModelTest, NoiseIsDeterministicPerSeed) {
   StructuralModel noisy;
-  noisy.Define("Score", [](const Tuple&, const ParentView&, Rng& rng) {
+  noisy.Define("Score", [](TupleView, const ParentView&, Rng& rng) {
     return rng.Normal(0.0, 1.0);
   });
   Result<std::vector<double>> a = noisy.Simulate(*grounded_, 99);
@@ -83,7 +83,7 @@ TEST_F(StructuralModelTest, NoiseIsDeterministicPerSeed) {
 TEST_F(StructuralModelTest, GlobalIntervention) {
   StructuralModel::Intervention iv;
   iv.attribute = "Prestige";
-  iv.value = [](const Tuple&) { return std::optional<double>(0.0); };
+  iv.value = [](TupleView) { return std::optional<double>(0.0); };
   Result<std::vector<double>> values = scm_.Simulate(*grounded_, 1, {iv});
   ASSERT_TRUE(values.ok());
   // do(Prestige = 0): scores drop to quality only.
@@ -97,7 +97,7 @@ TEST_F(StructuralModelTest, SelectiveIntervention) {
   SymbolId eva = data_.instance->LookupConstant("Eva");
   StructuralModel::Intervention iv;
   iv.attribute = "Prestige";
-  iv.value = [eva](const Tuple& unit) {
+  iv.value = [eva](TupleView unit) {
     return unit[0] == eva ? std::optional<double>(0.0) : std::nullopt;
   };
   Result<std::vector<double>> values = scm_.Simulate(*grounded_, 1, {iv});
@@ -121,7 +121,7 @@ TEST_F(StructuralModelTest, LocalSimulationMatchesGlobal) {
   SymbolId eva = data_.instance->LookupConstant("Eva");
   StructuralModel::Intervention iv;
   iv.attribute = "Prestige";
-  iv.value = [eva](const Tuple& unit) {
+  iv.value = [eva](TupleView unit) {
     return unit[0] == eva ? std::optional<double>(0.0) : std::nullopt;
   };
   Result<std::vector<double>> global = scm_.Simulate(*grounded_, 1, {iv});

@@ -145,8 +145,8 @@ TEST_F(UnitTableTest, FilterRestrictsSources) {
   // her peer set shrinks to Bob.
   UnitTableRequest request = Request();
   SymbolId s1 = data_.instance->LookupConstant("s1");
-  request.allowed_sources.emplace();
-  request.allowed_sources->insert(Tuple{s1});
+  request.allowed_sources.emplace(1);
+  request.allowed_sources->InsertDistinct(Tuple{s1});
   Result<UnitTable> table = BuildUnitTable(*grounded_, request);
   ASSERT_TRUE(table.ok());
   EXPECT_EQ(table->data.num_rows(), 2u);
@@ -168,8 +168,8 @@ TEST_F(UnitTableTest, IncludeIsolatedUnitsToggle) {
   // no peers), who is then dropped as isolated: the build fails with a
   // clear precondition error rather than returning an empty table.
   SymbolId s2 = data_.instance->LookupConstant("s2");
-  request.allowed_sources.emplace();
-  request.allowed_sources->insert(Tuple{s2});
+  request.allowed_sources.emplace(1);
+  request.allowed_sources->InsertDistinct(Tuple{s2});
   Result<UnitTable> empty = BuildUnitTable(*grounded_, request, options);
   ASSERT_FALSE(empty.ok());
   EXPECT_EQ(empty.status().code(), StatusCode::kFailedPrecondition);
