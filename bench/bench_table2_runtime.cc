@@ -16,7 +16,10 @@
 // CARL_THREADS=N parallelizes the measured paths via carl_exec.
 
 #include <cstdio>
+#include <cstring>
 #include <memory>
+#include <optional>
+#include <string>
 
 #include "bench_timer.h"
 #include "bench_util.h"
@@ -29,6 +32,105 @@ namespace carl {
 namespace {
 
 constexpr char kBenchName[] = "table2_runtime";
+
+// Id-order fingerprint of a grounded graph (names, adjacency, value
+// bits), mirroring tests/fixtures.h: the incremental extend must be
+// bit-identical across thread counts, not merely isomorphic.
+uint64_t GraphFp(const GroundedModel& grounded) {
+  auto mix = [](uint64_t h, uint64_t v) {
+    h ^= v + 0x9e3779b97f4a7c15ull + (h << 12) + (h >> 4);
+    return h;
+  };
+  const CausalGraph& graph = grounded.graph();
+  uint64_t h = 0xcbf29ce484222325ull;
+  h = mix(h, graph.num_nodes());
+  h = mix(h, graph.num_edges());
+  for (NodeId id = 0; id < static_cast<NodeId>(graph.num_nodes()); ++id) {
+    for (unsigned char c : grounded.NodeName(id)) h = mix(h, c);
+    for (NodeId p : graph.Parents(id)) h = mix(h, static_cast<uint64_t>(p));
+    for (NodeId c : graph.Children(id)) h = mix(h, static_cast<uint64_t>(c));
+    std::optional<double> v = grounded.NodeValue(id);
+    uint64_t bits = 0;
+    if (v.has_value()) {
+      std::memcpy(&bits, &*v, sizeof(bits));
+      bits += 1;
+    }
+    h = mix(h, bits);
+  }
+  return h;
+}
+
+// One synthetic hospital admission against the MIMIC instance: a new
+// patient with full demographics and outcomes, one prescription, and the
+// Care/Drug/Given facts tying both to an existing caregiver — the same
+// per-patient recipe datagen uses, so the delta exercises every rule.
+void AddAdmission(Instance& db, size_t i) {
+  const std::string pat = "bzp" + std::to_string(i);
+  CARL_CHECK_OK(db.AddFact("Pa", {pat}));
+  CARL_CHECK_OK(db.SetAttribute("Eth", {pat}, Value(2.0)));
+  CARL_CHECK_OK(db.SetAttribute("Religion", {pat}, Value(1.0)));
+  CARL_CHECK_OK(db.SetAttribute("Sex", {pat}, Value(i % 2 == 0)));
+  CARL_CHECK_OK(
+      db.SetAttribute("Age", {pat}, Value(55.0 + static_cast<double>(i % 30))));
+  CARL_CHECK_OK(db.SetAttribute("SelfPay", {pat}, Value(i % 5 == 0)));
+  CARL_CHECK_OK(db.SetAttribute("Diag", {pat}, Value(3.0)));
+  CARL_CHECK_OK(db.SetAttribute("Severe", {pat}, Value(i % 3 == 0)));
+  CARL_CHECK_OK(db.SetAttribute("Len", {pat}, Value(5.5)));
+  CARL_CHECK_OK(db.SetAttribute("Death", {pat}, Value(false)));
+  const std::string rx = "bzrx" + std::to_string(i);
+  CARL_CHECK_OK(db.AddFact("Prescription", {rx}));
+  CARL_CHECK_OK(db.SetAttribute("Dose", {rx}, Value(1.25)));
+  CARL_CHECK_OK(db.AddFact("Care", {"c0", pat}));
+  CARL_CHECK_OK(db.AddFact("Drug", {"c0", rx}));
+  CARL_CHECK_OK(db.AddFact("Given", {rx, pat}));
+}
+
+// Measures ExtendGroundedModel on single-admission deltas. First a
+// correctness gate — the same base + delta extended at CARL_THREADS 1
+// and 4 must fingerprint identically — then the timed loop: each pass
+// admits one patient and extends the maintained grounding by exactly
+// that delta (the mutation itself is a dozen O(1) inserts, noise next to
+// the extend).
+double MeasureIncrementalExtend(datagen::Dataset& dataset,
+                                const RelationalCausalModel& model,
+                                int iters) {
+  Instance& db = *dataset.instance;
+  const int prev_threads = ExecContext::Global().threads();
+  const uint64_t gen0 = db.generation();
+  ExecContext::Global().set_threads(1);
+  Result<GroundedModel> base1 = GroundModel(db, model);
+  CARL_CHECK_OK(base1.status());
+  ExecContext::Global().set_threads(4);
+  Result<GroundedModel> base4 = GroundModel(db, model);
+  CARL_CHECK_OK(base4.status());
+
+  size_t admission = 0;
+  AddAdmission(db, admission++);
+  InstanceDelta delta = db.DeltaSince(gen0);
+  CARL_CHECK(DeltaSupportsIncrementalExtend(db, model, delta))
+      << "single-admission delta fell outside the extend contract";
+  ExecContext::Global().set_threads(1);
+  Result<GroundedModel> ext1 = ExtendGroundedModel(std::move(*base1), delta);
+  CARL_CHECK_OK(ext1.status());
+  ExecContext::Global().set_threads(4);
+  Result<GroundedModel> ext4 = ExtendGroundedModel(std::move(*base4), delta);
+  CARL_CHECK_OK(ext4.status());
+  CARL_CHECK(GraphFp(*ext1) == GraphFp(*ext4))
+      << "incremental extend is not bit-identical across thread counts";
+  ExecContext::Global().set_threads(prev_threads);
+
+  GroundedModel current = std::move(*ext4);
+  uint64_t gen = db.generation();
+  double extend_s = bench::TimeBest(iters, [&] {
+    AddAdmission(db, admission++);
+    InstanceDelta d = db.DeltaSince(gen);
+    Result<GroundedModel> ext = ExtendGroundedModel(std::move(current), d);
+    CARL_CHECK_OK(ext.status());
+    current = std::move(*ext);
+    gen = db.generation();
+  });
+  return extend_s;
+}
 
 struct Workload {
   const char* name;
@@ -167,6 +269,27 @@ int Run(const bench::BenchFlags& flags) {
       Result<QueryAnswer> answer = wl.engine->Answer(wl.query);
       CARL_CHECK_OK(answer.status());
     });
+
+    // Incremental grounding on a single-admission delta (MIMIC only; the
+    // other workloads have no admission notion). Runs after the other
+    // measurements so the handful of admitted patients cannot perturb
+    // them. Gated at >= 10x vs the full re-ground outside --quick (the
+    // quick instance grounds in milliseconds, where the ratio is noise).
+    double extend_s = -1.0;
+    if (std::string(wl.name) == "MIMIC-III(sim)") {
+      extend_s = MeasureIncrementalExtend(*wl.dataset, *model,
+                                          flags.quick ? 3 : 10);
+      std::printf("%-18sincremental extend (1 admission): %.5fs "
+                  "(full ground %.3fs, %.0fx)\n",
+                  wl.name, extend_s, ground_s, ground_s / extend_s);
+      if (!flags.quick) {
+        CARL_CHECK(extend_s * 10.0 <= ground_s)
+            << "incremental extend lost its >=10x edge over a full "
+            << "re-ground: " << extend_s << "s vs " << ground_s << "s";
+      }
+      bench::EmitJson(kBenchName, wl.name, "grounding_incremental_extend_s",
+                      extend_s);
+    }
 
     std::printf("%-18s%-14.3f%-14.3f%-14.3f%-16llu%-16llu\n", wl.name,
                 ground_s, table_s, answer_s,

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <chrono>
 #include <cstdio>
+#include <deque>
 #include <unordered_map>
 
 #include "common/logging.h"
@@ -33,11 +34,12 @@ std::shared_ptr<const BindingTable> BindingCache::Find(
     return nullptr;
   }
   ++hits_;
-  return it->second;
+  return it->second.table;
 }
 
 void BindingCache::Insert(std::string key,
-                          std::shared_ptr<const BindingTable> table) {
+                          std::shared_ptr<const BindingTable> table,
+                          BindingDeps deps) {
   if (entries_.count(key) > 0) return;  // first producer wins
   size_t incoming = table->arena_bytes();
   while (!insertion_order_.empty() &&
@@ -45,14 +47,62 @@ void BindingCache::Insert(std::string key,
           total_bytes_ + incoming > max_bytes_)) {
     auto it = entries_.find(insertion_order_.front());
     if (it != entries_.end()) {
-      total_bytes_ -= it->second->arena_bytes();
+      total_bytes_ -= it->second.table->arena_bytes();
       entries_.erase(it);
     }
     insertion_order_.erase(insertion_order_.begin());
   }
   total_bytes_ += incoming;
   insertion_order_.push_back(key);
-  entries_.emplace(std::move(key), std::move(table));
+  entries_.emplace(std::move(key),
+                   CacheEntry{std::move(table), std::move(deps)});
+}
+
+void BindingCache::Invalidate(const InstanceDelta& delta) {
+  if (!delta.complete) {
+    Clear();
+    return;
+  }
+  if (delta.empty() || entries_.empty()) return;
+  std::vector<PredicateId> preds;
+  preds.reserve(delta.facts.size());
+  for (const InstanceDelta::FactDelta& f : delta.facts) {
+    preds.push_back(f.predicate);
+  }
+  std::sort(preds.begin(), preds.end());
+  std::vector<AttributeId> attrs;
+  attrs.reserve(delta.attributes.size());
+  for (const InstanceDelta::AttributeDelta& a : delta.attributes) {
+    attrs.push_back(a.attribute);
+  }
+  std::sort(attrs.begin(), attrs.end());
+  auto intersects = [](const auto& sorted_a, const auto& sorted_b) {
+    auto a = sorted_a.begin();
+    auto b = sorted_b.begin();
+    while (a != sorted_a.end() && b != sorted_b.end()) {
+      if (*a < *b) {
+        ++a;
+      } else if (*b < *a) {
+        ++b;
+      } else {
+        return true;
+      }
+    }
+    return false;
+  };
+  for (auto it = entries_.begin(); it != entries_.end();) {
+    const BindingDeps& deps = it->second.deps;
+    if (intersects(deps.predicates, preds) ||
+        intersects(deps.attributes, attrs)) {
+      total_bytes_ -= it->second.table->arena_bytes();
+      insertion_order_.erase(std::remove(insertion_order_.begin(),
+                                         insertion_order_.end(), it->first),
+                             insertion_order_.end());
+      it = entries_.erase(it);
+    } else {
+      ++it;
+    }
+  }
 }
 
 void BindingCache::Clear() {
@@ -236,10 +286,33 @@ std::string BindingCacheKey(const ConjunctiveQuery& where,
   return key;
 }
 
+// The dependency set a cached table of `where`'s bindings is invalidated
+// on: its atom predicates and constraint attributes.
+BindingDeps DepsOf(const Schema& schema, const ConjunctiveQuery& where) {
+  BindingDeps deps;
+  for (const Atom& atom : where.atoms) {
+    Result<PredicateId> pid = schema.FindPredicate(atom.predicate);
+    if (pid.ok()) deps.predicates.push_back(*pid);
+  }
+  for (const AttributeConstraint& c : where.constraints) {
+    Result<AttributeId> aid = schema.FindAttribute(c.attribute);
+    if (aid.ok()) deps.attributes.push_back(*aid);
+  }
+  std::sort(deps.predicates.begin(), deps.predicates.end());
+  deps.predicates.erase(
+      std::unique(deps.predicates.begin(), deps.predicates.end()),
+      deps.predicates.end());
+  std::sort(deps.attributes.begin(), deps.attributes.end());
+  deps.attributes.erase(
+      std::unique(deps.attributes.begin(), deps.attributes.end()),
+      deps.attributes.end());
+  return deps;
+}
+
 Result<std::shared_ptr<const BindingTable>> EnumerateBindingsCached(
-    const QueryEvaluator& evaluator, const ConjunctiveQuery& where,
-    const std::vector<std::string>& vars, ExecContext& ctx,
-    BindingCache* cache) {
+    const QueryEvaluator& evaluator, const Schema& schema,
+    const ConjunctiveQuery& where, const std::vector<std::string>& vars,
+    ExecContext& ctx, BindingCache* cache) {
   std::string key;
   if (cache != nullptr) {
     key = BindingCacheKey(where, vars);
@@ -250,7 +323,9 @@ Result<std::shared_ptr<const BindingTable>> EnumerateBindingsCached(
   CARL_ASSIGN_OR_RETURN(BindingTable table,
                         EnumerateBindings(evaluator, where, vars, ctx));
   auto shared = std::make_shared<const BindingTable>(std::move(table));
-  if (cache != nullptr) cache->Insert(std::move(key), shared);
+  if (cache != nullptr) {
+    cache->Insert(std::move(key), shared, DepsOf(schema, where));
+  }
   return shared;
 }
 
@@ -536,8 +611,11 @@ void GroundedModel::FinalizeValues(const std::vector<NodeId>& topo_order) {
 
   // Aggregates: parents precede children in topological order, so parent
   // values (including aggregate-of-aggregate chains) are already final.
-  // Parent iteration order matches the lazy implementation's, keeping
-  // floating-point aggregation bit-identical.
+  // Parent values are sorted before aggregation — parent list order is an
+  // edge-commit-order artifact that differs between a from-scratch ground
+  // and an incremental extend, and floating-point accumulation is not
+  // commutative; the sorted form makes aggregate values a function of the
+  // parent value SET, bit-identical across both paths.
   std::vector<double> parent_values;
   for (NodeId id : topo_order) {
     if (!node_has_aggregate_[id]) continue;
@@ -546,6 +624,7 @@ void GroundedModel::FinalizeValues(const std::vector<NodeId>& topo_order) {
       if (value_state_[p] == 2) parent_values.push_back(value_cache_[p]);
     }
     if (!parent_values.empty()) {
+      std::sort(parent_values.begin(), parent_values.end());
       value_cache_[id] = ApplyAggregate(node_aggregate_[id], parent_values);
       value_state_[id] = 2;
     }
@@ -600,8 +679,8 @@ Result<GroundedModel> GroundModel(const Instance& instance,
 
     CompiledRule job;
     CARL_ASSIGN_OR_RETURN(
-        job.bindings, EnumerateBindingsCached(evaluator, rule.where, vars,
-                                              ctx, binding_cache));
+        job.bindings, EnumerateBindingsCached(evaluator, schema, rule.where,
+                                              vars, ctx, binding_cache));
     CARL_ASSIGN_OR_RETURN(AttributeId head_attr,
                           schema.FindAttribute(rule.head.attribute));
     job.head = CompileRef(instance, head_attr, rule.head, var_slots);
@@ -622,8 +701,8 @@ Result<GroundedModel> GroundModel(const Instance& instance,
     CompiledRule job;
     job.require_all = true;
     CARL_ASSIGN_OR_RETURN(
-        job.bindings, EnumerateBindingsCached(evaluator, rule.where, vars,
-                                              ctx, binding_cache));
+        job.bindings, EnumerateBindingsCached(evaluator, schema, rule.where,
+                                              vars, ctx, binding_cache));
     CARL_ASSIGN_OR_RETURN(AttributeId head_attr,
                           schema.FindAttribute(rule.head.attribute));
     CARL_ASSIGN_OR_RETURN(AttributeId source_attr,
@@ -664,6 +743,331 @@ Result<GroundedModel> GroundModel(const Instance& instance,
   grounded.FinalizeValues(topo_order);
   grounded.phase_stats_.finalize_s = SecondsSince(t_finalize);
   return grounded;
+}
+
+namespace {
+
+// True when any constant named by `terms` was interned inside the delta
+// window — its symbol id did not exist when the base grounding compiled
+// its rule refs, so an extend could miss groundings the constant now
+// resolves.
+bool AnyConstantInWindow(const Instance& instance,
+                         const std::vector<Term>& terms,
+                         size_t prev_num_constants) {
+  for (const Term& t : terms) {
+    if (t.is_variable()) continue;
+    SymbolId id = instance.LookupConstant(t.text);
+    if (id != kInvalidSymbol &&
+        static_cast<size_t>(id) >= prev_num_constants) {
+      return true;
+    }
+  }
+  return false;
+}
+
+bool WhereHasWindowConstant(const Instance& instance,
+                            const ConjunctiveQuery& where,
+                            size_t prev_num_constants) {
+  for (const Atom& atom : where.atoms) {
+    if (AnyConstantInWindow(instance, atom.args, prev_num_constants)) {
+      return true;
+    }
+  }
+  for (const AttributeConstraint& c : where.constraints) {
+    if (AnyConstantInWindow(instance, c.args, prev_num_constants)) {
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace
+
+bool DeltaSupportsIncrementalExtend(const Instance& instance,
+                                    const RelationalCausalModel& model,
+                                    const InstanceDelta& delta) {
+  if (!delta.complete) return false;
+  const Schema& schema = model.extended_schema();
+
+  // Overflow writes attach values to tuples outside the row-aligned
+  // columns; an extend cannot tell which existing nodes they hit.
+  // Writes to constraint-referenced attributes are non-monotone: an old
+  // binding (over exclusively old rows, invisible to every delta pivot)
+  // may newly satisfy or newly fail its constraint.
+  std::vector<char> written(instance.schema().num_attributes(), 0);
+  for (const InstanceDelta::AttributeDelta& a : delta.attributes) {
+    if (a.overflow) return false;
+    if (static_cast<size_t>(a.attribute) < written.size()) {
+      written[a.attribute] = 1;
+    }
+  }
+  auto constraint_written = [&](const ConjunctiveQuery& where) {
+    for (const AttributeConstraint& c : where.constraints) {
+      Result<AttributeId> aid = schema.FindAttribute(c.attribute);
+      if (aid.ok() && static_cast<size_t>(*aid) < written.size() &&
+          written[*aid]) {
+        return true;
+      }
+    }
+    return false;
+  };
+  for (const CausalRule& rule : model.rules()) {
+    if (constraint_written(rule.where)) return false;
+    if (WhereHasWindowConstant(instance, rule.where,
+                               delta.prev_num_constants) ||
+        AnyConstantInWindow(instance, rule.head.args,
+                            delta.prev_num_constants)) {
+      return false;
+    }
+    for (const AttributeRef& b : rule.body) {
+      if (AnyConstantInWindow(instance, b.args, delta.prev_num_constants)) {
+        return false;
+      }
+    }
+  }
+  for (const AggregateRule& rule : model.aggregate_rules()) {
+    if (constraint_written(rule.where)) return false;
+    if (WhereHasWindowConstant(instance, rule.where,
+                               delta.prev_num_constants) ||
+        AnyConstantInWindow(instance, rule.head.args,
+                            delta.prev_num_constants) ||
+        AnyConstantInWindow(instance, rule.source.args,
+                            delta.prev_num_constants)) {
+      return false;
+    }
+  }
+  return true;
+}
+
+Result<GroundedModel> ExtendGroundedModel(GroundedModel base,
+                                          const InstanceDelta& delta) {
+  CARL_CHECK(base.instance_ != nullptr && base.model_ != nullptr)
+      << "extend needs a grounded model";
+  const Instance& instance = *base.instance_;
+  const RelationalCausalModel& model = *base.model_;
+  if (delta.to_generation != instance.generation()) {
+    return Status::FailedPrecondition(
+        "delta does not end at the instance's current generation");
+  }
+  if (!DeltaSupportsIncrementalExtend(instance, model, delta)) {
+    return Status::FailedPrecondition(
+        "delta is outside the incremental-extend contract (trimmed log, "
+        "overflow write, constraint-attribute write, or a rule constant "
+        "interned inside the window)");
+  }
+
+  GroundedModel out = std::move(base);
+  CausalGraph& graph = out.graph_;
+  const Schema& schema = model.extended_schema();
+  out.phase_stats_ = GroundingPhaseStats{};
+
+  // Per-predicate fact watermarks: rows >= watermark are the new facts.
+  const size_t num_preds = instance.schema().num_predicates();
+  std::vector<uint32_t> watermarks(num_preds);
+  for (size_t p = 0; p < num_preds; ++p) {
+    watermarks[p] = static_cast<uint32_t>(
+        instance.NumRows(static_cast<PredicateId>(p)));
+  }
+  for (const InstanceDelta::FactDelta& f : delta.facts) {
+    watermarks[f.predicate] = f.prior_rows;
+  }
+
+  // 1. Splice nodes for the new fact rows of every attribute into the
+  // row-aligned per-attribute id columns (rule-added extras are promoted
+  // when a new row re-derives them).
+  auto t_nodes = std::chrono::steady_clock::now();
+  const size_t nodes_before = graph.num_nodes();
+  const size_t edges_before = graph.num_edges();
+  std::vector<CausalGraph::NodeBatch> batches;
+  std::vector<size_t> prior_rows;
+  for (const AttributeDef& attr : schema.attributes()) {
+    size_t prior = watermarks[attr.predicate];
+    if (prior < instance.NumRows(attr.predicate)) {
+      batches.push_back(
+          CausalGraph::NodeBatch{attr.id, instance.Rows(attr.predicate)});
+      prior_rows.push_back(prior);
+    }
+  }
+  graph.ExtendNodesBulk(batches, prior_rows);
+  out.phase_stats_.node_build_s = SecondsSince(t_nodes);
+
+  // 2. Re-enumerate only the bindings that touch the delta: one
+  // semi-naive plan per rule, pivot atoms watermark-restricted to new
+  // rows. No binding cache — delta tables must not collide with the full
+  // tables GroundModel caches under the same condition key.
+  auto t_enum = std::chrono::steady_clock::now();
+  QueryEvaluator evaluator(&instance);
+  std::vector<CompiledRule> compiled;
+  compiled.reserve(model.rules().size() + model.aggregate_rules().size());
+  for (const CausalRule& rule : model.rules()) {
+    std::vector<const AttributeRef*> body;
+    body.reserve(rule.body.size());
+    for (const AttributeRef& b : rule.body) body.push_back(&b);
+    std::vector<std::string> vars = DistinguishedVars(rule.head, body);
+    std::unordered_map<std::string, size_t> var_slots;
+    for (size_t i = 0; i < vars.size(); ++i) var_slots.emplace(vars[i], i);
+
+    CompiledRule job;
+    CARL_ASSIGN_OR_RETURN(PreparedDeltaQuery prepared,
+                          evaluator.PrepareDelta(rule.where));
+    CARL_ASSIGN_OR_RETURN(BindingTable table,
+                          evaluator.EvaluateDelta(prepared, vars, watermarks));
+    job.bindings = std::make_shared<const BindingTable>(std::move(table));
+    CARL_ASSIGN_OR_RETURN(AttributeId head_attr,
+                          schema.FindAttribute(rule.head.attribute));
+    job.head = CompileRef(instance, head_attr, rule.head, var_slots);
+    job.body.reserve(rule.body.size());
+    for (const AttributeRef& b : rule.body) {
+      CARL_ASSIGN_OR_RETURN(AttributeId aid,
+                            schema.FindAttribute(b.attribute));
+      job.body.push_back(CompileRef(instance, aid, b, var_slots));
+    }
+    compiled.push_back(std::move(job));
+  }
+  for (const AggregateRule& rule : model.aggregate_rules()) {
+    std::vector<const AttributeRef*> body{&rule.source};
+    std::vector<std::string> vars = DistinguishedVars(rule.head, body);
+    std::unordered_map<std::string, size_t> var_slots;
+    for (size_t i = 0; i < vars.size(); ++i) var_slots.emplace(vars[i], i);
+
+    CompiledRule job;
+    job.require_all = true;
+    CARL_ASSIGN_OR_RETURN(PreparedDeltaQuery prepared,
+                          evaluator.PrepareDelta(rule.where));
+    CARL_ASSIGN_OR_RETURN(BindingTable table,
+                          evaluator.EvaluateDelta(prepared, vars, watermarks));
+    job.bindings = std::make_shared<const BindingTable>(std::move(table));
+    CARL_ASSIGN_OR_RETURN(AttributeId head_attr,
+                          schema.FindAttribute(rule.head.attribute));
+    CARL_ASSIGN_OR_RETURN(AttributeId source_attr,
+                          schema.FindAttribute(rule.source.attribute));
+    job.head = CompileRef(instance, head_attr, rule.head, var_slots);
+    job.body.push_back(
+        CompileRef(instance, source_attr, rule.source, var_slots));
+    compiled.push_back(std::move(job));
+  }
+  out.phase_stats_.enumerate_s = SecondsSince(t_enum);
+
+  // 3. Merge the delta groundings serially in rule order through the
+  // graph's post-build edge overlay. AddNode/AddEdges dedupe, so a
+  // binding the base already committed (its projection also has an
+  // all-old witness) changes nothing in the graph — only num_groundings_
+  // counts it again, which is why the extend contract excludes that
+  // counter.
+  auto t_merge = std::chrono::steady_clock::now();
+  for (const CompiledRule& rule : compiled) {
+    MergeRuleSerial(rule, &graph, &out.num_groundings_);
+  }
+  out.phase_stats_.merge_s = SecondsSince(t_merge);
+
+  // 4. Tag the new nodes of aggregate-defined attributes.
+  const size_t n = graph.num_nodes();
+  out.node_has_aggregate_.resize(n, 0);
+  out.node_aggregate_.resize(n, AggregateKind::kAvg);
+  for (const AggregateRule& rule : model.aggregate_rules()) {
+    Result<AttributeId> aid = schema.FindAttribute(rule.head.attribute);
+    if (!aid.ok()) continue;
+    for (NodeId node : graph.NodesOfAttribute(*aid)) {
+      if (static_cast<size_t>(node) >= nodes_before) {
+        out.node_has_aggregate_[node] = 1;
+        out.node_aggregate_[node] = rule.aggregate;
+      }
+    }
+  }
+
+  // 5. Cycle check (the extension could close a cycle) — the order also
+  // drives the affected-aggregate recompute below.
+  auto t_finalize = std::chrono::steady_clock::now();
+  CARL_ASSIGN_OR_RETURN(std::vector<NodeId> topo_order,
+                        graph.TopologicalOrder());
+
+  // 6. Values, delta-sized: new nodes read the instance; written rows
+  // refresh in place; aggregates recompute only when reachable from the
+  // change (new node, written row, or new-edge target) through aggregate
+  // children.
+  out.value_state_.resize(n, 1);
+  out.value_cache_.resize(n, 0.0);
+  auto slow_path = [&](NodeId id) {
+    const GroundedAttribute g = graph.node(id);
+    const Value* v = instance.FindAttributeValue(g.attribute, g.args.data(),
+                                                 g.args.size());
+    if (v != nullptr && v->is_numeric()) {
+      out.value_cache_[id] = v->AsDouble();
+      out.value_state_[id] = 2;
+    } else {
+      out.value_state_[id] = 1;
+    }
+  };
+  for (size_t id = nodes_before; id < n; ++id) {
+    if (!out.node_has_aggregate_[id]) slow_path(static_cast<NodeId>(id));
+  }
+  for (const InstanceDelta::AttributeDelta& ad : delta.attributes) {
+    const std::vector<NodeId>& nodes = graph.NodesOfAttribute(ad.attribute);
+    Instance::NumericColumn col = instance.NumericColumnOf(ad.attribute);
+    for (uint32_t row : ad.rows) {
+      if (row >= nodes.size()) continue;
+      NodeId id = nodes[row];
+      if (out.node_has_aggregate_[id]) continue;
+      if (row < col.num_rows && col.present[row]) {
+        out.value_cache_[id] = col.values[row];
+        out.value_state_[id] = 2;
+      } else {
+        slow_path(id);
+      }
+    }
+  }
+
+  std::vector<char> dirty(n, 0);
+  std::deque<NodeId> queue;
+  auto touch = [&](NodeId id) {
+    if (out.node_has_aggregate_[id] && !dirty[id]) {
+      dirty[id] = 1;
+      queue.push_back(id);
+    }
+  };
+  auto seed = [&](NodeId id) {
+    touch(id);
+    for (NodeId c : graph.Children(id)) touch(c);
+  };
+  for (size_t id = nodes_before; id < n; ++id) {
+    seed(static_cast<NodeId>(id));
+  }
+  for (const InstanceDelta::AttributeDelta& ad : delta.attributes) {
+    const std::vector<NodeId>& nodes = graph.NodesOfAttribute(ad.attribute);
+    for (uint32_t row : ad.rows) {
+      if (row < nodes.size()) seed(nodes[row]);
+    }
+  }
+  const std::vector<CausalGraph::Edge>& edge_log = graph.edge_log();
+  for (size_t e = edges_before; e < edge_log.size(); ++e) {
+    touch(edge_log[e].to);
+  }
+  while (!queue.empty()) {
+    NodeId id = queue.front();
+    queue.pop_front();
+    for (NodeId c : graph.Children(id)) touch(c);
+  }
+
+  std::vector<double> parent_values;
+  for (NodeId id : topo_order) {
+    if (!dirty[id]) continue;
+    parent_values.clear();
+    for (NodeId p : graph.Parents(id)) {
+      if (out.value_state_[p] == 2) {
+        parent_values.push_back(out.value_cache_[p]);
+      }
+    }
+    if (!parent_values.empty()) {
+      std::sort(parent_values.begin(), parent_values.end());
+      out.value_cache_[id] = ApplyAggregate(out.node_aggregate_[id],
+                                            parent_values);
+      out.value_state_[id] = 2;
+    } else {
+      out.value_state_[id] = 1;
+    }
+  }
+  out.phase_stats_.finalize_s = SecondsSince(t_finalize);
+  return out;
 }
 
 }  // namespace carl

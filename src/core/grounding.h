@@ -57,17 +57,33 @@ inline constexpr size_t kBindingShardMinRows = 1024;
 /// kBindingShardMinRows rows.
 size_t PlanBindingShards(size_t candidates, int threads);
 
+/// What a cached rule-condition binding table depends on: the predicates
+/// of its condition atoms (a new fact there changes the bindings) and the
+/// attributes of its condition constraints (a value write there changes
+/// which bindings satisfy). Writes to attributes outside this set cannot
+/// change the table.
+struct BindingDeps {
+  std::vector<PredicateId> predicates;  // sorted
+  std::vector<AttributeId> attributes;  // sorted
+};
+
 /// Memoizes rule-condition binding tables by an exact (condition,
-/// projection) encoding over one fixed instance. The owner must drop the
-/// cache when the instance mutates (QuerySession clears it together with
-/// its grounding cache). Bounded FIFO on BOTH entry count and total
+/// projection) encoding over one instance. On instance mutation the owner
+/// calls Invalidate with the delta — only entries whose dependency set
+/// intersects the delta are dropped, so an unrelated-relation mutation
+/// keeps every table (QuerySession drives this; Clear remains the
+/// incomplete-delta fallback). Bounded FIFO on BOTH entry count and total
 /// arena bytes — a binding table on a >10M-fact workload is
 /// rows*arity*4 bytes, so a count bound alone could pin gigabytes.
 /// Not thread-safe — share one per pipeline thread.
 class BindingCache {
  public:
   std::shared_ptr<const BindingTable> Find(const std::string& key);
-  void Insert(std::string key, std::shared_ptr<const BindingTable> table);
+  void Insert(std::string key, std::shared_ptr<const BindingTable> table,
+              BindingDeps deps);
+  /// Drops entries whose dependencies intersect the delta's touched
+  /// predicates/attributes. An incomplete delta drops everything.
+  void Invalidate(const InstanceDelta& delta);
   void Clear();
 
   size_t size() const { return entries_.size(); }
@@ -82,8 +98,11 @@ class BindingCache {
   void set_max_bytes(size_t max) { max_bytes_ = max; }
 
  private:
-  std::unordered_map<std::string, std::shared_ptr<const BindingTable>>
-      entries_;
+  struct CacheEntry {
+    std::shared_ptr<const BindingTable> table;
+    BindingDeps deps;
+  };
+  std::unordered_map<std::string, CacheEntry> entries_;
   std::vector<std::string> insertion_order_;  // oldest first
   size_t max_entries_ = 64;
   size_t max_bytes_ = size_t{256} << 20;  // 256 MiB
@@ -137,6 +156,8 @@ class GroundedModel {
   friend Result<GroundedModel> GroundModel(const Instance&,
                                            const RelationalCausalModel&,
                                            BindingCache*);
+  friend Result<GroundedModel> ExtendGroundedModel(GroundedModel,
+                                                   const InstanceDelta&);
 
   // Eagerly computes every node value: base attributes by copying the
   // instance's typed per-attribute columns (the bulk-built node prefix of
@@ -171,6 +192,34 @@ inline Result<GroundedModel> GroundModel(const Instance& instance,
                                          const RelationalCausalModel& model) {
   return GroundModel(instance, model, nullptr);
 }
+
+/// True when `delta` is within the incremental-extend contract for
+/// `model`: the delta is complete (not trimmed), gained facts only (no
+/// deletes exist in this store), wrote no attribute through the overflow
+/// map, wrote no attribute referenced by a rule-condition constraint
+/// (non-monotone: an old binding could appear or vanish), and no constant
+/// named by a rule was interned inside the window. Everything else —
+/// including in-place value overwrites of non-constraint attributes —
+/// extends incrementally.
+bool DeltaSupportsIncrementalExtend(const Instance& instance,
+                                    const RelationalCausalModel& model,
+                                    const InstanceDelta& delta);
+
+/// Extends `base` — a grounding of its instance+model taken at
+/// delta.from_generation — to the instance's current state, in time
+/// proportional to the delta: new fact rows become nodes spliced into the
+/// row-aligned per-attribute id columns, rule bindings touching the delta
+/// are re-enumerated semi-naively (per-pivot watermark plans) and merged
+/// through the graph's post-build edge overlay, and only new nodes,
+/// written rows, and affected aggregates get their values recomputed.
+/// The extended graph's node set, edge set, adjacency (as sets), values,
+/// and aggregate tags are identical to a from-scratch ground of the
+/// current state at any thread count; raw node ids, edge commit order,
+/// and num_groundings (which may double-count a binding witnessed by both
+/// old and new rows) are not part of that contract. Fails if the delta is
+/// outside the extend contract or the extended graph is cyclic.
+Result<GroundedModel> ExtendGroundedModel(GroundedModel base,
+                                          const InstanceDelta& delta);
 
 }  // namespace carl
 

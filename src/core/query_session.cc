@@ -23,7 +23,7 @@ uint64_t HashString(const std::string& s) {
 
 QuerySession::QuerySession(const Instance* instance) : instance_(instance) {
   CARL_CHECK(instance != nullptr) << "query session needs an instance";
-  instance_fp_ = instance_fingerprint();
+  binding_cache_generation_ = instance->generation();
 }
 
 uint64_t QuerySession::instance_fingerprint() const {
@@ -50,30 +50,116 @@ size_t QuerySession::num_cached_groundings() const {
   return total;
 }
 
+namespace {
+
+// True when no fact in `delta` can touch the grounded graph of `model`:
+// its predicate bears no extended-schema attribute (no nodes to add) and
+// appears in no rule-condition atom (no bindings to add). Callers must
+// separately establish that the delta is inside the extend contract
+// (complete, no attribute writes, no rule constant interned in the
+// window) before treating such a delta as a no-op.
+bool FactsIrrelevantToGrounding(const RelationalCausalModel& model,
+                                const InstanceDelta& delta) {
+  const Schema& schema = model.extended_schema();
+  for (const InstanceDelta::FactDelta& f : delta.facts) {
+    for (const AttributeDef& attr : schema.attributes()) {
+      if (attr.predicate == f.predicate) return false;
+    }
+    auto where_references = [&](const ConjunctiveQuery& where) {
+      for (const Atom& atom : where.atoms) {
+        Result<PredicateId> pid = schema.FindPredicate(atom.predicate);
+        if (pid.ok() && *pid == f.predicate) return true;
+      }
+      return false;
+    };
+    for (const CausalRule& rule : model.rules()) {
+      if (where_references(rule.where)) return false;
+    }
+    for (const AggregateRule& rule : model.aggregate_rules()) {
+      if (where_references(rule.where)) return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
 Result<std::shared_ptr<const GroundedModel>> QuerySession::Ground(
     const RelationalCausalModel& model) {
-  uint64_t fp = instance_fingerprint();
-  if (fp != instance_fp_) {
-    // The instance changed under us; every cached grounding — and every
-    // cached binding table — is stale. Start over rather than serve
-    // wrong graphs.
-    cache_.clear();
-    insertion_order_.clear();
-    binding_cache_.Clear();
-    instance_fp_ = fp;
+  const uint64_t generation = instance_->generation();
+  if (generation != binding_cache_generation_) {
+    // Reconcile the binding cache once per generation move: only tables
+    // whose atom predicates or constraint attributes were touched drop.
+    binding_cache_.Invalidate(
+        instance_->DeltaSince(binding_cache_generation_));
+    binding_cache_generation_ = generation;
   }
 
   // Grounding depends on the rule set AND the extended schema (step 1
   // adds a node per schema attribute grounding), so both go into the key.
+  // Instance state is deliberately NOT part of the key: entries outlive
+  // mutations and are refreshed per delta below.
   std::string model_text =
       model.ToString() + "\n@schema\n" + model.extended_schema().ToString();
-  uint64_t key = HashCombine(HashString(model_text), instance_fp_);
+  uint64_t key = HashString(model_text);
   std::vector<Entry>& bucket = cache_[key];
   for (Entry& entry : bucket) {
-    if (entry.model_text == model_text) {
+    if (entry.model_text != model_text) continue;
+    if (entry.grounded_generation == generation) {
       ++stats_.ground_hits;
       return entry.grounded;
     }
+
+    const RelationalCausalModel& cached_model = *entry.holder->model;
+    InstanceDelta delta =
+        instance_->DeltaSince(entry.grounded_generation);
+    const bool extensible =
+        DeltaSupportsIncrementalExtend(*instance_, cached_model, delta);
+    if (extensible && delta.attributes.empty() &&
+        FactsIrrelevantToGrounding(cached_model, delta)) {
+      // The mutation cannot reach this model's graph; the cached
+      // grounding (and its value columns) is exactly what a re-ground
+      // would rebuild.
+      entry.grounded_generation = generation;
+      ++stats_.ground_hits;
+      return entry.grounded;
+    }
+
+    ++stats_.ground_misses;
+    if (extensible) {
+      // Extend the cached graph in delta-sized time. If no consumer
+      // holds the grounding (use_count 2 = entry.holder + the aliased
+      // entry.grounded), the graph is moved out and spliced in place;
+      // otherwise it is copied so outstanding readers keep their
+      // pre-mutation view.
+      GroundedModel base = entry.holder.use_count() == 2
+                               ? std::move(entry.holder->grounded)
+                               : entry.holder->grounded;
+      Result<GroundedModel> extended =
+          ExtendGroundedModel(std::move(base), delta);
+      if (extended.ok()) {
+        ++stats_.ground_extends;
+        auto holder = std::make_shared<GroundingHolder>();
+        holder->model = entry.holder->model;
+        holder->grounded = std::move(*extended);
+        InstallGrounding(&entry, std::move(holder), generation);
+        PruneColumns(&entry, delta);
+        return entry.grounded;
+      }
+      // An extend can only fail here if the extension closed a cycle —
+      // a from-scratch ground of the same state fails identically, so
+      // fall through and surface that error.
+    }
+
+    auto holder = std::make_shared<GroundingHolder>();
+    holder->model = entry.holder->model;
+    CARL_ASSIGN_OR_RETURN(
+        GroundedModel grounded,
+        GroundModel(*instance_, *holder->model, &binding_cache_));
+    holder->grounded = std::move(grounded);
+    InstallGrounding(&entry, std::move(holder), generation);
+    entry.columns.clear();
+    return entry.grounded;
   }
 
   ++stats_.ground_misses;
@@ -90,8 +176,10 @@ Result<std::shared_ptr<const GroundedModel>> QuerySession::Ground(
 
   Entry entry;
   entry.model_text = model_text;
+  entry.holder = std::move(holder);
   entry.grounded = std::shared_ptr<const GroundedModel>(
-      holder, &holder->grounded);
+      entry.holder, &entry.holder->grounded);
+  entry.grounded_generation = generation;
   while (num_cached_groundings() >= max_cached_groundings_) {
     EvictOldestEntry();
   }
@@ -100,6 +188,43 @@ Result<std::shared_ptr<const GroundedModel>> QuerySession::Ground(
   target.push_back(std::move(entry));
   insertion_order_.emplace_back(key, std::move(model_text));
   return target.back().grounded;
+}
+
+void QuerySession::InstallGrounding(Entry* entry,
+                                    std::shared_ptr<GroundingHolder> holder,
+                                    uint64_t generation) {
+  entry->holder = std::move(holder);
+  entry->grounded = std::shared_ptr<const GroundedModel>(
+      entry->holder, &entry->holder->grounded);
+  entry->grounded_generation = generation;
+}
+
+void QuerySession::PruneColumns(Entry* entry, const InstanceDelta& delta) {
+  if (entry->columns.empty()) return;
+  const GroundedModel& grounded = entry->holder->grounded;
+  const RelationalCausalModel& model = *entry->holder->model;
+  std::vector<char> written(grounded.schema().num_attributes(), 0);
+  for (const InstanceDelta::AttributeDelta& a : delta.attributes) {
+    if (static_cast<size_t>(a.attribute) < written.size()) {
+      written[a.attribute] = 1;
+    }
+  }
+  std::vector<char> aggregate_head(grounded.schema().num_attributes(), 0);
+  for (const AggregateRule& rule : model.aggregate_rules()) {
+    Result<AttributeId> aid =
+        grounded.schema().FindAttribute(rule.head.attribute);
+    if (aid.ok()) aggregate_head[*aid] = 1;
+  }
+  for (auto it = entry->columns.begin(); it != entry->columns.end();) {
+    AttributeId attr = it->first;
+    // Keep a column only when nothing about it could have moved: its
+    // attribute was not written, is not aggregate-defined (aggregate
+    // values may change through any parent), and its node-id column is
+    // bit-identical (the extend did not add or promote nodes there).
+    bool keep = !written[attr] && !aggregate_head[attr] &&
+                grounded.graph().NodesOfAttribute(attr) == it->second->nodes;
+    it = keep ? std::next(it) : entry->columns.erase(it);
+  }
 }
 
 void QuerySession::EvictOldestEntry() {

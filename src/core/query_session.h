@@ -4,12 +4,23 @@
 // Grounding dominates end-to-end query cost (docs/benchmarks.md), and the
 // engine's §4.3 unification re-grounds whenever a query derives a new
 // aggregate attribute. A session interns each distinct grounding once,
-// keyed by (model fingerprint, instance fingerprint, derived-aggregate
-// set) — the derived aggregates a query added are part of the model rule
-// set and thus of its fingerprint — so a pipeline of queries grounds each
-// *variant* once instead of once per query. Fingerprint collisions are
-// impossible: the fingerprint only routes to a bucket whose entries store
-// and compare the full serialized model.
+// keyed by the model's full serialized rule set (fingerprints only route
+// to a bucket; entries compare the exact text) — so a pipeline of queries
+// grounds each *variant* once instead of once per query.
+//
+// Instance mutations do not blow the cache away. Each entry remembers the
+// instance generation it was grounded at; on the next Ground() the
+// session pulls the delta since then (Instance::DeltaSince) and picks the
+// cheapest sound path:
+//   1. the delta cannot touch this model's graph (facts of predicates
+//      bearing no schema attribute and referenced by no rule atom) — the
+//      cached grounding is served as a hit, value columns intact;
+//   2. the delta is inside the incremental-extend contract
+//      (DeltaSupportsIncrementalExtend) — the cached graph is extended in
+//      delta-sized time (ExtendGroundedModel) instead of re-grounded;
+//      counted as a miss plus a ground_extends tick;
+//   3. otherwise (trimmed log, overflow write, constraint-attribute
+//      write, new rule constant) — full re-ground.
 //
 // The session also memoizes per-attribute value columns (NodeValue over
 // NodesOfAttribute order) of cached groundings, for column-oriented
@@ -17,8 +28,10 @@
 // rule-condition binding tables (columnar, see binding_table.h): when a
 // query derives an aggregate variant, the variant shares every base rule
 // with its parent model, so re-grounding it reuses the parent's binding
-// tables instead of re-running the joins. Both caches drop together when
-// the instance fingerprint moves.
+// tables instead of re-running the joins. On mutation the binding cache
+// is invalidated per-dependency (only tables whose atom predicates or
+// constraint attributes were touched drop), and an extend/re-ground
+// drops only the value columns the delta could have changed.
 //
 // Sessions are not thread-safe; share one per pipeline thread. Cached
 // GroundedModels reference a model copy owned by the session, so they
@@ -52,9 +65,9 @@ struct AttributeValueColumn {
 class QuerySession {
  public:
   /// The instance must outlive the session. Mutating it between queries
-  /// is detected — the fingerprint covers fact cardinalities AND all
-  /// attribute values — and drops every cached grounding (NodeValues are
-  /// baked in at grounding time, so stale entries would answer wrongly).
+  /// is detected through the generation counter; cached groundings are
+  /// then served, incrementally extended, or re-grounded per the delta
+  /// (see the file comment) — never answered stale.
   explicit QuerySession(const Instance* instance);
 
   const Instance& instance() const { return *instance_; }
@@ -78,6 +91,10 @@ class QuerySession {
     size_t column_hits = 0;
     size_t column_misses = 0;
     size_t ground_evictions = 0;
+    /// Misses served by incrementally extending a cached grounding
+    /// (ExtendGroundedModel) instead of re-grounding from scratch.
+    /// Always <= ground_misses.
+    size_t ground_extends = 0;
   };
   const CacheStats& stats() const { return stats_; }
 
@@ -97,10 +114,11 @@ class QuerySession {
   size_t num_cached_groundings() const;
 
   /// Fingerprint of the instance: schema/constant cardinalities plus the
-  /// instance's mutation generation counter. O(1), recomputed per
-  /// Ground() call; any mutation — fact insertions and attribute writes,
-  /// including in-place value overwrites — changes it and invalidates
-  /// the cache.
+  /// instance's mutation generation counter. O(1); any mutation — fact
+  /// insertions and attribute writes, including in-place value
+  /// overwrites — changes it. Diagnostics only: cache freshness is
+  /// tracked per entry through generations and deltas, not through this
+  /// fingerprint.
   uint64_t instance_fingerprint() const;
 
   /// Stable fingerprint of a model's full rule set (serialized form).
@@ -117,17 +135,28 @@ class QuerySession {
 
   struct Entry {
     std::string model_text;  // exact key; fingerprints only route
-    std::shared_ptr<const GroundedModel> grounded;  // aliases its holder
+    std::shared_ptr<GroundingHolder> holder;
+    std::shared_ptr<const GroundedModel> grounded;  // aliases holder
+    uint64_t grounded_generation = 0;  // instance state of the grounding
     std::unordered_map<AttributeId,
                        std::shared_ptr<const AttributeValueColumn>>
         columns;
   };
 
   void EvictOldestEntry();
+  // Installs a freshly grounded/extended model into `entry`, re-aliasing
+  // the handed-out pointer.
+  void InstallGrounding(Entry* entry, std::shared_ptr<GroundingHolder> holder,
+                        uint64_t generation);
+  // After an extend, drops only the value columns the delta could have
+  // changed: written attributes, attributes whose node column moved, and
+  // aggregate-defined attributes.
+  void PruneColumns(Entry* entry, const InstanceDelta& delta);
 
   const Instance* instance_;
-  uint64_t instance_fp_;
   BindingCache binding_cache_;
+  // Instance generation the binding cache was last reconciled to.
+  uint64_t binding_cache_generation_ = 0;
   // Fingerprint -> entries (collisions resolved by model_text equality).
   std::unordered_map<uint64_t, std::vector<Entry>> cache_;
   // Insertion order of (fingerprint, model_text), oldest first — the

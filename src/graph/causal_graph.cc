@@ -202,6 +202,50 @@ void CausalGraph::AddNodesBulk(const std::vector<NodeBatch>& batches,
   adjacency_fresh_.store(false, std::memory_order_relaxed);
 }
 
+void CausalGraph::ExtendNodesBulk(const std::vector<NodeBatch>& batches,
+                                  const std::vector<size_t>& prior_rows) {
+  CARL_CHECK(batches.size() == prior_rows.size());
+  for (size_t b = 0; b < batches.size(); ++b) {
+    const NodeBatch& batch = batches[b];
+    const RelationView& rows = batch.rows;
+    const size_t old = prior_rows[b];
+    CARL_CHECK(old <= rows.size())
+        << "ExtendNodesBulk: rows shrank (deletes need a full rebuild)";
+    if (old == rows.size()) continue;
+    std::vector<NodeId>& ids = by_attribute_[batch.attribute];
+    CARL_CHECK(ids.size() >= old)
+        << "ExtendNodesBulk: attribute missing its row-aligned prefix";
+    const size_t extras_begin = old;
+    const size_t extras_end = ids.size();
+    // Intern the new rows. AddNodeImpl dedupes, so a node a rule merge
+    // added for a then-non-fact tuple is reused (and must be promoted
+    // from the extras tail into the row-aligned section below).
+    std::vector<NodeId> row_nodes;
+    row_nodes.reserve(rows.size() - old);
+    for (size_t r = old; r < rows.size(); ++r) {
+      row_nodes.push_back(AddNodeImpl(batch.attribute, rows[r]));
+    }
+    std::vector<NodeId> promoted(row_nodes);
+    std::sort(promoted.begin(), promoted.end());
+    // Rebuild the id column: [old row-aligned prefix][new row nodes]
+    // [surviving extras, original relative order]. AddNodeImpl pushed
+    // fresh ids onto the tail; those are all in row_nodes and get
+    // filtered out of the extras scan along with promoted reuses.
+    std::vector<NodeId> rebuilt;
+    rebuilt.reserve(ids.size());
+    rebuilt.insert(rebuilt.end(), ids.begin(),
+                   ids.begin() + static_cast<ptrdiff_t>(old));
+    rebuilt.insert(rebuilt.end(), row_nodes.begin(), row_nodes.end());
+    for (size_t i = extras_begin; i < extras_end; ++i) {
+      if (!std::binary_search(promoted.begin(), promoted.end(), ids[i])) {
+        rebuilt.push_back(ids[i]);
+      }
+    }
+    ids = std::move(rebuilt);
+  }
+  adjacency_fresh_.store(false, std::memory_order_relaxed);
+}
+
 NodeId CausalGraph::FindNode(AttributeId attribute, TupleView args) const {
   auto attr_it = index_.find(attribute);
   if (attr_it == index_.end()) return kInvalidNode;

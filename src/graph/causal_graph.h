@@ -159,6 +159,17 @@ class CausalGraph {
   /// have nodes and must be pairwise distinct.
   void AddNodesBulk(const std::vector<NodeBatch>& batches, ExecContext& ctx);
 
+  /// Extends attributes already built by AddNodesBulk with the rows their
+  /// predicates gained since: batch b interns one node per row in
+  /// [prior_rows[b], rows.size()), reusing nodes a rule merge already
+  /// added for a then-non-fact tuple, and reorders the attribute's id
+  /// column so its first rows.size() entries are row-aligned again (the
+  /// NodesOfAttribute contract) with any surviving rule-added extras
+  /// after them in their original relative order. Serial, sized to the
+  /// delta, not the graph.
+  void ExtendNodesBulk(const std::vector<NodeBatch>& batches,
+                       const std::vector<size_t>& prior_rows);
+
   /// Node id for A[x], or kInvalidNode. The span overload is
   /// allocation-free and safe to call from concurrent readers (no writer).
   NodeId FindNode(AttributeId attribute, const Tuple& args) const {
@@ -192,6 +203,12 @@ class CausalGraph {
 
   size_t num_nodes() const { return node_attrs_.size(); }
   size_t num_edges() const { return edge_order_.size(); }
+
+  /// The committed edge sequence in first-occurrence order. Stable
+  /// positions: edges only append, so a consumer that remembered
+  /// num_edges() can read the suffix to see exactly what a later splice
+  /// added (the incremental-grounding aggregate reseed does).
+  const std::vector<Edge>& edge_log() const { return edge_order_; }
 
   /// The node's attribute and argument span. The span stays valid until
   /// the next node insertion.

@@ -45,9 +45,17 @@ struct CompiledConstraint {
 // on row values), so the whole order — and each step's bound positions,
 // first-occurrence binds, repeated-variable checks, and ready
 // constraints — is computed once at compile time.
+// Row restriction of one plan step against a per-predicate watermark
+// (prior row count): kAny reads every row, kOldOnly the rows below the
+// watermark, kNewOnly the rows at or beyond it. CSR postings are in row
+// order within a key, so both cuts are a single lower_bound.
+enum class RowFilter : uint8_t { kAny, kOldOnly, kNewOnly };
+
 struct PlanStep {
   PredicateId predicate = kInvalidPredicate;
   size_t arity = 0;
+  int atom_index = -1;  // index of the atom in the source query
+  RowFilter filter = RowFilter::kAny;  // used by delta plans only
   bool unseen = false;  // an argument constant was never interned
   std::vector<int> bound_positions;     // index key positions, ascending
   std::vector<SymbolId> key_template;   // constants baked in
@@ -72,22 +80,33 @@ struct CompiledQuery {
   bool always_empty = false;
 };
 
+// The semi-naive delta decomposition: pivots[i] is the query re-planned
+// with atom i forced as the join root and per-step RowFilters derived
+// from the original atom indexes (pivot new-only, earlier atoms old-only,
+// later atoms unrestricted).
+struct CompiledDeltaQuery {
+  std::vector<CompiledQuery> pivots;
+};
+
 }  // namespace evaluator_internal
 
 namespace {
 
 using evaluator_internal::CompiledAtom;
 using evaluator_internal::CompiledConstraint;
+using evaluator_internal::CompiledDeltaQuery;
 using evaluator_internal::CompiledQuery;
 using evaluator_internal::CompiledTerm;
 using evaluator_internal::Fill;
 using evaluator_internal::PlanStep;
+using evaluator_internal::RowFilter;
 
 class Compiler {
  public:
   Compiler(const Instance& instance) : instance_(instance) {}
 
-  Result<CompiledQuery> Compile(const ConjunctiveQuery& query) {
+  Result<CompiledQuery> Compile(const ConjunctiveQuery& query,
+                                int forced_root = -1) {
     CompiledQuery out;
     for (const Atom& atom : query.atoms) {
       CARL_ASSIGN_OR_RETURN(PredicateId pid,
@@ -136,7 +155,28 @@ class Compiler {
       }
       out.constraints.push_back(std::move(cc));
     }
-    PlanJoin(&out);
+    PlanJoin(&out, forced_root);
+    return out;
+  }
+
+  // One plan per pivot atom, implementing the semi-naive decomposition:
+  // a binding using at least one new row is found exactly once, by the
+  // pivot whose atom matches its lowest-indexed new-row atom.
+  Result<CompiledDeltaQuery> CompileDelta(const ConjunctiveQuery& query) {
+    CompiledDeltaQuery out;
+    out.pivots.reserve(query.atoms.size());
+    for (size_t pivot = 0; pivot < query.atoms.size(); ++pivot) {
+      CARL_ASSIGN_OR_RETURN(CompiledQuery plan,
+                            Compile(query, static_cast<int>(pivot)));
+      for (PlanStep& step : plan.steps) {
+        if (step.atom_index == static_cast<int>(pivot)) {
+          step.filter = RowFilter::kNewOnly;
+        } else if (step.atom_index < static_cast<int>(pivot)) {
+          step.filter = RowFilter::kOldOnly;
+        }
+      }
+      out.pivots.push_back(std::move(plan));
+    }
     return out;
   }
 
@@ -163,8 +203,9 @@ class Compiler {
   // the smaller relation, then the lower atom index) over the
   // value-independent boundness state, materializing one PlanStep per
   // depth and assigning each constraint to the first depth where all its
-  // variables are bound.
-  void PlanJoin(CompiledQuery* q) {
+  // variables are bound. A non-negative `forced_root` pins that atom to
+  // depth 0 (delta pivot plans); the remaining depths schedule greedily.
+  void PlanJoin(CompiledQuery* q, int forced_root) {
     size_t n = q->atoms.size();
     std::vector<char> placed(n, 0);
     std::vector<char> var_bound(static_cast<size_t>(q->num_vars), 0);
@@ -172,20 +213,25 @@ class Compiler {
     q->steps.reserve(n);
     for (size_t depth = 0; depth < n; ++depth) {
       int best = -1;
-      int best_bound = -1;
-      size_t best_size = 0;
-      for (size_t i = 0; i < n; ++i) {
-        if (placed[i]) continue;
-        const CompiledAtom& atom = q->atoms[i];
-        int bound = 0;
-        for (const CompiledTerm& t : atom.terms) {
-          if (!t.is_var || var_bound[t.var]) ++bound;
-        }
-        size_t size = instance_.NumRows(atom.predicate);
-        if (bound > best_bound || (bound == best_bound && size < best_size)) {
-          best = static_cast<int>(i);
-          best_bound = bound;
-          best_size = size;
+      if (depth == 0 && forced_root >= 0) {
+        best = forced_root;
+      } else {
+        int best_bound = -1;
+        size_t best_size = 0;
+        for (size_t i = 0; i < n; ++i) {
+          if (placed[i]) continue;
+          const CompiledAtom& atom = q->atoms[i];
+          int bound = 0;
+          for (const CompiledTerm& t : atom.terms) {
+            if (!t.is_var || var_bound[t.var]) ++bound;
+          }
+          size_t size = instance_.NumRows(atom.predicate);
+          if (bound > best_bound ||
+              (bound == best_bound && size < best_size)) {
+            best = static_cast<int>(i);
+            best_bound = bound;
+            best_size = size;
+          }
         }
       }
       placed[best] = 1;
@@ -194,6 +240,7 @@ class Compiler {
       PlanStep step;
       step.predicate = atom.predicate;
       step.arity = atom.terms.size();
+      step.atom_index = best;
       for (size_t p = 0; p < atom.terms.size(); ++p) {
         const CompiledTerm& t = atom.terms[p];
         if (!t.is_var) {
@@ -287,6 +334,13 @@ class Searcher {
     root_end_ = end;
   }
 
+  // Activates the per-step RowFilters of a delta plan against one prior
+  // row count per PredicateId. Postings are row-ordered within a key, so
+  // each filter is a binary-search cut of the candidate span.
+  void SetWatermarks(const uint32_t* watermarks) {
+    watermarks_ = watermarks;
+  }
+
   // Calls `leaf` on each complete assignment; `leaf` returns false to
   // stop. An atom-less query fires the leaf exactly once.
   template <typename Leaf>
@@ -326,6 +380,15 @@ class Searcher {
       end = rows.begin() + root_end_;
       it = rows.begin() + root_begin_;
     }
+    if (watermarks_ != nullptr && step.filter != RowFilter::kAny) {
+      const uint32_t* cut =
+          std::lower_bound(it, end, watermarks_[step.predicate]);
+      if (step.filter == RowFilter::kNewOnly) {
+        it = cut;
+      } else {
+        end = cut;
+      }
+    }
     const SymbolId* base = step_rows_[depth].data();
     const size_t arity = step.arity;
     for (; it != end; ++it) {
@@ -363,6 +426,7 @@ class Searcher {
   bool restricted_ = false;
   size_t root_begin_ = 0;
   size_t root_end_ = 0;
+  const uint32_t* watermarks_ = nullptr;  // per PredicateId, delta runs only
 };
 
 // Candidate-row count of the root (depth-0) step — the shard domain.
@@ -494,6 +558,51 @@ Result<BindingTable> QueryEvaluator::EvaluateShard(
   if (begin >= end) return BindingTable(projection.size());
   return RunProjected(*instance_, compiled, projection, begin, end,
                       /*restricted=*/true);
+}
+
+Result<PreparedDeltaQuery> QueryEvaluator::PrepareDelta(
+    const ConjunctiveQuery& query) const {
+  Compiler compiler(*instance_);
+  CARL_ASSIGN_OR_RETURN(CompiledDeltaQuery compiled,
+                        compiler.CompileDelta(query));
+  PreparedDeltaQuery prepared;
+  prepared.impl_ =
+      std::make_shared<const CompiledDeltaQuery>(std::move(compiled));
+  return prepared;
+}
+
+Result<BindingTable> QueryEvaluator::EvaluateDelta(
+    const PreparedDeltaQuery& prepared,
+    const std::vector<std::string>& output_vars,
+    const std::vector<uint32_t>& fact_watermarks) const {
+  CARL_CHECK(prepared.impl_ != nullptr) << "unprepared delta query";
+  CARL_CHECK(fact_watermarks.size() >=
+             instance_->schema().num_predicates());
+  const CompiledDeltaQuery& compiled = *prepared.impl_;
+  std::vector<int> projection;
+  if (!compiled.pivots.empty()) {
+    CARL_ASSIGN_OR_RETURN(
+        projection, ResolveProjection(compiled.pivots[0], output_vars));
+  }
+  BindingTable table(projection.size());
+  std::vector<SymbolId> projected(projection.size());
+  for (const CompiledQuery& pivot : compiled.pivots) {
+    if (pivot.always_empty || pivot.steps.empty()) continue;
+    // A pivot whose predicate gained no rows contributes nothing; skip
+    // it before building indexes for its plan.
+    PredicateId root = pivot.steps[0].predicate;
+    if (fact_watermarks[root] >= instance_->NumRows(root)) continue;
+    Searcher searcher(*instance_, pivot);
+    searcher.SetWatermarks(fact_watermarks.data());
+    searcher.Run([&](const std::vector<SymbolId>& assignment) {
+      for (size_t i = 0; i < projection.size(); ++i) {
+        projected[i] = assignment[projection[i]];
+      }
+      table.InsertDistinct(projected.data());
+      return true;
+    });
+  }
+  return table;
 }
 
 Result<bool> QueryEvaluator::Ask(const ConjunctiveQuery& query) const {

@@ -39,6 +39,7 @@ namespace carl {
 
 namespace evaluator_internal {
 struct CompiledQuery;
+struct CompiledDeltaQuery;
 }  // namespace evaluator_internal
 
 /// A compiled conjunctive query (join plan + constraint schedule),
@@ -50,6 +51,23 @@ class PreparedQuery {
  private:
   friend class QueryEvaluator;
   std::shared_ptr<const evaluator_internal::CompiledQuery> impl_;
+};
+
+/// A compiled family of delta-restricted plans: one plan per atom of the
+/// query, with that atom forced as the join root. Pivot plan i restricts
+/// its root to rows at or beyond the root predicate's watermark ("new"),
+/// every atom with a lower original index to rows strictly below its
+/// predicate's watermark ("old"), and leaves later atoms unrestricted —
+/// the standard semi-naive decomposition, so the union over pivots is
+/// exactly the bindings that touch at least one new row, each produced
+/// once. Cheap to copy.
+class PreparedDeltaQuery {
+ public:
+  PreparedDeltaQuery() = default;
+
+ private:
+  friend class QueryEvaluator;
+  std::shared_ptr<const evaluator_internal::CompiledDeltaQuery> impl_;
 };
 
 class QueryEvaluator {
@@ -92,6 +110,24 @@ class QueryEvaluator {
       const PreparedQuery& prepared,
       const std::vector<std::string>& output_vars, size_t shard,
       size_t num_shards) const;
+
+  /// Compiles the semi-naive delta plans of `query` (one forced-root plan
+  /// per atom). Like Prepare, the result is tied to the instance contents
+  /// at call time — prepare after the mutation whose delta is evaluated,
+  /// so constants interned by the delta resolve.
+  Result<PreparedDeltaQuery> PrepareDelta(const ConjunctiveQuery& query) const;
+
+  /// Distinct bindings of `output_vars` that use at least one fact row at
+  /// or beyond its predicate's watermark. `fact_watermarks` holds one
+  /// prior row count per PredicateId (current row count for untouched
+  /// predicates). Pivot plans run serially in atom order and merge
+  /// first-occurrence, so the result order is deterministic and
+  /// independent of the thread count. An atom-less query yields no delta
+  /// bindings.
+  Result<BindingTable> EvaluateDelta(
+      const PreparedDeltaQuery& prepared,
+      const std::vector<std::string>& output_vars,
+      const std::vector<uint32_t>& fact_watermarks) const;
 
   /// Boolean query: does any satisfying assignment exist?
   Result<bool> Ask(const ConjunctiveQuery& query) const;

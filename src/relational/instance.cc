@@ -49,14 +49,12 @@ Status Instance::AddFactSpan(PredicateId predicate, const SymbolId* args,
   rel.data.insert(rel.data.end(), args, args + n);
   uint32_t id = static_cast<uint32_t>(rel.num_rows++);
   dedupe.Insert(id, hash, key_of);
-  // Invalidate this predicate's cached match indexes. The unlocked empty
-  // probe is safe: mutation concurrent with queries is unsupported, so
-  // nothing builds indexes while we insert — this keeps bulk loading
-  // lock-free on the common build-then-query lifecycle.
-  if (!indexes_[predicate].empty()) {
-    std::unique_lock<std::shared_mutex> lock(index_mu_);
-    indexes_[predicate].clear();
-  }
+  // Cached match indexes are NOT invalidated here: rows are append-only,
+  // so every index is repaired lazily by ExtendIndex on its next
+  // MatchIndex — hashing only the rows appended since it was built. This
+  // keeps the first post-mutation delta evaluation proportional to the
+  // delta, not to the relation.
+  LogDelta(DeltaEvent::kFact, predicate, id);
   ++generation_;
   return Status::OK();
 }
@@ -85,6 +83,7 @@ Status Instance::SetAttributeSpan(AttributeId attribute, const SymbolId* args,
   if (row == kNoRow) {
     // Not a fact (yet): keep the value keyed by an owned tuple.
     store.overflow[Tuple(args, args + n)] = std::move(value);
+    LogDelta(DeltaEvent::kAttributeOverflow, attribute, 0);
   } else {
     if (store.value_of_row.size() <= row) {
       storage_stats::CountGrowth(store.value_of_row,
@@ -109,9 +108,83 @@ Status Instance::SetAttributeSpan(AttributeId attribute, const SymbolId* args,
     // A value set before its fact existed lives in overflow; the row-keyed
     // write supersedes it.
     if (!store.overflow.empty()) store.overflow.erase(Tuple(args, args + n));
+    LogDelta(DeltaEvent::kAttribute, attribute, row);
   }
   ++generation_;
   return Status::OK();
+}
+
+void Instance::LogDelta(DeltaEvent::Kind kind, int32_t id, uint32_t row) {
+  if (delta_log_.size() >= kDeltaLogCapacity) {
+    // Trim the oldest half; the floor advances past the trimmed events.
+    size_t drop = delta_log_.size() / 2;
+    delta_floor_generation_ += drop;
+    delta_floor_constants_ = delta_log_[drop - 1].constants_after;
+    delta_log_.erase(delta_log_.begin(),
+                     delta_log_.begin() + static_cast<ptrdiff_t>(drop));
+  }
+  DeltaEvent event;
+  event.kind = kind;
+  event.id = id;
+  event.row = row;
+  event.constants_after = static_cast<uint32_t>(interner_.size());
+  delta_log_.push_back(event);
+}
+
+InstanceDelta Instance::DeltaSince(uint64_t generation) const {
+  InstanceDelta delta;
+  delta.from_generation = generation;
+  delta.to_generation = generation_;
+  if (generation > generation_ || generation < delta_floor_generation_) {
+    return delta;  // incomplete: foreign snapshot or trimmed window
+  }
+  delta.complete = true;
+  size_t first = static_cast<size_t>(generation - delta_floor_generation_);
+  CARL_CHECK(delta_log_.size() >= first)
+      << "delta log out of sync with generation counter";
+  // Interned-constant watermark at the `from` generation. Constants
+  // interned without a logged mutation (bare Intern calls) make this
+  // conservative — they read as "new", never as stale-old.
+  delta.prev_num_constants =
+      first == 0 ? delta_floor_constants_
+                 : delta_log_[first - 1].constants_after;
+
+  // Aggregate the event suffix. Per-predicate watermark = the row id of
+  // the first new fact (rows append sequentially). Attribute rows are
+  // collected then sorted + deduped.
+  std::vector<int> fact_seen(relations_.size(), -1);
+  std::vector<int> attr_seen(attribute_data_.size(), -1);
+  for (size_t i = first; i < delta_log_.size(); ++i) {
+    const DeltaEvent& e = delta_log_[i];
+    if (e.kind == DeltaEvent::kFact) {
+      int& slot = fact_seen[e.id];
+      if (slot < 0) {
+        slot = static_cast<int>(delta.facts.size());
+        delta.facts.push_back(
+            InstanceDelta::FactDelta{static_cast<PredicateId>(e.id), e.row});
+      }
+    } else {
+      int& slot = attr_seen[e.id];
+      if (slot < 0) {
+        slot = static_cast<int>(delta.attributes.size());
+        InstanceDelta::AttributeDelta ad;
+        ad.attribute = static_cast<AttributeId>(e.id);
+        delta.attributes.push_back(std::move(ad));
+      }
+      InstanceDelta::AttributeDelta& ad = delta.attributes[slot];
+      if (e.kind == DeltaEvent::kAttributeOverflow) {
+        ad.overflow = true;
+      } else {
+        ad.rows.push_back(e.row);
+      }
+    }
+  }
+  for (InstanceDelta::AttributeDelta& ad : delta.attributes) {
+    std::sort(ad.rows.begin(), ad.rows.end());
+    ad.rows.erase(std::unique(ad.rows.begin(), ad.rows.end()),
+                  ad.rows.end());
+  }
+  return delta;
 }
 
 const Value* Instance::FindAttributeValue(AttributeId attribute,
@@ -249,9 +322,76 @@ void Instance::BuildIndex(const RelationStore& rel, PositionIndex* index) {
   }
 }
 
+void Instance::ExtendIndex(const RelationStore& rel, PositionIndex* index) {
+  const size_t old_n = index->row_ids_.size();
+  const size_t n = rel.num_rows;
+  if (old_n == n) return;  // raced extenders: first one already caught up
+  storage_stats::CountAlloc();
+  const std::vector<int>& positions = index->positions_;
+  const size_t stride = positions.size();
+  auto key_of = [index, stride](uint32_t id) {
+    return TupleView(index->keys_.data() + static_cast<size_t>(id) * stride,
+                     stride);
+  };
+  const size_t old_keys =
+      index->offsets_.empty() ? 0 : index->offsets_.size() - 1;
+
+  // Pass 1 (appended rows only): assign each new row its distinct-key id,
+  // interning unseen keys, and count the additions per key. This is the
+  // only hashing the repair does — cost is O(delta), not O(rows).
+  std::vector<uint32_t> new_kid(n - old_n);
+  std::vector<uint32_t> added(old_keys, 0);
+  SymbolScratch key_scratch(stride);
+  SymbolId* key = key_scratch.data();
+  for (uint32_t r = static_cast<uint32_t>(old_n); r < n; ++r) {
+    const SymbolId* row = rel.data.data() + static_cast<size_t>(r) * rel.arity;
+    for (size_t i = 0; i < stride; ++i) key[i] = row[positions[i]];
+    uint64_t hash = HashSpan(key, stride);
+    uint32_t kid = index->table_.Find(TupleView(key, stride), hash, key_of);
+    if (kid == SpanIndex::kNpos) {
+      kid = static_cast<uint32_t>(added.size());
+      index->keys_.insert(index->keys_.end(), key, key + stride);
+      index->table_.Insert(kid, hash, key_of);
+      added.push_back(0);
+    }
+    new_kid[r - static_cast<uint32_t>(old_n)] = kid;
+    ++added[kid];
+  }
+
+  // Pass 2 (merge): rebuild offsets and postings in one linear copy.
+  // Appended rows carry the highest row ids, so placing each key's
+  // additions after its old postings keeps every range in row order —
+  // the invariant the delta evaluator's watermark cut depends on.
+  const size_t num_keys = added.size();
+  std::vector<uint32_t> offsets(num_keys + 1, 0);
+  for (size_t k = 0; k < num_keys; ++k) {
+    const uint32_t old_count =
+        k < old_keys ? index->offsets_[k + 1] - index->offsets_[k] : 0;
+    offsets[k + 1] = offsets[k] + old_count + added[k];
+  }
+  std::vector<uint32_t> row_ids(n);
+  std::vector<uint32_t> cursor(num_keys);
+  for (size_t k = 0; k < num_keys; ++k) {
+    uint32_t old_count = 0;
+    if (k < old_keys) {
+      old_count = index->offsets_[k + 1] - index->offsets_[k];
+      std::copy(index->row_ids_.begin() + index->offsets_[k],
+                index->row_ids_.begin() + index->offsets_[k + 1],
+                row_ids.begin() + offsets[k]);
+    }
+    cursor[k] = offsets[k] + old_count;
+  }
+  for (size_t i = 0; i < new_kid.size(); ++i) {
+    row_ids[cursor[new_kid[i]]++] = static_cast<uint32_t>(old_n + i);
+  }
+  index->offsets_ = std::move(offsets);
+  index->row_ids_ = std::move(row_ids);
+}
+
 const Instance::PositionIndex* Instance::GetOrBuildIndex(
     PredicateId predicate, const int* positions, size_t n) const {
   auto& per_pred = indexes_[predicate];
+  const RelationStore& rel = relations_[predicate];
   auto matches = [&](const PositionIndex& index) {
     return index.positions_.size() == n &&
            std::equal(index.positions_.begin(), index.positions_.end(),
@@ -260,12 +400,19 @@ const Instance::PositionIndex* Instance::GetOrBuildIndex(
   {
     std::shared_lock<std::shared_mutex> read_lock(index_mu_);
     for (const auto& index : per_pred) {
-      if (matches(*index)) return index.get();
+      // A stale index (rows appended since it was built) falls through to
+      // the write path for an in-place repair.
+      if (matches(*index) && index->row_ids_.size() == rel.num_rows) {
+        return index.get();
+      }
     }
   }
   std::unique_lock<std::shared_mutex> write_lock(index_mu_);
   for (const auto& index : per_pred) {  // raced builders: first one wins
-    if (matches(*index)) return index.get();
+    if (matches(*index)) {
+      ExtendIndex(rel, index.get());
+      return index.get();
+    }
   }
   auto index = std::make_unique<PositionIndex>();
   index->positions_.assign(positions, positions + n);

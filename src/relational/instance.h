@@ -45,6 +45,44 @@
 
 namespace carl {
 
+/// What changed in an Instance between two generations, as reported by
+/// Instance::DeltaSince. Facts are append-only, so a predicate's delta is
+/// fully described by a row watermark: rows [watermark, NumRows) are
+/// exactly the facts added in the window. Attribute writes are reported
+/// as touched row ids (sorted, deduplicated); writes that landed in the
+/// overflow map (no matching fact at write time) only set the per-
+/// attribute `overflow` flag — consumers that cannot reason about
+/// overflow tuples fall back to a full rebuild.
+struct InstanceDelta {
+  /// False when `since` predates the retained log window — the events
+  /// were trimmed and the delta below is NOT a complete description of
+  /// the change; consumers must fall back to a full rebuild.
+  bool complete = false;
+  uint64_t from_generation = 0;
+  uint64_t to_generation = 0;
+  /// Interned-constant count at (or conservatively below) the `from`
+  /// generation: a constant id >= this watermark was interned inside the
+  /// window.
+  size_t prev_num_constants = 0;
+
+  /// Per predicate that gained facts: prior row count (the watermark).
+  struct FactDelta {
+    PredicateId predicate = kInvalidPredicate;
+    uint32_t prior_rows = 0;
+  };
+  std::vector<FactDelta> facts;
+
+  /// Per attribute written in the window.
+  struct AttributeDelta {
+    AttributeId attribute = kInvalidAttribute;
+    std::vector<uint32_t> rows;  // touched fact rows, sorted + deduped
+    bool overflow = false;       // some write targeted a non-fact tuple
+  };
+  std::vector<AttributeDelta> attributes;
+
+  bool empty() const { return facts.empty() && attributes.empty(); }
+};
+
 class Instance {
  public:
   static constexpr uint32_t kNoRow = SpanIndex::kNpos;
@@ -147,8 +185,10 @@ class Instance {
   /// (in row order), as a span over the postings array. An empty position
   /// set keys every row under the empty key. Safe to call from concurrent
   /// readers (builds are serialized internally); concurrent with
-  /// AddFact/SetAttribute it is not. The pointer is invalidated by fact
-  /// insertion into the predicate.
+  /// AddFact/SetAttribute it is not. Fact insertion leaves the index
+  /// stale rather than dropping it; the next MatchIndex repairs it in
+  /// place by hashing only the appended rows (ExtendIndex), so pointers
+  /// stay valid but spans obtained before the insertion do not.
   class PositionIndex {
    public:
     RowIdSpan Lookup(const SymbolId* key, size_t n) const;
@@ -179,6 +219,18 @@ class Instance {
   /// consumers (QuerySession) compare generations to detect staleness
   /// without scanning the data.
   uint64_t generation() const { return generation_; }
+
+  /// Everything that changed since `generation` (a value previously read
+  /// from generation()), aggregated from the instance's bounded mutation
+  /// log. When `generation` predates the retained window the returned
+  /// delta has complete == false and consumers must treat the change as
+  /// arbitrary. A generation beyond the current one also reports
+  /// incomplete (the caller's snapshot is from a different instance).
+  InstanceDelta DeltaSince(uint64_t generation) const;
+
+  /// Number of mutation events the log retains before trimming its oldest
+  /// half. Deltas reaching past the trimmed floor report incomplete.
+  static constexpr size_t kDeltaLogCapacity = size_t{1} << 18;
 
   size_t NumConstants() const { return interner_.size(); }
 
@@ -215,6 +267,24 @@ class Instance {
   const PositionIndex* GetOrBuildIndex(PredicateId predicate,
                                        const int* positions, size_t n) const;
   static void BuildIndex(const RelationStore& rel, PositionIndex* index);
+  // In-place repair of a stale index after append-only fact insertion:
+  // hashes only rows beyond the indexed prefix, then merges postings with
+  // one linear copy (new rows append within each key, preserving row
+  // order). Caller holds index_mu_ exclusively.
+  static void ExtendIndex(const RelationStore& rel, PositionIndex* index);
+
+  // One logged mutation. Event i of delta_log_ is the transition from
+  // generation (delta_floor_generation_ + i) to one past it — every
+  // generation bump logs exactly one event, so the log is indexable by
+  // generation arithmetic and events carry no generation field.
+  struct DeltaEvent {
+    enum Kind : uint8_t { kFact = 0, kAttribute = 1, kAttributeOverflow = 2 };
+    uint8_t kind = kFact;
+    int32_t id = 0;               // PredicateId or AttributeId
+    uint32_t row = 0;             // fact/attribute row; unused for overflow
+    uint32_t constants_after = 0; // interner size after the event
+  };
+  void LogDelta(DeltaEvent::Kind kind, int32_t id, uint32_t row);
 
   const Schema* schema_;
   StringInterner interner_;
@@ -222,6 +292,13 @@ class Instance {
   std::vector<RelationStore> relations_;  // by PredicateId
   std::vector<SpanIndex> fact_set_;       // row-id dedupe, by PredicateId
   std::vector<AttributeStore> attribute_data_;  // by AttributeId
+
+  // Bounded mutation log backing DeltaSince. When it outgrows
+  // kDeltaLogCapacity the oldest half is trimmed (amortized O(1) per
+  // event) and the floor advances; deltas past the floor are incomplete.
+  std::vector<DeltaEvent> delta_log_;
+  uint64_t delta_floor_generation_ = 0;   // generation before delta_log_[0]
+  uint32_t delta_floor_constants_ = 0;    // interner size at the floor
 
   // Index cache: per predicate, one entry per distinct position list
   // (linear scan — the count is bounded by the query shapes, a handful).

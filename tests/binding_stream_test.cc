@@ -16,55 +16,15 @@
 #include <vector>
 
 #include "carl/carl.h"
-#include "datagen/mimic.h"
-#include "datagen/nis.h"
 #include "datagen/review_toy.h"
+#include "fixtures.h"
 
 namespace carl {
 namespace {
 
-class ScopedThreads {
- public:
-  explicit ScopedThreads(int threads)
-      : prev_(ExecContext::Global().threads()) {
-    ExecContext::Global().set_threads(threads);
-  }
-  ~ScopedThreads() { ExecContext::Global().set_threads(prev_); }
-
- private:
-  int prev_;
-};
-
-struct NamedDataset {
-  const char* name;
-  datagen::Dataset dataset;
-};
-
-std::vector<NamedDataset> Workloads() {
-  std::vector<NamedDataset> out;
-  {
-    Result<datagen::Dataset> review = datagen::MakeReviewToy();
-    CARL_CHECK_OK(review.status());
-    out.push_back(NamedDataset{"REVIEW", std::move(*review)});
-  }
-  {
-    datagen::MimicConfig config;
-    config.num_patients = 3000;  // large enough to engage binding shards
-    config.num_caregivers = 120;
-    Result<datagen::Dataset> mimic = datagen::GenerateMimic(config);
-    CARL_CHECK_OK(mimic.status());
-    out.push_back(NamedDataset{"MIMIC", std::move(*mimic)});
-  }
-  {
-    datagen::NisConfig config;
-    config.num_admissions = 6000;
-    config.num_hospitals = 100;
-    Result<datagen::Dataset> nis = datagen::GenerateNis(config);
-    CARL_CHECK_OK(nis.status());
-    out.push_back(NamedDataset{"NIS", std::move(*nis)});
-  }
-  return out;
-}
+using test_fixtures::NamedDataset;
+using test_fixtures::ScopedThreads;
+using test_fixtures::StreamWorkloads;
 
 // Replays the historical EnumerateBindings: per-shard owned Tuples merged
 // first-occurrence through an unordered_set, in shard order.
@@ -86,7 +46,7 @@ std::vector<Tuple> LegacyTupleMerge(const QueryEvaluator& evaluator,
 }
 
 TEST(BindingStreamTest, StreamingEqualsLegacyTuplePathOnAllWorkloads) {
-  for (NamedDataset& wl : Workloads()) {
+  for (NamedDataset& wl : StreamWorkloads()) {
     Result<RelationalCausalModel> model = RelationalCausalModel::Parse(
         *wl.dataset.schema, wl.dataset.model_text);
     ASSERT_TRUE(model.ok()) << wl.name << ": " << model.status();
@@ -135,38 +95,10 @@ TEST(BindingStreamTest, StreamingEqualsLegacyTuplePathOnAllWorkloads) {
   }
 }
 
-// One stable fingerprint of a grounded graph: names, edges, and value
-// bit patterns folded in node order.
-uint64_t GraphFingerprint(const GroundedModel& grounded) {
-  auto mix = [](uint64_t h, uint64_t v) {
-    h ^= v + 0x9e3779b97f4a7c15ull + (h << 12) + (h >> 4);
-    return h;
-  };
-  auto mix_string = [&mix](uint64_t h, const std::string& s) {
-    for (unsigned char c : s) h = mix(h, c);
-    return h;
-  };
-  const CausalGraph& graph = grounded.graph();
-  uint64_t h = 0xcbf29ce484222325ull;
-  h = mix(h, graph.num_nodes());
-  h = mix(h, graph.num_edges());
-  for (NodeId id = 0; id < static_cast<NodeId>(graph.num_nodes()); ++id) {
-    h = mix_string(h, grounded.NodeName(id));
-    for (NodeId p : graph.Parents(id)) h = mix(h, static_cast<uint64_t>(p));
-    std::optional<double> v = grounded.NodeValue(id);
-    uint64_t bits = 0;
-    if (v.has_value()) {
-      static_assert(sizeof(double) == sizeof(uint64_t), "");
-      std::memcpy(&bits, &*v, sizeof(bits));
-      bits += 1;  // distinguish "0.0" from "missing"
-    }
-    h = mix(h, bits);
-  }
-  return h;
-}
+using test_fixtures::GraphFingerprint;
 
 TEST(BindingStreamTest, GraphFingerprintIdenticalAcrossThreadCounts) {
-  for (NamedDataset& wl : Workloads()) {
+  for (NamedDataset& wl : StreamWorkloads()) {
     Result<RelationalCausalModel> model = RelationalCausalModel::Parse(
         *wl.dataset.schema, wl.dataset.model_text);
     ASSERT_TRUE(model.ok()) << wl.name;

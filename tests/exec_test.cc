@@ -19,24 +19,14 @@
 #include "carl/carl.h"
 #include "datagen/mimic.h"
 #include "datagen/review_toy.h"
+#include "fixtures.h"
 
 namespace carl {
 namespace {
 
-// Restores the previous global thread count on scope exit so tests
-// cannot leak a thread configuration into each other (the TSan CI job
-// runs this binary with CARL_THREADS=4 and must stay parallel).
-class ScopedThreads {
- public:
-  explicit ScopedThreads(int threads)
-      : prev_(ExecContext::Global().threads()) {
-    ExecContext::Global().set_threads(threads);
-  }
-  ~ScopedThreads() { ExecContext::Global().set_threads(prev_); }
-
- private:
-  int prev_;
-};
+using test_fixtures::Canonicalize;
+using test_fixtures::CanonicalGraph;
+using test_fixtures::ScopedThreads;
 
 // ---------------------------------------------------------------------------
 // Chunk plan + primitives
@@ -196,43 +186,11 @@ TEST(ParallelReduceTest, FloatingPointSumBitIdenticalAcrossThreadCounts) {
 // Grounding / unit-table equivalence
 // ---------------------------------------------------------------------------
 
-// Canonical form: nodes, edges, and values as sorted name strings — equal
-// canonical forms mean the graphs are isomorphic under the only sensible
-// isomorphism (grounded-attribute identity).
-struct CanonicalGraph {
-  std::vector<std::string> nodes;
-  std::vector<std::string> edges;
-  std::vector<std::string> values;
-
-  bool operator==(const CanonicalGraph& o) const {
-    return nodes == o.nodes && edges == o.edges && values == o.values;
-  }
-};
-
-CanonicalGraph Canonicalize(const GroundedModel& grounded) {
-  CanonicalGraph canon;
-  const CausalGraph& graph = grounded.graph();
-  for (NodeId id = 0; id < static_cast<NodeId>(graph.num_nodes()); ++id) {
-    std::string name = grounded.NodeName(id);
-    canon.nodes.push_back(name);
-    for (NodeId p : graph.Parents(id)) {
-      canon.edges.push_back(grounded.NodeName(p) + " -> " + name);
-    }
-    std::optional<double> v = grounded.NodeValue(id);
-    canon.values.push_back(
-        name + " = " + (v.has_value() ? std::to_string(*v) : "missing"));
-  }
-  std::sort(canon.nodes.begin(), canon.nodes.end());
-  std::sort(canon.edges.begin(), canon.edges.end());
-  std::sort(canon.values.begin(), canon.values.end());
-  return canon;
-}
-
+// Canonical-form graph equality and the shard-engaging MIMIC mini
+// instance both live in tests/fixtures.{h,cc} now, shared with the
+// graph-store and incremental-grounding suites.
 Result<datagen::Dataset> SmallMimic() {
-  datagen::MimicConfig config;
-  config.num_patients = 3000;  // large enough to engage binding shards
-  config.num_caregivers = 120;
-  return datagen::GenerateMimic(config);
+  return test_fixtures::MiniMimicDataset();
 }
 
 void ExpectGroundingEquivalence(const datagen::Dataset& data) {

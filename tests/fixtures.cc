@@ -1,0 +1,131 @@
+#include "fixtures.h"
+
+#include <algorithm>
+#include <cstring>
+#include <optional>
+
+#include "datagen/mimic.h"
+#include "datagen/nis.h"
+#include "datagen/review.h"
+#include "datagen/review_toy.h"
+
+namespace carl {
+namespace test_fixtures {
+
+datagen::Dataset ReviewToyDataset() {
+  Result<datagen::Dataset> review = datagen::MakeReviewToy();
+  CARL_CHECK_OK(review.status());
+  return std::move(*review);
+}
+
+datagen::Dataset MiniMimicDataset(size_t num_patients,
+                                  size_t num_caregivers) {
+  datagen::MimicConfig config;
+  config.num_patients = num_patients;
+  config.num_caregivers = num_caregivers;
+  Result<datagen::Dataset> mimic = datagen::GenerateMimic(config);
+  CARL_CHECK_OK(mimic.status());
+  return std::move(*mimic);
+}
+
+datagen::Dataset MiniNisDataset(size_t num_admissions,
+                                size_t num_hospitals) {
+  datagen::NisConfig config;
+  config.num_admissions = num_admissions;
+  config.num_hospitals = num_hospitals;
+  Result<datagen::Dataset> nis = datagen::GenerateNis(config);
+  CARL_CHECK_OK(nis.status());
+  return std::move(*nis);
+}
+
+datagen::Dataset SynthReviewDataset(size_t num_authors,
+                                    size_t num_institutions,
+                                    size_t num_papers, size_t num_venues) {
+  datagen::ReviewConfig config;
+  config.num_authors = num_authors;
+  config.num_institutions = num_institutions;
+  config.num_papers = num_papers;
+  config.num_venues = num_venues;
+  Result<datagen::ReviewData> review = datagen::GenerateReviewData(config);
+  CARL_CHECK_OK(review.status());
+  return std::move(review->dataset);
+}
+
+std::vector<NamedDataset> StreamWorkloads() {
+  std::vector<NamedDataset> out;
+  out.push_back(NamedDataset{"REVIEW", ReviewToyDataset()});
+  out.push_back(NamedDataset{"MIMIC", MiniMimicDataset()});
+  out.push_back(NamedDataset{"NIS", MiniNisDataset()});
+  return out;
+}
+
+std::vector<NamedDataset> GraphWorkloads() {
+  std::vector<NamedDataset> out;
+  out.push_back(NamedDataset{"MIMIC", MiniMimicDataset()});
+  out.push_back(NamedDataset{"SYNTH-REVIEW", SynthReviewDataset()});
+  return out;
+}
+
+Schema MakePersonItemSchema() {
+  Schema schema;
+  CARL_CHECK_OK(schema.AddEntity("Person").status());
+  CARL_CHECK_OK(schema.AddEntity("Item").status());
+  CARL_CHECK_OK(schema.AddRelationship("Owns", {"Person", "Item"}).status());
+  CARL_CHECK_OK(
+      schema.AddAttribute("Age", "Person", true, ValueType::kDouble).status());
+  CARL_CHECK_OK(
+      schema.AddAttribute("Price", "Item", true, ValueType::kDouble).status());
+  return schema;
+}
+
+uint64_t GraphFingerprint(const GroundedModel& grounded) {
+  auto mix = [](uint64_t h, uint64_t v) {
+    h ^= v + 0x9e3779b97f4a7c15ull + (h << 12) + (h >> 4);
+    return h;
+  };
+  auto mix_string = [&mix](uint64_t h, const std::string& s) {
+    for (unsigned char c : s) h = mix(h, c);
+    return h;
+  };
+  const CausalGraph& graph = grounded.graph();
+  uint64_t h = 0xcbf29ce484222325ull;
+  h = mix(h, graph.num_nodes());
+  h = mix(h, graph.num_edges());
+  h = mix(h, grounded.num_groundings());
+  for (NodeId id = 0; id < static_cast<NodeId>(graph.num_nodes()); ++id) {
+    h = mix_string(h, grounded.NodeName(id));
+    for (NodeId p : graph.Parents(id)) h = mix(h, static_cast<uint64_t>(p));
+    for (NodeId c : graph.Children(id)) h = mix(h, static_cast<uint64_t>(c));
+    std::optional<double> v = grounded.NodeValue(id);
+    uint64_t bits = 0;
+    if (v.has_value()) {
+      static_assert(sizeof(double) == sizeof(uint64_t), "");
+      std::memcpy(&bits, &*v, sizeof(bits));
+      bits += 1;  // distinguish "0.0" from "missing"
+    }
+    h = mix(h, bits);
+  }
+  return h;
+}
+
+CanonicalGraph Canonicalize(const GroundedModel& grounded) {
+  CanonicalGraph canon;
+  const CausalGraph& graph = grounded.graph();
+  for (NodeId id = 0; id < static_cast<NodeId>(graph.num_nodes()); ++id) {
+    std::string name = grounded.NodeName(id);
+    canon.nodes.push_back(name);
+    for (NodeId p : graph.Parents(id)) {
+      canon.edges.push_back(grounded.NodeName(p) + " -> " + name);
+    }
+    std::optional<double> v = grounded.NodeValue(id);
+    canon.values.push_back(
+        name + " = " + (v.has_value() ? std::to_string(*v) : "missing"));
+  }
+  std::sort(canon.nodes.begin(), canon.nodes.end());
+  std::sort(canon.edges.begin(), canon.edges.end());
+  std::sort(canon.values.begin(), canon.values.end());
+  return canon;
+}
+
+}  // namespace test_fixtures
+}  // namespace carl

@@ -1,0 +1,109 @@
+// Shared test fixtures: the thread-count guard, the mini-instance
+// builders (REVIEW toy, MIMIC, NIS, SYNTH-REVIEW), and the two grounded
+// graph comparison forms used across the suite —
+//
+//  * GraphFingerprint: an id-order fold of names, adjacency, values, and
+//    num_groundings. Bit-strict: it distinguishes graphs that differ only
+//    in node ids or edge order, so it is the right check for "identical
+//    across thread counts" (same construction path).
+//  * CanonicalGraph/Canonicalize: sorted name-based node/edge/value sets.
+//    Id- and order-insensitive: the right check for "same graph" across
+//    different construction paths (incremental extend vs from-scratch,
+//    whose raw ids and edge commit order legitimately differ).
+//
+// Keep builders deterministic (fixed seeds) — several suites assert
+// bit-identical results across thread counts on the same dataset.
+
+#ifndef CARL_TESTS_FIXTURES_H_
+#define CARL_TESTS_FIXTURES_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "carl/carl.h"
+#include "datagen/dataset.h"
+
+namespace carl {
+namespace test_fixtures {
+
+// Restores the previous global thread count on scope exit so tests
+// cannot leak a thread configuration into each other (the TSan CI job
+// runs test binaries with CARL_THREADS=4 and must stay parallel).
+class ScopedThreads {
+ public:
+  explicit ScopedThreads(int threads)
+      : prev_(ExecContext::Global().threads()) {
+    ExecContext::Global().set_threads(threads);
+  }
+  ~ScopedThreads() { ExecContext::Global().set_threads(prev_); }
+
+ private:
+  int prev_;
+};
+
+struct NamedDataset {
+  const char* name;
+  datagen::Dataset dataset;
+};
+
+/// The hand-built review toy (datagen::MakeReviewToy), CHECK-ok.
+datagen::Dataset ReviewToyDataset();
+
+/// MIMIC-III(sim) mini instance. The 3000/120 default is large enough to
+/// engage binding shards and the cross-rule parallel merge.
+datagen::Dataset MiniMimicDataset(size_t num_patients = 3000,
+                                  size_t num_caregivers = 120);
+
+/// NIS(sim) mini instance.
+datagen::Dataset MiniNisDataset(size_t num_admissions = 6000,
+                                size_t num_hospitals = 100);
+
+/// SYNTH-REVIEW mini instance (SCM-simulated review data).
+datagen::Dataset SynthReviewDataset(size_t num_authors = 800,
+                                    size_t num_institutions = 40,
+                                    size_t num_papers = 6000,
+                                    size_t num_venues = 20);
+
+/// REVIEW toy + MIMIC + NIS: the binding-stream equivalence workloads.
+std::vector<NamedDataset> StreamWorkloads();
+
+/// MIMIC + SYNTH-REVIEW, sized so the total binding count crosses the
+/// cross-rule parallel-merge threshold (the serial fallback would make
+/// threads=N test legs vacuous).
+std::vector<NamedDataset> GraphWorkloads();
+
+/// Two entities (Person, Item), one relationship (Owns), two numeric
+/// attributes (Age on Person, Price on Item) — the storage suite's
+/// minimal schema. Owns deliberately bears no attribute, which also
+/// makes it the canonical "irrelevant relation" for cache-invalidation
+/// scoping tests.
+Schema MakePersonItemSchema();
+
+/// One stable id-order fingerprint of a grounded graph: names, parent and
+/// child lists, value bit patterns, and num_groundings folded in node-id
+/// order. See the file comment for when to use this vs Canonicalize.
+uint64_t GraphFingerprint(const GroundedModel& grounded);
+
+/// Canonical form: nodes, edges, and values as sorted name strings —
+/// equal canonical forms mean the graphs are isomorphic under the only
+/// sensible isomorphism (grounded-attribute identity). num_groundings is
+/// deliberately excluded (an incremental extend may re-count a binding
+/// witnessed by both old and new rows).
+struct CanonicalGraph {
+  std::vector<std::string> nodes;
+  std::vector<std::string> edges;
+  std::vector<std::string> values;
+
+  bool operator==(const CanonicalGraph& o) const {
+    return nodes == o.nodes && edges == o.edges && values == o.values;
+  }
+  bool operator!=(const CanonicalGraph& o) const { return !(*this == o); }
+};
+
+CanonicalGraph Canonicalize(const GroundedModel& grounded);
+
+}  // namespace test_fixtures
+}  // namespace carl
+
+#endif  // CARL_TESTS_FIXTURES_H_

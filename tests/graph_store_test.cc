@@ -13,94 +13,22 @@
 #include <vector>
 
 #include "carl/carl.h"
-#include "datagen/mimic.h"
-#include "datagen/review.h"
+#include "fixtures.h"
 #include "relational/storage_stats.h"
 
 namespace carl {
 namespace {
 
-class ScopedThreads {
- public:
-  explicit ScopedThreads(int threads)
-      : prev_(ExecContext::Global().threads()) {
-    ExecContext::Global().set_threads(threads);
-  }
-  ~ScopedThreads() { ExecContext::Global().set_threads(prev_); }
-
- private:
-  int prev_;
-};
-
-struct NamedDataset {
-  const char* name;
-  datagen::Dataset dataset;
-};
-
-// MIMIC and SYNTH-REVIEW sized so the total binding count crosses the
-// cross-rule parallel-merge threshold (the serial fallback would make
-// the threads=N legs vacuous).
-std::vector<NamedDataset> Workloads() {
-  std::vector<NamedDataset> out;
-  {
-    datagen::MimicConfig config;
-    config.num_patients = 3000;
-    config.num_caregivers = 120;
-    Result<datagen::Dataset> mimic = datagen::GenerateMimic(config);
-    CARL_CHECK_OK(mimic.status());
-    out.push_back(NamedDataset{"MIMIC", std::move(*mimic)});
-  }
-  {
-    datagen::ReviewConfig config;
-    config.num_authors = 800;
-    config.num_institutions = 40;
-    config.num_papers = 6000;
-    config.num_venues = 20;
-    Result<datagen::ReviewData> review = datagen::GenerateReviewData(config);
-    CARL_CHECK_OK(review.status());
-    out.push_back(NamedDataset{"SYNTH-REVIEW",
-                               std::move(review->dataset)});
-  }
-  return out;
-}
-
-// One stable fingerprint of a grounded graph: names, parent lists, and
-// value bit patterns folded in node order.
-uint64_t GraphFingerprint(const GroundedModel& grounded) {
-  auto mix = [](uint64_t h, uint64_t v) {
-    h ^= v + 0x9e3779b97f4a7c15ull + (h << 12) + (h >> 4);
-    return h;
-  };
-  auto mix_string = [&mix](uint64_t h, const std::string& s) {
-    for (unsigned char c : s) h = mix(h, c);
-    return h;
-  };
-  const CausalGraph& graph = grounded.graph();
-  uint64_t h = 0xcbf29ce484222325ull;
-  h = mix(h, graph.num_nodes());
-  h = mix(h, graph.num_edges());
-  h = mix(h, grounded.num_groundings());
-  for (NodeId id = 0; id < static_cast<NodeId>(graph.num_nodes()); ++id) {
-    h = mix_string(h, grounded.NodeName(id));
-    for (NodeId p : graph.Parents(id)) h = mix(h, static_cast<uint64_t>(p));
-    for (NodeId c : graph.Children(id)) h = mix(h, static_cast<uint64_t>(c));
-    std::optional<double> v = grounded.NodeValue(id);
-    uint64_t bits = 0;
-    if (v.has_value()) {
-      static_assert(sizeof(double) == sizeof(uint64_t), "");
-      std::memcpy(&bits, &*v, sizeof(bits));
-      bits += 1;  // distinguish "0.0" from "missing"
-    }
-    h = mix(h, bits);
-  }
-  return h;
-}
+using test_fixtures::GraphFingerprint;
+using test_fixtures::GraphWorkloads;
+using test_fixtures::NamedDataset;
+using test_fixtures::ScopedThreads;
 
 // The invariant the node-id columns rely on: for every schema attribute,
 // the first NumRows(predicate) entries of NodesOfAttribute are the
 // per-row node ids, in row order.
 TEST(GraphStoreTest, NodeIdColumnsAreRowAligned) {
-  for (NamedDataset& wl : Workloads()) {
+  for (NamedDataset& wl : GraphWorkloads()) {
     Result<RelationalCausalModel> model = RelationalCausalModel::Parse(
         *wl.dataset.schema, wl.dataset.model_text);
     ASSERT_TRUE(model.ok()) << wl.name << ": " << model.status();
@@ -127,7 +55,7 @@ TEST(GraphStoreTest, NodeIdColumnsAreRowAligned) {
 // node count, per-node attribute/args, adjacency spans, values, and the
 // folded fingerprint, at threads 1 vs {2, 4}.
 TEST(GraphStoreTest, CrossRuleGroundingIdenticalAcrossThreadCounts) {
-  for (NamedDataset& wl : Workloads()) {
+  for (NamedDataset& wl : GraphWorkloads()) {
     Result<RelationalCausalModel> model = RelationalCausalModel::Parse(
         *wl.dataset.schema, wl.dataset.model_text);
     ASSERT_TRUE(model.ok()) << wl.name;
@@ -172,7 +100,7 @@ TEST(GraphStoreTest, CrossRuleGroundingIdenticalAcrossThreadCounts) {
 // The grounding hot path must intern every node through span fast paths:
 // zero owned per-node Tuples, at every thread count.
 TEST(GraphStoreTest, GroundingBuildsZeroOwnedNodeTuples) {
-  for (NamedDataset& wl : Workloads()) {
+  for (NamedDataset& wl : GraphWorkloads()) {
     Result<RelationalCausalModel> model = RelationalCausalModel::Parse(
         *wl.dataset.schema, wl.dataset.model_text);
     ASSERT_TRUE(model.ok()) << wl.name;

@@ -1,0 +1,586 @@
+// Differential delta-fuzz harness for incremental grounding: seeded
+// random mutation sequences (fact inserts with a mix of existing and
+// fresh constants, attribute set/overwrite, interleaved QuerySession
+// queries) run against the REVIEW / MIMIC / NIS mini-instances, and
+// after EVERY step the incrementally-extended graph must equal a
+// from-scratch ground of the current instance state — canonically (node,
+// edge, and value sets; raw ids and edge order are not part of the
+// extend contract) — at CARL_THREADS 1 and 4, with the two extend chains
+// bit-identical to each other. Also pins down the QuerySession delta
+// policy (hit / extend / full re-ground counters, scoped binding-cache
+// and value-column invalidation) and every documented fallback out of
+// the extend contract: overflow writes, constraint-attribute writes,
+// rule-named constants interned inside the window, and a trimmed delta
+// log. The concurrent-reader test exercises the lazy CSR overlay
+// recompaction under racing readers and is the TSan CI leg's target.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <random>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "carl/carl.h"
+#include "fixtures.h"
+
+namespace carl {
+namespace {
+
+using test_fixtures::Canonicalize;
+using test_fixtures::CanonicalGraph;
+using test_fixtures::GraphFingerprint;
+using test_fixtures::MiniMimicDataset;
+using test_fixtures::MiniNisDataset;
+using test_fixtures::ReviewToyDataset;
+using test_fixtures::ScopedThreads;
+
+// ---------------------------------------------------------------------------
+// Seeded mutation driver. Schema-generic: samples predicates and
+// attributes from the instance's schema, reusing existing constants most
+// of the time and interning fresh ones ("fz<N>", never rule-named) for
+// the rest, so the same driver fuzzes REVIEW, MIMIC, and NIS. Attributes
+// referenced by rule-condition constraints are written rarely — such
+// writes are outside the extend contract and only exercise the fallback.
+// ---------------------------------------------------------------------------
+class DeltaFuzzer {
+ public:
+  DeltaFuzzer(Instance* db, const RelationalCausalModel& model, uint64_t seed)
+      : db_(db), rng_(seed) {
+    const Schema& schema = db->schema();
+    for (const Predicate& pred : schema.predicates()) {
+      by_name_[pred.name] = pred.id;
+    }
+    for (const CausalRule& rule : model.rules()) {
+      for (const AttributeConstraint& c : rule.where.constraints) {
+        constraint_attrs_.insert(c.attribute);
+      }
+    }
+    for (const AggregateRule& rule : model.aggregate_rules()) {
+      for (const AttributeConstraint& c : rule.where.constraints) {
+        constraint_attrs_.insert(c.attribute);
+      }
+    }
+  }
+
+  // Applies one batch of 1-4 random mutations.
+  void Step() {
+    size_t n = 1 + rng_() % 4;
+    for (size_t i = 0; i < n; ++i) {
+      if (rng_() % 10 < 6) {
+        AddRandomFact();
+      } else {
+        WriteRandomAttribute();
+      }
+    }
+  }
+
+ private:
+  // A constant for an argument position ranging over `entity`: mostly an
+  // existing row of that entity, sometimes a fresh interned name.
+  std::string PickConstant(const std::string& entity) {
+    auto it = by_name_.find(entity);
+    const RelationView rows =
+        it == by_name_.end() ? RelationView() : db_->Rows(it->second);
+    if (rows.empty() || rng_() % 4 == 0) {
+      return "fz" + std::to_string(fresh_counter_++);
+    }
+    return db_->ConstantName(rows[rng_() % rows.size()][0]);
+  }
+
+  void AddRandomFact() {
+    const Schema& schema = db_->schema();
+    const Predicate& pred =
+        schema.predicates()[rng_() % schema.predicates().size()];
+    std::vector<std::string> args;
+    for (const std::string& entity : pred.arg_entities) {
+      args.push_back(PickConstant(entity));
+    }
+    CARL_CHECK_OK(db_->AddFact(pred.name, args));
+    // Usually give the new fact its attribute values (fresh entity rows
+    // referenced by relationship args keep missing values — the value
+    // pass must handle both).
+    for (const AttributeDef& attr : schema.attributes()) {
+      if (attr.predicate != pred.id || rng_() % 10 >= 7) continue;
+      if (constraint_attrs_.count(attr.name) && rng_() % 10 != 0) continue;
+      CARL_CHECK_OK(db_->SetAttribute(attr.name, args, RandomValue(attr)));
+    }
+  }
+
+  void WriteRandomAttribute() {
+    const Schema& schema = db_->schema();
+    const AttributeDef& attr =
+        schema.attributes()[rng_() % schema.attributes().size()];
+    if (constraint_attrs_.count(attr.name) && rng_() % 10 != 0) return;
+    const RelationView rows = db_->Rows(attr.predicate);
+    if (rows.empty()) return;
+    TupleView row = rows[rng_() % rows.size()];
+    CARL_CHECK_OK(db_->SetAttributeIds(
+        attr.id, Tuple(row.begin(), row.end()), RandomValue(attr)));
+  }
+
+  Value RandomValue(const AttributeDef& attr) {
+    switch (attr.type) {
+      case ValueType::kBool:
+        return Value(rng_() % 2 == 0);
+      case ValueType::kInt:
+        return Value(static_cast<int>(rng_() % 100));
+      case ValueType::kString:
+        return Value("sv" + std::to_string(rng_() % 16));
+      default:
+        return Value(static_cast<double>(rng_() % 1000) / 8.0);
+    }
+  }
+
+  Instance* db_;
+  std::mt19937_64 rng_;
+  std::unordered_map<std::string, PredicateId> by_name_;
+  std::unordered_set<std::string> constraint_attrs_;
+  size_t fresh_counter_ = 0;
+};
+
+// ---------------------------------------------------------------------------
+// The differential harness: two extend chains (one per thread count) and
+// an interleaved QuerySession, all checked against a from-scratch ground
+// after every mutation batch.
+// ---------------------------------------------------------------------------
+void RunDeltaFuzz(datagen::Dataset dataset, const char* name, uint64_t seed,
+                  int steps) {
+  SCOPED_TRACE(name);
+  Result<RelationalCausalModel> model =
+      RelationalCausalModel::Parse(*dataset.schema, dataset.model_text);
+  ASSERT_TRUE(model.ok()) << model.status();
+  Instance& db = *dataset.instance;
+
+  std::optional<GroundedModel> inc1, inc4;
+  {
+    ScopedThreads scoped(1);
+    Result<GroundedModel> g = GroundModel(db, *model);
+    ASSERT_TRUE(g.ok()) << g.status();
+    inc1.emplace(std::move(*g));
+  }
+  {
+    ScopedThreads scoped(4);
+    Result<GroundedModel> g = GroundModel(db, *model);
+    ASSERT_TRUE(g.ok()) << g.status();
+    inc4.emplace(std::move(*g));
+  }
+  QuerySession session(&db);
+
+  uint64_t base_gen = db.generation();
+  DeltaFuzzer fuzzer(&db, *model, seed);
+  size_t extends = 0;
+  for (int step = 0; step < steps; ++step) {
+    SCOPED_TRACE("step " + std::to_string(step));
+    fuzzer.Step();
+    InstanceDelta delta = db.DeltaSince(base_gen);
+    ASSERT_TRUE(delta.complete);
+    ASSERT_EQ(delta.to_generation, db.generation());
+    const bool supported =
+        DeltaSupportsIncrementalExtend(db, *model, delta);
+    for (auto* chain : {&inc1, &inc4}) {
+      ScopedThreads scoped(chain == &inc1 ? 1 : 4);
+      if (supported) {
+        Result<GroundedModel> ext =
+            ExtendGroundedModel(std::move(**chain), delta);
+        ASSERT_TRUE(ext.ok()) << ext.status();
+        chain->emplace(std::move(*ext));
+      } else {
+        Result<GroundedModel> g = GroundModel(db, *model);
+        ASSERT_TRUE(g.ok()) << g.status();
+        chain->emplace(std::move(*g));
+      }
+    }
+    if (supported) ++extends;
+    base_gen = db.generation();
+
+    // From-scratch reference at both thread counts; everything must
+    // agree canonically, and the two extend chains — which applied the
+    // identical delta sequence — must agree bit-for-bit.
+    CanonicalGraph want;
+    for (int threads : {1, 4}) {
+      ScopedThreads scoped(threads);
+      Result<GroundedModel> fresh = GroundModel(db, *model);
+      ASSERT_TRUE(fresh.ok()) << fresh.status();
+      if (threads == 1) {
+        want = Canonicalize(*fresh);
+      } else {
+        ASSERT_TRUE(want == Canonicalize(*fresh));
+      }
+    }
+    ASSERT_TRUE(Canonicalize(*inc1) == want)
+        << "threads=1 extend chain diverged from scratch";
+    ASSERT_TRUE(Canonicalize(*inc4) == want)
+        << "threads=4 extend chain diverged from scratch";
+    EXPECT_EQ(GraphFingerprint(*inc1), GraphFingerprint(*inc4))
+        << "extend is not deterministic across thread counts";
+
+    // Interleaved query through the session's cached grounding.
+    Result<std::shared_ptr<const GroundedModel>> cached =
+        session.Ground(*model);
+    ASSERT_TRUE(cached.ok()) << cached.status();
+    ASSERT_TRUE(Canonicalize(**cached) == want)
+        << "session-cached grounding went stale";
+  }
+  // The fuzz must actually exercise the incremental path, not live in
+  // the fallback.
+  EXPECT_GT(extends, static_cast<size_t>(steps) / 2)
+      << "mutation mix mostly fell outside the extend contract";
+  EXPECT_GT(session.stats().ground_extends, 0u);
+}
+
+TEST(IncrementalGroundingFuzz, ReviewToyMatchesFromScratch) {
+  RunDeltaFuzz(ReviewToyDataset(), "REVIEW", /*seed=*/0x5eed0001, 16);
+}
+
+TEST(IncrementalGroundingFuzz, MiniMimicMatchesFromScratch) {
+  RunDeltaFuzz(MiniMimicDataset(400, 40), "MIMIC", /*seed=*/0x5eed0002, 10);
+}
+
+TEST(IncrementalGroundingFuzz, MiniNisMatchesFromScratch) {
+  RunDeltaFuzz(MiniNisDataset(800, 30), "NIS", /*seed=*/0x5eed0003, 10);
+}
+
+// ---------------------------------------------------------------------------
+// QuerySession delta policy.
+// ---------------------------------------------------------------------------
+
+TEST(IncrementalSessionTest, RelevantMutationExtendsCachedGrounding) {
+  datagen::Dataset data = ReviewToyDataset();
+  Instance& db = *data.instance;
+  Result<RelationalCausalModel> model =
+      RelationalCausalModel::Parse(*data.schema, data.model_text);
+  ASSERT_TRUE(model.ok()) << model.status();
+  QuerySession session(&db);
+
+  Result<std::shared_ptr<const GroundedModel>> g1 = session.Ground(*model);
+  ASSERT_TRUE(g1.ok()) << g1.status();
+  EXPECT_EQ(session.stats().ground_misses, 1u);
+  EXPECT_EQ(session.stats().ground_extends, 0u);
+
+  // Unchanged instance: cache hit, same object.
+  Result<std::shared_ptr<const GroundedModel>> g2 = session.Ground(*model);
+  ASSERT_TRUE(g2.ok());
+  EXPECT_EQ(g1->get(), g2->get());
+  EXPECT_EQ(session.stats().ground_hits, 1u);
+
+  // A new author with a qualification: inside the extend contract, so
+  // the miss is served by extending the cached graph, and the returned
+  // grounding is a new object reflecting the new nodes.
+  CARL_CHECK_OK(db.AddFact("Person", {"Dana"}));
+  CARL_CHECK_OK(db.SetAttribute("Qualification", {"Dana"}, Value(33.0)));
+  CARL_CHECK_OK(db.AddFact("Author", {"Dana", "s2"}));
+  Result<std::shared_ptr<const GroundedModel>> g3 = session.Ground(*model);
+  ASSERT_TRUE(g3.ok()) << g3.status();
+  EXPECT_NE(g3->get(), g2->get());
+  EXPECT_EQ(session.stats().ground_misses, 2u);
+  EXPECT_EQ(session.stats().ground_extends, 1u);
+
+  // In-place overwrite of a non-constraint attribute also extends.
+  CARL_CHECK_OK(db.SetAttribute("Score", {"s1"}, Value(0.9)));
+  Result<std::shared_ptr<const GroundedModel>> g4 = session.Ground(*model);
+  ASSERT_TRUE(g4.ok());
+  EXPECT_EQ(session.stats().ground_extends, 2u);
+
+  // An overflow write (no matching fact) is outside the contract: the
+  // session falls back to a full re-ground, extends stays put.
+  CARL_CHECK_OK(db.SetAttribute("Qualification", {"ghost"}, Value(1.0)));
+  Result<std::shared_ptr<const GroundedModel>> g5 = session.Ground(*model);
+  ASSERT_TRUE(g5.ok());
+  EXPECT_EQ(session.stats().ground_misses, 4u);
+  EXPECT_EQ(session.stats().ground_extends, 2u);
+
+  // Whatever the path, the served grounding matches a from-scratch one.
+  Result<GroundedModel> fresh = GroundModel(db, *model);
+  ASSERT_TRUE(fresh.ok());
+  EXPECT_TRUE(Canonicalize(**g5) == Canonicalize(*fresh));
+}
+
+// Satellite regression: mutating a relation that bears no attribute and
+// appears in no rule must not disturb the session's caches — same
+// grounding object, binding-cache entries intact, memoized value columns
+// still served by pointer.
+TEST(IncrementalSessionTest, UnrelatedMutationKeepsCachesWarm) {
+  Schema schema;
+  CARL_CHECK_OK(schema.AddEntity("Person").status());
+  CARL_CHECK_OK(schema.AddEntity("Item").status());
+  CARL_CHECK_OK(schema.AddRelationship("Owns", {"Person", "Item"}).status());
+  CARL_CHECK_OK(
+      schema.AddAttribute("Age", "Person", true, ValueType::kDouble).status());
+  CARL_CHECK_OK(schema.AddAttribute("Income", "Person", true,
+                                    ValueType::kDouble).status());
+  Instance db(&schema);
+  for (const char* name : {"ada", "bo", "cy"}) {
+    CARL_CHECK_OK(db.AddFact("Person", {name}));
+    CARL_CHECK_OK(db.SetAttribute("Age", {name}, Value(30.0)));
+  }
+  CARL_CHECK_OK(db.AddFact("Item", {"mug"}));
+  CARL_CHECK_OK(db.AddFact("Owns", {"ada", "mug"}));
+
+  Result<RelationalCausalModel> model = RelationalCausalModel::Parse(
+      schema, "Income[P] <= Age[P] WHERE Person(P)");
+  ASSERT_TRUE(model.ok()) << model.status();
+  QuerySession session(&db);
+
+  Result<std::shared_ptr<const GroundedModel>> g1 = session.Ground(*model);
+  ASSERT_TRUE(g1.ok()) << g1.status();
+  const size_t cached_tables = session.binding_cache().size();
+  ASSERT_GT(cached_tables, 0u);
+  Result<AttributeId> age = schema.FindAttribute("Age");
+  ASSERT_TRUE(age.ok());
+  Result<std::shared_ptr<const AttributeValueColumn>> col1 =
+      session.ValueColumn(*g1, *age);
+  ASSERT_TRUE(col1.ok());
+
+  // Owns bears no attribute and no rule mentions it: adding such facts
+  // cannot change the grounded graph, so this is the irrelevant-delta
+  // fast path.
+  CARL_CHECK_OK(db.AddFact("Owns", {"bo", "mug"}));
+  CARL_CHECK_OK(db.AddFact("Owns", {"cy", "mug"}));
+  Result<std::shared_ptr<const GroundedModel>> g2 = session.Ground(*model);
+  ASSERT_TRUE(g2.ok());
+  EXPECT_EQ(g1->get(), g2->get())
+      << "irrelevant mutation invalidated the cached grounding";
+  EXPECT_EQ(session.stats().ground_hits, 1u);
+  EXPECT_EQ(session.stats().ground_misses, 1u);
+  EXPECT_EQ(session.binding_cache().size(), cached_tables)
+      << "scoped invalidation dropped a binding table with disjoint deps";
+  Result<std::shared_ptr<const AttributeValueColumn>> col2 =
+      session.ValueColumn(*g2, *age);
+  ASSERT_TRUE(col2.ok());
+  EXPECT_EQ(col1->get(), col2->get())
+      << "memoized value column dropped on an irrelevant mutation";
+  EXPECT_GT(session.stats().column_hits, 0u);
+
+  // A write to Age IS relevant: the extend serves the miss, and the Age
+  // column must be rebuilt (stale values would be silently wrong).
+  CARL_CHECK_OK(db.SetAttribute("Age", {"bo"}, Value(55.0)));
+  Result<std::shared_ptr<const GroundedModel>> g3 = session.Ground(*model);
+  ASSERT_TRUE(g3.ok());
+  EXPECT_EQ(session.stats().ground_extends, 1u);
+  Result<std::shared_ptr<const AttributeValueColumn>> col3 =
+      session.ValueColumn(*g3, *age);
+  ASSERT_TRUE(col3.ok());
+  EXPECT_NE(col1->get(), col3->get());
+  const CausalGraph& graph = (*g3)->graph();
+  NodeId bo = graph.FindNode(*age, Tuple{db.LookupConstant("bo")});
+  ASSERT_NE(bo, kInvalidNode);
+  EXPECT_EQ((*g3)->NodeValue(bo), std::optional<double>(55.0));
+}
+
+// ---------------------------------------------------------------------------
+// Fallbacks out of the extend contract.
+// ---------------------------------------------------------------------------
+
+TEST(IncrementalGroundingTest, ConstraintAttributeWriteFallsBack) {
+  Schema schema;
+  CARL_CHECK_OK(schema.AddEntity("Person").status());
+  CARL_CHECK_OK(
+      schema.AddAttribute("Age", "Person", true, ValueType::kDouble).status());
+  CARL_CHECK_OK(
+      schema.AddAttribute("Risk", "Person", true, ValueType::kDouble)
+          .status());
+  Instance db(&schema);
+  for (const char* name : {"a", "b"}) {
+    CARL_CHECK_OK(db.AddFact("Person", {name}));
+    CARL_CHECK_OK(db.SetAttribute("Age", {name}, Value(40.0)));
+  }
+  // Age appears in a rule-condition constraint: a write can flip an OLD
+  // row across the threshold, adding or removing old-binding edges —
+  // non-monotone, so such deltas must refuse to extend.
+  Result<RelationalCausalModel> model = RelationalCausalModel::Parse(
+      schema, "Risk[P] <= Age[P] WHERE Person(P), Age[P] > 30");
+  ASSERT_TRUE(model.ok()) << model.status();
+
+  Result<GroundedModel> base = GroundModel(db, *model);
+  ASSERT_TRUE(base.ok());
+  uint64_t gen = db.generation();
+  CARL_CHECK_OK(db.SetAttribute("Age", {"a"}, Value(10.0)));  // drops binding
+  InstanceDelta delta = db.DeltaSince(gen);
+  EXPECT_FALSE(DeltaSupportsIncrementalExtend(db, *model, delta));
+  Result<GroundedModel> ext = ExtendGroundedModel(std::move(*base), delta);
+  EXPECT_FALSE(ext.ok());
+
+  // The full re-ground reflects the dropped binding: a's Risk node lost
+  // its Age parent.
+  Result<GroundedModel> fresh = GroundModel(db, *model);
+  ASSERT_TRUE(fresh.ok());
+  Result<AttributeId> risk = schema.FindAttribute("Risk");
+  ASSERT_TRUE(risk.ok());
+  NodeId a_risk =
+      fresh->graph().FindNode(*risk, Tuple{db.LookupConstant("a")});
+  ASSERT_NE(a_risk, kInvalidNode);
+  EXPECT_TRUE(fresh->graph().Parents(a_risk).empty());
+}
+
+TEST(IncrementalGroundingTest, RuleConstantInternedInWindowFallsBack) {
+  Schema schema;
+  CARL_CHECK_OK(schema.AddEntity("Person").status());
+  CARL_CHECK_OK(schema.AddEntity("Submission").status());
+  CARL_CHECK_OK(
+      schema.AddRelationship("Author", {"Person", "Submission"}).status());
+  CARL_CHECK_OK(schema.AddAttribute("Prestige", "Person", true,
+                                    ValueType::kDouble).status());
+  CARL_CHECK_OK(schema.AddAttribute("Quality", "Submission", true,
+                                    ValueType::kDouble).status());
+  Instance db(&schema);
+  CARL_CHECK_OK(db.AddFact("Submission", {"s1"}));
+  // The rule names the constant "bob", which does not exist yet: the
+  // grounding has no bob bindings.
+  Result<RelationalCausalModel> model = RelationalCausalModel::Parse(
+      schema, R"(Quality[S] <= Prestige["bob"] WHERE Author("bob", S))");
+  ASSERT_TRUE(model.ok()) << model.status();
+  Result<GroundedModel> base = GroundModel(db, *model);
+  ASSERT_TRUE(base.ok());
+  uint64_t gen = db.generation();
+
+  // Interning a constant the rule names, inside the window, is outside
+  // the contract (the planner's constant pre-resolution went stale).
+  CARL_CHECK_OK(db.AddFact("Person", {"bob"}));
+  CARL_CHECK_OK(db.SetAttribute("Prestige", {"bob"}, Value(5.0)));
+  CARL_CHECK_OK(db.AddFact("Author", {"bob", "s1"}));
+  InstanceDelta delta = db.DeltaSince(gen);
+  EXPECT_FALSE(DeltaSupportsIncrementalExtend(db, *model, delta));
+
+  // The re-ground picks up the new binding.
+  Result<GroundedModel> fresh = GroundModel(db, *model);
+  ASSERT_TRUE(fresh.ok());
+  Result<AttributeId> quality = schema.FindAttribute("Quality");
+  ASSERT_TRUE(quality.ok());
+  NodeId s1 =
+      fresh->graph().FindNode(*quality, Tuple{db.LookupConstant("s1")});
+  ASSERT_NE(s1, kInvalidNode);
+  EXPECT_EQ(fresh->graph().Parents(s1).size(), 1u);
+
+  // A fresh constant NOT named by any rule stays inside the contract.
+  gen = db.generation();
+  CARL_CHECK_OK(db.AddFact("Person", {"carol"}));
+  CARL_CHECK_OK(db.SetAttribute("Prestige", {"carol"}, Value(2.0)));
+  delta = db.DeltaSince(gen);
+  EXPECT_TRUE(DeltaSupportsIncrementalExtend(db, *model, delta));
+  Result<GroundedModel> ext = ExtendGroundedModel(std::move(*fresh), delta);
+  ASSERT_TRUE(ext.ok()) << ext.status();
+  Result<GroundedModel> refreshed = GroundModel(db, *model);
+  ASSERT_TRUE(refreshed.ok());
+  EXPECT_TRUE(Canonicalize(*ext) == Canonicalize(*refreshed));
+}
+
+TEST(IncrementalGroundingTest, TrimmedDeltaLogFallsBack) {
+  Schema schema;
+  CARL_CHECK_OK(schema.AddEntity("Person").status());
+  CARL_CHECK_OK(
+      schema.AddAttribute("Age", "Person", true, ValueType::kDouble).status());
+  CARL_CHECK_OK(
+      schema.AddAttribute("Risk", "Person", true, ValueType::kDouble)
+          .status());
+  Instance db(&schema);
+  CARL_CHECK_OK(db.AddFact("Person", {"p"}));
+  Result<RelationalCausalModel> model = RelationalCausalModel::Parse(
+      schema, "Risk[P] <= Age[P] WHERE Person(P)");
+  ASSERT_TRUE(model.ok()) << model.status();
+  QuerySession session(&db);
+  Result<std::shared_ptr<const GroundedModel>> g1 = session.Ground(*model);
+  ASSERT_TRUE(g1.ok());
+
+  // Push the bounded mutation log past capacity with in-place
+  // overwrites; the window back to `gen` is then trimmed and the delta
+  // must report incomplete.
+  uint64_t gen = db.generation();
+  Result<AttributeId> age = schema.FindAttribute("Age");
+  ASSERT_TRUE(age.ok());
+  const Tuple row{db.LookupConstant("p")};
+  for (size_t i = 0; i < Instance::kDeltaLogCapacity + 16; ++i) {
+    CARL_CHECK_OK(db.SetAttributeIds(
+        *age, row, Value(static_cast<double>(i % 7))));
+  }
+  InstanceDelta delta = db.DeltaSince(gen);
+  EXPECT_FALSE(delta.complete);
+  EXPECT_FALSE(DeltaSupportsIncrementalExtend(db, *model, delta));
+
+  // The session survives the trim with a full re-ground, never a stale
+  // answer.
+  Result<std::shared_ptr<const GroundedModel>> g2 = session.Ground(*model);
+  ASSERT_TRUE(g2.ok());
+  EXPECT_EQ(session.stats().ground_extends, 0u);
+  EXPECT_EQ(session.stats().ground_misses, 2u);
+  Result<GroundedModel> fresh = GroundModel(db, *model);
+  ASSERT_TRUE(fresh.ok());
+  EXPECT_TRUE(Canonicalize(**g2) == Canonicalize(*fresh));
+}
+
+// ---------------------------------------------------------------------------
+// Concurrent readers vs lazy overlay recompaction (the TSan target).
+// After an incremental extend the spliced edges live in the CSR's
+// dynamic overlay until some adjacency read folds them in; racing
+// readers must all see the folded adjacency exactly once, with no tears.
+// ---------------------------------------------------------------------------
+TEST(IncrementalGroundingTest, ConcurrentReadersDuringOverlayRecompaction) {
+  datagen::Dataset data = MiniMimicDataset(400, 40);
+  Instance& db = *data.instance;
+  Result<RelationalCausalModel> model =
+      RelationalCausalModel::Parse(*data.schema, data.model_text);
+  ASSERT_TRUE(model.ok()) << model.status();
+  ScopedThreads scoped(4);
+  Result<GroundedModel> base = GroundModel(db, *model);
+  ASSERT_TRUE(base.ok()) << base.status();
+
+  uint64_t gen = db.generation();
+  CARL_CHECK_OK(db.AddFact("Pa", {"fzpatient"}));
+  CARL_CHECK_OK(db.SetAttribute("Age", {"fzpatient"}, Value(61.0)));
+  CARL_CHECK_OK(db.SetAttribute("Severe", {"fzpatient"}, Value(true)));
+  InstanceDelta delta = db.DeltaSince(gen);
+  ASSERT_TRUE(DeltaSupportsIncrementalExtend(db, *model, delta));
+  Result<GroundedModel> ext = ExtendGroundedModel(std::move(*base), delta);
+  ASSERT_TRUE(ext.ok()) << ext.status();
+
+  // Re-arm the overlay on a copy: the extend's own topological pass
+  // already folded its splice, so stage a fresh batch of genuinely new
+  // edges and let the reader threads race to fold it.
+  CausalGraph graph = ext->graph();
+  const size_t n = graph.num_nodes();
+  ASSERT_GT(n, 8u);
+  std::vector<CausalGraph::Edge> batch;
+  for (NodeId from = 0; batch.size() < 8 && from < static_cast<NodeId>(n);
+       ++from) {
+    NodeId to = static_cast<NodeId>(n - 1 - from);
+    if (from == to) continue;
+    bool present = false;
+    for (NodeId c : graph.Children(from)) present |= (c == to);
+    if (!present) batch.push_back({from, to});
+  }
+  ASSERT_FALSE(batch.empty());
+  const size_t edges_before = graph.num_edges();
+  graph.AddEdges(batch);
+  ASSERT_EQ(graph.num_edges(), edges_before + batch.size());
+
+  std::vector<std::thread> readers;
+  std::vector<size_t> sums(4, 0);
+  for (int t = 0; t < 4; ++t) {
+    readers.emplace_back([&graph, &sums, n, t] {
+      size_t sum = 0;
+      for (NodeId id = 0; id < static_cast<NodeId>(n); ++id) {
+        sum += graph.Parents(id).size();
+        sum += graph.Children(id).size();
+      }
+      sums[t] = sum;
+    });
+  }
+  for (std::thread& r : readers) r.join();
+  for (int t = 1; t < 4; ++t) {
+    EXPECT_EQ(sums[t], sums[0]) << "reader " << t << " saw torn adjacency";
+  }
+  EXPECT_EQ(sums[0], 2 * graph.num_edges());
+  for (const CausalGraph::Edge& e : batch) {
+    bool found = false;
+    for (NodeId c : graph.Children(e.from)) found |= (c == e.to);
+    EXPECT_TRUE(found) << "staged overlay edge lost in recompaction";
+  }
+}
+
+}  // namespace
+}  // namespace carl

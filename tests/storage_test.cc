@@ -14,6 +14,7 @@
 #include "common/rng.h"
 #include "datagen/mimic.h"
 #include "datagen/review_toy.h"
+#include "fixtures.h"
 #include "relational/evaluator.h"
 #include "relational/instance.h"
 #include "relational/schema.h"
@@ -21,17 +22,7 @@
 namespace carl {
 namespace {
 
-Schema MakeSchema() {
-  Schema schema;
-  CARL_CHECK_OK(schema.AddEntity("Person").status());
-  CARL_CHECK_OK(schema.AddEntity("Item").status());
-  CARL_CHECK_OK(schema.AddRelationship("Owns", {"Person", "Item"}).status());
-  CARL_CHECK_OK(
-      schema.AddAttribute("Age", "Person", true, ValueType::kDouble).status());
-  CARL_CHECK_OK(
-      schema.AddAttribute("Price", "Item", true, ValueType::kDouble).status());
-  return schema;
-}
+using test_fixtures::MakePersonItemSchema;
 
 // Reference implementation: linear scan over the arena rows.
 std::vector<uint32_t> NaiveMatch(const Instance& db, PredicateId pid,
@@ -53,7 +44,7 @@ std::vector<uint32_t> NaiveMatch(const Instance& db, PredicateId pid,
 }
 
 TEST(StorageTest, RowsPreserveInsertionOrderAndDedupe) {
-  Schema schema = MakeSchema();
+  Schema schema = MakePersonItemSchema();
   Instance db(&schema);
   CARL_CHECK_OK(db.AddFact("Owns", {"bob", "car"}));
   CARL_CHECK_OK(db.AddFact("Owns", {"eva", "car"}));
@@ -81,7 +72,7 @@ TEST(StorageTest, RowsPreserveInsertionOrderAndDedupe) {
 }
 
 TEST(StorageTest, AttributeColumnsMatchMapSemantics) {
-  Schema schema = MakeSchema();
+  Schema schema = MakePersonItemSchema();
   Instance db(&schema);
   CARL_CHECK_OK(db.AddFact("Person", {"bob"}));
   CARL_CHECK_OK(db.AddFact("Person", {"eva"}));
@@ -114,7 +105,7 @@ TEST(StorageTest, AttributeColumnsMatchMapSemantics) {
 }
 
 TEST(StorageTest, AttributeSetBeforeFactSurvivesViaOverflow) {
-  Schema schema = MakeSchema();
+  Schema schema = MakePersonItemSchema();
   Instance db(&schema);
   AttributeId age = *schema.FindAttribute("Age");
   // Value written before the fact exists: stored, readable, counted once.
@@ -133,7 +124,7 @@ TEST(StorageTest, AttributeSetBeforeFactSurvivesViaOverflow) {
 }
 
 TEST(StorageTest, NumericColumnMirrorsAttributeWrites) {
-  Schema schema = MakeSchema();
+  Schema schema = MakePersonItemSchema();
   Instance db(&schema);
   CARL_CHECK_OK(db.AddFact("Person", {"bob"}));
   CARL_CHECK_OK(db.AddFact("Person", {"eva"}));
@@ -175,7 +166,7 @@ TEST(StorageTest, OverflowAttributeRoundTripsThroughTypedColumns) {
   // advertise that (may_overflow), and the grounding value pass must fall
   // back to FindAttributeValue for such rows instead of reading "absent"
   // off the column.
-  Schema schema = MakeSchema();
+  Schema schema = MakePersonItemSchema();
   Instance db(&schema);
   CARL_CHECK_OK(db.AddFact("Person", {"bob"}));
   AttributeId age = *schema.FindAttribute("Age");
@@ -207,7 +198,7 @@ TEST(StorageTest, OverflowAttributeRoundTripsThroughTypedColumns) {
 }
 
 TEST(StorageTest, MatchMatchesNaiveScanUnderRandomMasks) {
-  Schema schema = MakeSchema();
+  Schema schema = MakePersonItemSchema();
   Rng rng(4242);
   for (int trial = 0; trial < 20; ++trial) {
     Instance db(&schema);
