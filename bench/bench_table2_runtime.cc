@@ -26,7 +26,7 @@
 #include "datagen/mimic.h"
 #include "datagen/nis.h"
 #include "datagen/review.h"
-#include "relational/storage_stats.h"
+#include "obs/metrics.h"
 
 namespace carl {
 namespace {
@@ -139,10 +139,15 @@ struct Workload {
   std::string query;
 };
 
+// Builds the workloads that pass the --only filter (matched against the
+// printed dataset name, so `--only MIMIC` runs just the MIMIC workload —
+// CI uses this to capture a full-size grounding trace without paying for
+// the other datasets). Filtering happens before generation: a skipped
+// workload is never materialized.
 std::vector<Workload> MakeWorkloads(const bench::BenchFlags& flags) {
   std::vector<Workload> workloads;
 
-  {
+  if (flags.Selected("MIMIC-III(sim)")) {
     datagen::MimicConfig config;
     config.num_patients = flags.quick ? 2000 : 50000;
     config.num_caregivers = flags.quick ? 80 : 1600;
@@ -154,7 +159,7 @@ std::vector<Workload> MakeWorkloads(const bench::BenchFlags& flags) {
     wl.query = "Death[P] <= SelfPay[P]?";
     workloads.push_back(std::move(wl));
   }
-  {
+  if (flags.Selected("NIS(sim)")) {
     datagen::NisConfig config;
     config.num_admissions = flags.quick ? 8000 : 80000;
     if (flags.quick) config.num_hospitals = 120;
@@ -166,7 +171,7 @@ std::vector<Workload> MakeWorkloads(const bench::BenchFlags& flags) {
     wl.query = "HighBill[P] <= AdmittedToLarge[P]?";
     workloads.push_back(std::move(wl));
   }
-  {
+  if (flags.Selected("REVIEWDATA(sim)")) {
     datagen::ReviewConfig config = datagen::RealisticReviewConfig();
     Result<datagen::ReviewData> data = datagen::GenerateReviewData(config);
     CARL_CHECK_OK(data.status());
@@ -176,7 +181,7 @@ std::vector<Workload> MakeWorkloads(const bench::BenchFlags& flags) {
     wl.query = "AVG_Score[A] <= Prestige[A]?";
     workloads.push_back(std::move(wl));
   }
-  {
+  if (flags.Selected("SYNTH-REVIEW")) {
     datagen::ReviewConfig config;  // paper-scale synthetic
     config.num_authors = flags.quick ? 1000 : 10000;
     config.num_papers = flags.quick ? 7500 : 75000;
@@ -223,25 +228,27 @@ int Run(const bench::BenchFlags& flags) {
           GroundModel(*wl.dataset->instance, *model);
       CARL_CHECK_OK(grounded.status());
     });
-    // One extra warm pass under a scoped counter: with the match indexes
-    // hot, the remaining events are the per-pass allocation cost of the
-    // storage/join layer — the number future PRs must not regress. Two
-    // counters must be exactly zero: eval-result allocs (bindings stream
-    // columnar from the evaluator into the graph merge, never through
-    // owned Tuples) and graph-node allocs (node args live in the graph's
-    // argument arena, never in per-node owned Tuples).
+    // One extra warm pass bracketed by registry snapshots: with the match
+    // indexes hot, the storage-layer counter movement is the per-pass
+    // allocation cost of the storage/join layer — the number future PRs
+    // must not regress. Two counters must be exactly zero: eval-result
+    // allocs (bindings stream columnar from the evaluator into the graph
+    // merge, never through owned Tuples) and graph-node allocs (node args
+    // live in the graph's argument arena, never in per-node owned Tuples).
     uint64_t ground_allocs = 0;
     uint64_t ground_eval_allocs = 0;
     uint64_t ground_node_allocs = 0;
     double graph_build_s = 0.0;
     {
-      storage_stats::ScopedAllocCounter allocs;
+      obs::Snapshot before = obs::Registry::Global().TakeSnapshot();
       Result<GroundedModel> grounded =
           GroundModel(*wl.dataset->instance, *model);
       CARL_CHECK_OK(grounded.status());
-      ground_allocs = allocs.delta();
-      ground_eval_allocs = allocs.eval_result_delta();
-      ground_node_allocs = allocs.graph_node_delta();
+      obs::Snapshot after = obs::Registry::Global().TakeSnapshot();
+      obs::SnapshotDelta window(before, after);
+      ground_allocs = window.CounterDelta("storage.alloc_events");
+      ground_eval_allocs = window.CounterDelta("storage.eval_result_allocs");
+      ground_node_allocs = window.CounterDelta("storage.graph_node_allocs");
       graph_build_s = grounded->phase_stats().graph_build_s();
     }
     CARL_CHECK(ground_eval_allocs == 0)
@@ -259,10 +266,12 @@ int Run(const bench::BenchFlags& flags) {
     });
     uint64_t table_allocs = 0;
     {
-      storage_stats::ScopedAllocCounter allocs;
+      obs::Snapshot before = obs::Registry::Global().TakeSnapshot();
       Result<UnitTable> table = wl.engine->BuildUnitTableForQuery(*query);
       CARL_CHECK_OK(table.status());
-      table_allocs = allocs.delta();
+      obs::Snapshot after = obs::Registry::Global().TakeSnapshot();
+      obs::SnapshotDelta window(before, after);
+      table_allocs = window.CounterDelta("storage.alloc_events");
     }
 
     double answer_s = bench::TimeBest(iters, [&] {

@@ -1,54 +1,72 @@
-// Portable timing + reporting harness for the bench binaries.
+// Portable timing + reporting harness for the bench binaries, built on
+// the carl_obs observability layer.
 //
-// No external dependency (Google Benchmark is no longer required): a
-// steady_clock stopwatch, a best-of-N measurement loop, a --quick flag
-// shared by every bench, and a one-line JSON emitter so CI and scripts
+// No external dependency (Google Benchmark is no longer required): the
+// obs::MonotonicTimer stopwatch, a best-of-N measurement loop, flags
+// shared by every bench (--quick for CI smoke runs, --only <substring>
+// to filter workloads), and a one-line JSON emitter so CI and scripts
 // can scrape results:
 //
 //   BENCH_JSON {"bench":"table3_real_queries","metric":"wall_s","value":12.3}
 //
 // One line per metric, greppable with '^BENCH_JSON ' and parseable as
 // JSON after the prefix — compatible with a BENCH_<name>.json collector
-// that appends each line's payload.
+// that appends each line's payload. The line format lives in
+// obs::BenchJsonLine and is byte-identical to what this header always
+// printed; every emitted metric is additionally registered as a gauge
+// named "<bench>/<label>/<metric>" in the global obs::Registry, so a
+// snapshot at the end of a run sees everything the stdout scrape sees.
+//
+// ParseFlags also arms structured tracing when CARL_TRACE=<out.json> is
+// set (obs::StartTracingFromEnv), so any bench produces a Chrome trace
+// without per-bench wiring:
+//
+//   CARL_TRACE=trace.json ./bench_table2_runtime --quick
 
 #ifndef CARL_BENCH_BENCH_TIMER_H_
 #define CARL_BENCH_BENCH_TIMER_H_
 
-#include <chrono>
 #include <cstdio>
 #include <cstring>
 #include <string>
+
+#include "obs/metrics.h"
+#include "obs/timer.h"
+#include "obs/trace.h"
 
 namespace carl {
 namespace bench {
 
 /// Flags shared by all bench binaries. --quick shrinks datasets and
-/// iteration counts to a CI-friendly smoke run.
+/// iteration counts to a CI-friendly smoke run; --only <substring> keeps
+/// only the workloads whose label contains the substring (benches that
+/// support it call flags.Selected(label)).
 struct BenchFlags {
   bool quick = false;
+  std::string only;
+
+  /// True when `label` passes the --only filter (always true without it).
+  bool Selected(const std::string& label) const {
+    return only.empty() || label.find(only) != std::string::npos;
+  }
 };
 
 inline BenchFlags ParseFlags(int argc, char** argv) {
   BenchFlags flags;
   for (int i = 1; i < argc; ++i) {
-    if (std::strcmp(argv[i], "--quick") == 0) flags.quick = true;
+    if (std::strcmp(argv[i], "--quick") == 0) {
+      flags.quick = true;
+    } else if (std::strcmp(argv[i], "--only") == 0 && i + 1 < argc) {
+      flags.only = argv[++i];
+    }
   }
+  obs::StartTracingFromEnv();
   return flags;
 }
 
-class Stopwatch {
- public:
-  Stopwatch() : start_(std::chrono::steady_clock::now()) {}
-  void Reset() { start_ = std::chrono::steady_clock::now(); }
-  double Seconds() const {
-    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
-                                         start_)
-        .count();
-  }
-
- private:
-  std::chrono::steady_clock::time_point start_;
-};
+/// The bench stopwatch is the engine's monotonic timer — one clock for
+/// phase stats, trace spans, and bench measurements.
+using Stopwatch = obs::MonotonicTimer;
 
 /// Best-of-`iters` wall time of `fn`, in seconds.
 template <typename Fn>
@@ -63,19 +81,22 @@ double TimeBest(int iters, const Fn& fn) {
   return best;
 }
 
-/// Emits one BENCH_JSON line. `label` disambiguates repeated metrics
-/// (e.g. the dataset); pass "" to omit it.
+/// Emits one BENCH_JSON line (byte-identical to the historical printf)
+/// and mirrors the value into the global metrics registry as a gauge
+/// named "<bench>/<label>/<metric>" ("<bench>/<metric>" without a label).
+/// `label` disambiguates repeated metrics (e.g. the dataset); pass "" to
+/// omit it.
 inline void EmitJson(const std::string& bench, const std::string& label,
                      const std::string& metric, double value) {
-  if (label.empty()) {
-    std::printf("BENCH_JSON {\"bench\":\"%s\",\"metric\":\"%s\",\"value\":%g}\n",
-                bench.c_str(), metric.c_str(), value);
-  } else {
-    std::printf(
-        "BENCH_JSON {\"bench\":\"%s\",\"label\":\"%s\",\"metric\":\"%s\","
-        "\"value\":%g}\n",
-        bench.c_str(), label.c_str(), metric.c_str(), value);
+  std::string name = bench;
+  if (!label.empty()) {
+    name += '/';
+    name += label;
   }
+  name += '/';
+  name += metric;
+  obs::Registry::Global().GetGauge(name).Set(value);
+  std::printf("%s\n", obs::BenchJsonLine(bench, label, metric, value).c_str());
 }
 
 }  // namespace bench

@@ -13,8 +13,11 @@ MIN_GATED_SECONDS are ignored (pure noise).
 The gate fails loudly — never vacuously — when its inputs are broken:
 a missing baseline file, a gated metric whose baseline value is zero or
 non-positive (a zero wall time means the timer or collector broke, and
-every future ratio against it would pass), or a gated metric present in
-the fresh collection but absent from the baseline.
+every future ratio against it would pass), a gated metric present in
+the fresh collection but absent from the baseline, or a table whose
+fresh collection no longer emits a metric REQUIRED_GATED says it must
+(removing a gated metric from both the bench and the baseline in one
+change would otherwise pass silently).
 """
 
 import json
@@ -25,6 +28,16 @@ GATED_METRICS = {"grounding_s", "unit_table_s",
                  "grounding_incremental_extend_s"}
 MIN_GATED_SECONDS = 0.05
 TABLES = ["BENCH_table1.json", "BENCH_table2.json", "BENCH_table3.json"]
+
+# Metrics each table's fresh collection MUST contain, checked against the
+# fresh output unconditionally — independent of the baseline's contents.
+# The vanished-metric check above only compares fresh against baseline, so
+# deleting a gated metric from the bench AND the committed baseline in the
+# same PR would slip through; this map pins what "gated" means per table.
+REQUIRED_GATED = {
+    "BENCH_table2.json": {"grounding_s", "unit_table_s",
+                          "grounding_incremental_extend_s"},
+}
 
 
 def load(path):
@@ -99,6 +112,17 @@ def main(argv):
                 failures.append(
                     f"{name}: gated metric {key} has no baseline; refresh "
                     f"the committed BENCH files"
+                )
+        # Presence check against the fresh output alone: every metric
+        # REQUIRED_GATED lists for this table must still be emitted by at
+        # least one workload, or the gate has silently lost coverage.
+        fresh_metrics = {key[2] for key in fresh}
+        for metric in sorted(REQUIRED_GATED.get(name, set())):
+            if metric not in fresh_metrics:
+                failures.append(
+                    f"{name}: required gated metric '{metric}' is missing "
+                    f"from the fresh collection — the bench stopped "
+                    f"emitting it"
                 )
 
     if failures:

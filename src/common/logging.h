@@ -1,15 +1,96 @@
 // CARL_CHECK / CARL_DCHECK: invariant checks that abort with a message.
 // Used for programming errors only; recoverable conditions use Status.
+//
+// CARL_LOG(INFO|WARN|ERROR): leveled runtime logging for non-fatal
+// anomalies — the conditions the engine survives but an operator should
+// hear about (a delta-extend falling back to a full re-ground, a cache
+// dropped wholesale on an incomplete delta). Gated by the CARL_LOG_LEVEL
+// environment variable, read once per process: "info", "warn" (default),
+// "error", or "off" (numeric 0-3 also accepted). Below-threshold
+// statements cost one comparison against a cached level — the streamed
+// operands are never evaluated.
+//
+//   CARL_LOG(WARN) << "extend fell back to full re-ground: " << reason;
 
 #ifndef CARL_COMMON_LOGGING_H_
 #define CARL_COMMON_LOGGING_H_
 
 #include <cstdlib>
+#include <cstring>
 #include <iostream>
 #include <sstream>
 
 namespace carl {
+namespace logging {
+
+enum class Level : int { kInfo = 0, kWarn = 1, kError = 2, kOff = 3 };
+
+/// Parses a CARL_LOG_LEVEL value; unknown strings yield the default
+/// (kWarn). Exposed for tests.
+inline Level ParseLevel(const char* s) {
+  if (s == nullptr || *s == '\0') return Level::kWarn;
+  auto eq = [s](const char* name) {
+    for (size_t i = 0;; ++i) {
+      char a = s[i];
+      char b = name[i];
+      if (a >= 'A' && a <= 'Z') a = static_cast<char>(a - 'A' + 'a');
+      if (a != b) return false;
+      if (a == '\0') return true;
+    }
+  };
+  if (eq("info") || eq("0")) return Level::kInfo;
+  if (eq("warn") || eq("warning") || eq("1")) return Level::kWarn;
+  if (eq("error") || eq("2")) return Level::kError;
+  if (eq("off") || eq("none") || eq("3")) return Level::kOff;
+  return Level::kWarn;
+}
+
+/// The process log threshold, sampled from CARL_LOG_LEVEL on first use.
+inline Level MinLevel() {
+  static const Level level = ParseLevel(std::getenv("CARL_LOG_LEVEL"));
+  return level;
+}
+
+}  // namespace logging
+
 namespace internal {
+
+inline constexpr logging::Level kLogSeverityINFO = logging::Level::kInfo;
+inline constexpr logging::Level kLogSeverityWARN = logging::Level::kWarn;
+inline constexpr logging::Level kLogSeverityERROR = logging::Level::kError;
+
+inline const char* LogSeverityName(logging::Level level) {
+  switch (level) {
+    case logging::Level::kInfo:
+      return "INFO";
+    case logging::Level::kWarn:
+      return "WARN";
+    default:
+      return "ERROR";
+  }
+}
+
+/// Accumulates one log line and emits it to stderr on destruction (one
+/// write, so concurrent loggers interleave per line, not per token).
+class LogMessage {
+ public:
+  LogMessage(const char* file, int line, logging::Level level) {
+    stream_ << "[carl " << LogSeverityName(level) << "] " << file << ":"
+            << line << ": ";
+  }
+  ~LogMessage() {
+    stream_ << "\n";
+    std::cerr << stream_.str() << std::flush;
+  }
+  template <typename T>
+  LogMessage& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  std::ostringstream stream_;
+};
 
 /// Accumulates a failure message and aborts the process on destruction.
 class FatalLogMessage {
@@ -35,6 +116,7 @@ class FatalLogMessage {
 /// false branch of the CARL_CHECK ternary. operator& binds looser than <<.
 struct Voidify {
   void operator&(const FatalLogMessage&) {}
+  void operator&(const LogMessage&) {}
 };
 
 /// Swallows streamed values when the check is compiled out.
@@ -46,6 +128,13 @@ class NullStream {
 
 }  // namespace internal
 }  // namespace carl
+
+#define CARL_LOG(severity)                                                 \
+  (::carl::internal::kLogSeverity##severity < ::carl::logging::MinLevel()) \
+      ? (void)0                                                            \
+      : ::carl::internal::Voidify() &                                      \
+            ::carl::internal::LogMessage(                                  \
+                __FILE__, __LINE__, ::carl::internal::kLogSeverity##severity)
 
 #define CARL_CHECK(condition)                                       \
   (condition) ? (void)0                                             \

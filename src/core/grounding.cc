@@ -1,13 +1,15 @@
 #include "core/grounding.h"
 
 #include <algorithm>
-#include <chrono>
 #include <cstdio>
 #include <deque>
 #include <unordered_map>
 
 #include "common/logging.h"
 #include "exec/parallel.h"
+#include "obs/metrics.h"
+#include "obs/timer.h"
+#include "obs/trace.h"
 #include "relational/evaluator.h"
 
 namespace carl {
@@ -28,12 +30,18 @@ size_t PlanBindingShards(size_t candidates, int threads) {
 
 std::shared_ptr<const BindingTable> BindingCache::Find(
     const std::string& key) {
+  static obs::Counter& hit_counter =
+      obs::Registry::Global().GetCounter("grounding.binding_cache_hits");
+  static obs::Counter& miss_counter =
+      obs::Registry::Global().GetCounter("grounding.binding_cache_misses");
   auto it = entries_.find(key);
   if (it == entries_.end()) {
     ++misses_;
+    miss_counter.Increment();
     return nullptr;
   }
   ++hits_;
+  hit_counter.Increment();
   return it->second.table;
 }
 
@@ -60,6 +68,9 @@ void BindingCache::Insert(std::string key,
 
 void BindingCache::Invalidate(const InstanceDelta& delta) {
   if (!delta.complete) {
+    CARL_LOG(WARN) << "binding cache cleared wholesale: incomplete instance "
+                      "delta (trimmed log) — dropping " << entries_.size()
+                   << " cached table(s), " << total_bytes_ << " bytes";
     Clear();
     return;
   }
@@ -191,6 +202,7 @@ CompiledRef CompileRef(
 Result<BindingTable> EnumerateBindings(
     const QueryEvaluator& evaluator, const ConjunctiveQuery& where,
     const std::vector<std::string>& vars, ExecContext& ctx) {
+  CARL_TRACE_SCOPE("grounding.rule.enumerate");
   CARL_ASSIGN_OR_RETURN(PreparedQuery prepared, evaluator.Prepare(where));
   if (ctx.serial()) return evaluator.Evaluate(prepared, vars);
   CARL_ASSIGN_OR_RETURN(size_t candidates,
@@ -362,6 +374,7 @@ struct RuleProbe {
 // semantics every parallel path below reproduces bit-for-bit.
 void MergeRuleSerial(const CompiledRule& rule, CausalGraph* graph,
                      size_t* num_groundings) {
+  CARL_TRACE_SCOPE("grounding.rule.merge_serial");
   const BindingTable& bindings = *rule.bindings;
   std::vector<SymbolId> scratch(rule.max_arity());
   std::vector<SymbolId> body_scratch(rule.max_arity());
@@ -398,6 +411,7 @@ void MergeRuleSerial(const CompiledRule& rule, CausalGraph* graph,
 // graph's node interner read-only, results into per-binding slots.
 void ProbeRuleRange(const CompiledRule& rule, const CausalGraph& graph,
                     size_t begin, size_t end, RuleProbe* probe) {
+  CARL_TRACE_SCOPE("grounding.rule.probe");
   const BindingTable& bindings = *rule.bindings;
   const size_t nbody = rule.body.size();
   std::vector<SymbolId> buf(rule.max_arity());
@@ -425,6 +439,7 @@ void ProbeRuleRange(const CompiledRule& rule, const CausalGraph& graph,
 // in rule order, so ids and edge order match MergeRuleSerial exactly.
 void SpliceRuleGroundings(const CompiledRule& rule, const RuleProbe& probe,
                           CausalGraph* graph, size_t* num_groundings) {
+  CARL_TRACE_SCOPE("grounding.rule.splice");
   const BindingTable& bindings = *rule.bindings;
   const size_t nbody = rule.body.size();
   std::vector<SymbolId> scratch(rule.max_arity());
@@ -522,12 +537,6 @@ void MergeAllRuleGroundings(const std::vector<CompiledRule>& rules,
   for (size_t r = 0; r < rules.size(); ++r) {
     SpliceRuleGroundings(rules[r], probes[r], graph, num_groundings);
   }
-}
-
-double SecondsSince(std::chrono::steady_clock::time_point start) {
-  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
-                                       start)
-      .count();
 }
 
 }  // namespace
@@ -638,27 +647,42 @@ std::string GroundedModel::NodeName(NodeId id) const {
 Result<GroundedModel> GroundModel(const Instance& instance,
                                   const RelationalCausalModel& model,
                                   BindingCache* binding_cache) {
+  CARL_TRACE_SCOPE("grounding.ground_model");
+  static obs::Counter& pass_counter =
+      obs::Registry::Global().GetCounter("grounding.ground_model_passes");
+  static obs::Histogram& pass_hist = obs::Registry::Global().GetHistogram(
+      "grounding.ground_model_seconds",
+      obs::Histogram::ExponentialBounds(1e-4, 4.0, 10));
+  pass_counter.Increment();
+  obs::MonotonicTimer pass_timer;
+
   ExecContext& ctx = ExecContext::Global();
   GroundedModel grounded;
   grounded.instance_ = &instance;
   grounded.model_ = &model;
+  // Same reset discipline as ExtendGroundedModel: the stats always start
+  // from zero, whether the struct is freshly constructed or reused.
+  grounded.phase_stats_ = GroundingPhaseStats{};
 
   const Schema& schema = model.extended_schema();
   QueryEvaluator evaluator(&instance);
+  obs::MonotonicTimer phase_timer;
 
   // 1. A node for every grounding of every attribute, bulk-built with ids
   // in (attribute, row) order — the same ids a serial AddNode loop
   // assigns. Aggregate-defined attributes get nodes here too, so response
   // lookups are uniform even for groundings with no sources.
-  auto t_nodes = std::chrono::steady_clock::now();
-  std::vector<CausalGraph::NodeBatch> batches;
-  batches.reserve(schema.attributes().size());
-  for (const AttributeDef& attr : schema.attributes()) {
-    batches.push_back(
-        CausalGraph::NodeBatch{attr.id, instance.Rows(attr.predicate)});
+  {
+    CARL_TRACE_SCOPE("grounding.node_build");
+    std::vector<CausalGraph::NodeBatch> batches;
+    batches.reserve(schema.attributes().size());
+    for (const AttributeDef& attr : schema.attributes()) {
+      batches.push_back(
+          CausalGraph::NodeBatch{attr.id, instance.Rows(attr.predicate)});
+    }
+    grounded.graph_.AddNodesBulk(batches, ctx);
   }
-  grounded.graph_.AddNodesBulk(batches, ctx);
-  grounded.phase_stats_.node_build_s = SecondsSince(t_nodes);
+  grounded.phase_stats_.node_build_s = phase_timer.Seconds();
 
   // 2. Compile and enumerate every rule's condition: bindings come in
   // parallel shards of one shared compiled plan as a columnar table
@@ -666,61 +690,67 @@ Result<GroundedModel> GroundModel(const Instance& instance,
   // before). Causal rules first, then aggregate rules (all-or-nothing per
   // binding: head and source must both resolve) — the vector order is the
   // merge order.
-  auto t_enum = std::chrono::steady_clock::now();
+  phase_timer.Reset();
   std::vector<CompiledRule> compiled;
-  compiled.reserve(model.rules().size() + model.aggregate_rules().size());
-  for (const CausalRule& rule : model.rules()) {
-    std::vector<const AttributeRef*> body;
-    body.reserve(rule.body.size());
-    for (const AttributeRef& b : rule.body) body.push_back(&b);
-    std::vector<std::string> vars = DistinguishedVars(rule.head, body);
-    std::unordered_map<std::string, size_t> var_slots;
-    for (size_t i = 0; i < vars.size(); ++i) var_slots.emplace(vars[i], i);
+  {
+    CARL_TRACE_SCOPE("grounding.enumerate");
+    compiled.reserve(model.rules().size() + model.aggregate_rules().size());
+    for (const CausalRule& rule : model.rules()) {
+      std::vector<const AttributeRef*> body;
+      body.reserve(rule.body.size());
+      for (const AttributeRef& b : rule.body) body.push_back(&b);
+      std::vector<std::string> vars = DistinguishedVars(rule.head, body);
+      std::unordered_map<std::string, size_t> var_slots;
+      for (size_t i = 0; i < vars.size(); ++i) var_slots.emplace(vars[i], i);
 
-    CompiledRule job;
-    CARL_ASSIGN_OR_RETURN(
-        job.bindings, EnumerateBindingsCached(evaluator, schema, rule.where,
-                                              vars, ctx, binding_cache));
-    CARL_ASSIGN_OR_RETURN(AttributeId head_attr,
-                          schema.FindAttribute(rule.head.attribute));
-    job.head = CompileRef(instance, head_attr, rule.head, var_slots);
-    job.body.reserve(rule.body.size());
-    for (const AttributeRef& b : rule.body) {
-      CARL_ASSIGN_OR_RETURN(AttributeId aid,
-                            schema.FindAttribute(b.attribute));
-      job.body.push_back(CompileRef(instance, aid, b, var_slots));
+      CompiledRule job;
+      CARL_ASSIGN_OR_RETURN(
+          job.bindings, EnumerateBindingsCached(evaluator, schema, rule.where,
+                                                vars, ctx, binding_cache));
+      CARL_ASSIGN_OR_RETURN(AttributeId head_attr,
+                            schema.FindAttribute(rule.head.attribute));
+      job.head = CompileRef(instance, head_attr, rule.head, var_slots);
+      job.body.reserve(rule.body.size());
+      for (const AttributeRef& b : rule.body) {
+        CARL_ASSIGN_OR_RETURN(AttributeId aid,
+                              schema.FindAttribute(b.attribute));
+        job.body.push_back(CompileRef(instance, aid, b, var_slots));
+      }
+      compiled.push_back(std::move(job));
     }
-    compiled.push_back(std::move(job));
-  }
-  for (const AggregateRule& rule : model.aggregate_rules()) {
-    std::vector<const AttributeRef*> body{&rule.source};
-    std::vector<std::string> vars = DistinguishedVars(rule.head, body);
-    std::unordered_map<std::string, size_t> var_slots;
-    for (size_t i = 0; i < vars.size(); ++i) var_slots.emplace(vars[i], i);
+    for (const AggregateRule& rule : model.aggregate_rules()) {
+      std::vector<const AttributeRef*> body{&rule.source};
+      std::vector<std::string> vars = DistinguishedVars(rule.head, body);
+      std::unordered_map<std::string, size_t> var_slots;
+      for (size_t i = 0; i < vars.size(); ++i) var_slots.emplace(vars[i], i);
 
-    CompiledRule job;
-    job.require_all = true;
-    CARL_ASSIGN_OR_RETURN(
-        job.bindings, EnumerateBindingsCached(evaluator, schema, rule.where,
-                                              vars, ctx, binding_cache));
-    CARL_ASSIGN_OR_RETURN(AttributeId head_attr,
-                          schema.FindAttribute(rule.head.attribute));
-    CARL_ASSIGN_OR_RETURN(AttributeId source_attr,
-                          schema.FindAttribute(rule.source.attribute));
-    job.head = CompileRef(instance, head_attr, rule.head, var_slots);
-    job.body.push_back(
-        CompileRef(instance, source_attr, rule.source, var_slots));
-    compiled.push_back(std::move(job));
+      CompiledRule job;
+      job.require_all = true;
+      CARL_ASSIGN_OR_RETURN(
+          job.bindings, EnumerateBindingsCached(evaluator, schema, rule.where,
+                                                vars, ctx, binding_cache));
+      CARL_ASSIGN_OR_RETURN(AttributeId head_attr,
+                            schema.FindAttribute(rule.head.attribute));
+      CARL_ASSIGN_OR_RETURN(AttributeId source_attr,
+                            schema.FindAttribute(rule.source.attribute));
+      job.head = CompileRef(instance, head_attr, rule.head, var_slots);
+      job.body.push_back(
+          CompileRef(instance, source_attr, rule.source, var_slots));
+      compiled.push_back(std::move(job));
+    }
   }
-  grounded.phase_stats_.enumerate_s = SecondsSince(t_enum);
+  grounded.phase_stats_.enumerate_s = phase_timer.Seconds();
 
   // 3. Merge every rule's nodes and edges: cross-rule parallel read-only
   // probe, deterministic rule-order serial splice, one sorted-run edge
   // batch per rule.
-  auto t_merge = std::chrono::steady_clock::now();
-  MergeAllRuleGroundings(compiled, ctx, &grounded.graph_,
-                         &grounded.num_groundings_);
-  grounded.phase_stats_.merge_s = SecondsSince(t_merge);
+  phase_timer.Reset();
+  {
+    CARL_TRACE_SCOPE("grounding.merge");
+    MergeAllRuleGroundings(compiled, ctx, &grounded.graph_,
+                           &grounded.num_groundings_);
+  }
+  grounded.phase_stats_.merge_s = phase_timer.Seconds();
 
   // 4. Tag aggregate nodes with their kind.
   grounded.node_has_aggregate_.assign(grounded.graph_.num_nodes(), 0);
@@ -737,11 +767,15 @@ Result<GroundedModel> GroundModel(const Instance& instance,
 
   // 5. The paper requires non-recursive models; reject cyclic groundings.
   // The topological order then drives the eager value pass.
-  auto t_finalize = std::chrono::steady_clock::now();
-  CARL_ASSIGN_OR_RETURN(std::vector<NodeId> topo_order,
-                        grounded.graph_.TopologicalOrder());
-  grounded.FinalizeValues(topo_order);
-  grounded.phase_stats_.finalize_s = SecondsSince(t_finalize);
+  phase_timer.Reset();
+  {
+    CARL_TRACE_SCOPE("grounding.finalize");
+    CARL_ASSIGN_OR_RETURN(std::vector<NodeId> topo_order,
+                          grounded.graph_.TopologicalOrder());
+    grounded.FinalizeValues(topo_order);
+  }
+  grounded.phase_stats_.finalize_s = phase_timer.Seconds();
+  pass_hist.Record(pass_timer.Seconds());
   return grounded;
 }
 
@@ -841,6 +875,15 @@ bool DeltaSupportsIncrementalExtend(const Instance& instance,
 
 Result<GroundedModel> ExtendGroundedModel(GroundedModel base,
                                           const InstanceDelta& delta) {
+  CARL_TRACE_SCOPE("grounding.extend_model");
+  static obs::Counter& pass_counter =
+      obs::Registry::Global().GetCounter("grounding.extend_passes");
+  static obs::Histogram& pass_hist = obs::Registry::Global().GetHistogram(
+      "grounding.extend_seconds",
+      obs::Histogram::ExponentialBounds(1e-5, 4.0, 10));
+  pass_counter.Increment();
+  obs::MonotonicTimer pass_timer;
+
   CARL_CHECK(base.instance_ != nullptr && base.model_ != nullptr)
       << "extend needs a grounded model";
   const Instance& instance = *base.instance_;
@@ -859,7 +902,10 @@ Result<GroundedModel> ExtendGroundedModel(GroundedModel base,
   GroundedModel out = std::move(base);
   CausalGraph& graph = out.graph_;
   const Schema& schema = model.extended_schema();
+  // Same reset discipline as GroundModel: the stats describe this pass
+  // only, never a blend with the base grounding's timings.
   out.phase_stats_ = GroundingPhaseStats{};
+  obs::MonotonicTimer phase_timer;
 
   // Per-predicate fact watermarks: rows >= watermark are the new facts.
   const size_t num_preds = instance.schema().num_predicates();
@@ -875,78 +921,86 @@ Result<GroundedModel> ExtendGroundedModel(GroundedModel base,
   // 1. Splice nodes for the new fact rows of every attribute into the
   // row-aligned per-attribute id columns (rule-added extras are promoted
   // when a new row re-derives them).
-  auto t_nodes = std::chrono::steady_clock::now();
+  phase_timer.Reset();
   const size_t nodes_before = graph.num_nodes();
   const size_t edges_before = graph.num_edges();
-  std::vector<CausalGraph::NodeBatch> batches;
-  std::vector<size_t> prior_rows;
-  for (const AttributeDef& attr : schema.attributes()) {
-    size_t prior = watermarks[attr.predicate];
-    if (prior < instance.NumRows(attr.predicate)) {
-      batches.push_back(
-          CausalGraph::NodeBatch{attr.id, instance.Rows(attr.predicate)});
-      prior_rows.push_back(prior);
+  {
+    CARL_TRACE_SCOPE("grounding.extend.node_splice");
+    std::vector<CausalGraph::NodeBatch> batches;
+    std::vector<size_t> prior_rows;
+    for (const AttributeDef& attr : schema.attributes()) {
+      size_t prior = watermarks[attr.predicate];
+      if (prior < instance.NumRows(attr.predicate)) {
+        batches.push_back(
+            CausalGraph::NodeBatch{attr.id, instance.Rows(attr.predicate)});
+        prior_rows.push_back(prior);
+      }
     }
+    graph.ExtendNodesBulk(batches, prior_rows);
   }
-  graph.ExtendNodesBulk(batches, prior_rows);
-  out.phase_stats_.node_build_s = SecondsSince(t_nodes);
+  out.phase_stats_.node_build_s = phase_timer.Seconds();
 
   // 2. Re-enumerate only the bindings that touch the delta: one
   // semi-naive plan per rule, pivot atoms watermark-restricted to new
   // rows. No binding cache — delta tables must not collide with the full
   // tables GroundModel caches under the same condition key.
-  auto t_enum = std::chrono::steady_clock::now();
+  phase_timer.Reset();
   QueryEvaluator evaluator(&instance);
   std::vector<CompiledRule> compiled;
-  compiled.reserve(model.rules().size() + model.aggregate_rules().size());
-  for (const CausalRule& rule : model.rules()) {
-    std::vector<const AttributeRef*> body;
-    body.reserve(rule.body.size());
-    for (const AttributeRef& b : rule.body) body.push_back(&b);
-    std::vector<std::string> vars = DistinguishedVars(rule.head, body);
-    std::unordered_map<std::string, size_t> var_slots;
-    for (size_t i = 0; i < vars.size(); ++i) var_slots.emplace(vars[i], i);
+  {
+    CARL_TRACE_SCOPE("grounding.extend.delta_plan");
+    compiled.reserve(model.rules().size() + model.aggregate_rules().size());
+    for (const CausalRule& rule : model.rules()) {
+      std::vector<const AttributeRef*> body;
+      body.reserve(rule.body.size());
+      for (const AttributeRef& b : rule.body) body.push_back(&b);
+      std::vector<std::string> vars = DistinguishedVars(rule.head, body);
+      std::unordered_map<std::string, size_t> var_slots;
+      for (size_t i = 0; i < vars.size(); ++i) var_slots.emplace(vars[i], i);
 
-    CompiledRule job;
-    CARL_ASSIGN_OR_RETURN(PreparedDeltaQuery prepared,
-                          evaluator.PrepareDelta(rule.where));
-    CARL_ASSIGN_OR_RETURN(BindingTable table,
-                          evaluator.EvaluateDelta(prepared, vars, watermarks));
-    job.bindings = std::make_shared<const BindingTable>(std::move(table));
-    CARL_ASSIGN_OR_RETURN(AttributeId head_attr,
-                          schema.FindAttribute(rule.head.attribute));
-    job.head = CompileRef(instance, head_attr, rule.head, var_slots);
-    job.body.reserve(rule.body.size());
-    for (const AttributeRef& b : rule.body) {
-      CARL_ASSIGN_OR_RETURN(AttributeId aid,
-                            schema.FindAttribute(b.attribute));
-      job.body.push_back(CompileRef(instance, aid, b, var_slots));
+      CompiledRule job;
+      CARL_ASSIGN_OR_RETURN(PreparedDeltaQuery prepared,
+                            evaluator.PrepareDelta(rule.where));
+      CARL_ASSIGN_OR_RETURN(
+          BindingTable table,
+          evaluator.EvaluateDelta(prepared, vars, watermarks));
+      job.bindings = std::make_shared<const BindingTable>(std::move(table));
+      CARL_ASSIGN_OR_RETURN(AttributeId head_attr,
+                            schema.FindAttribute(rule.head.attribute));
+      job.head = CompileRef(instance, head_attr, rule.head, var_slots);
+      job.body.reserve(rule.body.size());
+      for (const AttributeRef& b : rule.body) {
+        CARL_ASSIGN_OR_RETURN(AttributeId aid,
+                              schema.FindAttribute(b.attribute));
+        job.body.push_back(CompileRef(instance, aid, b, var_slots));
+      }
+      compiled.push_back(std::move(job));
     }
-    compiled.push_back(std::move(job));
-  }
-  for (const AggregateRule& rule : model.aggregate_rules()) {
-    std::vector<const AttributeRef*> body{&rule.source};
-    std::vector<std::string> vars = DistinguishedVars(rule.head, body);
-    std::unordered_map<std::string, size_t> var_slots;
-    for (size_t i = 0; i < vars.size(); ++i) var_slots.emplace(vars[i], i);
+    for (const AggregateRule& rule : model.aggregate_rules()) {
+      std::vector<const AttributeRef*> body{&rule.source};
+      std::vector<std::string> vars = DistinguishedVars(rule.head, body);
+      std::unordered_map<std::string, size_t> var_slots;
+      for (size_t i = 0; i < vars.size(); ++i) var_slots.emplace(vars[i], i);
 
-    CompiledRule job;
-    job.require_all = true;
-    CARL_ASSIGN_OR_RETURN(PreparedDeltaQuery prepared,
-                          evaluator.PrepareDelta(rule.where));
-    CARL_ASSIGN_OR_RETURN(BindingTable table,
-                          evaluator.EvaluateDelta(prepared, vars, watermarks));
-    job.bindings = std::make_shared<const BindingTable>(std::move(table));
-    CARL_ASSIGN_OR_RETURN(AttributeId head_attr,
-                          schema.FindAttribute(rule.head.attribute));
-    CARL_ASSIGN_OR_RETURN(AttributeId source_attr,
-                          schema.FindAttribute(rule.source.attribute));
-    job.head = CompileRef(instance, head_attr, rule.head, var_slots);
-    job.body.push_back(
-        CompileRef(instance, source_attr, rule.source, var_slots));
-    compiled.push_back(std::move(job));
+      CompiledRule job;
+      job.require_all = true;
+      CARL_ASSIGN_OR_RETURN(PreparedDeltaQuery prepared,
+                            evaluator.PrepareDelta(rule.where));
+      CARL_ASSIGN_OR_RETURN(
+          BindingTable table,
+          evaluator.EvaluateDelta(prepared, vars, watermarks));
+      job.bindings = std::make_shared<const BindingTable>(std::move(table));
+      CARL_ASSIGN_OR_RETURN(AttributeId head_attr,
+                            schema.FindAttribute(rule.head.attribute));
+      CARL_ASSIGN_OR_RETURN(AttributeId source_attr,
+                            schema.FindAttribute(rule.source.attribute));
+      job.head = CompileRef(instance, head_attr, rule.head, var_slots);
+      job.body.push_back(
+          CompileRef(instance, source_attr, rule.source, var_slots));
+      compiled.push_back(std::move(job));
+    }
   }
-  out.phase_stats_.enumerate_s = SecondsSince(t_enum);
+  out.phase_stats_.enumerate_s = phase_timer.Seconds();
 
   // 3. Merge the delta groundings serially in rule order through the
   // graph's post-build edge overlay. AddNode/AddEdges dedupe, so a
@@ -954,11 +1008,14 @@ Result<GroundedModel> ExtendGroundedModel(GroundedModel base,
   // all-old witness) changes nothing in the graph — only num_groundings_
   // counts it again, which is why the extend contract excludes that
   // counter.
-  auto t_merge = std::chrono::steady_clock::now();
-  for (const CompiledRule& rule : compiled) {
-    MergeRuleSerial(rule, &graph, &out.num_groundings_);
+  phase_timer.Reset();
+  {
+    CARL_TRACE_SCOPE("grounding.extend.splice");
+    for (const CompiledRule& rule : compiled) {
+      MergeRuleSerial(rule, &graph, &out.num_groundings_);
+    }
   }
-  out.phase_stats_.merge_s = SecondsSince(t_merge);
+  out.phase_stats_.merge_s = phase_timer.Seconds();
 
   // 4. Tag the new nodes of aggregate-defined attributes.
   const size_t n = graph.num_nodes();
@@ -977,7 +1034,8 @@ Result<GroundedModel> ExtendGroundedModel(GroundedModel base,
 
   // 5. Cycle check (the extension could close a cycle) — the order also
   // drives the affected-aggregate recompute below.
-  auto t_finalize = std::chrono::steady_clock::now();
+  phase_timer.Reset();
+  CARL_TRACE_SCOPE("grounding.extend.value_pass");
   CARL_ASSIGN_OR_RETURN(std::vector<NodeId> topo_order,
                         graph.TopologicalOrder());
 
@@ -1066,7 +1124,8 @@ Result<GroundedModel> ExtendGroundedModel(GroundedModel base,
       out.value_state_[id] = 1;
     }
   }
-  out.phase_stats_.finalize_s = SecondsSince(t_finalize);
+  out.phase_stats_.finalize_s = phase_timer.Seconds();
+  pass_hist.Record(pass_timer.Seconds());
   return out;
 }
 

@@ -1,8 +1,37 @@
 #include "core/query_session.h"
 
 #include "common/logging.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace carl {
+
+namespace {
+
+// Registry mirrors of the per-session CacheStats: the struct stays the
+// session-scoped API, the counters aggregate across every session in the
+// process (what a snapshot or trace consumer wants).
+struct SessionCounters {
+  obs::Counter& ground_hits =
+      obs::Registry::Global().GetCounter("query_session.ground_hits");
+  obs::Counter& ground_misses =
+      obs::Registry::Global().GetCounter("query_session.ground_misses");
+  obs::Counter& ground_extends =
+      obs::Registry::Global().GetCounter("query_session.ground_extends");
+  obs::Counter& ground_evictions =
+      obs::Registry::Global().GetCounter("query_session.ground_evictions");
+  obs::Counter& column_hits =
+      obs::Registry::Global().GetCounter("query_session.column_hits");
+  obs::Counter& column_misses =
+      obs::Registry::Global().GetCounter("query_session.column_misses");
+
+  static SessionCounters& Get() {
+    static SessionCounters counters;
+    return counters;
+  }
+};
+
+}  // namespace
 namespace {
 
 uint64_t HashCombine(uint64_t h, uint64_t v) {
@@ -86,6 +115,8 @@ bool FactsIrrelevantToGrounding(const RelationalCausalModel& model,
 
 Result<std::shared_ptr<const GroundedModel>> QuerySession::Ground(
     const RelationalCausalModel& model) {
+  CARL_TRACE_SCOPE("query_session.ground");
+  SessionCounters& counters = SessionCounters::Get();
   const uint64_t generation = instance_->generation();
   if (generation != binding_cache_generation_) {
     // Reconcile the binding cache once per generation move: only tables
@@ -107,6 +138,7 @@ Result<std::shared_ptr<const GroundedModel>> QuerySession::Ground(
     if (entry.model_text != model_text) continue;
     if (entry.grounded_generation == generation) {
       ++stats_.ground_hits;
+      counters.ground_hits.Increment();
       return entry.grounded;
     }
 
@@ -122,10 +154,12 @@ Result<std::shared_ptr<const GroundedModel>> QuerySession::Ground(
       // would rebuild.
       entry.grounded_generation = generation;
       ++stats_.ground_hits;
+      counters.ground_hits.Increment();
       return entry.grounded;
     }
 
     ++stats_.ground_misses;
+    counters.ground_misses.Increment();
     if (extensible) {
       // Extend the cached graph in delta-sized time. If no consumer
       // holds the grounding (use_count 2 = entry.holder + the aliased
@@ -139,6 +173,7 @@ Result<std::shared_ptr<const GroundedModel>> QuerySession::Ground(
           ExtendGroundedModel(std::move(base), delta);
       if (extended.ok()) {
         ++stats_.ground_extends;
+        counters.ground_extends.Increment();
         auto holder = std::make_shared<GroundingHolder>();
         holder->model = entry.holder->model;
         holder->grounded = std::move(*extended);
@@ -149,6 +184,12 @@ Result<std::shared_ptr<const GroundedModel>> QuerySession::Ground(
       // An extend can only fail here if the extension closed a cycle —
       // a from-scratch ground of the same state fails identically, so
       // fall through and surface that error.
+      CARL_LOG(WARN) << "incremental extend failed ("
+                     << extended.status().ToString()
+                     << "); falling back to a full re-ground";
+    } else {
+      CARL_LOG(INFO) << "instance delta outside the incremental-extend "
+                        "contract; re-grounding model from scratch";
     }
 
     auto holder = std::make_shared<GroundingHolder>();
@@ -163,6 +204,7 @@ Result<std::shared_ptr<const GroundedModel>> QuerySession::Ground(
   }
 
   ++stats_.ground_misses;
+  counters.ground_misses.Increment();
   // The grounding references the model copy by pointer, so both live in
   // one holder and the handed-out shared_ptr aliases into it: however
   // long any consumer keeps the grounding — across evictions, even past
@@ -238,6 +280,7 @@ void QuerySession::EvictOldestEntry() {
     if (it->model_text == text) {
       bucket.erase(it);
       ++stats_.ground_evictions;
+      SessionCounters::Get().ground_evictions.Increment();
       break;
     }
   }
@@ -261,9 +304,11 @@ Result<std::shared_ptr<const AttributeValueColumn>> QuerySession::ValueColumn(
       auto it = entry.columns.find(attribute);
       if (it != entry.columns.end()) {
         ++stats_.column_hits;
+        SessionCounters::Get().column_hits.Increment();
         return it->second;
       }
       ++stats_.column_misses;
+      SessionCounters::Get().column_misses.Increment();
       auto column = std::make_shared<AttributeValueColumn>();
       column->attribute = attribute;
       column->nodes = grounded->graph().NodesOfAttribute(attribute);

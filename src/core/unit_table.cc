@@ -9,6 +9,8 @@
 #include "common/logging.h"
 #include "common/str_util.h"
 #include "exec/parallel.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace carl {
 
@@ -185,6 +187,10 @@ Result<std::optional<UnitContext>> ComputeUnitContext(
 Result<UnitTable> BuildUnitTable(const GroundedModel& grounded,
                                  const UnitTableRequest& request,
                                  const UnitTableOptions& options) {
+  CARL_TRACE_SCOPE("unit_table.build");
+  static obs::Counter& builds =
+      obs::Registry::Global().GetCounter("unit_table.builds");
+  builds.Increment();
   CARL_ASSIGN_OR_RETURN(RequestPlan plan, PlanRequest(grounded, request));
   const Schema& schema = grounded.schema();
   const RelationView units =
@@ -210,6 +216,7 @@ Result<UnitTable> BuildUnitTable(const GroundedModel& grounded,
   std::vector<Status> chunk_status(exec.NumChunks(units.size()));
   ParallelFor(exec, units.size(), [&](size_t begin, size_t end,
                                       size_t chunk) {
+    CARL_TRACE_SCOPE("unit_table.resolve_units");
     for (size_t i = begin; i < end; ++i) {
       CARL_DCHECK(grounded.graph().node(t_col[i]).args == units[i])
           << "node-id column misaligned with unit rows";
@@ -315,6 +322,7 @@ Result<UnitTable> BuildUnitTable(const GroundedModel& grounded,
     peer_embeddings[attr] = std::move(e);
   }
   ParallelFor(exec, fits.size(), [&](size_t begin, size_t end, size_t) {
+    CARL_TRACE_SCOPE("unit_table.fit_embeddings");
     for (size_t f = begin; f < end; ++f) {
       fits[f].embedding->Fit(*fits[f].groups);
     }

@@ -1,6 +1,9 @@
 #include "exec/thread_pool.h"
 
+#include <string>
+
 #include "common/logging.h"
+#include "obs/trace.h"
 
 namespace carl {
 
@@ -8,7 +11,13 @@ ThreadPool::ThreadPool(int num_threads) {
   CARL_CHECK(num_threads >= 1) << "thread pool needs at least one worker";
   workers_.reserve(static_cast<size_t>(num_threads));
   for (int i = 0; i < num_threads; ++i) {
-    workers_.emplace_back([this] { WorkerLoop(); });
+    workers_.emplace_back([this, i] {
+      // Bind this worker to a stable trace row (tid 0 is the main
+      // thread) so its spans nest under the phase that dispatched the
+      // ParallelFor, one row per worker in the exported trace.
+      obs::SetTraceThread(i + 1, "worker-" + std::to_string(i + 1));
+      WorkerLoop();
+    });
   }
 }
 

@@ -1,0 +1,228 @@
+// carl_obs metrics registry: named counters, gauges, and fixed-bucket
+// histograms shared by every layer of the engine.
+//
+// Design constraints, in order:
+//   1. Hot-path cost: an increment is one relaxed atomic RMW on a handle
+//      that was resolved ONCE at registration. No string hashing, no map
+//      lookup, no lock ever appears on an instrumented path — call sites
+//      cache the handle in a function-local static:
+//
+//        static obs::Counter& hits =
+//            obs::Registry::Global().GetCounter("binding_cache.hits");
+//        hits.Increment();
+//
+//   2. Concurrent correctness: counters and histograms are incremented
+//      from ParallelFor workers; every mutation is an atomic op, every
+//      read a relaxed load, so Snapshot() can run concurrently with
+//      increments and always observes a consistent (if slightly stale)
+//      value per metric.
+//   3. Stable reporting: Snapshot() drains the registry into plain
+//      structs in registration order, and ToBenchJson() renders metrics
+//      as the same one-line `BENCH_JSON {...}` records bench_timer.h has
+//      always emitted — byte-compatible with check_bench_regression.py
+//      and the committed BENCH_table*.json baselines.
+//
+// Handles returned by GetCounter/GetGauge/GetHistogram live for the
+// process lifetime (deque-backed, pointer-stable). Registering the same
+// name twice returns the same handle; registering one name as two
+// different types is a programming error (CARL_CHECK).
+
+#ifndef CARL_OBS_METRICS_H_
+#define CARL_OBS_METRICS_H_
+
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace carl {
+namespace obs {
+
+enum class MetricType { kCounter, kGauge, kHistogram };
+
+/// Monotonic event count. Relaxed increments; cross-thread visibility of
+/// the *final* value is established by whatever joins the threads (the
+/// pool join at the end of a ParallelFor), not by the counter itself.
+class Counter {
+ public:
+  void Increment() { Add(1); }
+  void Add(uint64_t n) { value_.fetch_add(n, std::memory_order_relaxed); }
+  uint64_t value() const { return value_.load(std::memory_order_relaxed); }
+  /// Test/bench hook; never used on a hot path.
+  void Reset() { value_.store(0, std::memory_order_relaxed); }
+
+  Counter() = default;
+  Counter(const Counter&) = delete;
+  Counter& operator=(const Counter&) = delete;
+
+ private:
+  std::atomic<uint64_t> value_{0};
+};
+
+/// Last-write-wins double value (queue depths, configuration, the result
+/// of a measurement). Stored as bit-punned uint64 so C++17 builds stay
+/// lock-free without std::atomic<double>::fetch_add.
+class Gauge {
+ public:
+  void Set(double v) {
+    uint64_t bits;
+    static_assert(sizeof(bits) == sizeof(v), "double must be 64-bit");
+    __builtin_memcpy(&bits, &v, sizeof(bits));
+    bits_.store(bits, std::memory_order_relaxed);
+  }
+  double value() const {
+    uint64_t bits = bits_.load(std::memory_order_relaxed);
+    double v;
+    __builtin_memcpy(&v, &bits, sizeof(v));
+    return v;
+  }
+
+  Gauge() = default;
+  Gauge(const Gauge&) = delete;
+  Gauge& operator=(const Gauge&) = delete;
+
+ private:
+  std::atomic<uint64_t> bits_{0};
+};
+
+/// Fixed-bucket histogram. Bucket i counts observations v with
+/// v <= bounds[i] (and > bounds[i-1]); one implicit overflow bucket
+/// catches v > bounds.back(). Bounds are fixed at registration so
+/// Record() is a branch-light scan plus one relaxed RMW — no allocation,
+/// no lock, safe from any thread.
+class Histogram {
+ public:
+  /// `bounds` must be non-empty and strictly ascending.
+  explicit Histogram(std::vector<double> bounds);
+  Histogram(const Histogram&) = delete;
+  Histogram& operator=(const Histogram&) = delete;
+
+  void Record(double v);
+
+  const std::vector<double>& bounds() const { return bounds_; }
+  /// bucket_count(i) for i in [0, bounds().size()]: the last slot is the
+  /// overflow bucket.
+  uint64_t bucket_count(size_t i) const {
+    return counts_[i].load(std::memory_order_relaxed);
+  }
+  uint64_t count() const { return count_.load(std::memory_order_relaxed); }
+  double sum() const;
+
+  /// Exponential bucket ladder: count bounds starting at `start`, each
+  /// `factor` times the previous. The default phase-duration ladder used
+  /// by the engine's *_s histograms is ExponentialBounds(1e-6, 4, 12)
+  /// (1 us .. ~4.2 s).
+  static std::vector<double> ExponentialBounds(double start, double factor,
+                                               size_t count);
+
+ private:
+  std::vector<double> bounds_;                      // ascending
+  std::unique_ptr<std::atomic<uint64_t>[]> counts_;  // bounds_.size() + 1
+  std::atomic<uint64_t> count_{0};
+  std::atomic<uint64_t> sum_bits_{0};  // bit-punned double, CAS-accumulated
+};
+
+/// One metric drained out of the registry: plain data, safe to hold, sort,
+/// or serialize after the fact.
+struct MetricSnapshot {
+  std::string name;
+  MetricType type = MetricType::kCounter;
+  double value = 0.0;  // counter value (as double) or gauge value
+  // Histogram-only fields.
+  std::vector<double> bucket_bounds;
+  std::vector<uint64_t> bucket_counts;  // bounds.size() + 1 (overflow last)
+  uint64_t count = 0;
+  double sum = 0.0;
+};
+
+struct Snapshot {
+  std::vector<MetricSnapshot> metrics;  // registration order
+
+  const MetricSnapshot* Find(std::string_view name) const;
+  /// Value of a counter/gauge metric, or `fallback` when absent.
+  double ValueOr(std::string_view name, double fallback) const;
+};
+
+/// Counter movement between two snapshots of the same registry —
+/// the ScopedAllocCounter pattern generalized to every counter.
+class SnapshotDelta {
+ public:
+  SnapshotDelta(const Snapshot& before, const Snapshot& after)
+      : before_(&before), after_(&after) {}
+  /// after - before of counter `name`; 0 when the counter is absent from
+  /// the after-side snapshot (a metric registered mid-window reads as its
+  /// own value, since an absent before-side counts as 0).
+  uint64_t CounterDelta(std::string_view name) const;
+
+ private:
+  const Snapshot* before_;
+  const Snapshot* after_;
+};
+
+class Registry {
+ public:
+  /// The process-wide registry every engine layer registers into.
+  static Registry& Global();
+
+  Registry() = default;
+  Registry(const Registry&) = delete;
+  Registry& operator=(const Registry&) = delete;
+
+  /// Interned handle resolution: one mutex-guarded map lookup at
+  /// registration, pointer-stable for the registry's lifetime. Same name
+  /// -> same handle; a name registered under a different type aborts.
+  class Counter& GetCounter(std::string_view name);
+  class Gauge& GetGauge(std::string_view name);
+  /// `bounds` must be non-empty and strictly ascending; a re-registration
+  /// under the same name ignores `bounds` and returns the original.
+  class Histogram& GetHistogram(std::string_view name,
+                                std::vector<double> bounds);
+
+  /// Drains every metric into plain structs, registration order. Safe to
+  /// call concurrently with hot-path increments.
+  Snapshot TakeSnapshot() const;
+
+  size_t num_metrics() const;
+
+ private:
+  struct Entry {
+    std::string name;
+    MetricType type;
+    class Counter* counter = nullptr;
+    class Gauge* gauge = nullptr;
+    class Histogram* histogram = nullptr;
+  };
+  Entry* FindLocked(std::string_view name);
+
+  mutable std::mutex mu_;
+  // Deques give pointer stability without per-metric allocations showing
+  // up anywhere a unique_ptr would.
+  std::deque<class Counter> counters_;
+  std::deque<class Gauge> gauges_;
+  std::deque<class Histogram> histograms_;
+  std::vector<Entry> entries_;  // registration order
+};
+
+/// Renders one BENCH_JSON line, byte-identical to the historical
+/// bench_timer.h printf format (%g values, label omitted when empty).
+/// The trailing newline is NOT included.
+std::string BenchJsonLine(const std::string& bench, const std::string& label,
+                          const std::string& metric, double value);
+
+/// Renders every counter and gauge of `snapshot` whose name passes
+/// `prefix` (empty = all) as BENCH_JSON lines under `bench`/`label`, one
+/// per line, newline-terminated. Histograms emit their count and sum as
+/// `<name>_count` / `<name>_sum`. This is how benches report registry
+/// contents instead of hand-rolled fields.
+std::string ToBenchJson(const Snapshot& snapshot, const std::string& bench,
+                        const std::string& label,
+                        const std::string& prefix = "");
+
+}  // namespace obs
+}  // namespace carl
+
+#endif  // CARL_OBS_METRICS_H_

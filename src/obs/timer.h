@@ -1,0 +1,54 @@
+// MonotonicTimer: the one steady-clock stopwatch of the codebase.
+//
+// Grounding, unit tables, and every bench used to carry their own local
+// SecondsSince/Stopwatch helpers; they all collapse onto this header so a
+// timing convention change (clock source, resolution) happens in exactly
+// one place. Nanosecond reads come from steady_clock — monotonic, never
+// wall-clock adjusted — which is also the clock the trace layer stamps
+// spans with, so timer readings and trace spans are directly comparable.
+
+#ifndef CARL_OBS_TIMER_H_
+#define CARL_OBS_TIMER_H_
+
+#include <chrono>
+#include <cstdint>
+
+namespace carl {
+namespace obs {
+
+class MonotonicTimer {
+ public:
+  MonotonicTimer() : start_(std::chrono::steady_clock::now()) {}
+
+  void Reset() { start_ = std::chrono::steady_clock::now(); }
+
+  double Seconds() const {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                         start_)
+        .count();
+  }
+
+  uint64_t ElapsedNs() const {
+    return static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now() - start_)
+            .count());
+  }
+
+ private:
+  std::chrono::steady_clock::time_point start_;
+};
+
+/// Steady-clock nanoseconds since an arbitrary (process-stable) epoch.
+/// The trace layer uses this directly for span timestamps.
+inline uint64_t MonotonicNowNs() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+}  // namespace obs
+}  // namespace carl
+
+#endif  // CARL_OBS_TIMER_H_

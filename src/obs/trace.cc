@@ -1,0 +1,201 @@
+#include "obs/trace.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "obs/timer.h"
+
+namespace carl {
+namespace obs {
+
+namespace internal {
+
+std::atomic<bool> g_trace_armed{false};
+
+namespace {
+
+constexpr size_t kRingCapacity = size_t{1} << 15;  // 32768 events/thread
+
+// One thread's span buffer. Single writer (the owning thread); readers
+// (the flush) run only after the session is disarmed and the writers
+// have quiesced, so plain slot writes behind a release-published head are
+// enough — no per-event synchronization.
+struct TraceRing {
+  explicit TraceRing(int tid_in, std::string label_in)
+      : tid(tid_in), label(std::move(label_in)), slots(kRingCapacity) {}
+  const int tid;
+  const std::string label;
+  std::vector<TraceEvent> slots;
+  std::atomic<uint64_t> head{0};  // total events ever pushed
+
+  void Push(const TraceEvent& ev) {
+    uint64_t h = head.load(std::memory_order_relaxed);
+    slots[h % kRingCapacity] = ev;
+    head.store(h + 1, std::memory_order_release);
+  }
+
+  size_t retained() const {
+    return std::min<uint64_t>(head.load(std::memory_order_acquire),
+                              kRingCapacity);
+  }
+};
+
+struct TraceState {
+  std::mutex mu;
+  std::vector<std::shared_ptr<TraceRing>> rings;  // all threads, ever
+  std::string out_path;
+  uint64_t session_start_ns = 0;
+  int next_auto_tid = 1000;  // threads with no assigned identity
+};
+
+TraceState& State() {
+  static TraceState* state = new TraceState();
+  return *state;
+}
+
+// Thread identity requested via SetTraceThread before the ring exists.
+// The label lives in a fixed trivially-destructible buffer: a heap or
+// std::string thread_local would either leak (LeakSanitizer reports it
+// once the thread joins) or run a destructor during thread teardown.
+constexpr size_t kMaxThreadLabel = 64;
+thread_local int t_requested_tid = -1;
+thread_local char t_requested_label[kMaxThreadLabel] = {0};
+
+// The calling thread's ring; shared_ptr keeps flushed data alive past
+// thread exit. Raw pointer cached for the hot path.
+thread_local std::shared_ptr<TraceRing> t_ring;
+
+TraceRing* ThisThreadRing() {
+  if (t_ring == nullptr) {
+    TraceState& state = State();
+    std::lock_guard<std::mutex> lock(state.mu);
+    int tid = t_requested_tid;
+    std::string label(t_requested_label);
+    if (tid < 0) {
+      tid = state.next_auto_tid++;
+      label = "thread-" + std::to_string(tid);
+    }
+    t_ring = std::make_shared<TraceRing>(tid, std::move(label));
+    state.rings.push_back(t_ring);
+  }
+  return t_ring.get();
+}
+
+}  // namespace
+
+uint64_t TraceNowNs() { return MonotonicNowNs(); }
+
+void RecordTraceEvent(const char* name, uint64_t start_ns, uint64_t dur_ns) {
+  TraceEvent ev;
+  ev.name = name;
+  ev.start_ns = start_ns;
+  ev.dur_ns = dur_ns;
+  ThisThreadRing()->Push(ev);
+}
+
+}  // namespace internal
+
+using internal::State;
+using internal::TraceState;
+
+bool StartTracing(std::string out_path) {
+  TraceState& state = State();
+  std::lock_guard<std::mutex> lock(state.mu);
+  if (TraceArmed()) return false;
+  // The arming thread is the program's main thread in every supported
+  // flow; give its row tid 0 / "main" unless it already has an identity.
+  if (internal::t_ring == nullptr && internal::t_requested_tid < 0) {
+    SetTraceThread(0, "main");
+  }
+  state.out_path = std::move(out_path);
+  state.session_start_ns = internal::TraceNowNs();
+  // Restart every ring so a second session does not replay the first
+  // session's spans. Rings are quiescent here per the Start/Stop
+  // contract, so a plain reset is safe.
+  for (auto& ring : state.rings) {
+    ring->head.store(0, std::memory_order_relaxed);
+  }
+  internal::g_trace_armed.store(true, std::memory_order_release);
+  return true;
+}
+
+bool StopTracingAndWrite() {
+  TraceState& state = State();
+  std::lock_guard<std::mutex> lock(state.mu);
+  if (!TraceArmed()) return false;
+  internal::g_trace_armed.store(false, std::memory_order_release);
+
+  std::FILE* f = std::fopen(state.out_path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "carl_obs: cannot write trace to %s\n",
+                 state.out_path.c_str());
+    return false;
+  }
+  std::fputs("{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n", f);
+  bool first = true;
+  std::vector<int> labeled_tids;
+  for (const auto& ring : state.rings) {
+    // Row label metadata so Perfetto shows "main"/"worker-N" instead of
+    // bare tids. Re-created pools produce several rings per tid (same
+    // label); one M event per tid is enough.
+    if (std::find(labeled_tids.begin(), labeled_tids.end(), ring->tid) ==
+        labeled_tids.end()) {
+      labeled_tids.push_back(ring->tid);
+      std::fprintf(f,
+                   "%s{\"ph\":\"M\",\"pid\":1,\"tid\":%d,"
+                   "\"name\":\"thread_name\",\"args\":{\"name\":\"%s\"}}",
+                   first ? "" : ",\n", ring->tid, ring->label.c_str());
+      first = false;
+    }
+    const uint64_t head = ring->head.load(std::memory_order_acquire);
+    const uint64_t cap = ring->slots.size();
+    const uint64_t begin = head > cap ? head - cap : 0;
+    for (uint64_t i = begin; i < head; ++i) {
+      const internal::TraceEvent& ev = ring->slots[i % cap];
+      // Events recorded before this session armed (stale slots from a
+      // ring that predates it) are filtered by timestamp.
+      if (ev.start_ns < state.session_start_ns) continue;
+      std::fprintf(f,
+                   ",\n{\"ph\":\"X\",\"pid\":1,\"tid\":%d,\"cat\":\"carl\","
+                   "\"name\":\"%s\",\"ts\":%.3f,\"dur\":%.3f}",
+                   ring->tid, ev.name,
+                   static_cast<double>(ev.start_ns - state.session_start_ns) /
+                       1e3,
+                   static_cast<double>(ev.dur_ns) / 1e3);
+    }
+  }
+  std::fputs("\n]}\n", f);
+  std::fclose(f);
+  return true;
+}
+
+bool StartTracingFromEnv() {
+  const char* path = std::getenv("CARL_TRACE");
+  if (path == nullptr || path[0] == '\0') return false;
+  if (!StartTracing(path)) return false;
+  std::atexit([] { StopTracingAndWrite(); });
+  return true;
+}
+
+void SetTraceThread(int tid, const std::string& label) {
+  internal::t_requested_tid = tid;
+  std::snprintf(internal::t_requested_label,
+                internal::kMaxThreadLabel, "%s", label.c_str());
+}
+
+size_t TraceRingCapacity() { return internal::kRingCapacity; }
+
+size_t TraceRetainedEvents() {
+  TraceState& state = State();
+  std::lock_guard<std::mutex> lock(state.mu);
+  size_t total = 0;
+  for (const auto& ring : state.rings) total += ring->retained();
+  return total;
+}
+
+}  // namespace obs
+}  // namespace carl

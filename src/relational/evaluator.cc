@@ -5,6 +5,7 @@
 
 #include "common/logging.h"
 #include "common/str_util.h"
+#include "obs/trace.h"
 #include "relational/span_index.h"
 #include "relational/storage_stats.h"
 
@@ -491,6 +492,7 @@ QueryEvaluator::QueryEvaluator(const Instance* instance)
 
 Result<PreparedQuery> QueryEvaluator::Prepare(
     const ConjunctiveQuery& query) const {
+  CARL_TRACE_SCOPE("eval.prepare");
   Compiler compiler(*instance_);
   CARL_ASSIGN_OR_RETURN(CompiledQuery compiled, compiler.Compile(query));
   PreparedQuery prepared;
@@ -509,6 +511,7 @@ Result<BindingTable> QueryEvaluator::Evaluate(
 Result<BindingTable> QueryEvaluator::Evaluate(
     const PreparedQuery& prepared,
     const std::vector<std::string>& output_vars) const {
+  CARL_TRACE_SCOPE("eval.evaluate");
   CARL_CHECK(prepared.impl_ != nullptr) << "unprepared query";
   const CompiledQuery& compiled = *prepared.impl_;
   CARL_ASSIGN_OR_RETURN(std::vector<int> projection,
@@ -541,6 +544,7 @@ Result<BindingTable> QueryEvaluator::EvaluateShard(
     const PreparedQuery& prepared,
     const std::vector<std::string>& output_vars, size_t shard,
     size_t num_shards) const {
+  CARL_TRACE_SCOPE("eval.shard");
   CARL_CHECK(num_shards >= 1 && shard < num_shards);
   CARL_CHECK(prepared.impl_ != nullptr) << "unprepared query";
   const CompiledQuery& compiled = *prepared.impl_;
@@ -562,6 +566,7 @@ Result<BindingTable> QueryEvaluator::EvaluateShard(
 
 Result<PreparedDeltaQuery> QueryEvaluator::PrepareDelta(
     const ConjunctiveQuery& query) const {
+  CARL_TRACE_SCOPE("eval.prepare_delta");
   Compiler compiler(*instance_);
   CARL_ASSIGN_OR_RETURN(CompiledDeltaQuery compiled,
                         compiler.CompileDelta(query));
@@ -575,6 +580,7 @@ Result<BindingTable> QueryEvaluator::EvaluateDelta(
     const PreparedDeltaQuery& prepared,
     const std::vector<std::string>& output_vars,
     const std::vector<uint32_t>& fact_watermarks) const {
+  CARL_TRACE_SCOPE("eval.evaluate_delta");
   CARL_CHECK(prepared.impl_ != nullptr) << "unprepared delta query";
   CARL_CHECK(fact_watermarks.size() >=
              instance_->schema().num_predicates());

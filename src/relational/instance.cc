@@ -5,6 +5,8 @@
 
 #include "common/logging.h"
 #include "common/str_util.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "relational/storage_stats.h"
 
 namespace carl {
@@ -275,6 +277,10 @@ RowIdSpan Instance::PositionIndex::Lookup(const SymbolId* key,
 }
 
 void Instance::BuildIndex(const RelationStore& rel, PositionIndex* index) {
+  CARL_TRACE_SCOPE("instance.match_index_build");
+  static obs::Counter& builds =
+      obs::Registry::Global().GetCounter("instance.match_index_builds");
+  builds.Increment();
   storage_stats::CountAlloc();
   const std::vector<int>& positions = index->positions_;
   const size_t stride = positions.size();
@@ -326,6 +332,10 @@ void Instance::ExtendIndex(const RelationStore& rel, PositionIndex* index) {
   const size_t old_n = index->row_ids_.size();
   const size_t n = rel.num_rows;
   if (old_n == n) return;  // raced extenders: first one already caught up
+  CARL_TRACE_SCOPE("instance.match_index_repair");
+  static obs::Counter& repairs =
+      obs::Registry::Global().GetCounter("instance.match_index_repairs");
+  repairs.Increment();
   storage_stats::CountAlloc();
   const std::vector<int>& positions = index->positions_;
   const size_t stride = positions.size();

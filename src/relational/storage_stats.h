@@ -1,44 +1,56 @@
-// Allocation accounting for the relational storage/join layer.
+// Allocation accounting for the relational storage/join layer, backed by
+// the carl_obs metrics registry.
 //
 // The columnar storage rework (arena relations, CSR match indexes, the
 // plan-driven searcher) is about keeping heap allocation out of the hot
 // join loops, but wall time alone can't tell an allocation regression
 // from noise. The layer therefore counts its allocation *events* — arena
 // and posting-list growth, hash-table rehashes, index builds, per-search
-// scratch acquisition — through this one relaxed atomic. Steady-state
-// evaluation over warm indexes should add ~0; benches snapshot the
-// counter around a phase (ScopedAllocCounter) and report the delta so
+// scratch acquisition — through relaxed-atomic registry counters.
+// Steady-state evaluation over warm indexes should add ~0; benches
+// snapshot the counters around a phase (ScopedAllocCounter, or an
+// obs::SnapshotDelta over the whole registry) and report the delta so
 // future PRs surface regressions as a number, not a hunch.
+//
+// Registry names (see docs/observability.md for the full catalog):
+//   storage.alloc_events        — CountAlloc / CountGrowth
+//   storage.eval_result_allocs  — CountEvalResultAlloc
+//   storage.graph_node_allocs   — CountGraphNodeAlloc
+//
+// The historical function API (CountAlloc, AllocCount, ...) is preserved
+// verbatim; call sites did not change when the counters moved into the
+// registry.
 
 #ifndef CARL_RELATIONAL_STORAGE_STATS_H_
 #define CARL_RELATIONAL_STORAGE_STATS_H_
 
-#include <atomic>
 #include <cstdint>
+
+#include "obs/metrics.h"
 
 namespace carl {
 namespace storage_stats {
 
-inline std::atomic<uint64_t>& AllocCount() {
-  static std::atomic<uint64_t> count{0};
-  return count;
+inline obs::Counter& AllocCount() {
+  static obs::Counter& counter =
+      obs::Registry::Global().GetCounter("storage.alloc_events");
+  return counter;
 }
 
-inline void CountAlloc(uint64_t n = 1) {
-  AllocCount().fetch_add(n, std::memory_order_relaxed);
-}
+inline void CountAlloc(uint64_t n = 1) { AllocCount().Add(n); }
 
 /// Per-binding materializations on the evaluator result path (owned Tuple
 /// construction from a BindingTable). The grounding hot path streams
 /// columnar bindings end-to-end, so a warm grounding pass must report 0
 /// here — a nonzero delta means a per-binding Tuple path crept back in.
-inline std::atomic<uint64_t>& EvalResultAllocCount() {
-  static std::atomic<uint64_t> count{0};
-  return count;
+inline obs::Counter& EvalResultAllocCount() {
+  static obs::Counter& counter =
+      obs::Registry::Global().GetCounter("storage.eval_result_allocs");
+  return counter;
 }
 
 inline void CountEvalResultAlloc(uint64_t n = 1) {
-  EvalResultAllocCount().fetch_add(n, std::memory_order_relaxed);
+  EvalResultAllocCount().Add(n);
 }
 
 /// Per-node owned-Tuple materializations on the causal-graph node path.
@@ -46,13 +58,14 @@ inline void CountEvalResultAlloc(uint64_t n = 1) {
 /// owned key tuples), so a warm grounding pass must report 0 here — a
 /// nonzero delta means a per-node Tuple path (the historical
 /// GroundedAttribute::args) crept back into node interning.
-inline std::atomic<uint64_t>& GraphNodeAllocCount() {
-  static std::atomic<uint64_t> count{0};
-  return count;
+inline obs::Counter& GraphNodeAllocCount() {
+  static obs::Counter& counter =
+      obs::Registry::Global().GetCounter("storage.graph_node_allocs");
+  return counter;
 }
 
 inline void CountGraphNodeAlloc(uint64_t n = 1) {
-  GraphNodeAllocCount().fetch_add(n, std::memory_order_relaxed);
+  GraphNodeAllocCount().Add(n);
 }
 
 /// Bumps the counter when appending `extra` elements to `v` would grow
@@ -66,20 +79,15 @@ inline void CountGrowth(const V& v, size_t extra) {
 class ScopedAllocCounter {
  public:
   ScopedAllocCounter()
-      : start_(AllocCount().load(std::memory_order_relaxed)),
-        eval_start_(EvalResultAllocCount().load(std::memory_order_relaxed)),
-        graph_node_start_(
-            GraphNodeAllocCount().load(std::memory_order_relaxed)) {}
-  uint64_t delta() const {
-    return AllocCount().load(std::memory_order_relaxed) - start_;
-  }
+      : start_(AllocCount().value()),
+        eval_start_(EvalResultAllocCount().value()),
+        graph_node_start_(GraphNodeAllocCount().value()) {}
+  uint64_t delta() const { return AllocCount().value() - start_; }
   uint64_t eval_result_delta() const {
-    return EvalResultAllocCount().load(std::memory_order_relaxed) -
-           eval_start_;
+    return EvalResultAllocCount().value() - eval_start_;
   }
   uint64_t graph_node_delta() const {
-    return GraphNodeAllocCount().load(std::memory_order_relaxed) -
-           graph_node_start_;
+    return GraphNodeAllocCount().value() - graph_node_start_;
   }
 
  private:

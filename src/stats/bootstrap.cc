@@ -6,6 +6,7 @@
 
 #include "common/rng.h"
 #include "exec/parallel.h"
+#include "obs/trace.h"
 #include "stats/descriptive.h"
 
 namespace carl {
@@ -18,10 +19,12 @@ Result<BootstrapResult> Bootstrap(
   if (replicates < 1) {
     return Status::InvalidArgument("need at least one bootstrap replicate");
   }
+  CARL_TRACE_SCOPE("bootstrap.run");
   ExecContext& ctx = ExecContext::Global();
   BootstrapResult result;
   if (ctx.serial()) {
     // Historical serial path: one generator drives every replicate.
+    CARL_TRACE_SCOPE("bootstrap.replicates");
     Rng rng(seed);
     std::vector<size_t> indices(n);
     for (int b = 0; b < replicates; ++b) {
@@ -43,6 +46,7 @@ Result<BootstrapResult> Bootstrap(
     std::vector<std::optional<double>> slots(replicates);
     ParallelFor(ctx, static_cast<size_t>(replicates),
                 [&](size_t begin, size_t end, size_t) {
+                  CARL_TRACE_SCOPE("bootstrap.replicates");
                   std::vector<size_t> indices(n);
                   for (size_t b = begin; b < end; ++b) {
                     Rng rng(ExecContext::StreamSeed(seed, b));
