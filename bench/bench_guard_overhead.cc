@@ -1,0 +1,142 @@
+// Measures the hot-path cost of the carl_guard cooperative checks: the
+// armed-but-idle ExecToken probe (`token != nullptr && token->stopped()`,
+// one relaxed uint8 load + predicted branch — the exact shape the
+// evaluator's Recurse row loop and ParallelFor chunk boundaries pay per
+// probe), and the ambient CheckPoint() a cold path pays per call. The
+// idle probe is CHECKed against the 1 ns/probe contract from
+// docs/robustness.md: cancellation must be effectively free until it
+// fires, or it cannot stay on the binding enumeration path.
+//
+// Methodology: paired loops (same arithmetic payload with and without
+// the probe), baseline-subtracted, median over repetitions; volatile-asm
+// fences keep the compiler from hoisting the probe or eliding the
+// payload. Reported through obs gauges + ToBenchJson like every other
+// bench.
+
+#include <algorithm>
+#include <cstdio>
+#include <vector>
+
+#include "bench_timer.h"
+#include "common/logging.h"
+#include "guard/guard.h"
+#include "obs/metrics.h"
+#include "obs/timer.h"
+
+namespace carl {
+namespace {
+
+constexpr char kBenchName[] = "guard_overhead";
+
+// The robustness contract: an armed-but-idle token check costs at most
+// 1 ns per probe (baseline-subtracted, so machine speed cancels out).
+constexpr double kMaxIdleCheckNs = 1.0;
+// CheckPoint reads a TLS slot then the deadline (a steady_clock read,
+// ~20-40 ns); it sits on cold phase boundaries, not in row loops. The
+// ceiling catches a lock or allocation landing there, not clock speed.
+constexpr double kMaxCheckPointNs = 500.0;
+
+double PerOpNs(size_t iters, double seconds) {
+  return seconds * 1e9 / static_cast<double>(iters);
+}
+
+double Median(std::vector<double> v) {
+  std::sort(v.begin(), v.end());
+  return v[v.size() / 2];
+}
+
+// Opaque-copy: the compiler must assume the value escaped / mutated.
+template <typename T>
+T Launder(T value) {
+  asm volatile("" : "+r"(value));
+  return value;
+}
+
+int Run(const bench::BenchFlags& flags) {
+  const size_t iters = flags.quick ? (size_t{1} << 20) : (size_t{1} << 24);
+  const int reps = flags.quick ? 5 : 9;
+
+  // Armed but idle: budget set (deadline far out, byte ceiling huge) and
+  // never tripped — the state every probe of a healthy bounded query sees.
+  guard::QueryBudget budget;
+  budget.deadline_ms = 3.6e6;  // an hour out
+  budget.memory_bytes = size_t{1} << 40;
+  guard::ExecToken token(budget);
+
+  std::vector<double> base_ns, probe_ns;
+  for (int rep = 0; rep < reps; ++rep) {
+    // Baseline: the payload alone.
+    uint64_t sum = 0;
+    obs::MonotonicTimer timer;
+    for (size_t i = 0; i < iters; ++i) {
+      sum += i;
+      asm volatile("" : "+r"(sum));
+    }
+    base_ns.push_back(PerOpNs(iters, timer.Seconds()));
+    CARL_CHECK(sum != 0) << "payload elided";
+
+    // Payload + the evaluator's per-row probe on a laundered pointer
+    // (cached member load in the real code; the asm fence stops the
+    // loop-invariant check from being hoisted out).
+    guard::ExecToken* tok = Launder(&token);
+    sum = 0;
+    timer.Reset();
+    for (size_t i = 0; i < iters; ++i) {
+      if (tok != nullptr && tok->stopped()) break;
+      sum += i;
+      asm volatile("" : "+r"(sum));
+    }
+    probe_ns.push_back(PerOpNs(iters, timer.Seconds()));
+    CARL_CHECK(sum != 0) << "probe loop elided";
+  }
+
+  std::vector<double> deltas;
+  for (int rep = 0; rep < reps; ++rep) {
+    deltas.push_back(std::max(0.0, probe_ns[rep] - base_ns[rep]));
+  }
+  const double idle_check_ns = Median(deltas);
+
+  // CheckPoint with the token installed: TLS read + the same probe. Not
+  // baseline-subtracted; it carries its own Status-return cost.
+  double checkpoint_ns;
+  {
+    guard::ScopedToken scoped(&token);
+    size_t ok_count = 0;
+    obs::MonotonicTimer timer;
+    for (size_t i = 0; i < iters; ++i) {
+      ok_count += guard::CheckPoint().ok() ? 1 : 0;
+      asm volatile("" : "+r"(ok_count));
+    }
+    checkpoint_ns = PerOpNs(iters, timer.Seconds());
+    CARL_CHECK(ok_count == iters) << "idle token tripped mid-bench";
+  }
+
+  std::printf("guard overhead (%zu iterations, %d reps)\n", iters, reps);
+  std::printf("  payload baseline      : %8.3f ns/op\n", Median(base_ns));
+  std::printf("  payload + idle probe  : %8.3f ns/op\n", Median(probe_ns));
+  std::printf("  idle probe, net       : %8.3f ns/probe (ceiling %g)\n",
+              idle_check_ns, kMaxIdleCheckNs);
+  std::printf("  ambient CheckPoint    : %8.3f ns/op   (ceiling %g)\n",
+              checkpoint_ns, kMaxCheckPointNs);
+
+  CARL_CHECK(idle_check_ns <= kMaxIdleCheckNs)
+      << "armed-but-idle token probe regressed: " << idle_check_ns
+      << " ns/probe — this check rides every evaluator row";
+  CARL_CHECK(checkpoint_ns <= kMaxCheckPointNs)
+      << "CheckPoint regressed: " << checkpoint_ns << " ns/op";
+
+  obs::Registry& registry = obs::Registry::Global();
+  registry.GetGauge("bench_guard.idle_check_ns").Set(idle_check_ns);
+  registry.GetGauge("bench_guard.checkpoint_ns").Set(checkpoint_ns);
+  obs::Snapshot snapshot = registry.TakeSnapshot();
+  std::printf(
+      "%s", obs::ToBenchJson(snapshot, kBenchName, "", "bench_guard.").c_str());
+  return 0;
+}
+
+}  // namespace
+}  // namespace carl
+
+int main(int argc, char** argv) {
+  return carl::Run(carl::bench::ParseFlags(argc, argv));
+}

@@ -26,6 +26,7 @@
 #include "datagen/mimic.h"
 #include "datagen/nis.h"
 #include "datagen/review.h"
+#include "guard/guard.h"
 #include "obs/metrics.h"
 
 namespace carl {
@@ -317,6 +318,68 @@ int Run(const bench::BenchFlags& flags) {
     bench::EmitJson(kBenchName, wl.name, "unit_table_allocs",
                     static_cast<double>(table_allocs));
     bench::EmitJson(kBenchName, wl.name, "query_answer_s", answer_s);
+  }
+
+  // Guard degradation accounting: four deliberately stopped grounding
+  // passes (cancel, expired deadline, one-byte memory budget, injected
+  // enumerate fault) against the first workload. Each aborts at its
+  // first checkpoint, so this costs microseconds — but it keeps the four
+  // guard counters nonzero in BENCH_table2.json, where the regression
+  // gate (check_bench_regression.py REQUIRED_GATED) pins their presence:
+  // losing one means a stop path stopped being accounted.
+  if (!workloads.empty()) {
+    Workload& wl = workloads.front();
+    Result<RelationalCausalModel> model = RelationalCausalModel::Parse(
+        *wl.dataset->schema, wl.dataset->model_text);
+    CARL_CHECK_OK(model.status());
+    Instance& db = *wl.dataset->instance;
+    obs::Snapshot before = obs::Registry::Global().TakeSnapshot();
+    {
+      guard::ExecToken token;
+      token.Cancel();
+      guard::ScopedToken scoped(&token);
+      CARL_CHECK(GroundModel(db, *model).status().code() ==
+                 StatusCode::kCancelled);
+    }
+    {
+      guard::QueryBudget budget;
+      budget.deadline_ms = 1e-9;
+      guard::ExecToken token(budget);
+      guard::ScopedToken scoped(&token);
+      CARL_CHECK(GroundModel(db, *model).status().code() ==
+                 StatusCode::kDeadlineExceeded);
+    }
+    {
+      guard::QueryBudget budget;
+      budget.memory_bytes = 1;
+      guard::ExecToken token(budget);
+      guard::ScopedToken scoped(&token);
+      CARL_CHECK(GroundModel(db, *model).status().code() ==
+                 StatusCode::kResourceExhausted);
+    }
+    {
+      guard::FaultRegistry::Global().Arm("grounding.enumerate", 1);
+      guard::ExecToken token;
+      guard::ScopedToken scoped(&token);
+      CARL_CHECK(GroundModel(db, *model).status().code() ==
+                 StatusCode::kResourceExhausted);
+      guard::FaultRegistry::Global().Reset();
+    }
+    obs::Snapshot after = obs::Registry::Global().TakeSnapshot();
+    obs::SnapshotDelta window(before, after);
+    std::printf("guard degradation (deliberately stopped passes on %s):\n",
+                wl.name);
+    for (const char* counter :
+         {"guard_cancelled", "guard_deadline_exceeded",
+          "guard_budget_exceeded", "fault_injected"}) {
+      uint64_t events = window.CounterDelta(counter);
+      CARL_CHECK(events > 0)
+          << counter << " did not account for its deliberate stop";
+      std::printf("  %-24s: %llu\n", counter,
+                  static_cast<unsigned long long>(events));
+      bench::EmitJson(kBenchName, "GUARD", counter,
+                      static_cast<double>(events));
+    }
   }
   return 0;
 }

@@ -35,8 +35,13 @@ TABLES = ["BENCH_table1.json", "BENCH_table2.json", "BENCH_table3.json"]
 # deleting a gated metric from the bench AND the committed baseline in the
 # same PR would slip through; this map pins what "gated" means per table.
 REQUIRED_GATED = {
+    # The guard_* / fault_injected counters come from bench_table2's
+    # deliberately stopped passes: presence proves every guard stop path
+    # still accounts its events (values are informational, not ratio-gated).
     "BENCH_table2.json": {"grounding_s", "unit_table_s",
-                          "grounding_incremental_extend_s"},
+                          "grounding_incremental_extend_s",
+                          "guard_cancelled", "guard_deadline_exceeded",
+                          "guard_budget_exceeded", "fault_injected"},
 }
 
 

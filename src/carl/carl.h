@@ -36,6 +36,7 @@
 #include "exec/parallel.h"
 #include "graph/causal_graph.h"
 #include "graph/dot_export.h"
+#include "guard/guard.h"
 #include "lang/ast.h"
 #include "lang/parser.h"
 #include "relational/aggregates.h"

@@ -23,6 +23,9 @@ enum class StatusCode {
   kOutOfRange,        ///< index/value outside the permitted range
   kUnimplemented,     ///< feature declared by the paper but not supported
   kInternal,          ///< invariant violation (a bug in this library)
+  kCancelled,         ///< the caller cancelled the operation (ExecToken)
+  kDeadlineExceeded,  ///< a query deadline expired before completion
+  kResourceExhausted, ///< a memory/binding budget tripped, or injected fault
 };
 
 /// Human-readable name of a status code ("InvalidArgument", ...).
@@ -58,6 +61,15 @@ class Status {
   }
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status Cancelled(std::string msg) {
+    return Status(StatusCode::kCancelled, std::move(msg));
+  }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

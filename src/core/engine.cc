@@ -1,17 +1,39 @@
 #include "core/engine.h"
 
 #include <algorithm>
+#include <optional>
 #include <unordered_map>
 
 #include "common/rng.h"
 #include "common/str_util.h"
 #include "core/relational_path.h"
+#include "guard/guard.h"
 #include "lang/parser.h"
 #include "relational/evaluator.h"
 #include "stats/bootstrap.h"
 
 namespace carl {
 namespace {
+
+// Process-wide admission control: when the environment sets a budget
+// (CARL_DEADLINE_MS / CARL_MEM_BUDGET) and the caller has not installed a
+// token of its own, each query entry point arms a fresh per-query token
+// for its duration. With no environment budget this is a no-op, so
+// embedded callers keep full control through their own ScopedToken.
+class EnvBudgetToken {
+ public:
+  EnvBudgetToken() {
+    if (guard::CurrentToken() != nullptr) return;
+    guard::QueryBudget budget = guard::QueryBudget::FromEnv();
+    if (budget.unlimited()) return;
+    token_.emplace(budget);
+    scoped_.emplace(&*token_);
+  }
+
+ private:
+  std::optional<guard::ExecToken> token_;
+  std::optional<guard::ScopedToken> scoped_;
+};
 
 // Evaluates a query WHERE filter into the set of allowed source-unit
 // tuples — kept as the evaluator's columnar BindingTable, whose span
@@ -257,6 +279,7 @@ Result<AteAnswer> CarlEngine::AnswerAte(const CausalQuery& query,
     return Status::InvalidArgument(
         "query has a WHEN clause; use AnswerRelationalEffects");
   }
+  EnvBudgetToken env_budget;
   CARL_ASSIGN_OR_RETURN(ResolvedQuery resolved, ResolveQuery(query, options));
   CARL_ASSIGN_OR_RETURN(
       UnitTable table,
@@ -295,6 +318,7 @@ Result<RelationalEffectsAnswer> CarlEngine::AnswerRelationalEffects(
     return Status::InvalidArgument(
         "query has no WHEN clause; use AnswerAte");
   }
+  EnvBudgetToken env_budget;
   CARL_ASSIGN_OR_RETURN(ResolvedQuery resolved, ResolveQuery(query, options));
   CARL_ASSIGN_OR_RETURN(
       UnitTable table,

@@ -7,6 +7,7 @@
 
 #include "common/logging.h"
 #include "exec/parallel.h"
+#include "guard/guard.h"
 #include "obs/metrics.h"
 #include "obs/timer.h"
 #include "obs/trace.h"
@@ -35,19 +36,39 @@ std::shared_ptr<const BindingTable> BindingCache::Find(
   static obs::Counter& miss_counter =
       obs::Registry::Global().GetCounter("grounding.binding_cache_misses");
   auto it = entries_.find(key);
-  if (it == entries_.end()) {
-    ++misses_;
-    miss_counter.Increment();
-    return nullptr;
+  if (it != entries_.end()) {
+    ++hits_;
+    hit_counter.Increment();
+    return it->second.table;
   }
-  ++hits_;
-  hit_counter.Increment();
-  return it->second.table;
+  if (staging_) {
+    for (const auto& [staged_key, entry] : staged_) {
+      if (staged_key == key) {
+        ++hits_;
+        hit_counter.Increment();
+        return entry.table;
+      }
+    }
+  }
+  ++misses_;
+  miss_counter.Increment();
+  return nullptr;
 }
 
 void BindingCache::Insert(std::string key,
                           std::shared_ptr<const BindingTable> table,
                           BindingDeps deps) {
+  if (staging_) {
+    // Guarded pass: buffer the insert; committed entries stay untouched
+    // until CommitStaging so an abort restores the pre-pass cache exactly.
+    for (const auto& [staged_key, entry] : staged_) {
+      if (staged_key == key) return;  // first producer wins
+    }
+    if (entries_.count(key) > 0) return;
+    staged_.emplace_back(std::move(key),
+                         CacheEntry{std::move(table), std::move(deps)});
+    return;
+  }
   if (entries_.count(key) > 0) return;  // first producer wins
   size_t incoming = table->arena_bytes();
   while (!insertion_order_.empty() &&
@@ -120,6 +141,31 @@ void BindingCache::Clear() {
   entries_.clear();
   insertion_order_.clear();
   total_bytes_ = 0;
+}
+
+void BindingCache::CommitStaging() {
+  staging_ = false;
+  std::vector<std::pair<std::string, CacheEntry>> staged;
+  staged.swap(staged_);
+  for (auto& [key, entry] : staged) {
+    Insert(std::move(key), std::move(entry.table), std::move(entry.deps));
+  }
+}
+
+void BindingCache::AbortStaging() {
+  staging_ = false;
+  staged_.clear();
+}
+
+std::vector<std::pair<std::string, const BindingTable*>>
+BindingCache::SnapshotEntries() const {
+  std::vector<std::pair<std::string, const BindingTable*>> snapshot;
+  snapshot.reserve(entries_.size());
+  for (const auto& [key, entry] : entries_) {
+    snapshot.emplace_back(key, entry.table.get());
+  }
+  std::sort(snapshot.begin(), snapshot.end());
+  return snapshot;
 }
 
 namespace {
@@ -224,6 +270,9 @@ Result<BindingTable> EnumerateBindings(
     }
   });
   for (const Status& s : shard_status) CARL_RETURN_IF_ERROR(s);
+  // A stopped token makes ParallelFor skip chunks silently; surface it
+  // here so a partially-enumerated table is never mistaken for a result.
+  CARL_RETURN_IF_ERROR(guard::CheckPoint());
 
   size_t total = 0;
   for (const BindingTable& sr : shard_results) total += sr.size();
@@ -674,6 +723,7 @@ Result<GroundedModel> GroundModel(const Instance& instance,
   // lookups are uniform even for groundings with no sources.
   {
     CARL_TRACE_SCOPE("grounding.node_build");
+    CARL_RETURN_IF_ERROR(guard::PhaseCheck("grounding.node_build"));
     std::vector<CausalGraph::NodeBatch> batches;
     batches.reserve(schema.attributes().size());
     for (const AttributeDef& attr : schema.attributes()) {
@@ -694,6 +744,7 @@ Result<GroundedModel> GroundModel(const Instance& instance,
   std::vector<CompiledRule> compiled;
   {
     CARL_TRACE_SCOPE("grounding.enumerate");
+    CARL_RETURN_IF_ERROR(guard::PhaseCheck("grounding.enumerate"));
     compiled.reserve(model.rules().size() + model.aggregate_rules().size());
     for (const CausalRule& rule : model.rules()) {
       std::vector<const AttributeRef*> body;
@@ -747,8 +798,10 @@ Result<GroundedModel> GroundModel(const Instance& instance,
   phase_timer.Reset();
   {
     CARL_TRACE_SCOPE("grounding.merge");
+    CARL_RETURN_IF_ERROR(guard::PhaseCheck("grounding.merge"));
     MergeAllRuleGroundings(compiled, ctx, &grounded.graph_,
                            &grounded.num_groundings_);
+    CARL_RETURN_IF_ERROR(guard::CheckPoint());
   }
   grounded.phase_stats_.merge_s = phase_timer.Seconds();
 
@@ -770,6 +823,7 @@ Result<GroundedModel> GroundModel(const Instance& instance,
   phase_timer.Reset();
   {
     CARL_TRACE_SCOPE("grounding.finalize");
+    CARL_RETURN_IF_ERROR(guard::PhaseCheck("grounding.finalize"));
     CARL_ASSIGN_OR_RETURN(std::vector<NodeId> topo_order,
                           grounded.graph_.TopologicalOrder());
     grounded.FinalizeValues(topo_order);
@@ -884,8 +938,10 @@ Result<GroundedModel> ExtendGroundedModel(GroundedModel base,
   pass_counter.Increment();
   obs::MonotonicTimer pass_timer;
 
-  CARL_CHECK(base.instance_ != nullptr && base.model_ != nullptr)
-      << "extend needs a grounded model";
+  if (base.instance_ == nullptr || base.model_ == nullptr) {
+    return Status::FailedPrecondition(
+        "extend needs a grounded model (default-constructed base)");
+  }
   const Instance& instance = *base.instance_;
   const RelationalCausalModel& model = *base.model_;
   if (delta.to_generation != instance.generation()) {
@@ -926,6 +982,7 @@ Result<GroundedModel> ExtendGroundedModel(GroundedModel base,
   const size_t edges_before = graph.num_edges();
   {
     CARL_TRACE_SCOPE("grounding.extend.node_splice");
+    CARL_RETURN_IF_ERROR(guard::PhaseCheck("grounding.node_build"));
     std::vector<CausalGraph::NodeBatch> batches;
     std::vector<size_t> prior_rows;
     for (const AttributeDef& attr : schema.attributes()) {
@@ -949,6 +1006,7 @@ Result<GroundedModel> ExtendGroundedModel(GroundedModel base,
   std::vector<CompiledRule> compiled;
   {
     CARL_TRACE_SCOPE("grounding.extend.delta_plan");
+    CARL_RETURN_IF_ERROR(guard::PhaseCheck("grounding.enumerate"));
     compiled.reserve(model.rules().size() + model.aggregate_rules().size());
     for (const CausalRule& rule : model.rules()) {
       std::vector<const AttributeRef*> body;
@@ -1011,6 +1069,7 @@ Result<GroundedModel> ExtendGroundedModel(GroundedModel base,
   phase_timer.Reset();
   {
     CARL_TRACE_SCOPE("grounding.extend.splice");
+    CARL_RETURN_IF_ERROR(guard::PhaseCheck("grounding.merge"));
     for (const CompiledRule& rule : compiled) {
       MergeRuleSerial(rule, &graph, &out.num_groundings_);
     }
@@ -1036,6 +1095,7 @@ Result<GroundedModel> ExtendGroundedModel(GroundedModel base,
   // drives the affected-aggregate recompute below.
   phase_timer.Reset();
   CARL_TRACE_SCOPE("grounding.extend.value_pass");
+  CARL_RETURN_IF_ERROR(guard::PhaseCheck("grounding.finalize"));
   CARL_ASSIGN_OR_RETURN(std::vector<NodeId> topo_order,
                         graph.TopologicalOrder());
 

@@ -86,6 +86,24 @@ class BindingCache {
   void Invalidate(const InstanceDelta& delta);
   void Clear();
 
+  /// Staging protocol for guarded passes: between BeginStaging and
+  /// CommitStaging, Insert lands in a side buffer that Find still serves
+  /// (so one pass reuses its own tables), but the committed entries are
+  /// untouched. CommitStaging merges the buffer in insertion order;
+  /// AbortStaging drops it whole — after an aborted pass the cache is
+  /// pointer-identical to its pre-pass state (the no-poison invariant the
+  /// fault-fuzz tests assert via SnapshotEntries).
+  void BeginStaging() { staging_ = true; }
+  void CommitStaging();
+  void AbortStaging();
+  bool staging() const { return staging_; }
+
+  /// Test hook: the committed entries as stable (key, table-pointer)
+  /// pairs, sorted by key. Pointer equality across two snapshots proves
+  /// the cache was not touched in between.
+  std::vector<std::pair<std::string, const BindingTable*>> SnapshotEntries()
+      const;
+
   size_t size() const { return entries_.size(); }
   /// Total arena bytes pinned by the cached tables.
   size_t total_bytes() const { return total_bytes_; }
@@ -104,6 +122,9 @@ class BindingCache {
   };
   std::unordered_map<std::string, CacheEntry> entries_;
   std::vector<std::string> insertion_order_;  // oldest first
+  // Staged inserts: (key, entry) in insertion order, merged on commit.
+  bool staging_ = false;
+  std::vector<std::pair<std::string, CacheEntry>> staged_;
   size_t max_entries_ = 64;
   size_t max_bytes_ = size_t{256} << 20;  // 256 MiB
   size_t total_bytes_ = 0;

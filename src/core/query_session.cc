@@ -1,12 +1,38 @@
 #include "core/query_session.h"
 
 #include "common/logging.h"
+#include "guard/guard.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 
 namespace carl {
 
 namespace {
+
+// Stages binding-cache inserts for the scope when a guard token is
+// installed: a guard-aborted GroundModel then leaves the cache
+// pointer-identical to its pre-query state (AbortStaging on unwind);
+// Commit() publishes the staged tables after the pass succeeded.
+// Unguarded passes bypass staging entirely — no behavior change.
+class StagedBindingCache {
+ public:
+  explicit StagedBindingCache(BindingCache* cache)
+      : cache_(guard::CurrentToken() != nullptr ? cache : nullptr) {
+    if (cache_ != nullptr) cache_->BeginStaging();
+  }
+  ~StagedBindingCache() {
+    if (cache_ != nullptr) cache_->AbortStaging();
+  }
+  void Commit() {
+    if (cache_ != nullptr) {
+      cache_->CommitStaging();
+      cache_ = nullptr;
+    }
+  }
+
+ private:
+  BindingCache* cache_;
+};
 
 // Registry mirrors of the per-session CacheStats: the struct stays the
 // session-scoped API, the counters aggregate across every session in the
@@ -163,10 +189,13 @@ Result<std::shared_ptr<const GroundedModel>> QuerySession::Ground(
     if (extensible) {
       // Extend the cached graph in delta-sized time. If no consumer
       // holds the grounding (use_count 2 = entry.holder + the aliased
-      // entry.grounded), the graph is moved out and spliced in place;
-      // otherwise it is copied so outstanding readers keep their
-      // pre-mutation view.
-      GroundedModel base = entry.holder.use_count() == 2
+      // entry.grounded), the graph is moved out and spliced in place —
+      // but never under a guard token: a guard-aborted extend destroys
+      // the moved-out base, which would poison the session. Guarded
+      // extends always work on a copy; the cached grounding survives
+      // any abort untouched.
+      const bool guarded = guard::CurrentToken() != nullptr;
+      GroundedModel base = !guarded && entry.holder.use_count() == 2
                                ? std::move(entry.holder->grounded)
                                : entry.holder->grounded;
       Result<GroundedModel> extended =
@@ -181,12 +210,31 @@ Result<std::shared_ptr<const GroundedModel>> QuerySession::Ground(
         PruneColumns(&entry, delta);
         return entry.grounded;
       }
-      // An extend can only fail here if the extension closed a cycle —
-      // a from-scratch ground of the same state fails identically, so
-      // fall through and surface that error.
+      if (guard::IsGuardStop(extended.status().code())) {
+        // The guard abandoned the pass (deadline/budget/cancel/fault).
+        // Do NOT fall back to a full re-ground — that would spend more
+        // work under a budget that already ran out. The cached entry is
+        // untouched; the next unguarded query extends it normally.
+        return extended.status();
+      }
+      // A domain-error extend can only fail here if the extension closed
+      // a cycle — a from-scratch ground of the same state fails
+      // identically, so fall through and surface that error.
       CARL_LOG(WARN) << "incremental extend failed ("
                      << extended.status().ToString()
                      << "); falling back to a full re-ground";
+    } else if (!delta.complete) {
+      // The delta log was trimmed past this entry's generation, so the
+      // extend contract cannot be checked, let alone satisfied. Loud by
+      // design: a session that re-grounds this way repeatedly should
+      // raise Instance::kDeltaLogCapacity or re-ground more often.
+      static obs::Counter& trimmed_counter =
+          obs::Registry::Global().GetCounter("delta_log_trimmed");
+      trimmed_counter.Increment();
+      CARL_LOG(WARN) << "delta log trimmed: generations "
+                     << entry.grounded_generation << ".." << generation
+                     << " are no longer replayable; forcing a full "
+                        "re-ground instead of an incremental extend";
     } else {
       CARL_LOG(INFO) << "instance delta outside the incremental-extend "
                         "contract; re-grounding model from scratch";
@@ -194,9 +242,11 @@ Result<std::shared_ptr<const GroundedModel>> QuerySession::Ground(
 
     auto holder = std::make_shared<GroundingHolder>();
     holder->model = entry.holder->model;
+    StagedBindingCache staged(&binding_cache_);
     CARL_ASSIGN_OR_RETURN(
         GroundedModel grounded,
         GroundModel(*instance_, *holder->model, &binding_cache_));
+    staged.Commit();
     holder->grounded = std::move(grounded);
     InstallGrounding(&entry, std::move(holder), generation);
     entry.columns.clear();
@@ -211,9 +261,11 @@ Result<std::shared_ptr<const GroundedModel>> QuerySession::Ground(
   // the session's destruction — the model copy stays alive with it.
   auto holder = std::make_shared<GroundingHolder>();
   holder->model = std::make_shared<RelationalCausalModel>(model);
+  StagedBindingCache staged(&binding_cache_);
   CARL_ASSIGN_OR_RETURN(
       GroundedModel grounded,
       GroundModel(*instance_, *holder->model, &binding_cache_));
+  staged.Commit();
   holder->grounded = std::move(grounded);
 
   Entry entry;

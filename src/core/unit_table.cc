@@ -9,6 +9,7 @@
 #include "common/logging.h"
 #include "common/str_util.h"
 #include "exec/parallel.h"
+#include "guard/guard.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 
@@ -191,6 +192,7 @@ Result<UnitTable> BuildUnitTable(const GroundedModel& grounded,
   static obs::Counter& builds =
       obs::Registry::Global().GetCounter("unit_table.builds");
   builds.Increment();
+  CARL_RETURN_IF_ERROR(guard::CheckPoint());
   CARL_ASSIGN_OR_RETURN(RequestPlan plan, PlanRequest(grounded, request));
   const Schema& schema = grounded.schema();
   const RelationView units =
@@ -230,6 +232,9 @@ Result<UnitTable> BuildUnitTable(const GroundedModel& grounded,
     }
   });
   for (const Status& s : chunk_status) CARL_RETURN_IF_ERROR(s);
+  // A stopped token makes ParallelFor skip chunks; surface it before the
+  // half-resolved unit slots are read as if complete.
+  CARL_RETURN_IF_ERROR(guard::CheckPoint());
 
   std::vector<size_t> kept_rows;
   std::vector<UnitContext> contexts;
@@ -327,6 +332,7 @@ Result<UnitTable> BuildUnitTable(const GroundedModel& grounded,
       fits[f].embedding->Fit(*fits[f].groups);
     }
   });
+  CARL_RETURN_IF_ERROR(guard::CheckPoint());
 
   if (table.relational) {
     table.peer_count_col = "peer_count";

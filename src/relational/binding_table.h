@@ -26,6 +26,7 @@
 #include <utility>
 #include <vector>
 
+#include "guard/guard.h"
 #include "relational/span_index.h"
 #include "relational/storage_stats.h"
 #include "relational/tuple.h"
@@ -65,7 +66,12 @@ class BindingTable {
   }
 
   void Reserve(size_t rows) {
+    const size_t cap_before = data_.capacity();
     data_.reserve(rows * arity_);
+    if (data_.capacity() != cap_before) {
+      guard::OnArenaGrowth((data_.capacity() - cap_before) *
+                           sizeof(SymbolId));
+    }
     index_.Reserve(rows, KeyOf());
   }
 
@@ -84,7 +90,14 @@ class BindingTable {
       return false;
     }
     storage_stats::CountGrowth(data_, arity_);
+    // Arena growth is the only allocation the table makes; it is where
+    // the guard's byte budget is charged and its arena fault site sits.
+    const size_t cap_before = data_.capacity();
     data_.insert(data_.end(), vals, vals + arity_);
+    if (data_.capacity() != cap_before) {
+      guard::OnArenaGrowth((data_.capacity() - cap_before) *
+                           sizeof(SymbolId));
+    }
     index_.Insert(num_rows_++, hash, KeyOf());
     return true;
   }

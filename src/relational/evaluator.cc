@@ -5,6 +5,7 @@
 
 #include "common/logging.h"
 #include "common/str_util.h"
+#include "guard/guard.h"
 #include "obs/trace.h"
 #include "relational/span_index.h"
 #include "relational/storage_stats.h"
@@ -393,6 +394,10 @@ class Searcher {
     const SymbolId* base = step_rows_[depth].data();
     const size_t arity = step.arity;
     for (; it != end; ++it) {
+      // Cooperative cancellation: one relaxed load + branch per candidate
+      // row (the guard's armed-but-idle cost, gated ≤1 ns/probe by
+      // bench_guard_overhead). Stops propagate like a leaf stop request.
+      if (token_ != nullptr && token_->stopped()) return false;
       const SymbolId* row = base + static_cast<size_t>(*it) * arity;
       for (const PlanStep::VarBind& b : step.binds) {
         assignment_[b.var] = row[b.pos];
@@ -428,6 +433,9 @@ class Searcher {
   size_t root_begin_ = 0;
   size_t root_end_ = 0;
   const uint32_t* watermarks_ = nullptr;  // per PredicateId, delta runs only
+  // Captured at construction: EvaluateShard runs inside pool helpers,
+  // where ParallelFor has installed the caller's token in TLS.
+  guard::ExecToken* token_ = guard::CurrentToken();
 };
 
 // Candidate-row count of the root (depth-0) step — the shard domain.
@@ -464,6 +472,11 @@ Result<std::vector<int>> ResolveProjection(
 
 // Runs the search, deduplicating projected bindings straight into the
 // columnar result table — no per-binding materialization anywhere.
+// Bindings are charged against the guard's binding budget in strides, so
+// the leaf pays one add per kBindingChargeStride rows instead of an
+// atomic RMW per binding.
+constexpr size_t kBindingChargeStride = 256;
+
 BindingTable RunProjected(const Instance& instance,
                           const CompiledQuery& compiled,
                           const std::vector<int>& projection,
@@ -473,13 +486,20 @@ BindingTable RunProjected(const Instance& instance,
   if (restricted) searcher.RestrictRoot(root_begin, root_end);
   BindingTable table(projection.size());
   std::vector<SymbolId> projected(projection.size());
+  guard::ExecToken* token = guard::CurrentToken();
+  size_t uncharged = 0;
   searcher.Run([&](const std::vector<SymbolId>& assignment) {
     for (size_t i = 0; i < projection.size(); ++i) {
       projected[i] = assignment[projection[i]];
     }
     table.InsertDistinct(projected.data());
+    if (token != nullptr && ++uncharged >= kBindingChargeStride) {
+      uncharged = 0;
+      if (token->ChargeBindings(kBindingChargeStride)) return false;
+    }
     return true;
   });
+  if (token != nullptr && uncharged > 0) token->ChargeBindings(uncharged);
   return table;
 }
 
@@ -512,12 +532,17 @@ Result<BindingTable> QueryEvaluator::Evaluate(
     const PreparedQuery& prepared,
     const std::vector<std::string>& output_vars) const {
   CARL_TRACE_SCOPE("eval.evaluate");
-  CARL_CHECK(prepared.impl_ != nullptr) << "unprepared query";
+  if (prepared.impl_ == nullptr) {
+    return Status::FailedPrecondition(
+        "unprepared query: pass the result of Prepare()");
+  }
   const CompiledQuery& compiled = *prepared.impl_;
   CARL_ASSIGN_OR_RETURN(std::vector<int> projection,
                         ResolveProjection(compiled, output_vars));
-  return RunProjected(*instance_, compiled, projection, 0, 0,
-                      /*restricted=*/false);
+  BindingTable table = RunProjected(*instance_, compiled, projection, 0, 0,
+                                    /*restricted=*/false);
+  CARL_RETURN_IF_ERROR(guard::CheckPoint());
+  return table;
 }
 
 Result<size_t> QueryEvaluator::CountRootCandidates(
@@ -528,7 +553,10 @@ Result<size_t> QueryEvaluator::CountRootCandidates(
 
 Result<size_t> QueryEvaluator::CountRootCandidates(
     const PreparedQuery& prepared) const {
-  CARL_CHECK(prepared.impl_ != nullptr) << "unprepared query";
+  if (prepared.impl_ == nullptr) {
+    return Status::FailedPrecondition(
+        "unprepared query: pass the result of Prepare()");
+  }
   return RootCandidateCount(*instance_, *prepared.impl_);
 }
 
@@ -545,8 +573,15 @@ Result<BindingTable> QueryEvaluator::EvaluateShard(
     const std::vector<std::string>& output_vars, size_t shard,
     size_t num_shards) const {
   CARL_TRACE_SCOPE("eval.shard");
-  CARL_CHECK(num_shards >= 1 && shard < num_shards);
-  CARL_CHECK(prepared.impl_ != nullptr) << "unprepared query";
+  if (num_shards < 1 || shard >= num_shards) {
+    return Status::InvalidArgument(
+        StrFormat("shard %zu out of range for %zu shards", shard,
+                  num_shards));
+  }
+  if (prepared.impl_ == nullptr) {
+    return Status::FailedPrecondition(
+        "unprepared query: pass the result of Prepare()");
+  }
   const CompiledQuery& compiled = *prepared.impl_;
   CARL_ASSIGN_OR_RETURN(std::vector<int> projection,
                         ResolveProjection(compiled, output_vars));
@@ -560,8 +595,10 @@ Result<BindingTable> QueryEvaluator::EvaluateShard(
   size_t begin = candidates * shard / num_shards;
   size_t end = candidates * (shard + 1) / num_shards;
   if (begin >= end) return BindingTable(projection.size());
-  return RunProjected(*instance_, compiled, projection, begin, end,
-                      /*restricted=*/true);
+  BindingTable table = RunProjected(*instance_, compiled, projection, begin,
+                                    end, /*restricted=*/true);
+  CARL_RETURN_IF_ERROR(guard::CheckPoint());
+  return table;
 }
 
 Result<PreparedDeltaQuery> QueryEvaluator::PrepareDelta(
@@ -581,9 +618,16 @@ Result<BindingTable> QueryEvaluator::EvaluateDelta(
     const std::vector<std::string>& output_vars,
     const std::vector<uint32_t>& fact_watermarks) const {
   CARL_TRACE_SCOPE("eval.evaluate_delta");
-  CARL_CHECK(prepared.impl_ != nullptr) << "unprepared delta query";
-  CARL_CHECK(fact_watermarks.size() >=
-             instance_->schema().num_predicates());
+  if (prepared.impl_ == nullptr) {
+    return Status::FailedPrecondition(
+        "unprepared delta query: pass the result of PrepareDelta()");
+  }
+  if (fact_watermarks.size() < instance_->schema().num_predicates()) {
+    return Status::InvalidArgument(
+        StrFormat("fact watermarks cover %zu predicates, schema has %zu",
+                  fact_watermarks.size(),
+                  instance_->schema().num_predicates()));
+  }
   const CompiledDeltaQuery& compiled = *prepared.impl_;
   std::vector<int> projection;
   if (!compiled.pivots.empty()) {

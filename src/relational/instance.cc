@@ -5,6 +5,7 @@
 
 #include "common/logging.h"
 #include "common/str_util.h"
+#include "guard/guard.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "relational/storage_stats.h"
@@ -131,6 +132,16 @@ void Instance::LogDelta(DeltaEvent::Kind kind, int32_t id, uint32_t row) {
   event.row = row;
   event.constants_after = static_cast<uint32_t>(interner_.size());
   delta_log_.push_back(event);
+  // Fault site: drop the whole window, INCLUDING the event just logged,
+  // as if capacity trims had advanced the floor past this mutation. Any
+  // session grounded at an earlier generation now sees an incomplete
+  // delta and must fall back to a full re-ground (WARN +
+  // delta_log_trimmed), which is the degradation under test.
+  if (guard::FaultFired("instance.delta_trim")) {
+    delta_floor_generation_ += delta_log_.size();
+    delta_floor_constants_ = delta_log_.back().constants_after;
+    delta_log_.clear();
+  }
 }
 
 InstanceDelta Instance::DeltaSince(uint64_t generation) const {
