@@ -25,7 +25,8 @@ import pathlib
 import sys
 
 GATED_METRICS = {"grounding_s", "unit_table_s",
-                 "grounding_incremental_extend_s"}
+                 "grounding_incremental_extend_s",
+                 "grounding_graph_build_s"}
 MIN_GATED_SECONDS = 0.05
 TABLES = ["BENCH_table1.json", "BENCH_table2.json", "BENCH_table3.json"]
 
@@ -38,8 +39,14 @@ REQUIRED_GATED = {
     # The guard_* / fault_injected counters come from bench_table2's
     # deliberately stopped passes: presence proves every guard stop path
     # still accounts its events (values are informational, not ratio-gated).
+    # grounding_graph_build_s + its enumerate/splice split and the morsel
+    # steal counter come from the PR 9 morsel/splice refactor: presence
+    # proves the phase breakdown and the steal accounting stayed wired.
     "BENCH_table2.json": {"grounding_s", "unit_table_s",
                           "grounding_incremental_extend_s",
+                          "grounding_graph_build_s",
+                          "grounding_enumerate_s", "grounding_splice_s",
+                          "grounding_morsel_steals",
                           "guard_cancelled", "guard_deadline_exceeded",
                           "guard_budget_exceeded", "fault_injected"},
 }

@@ -29,8 +29,7 @@ size_t PlanBindingShards(size_t candidates, int threads) {
   return shards;
 }
 
-std::shared_ptr<const BindingTable> BindingCache::Find(
-    const std::string& key) {
+std::shared_ptr<const BindingTable> BindingCache::Find(BindingKeyId key) {
   static obs::Counter& hit_counter =
       obs::Registry::Global().GetCounter("grounding.binding_cache_hits");
   static obs::Counter& miss_counter =
@@ -55,7 +54,7 @@ std::shared_ptr<const BindingTable> BindingCache::Find(
   return nullptr;
 }
 
-void BindingCache::Insert(std::string key,
+void BindingCache::Insert(BindingKeyId key,
                           std::shared_ptr<const BindingTable> table,
                           BindingDeps deps) {
   if (staging_) {
@@ -65,7 +64,7 @@ void BindingCache::Insert(std::string key,
       if (staged_key == key) return;  // first producer wins
     }
     if (entries_.count(key) > 0) return;
-    staged_.emplace_back(std::move(key),
+    staged_.emplace_back(key,
                          CacheEntry{std::move(table), std::move(deps)});
     return;
   }
@@ -83,8 +82,7 @@ void BindingCache::Insert(std::string key,
   }
   total_bytes_ += incoming;
   insertion_order_.push_back(key);
-  entries_.emplace(std::move(key),
-                   CacheEntry{std::move(table), std::move(deps)});
+  entries_.emplace(key, CacheEntry{std::move(table), std::move(deps)});
 }
 
 void BindingCache::Invalidate(const InstanceDelta& delta) {
@@ -145,10 +143,10 @@ void BindingCache::Clear() {
 
 void BindingCache::CommitStaging() {
   staging_ = false;
-  std::vector<std::pair<std::string, CacheEntry>> staged;
+  std::vector<std::pair<BindingKeyId, CacheEntry>> staged;
   staged.swap(staged_);
   for (auto& [key, entry] : staged) {
-    Insert(std::move(key), std::move(entry.table), std::move(entry.deps));
+    Insert(key, std::move(entry.table), std::move(entry.deps));
   }
 }
 
@@ -157,9 +155,9 @@ void BindingCache::AbortStaging() {
   staged_.clear();
 }
 
-std::vector<std::pair<std::string, const BindingTable*>>
+std::vector<std::pair<BindingKeyId, const BindingTable*>>
 BindingCache::SnapshotEntries() const {
-  std::vector<std::pair<std::string, const BindingTable*>> snapshot;
+  std::vector<std::pair<BindingKeyId, const BindingTable*>> snapshot;
   snapshot.reserve(entries_.size());
   for (const auto& [key, entry] : entries_) {
     snapshot.emplace_back(key, entry.table.get());
@@ -201,6 +199,11 @@ struct CompiledRef {
   std::vector<int> slots;            // >= 0: binding slot; -1: constant
   std::vector<SymbolId> constants;   // aligned with slots
   bool unresolvable = false;  // a constant was never interned -> no grounding
+  // True when the resolved grounding IS the binding row (slots are the
+  // identity permutation over the full row): probes and interns can pass
+  // the binding's memoized row hash instead of re-hashing. Head refs hit
+  // this constantly — DistinguishedVars orders head variables first.
+  bool identity = false;
 
   size_t arity() const { return slots.size(); }
 
@@ -234,6 +237,10 @@ CompiledRef CompileRef(
       out.slots.push_back(-1);
       out.constants.push_back(id);
     }
+  }
+  out.identity = out.slots.size() == var_slots.size();
+  for (size_t i = 0; i < out.slots.size() && out.identity; ++i) {
+    if (out.slots[i] != static_cast<int>(i)) out.identity = false;
   }
   return out;
 }
@@ -280,7 +287,9 @@ Result<BindingTable> EnumerateBindings(
   merged.Reserve(total);
   for (const BindingTable& sr : shard_results) {
     for (size_t r = 0; r < sr.size(); ++r) {
-      merged.InsertDistinct(sr.row(r).data());
+      // Reuse the shard table's memoized row hash — the merge never
+      // re-hashes a binding.
+      merged.InsertDistinct(sr.row(r).data(), sr.row_hash(r));
     }
   }
   return merged;
@@ -374,9 +383,12 @@ Result<std::shared_ptr<const BindingTable>> EnumerateBindingsCached(
     const QueryEvaluator& evaluator, const Schema& schema,
     const ConjunctiveQuery& where, const std::vector<std::string>& vars,
     ExecContext& ctx, BindingCache* cache) {
-  std::string key;
+  // The exact key string is built and hashed once, here; everything
+  // downstream (lookup, staging scans, eviction, snapshots) compares the
+  // interned dense id.
+  BindingKeyId key = kInvalidBindingKey;
   if (cache != nullptr) {
-    key = BindingCacheKey(where, vars);
+    key = cache->InternKey(BindingCacheKey(where, vars));
     if (std::shared_ptr<const BindingTable> hit = cache->Find(key)) {
       return hit;
     }
@@ -385,7 +397,7 @@ Result<std::shared_ptr<const BindingTable>> EnumerateBindingsCached(
                         EnumerateBindings(evaluator, where, vars, ctx));
   auto shared = std::make_shared<const BindingTable>(std::move(table));
   if (cache != nullptr) {
-    cache->Insert(std::move(key), shared, DepsOf(schema, where));
+    cache->Insert(key, shared, DepsOf(schema, where));
   }
   return shared;
 }
@@ -432,7 +444,11 @@ void MergeRuleSerial(const CompiledRule& rule, CausalGraph* graph,
   graph->ReserveEdges(bindings.size() * rule.body.size());
   for (size_t i = 0; i < bindings.size(); ++i) {
     TupleView binding = bindings.row(i);
-    if (!rule.head.Resolve(binding, scratch.data())) continue;
+    // Identity refs ARE the binding row: intern with the memoized row
+    // hash instead of re-hashing (identity implies resolvable).
+    if (!rule.head.identity && !rule.head.Resolve(binding, scratch.data())) {
+      continue;
+    }
     if (rule.require_all) {
       bool all = true;
       for (const CompiledRef& b : rule.body) {
@@ -443,12 +459,22 @@ void MergeRuleSerial(const CompiledRule& rule, CausalGraph* graph,
       }
       if (!all) continue;
     }
-    NodeId head_node = graph->AddNode(
-        rule.head.attribute, TupleView(scratch.data(), rule.head.arity()));
+    NodeId head_node =
+        rule.head.identity
+            ? graph->AddNode(rule.head.attribute, binding,
+                             bindings.row_hash(i))
+            : graph->AddNode(rule.head.attribute,
+                             TupleView(scratch.data(), rule.head.arity()));
     for (const CompiledRef& b : rule.body) {
-      if (!b.Resolve(binding, body_scratch.data())) continue;
-      NodeId body_node = graph->AddNode(
-          b.attribute, TupleView(body_scratch.data(), b.arity()));
+      NodeId body_node;
+      if (b.identity) {
+        body_node = graph->AddNode(b.attribute, binding,
+                                   bindings.row_hash(i));
+      } else {
+        if (!b.Resolve(binding, body_scratch.data())) continue;
+        body_node = graph->AddNode(
+            b.attribute, TupleView(body_scratch.data(), b.arity()));
+      }
       edges.push_back(CausalGraph::Edge{body_node, head_node});
     }
     ++*num_groundings;
@@ -466,67 +492,46 @@ void ProbeRuleRange(const CompiledRule& rule, const CausalGraph& graph,
   std::vector<SymbolId> buf(rule.max_arity());
   for (size_t i = begin; i < end; ++i) {
     TupleView binding = bindings.row(i);
-    if (rule.head.Resolve(binding, buf.data())) {
+    // Identity refs probe with the binding's memoized row hash — the
+    // probe never re-hashes a grounding key it already owns.
+    if (rule.head.identity) {
+      NodeId n = graph.FindNode(rule.head.attribute, binding,
+                                bindings.row_hash(i));
+      probe->head_state[i] = n == kInvalidNode ? kMiss : kFound;
+      probe->head_node[i] = n;
+    } else if (rule.head.Resolve(binding, buf.data())) {
       NodeId n = graph.FindNode(rule.head.attribute,
                                 TupleView(buf.data(), rule.head.arity()));
       probe->head_state[i] = n == kInvalidNode ? kMiss : kFound;
       probe->head_node[i] = n;
     }
     for (size_t b = 0; b < nbody; ++b) {
-      if (!rule.body[b].Resolve(binding, buf.data())) continue;
-      NodeId n = graph.FindNode(rule.body[b].attribute,
-                                TupleView(buf.data(), rule.body[b].arity()));
+      NodeId n;
+      if (rule.body[b].identity) {
+        n = graph.FindNode(rule.body[b].attribute, binding,
+                           bindings.row_hash(i));
+      } else {
+        if (!rule.body[b].Resolve(binding, buf.data())) continue;
+        n = graph.FindNode(rule.body[b].attribute,
+                           TupleView(buf.data(), rule.body[b].arity()));
+      }
       probe->body_state[i * nbody + b] = n == kInvalidNode ? kMiss : kFound;
       probe->body_node[i * nbody + b] = n;
     }
   }
 }
 
-// Phase B body: walk one rule's bindings in order, intern the rare probe
-// misses, buffer edges, commit one AddEdges batch. A miss may have been
-// interned by an earlier binding or rule; AddNode dedupes. Runs serially
-// in rule order, so ids and edge order match MergeRuleSerial exactly.
-void SpliceRuleGroundings(const CompiledRule& rule, const RuleProbe& probe,
-                          CausalGraph* graph, size_t* num_groundings) {
-  CARL_TRACE_SCOPE("grounding.rule.splice");
-  const BindingTable& bindings = *rule.bindings;
-  const size_t nbody = rule.body.size();
-  std::vector<SymbolId> scratch(rule.max_arity());
-  std::vector<CausalGraph::Edge> edges;
-  edges.reserve(bindings.size() * nbody);
-  graph->ReserveEdges(bindings.size() * nbody);
-  for (size_t i = 0; i < bindings.size(); ++i) {
-    if (probe.head_state[i] == kSkip) continue;
-    if (rule.require_all) {
-      bool all = true;
-      for (size_t b = 0; b < nbody; ++b) {
-        if (probe.body_state[i * nbody + b] == kSkip) {
-          all = false;
-          break;
-        }
-      }
-      if (!all) continue;
-    }
-    NodeId h = probe.head_node[i];
-    if (probe.head_state[i] == kMiss) {
-      rule.head.Resolve(bindings.row(i), scratch.data());
-      h = graph->AddNode(rule.head.attribute,
-                         TupleView(scratch.data(), rule.head.arity()));
-    }
+// Whether binding `i` of one rule survives the skip checks — the exact
+// accept condition of the historical per-binding splice loop.
+inline bool AcceptedBinding(const CompiledRule& rule, const RuleProbe& probe,
+                            size_t i, size_t nbody) {
+  if (probe.head_state[i] == kSkip) return false;
+  if (rule.require_all) {
     for (size_t b = 0; b < nbody; ++b) {
-      uint8_t state = probe.body_state[i * nbody + b];
-      if (state == kSkip) continue;
-      NodeId n = probe.body_node[i * nbody + b];
-      if (state == kMiss) {
-        rule.body[b].Resolve(bindings.row(i), scratch.data());
-        n = graph->AddNode(rule.body[b].attribute,
-                           TupleView(scratch.data(), rule.body[b].arity()));
-      }
-      edges.push_back(CausalGraph::Edge{n, h});
+      if (probe.body_state[i * nbody + b] == kSkip) return false;
     }
-    ++*num_groundings;
   }
-  graph->AddEdges(edges);
+  return true;
 }
 
 // Merges every rule's groundings into the graph, cross-rule parallel.
@@ -537,19 +542,27 @@ void SpliceRuleGroundings(const CompiledRule& rule, const RuleProbe& probe,
 // read-only across ALL rules at once (the hash-heavy part — after step
 // 1's bulk build nearly every grounding already has a node, and the rules
 // only conflict on node interning, which the probe never mutates); phase
-// B splices the rules serially in rule order. Node ids, edge order, and
-// num_groundings are bit-identical for every thread count.
+// B is the parallel splice: per-chunk prefix sums over the accepted
+// probes compute every edge's destination up front, a serial pass interns
+// the rare misses in exact rule/binding order, the chunks then fill their
+// pre-sized per-rule edge arrays concurrently at disjoint offsets, and
+// one batched sorted-run build commits all rules' edges in rule order.
+// Node ids, edge order, and num_groundings are bit-identical for every
+// thread count. `splice_s` (optional) receives phase B's wall time — in
+// the serial fallback the whole fused probe+splice loop counts.
 void MergeAllRuleGroundings(const std::vector<CompiledRule>& rules,
                             ExecContext& ctx, CausalGraph* graph,
-                            size_t* num_groundings) {
+                            size_t* num_groundings, double* splice_s) {
   size_t total_bindings = 0;
   for (const CompiledRule& rule : rules) {
     total_bindings += rule.bindings->size();
   }
   if (ctx.serial() || total_bindings < kMinBindingsParallelMerge) {
+    obs::MonotonicTimer timer;
     for (const CompiledRule& rule : rules) {
       MergeRuleSerial(rule, graph, num_groundings);
     }
+    if (splice_s != nullptr) *splice_s += timer.Seconds();
     return;
   }
 
@@ -581,11 +594,142 @@ void MergeAllRuleGroundings(const std::vector<CompiledRule>& rules,
                      &probes[chunk.rule]);
     }
   });
+  // A stopped token leaves probe chunks unwritten (all-kSkip); committing
+  // a splice over them would record a wrong-but-plausible merge.
+  if (guard::StopRequested()) return;
 
-  // Phase B (serial splice, rule order).
-  for (size_t r = 0; r < rules.size(); ++r) {
-    SpliceRuleGroundings(rules[r], probes[r], graph, num_groundings);
+  obs::MonotonicTimer splice_timer;
+
+  // B1 (parallel): count each chunk's accepted groundings and live edges,
+  // and flag chunks that intern at least one miss.
+  std::vector<size_t> chunk_edges(chunks.size(), 0);
+  std::vector<size_t> chunk_groundings(chunks.size(), 0);
+  std::vector<uint8_t> chunk_has_miss(chunks.size(), 0);
+  {
+    CARL_TRACE_SCOPE("splice.prefix_sum");
+    ParallelFor(ctx, chunks.size(), [&](size_t begin, size_t end, size_t) {
+      for (size_t c = begin; c < end; ++c) {
+        const ProbeChunk& chunk = chunks[c];
+        const CompiledRule& rule = rules[chunk.rule];
+        const RuleProbe& probe = probes[chunk.rule];
+        const size_t nbody = rule.body.size();
+        size_t edges = 0, groundings = 0;
+        uint8_t has_miss = 0;
+        for (size_t i = chunk.begin; i < chunk.end; ++i) {
+          if (!AcceptedBinding(rule, probe, i, nbody)) continue;
+          ++groundings;
+          has_miss |= probe.head_state[i] == kMiss;
+          for (size_t b = 0; b < nbody; ++b) {
+            uint8_t state = probe.body_state[i * nbody + b];
+            if (state == kSkip) continue;
+            ++edges;
+            has_miss |= state == kMiss;
+          }
+        }
+        chunk_edges[c] = edges;
+        chunk_groundings[c] = groundings;
+        chunk_has_miss[c] = has_miss;
+      }
+    });
   }
+  if (guard::StopRequested()) return;
+
+  // Serial exclusive scan: each chunk's base offset within ITS RULE's
+  // edge array (chunks of one rule are contiguous in `chunks`), plus the
+  // per-rule edge totals and the grand grounding count.
+  std::vector<size_t> chunk_edge_base(chunks.size(), 0);
+  std::vector<size_t> rule_edge_total(rules.size(), 0);
+  for (size_t c = 0; c < chunks.size(); ++c) {
+    chunk_edge_base[c] = rule_edge_total[chunks[c].rule];
+    rule_edge_total[chunks[c].rule] += chunk_edges[c];
+    *num_groundings += chunk_groundings[c];
+  }
+
+  // B2 (serial): intern the probe misses in the exact order the serial
+  // merge would — rule order, binding order, head before bodies — writing
+  // the fresh node ids back into the probe slots. Only miss-flagged
+  // chunks are walked; after step 1's bulk build they are rare.
+  {
+    std::vector<SymbolId> scratch;
+    for (size_t c = 0; c < chunks.size(); ++c) {
+      if (!chunk_has_miss[c]) continue;
+      const ProbeChunk& chunk = chunks[c];
+      const CompiledRule& rule = rules[chunk.rule];
+      RuleProbe& probe = probes[chunk.rule];
+      const BindingTable& bindings = *rule.bindings;
+      const size_t nbody = rule.body.size();
+      scratch.resize(rule.max_arity());
+      for (size_t i = chunk.begin; i < chunk.end; ++i) {
+        if (!AcceptedBinding(rule, probe, i, nbody)) continue;
+        if (probe.head_state[i] == kMiss) {
+          TupleView binding = bindings.row(i);
+          probe.head_node[i] =
+              rule.head.identity
+                  ? graph->AddNode(rule.head.attribute, binding,
+                                   bindings.row_hash(i))
+                  : (rule.head.Resolve(binding, scratch.data()),
+                     graph->AddNode(
+                         rule.head.attribute,
+                         TupleView(scratch.data(), rule.head.arity())));
+          probe.head_state[i] = kFound;
+        }
+        for (size_t b = 0; b < nbody; ++b) {
+          if (probe.body_state[i * nbody + b] != kMiss) continue;
+          TupleView binding = bindings.row(i);
+          const CompiledRef& ref = rule.body[b];
+          probe.body_node[i * nbody + b] =
+              ref.identity
+                  ? graph->AddNode(ref.attribute, binding,
+                                   bindings.row_hash(i))
+                  : (ref.Resolve(binding, scratch.data()),
+                     graph->AddNode(ref.attribute,
+                                    TupleView(scratch.data(), ref.arity())));
+          probe.body_state[i * nbody + b] = kFound;
+        }
+      }
+    }
+  }
+
+  // B3 (parallel): every node id is now known, so the chunks fill their
+  // rule's pre-sized edge array concurrently at the disjoint offsets the
+  // prefix sums assigned.
+  std::vector<std::vector<CausalGraph::Edge>> rule_edges(rules.size());
+  size_t total_edges = 0;
+  for (size_t r = 0; r < rules.size(); ++r) {
+    rule_edges[r].resize(rule_edge_total[r]);
+    total_edges += rule_edge_total[r];
+  }
+  {
+    CARL_TRACE_SCOPE("splice.parallel");
+    ParallelFor(ctx, chunks.size(), [&](size_t begin, size_t end, size_t) {
+      for (size_t c = begin; c < end; ++c) {
+        const ProbeChunk& chunk = chunks[c];
+        const CompiledRule& rule = rules[chunk.rule];
+        const RuleProbe& probe = probes[chunk.rule];
+        const size_t nbody = rule.body.size();
+        CausalGraph::Edge* out = rule_edges[chunk.rule].data();
+        size_t at = chunk_edge_base[c];
+        for (size_t i = chunk.begin; i < chunk.end; ++i) {
+          if (!AcceptedBinding(rule, probe, i, nbody)) continue;
+          NodeId h = probe.head_node[i];
+          for (size_t b = 0; b < nbody; ++b) {
+            if (probe.body_state[i * nbody + b] == kSkip) continue;
+            CARL_DCHECK(at < rule_edges[chunk.rule].size());
+            out[at++] = CausalGraph::Edge{probe.body_node[i * nbody + b], h};
+          }
+        }
+        CARL_DCHECK(at == chunk_edge_base[c] + chunk_edges[c]);
+      }
+    });
+  }
+  // A stop mid-fill leaves zero-initialized Edge slots; committing them
+  // would splice garbage self-loops on node 0.
+  if (guard::StopRequested()) return;
+
+  // B4: one batched commit, rule order == batch order.
+  graph->ReserveEdges(total_edges);
+  graph->AddEdgeBatches(rule_edges, ctx);
+  if (splice_s != nullptr) *splice_s += splice_timer.Seconds();
 }
 
 }  // namespace
@@ -793,14 +937,15 @@ Result<GroundedModel> GroundModel(const Instance& instance,
   grounded.phase_stats_.enumerate_s = phase_timer.Seconds();
 
   // 3. Merge every rule's nodes and edges: cross-rule parallel read-only
-  // probe, deterministic rule-order serial splice, one sorted-run edge
-  // batch per rule.
+  // probe, prefix-summed parallel splice with serial miss interning, one
+  // batched sorted-run edge commit in rule order.
   phase_timer.Reset();
   {
     CARL_TRACE_SCOPE("grounding.merge");
     CARL_RETURN_IF_ERROR(guard::PhaseCheck("grounding.merge"));
     MergeAllRuleGroundings(compiled, ctx, &grounded.graph_,
-                           &grounded.num_groundings_);
+                           &grounded.num_groundings_,
+                           &grounded.phase_stats_.splice_s);
     CARL_RETURN_IF_ERROR(guard::CheckPoint());
   }
   grounded.phase_stats_.merge_s = phase_timer.Seconds();
@@ -1060,19 +1205,21 @@ Result<GroundedModel> ExtendGroundedModel(GroundedModel base,
   }
   out.phase_stats_.enumerate_s = phase_timer.Seconds();
 
-  // 3. Merge the delta groundings serially in rule order through the
-  // graph's post-build edge overlay. AddNode/AddEdges dedupe, so a
-  // binding the base already committed (its projection also has an
-  // all-old witness) changes nothing in the graph — only num_groundings_
-  // counts it again, which is why the extend contract excludes that
-  // counter.
+  // 3. Merge the delta groundings in rule order through the graph's
+  // post-build edge overlay — the same probe-then-splice pipeline as a
+  // full ground (small deltas take its fused serial fallback). AddNode
+  // and the edge merge dedupe, so a binding the base already committed
+  // (its projection also has an all-old witness) changes nothing in the
+  // graph — only num_groundings_ counts it again, which is why the
+  // extend contract excludes that counter.
   phase_timer.Reset();
   {
     CARL_TRACE_SCOPE("grounding.extend.splice");
     CARL_RETURN_IF_ERROR(guard::PhaseCheck("grounding.merge"));
-    for (const CompiledRule& rule : compiled) {
-      MergeRuleSerial(rule, &graph, &out.num_groundings_);
-    }
+    MergeAllRuleGroundings(compiled, ExecContext::Global(), &graph,
+                           &out.num_groundings_,
+                           &out.phase_stats_.splice_s);
+    CARL_RETURN_IF_ERROR(guard::CheckPoint());
   }
   out.phase_stats_.merge_s = phase_timer.Seconds();
 

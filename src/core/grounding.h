@@ -37,6 +37,7 @@
 #include <utility>
 #include <vector>
 
+#include "common/interner.h"
 #include "common/result.h"
 #include "core/causal_model.h"
 #include "graph/causal_graph.h"
@@ -67,19 +68,31 @@ struct BindingDeps {
   std::vector<AttributeId> attributes;  // sorted
 };
 
+/// Dense id of an interned binding-cache key. The exact key STRING (see
+/// BindingCacheKey) is built and hashed once per rule per pass — InternKey
+/// maps it to a stable dense id, and every lookup, staging scan,
+/// invalidation, and snapshot after that compares plain int32s.
+using BindingKeyId = SymbolId;
+inline constexpr BindingKeyId kInvalidBindingKey = kInvalidSymbol;
+
 /// Memoizes rule-condition binding tables by an exact (condition,
-/// projection) encoding over one instance. On instance mutation the owner
-/// calls Invalidate with the delta — only entries whose dependency set
-/// intersects the delta are dropped, so an unrelated-relation mutation
-/// keeps every table (QuerySession drives this; Clear remains the
-/// incomplete-delta fallback). Bounded FIFO on BOTH entry count and total
-/// arena bytes — a binding table on a >10M-fact workload is
-/// rows*arity*4 bytes, so a count bound alone could pin gigabytes.
-/// Not thread-safe — share one per pipeline thread.
+/// projection) encoding over one instance, interned to dense key ids. On
+/// instance mutation the owner calls Invalidate with the delta — only
+/// entries whose dependency set intersects the delta are dropped, so an
+/// unrelated-relation mutation keeps every table (QuerySession drives
+/// this; Clear remains the incomplete-delta fallback). Bounded FIFO on
+/// BOTH entry count and total arena bytes — a binding table on a
+/// >10M-fact workload is rows*arity*4 bytes, so a count bound alone could
+/// pin gigabytes. Not thread-safe — share one per pipeline thread.
 class BindingCache {
  public:
-  std::shared_ptr<const BindingTable> Find(const std::string& key);
-  void Insert(std::string key, std::shared_ptr<const BindingTable> table,
+  /// Interns a key string into its dense id (stable for the cache's
+  /// lifetime; eviction does not recycle ids).
+  BindingKeyId InternKey(const std::string& key) {
+    return key_interner_.Intern(key);
+  }
+  std::shared_ptr<const BindingTable> Find(BindingKeyId key);
+  void Insert(BindingKeyId key, std::shared_ptr<const BindingTable> table,
               BindingDeps deps);
   /// Drops entries whose dependencies intersect the delta's touched
   /// predicates/attributes. An incomplete delta drops everything.
@@ -98,10 +111,10 @@ class BindingCache {
   void AbortStaging();
   bool staging() const { return staging_; }
 
-  /// Test hook: the committed entries as stable (key, table-pointer)
-  /// pairs, sorted by key. Pointer equality across two snapshots proves
-  /// the cache was not touched in between.
-  std::vector<std::pair<std::string, const BindingTable*>> SnapshotEntries()
+  /// Test hook: the committed entries as stable (key-id, table-pointer)
+  /// pairs, sorted by key id. Pointer equality across two snapshots
+  /// proves the cache was not touched in between.
+  std::vector<std::pair<BindingKeyId, const BindingTable*>> SnapshotEntries()
       const;
 
   size_t size() const { return entries_.size(); }
@@ -120,11 +133,12 @@ class BindingCache {
     std::shared_ptr<const BindingTable> table;
     BindingDeps deps;
   };
-  std::unordered_map<std::string, CacheEntry> entries_;
-  std::vector<std::string> insertion_order_;  // oldest first
+  StringInterner key_interner_;  // key string -> dense BindingKeyId
+  std::unordered_map<BindingKeyId, CacheEntry> entries_;
+  std::vector<BindingKeyId> insertion_order_;  // oldest first
   // Staged inserts: (key, entry) in insertion order, merged on commit.
   bool staging_ = false;
-  std::vector<std::pair<std::string, CacheEntry>> staged_;
+  std::vector<std::pair<BindingKeyId, CacheEntry>> staged_;
   size_t max_entries_ = 64;
   size_t max_bytes_ = size_t{256} << 20;  // 256 MiB
   size_t total_bytes_ = 0;
@@ -138,6 +152,11 @@ struct GroundingPhaseStats {
   double node_build_s = 0.0;  ///< step 1: bulk node build
   double enumerate_s = 0.0;   ///< rule compile + binding enumeration
   double merge_s = 0.0;       ///< node/edge merge (probe + splice + batches)
+  /// Splice share of merge_s: prefix sums, miss interning, parallel edge
+  /// fills, and the batched edge commit. merge_s - splice_s is the
+  /// read-only probe. (In the serial fallback the whole per-rule loop is
+  /// one fused probe+splice and counts here.)
+  double splice_s = 0.0;
   double finalize_s = 0.0;    ///< topo order + value pass
   /// The graph-build share of a pass (everything that touches the graph
   /// store: bulk nodes plus the rule merges).

@@ -9,11 +9,20 @@
 namespace carl {
 namespace {
 
-// Fixed chunk-count ceiling: the plan for n items is ceil(n / chunk_size)
-// chunks with chunk_size = ceil(n / kMaxChunks). 64 keeps scheduling
-// overhead negligible while leaving enough slack for load imbalance on
-// any realistic core count.
+// The plan for n items is ceil(n / chunk_size) chunks with
+// chunk_size = min(ceil(n / kMaxChunks), kMorselItems). For small inputs
+// this is the historical <= 64-chunk plan unchanged (identical for every
+// n <= kMaxChunks * kMorselItems = 131072, which keeps the committed
+// fingerprints stable); past that the morsel-size cap takes over and the
+// plan degrades into fixed-size morsels so the work-stealing scheduler
+// (exec/morsel.h) has enough granularity to absorb skew. Both constants
+// are thread-count-independent, so the plan stays a pure function of n.
 constexpr size_t kMaxChunks = 64;
+constexpr size_t kMorselItems = 2048;
+
+size_t ChunkSizeFor(size_t n) {
+  return std::min((n + kMaxChunks - 1) / kMaxChunks, kMorselItems);
+}
 
 int AutoThreads() {
   if (const char* env = std::getenv("CARL_THREADS")) {
@@ -55,14 +64,14 @@ ThreadPool& ExecContext::pool() {
 
 size_t ExecContext::NumChunks(size_t n) const {
   if (n == 0) return 0;
-  size_t chunk_size = (n + kMaxChunks - 1) / kMaxChunks;
+  size_t chunk_size = ChunkSizeFor(n);
   return (n + chunk_size - 1) / chunk_size;
 }
 
 std::vector<std::pair<size_t, size_t>> ExecContext::Chunks(size_t n) const {
   std::vector<std::pair<size_t, size_t>> chunks;
   if (n == 0) return chunks;
-  size_t chunk_size = (n + kMaxChunks - 1) / kMaxChunks;
+  size_t chunk_size = ChunkSizeFor(n);
   chunks.reserve((n + chunk_size - 1) / chunk_size);
   for (size_t begin = 0; begin < n; begin += chunk_size) {
     chunks.emplace_back(begin, std::min(n, begin + chunk_size));

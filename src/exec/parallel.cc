@@ -1,49 +1,9 @@
 #include "exec/parallel.h"
 
-#include <algorithm>
-#include <atomic>
-#include <condition_variable>
-#include <memory>
-#include <mutex>
-
+#include "exec/morsel.h"
 #include "guard/guard.h"
 
 namespace carl {
-namespace {
-
-// Shared between the calling thread and pool helpers. Heap-allocated and
-// reference-counted so a helper scheduled after the loop already finished
-// can still safely observe "no chunks left" and exit.
-struct LoopState {
-  std::vector<std::pair<size_t, size_t>> chunks;
-  std::function<void(size_t, size_t, size_t)> body;
-  // The caller's guard token, installed in every participating thread
-  // for the duration of the loop so bodies see the same ambient token on
-  // pool helpers as on the calling thread.
-  guard::ExecToken* token = nullptr;
-  std::atomic<size_t> next{0};
-  std::mutex mu;
-  std::condition_variable done_cv;
-  size_t remaining = 0;
-
-  void RunChunks() {
-    guard::ScopedToken scoped(token);
-    for (;;) {
-      size_t c = next.fetch_add(1, std::memory_order_relaxed);
-      if (c >= chunks.size()) return;
-      // Chunk boundary: a stopped token skips the remaining bodies (the
-      // pass is abandoned; its partial outputs are dropped whole by the
-      // caller), but the countdown still runs so the loop terminates.
-      if (token == nullptr || !token->CheckDeadline()) {
-        body(chunks[c].first, chunks[c].second, c);
-      }
-      std::lock_guard<std::mutex> lock(mu);
-      if (--remaining == 0) done_cv.notify_all();
-    }
-  }
-};
-
-}  // namespace
 
 void ParallelFor(ExecContext& ctx, size_t n,
                  const std::function<void(size_t, size_t, size_t)>& body) {
@@ -52,31 +12,15 @@ void ParallelFor(ExecContext& ctx, size_t n,
   guard::ExecToken* token = guard::CurrentToken();
   if (ctx.serial() || chunks.size() == 1) {
     for (size_t c = 0; c < chunks.size(); ++c) {
+      // Chunk boundary: a stopped token skips the remaining bodies (the
+      // pass is abandoned; its partial outputs are dropped whole by the
+      // caller).
       if (token != nullptr && token->CheckDeadline()) break;
       body(chunks[c].first, chunks[c].second, c);
     }
     return;
   }
-
-  auto state = std::make_shared<LoopState>();
-  state->chunks = std::move(chunks);
-  state->body = body;
-  state->token = token;
-  state->remaining = state->chunks.size();
-
-  size_t helpers = std::min(static_cast<size_t>(ctx.threads()) - 1,
-                            state->chunks.size() - 1);
-  // Fault site: a failed helper dispatch degrades the loop to the
-  // calling thread. Chunk outputs merge in chunk-index order, so the
-  // degraded run produces identical results, just serially.
-  if (guard::FaultFired("exec.pool_dispatch")) helpers = 0;
-  for (size_t h = 0; h < helpers; ++h) {
-    ctx.pool().Submit([state] { state->RunChunks(); });
-  }
-  state->RunChunks();
-
-  std::unique_lock<std::mutex> lock(state->mu);
-  state->done_cv.wait(lock, [&] { return state->remaining == 0; });
+  exec::RunMorsels(ctx, std::move(chunks), body);
 }
 
 }  // namespace carl

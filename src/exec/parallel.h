@@ -2,9 +2,10 @@
 // carl_exec.
 //
 // Both primitives split [0, n) into the ExecContext's deterministic chunk
-// plan (a pure function of n, see exec_context.h), execute chunks on the
-// shared pool with the calling thread participating, and combine results
-// in chunk-index order. Consequences:
+// plan (a pure function of n, see exec_context.h), execute the chunks as
+// morsels on the work-stealing scheduler (exec/morsel.h) with the calling
+// thread participating, and combine results in chunk-index order.
+// Consequences:
 //
 //  * ParallelFor bodies writing to disjoint, index-addressed slots produce
 //    results independent of the thread count;

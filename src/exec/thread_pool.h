@@ -1,10 +1,11 @@
 // ThreadPool: a fixed-size worker pool with a simple FIFO task queue.
 //
-// The pool is deliberately work-stealing-free: tasks are coarse chunks
-// handed out through a shared atomic cursor (see parallel.h), so a FIFO
-// queue is enough and the execution order of *chunks* never affects
-// results — every parallel primitive in carl_exec merges chunk outputs in
-// chunk-index order.
+// The pool itself stays FIFO and steal-free: work stealing happens one
+// layer up, in the morsel scheduler (exec/morsel.h), which submits one
+// coarse worker task per participant and rebalances *morsels* between
+// them through packed atomic ranges. The execution order of morsels never
+// affects results — every parallel primitive in carl_exec merges morsel
+// outputs in morsel-index order.
 
 #ifndef CARL_EXEC_THREAD_POOL_H_
 #define CARL_EXEC_THREAD_POOL_H_

@@ -142,6 +142,12 @@ class CausalGraph {
   /// silently creep back into grounding.
   NodeId AddNode(AttributeId attribute, TupleView args);
   NodeId AddNode(AttributeId attribute, const Tuple& args);
+  /// Precomputed-hash hot path: `hash` must equal args.Hash(). The
+  /// grounding splice passes memoized BindingTable row hashes here so a
+  /// grounding key is hashed once per lifetime, not once per probe.
+  NodeId AddNode(AttributeId attribute, TupleView args, uint64_t hash) {
+    return AddNodeImpl(attribute, args, hash);
+  }
 
   /// One attribute's grounding set for AddNodesBulk. The view must stay
   /// valid for the call and contain no duplicates (Instance::Rows
@@ -175,7 +181,13 @@ class CausalGraph {
   NodeId FindNode(AttributeId attribute, const Tuple& args) const {
     return FindNode(attribute, TupleView(args));
   }
-  NodeId FindNode(AttributeId attribute, TupleView args) const;
+  NodeId FindNode(AttributeId attribute, TupleView args) const {
+    return FindNode(attribute, args, args.Hash());
+  }
+  /// Precomputed-hash overload (`hash` must equal args.Hash()); the
+  /// parallel rule probe passes memoized row hashes instead of re-hashing.
+  NodeId FindNode(AttributeId attribute, TupleView args,
+                  uint64_t hash) const;
 
   /// Adds a cause -> effect edge; duplicate edges are ignored.
   /// Incremental convenience (tests, hand-built graphs) — bulk producers
@@ -197,6 +209,15 @@ class CausalGraph {
   /// is a sorted-run build (no hash set, collision-free for any NodeId
   /// width).
   void AddEdges(const std::vector<Edge>& batch);
+
+  /// Commits several batches at once, bit-identical to calling AddEdges
+  /// on each batch in order: pending edges carry a global
+  /// (batch-then-index) sequence, so first-occurrence survival and append
+  /// order match the sequential loop exactly. One sorted-run merge over
+  /// the concatenation replaces per-batch merges — the parallel splice
+  /// commits every rule's edges through this in a single pass.
+  void AddEdgeBatches(const std::vector<std::vector<Edge>>& batches,
+                      ExecContext& ctx);
 
   /// Pre-sizes edge storage for an expected number of additional edges.
   void ReserveEdges(size_t expected);
@@ -250,7 +271,10 @@ class CausalGraph {
                        const StringInterner& interner) const;
 
  private:
-  NodeId AddNodeImpl(AttributeId attribute, TupleView args);
+  NodeId AddNodeImpl(AttributeId attribute, TupleView args) {
+    return AddNodeImpl(attribute, args, args.Hash());
+  }
+  NodeId AddNodeImpl(AttributeId attribute, TupleView args, uint64_t hash);
   TupleView NodeArgs(uint32_t id) const {
     return TupleView(arg_arena_.data() + arg_offsets_[id],
                      static_cast<size_t>(arg_offsets_[id + 1] -

@@ -67,24 +67,36 @@ class BindingTable {
 
   void Reserve(size_t rows) {
     const size_t cap_before = data_.capacity();
+    const size_t hash_cap_before = row_hashes_.capacity();
     data_.reserve(rows * arity_);
-    if (data_.capacity() != cap_before) {
-      guard::OnArenaGrowth((data_.capacity() - cap_before) *
-                           sizeof(SymbolId));
-    }
+    row_hashes_.reserve(rows);
+    size_t grown_bytes =
+        (data_.capacity() - cap_before) * sizeof(SymbolId) +
+        (row_hashes_.capacity() - hash_cap_before) * sizeof(uint64_t);
+    if (grown_bytes != 0) guard::OnArenaGrowth(grown_bytes);
     index_.Reserve(rows, KeyOf());
   }
 
   /// Heap footprint of the binding arena in bytes (capacity, so it
-  /// reflects what the table actually pins). Used by cache byte budgets.
-  size_t arena_bytes() const { return data_.capacity() * sizeof(SymbolId); }
+  /// reflects what the table actually pins — including the per-row hash
+  /// memo). Used by cache byte budgets.
+  size_t arena_bytes() const {
+    return data_.capacity() * sizeof(SymbolId) +
+           row_hashes_.capacity() * sizeof(uint64_t);
+  }
 
   /// Appends `vals[0..arity)` if no equal row is present; returns whether
   /// the row was inserted. First-occurrence order is preserved, so
   /// streaming shard tables through InsertDistinct in shard order
   /// reproduces the unsharded enumeration exactly.
   bool InsertDistinct(const SymbolId* vals) {
-    uint64_t hash = HashSpan(vals, arity_);
+    return InsertDistinct(vals, HashSpan(vals, arity_));
+  }
+
+  /// Precomputed-hash overload: shard merges pass the producing table's
+  /// memoized row_hash so a row is hashed exactly once in its lifetime.
+  /// `hash` must equal HashSpan(vals, arity()).
+  bool InsertDistinct(const SymbolId* vals, uint64_t hash) {
     if (index_.Find(TupleView(vals, arity_), hash, KeyOf()) !=
         SpanIndex::kNpos) {
       return false;
@@ -93,15 +105,22 @@ class BindingTable {
     // Arena growth is the only allocation the table makes; it is where
     // the guard's byte budget is charged and its arena fault site sits.
     const size_t cap_before = data_.capacity();
+    const size_t hash_cap_before = row_hashes_.capacity();
     data_.insert(data_.end(), vals, vals + arity_);
-    if (data_.capacity() != cap_before) {
-      guard::OnArenaGrowth((data_.capacity() - cap_before) *
-                           sizeof(SymbolId));
-    }
+    row_hashes_.push_back(hash);
+    size_t grown_bytes =
+        (data_.capacity() - cap_before) * sizeof(SymbolId) +
+        (row_hashes_.capacity() - hash_cap_before) * sizeof(uint64_t);
+    if (grown_bytes != 0) guard::OnArenaGrowth(grown_bytes);
     index_.Insert(num_rows_++, hash, KeyOf());
     return true;
   }
   bool InsertDistinct(TupleView v) { return InsertDistinct(v.data()); }
+
+  /// The memoized grounding-key hash of row `r` — the exact HashSpan of
+  /// the row, computed once at insert. Probe and splice reuse it instead
+  /// of re-hashing (the "never re-hash" contract of the morsel refactor).
+  uint64_t row_hash(size_t r) const { return row_hashes_[r]; }
 
   /// True if an equal row is present. Allocation-free span probe — this
   /// is how consumers (e.g. the unit table's WHERE-filter source set)
@@ -126,6 +145,7 @@ class BindingTable {
  private:
   size_t arity_ = 0;
   std::vector<SymbolId> data_;
+  std::vector<uint64_t> row_hashes_;  // row r's HashSpan, memoized
   SpanIndex index_;
   uint32_t num_rows_ = 0;
 };

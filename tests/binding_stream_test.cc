@@ -159,6 +159,73 @@ TEST(BindingStreamTest, OverflowAttributeValueSurvivesGrounding) {
   }
 }
 
+TEST(BindingStreamTest, InternedKeyInvalidationKeepsScopedSemantics) {
+  // Regression for the key-interning refactor: BindingCache now compares
+  // dense BindingKeyIds everywhere, and scoped invalidation must behave
+  // exactly as the string-keyed cache did — drop only entries whose deps
+  // intersect the delta, keep the rest pointer-identical, and keep serving
+  // survivors under their original interned ids.
+  BindingCache cache;
+  auto make_table = [] {
+    auto t = std::make_shared<BindingTable>(1);
+    SymbolId v = 7;
+    t->InsertDistinct(&v);
+    return std::shared_ptr<const BindingTable>(std::move(t));
+  };
+
+  const BindingKeyId touched_key = cache.InternKey("rule:touched");
+  const BindingKeyId disjoint_key = cache.InternKey("rule:disjoint");
+  ASSERT_NE(touched_key, disjoint_key);
+  // Re-interning the same string yields the same id — the one-hash-per-
+  // rule-per-pass contract.
+  EXPECT_EQ(cache.InternKey("rule:touched"), touched_key);
+
+  auto touched_table = make_table();
+  auto disjoint_table = make_table();
+  cache.Insert(touched_key, touched_table, BindingDeps{{PredicateId{3}}, {}});
+  cache.Insert(disjoint_key, disjoint_table,
+               BindingDeps{{PredicateId{8}}, {AttributeId{2}}});
+  ASSERT_EQ(cache.size(), 2u);
+
+  // Complete delta touching predicate 3 only: the touched entry drops,
+  // the disjoint entry survives with its table un-reallocated.
+  InstanceDelta delta;
+  delta.complete = true;
+  delta.facts.push_back({PredicateId{3}, 0});
+  cache.Invalidate(delta);
+  EXPECT_EQ(cache.size(), 1u);
+  EXPECT_EQ(cache.Find(touched_key), nullptr);
+  EXPECT_EQ(cache.Find(disjoint_key).get(), disjoint_table.get())
+      << "scoped invalidation dropped (or re-keyed) a disjoint entry";
+
+  // The snapshot reports surviving (id, table) pairs — the hook the fuzz
+  // suites use for pointer-identity across aborted passes.
+  auto snapshot = cache.SnapshotEntries();
+  ASSERT_EQ(snapshot.size(), 1u);
+  EXPECT_EQ(snapshot[0].first, disjoint_key);
+  EXPECT_EQ(snapshot[0].second, disjoint_table.get());
+
+  // An invalidated id stays stable and is reusable for the re-insert.
+  EXPECT_EQ(cache.InternKey("rule:touched"), touched_key);
+  cache.Insert(touched_key, make_table(), BindingDeps{{PredicateId{3}}, {}});
+  EXPECT_EQ(cache.size(), 2u);
+  EXPECT_NE(cache.Find(touched_key), nullptr);
+
+  // An attribute-intersecting delta scopes the same way.
+  InstanceDelta attr_delta;
+  attr_delta.complete = true;
+  attr_delta.attributes.push_back({AttributeId{2}, {0}, false});
+  cache.Invalidate(attr_delta);
+  EXPECT_EQ(cache.Find(disjoint_key), nullptr);
+  EXPECT_NE(cache.Find(touched_key), nullptr);
+
+  // An incomplete delta still clears wholesale.
+  InstanceDelta trimmed;
+  trimmed.complete = false;
+  cache.Invalidate(trimmed);
+  EXPECT_EQ(cache.size(), 0u);
+}
+
 TEST(BindingStreamTest, SessionReusesBindingTablesAcrossModelVariants) {
   Result<datagen::Dataset> data = datagen::MakeReviewToy();
   ASSERT_TRUE(data.ok());

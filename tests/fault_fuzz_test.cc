@@ -48,8 +48,8 @@ std::string EntityWithAttribute(const Schema& schema) {
 }
 
 void ExpectPointerIdentical(
-    const std::vector<std::pair<std::string, const BindingTable*>>& before,
-    const std::vector<std::pair<std::string, const BindingTable*>>& after,
+    const std::vector<std::pair<BindingKeyId, const BindingTable*>>& before,
+    const std::vector<std::pair<BindingKeyId, const BindingTable*>>& after,
     const char* what) {
   ASSERT_EQ(before.size(), after.size()) << what;
   for (size_t i = 0; i < before.size(); ++i) {

@@ -13,6 +13,8 @@
 #include <vector>
 
 #include "carl/carl.h"
+#include "datagen/mimic.h"
+#include "exec/morsel.h"
 #include "fixtures.h"
 #include "relational/storage_stats.h"
 
@@ -95,6 +97,50 @@ TEST(GraphStoreTest, CrossRuleGroundingIdenticalAcrossThreadCounts) {
           << wl.name << " differs at threads=" << threads;
     }
   }
+}
+
+// Determinism under stealing, end-to-end: a skew-stressed MIMIC instance
+// (MimicConfig::prescription_skew piles ~100x the prescriptions onto the
+// head-of-index patients) makes the steal schedule genuinely random —
+// the hot slice pins one worker while the others drain and start
+// stealing at uncontrolled points. The grounded graph must fingerprint
+// identically to the serial build at threads {1, 2, 4}, with the steal
+// switch both on and off (static partition), across repeated runs.
+TEST(GraphStoreTest, SkewedGroundingIdenticalUnderStealSchedules) {
+  datagen::MimicConfig config;
+  config.num_patients = 3000;
+  config.num_caregivers = 120;
+  config.prescription_skew = 100;
+  Result<datagen::Dataset> data = datagen::GenerateMimic(config);
+  ASSERT_TRUE(data.ok()) << data.status();
+  Result<RelationalCausalModel> model =
+      RelationalCausalModel::Parse(*data->schema, data->model_text);
+  ASSERT_TRUE(model.ok());
+
+  uint64_t serial_fp = 0;
+  {
+    ScopedThreads scoped(1);
+    Result<GroundedModel> serial = GroundModel(*data->instance, *model);
+    ASSERT_TRUE(serial.ok()) << serial.status();
+    serial_fp = GraphFingerprint(*serial);
+  }
+  const uint64_t steals_before = exec::MorselStealCount();
+  for (int round = 0; round < 2; ++round) {
+    for (bool stealing : {true, false}) {
+      exec::SetMorselStealing(stealing);
+      for (int threads : {2, 4}) {
+        ScopedThreads scoped(threads);
+        Result<GroundedModel> parallel = GroundModel(*data->instance, *model);
+        ASSERT_TRUE(parallel.ok());
+        ASSERT_EQ(GraphFingerprint(*parallel), serial_fp)
+            << "threads=" << threads << " stealing=" << stealing
+            << " round=" << round;
+      }
+    }
+  }
+  exec::SetMorselStealing(true);
+  EXPECT_GT(exec::MorselStealCount(), steals_before)
+      << "skew-stressed grounding at 4 threads never exercised a steal";
 }
 
 // The grounding hot path must intern every node through span fast paths:
