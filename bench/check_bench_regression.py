@@ -28,7 +28,8 @@ GATED_METRICS = {"grounding_s", "unit_table_s",
                  "grounding_incremental_extend_s",
                  "grounding_graph_build_s"}
 MIN_GATED_SECONDS = 0.05
-TABLES = ["BENCH_table1.json", "BENCH_table2.json", "BENCH_table3.json"]
+TABLES = ["BENCH_table1.json", "BENCH_table2.json", "BENCH_table3.json",
+          "BENCH_serve.json"]
 
 # Metrics each table's fresh collection MUST contain, checked against the
 # fresh output unconditionally — independent of the baseline's contents.
@@ -49,6 +50,14 @@ REQUIRED_GATED = {
                           "grounding_morsel_steals",
                           "guard_cancelled", "guard_deadline_exceeded",
                           "guard_budget_exceeded", "fault_injected"},
+    # The serving layer's load metrics. Not ratio-gated: QPS regresses
+    # DOWNWARD (a ratio gate on it would reward regressions) and the
+    # latency quantiles are machine-noisy — but their presence proves
+    # bench_serve still drives the concurrent service, checks served
+    # answers bit-identical to direct engine calls, and asserts the
+    # identical-wave-grounds-once coalescing contract (the bench CHECKs
+    # abort it otherwise, which empties the collection and trips this).
+    "BENCH_serve.json": {"serve_qps", "serve_p99_ms"},
 }
 
 

@@ -1,6 +1,7 @@
 #!/usr/bin/env bash
-# Runs the table benches in --quick mode and collects their BENCH_JSON
-# lines into BENCH_table{1,2,3}.json (one JSON object per line).
+# Runs the gated benches in --quick mode and collects their BENCH_JSON
+# lines into BENCH_table{1,2,3}.json and BENCH_serve.json (one JSON
+# object per line).
 #
 #   bench/collect_bench.sh [BUILD_DIR] [OUT_DIR]
 #
@@ -17,18 +18,24 @@ set -euo pipefail
 BUILD_DIR="${1:-build}"
 OUT_DIR="${2:-$(cd "$(dirname "$0")/.." && pwd)}"
 
-for table in 1 2 3; do
-  case "$table" in
-    1) bin="bench_table1_unit_table" ;;
-    2) bin="bench_table2_runtime" ;;
-    3) bin="bench_table3_real_queries" ;;
-  esac
+# name:binary pairs; each bench's BENCH_JSON lines land in
+# $OUT_DIR/BENCH_<name>.json.
+COLLECT=(
+  "table1:bench_table1_unit_table"
+  "table2:bench_table2_runtime"
+  "table3:bench_table3_real_queries"
+  "serve:bench_serve"
+)
+
+for pair in "${COLLECT[@]}"; do
+  name="${pair%%:*}"
+  bin="${pair#*:}"
   exe="$BUILD_DIR/$bin"
   if [[ ! -x "$exe" ]]; then
     echo "missing bench binary: $exe (build with -DCARL_BUILD_BENCH=ON)" >&2
     exit 1
   fi
-  out="$OUT_DIR/BENCH_table$table.json"
+  out="$OUT_DIR/BENCH_$name.json"
   echo "== $bin --quick -> $out"
   # Run the bench to a scratch file and check its exit code explicitly:
   # piping straight into sed can leave a truncated output file behind a
@@ -46,4 +53,4 @@ for table in 1 2 3; do
   rm -f "$raw"
   test -s "$out" || { echo "no BENCH_JSON lines from $bin" >&2; exit 1; }
 done
-echo "collected: $OUT_DIR/BENCH_table{1,2,3}.json"
+echo "collected: $OUT_DIR/BENCH_{table1,table2,table3,serve}.json"

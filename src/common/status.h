@@ -26,6 +26,7 @@ enum class StatusCode {
   kCancelled,         ///< the caller cancelled the operation (ExecToken)
   kDeadlineExceeded,  ///< a query deadline expired before completion
   kResourceExhausted, ///< a memory/binding budget tripped, or injected fault
+  kUnavailable,       ///< transient: connection closed, service shutting down
 };
 
 /// Human-readable name of a status code ("InvalidArgument", ...).
@@ -70,6 +71,9 @@ class Status {
   }
   static Status ResourceExhausted(std::string msg) {
     return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

@@ -9,22 +9,25 @@
 #include "core/relational_path.h"
 #include "guard/guard.h"
 #include "lang/parser.h"
+#include "obs/timer.h"
 #include "relational/evaluator.h"
 #include "stats/bootstrap.h"
 
 namespace carl {
 namespace {
 
-// Process-wide admission control: when the environment sets a budget
-// (CARL_DEADLINE_MS / CARL_MEM_BUDGET) and the caller has not installed a
-// token of its own, each query entry point arms a fresh per-query token
-// for its duration. With no environment budget this is a no-op, so
-// embedded callers keep full control through their own ScopedToken.
-class EnvBudgetToken {
+// Per-request admission control: Answer(QueryRequest) arms a token from
+// the request budget (request fields override the CARL_DEADLINE_MS /
+// CARL_MEM_BUDGET environment defaults, see QueryBudget::WithEnvDefaults)
+// unless the caller already installed an ambient token — an embedding
+// that manages its own ScopedToken keeps full control, and a serving
+// layer that admits requests itself (carl_serve) installs its token
+// before calling in.
+class RequestBudgetToken {
  public:
-  EnvBudgetToken() {
+  explicit RequestBudgetToken(const guard::QueryBudget& request_budget) {
     if (guard::CurrentToken() != nullptr) return;
-    guard::QueryBudget budget = guard::QueryBudget::FromEnv();
+    guard::QueryBudget budget = request_budget.WithEnvDefaults();
     if (budget.unlimited()) return;
     token_.emplace(budget);
     scoped_.emplace(&*token_);
@@ -273,18 +276,19 @@ Result<UnitTable> CarlEngine::BuildUnitTableForQuery(
                         MakeUnitTableOptions(options, include_isolated));
 }
 
-Result<AteAnswer> CarlEngine::AnswerAte(const CausalQuery& query,
-                                        const EngineOptions& options) {
-  if (query.peer_condition.has_value()) {
-    return Status::InvalidArgument(
-        "query has a WHEN clause; use AnswerRelationalEffects");
-  }
-  EnvBudgetToken env_budget;
+Result<AteAnswer> CarlEngine::AnswerAteImpl(const CausalQuery& query,
+                                            const EngineOptions& options,
+                                            QueryTiming* timing) {
+  obs::MonotonicTimer phase;
   CARL_ASSIGN_OR_RETURN(ResolvedQuery resolved, ResolveQuery(query, options));
+  timing->resolve_s = phase.Seconds();
+  phase.Reset();
   CARL_ASSIGN_OR_RETURN(
       UnitTable table,
       BuildUnitTable(*grounded_, resolved.request,
                      MakeUnitTableOptions(options, /*include_isolated=*/true)));
+  timing->unit_table_s = phase.Seconds();
+  phase.Reset();
 
   AteAnswer answer;
   answer.response_attribute = resolved.response_attribute;
@@ -309,22 +313,24 @@ Result<AteAnswer> CarlEngine::AnswerAte(const CausalQuery& query,
   }
   CARL_ASSIGN_OR_RETURN(answer.criterion_ok,
                         MaybeCheckCriterion(resolved.request, table, options));
+  timing->estimate_s = phase.Seconds();
   return answer;
 }
 
-Result<RelationalEffectsAnswer> CarlEngine::AnswerRelationalEffects(
-    const CausalQuery& query, const EngineOptions& options) {
-  if (!query.peer_condition.has_value()) {
-    return Status::InvalidArgument(
-        "query has no WHEN clause; use AnswerAte");
-  }
-  EnvBudgetToken env_budget;
+Result<RelationalEffectsAnswer> CarlEngine::AnswerRelationalEffectsImpl(
+    const CausalQuery& query, const EngineOptions& options,
+    QueryTiming* timing) {
+  obs::MonotonicTimer phase;
   CARL_ASSIGN_OR_RETURN(ResolvedQuery resolved, ResolveQuery(query, options));
+  timing->resolve_s = phase.Seconds();
+  phase.Reset();
   CARL_ASSIGN_OR_RETURN(
       UnitTable table,
       BuildUnitTable(
           *grounded_, resolved.request,
           MakeUnitTableOptions(options, options.include_isolated_units)));
+  timing->unit_table_s = phase.Seconds();
+  phase.Reset();
 
   RelationalEffectsAnswer answer;
   answer.condition = *query.peer_condition;
@@ -371,27 +377,105 @@ Result<RelationalEffectsAnswer> CarlEngine::AnswerRelationalEffects(
   }
   CARL_ASSIGN_OR_RETURN(answer.criterion_ok,
                         MaybeCheckCriterion(resolved.request, table, options));
+  timing->estimate_s = phase.Seconds();
   return answer;
+}
+
+QueryResponse CarlEngine::Answer(const QueryRequest& request) {
+  QueryResponse response;
+  obs::MonotonicTimer total;
+
+  const CausalQuery* query = nullptr;
+  CausalQuery parsed;
+  if (request.query.has_value()) {
+    if (!request.query_text.empty()) {
+      response.status = Status::InvalidArgument(
+          "QueryRequest carries both a parsed query and query text; set "
+          "exactly one");
+      response.timing.total_s = total.Seconds();
+      return response;
+    }
+    query = &*request.query;
+  } else {
+    obs::MonotonicTimer parse;
+    Result<CausalQuery> r = ParseQuery(request.query_text);
+    response.timing.parse_s = parse.Seconds();
+    if (!r.ok()) {
+      response.status = r.status();
+      response.timing.total_s = total.Seconds();
+      return response;
+    }
+    parsed = std::move(*r);
+    query = &parsed;
+  }
+
+  // Guard admission: the request budget (env-defaulted) holds for the
+  // whole dispatch below, grounding included.
+  RequestBudgetToken admission(request.budget);
+  if (query->peer_condition.has_value()) {
+    Result<RelationalEffectsAnswer> effects =
+        AnswerRelationalEffectsImpl(*query, request.options,
+                                    &response.timing);
+    if (effects.ok()) {
+      response.answer.effects = std::move(*effects);
+    } else {
+      response.status = effects.status();
+    }
+  } else {
+    Result<AteAnswer> ate =
+        AnswerAteImpl(*query, request.options, &response.timing);
+    if (ate.ok()) {
+      response.answer.ate = std::move(*ate);
+    } else {
+      response.status = ate.status();
+    }
+  }
+  response.timing.total_s = total.Seconds();
+  return response;
+}
+
+Result<AteAnswer> CarlEngine::AnswerAte(const CausalQuery& query,
+                                        const EngineOptions& options) {
+  if (query.peer_condition.has_value()) {
+    return Status::InvalidArgument(
+        "query has a WHEN clause; use AnswerRelationalEffects");
+  }
+  QueryRequest request(query);
+  request.options = options;
+  QueryResponse response = Answer(request);
+  CARL_RETURN_IF_ERROR(response.status);
+  return std::move(*response.answer.ate);
+}
+
+Result<RelationalEffectsAnswer> CarlEngine::AnswerRelationalEffects(
+    const CausalQuery& query, const EngineOptions& options) {
+  if (!query.peer_condition.has_value()) {
+    return Status::InvalidArgument(
+        "query has no WHEN clause; use AnswerAte");
+  }
+  QueryRequest request(query);
+  request.options = options;
+  QueryResponse response = Answer(request);
+  CARL_RETURN_IF_ERROR(response.status);
+  return std::move(*response.answer.effects);
 }
 
 Result<QueryAnswer> CarlEngine::Answer(const CausalQuery& query,
                                        const EngineOptions& options) {
-  QueryAnswer answer;
-  if (query.peer_condition.has_value()) {
-    CARL_ASSIGN_OR_RETURN(RelationalEffectsAnswer effects,
-                          AnswerRelationalEffects(query, options));
-    answer.effects = std::move(effects);
-  } else {
-    CARL_ASSIGN_OR_RETURN(AteAnswer ate, AnswerAte(query, options));
-    answer.ate = std::move(ate);
-  }
-  return answer;
+  QueryRequest request(query);
+  request.options = options;
+  QueryResponse response = Answer(request);
+  CARL_RETURN_IF_ERROR(response.status);
+  return std::move(response.answer);
 }
 
 Result<QueryAnswer> CarlEngine::Answer(const std::string& query_text,
                                        const EngineOptions& options) {
-  CARL_ASSIGN_OR_RETURN(CausalQuery query, ParseQuery(query_text));
-  return Answer(query, options);
+  QueryRequest request(query_text);
+  request.options = options;
+  QueryResponse response = Answer(request);
+  CARL_RETURN_IF_ERROR(response.status);
+  return std::move(response.answer);
 }
 
 }  // namespace carl

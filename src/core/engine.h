@@ -26,6 +26,7 @@
 #include "core/grounding.h"
 #include "core/query_session.h"
 #include "core/unit_table.h"
+#include "guard/guard.h"
 #include "lang/ast.h"
 
 namespace carl {
@@ -87,6 +88,51 @@ struct QueryAnswer {
   std::optional<RelationalEffectsAnswer> effects;
 };
 
+/// Per-phase wall-clock breakdown of one answered query. All fields are
+/// seconds; phases that did not run (e.g. parse_s for a pre-parsed
+/// request) stay 0.
+struct QueryTiming {
+  double parse_s = 0.0;      ///< query-text parse
+  double resolve_s = 0.0;    ///< resolution incl. any §4.3 re-ground
+  double unit_table_s = 0.0; ///< Algorithm 1 unit-table build
+  double estimate_s = 0.0;   ///< naive + estimator + bootstrap + criterion
+  double total_s = 0.0;      ///< end-to-end, >= the sum of the above
+};
+
+/// The canonical request of the query surface: one struct carries the
+/// query (text or pre-parsed), the engine options, and an explicit
+/// per-request guard budget. carl_serve speaks only this surface; the
+/// older Answer*/AnswerAte/AnswerRelationalEffects signatures are thin
+/// shims over it.
+struct QueryRequest {
+  /// Pre-parsed query; when set, `query_text` must be empty.
+  std::optional<CausalQuery> query;
+  /// Query text, parsed by the engine when `query` is not set.
+  std::string query_text;
+  EngineOptions options;
+  /// Per-request guard budget. Zero fields fall back to the process-wide
+  /// environment defaults (CARL_DEADLINE_MS / CARL_MEM_BUDGET); a set
+  /// field overrides the environment for this request only. Ignored when
+  /// the caller already installed an ambient guard::ScopedToken — an
+  /// embedding that manages its own token keeps full control.
+  guard::QueryBudget budget;
+
+  QueryRequest() = default;
+  explicit QueryRequest(CausalQuery q) : query(std::move(q)) {}
+  explicit QueryRequest(std::string text) : query_text(std::move(text)) {}
+};
+
+/// The canonical response: the variant answer, the Status (errors travel
+/// inside the response, never as an abort), and the per-phase timing
+/// snapshot a serving layer reports.
+struct QueryResponse {
+  Status status;
+  /// Valid only when status.ok(): exactly one of ate/effects is set,
+  /// matching the query form.
+  QueryAnswer answer;
+  QueryTiming timing;
+};
+
 class CarlEngine {
  public:
   /// Grounds the model against the instance through a private
@@ -108,18 +154,31 @@ class CarlEngine {
   const RelationalCausalModel& model() const { return model_; }
   const QuerySession& session() const { return *session_; }
 
-  /// Answers an ATE or aggregated-response query (no WHEN clause).
+  /// THE query entry point: parses (when needed), admits the request
+  /// budget through carl_guard (request fields override the environment
+  /// defaults; an ambient ScopedToken overrides both), dispatches on the
+  /// query form, and reports the outcome — answer, Status, and per-phase
+  /// timing — in one QueryResponse. Never returns an error by value:
+  /// failures travel in response.status.
+  QueryResponse Answer(const QueryRequest& request);
+
+  /// DEPRECATED shim: answers an ATE or aggregated-response query (no
+  /// WHEN clause). Equivalent to Answer(QueryRequest{query}) with
+  /// `options`; prefer the QueryRequest surface.
   Result<AteAnswer> AnswerAte(const CausalQuery& query,
                               const EngineOptions& options = {});
 
-  /// Answers a WHEN <cnd> PEERS TREATED query.
+  /// DEPRECATED shim: answers a WHEN <cnd> PEERS TREATED query. Prefer
+  /// the QueryRequest surface.
   Result<RelationalEffectsAnswer> AnswerRelationalEffects(
       const CausalQuery& query, const EngineOptions& options = {});
 
-  /// Dispatches on the query form.
+  /// DEPRECATED shim: dispatches on the query form. Prefer the
+  /// QueryRequest surface.
   Result<QueryAnswer> Answer(const CausalQuery& query,
                              const EngineOptions& options = {});
-  /// Parses and answers a single query string.
+  /// DEPRECATED shim: parses and answers a single query string. Prefer
+  /// the QueryRequest surface.
   Result<QueryAnswer> Answer(const std::string& query_text,
                              const EngineOptions& options = {});
 
@@ -141,6 +200,16 @@ class CarlEngine {
   };
   Result<ResolvedQuery> ResolveQuery(const CausalQuery& query,
                                      const EngineOptions& options);
+
+  // The real implementations behind every public Answer signature. They
+  // assume guard admission already happened (Answer(QueryRequest) owns
+  // the token) and fill `timing` phase by phase.
+  Result<AteAnswer> AnswerAteImpl(const CausalQuery& query,
+                                  const EngineOptions& options,
+                                  QueryTiming* timing);
+  Result<RelationalEffectsAnswer> AnswerRelationalEffectsImpl(
+      const CausalQuery& query, const EngineOptions& options,
+      QueryTiming* timing);
 
   Result<std::optional<bool>> MaybeCheckCriterion(
       const UnitTableRequest& request, const UnitTable& table,

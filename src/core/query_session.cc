@@ -99,6 +99,23 @@ uint64_t QuerySession::ModelFingerprint(const RelationalCausalModel& model) {
   return HashString(model.ToString());
 }
 
+QuerySession::SessionStats QuerySession::SnapshotStats() const {
+  SessionStats snapshot;
+  snapshot.cache_hits =
+      live_stats_.cache_hits.load(std::memory_order_relaxed);
+  snapshot.ground_full =
+      live_stats_.ground_full.load(std::memory_order_relaxed);
+  snapshot.ground_extends =
+      live_stats_.ground_extends.load(std::memory_order_relaxed);
+  snapshot.column_hits =
+      live_stats_.column_hits.load(std::memory_order_relaxed);
+  snapshot.column_misses =
+      live_stats_.column_misses.load(std::memory_order_relaxed);
+  snapshot.ground_evictions =
+      live_stats_.ground_evictions.load(std::memory_order_relaxed);
+  return snapshot;
+}
+
 size_t QuerySession::num_cached_groundings() const {
   size_t total = 0;
   for (const auto& [key, bucket] : cache_) total += bucket.size();
@@ -164,6 +181,7 @@ Result<std::shared_ptr<const GroundedModel>> QuerySession::Ground(
     if (entry.model_text != model_text) continue;
     if (entry.grounded_generation == generation) {
       ++stats_.ground_hits;
+      live_stats_.cache_hits.fetch_add(1, std::memory_order_relaxed);
       counters.ground_hits.Increment();
       return entry.grounded;
     }
@@ -180,6 +198,7 @@ Result<std::shared_ptr<const GroundedModel>> QuerySession::Ground(
       // would rebuild.
       entry.grounded_generation = generation;
       ++stats_.ground_hits;
+      live_stats_.cache_hits.fetch_add(1, std::memory_order_relaxed);
       counters.ground_hits.Increment();
       return entry.grounded;
     }
@@ -202,6 +221,7 @@ Result<std::shared_ptr<const GroundedModel>> QuerySession::Ground(
           ExtendGroundedModel(std::move(base), delta);
       if (extended.ok()) {
         ++stats_.ground_extends;
+        live_stats_.ground_extends.fetch_add(1, std::memory_order_relaxed);
         counters.ground_extends.Increment();
         auto holder = std::make_shared<GroundingHolder>();
         holder->model = entry.holder->model;
@@ -247,6 +267,7 @@ Result<std::shared_ptr<const GroundedModel>> QuerySession::Ground(
         GroundedModel grounded,
         GroundModel(*instance_, *holder->model, &binding_cache_));
     staged.Commit();
+    live_stats_.ground_full.fetch_add(1, std::memory_order_relaxed);
     holder->grounded = std::move(grounded);
     InstallGrounding(&entry, std::move(holder), generation);
     entry.columns.clear();
@@ -266,6 +287,7 @@ Result<std::shared_ptr<const GroundedModel>> QuerySession::Ground(
       GroundedModel grounded,
       GroundModel(*instance_, *holder->model, &binding_cache_));
   staged.Commit();
+  live_stats_.ground_full.fetch_add(1, std::memory_order_relaxed);
   holder->grounded = std::move(grounded);
 
   Entry entry;
@@ -332,6 +354,7 @@ void QuerySession::EvictOldestEntry() {
     if (it->model_text == text) {
       bucket.erase(it);
       ++stats_.ground_evictions;
+      live_stats_.ground_evictions.fetch_add(1, std::memory_order_relaxed);
       SessionCounters::Get().ground_evictions.Increment();
       break;
     }
@@ -356,10 +379,12 @@ Result<std::shared_ptr<const AttributeValueColumn>> QuerySession::ValueColumn(
       auto it = entry.columns.find(attribute);
       if (it != entry.columns.end()) {
         ++stats_.column_hits;
+        live_stats_.column_hits.fetch_add(1, std::memory_order_relaxed);
         SessionCounters::Get().column_hits.Increment();
         return it->second;
       }
       ++stats_.column_misses;
+      live_stats_.column_misses.fetch_add(1, std::memory_order_relaxed);
       SessionCounters::Get().column_misses.Increment();
       auto column = std::make_shared<AttributeValueColumn>();
       column->attribute = attribute;

@@ -41,6 +41,7 @@
 #ifndef CARL_CORE_QUERY_SESSION_H_
 #define CARL_CORE_QUERY_SESSION_H_
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
 #include <optional>
@@ -97,6 +98,26 @@ class QuerySession {
     size_t ground_extends = 0;
   };
   const CacheStats& stats() const { return stats_; }
+
+  /// Plain-data cache-efficacy snapshot, safe to take from ANY thread —
+  /// including while another thread (holding whatever external lock
+  /// serializes Ground/ValueColumn calls) is mutating the session. The
+  /// fields are relaxed-atomic mirrors maintained at the same sites as
+  /// CacheStats, so a server can report per-session cache efficacy
+  /// without friend access and without stopping the serving path.
+  /// ground_full + ground_extends == CacheStats::ground_misses (counted
+  /// on *successful* grounds only, so an aborted guarded pass leaves
+  /// them untouched). The same counters also aggregate process-wide in
+  /// the obs registry under "query_session.*".
+  struct SessionStats {
+    uint64_t cache_hits = 0;      ///< groundings served from cache
+    uint64_t ground_full = 0;     ///< successful from-scratch grounds
+    uint64_t ground_extends = 0;  ///< successful incremental extends
+    uint64_t column_hits = 0;
+    uint64_t column_misses = 0;
+    uint64_t ground_evictions = 0;
+  };
+  SessionStats SnapshotStats() const;
 
   /// The session's rule-condition binding cache (columnar tables shared
   /// across groundings of model variants over the same instance state).
@@ -164,6 +185,16 @@ class QuerySession {
   std::vector<std::pair<uint64_t, std::string>> insertion_order_;
   size_t max_cached_groundings_ = 16;
   CacheStats stats_;
+  // Relaxed-atomic mirrors behind SnapshotStats(); see its comment.
+  struct LiveStats {
+    std::atomic<uint64_t> cache_hits{0};
+    std::atomic<uint64_t> ground_full{0};
+    std::atomic<uint64_t> ground_extends{0};
+    std::atomic<uint64_t> column_hits{0};
+    std::atomic<uint64_t> column_misses{0};
+    std::atomic<uint64_t> ground_evictions{0};
+  };
+  LiveStats live_stats_;
 };
 
 }  // namespace carl

@@ -52,6 +52,16 @@ QueryBudget QueryBudget::FromEnv() {
   return budget;
 }
 
+QueryBudget QueryBudget::WithEnvDefaults() const {
+  QueryBudget merged = *this;
+  if (merged.deadline_ms <= 0.0 || merged.memory_bytes == 0) {
+    QueryBudget env = FromEnv();
+    if (merged.deadline_ms <= 0.0) merged.deadline_ms = env.deadline_ms;
+    if (merged.memory_bytes == 0) merged.memory_bytes = env.memory_bytes;
+  }
+  return merged;
+}
+
 ExecToken::ExecToken(const QueryBudget& budget) : budget_(budget) {
   if (budget_.deadline_ms > 0.0) {
     has_deadline_ = true;

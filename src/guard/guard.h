@@ -62,6 +62,14 @@ struct QueryBudget {
   /// milliseconds) and CARL_MEM_BUDGET (bytes). Unset/unparsable/
   /// non-positive variables leave the field unlimited.
   static QueryBudget FromEnv();
+
+  /// Field-wise merge with the environment defaults: every field this
+  /// budget sets wins; every unset (zero) field falls back to FromEnv().
+  /// This is the per-request override contract of the QueryRequest
+  /// surface — the env vars are process-wide *defaults*, never a cap
+  /// (see docs/robustness.md). max_bindings has no env knob and passes
+  /// through unchanged.
+  QueryBudget WithEnvDefaults() const;
 };
 
 /// Why a token stopped. kNone means the token is still live.

@@ -1,0 +1,401 @@
+#include "serve/service.h"
+
+#include <future>
+#include <utility>
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace carl {
+namespace serve {
+
+namespace {
+
+double MsSince(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - start)
+      .count();
+}
+
+// Registry mirrors of the serving events; resolved once.
+struct ServeCounters {
+  obs::Counter& admitted = obs::Registry::Global().GetCounter("serve.admitted");
+  obs::Counter& rejected = obs::Registry::Global().GetCounter("serve.rejected");
+  obs::Counter& completed =
+      obs::Registry::Global().GetCounter("serve.completed");
+  obs::Counter& deadline_preempted =
+      obs::Registry::Global().GetCounter("serve.deadline_preempted");
+  obs::Counter& waves = obs::Registry::Global().GetCounter("serve.waves");
+  obs::Counter& wave_coalesced =
+      obs::Registry::Global().GetCounter("serve.wave_coalesced");
+  obs::Histogram& queue_ms = obs::Registry::Global().GetHistogram(
+      "serve.queue_ms", {0.1, 1, 5, 20, 100, 500, 2000});
+  obs::Histogram& total_ms = obs::Registry::Global().GetHistogram(
+      "serve.total_ms", {1, 5, 20, 100, 500, 2000, 10000});
+
+  static ServeCounters& Get() {
+    static ServeCounters counters;
+    return counters;
+  }
+};
+
+std::string ShardKey(const std::string& instance, const std::string& program) {
+  std::string key;
+  key.reserve(instance.size() + 1 + program.size());
+  key.append(instance);
+  key.push_back('\0');
+  key.append(program);
+  return key;
+}
+
+}  // namespace
+
+ServeService::ServeService(ServeOptions options)
+    : options_(std::move(options)) {
+  if (options_.num_workers < 1) options_.num_workers = 1;
+}
+
+ServeService::~ServeService() { Shutdown(); }
+
+Status ServeService::RegisterInstance(const std::string& name,
+                                      const Schema* schema,
+                                      const Instance* instance) {
+  if (schema == nullptr || instance == nullptr) {
+    return Status::InvalidArgument("null schema/instance for '" + name + "'");
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  auto [it, inserted] =
+      instances_.emplace(name, RegisteredInstance{schema, instance});
+  (void)it;
+  if (!inserted) {
+    return Status::AlreadyExists("instance '" + name + "' already registered");
+  }
+  return Status::OK();
+}
+
+void ServeService::Submit(const ServeRequest& request, Callback callback) {
+  CARL_TRACE_SCOPE("serve.admit");
+  ServeCounters& counters = ServeCounters::Get();
+
+  auto reject = [&](Status status) {
+    stats_.rejected.fetch_add(1, std::memory_order_relaxed);
+    counters.rejected.Increment();
+    ServeResponse response;
+    response.request_id = request.request_id;
+    response.code = status.code();
+    response.message = status.message();
+    callback(response);
+  };
+
+  if (request.query.empty()) {
+    reject(Status::InvalidArgument("request has no query text"));
+    return;
+  }
+  if (request.program.empty()) {
+    reject(Status::InvalidArgument("request has no program text"));
+    return;
+  }
+
+  Pending pending;
+  pending.request = request;
+  pending.admitted_at = std::chrono::steady_clock::now();
+  // Effective budget: request fields win, service defaults fill the
+  // rest. The environment is never consulted on this path.
+  pending.budget.deadline_ms = request.deadline_ms > 0.0
+                                   ? request.deadline_ms
+                                   : options_.default_deadline_ms;
+  pending.budget.memory_bytes = request.memory_budget > 0
+                                    ? request.memory_budget
+                                    : options_.default_memory_budget;
+  pending.budget.max_bindings = request.max_bindings > 0
+                                    ? request.max_bindings
+                                    : options_.default_max_bindings;
+
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (stopping_) {
+      reject(Status::Unavailable("service is shutting down"));
+      return;
+    }
+    auto instance_it = instances_.find(request.instance);
+    if (instance_it == instances_.end()) {
+      reject(Status::NotFound("unknown instance '" + request.instance + "'"));
+      return;
+    }
+    if (queued_requests_ >= options_.max_queue_depth) {
+      reject(Status::ResourceExhausted(
+          "admission queue full (" + std::to_string(queued_requests_) +
+          " queued, bound " + std::to_string(options_.max_queue_depth) + ")"));
+      return;
+    }
+
+    // All rejection paths are behind us: only now does the callback move
+    // into the pending record (reject() must stay callable above).
+    pending.callback = std::move(callback);
+    std::string key = ShardKey(request.instance, request.program);
+    Shard& shard = shards_[key];
+    if (shard.dataset.instance == nullptr) {
+      shard.instance_name = request.instance;
+      shard.program = request.program;
+      shard.dataset = instance_it->second;
+    }
+    shard.pending.push_back(std::move(pending));
+    ++queued_requests_;
+    if (!shard.active && !shard.queued) {
+      shard.queued = true;
+      ready_.push_back(std::move(key));
+    }
+  }
+  stats_.admitted.fetch_add(1, std::memory_order_relaxed);
+  counters.admitted.Increment();
+  cv_.notify_one();
+}
+
+void ServeService::Start() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (started_) return;
+  started_ = true;
+  workers_.reserve(static_cast<size_t>(options_.num_workers));
+  for (int i = 0; i < options_.num_workers; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+void ServeService::Shutdown() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (stopping_) return;
+    stopping_ = true;
+  }
+  cv_.notify_all();
+  for (std::thread& worker : workers_) {
+    if (worker.joinable()) worker.join();
+  }
+  workers_.clear();
+  // Never-started service (or requests admitted after the workers left,
+  // which stopping_ prevents): fail any stragglers instead of dropping
+  // their callbacks.
+  std::deque<Pending> orphans;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (auto& [key, shard] : shards_) {
+      (void)key;
+      while (!shard.pending.empty()) {
+        orphans.push_back(std::move(shard.pending.front()));
+        shard.pending.pop_front();
+        --queued_requests_;
+      }
+    }
+    ready_.clear();
+  }
+  for (Pending& pending : orphans) {
+    ServeResponse response;
+    response.request_id = pending.request.request_id;
+    response.code = StatusCode::kUnavailable;
+    response.message = "service shut down before execution";
+    Respond(&pending, std::move(response));
+  }
+}
+
+void ServeService::WorkerLoop() {
+  for (;;) {
+    Shard* shard = nullptr;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait(lock, [this] { return stopping_ || !ready_.empty(); });
+      // Drain-on-shutdown: keep claiming waves until no shard is ready.
+      if (ready_.empty()) return;
+      std::string key = std::move(ready_.front());
+      ready_.pop_front();
+      auto it = shards_.find(key);
+      if (it == shards_.end()) continue;
+      shard = &it->second;
+      shard->queued = false;
+      if (shard->active || shard->pending.empty()) continue;
+      shard->active = true;
+    }
+    RunWave(shard);
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      shard->active = false;
+      if (!shard->pending.empty() && !shard->queued) {
+        shard->queued = true;
+        ready_.push_back(ShardKey(shard->instance_name, shard->program));
+        cv_.notify_one();
+      }
+    }
+  }
+}
+
+void ServeService::RunWave(Shard* shard) {
+  CARL_TRACE_SCOPE("serve.wave");
+  ServeCounters& counters = ServeCounters::Get();
+
+  std::deque<Pending> wave;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    wave.swap(shard->pending);
+    queued_requests_ -= wave.size();
+  }
+  if (wave.empty()) return;
+
+  stats_.waves.fetch_add(1, std::memory_order_relaxed);
+  counters.waves.Increment();
+  uint64_t followers = wave.size() - 1;
+  if (followers > 0) {
+    stats_.coalesced.fetch_add(followers, std::memory_order_relaxed);
+    counters.wave_coalesced.Add(followers);
+  }
+
+  // The wave leader creates the shard's engine on the first wave —
+  // grounding the model exactly once for every request that ever hits
+  // this (instance, program) variant. `active` makes this worker the
+  // shard's exclusive owner, so engine/session need no lock here.
+  if (!shard->engine_attempted) {
+    shard->engine_attempted = true;
+    shard->session = std::make_shared<QuerySession>(shard->dataset.instance);
+    Result<RelationalCausalModel> model = RelationalCausalModel::Parse(
+        *shard->dataset.schema, shard->program);
+    if (!model.ok()) {
+      shard->engine_status = model.status();
+    } else {
+      Result<std::unique_ptr<CarlEngine>> engine =
+          CarlEngine::Create(shard->session, std::move(model).ValueUnsafe());
+      if (!engine.ok()) {
+        shard->engine_status = engine.status();
+      } else {
+        shard->engine = std::move(engine).ValueUnsafe();
+      }
+    }
+  }
+
+  bool leader = true;
+  for (Pending& pending : wave) {
+    Execute(shard, &pending, /*coalesced=*/!leader);
+    leader = false;
+  }
+}
+
+void ServeService::Execute(Shard* shard, Pending* pending, bool coalesced) {
+  CARL_TRACE_SCOPE("serve.request");
+  ServeCounters& counters = ServeCounters::Get();
+
+  ServeResponse response;
+  response.request_id = pending->request.request_id;
+  response.coalesced = coalesced;
+  response.queue_ms = MsSince(pending->admitted_at);
+  counters.queue_ms.Record(response.queue_ms);
+
+  if (!shard->engine_status.ok()) {
+    response.code = shard->engine_status.code();
+    response.message = shard->engine_status.message();
+    Respond(pending, std::move(response));
+    return;
+  }
+
+  // Deadline counts from admission: an expired-in-queue request fails
+  // without executing — and without touching the shard's session.
+  guard::QueryBudget budget = pending->budget;
+  if (budget.deadline_ms > 0.0) {
+    double remaining = budget.deadline_ms - MsSince(pending->admitted_at);
+    if (remaining <= 0.0) {
+      stats_.deadline_preempted.fetch_add(1, std::memory_order_relaxed);
+      counters.deadline_preempted.Increment();
+      response.code = StatusCode::kDeadlineExceeded;
+      response.message = "deadline expired in admission queue";
+      Respond(pending, std::move(response));
+      return;
+    }
+    budget.deadline_ms = remaining;
+  }
+
+  QueryRequest query;
+  query.query_text = pending->request.query;
+  query.options.bootstrap_replicates =
+      static_cast<int>(pending->request.bootstrap_replicates);
+  query.options.seed = pending->request.seed;
+
+  // The server path installs its own token unconditionally — even an
+  // unlimited one — so the engine's env-default fallback never runs
+  // (no ambient CARL_DEADLINE_MS in the server path).
+  guard::ExecToken token(budget);
+  QueryResponse engine_response;
+  {
+    guard::ScopedToken scoped(&token);
+    engine_response = shard->engine->Answer(query);
+  }
+
+  ServeResponse wire = FromQueryResponse(engine_response);
+  wire.request_id = response.request_id;
+  wire.coalesced = response.coalesced;
+  wire.queue_ms = response.queue_ms;
+  counters.total_ms.Record(MsSince(pending->admitted_at));
+  Respond(pending, std::move(wire));
+}
+
+void ServeService::Respond(Pending* pending, ServeResponse response) {
+  stats_.completed.fetch_add(1, std::memory_order_relaxed);
+  ServeCounters::Get().completed.Increment();
+  pending->callback(response);
+}
+
+ServeStats ServeService::Snapshot() const {
+  ServeStats snapshot;
+  snapshot.admitted = stats_.admitted.load(std::memory_order_relaxed);
+  snapshot.rejected = stats_.rejected.load(std::memory_order_relaxed);
+  snapshot.completed = stats_.completed.load(std::memory_order_relaxed);
+  snapshot.deadline_preempted =
+      stats_.deadline_preempted.load(std::memory_order_relaxed);
+  snapshot.waves = stats_.waves.load(std::memory_order_relaxed);
+  snapshot.coalesced = stats_.coalesced.load(std::memory_order_relaxed);
+  return snapshot;
+}
+
+std::optional<QuerySession::SessionStats> ServeService::ShardSessionStats(
+    const std::string& instance, const std::string& program) const {
+  std::shared_ptr<QuerySession> session;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = shards_.find(ShardKey(instance, program));
+    if (it == shards_.end() || it->second.session == nullptr) {
+      return std::nullopt;
+    }
+    session = it->second.session;
+  }
+  // SnapshotStats is safe from any thread (relaxed-atomic mirrors).
+  return session->SnapshotStats();
+}
+
+ServeResponse ServeDriver::Call(const ServeRequest& request) {
+  // Round-trip the request through the codec so the in-process path
+  // exercises exactly what the TCP path puts on the wire.
+  ServeRequest decoded;
+  Status status = DecodeRequest(EncodeRequest(request), &decoded);
+  if (!status.ok()) {
+    ServeResponse response;
+    response.request_id = request.request_id;
+    response.code = status.code();
+    response.message = status.message();
+    return response;
+  }
+
+  std::promise<ServeResponse> promise;
+  std::future<ServeResponse> future = promise.get_future();
+  service_->Submit(decoded, [&promise](const ServeResponse& response) {
+    promise.set_value(response);
+  });
+  ServeResponse raw = future.get();
+
+  ServeResponse response;
+  status = DecodeResponse(EncodeResponse(raw), &response);
+  if (!status.ok()) {
+    response = ServeResponse{};
+    response.request_id = request.request_id;
+    response.code = status.code();
+    response.message = status.message();
+  }
+  return response;
+}
+
+}  // namespace serve
+}  // namespace carl

@@ -1,0 +1,194 @@
+#include "serve/tcp_server.h"
+
+#include <arpa/inet.h>
+#include <errno.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <string.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include "common/logging.h"
+
+namespace carl {
+namespace serve {
+
+namespace {
+
+void CloseFd(int fd) {
+  if (fd >= 0) ::close(fd);
+}
+
+}  // namespace
+
+TcpServer::~TcpServer() { Stop(); }
+
+Status TcpServer::Listen(uint16_t port) {
+  if (listen_fd_ >= 0) return Status::FailedPrecondition("already listening");
+
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return Status::Internal("socket() failed");
+  int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  sockaddr_in addr;
+  std::memset(&addr, 0, sizeof(addr));
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
+    CloseFd(fd);
+    return Status::Internal("bind(127.0.0.1:" + std::to_string(port) +
+                            ") failed: " + std::string(std::strerror(errno)));
+  }
+  if (::listen(fd, 64) < 0) {
+    CloseFd(fd);
+    return Status::Internal("listen() failed");
+  }
+
+  socklen_t len = sizeof(addr);
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &len) < 0) {
+    CloseFd(fd);
+    return Status::Internal("getsockname() failed");
+  }
+  port_ = ntohs(addr.sin_port);
+  listen_fd_ = fd;
+  stopping_.store(false, std::memory_order_relaxed);
+  acceptor_ = std::thread([this] { AcceptLoop(); });
+  return Status::OK();
+}
+
+void TcpServer::Stop() {
+  if (stopping_.exchange(true, std::memory_order_acq_rel)) {
+    // A second Stop() still needs to wait for the first to finish
+    // joining, but the common idempotent case (destructor after an
+    // explicit Stop) sees joinable() false below.
+  }
+  // shutdown() unblocks accept(); close happens after the join.
+  if (listen_fd_ >= 0) ::shutdown(listen_fd_, SHUT_RDWR);
+  if (acceptor_.joinable()) acceptor_.join();
+  CloseFd(listen_fd_);
+  listen_fd_ = -1;
+
+  std::vector<std::unique_ptr<Connection>> conns;
+  {
+    std::lock_guard<std::mutex> lock(conns_mu_);
+    conns.swap(conns_);
+  }
+  for (auto& conn : conns) {
+    conn->open.store(false, std::memory_order_release);
+    ::shutdown(conn->fd, SHUT_RDWR);
+    if (conn->reader.joinable()) conn->reader.join();
+    CloseFd(conn->fd);
+  }
+}
+
+void TcpServer::AcceptLoop() {
+  for (;;) {
+    int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) {
+      if (errno == EINTR) continue;
+      return;  // listen socket shut down
+    }
+    if (stopping_.load(std::memory_order_acquire)) {
+      CloseFd(fd);
+      return;
+    }
+    int one = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    auto conn = std::make_unique<Connection>();
+    conn->fd = fd;
+    Connection* raw = conn.get();
+    raw->reader = std::thread([this, raw] { ConnectionLoop(raw); });
+    std::lock_guard<std::mutex> lock(conns_mu_);
+    conns_.push_back(std::move(conn));
+  }
+}
+
+void TcpServer::ConnectionLoop(Connection* conn) {
+  std::string payload;
+  for (;;) {
+    Status status = ReadFrame(conn->fd, &payload);
+    if (!status.ok()) {
+      // Clean EOF or framing error either way: the reader leaves; the
+      // socket itself is closed by Stop() (responses in flight may
+      // still be writing).
+      return;
+    }
+    ServeRequest request;
+    status = DecodeRequest(payload, &request);
+    if (!status.ok()) {
+      ServeResponse error;
+      error.request_id = request.request_id;  // 0 when undecodable
+      error.code = status.code();
+      error.message = status.message();
+      std::lock_guard<std::mutex> lock(conn->write_mu);
+      (void)WriteFrame(conn->fd, EncodeResponse(error));
+      continue;
+    }
+    // The callback may run on a worker thread after this loop moved on
+    // to the next frame — the per-connection write mutex serializes the
+    // response frames, and `open` keeps a late response off a socket
+    // Stop() already handed back to the OS.
+    service_->Submit(request, [conn](const ServeResponse& response) {
+      if (!conn->open.load(std::memory_order_acquire)) return;
+      std::lock_guard<std::mutex> lock(conn->write_mu);
+      if (!conn->open.load(std::memory_order_acquire)) return;
+      Status write_status = WriteFrame(conn->fd, EncodeResponse(response));
+      if (!write_status.ok()) {
+        CARL_LOG(WARN) << "serve: dropped response for request "
+                       << response.request_id << ": "
+                       << write_status.ToString();
+      }
+    });
+  }
+}
+
+TcpClient::~TcpClient() { Close(); }
+
+Status TcpClient::Connect(const std::string& host, uint16_t port) {
+  if (fd_ >= 0) return Status::FailedPrecondition("already connected");
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return Status::Internal("socket() failed");
+  sockaddr_in addr;
+  std::memset(&addr, 0, sizeof(addr));
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    CloseFd(fd);
+    return Status::InvalidArgument("bad host address '" + host + "'");
+  }
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
+    CloseFd(fd);
+    return Status::Internal("connect(" + host + ":" + std::to_string(port) +
+                            ") failed: " + std::string(std::strerror(errno)));
+  }
+  int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  fd_ = fd;
+  return Status::OK();
+}
+
+void TcpClient::Close() {
+  CloseFd(fd_);
+  fd_ = -1;
+}
+
+Status TcpClient::Call(const ServeRequest& request, ServeResponse* response) {
+  if (fd_ < 0) return Status::FailedPrecondition("not connected");
+  CARL_RETURN_IF_ERROR(WriteFrame(fd_, EncodeRequest(request)));
+  std::string payload;
+  for (;;) {
+    CARL_RETURN_IF_ERROR(ReadFrame(fd_, &payload));
+    CARL_RETURN_IF_ERROR(DecodeResponse(payload, response));
+    if (response->request_id == request.request_id) return Status::OK();
+    // A response for someone else's request_id on a single-caller
+    // client is a protocol confusion worth surfacing loudly.
+    CARL_LOG(WARN) << "serve client: skipping response for request "
+                   << response->request_id << " while waiting for "
+                   << request.request_id;
+  }
+}
+
+}  // namespace serve
+}  // namespace carl

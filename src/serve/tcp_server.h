@@ -1,0 +1,97 @@
+// TcpServer/TcpClient: the socket front door of carl_serve.
+//
+// One acceptor thread plus one reader thread per connection. A
+// connection carries any number of length-prefixed request frames
+// (wire.h); responses come back on the same socket, each tagged with
+// the request_id the client sent — responses may arrive OUT OF ORDER
+// relative to requests, because distinct (instance, program) shards
+// execute concurrently. A per-connection write mutex keeps response
+// frames from interleaving; a malformed frame gets an error response
+// (when a request_id could be decoded) and closes the connection on
+// framing errors.
+//
+// TcpClient is the minimal blocking counterpart used by tests and
+// benches: Call() writes one frame and reads frames until the response
+// with the matching request_id arrives. One Call at a time per client;
+// open one client per thread.
+
+#ifndef CARL_SERVE_TCP_SERVER_H_
+#define CARL_SERVE_TCP_SERVER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "serve/service.h"
+
+namespace carl {
+namespace serve {
+
+class TcpServer {
+ public:
+  /// Serves `service` (not owned; must outlive the server).
+  explicit TcpServer(ServeService* service) : service_(service) {}
+  ~TcpServer();
+
+  TcpServer(const TcpServer&) = delete;
+  TcpServer& operator=(const TcpServer&) = delete;
+
+  /// Binds 127.0.0.1:`port` (0 = kernel-assigned ephemeral port, read
+  /// it back through port()) and spawns the acceptor.
+  Status Listen(uint16_t port);
+
+  /// Stops accepting, closes every connection, joins all threads.
+  /// Idempotent; also run by the destructor. In-flight requests still
+  /// complete inside the ServeService; their responses are dropped at
+  /// the closed socket.
+  void Stop();
+
+  /// The bound port (valid after a successful Listen).
+  uint16_t port() const { return port_; }
+
+ private:
+  struct Connection {
+    int fd = -1;
+    std::mutex write_mu;
+    std::atomic<bool> open{true};
+    std::thread reader;
+  };
+
+  void AcceptLoop();
+  void ConnectionLoop(Connection* conn);
+
+  ServeService* service_;
+  int listen_fd_ = -1;
+  uint16_t port_ = 0;
+  std::thread acceptor_;
+  std::mutex conns_mu_;
+  std::vector<std::unique_ptr<Connection>> conns_;
+  std::atomic<bool> stopping_{false};
+};
+
+class TcpClient {
+ public:
+  TcpClient() = default;
+  ~TcpClient();
+
+  TcpClient(const TcpClient&) = delete;
+  TcpClient& operator=(const TcpClient&) = delete;
+
+  Status Connect(const std::string& host, uint16_t port);
+  void Close();
+
+  /// Writes the request, blocks until the response with the same
+  /// request_id arrives (skipping any other connection traffic).
+  Status Call(const ServeRequest& request, ServeResponse* response);
+
+ private:
+  int fd_ = -1;
+};
+
+}  // namespace serve
+}  // namespace carl
+
+#endif  // CARL_SERVE_TCP_SERVER_H_

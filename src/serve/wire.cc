@@ -1,0 +1,470 @@
+#include "serve/wire.h"
+
+#include <errno.h>
+#include <unistd.h>
+
+#include <cstring>
+
+namespace carl {
+namespace serve {
+
+namespace {
+
+// ----- TLV primitives -------------------------------------------------
+//
+// Append side writes tag, u32 LE length, payload. Read side walks the
+// buffer with a cursor, dispatching on tag; unknown tags are skipped so
+// old decoders survive new fields.
+
+void PutU32(std::string* out, uint32_t v) {
+  char b[4] = {static_cast<char>(v), static_cast<char>(v >> 8),
+               static_cast<char>(v >> 16), static_cast<char>(v >> 24)};
+  out->append(b, 4);
+}
+
+uint32_t GetU32(const char* p) {
+  return static_cast<uint32_t>(static_cast<uint8_t>(p[0])) |
+         static_cast<uint32_t>(static_cast<uint8_t>(p[1])) << 8 |
+         static_cast<uint32_t>(static_cast<uint8_t>(p[2])) << 16 |
+         static_cast<uint32_t>(static_cast<uint8_t>(p[3])) << 24;
+}
+
+void PutU64(std::string* out, uint64_t v) {
+  PutU32(out, static_cast<uint32_t>(v));
+  PutU32(out, static_cast<uint32_t>(v >> 32));
+}
+
+uint64_t GetU64(const char* p) {
+  return static_cast<uint64_t>(GetU32(p)) |
+         static_cast<uint64_t>(GetU32(p + 4)) << 32;
+}
+
+void AppendField(std::string* out, uint8_t tag, const void* data,
+                 size_t len) {
+  out->push_back(static_cast<char>(tag));
+  PutU32(out, static_cast<uint32_t>(len));
+  out->append(static_cast<const char*>(data), len);
+}
+
+void AppendString(std::string* out, uint8_t tag, const std::string& s) {
+  AppendField(out, tag, s.data(), s.size());
+}
+
+void AppendU64(std::string* out, uint8_t tag, uint64_t v) {
+  out->push_back(static_cast<char>(tag));
+  PutU32(out, 8);
+  PutU64(out, v);
+}
+
+void AppendU32(std::string* out, uint8_t tag, uint32_t v) {
+  out->push_back(static_cast<char>(tag));
+  PutU32(out, 4);
+  PutU32(out, v);
+}
+
+// Doubles travel as their raw LE bit pattern: memcpy through uint64_t
+// keeps NaN payloads intact, which the bit-identical serving contract
+// depends on (an unset std_error is NaN, and NaN != NaN under ==).
+void AppendDouble(std::string* out, uint8_t tag, double v) {
+  uint64_t bits;
+  static_assert(sizeof(bits) == sizeof(v), "double must be 64-bit");
+  std::memcpy(&bits, &v, sizeof(bits));
+  AppendU64(out, tag, bits);
+}
+
+double DoubleFromBits(uint64_t bits) {
+  double v;
+  std::memcpy(&v, &bits, sizeof(v));
+  return v;
+}
+
+// One decoded TLV field; `data` points into the caller's payload.
+struct Field {
+  uint8_t tag = 0;
+  const char* data = nullptr;
+  uint32_t len = 0;
+
+  uint64_t AsU64() const { return len == 8 ? GetU64(data) : 0; }
+  uint32_t AsU32() const { return len == 4 ? GetU32(data) : 0; }
+  double AsDouble() const {
+    return len == 8 ? DoubleFromBits(GetU64(data)) : 0.0;
+  }
+  std::string AsString() const { return std::string(data, len); }
+  bool AsBool() const { return len == 1 && data[0] != 0; }
+  uint8_t AsU8() const { return len == 1 ? static_cast<uint8_t>(data[0]) : 0; }
+};
+
+// Cursor over a TLV payload. Next() yields fields until exhaustion;
+// a field header or body running past the end is a hard decode error.
+class FieldReader {
+ public:
+  explicit FieldReader(std::string_view payload) : payload_(payload) {}
+
+  // Returns: 1 = field produced, 0 = clean end, -1 = truncated.
+  int Next(Field* field) {
+    if (pos_ == payload_.size()) return 0;
+    if (payload_.size() - pos_ < 5) return -1;
+    field->tag = static_cast<uint8_t>(payload_[pos_]);
+    field->len = GetU32(payload_.data() + pos_ + 1);
+    pos_ += 5;
+    if (payload_.size() - pos_ < field->len) return -1;
+    field->data = payload_.data() + pos_;
+    pos_ += field->len;
+    return 1;
+  }
+
+ private:
+  std::string_view payload_;
+  size_t pos_ = 0;
+};
+
+// ----- request/response field tags ------------------------------------
+// Tag spaces are per-message; values are frozen (docs/serving.md).
+
+enum ReqTag : uint8_t {
+  kReqId = 1,
+  kReqInstance = 2,
+  kReqProgram = 3,
+  kReqQuery = 4,
+  kReqDeadlineMs = 5,
+  kReqMemoryBudget = 6,
+  kReqMaxBindings = 7,
+  kReqBootstrap = 8,
+  kReqSeed = 9,
+};
+
+enum RespTag : uint8_t {
+  kRespId = 1,
+  kRespCode = 2,
+  kRespMessage = 3,
+  kRespKind = 4,
+  // Estimates pack 4 doubles (value, std_error, ci_low, ci_high).
+  kRespAte = 5,
+  kRespAie = 6,
+  kRespAre = 7,
+  kRespAoe = 8,
+  kRespAiePsi = 9,
+  kRespNaiveTreated = 10,
+  kRespNaiveControl = 11,
+  kRespNaiveDiff = 12,
+  kRespNumUnits = 13,
+  kRespDroppedUnits = 14,
+  kRespRelational = 15,
+  kRespResponseAttr = 16,
+  kRespCriterion = 17,
+  kRespQueueMs = 18,
+  // Timing packs 5 doubles (parse, resolve, unit_table, estimate, total).
+  kRespTiming = 19,
+  kRespCoalesced = 20,
+};
+
+void AppendEstimate(std::string* out, uint8_t tag, const WireEstimate& e) {
+  std::string packed;
+  packed.reserve(32);
+  uint64_t bits;
+  for (double v : {e.value, e.std_error, e.ci_low, e.ci_high}) {
+    std::memcpy(&bits, &v, sizeof(bits));
+    PutU64(&packed, bits);
+  }
+  AppendString(out, tag, packed);
+}
+
+WireEstimate EstimateFromField(const Field& f) {
+  WireEstimate e;
+  if (f.len != 32) return e;
+  e.value = DoubleFromBits(GetU64(f.data));
+  e.std_error = DoubleFromBits(GetU64(f.data + 8));
+  e.ci_low = DoubleFromBits(GetU64(f.data + 16));
+  e.ci_high = DoubleFromBits(GetU64(f.data + 24));
+  return e;
+}
+
+WireEstimate ToWire(const EffectEstimate& e) {
+  WireEstimate w;
+  w.value = e.value;
+  w.std_error = e.std_error;
+  w.ci_low = e.ci_low;
+  w.ci_high = e.ci_high;
+  return w;
+}
+
+}  // namespace
+
+uint32_t WireCode(StatusCode code) {
+  // The wire values ARE the enum values today, but the switch freezes
+  // them: reordering StatusCode must not silently change the protocol.
+  switch (code) {
+    case StatusCode::kOk: return 0;
+    case StatusCode::kInvalidArgument: return 1;
+    case StatusCode::kNotFound: return 2;
+    case StatusCode::kAlreadyExists: return 3;
+    case StatusCode::kFailedPrecondition: return 4;
+    case StatusCode::kOutOfRange: return 5;
+    case StatusCode::kUnimplemented: return 6;
+    case StatusCode::kInternal: return 7;
+    case StatusCode::kUnavailable: return 8;
+    case StatusCode::kCancelled: return 9;
+    case StatusCode::kDeadlineExceeded: return 10;
+    case StatusCode::kResourceExhausted: return 11;
+  }
+  return 7;  // kInternal
+}
+
+StatusCode CodeFromWire(uint32_t wire) {
+  switch (wire) {
+    case 0: return StatusCode::kOk;
+    case 1: return StatusCode::kInvalidArgument;
+    case 2: return StatusCode::kNotFound;
+    case 3: return StatusCode::kAlreadyExists;
+    case 4: return StatusCode::kFailedPrecondition;
+    case 5: return StatusCode::kOutOfRange;
+    case 6: return StatusCode::kUnimplemented;
+    case 7: return StatusCode::kInternal;
+    case 8: return StatusCode::kUnavailable;
+    case 9: return StatusCode::kCancelled;
+    case 10: return StatusCode::kDeadlineExceeded;
+    case 11: return StatusCode::kResourceExhausted;
+    default: return StatusCode::kInternal;
+  }
+}
+
+std::string EncodeRequest(const ServeRequest& request) {
+  std::string out;
+  out.reserve(64 + request.program.size() + request.query.size());
+  AppendU64(&out, kReqId, request.request_id);
+  AppendString(&out, kReqInstance, request.instance);
+  AppendString(&out, kReqProgram, request.program);
+  AppendString(&out, kReqQuery, request.query);
+  if (request.deadline_ms > 0.0) {
+    AppendDouble(&out, kReqDeadlineMs, request.deadline_ms);
+  }
+  if (request.memory_budget > 0) {
+    AppendU64(&out, kReqMemoryBudget, request.memory_budget);
+  }
+  if (request.max_bindings > 0) {
+    AppendU64(&out, kReqMaxBindings, request.max_bindings);
+  }
+  if (request.bootstrap_replicates > 0) {
+    AppendU32(&out, kReqBootstrap, request.bootstrap_replicates);
+  }
+  AppendU64(&out, kReqSeed, request.seed);
+  return out;
+}
+
+Status DecodeRequest(std::string_view payload, ServeRequest* request) {
+  *request = ServeRequest{};
+  FieldReader reader(payload);
+  Field f;
+  int rc;
+  while ((rc = reader.Next(&f)) == 1) {
+    switch (f.tag) {
+      case kReqId: request->request_id = f.AsU64(); break;
+      case kReqInstance: request->instance = f.AsString(); break;
+      case kReqProgram: request->program = f.AsString(); break;
+      case kReqQuery: request->query = f.AsString(); break;
+      case kReqDeadlineMs: request->deadline_ms = f.AsDouble(); break;
+      case kReqMemoryBudget: request->memory_budget = f.AsU64(); break;
+      case kReqMaxBindings: request->max_bindings = f.AsU64(); break;
+      case kReqBootstrap: request->bootstrap_replicates = f.AsU32(); break;
+      case kReqSeed: request->seed = f.AsU64(); break;
+      default: break;  // unknown tag: skip (forward compatibility)
+    }
+  }
+  if (rc < 0) return Status::InvalidArgument("truncated request frame");
+  if (request->query.empty()) {
+    return Status::InvalidArgument("request has no query text");
+  }
+  return Status::OK();
+}
+
+std::string EncodeResponse(const ServeResponse& response) {
+  std::string out;
+  out.reserve(256 + response.message.size());
+  AppendU64(&out, kRespId, response.request_id);
+  AppendU32(&out, kRespCode, WireCode(response.code));
+  if (!response.message.empty()) {
+    AppendString(&out, kRespMessage, response.message);
+  }
+  uint8_t kind = response.kind;
+  AppendField(&out, kRespKind, &kind, 1);
+  if (response.kind == kAnswerAte) {
+    AppendEstimate(&out, kRespAte, response.ate);
+  } else if (response.kind == kAnswerEffects) {
+    AppendEstimate(&out, kRespAie, response.aie);
+    AppendEstimate(&out, kRespAre, response.are);
+    AppendEstimate(&out, kRespAoe, response.aoe);
+    AppendEstimate(&out, kRespAiePsi, response.aie_psi);
+  }
+  if (response.kind != kAnswerNone) {
+    AppendDouble(&out, kRespNaiveTreated, response.naive_treated);
+    AppendDouble(&out, kRespNaiveControl, response.naive_control);
+    AppendDouble(&out, kRespNaiveDiff, response.naive_diff);
+    AppendU64(&out, kRespNumUnits, response.num_units);
+    AppendU64(&out, kRespDroppedUnits, response.dropped_units);
+    uint8_t rel = response.relational ? 1 : 0;
+    AppendField(&out, kRespRelational, &rel, 1);
+    AppendString(&out, kRespResponseAttr, response.response_attribute);
+    uint8_t crit = response.criterion;
+    AppendField(&out, kRespCriterion, &crit, 1);
+  }
+  AppendDouble(&out, kRespQueueMs, response.queue_ms);
+  {
+    std::string packed;
+    packed.reserve(40);
+    uint64_t bits;
+    for (double v : {response.timing.parse_s, response.timing.resolve_s,
+                     response.timing.unit_table_s, response.timing.estimate_s,
+                     response.timing.total_s}) {
+      std::memcpy(&bits, &v, sizeof(bits));
+      PutU64(&packed, bits);
+    }
+    AppendString(&out, kRespTiming, packed);
+  }
+  uint8_t coalesced = response.coalesced ? 1 : 0;
+  AppendField(&out, kRespCoalesced, &coalesced, 1);
+  return out;
+}
+
+Status DecodeResponse(std::string_view payload, ServeResponse* response) {
+  *response = ServeResponse{};
+  FieldReader reader(payload);
+  Field f;
+  int rc;
+  while ((rc = reader.Next(&f)) == 1) {
+    switch (f.tag) {
+      case kRespId: response->request_id = f.AsU64(); break;
+      case kRespCode: response->code = CodeFromWire(f.AsU32()); break;
+      case kRespMessage: response->message = f.AsString(); break;
+      case kRespKind: response->kind = f.AsU8(); break;
+      case kRespAte: response->ate = EstimateFromField(f); break;
+      case kRespAie: response->aie = EstimateFromField(f); break;
+      case kRespAre: response->are = EstimateFromField(f); break;
+      case kRespAoe: response->aoe = EstimateFromField(f); break;
+      case kRespAiePsi: response->aie_psi = EstimateFromField(f); break;
+      case kRespNaiveTreated: response->naive_treated = f.AsDouble(); break;
+      case kRespNaiveControl: response->naive_control = f.AsDouble(); break;
+      case kRespNaiveDiff: response->naive_diff = f.AsDouble(); break;
+      case kRespNumUnits: response->num_units = f.AsU64(); break;
+      case kRespDroppedUnits: response->dropped_units = f.AsU64(); break;
+      case kRespRelational: response->relational = f.AsBool(); break;
+      case kRespResponseAttr:
+        response->response_attribute = f.AsString();
+        break;
+      case kRespCriterion: response->criterion = f.AsU8(); break;
+      case kRespQueueMs: response->queue_ms = f.AsDouble(); break;
+      case kRespTiming:
+        if (f.len == 40) {
+          response->timing.parse_s = DoubleFromBits(GetU64(f.data));
+          response->timing.resolve_s = DoubleFromBits(GetU64(f.data + 8));
+          response->timing.unit_table_s = DoubleFromBits(GetU64(f.data + 16));
+          response->timing.estimate_s = DoubleFromBits(GetU64(f.data + 24));
+          response->timing.total_s = DoubleFromBits(GetU64(f.data + 32));
+        }
+        break;
+      case kRespCoalesced: response->coalesced = f.AsBool(); break;
+      default: break;
+    }
+  }
+  if (rc < 0) return Status::InvalidArgument("truncated response frame");
+  return Status::OK();
+}
+
+Status WriteFrame(int fd, std::string_view payload) {
+  if (payload.size() > kMaxFrameBytes) {
+    return Status::InvalidArgument("frame exceeds kMaxFrameBytes");
+  }
+  std::string framed;
+  framed.reserve(4 + payload.size());
+  PutU32(&framed, static_cast<uint32_t>(payload.size()));
+  framed.append(payload.data(), payload.size());
+  size_t off = 0;
+  while (off < framed.size()) {
+    ssize_t n = ::write(fd, framed.data() + off, framed.size() - off);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Status::Internal("frame write failed: " +
+                              std::string(std::strerror(errno)));
+    }
+    off += static_cast<size_t>(n);
+  }
+  return Status::OK();
+}
+
+namespace {
+
+// Reads exactly `len` bytes. Returns 1 on success, 0 on EOF before any
+// byte, -1 on error or mid-buffer EOF.
+int ReadFull(int fd, char* buf, size_t len) {
+  size_t off = 0;
+  while (off < len) {
+    ssize_t n = ::read(fd, buf + off, len - off);
+    if (n == 0) return off == 0 ? 0 : -1;
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return -1;
+    }
+    off += static_cast<size_t>(n);
+  }
+  return 1;
+}
+
+}  // namespace
+
+Status ReadFrame(int fd, std::string* payload) {
+  char header[4];
+  int rc = ReadFull(fd, header, 4);
+  if (rc == 0) return Status::Unavailable("connection closed");
+  if (rc < 0) return Status::Internal("frame header read failed");
+  uint32_t len = GetU32(header);
+  if (len > kMaxFrameBytes) {
+    return Status::InvalidArgument("frame length " + std::to_string(len) +
+                                   " exceeds kMaxFrameBytes");
+  }
+  payload->resize(len);
+  if (len > 0 && ReadFull(fd, payload->data(), len) != 1) {
+    return Status::Internal("frame body read failed");
+  }
+  return Status::OK();
+}
+
+ServeResponse FromQueryResponse(const QueryResponse& response) {
+  ServeResponse out;
+  out.code = response.status.code();
+  out.message = response.status.message();
+  out.timing = response.timing;
+  if (!response.status.ok()) return out;
+  if (response.answer.ate.has_value()) {
+    const AteAnswer& a = *response.answer.ate;
+    out.kind = kAnswerAte;
+    out.ate = ToWire(a.ate);
+    out.naive_treated = a.naive.treated_mean;
+    out.naive_control = a.naive.control_mean;
+    out.naive_diff = a.naive.difference;
+    out.num_units = a.num_units;
+    out.dropped_units = a.dropped_units;
+    out.relational = a.relational;
+    out.response_attribute = a.response_attribute;
+    out.criterion =
+        a.criterion_ok.has_value() ? (*a.criterion_ok ? 2 : 1) : 0;
+  } else if (response.answer.effects.has_value()) {
+    const RelationalEffectsAnswer& a = *response.answer.effects;
+    out.kind = kAnswerEffects;
+    out.aie = ToWire(a.aie);
+    out.are = ToWire(a.are);
+    out.aoe = ToWire(a.aoe);
+    out.aie_psi = ToWire(a.aie_psi);
+    out.naive_treated = a.naive.treated_mean;
+    out.naive_control = a.naive.control_mean;
+    out.naive_diff = a.naive.difference;
+    out.num_units = a.num_units;
+    out.dropped_units = a.dropped_units;
+    out.relational = true;
+    out.response_attribute = a.response_attribute;
+    out.criterion =
+        a.criterion_ok.has_value() ? (*a.criterion_ok ? 2 : 1) : 0;
+  }
+  return out;
+}
+
+}  // namespace serve
+}  // namespace carl

@@ -4,6 +4,8 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <cstring>
+#include <string>
 
 #include "core/engine.h"
 #include "datagen/review_toy.h"
@@ -106,6 +108,83 @@ TEST_F(EngineToyTest, DispatchMatchesQueryForm) {
       "AVG_Score[A] <= Prestige[A]? WHEN ALL PEERS TREATED");
   ASSERT_TRUE(peer_query.ok());
   EXPECT_FALSE(engine_->AnswerAte(*peer_query).ok());
+}
+
+// The deprecated shims (AnswerAte / AnswerRelationalEffects / the two
+// Answer overloads) must stay bit-identical to the canonical
+// Answer(QueryRequest) surface: carl_serve speaks only QueryRequest, so
+// any drift between the paths would make served answers diverge from
+// direct embedding calls.
+TEST_F(EngineToyTest, DeprecatedShimsMatchQueryRequestSurface) {
+  const std::string ate_text = "AVG_Score[A] <= Prestige[A]?";
+  EngineOptions options;
+  options.check_criterion = true;
+
+  QueryRequest request(ate_text);
+  request.options = options;
+  QueryResponse canonical = engine_->Answer(request);
+  ASSERT_TRUE(canonical.status.ok());
+  ASSERT_TRUE(canonical.answer.ate.has_value());
+  const AteAnswer& want = *canonical.answer.ate;
+
+  auto expect_same_ate = [&](const AteAnswer& got) {
+    EXPECT_EQ(0, std::memcmp(&got.ate.value, &want.ate.value,
+                             sizeof(want.ate.value)));
+    EXPECT_EQ(0, std::memcmp(&got.naive.difference, &want.naive.difference,
+                             sizeof(want.naive.difference)));
+    EXPECT_EQ(got.num_units, want.num_units);
+    EXPECT_EQ(got.dropped_units, want.dropped_units);
+    EXPECT_EQ(got.relational, want.relational);
+    EXPECT_EQ(got.response_attribute, want.response_attribute);
+    EXPECT_EQ(got.criterion_ok, want.criterion_ok);
+  };
+
+  // Answer(string) shim.
+  Result<QueryAnswer> via_text = engine_->Answer(ate_text, options);
+  ASSERT_TRUE(via_text.ok());
+  ASSERT_TRUE(via_text->ate.has_value());
+  expect_same_ate(*via_text->ate);
+
+  // Answer(CausalQuery) and AnswerAte(CausalQuery) shims.
+  Result<CausalQuery> parsed = ParseQuery(ate_text);
+  ASSERT_TRUE(parsed.ok());
+  Result<QueryAnswer> via_query = engine_->Answer(*parsed, options);
+  ASSERT_TRUE(via_query.ok());
+  ASSERT_TRUE(via_query->ate.has_value());
+  expect_same_ate(*via_query->ate);
+  Result<AteAnswer> via_ate = engine_->AnswerAte(*parsed, options);
+  ASSERT_TRUE(via_ate.ok());
+  expect_same_ate(*via_ate);
+
+  // Relational-effects form through both surfaces.
+  const std::string peer_text =
+      "AVG_Score[A] <= Prestige[A]? WHEN ALL PEERS TREATED";
+  QueryResponse canonical_fx = engine_->Answer(QueryRequest(peer_text));
+  ASSERT_TRUE(canonical_fx.status.ok());
+  ASSERT_TRUE(canonical_fx.answer.effects.has_value());
+  const RelationalEffectsAnswer& want_fx = *canonical_fx.answer.effects;
+  Result<CausalQuery> peer_query = ParseQuery(peer_text);
+  ASSERT_TRUE(peer_query.ok());
+  Result<RelationalEffectsAnswer> via_fx =
+      engine_->AnswerRelationalEffects(*peer_query);
+  ASSERT_TRUE(via_fx.ok());
+  EXPECT_EQ(0, std::memcmp(&via_fx->aoe.value, &want_fx.aoe.value,
+                           sizeof(want_fx.aoe.value)));
+  EXPECT_EQ(0, std::memcmp(&via_fx->aie.value, &want_fx.aie.value,
+                           sizeof(want_fx.aie.value)));
+  EXPECT_EQ(0, std::memcmp(&via_fx->are.value, &want_fx.are.value,
+                           sizeof(want_fx.are.value)));
+  EXPECT_EQ(via_fx->num_units, want_fx.num_units);
+
+  // Error surfacing stays aligned: the canonical path reports the same
+  // wrong-form rejection the shims do, inside response.status.
+  QueryResponse wrong_form = engine_->Answer(QueryRequest(*peer_query));
+  ASSERT_TRUE(wrong_form.status.ok());
+  EXPECT_TRUE(wrong_form.answer.effects.has_value());
+  QueryResponse bad_text = engine_->Answer(QueryRequest(std::string("nope")));
+  EXPECT_FALSE(bad_text.status.ok());
+  EXPECT_EQ(bad_text.status.code(), StatusCode::kInvalidArgument);
+  EXPECT_FALSE(engine_->Answer("nope").ok());
 }
 
 TEST_F(EngineToyTest, BootstrapAttachesErrors) {

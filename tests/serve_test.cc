@@ -1,0 +1,481 @@
+// carl_serve: the wire codec, the concurrent query service, and the TCP
+// front door.
+//
+// The load-bearing assertions:
+//  * answers served through the full encode -> submit -> wave -> encode
+//    path are BIT-identical to direct CarlEngine calls (doubles compared
+//    by bit pattern, so NaN std_error fields count too);
+//  * an identical-query wave grounds exactly once — the followers
+//    coalesce onto the leader's grounding (serve.wave_coalesced and
+//    QuerySession ground_full prove it);
+//  * a per-request deadline surfaces as a kDeadlineExceeded wire error
+//    WITHOUT poisoning the shared session: the next request over the
+//    same shard answers bit-identically to an undisturbed engine.
+//
+// This suite runs in the TSan CI leg: the service is exercised with
+// many concurrent ServeDriver clients against multiple workers.
+
+#include <atomic>
+#include <cmath>
+#include <cstring>
+#include <future>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/logging.h"
+#include "fixtures.h"
+#include "serve/service.h"
+#include "serve/tcp_server.h"
+
+#define ASSERT_OK(expr) ASSERT_TRUE((expr).ok())
+
+namespace carl {
+namespace serve {
+namespace {
+
+using test_fixtures::MiniMimicDataset;
+using test_fixtures::MiniNisDataset;
+
+bool BitEqual(double a, double b) {
+  return std::memcmp(&a, &b, sizeof(double)) == 0;
+}
+
+#define EXPECT_BIT_EQ(a, b) \
+  EXPECT_PRED2(BitEqual, (a), (b)) << #a " vs " #b
+
+// Direct-engine reference answer for (dataset, query) with the engine
+// defaults the wire path uses.
+AteAnswer DirectAnswer(const datagen::Dataset& data,
+                       const std::string& query) {
+  Result<RelationalCausalModel> model =
+      RelationalCausalModel::Parse(*data.schema, data.model_text);
+  CARL_CHECK_OK(model.status());
+  Result<std::unique_ptr<CarlEngine>> engine =
+      CarlEngine::Create(data.instance.get(), std::move(model).ValueUnsafe());
+  CARL_CHECK_OK(engine.status());
+  QueryRequest request(query);
+  QueryResponse response = (*engine)->Answer(request);
+  CARL_CHECK_OK(response.status);
+  CARL_CHECK(response.answer.ate.has_value());
+  return *response.answer.ate;
+}
+
+void ExpectMatchesDirect(const ServeResponse& served, const AteAnswer& direct,
+                         const std::string& query) {
+  ASSERT_EQ(served.code, StatusCode::kOk)
+      << query << ": " << served.message;
+  ASSERT_EQ(served.kind, kAnswerAte) << query;
+  EXPECT_BIT_EQ(served.ate.value, direct.ate.value);
+  EXPECT_BIT_EQ(served.ate.std_error, direct.ate.std_error);
+  EXPECT_BIT_EQ(served.ate.ci_low, direct.ate.ci_low);
+  EXPECT_BIT_EQ(served.ate.ci_high, direct.ate.ci_high);
+  EXPECT_BIT_EQ(served.naive_treated, direct.naive.treated_mean);
+  EXPECT_BIT_EQ(served.naive_control, direct.naive.control_mean);
+  EXPECT_BIT_EQ(served.naive_diff, direct.naive.difference);
+  EXPECT_EQ(served.num_units, direct.num_units);
+  EXPECT_EQ(served.dropped_units, direct.dropped_units);
+  EXPECT_EQ(served.response_attribute, direct.response_attribute);
+}
+
+// ---------------------------------------------------------------------
+// Wire codec
+// ---------------------------------------------------------------------
+
+TEST(WireTest, RequestRoundTrip) {
+  ServeRequest request;
+  request.request_id = 77;
+  request.instance = "mimic";
+  request.program = "Death[P] <= SelfPay[P] WHERE Patient(P)";
+  request.query = "Death[P] <= SelfPay[P]?";
+  request.deadline_ms = 12.5;
+  request.memory_budget = 1 << 20;
+  request.max_bindings = 999;
+  request.bootstrap_replicates = 64;
+  request.seed = 1234;
+
+  ServeRequest decoded;
+  ASSERT_OK(DecodeRequest(EncodeRequest(request), &decoded));
+  EXPECT_EQ(decoded.request_id, request.request_id);
+  EXPECT_EQ(decoded.instance, request.instance);
+  EXPECT_EQ(decoded.program, request.program);
+  EXPECT_EQ(decoded.query, request.query);
+  EXPECT_BIT_EQ(decoded.deadline_ms, request.deadline_ms);
+  EXPECT_EQ(decoded.memory_budget, request.memory_budget);
+  EXPECT_EQ(decoded.max_bindings, request.max_bindings);
+  EXPECT_EQ(decoded.bootstrap_replicates, request.bootstrap_replicates);
+  EXPECT_EQ(decoded.seed, request.seed);
+}
+
+TEST(WireTest, ResponseRoundTripPreservesNaNBits) {
+  ServeResponse response;
+  response.request_id = 3;
+  response.code = StatusCode::kOk;
+  response.kind = kAnswerAte;
+  response.ate.value = -0.25;
+  // The bootstrap-disabled path leaves std_error/CI as quiet NaN; the
+  // wire must round-trip the exact bit pattern.
+  response.ate.std_error = std::numeric_limits<double>::quiet_NaN();
+  response.ate.ci_low = std::numeric_limits<double>::quiet_NaN();
+  response.ate.ci_high = 1.5;
+  response.num_units = 42;
+  response.response_attribute = "Death";
+  response.criterion = 2;
+  response.queue_ms = 0.75;
+  response.timing.total_s = 0.125;
+  response.coalesced = true;
+
+  ServeResponse decoded;
+  ASSERT_OK(DecodeResponse(EncodeResponse(response), &decoded));
+  EXPECT_EQ(decoded.request_id, response.request_id);
+  EXPECT_EQ(decoded.kind, kAnswerAte);
+  EXPECT_BIT_EQ(decoded.ate.value, response.ate.value);
+  EXPECT_BIT_EQ(decoded.ate.std_error, response.ate.std_error);
+  EXPECT_BIT_EQ(decoded.ate.ci_low, response.ate.ci_low);
+  EXPECT_BIT_EQ(decoded.ate.ci_high, response.ate.ci_high);
+  EXPECT_EQ(decoded.num_units, 42u);
+  EXPECT_EQ(decoded.response_attribute, "Death");
+  EXPECT_EQ(decoded.criterion, 2);
+  EXPECT_BIT_EQ(decoded.queue_ms, response.queue_ms);
+  EXPECT_BIT_EQ(decoded.timing.total_s, response.timing.total_s);
+  EXPECT_TRUE(decoded.coalesced);
+}
+
+TEST(WireTest, EveryStatusCodeSurvivesTheWire) {
+  for (StatusCode code :
+       {StatusCode::kOk, StatusCode::kInvalidArgument, StatusCode::kNotFound,
+        StatusCode::kAlreadyExists, StatusCode::kFailedPrecondition,
+        StatusCode::kOutOfRange, StatusCode::kUnimplemented,
+        StatusCode::kInternal, StatusCode::kCancelled,
+        StatusCode::kDeadlineExceeded, StatusCode::kResourceExhausted,
+        StatusCode::kUnavailable}) {
+    EXPECT_EQ(CodeFromWire(WireCode(code)), code)
+        << StatusCodeToString(code);
+  }
+  // Protocol skew decodes as an error, never as OK.
+  EXPECT_EQ(CodeFromWire(0xDEAD), StatusCode::kInternal);
+}
+
+TEST(WireTest, TruncatedFrameIsAnError) {
+  ServeRequest request;
+  request.instance = "mimic";
+  request.program = "p";
+  request.query = "q";
+  std::string payload = EncodeRequest(request);
+  ServeRequest decoded;
+  for (size_t cut = 1; cut < 5; ++cut) {
+    Status status = DecodeRequest(
+        std::string_view(payload).substr(0, payload.size() - cut), &decoded);
+    EXPECT_FALSE(status.ok()) << "cut=" << cut;
+  }
+}
+
+// ---------------------------------------------------------------------
+// Service
+// ---------------------------------------------------------------------
+
+class ServeServiceTest : public ::testing::Test {
+ protected:
+  ServeServiceTest()
+      : mimic_(MiniMimicDataset(600, 40)), nis_(MiniNisDataset(900, 30)) {}
+
+  ServeRequest MimicRequest(const std::string& query, uint64_t id) const {
+    ServeRequest request;
+    request.request_id = id;
+    request.instance = "mimic";
+    request.program = mimic_.model_text;
+    request.query = query;
+    return request;
+  }
+
+  datagen::Dataset mimic_;
+  datagen::Dataset nis_;
+};
+
+TEST_F(ServeServiceTest, AdmissionRejectsBadRequests) {
+  ServeService service;
+  ASSERT_OK(service.RegisterInstance("mimic", mimic_.schema.get(),
+                                     mimic_.instance.get()));
+  EXPECT_EQ(service
+                .RegisterInstance("mimic", mimic_.schema.get(),
+                                  mimic_.instance.get())
+                .code(),
+            StatusCode::kAlreadyExists);
+
+  ServeDriver driver(&service);
+  service.Start();
+
+  ServeRequest unknown = MimicRequest("Death[P] <= SelfPay[P]?", 1);
+  unknown.instance = "no-such-dataset";
+  EXPECT_EQ(driver.Call(unknown).code, StatusCode::kNotFound);
+
+  ServeRequest no_query = MimicRequest("", 2);
+  EXPECT_EQ(driver.Call(no_query).code, StatusCode::kInvalidArgument);
+
+  ServeRequest no_program = MimicRequest("Death[P] <= SelfPay[P]?", 3);
+  no_program.program.clear();
+  EXPECT_EQ(driver.Call(no_program).code, StatusCode::kInvalidArgument);
+
+  // A parse error in the query text comes back through the engine as a
+  // wire error, not a hang or a crash.
+  ServeRequest bad_query = MimicRequest("this is not CaRL", 4);
+  EXPECT_EQ(driver.Call(bad_query).code, StatusCode::kInvalidArgument);
+
+  ServeStats stats = service.Snapshot();
+  // no_query never reaches the service (the codec refuses to decode a
+  // query-less frame); bad_query is admitted and errors in the engine.
+  EXPECT_EQ(stats.rejected, 2u);
+}
+
+TEST_F(ServeServiceTest, QueueBoundRejectsResourceExhausted) {
+  ServeOptions options;
+  options.num_workers = 1;
+  options.max_queue_depth = 2;
+  ServeService service(options);
+  ASSERT_OK(service.RegisterInstance("mimic", mimic_.schema.get(),
+                                     mimic_.instance.get()));
+
+  // Not started: everything queues, so the third submit must bounce.
+  std::vector<std::future<ServeResponse>> responses;
+  std::vector<std::shared_ptr<std::promise<ServeResponse>>> promises;
+  for (int i = 0; i < 3; ++i) {
+    auto promise = std::make_shared<std::promise<ServeResponse>>();
+    responses.push_back(promise->get_future());
+    promises.push_back(promise);
+    service.Submit(MimicRequest("Death[P] <= SelfPay[P]?", 10 + i),
+                   [promise](const ServeResponse& response) {
+                     promise->set_value(response);
+                   });
+  }
+  ServeResponse rejected = responses[2].get();
+  EXPECT_EQ(rejected.code, StatusCode::kResourceExhausted);
+
+  service.Start();
+  EXPECT_EQ(responses[0].get().code, StatusCode::kOk);
+  EXPECT_EQ(responses[1].get().code, StatusCode::kOk);
+  service.Shutdown();
+
+  ServeStats stats = service.Snapshot();
+  EXPECT_EQ(stats.admitted, 2u);
+  EXPECT_EQ(stats.rejected, 1u);
+}
+
+// The coalescing contract: N identical requests queued as one wave
+// ground exactly once — the leader grounds, every follower rides it.
+TEST_F(ServeServiceTest, IdenticalWaveGroundsExactlyOnce) {
+  constexpr int kWave = 8;
+  ServeOptions options;
+  options.num_workers = 4;
+  ServeService service(options);
+  ASSERT_OK(service.RegisterInstance("mimic", mimic_.schema.get(),
+                                     mimic_.instance.get()));
+
+  // Submit BEFORE Start: all requests land in the shard's queue, so the
+  // first worker to claim it drains them as one deterministic wave.
+  std::vector<std::future<ServeResponse>> responses;
+  for (int i = 0; i < kWave; ++i) {
+    auto promise = std::make_shared<std::promise<ServeResponse>>();
+    responses.push_back(promise->get_future());
+    service.Submit(MimicRequest("Death[P] <= SelfPay[P]?", 100 + i),
+                   [promise](const ServeResponse& response) {
+                     promise->set_value(response);
+                   });
+  }
+  service.Start();
+
+  AteAnswer direct = DirectAnswer(mimic_, "Death[P] <= SelfPay[P]?");
+  int coalesced_responses = 0;
+  for (auto& future : responses) {
+    ServeResponse response = future.get();
+    ExpectMatchesDirect(response, direct, "wave");
+    if (response.coalesced) ++coalesced_responses;
+  }
+  service.Shutdown();
+
+  // Exactly one leader; everyone else coalesced.
+  EXPECT_EQ(coalesced_responses, kWave - 1);
+  ServeStats stats = service.Snapshot();
+  EXPECT_EQ(stats.waves, 1u);
+  EXPECT_EQ(stats.coalesced, static_cast<uint64_t>(kWave - 1));
+
+  // The shared session grounded the model exactly once for the wave.
+  auto session_stats =
+      service.ShardSessionStats("mimic", mimic_.model_text);
+  ASSERT_TRUE(session_stats.has_value());
+  EXPECT_EQ(session_stats->ground_full, 1u);
+  EXPECT_EQ(session_stats->ground_extends, 0u);
+}
+
+// N concurrent clients multiplexed over shared sessions must see
+// answers bit-identical to direct engine calls.
+TEST_F(ServeServiceTest, ConcurrentClientsBitIdenticalToDirect) {
+  struct Workload {
+    const char* instance;
+    const datagen::Dataset* dataset;
+    const char* query;
+    AteAnswer direct;
+  };
+  std::vector<Workload> workloads = {
+      {"mimic", &mimic_, "Death[P] <= SelfPay[P]?", {}},
+      {"mimic", &mimic_, "Len[P] <= SelfPay[P]?", {}},
+      {"nis", &nis_, "HighBill[P] <= AdmittedToLarge[P]?", {}},
+  };
+  for (Workload& workload : workloads) {
+    workload.direct = DirectAnswer(*workload.dataset, workload.query);
+  }
+
+  ServeOptions options;
+  options.num_workers = 4;
+  ServeService service(options);
+  ASSERT_OK(service.RegisterInstance("mimic", mimic_.schema.get(),
+                                     mimic_.instance.get()));
+  ASSERT_OK(service.RegisterInstance("nis", nis_.schema.get(),
+                                     nis_.instance.get()));
+  service.Start();
+
+  constexpr int kClients = 6;
+  constexpr int kCallsPerClient = 4;
+  std::atomic<int> failures{0};
+  std::vector<std::thread> clients;
+  clients.reserve(kClients);
+  for (int c = 0; c < kClients; ++c) {
+    clients.emplace_back([&, c] {
+      ServeDriver driver(&service);
+      for (int i = 0; i < kCallsPerClient; ++i) {
+        const Workload& workload =
+            workloads[(c + i) % workloads.size()];
+        ServeRequest request;
+        request.request_id =
+            static_cast<uint64_t>(c) * 1000 + static_cast<uint64_t>(i);
+        request.instance = workload.instance;
+        request.program = workload.dataset->model_text;
+        request.query = workload.query;
+        ServeResponse response = driver.Call(request);
+        ExpectMatchesDirect(response, workload.direct, workload.query);
+        if (response.code != StatusCode::kOk) {
+          failures.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+    });
+  }
+  for (std::thread& client : clients) client.join();
+  service.Shutdown();
+  EXPECT_EQ(failures.load(), 0);
+
+  ServeStats stats = service.Snapshot();
+  EXPECT_EQ(stats.admitted, static_cast<uint64_t>(kClients * kCallsPerClient));
+  EXPECT_EQ(stats.completed, stats.admitted);
+}
+
+// A per-request deadline must surface as kDeadlineExceeded on the wire
+// and leave the shared session unpoisoned for the next request.
+TEST_F(ServeServiceTest, DeadlineSurfacesWithoutPoisoningTheSession) {
+  ServeOptions options;
+  options.num_workers = 1;
+  ServeService service(options);
+  ASSERT_OK(service.RegisterInstance("mimic", mimic_.schema.get(),
+                                     mimic_.instance.get()));
+  ServeDriver driver(&service);
+  service.Start();
+
+  // Warm the shard so later requests measure engine work, not grounding.
+  ServeResponse warm = driver.Call(MimicRequest("Death[P] <= SelfPay[P]?", 1));
+  ASSERT_EQ(warm.code, StatusCode::kOk) << warm.message;
+
+  // A 1000-replicate bootstrap takes far longer than 0.05 ms: the guard
+  // trips mid-execution (or the queue preempts — either way the wire
+  // reports kDeadlineExceeded, never a crash or a wrong answer).
+  ServeRequest doomed = MimicRequest("Death[P] <= SelfPay[P]?", 2);
+  doomed.deadline_ms = 0.05;
+  doomed.bootstrap_replicates = 1000;
+  ServeResponse dead = driver.Call(doomed);
+  EXPECT_EQ(dead.code, StatusCode::kDeadlineExceeded) << dead.message;
+
+  // The shard's session served the aborted pass from staged state only:
+  // the follow-up answers bit-identically to a fresh direct engine.
+  ServeResponse after = driver.Call(MimicRequest("Death[P] <= SelfPay[P]?", 3));
+  AteAnswer direct = DirectAnswer(mimic_, "Death[P] <= SelfPay[P]?");
+  ExpectMatchesDirect(after, direct, "post-deadline");
+
+  service.Shutdown();
+}
+
+TEST_F(ServeServiceTest, ShutdownFailsUnexecutedRequests) {
+  ServeService service;  // never started
+  ASSERT_OK(service.RegisterInstance("mimic", mimic_.schema.get(),
+                                     mimic_.instance.get()));
+  auto promise = std::make_shared<std::promise<ServeResponse>>();
+  std::future<ServeResponse> future = promise->get_future();
+  service.Submit(MimicRequest("Death[P] <= SelfPay[P]?", 1),
+                 [promise](const ServeResponse& response) {
+                   promise->set_value(response);
+                 });
+  service.Shutdown();
+  EXPECT_EQ(future.get().code, StatusCode::kUnavailable);
+
+  // Post-shutdown submits reject immediately.
+  ServeDriver driver(&service);
+  EXPECT_EQ(driver.Call(MimicRequest("Death[P] <= SelfPay[P]?", 2)).code,
+            StatusCode::kUnavailable);
+}
+
+// ---------------------------------------------------------------------
+// TCP front door
+// ---------------------------------------------------------------------
+
+TEST_F(ServeServiceTest, TcpRoundTripBitIdentical) {
+  ServeService service;
+  ASSERT_OK(service.RegisterInstance("mimic", mimic_.schema.get(),
+                                     mimic_.instance.get()));
+  service.Start();
+  TcpServer server(&service);
+  ASSERT_OK(server.Listen(0));  // ephemeral port
+  ASSERT_NE(server.port(), 0);
+
+  AteAnswer direct = DirectAnswer(mimic_, "Death[P] <= SelfPay[P]?");
+
+  TcpClient client;
+  ASSERT_OK(client.Connect("127.0.0.1", server.port()));
+  ServeResponse response;
+  ASSERT_OK(client.Call(MimicRequest("Death[P] <= SelfPay[P]?", 7),
+                        &response));
+  ExpectMatchesDirect(response, direct, "tcp");
+  EXPECT_EQ(response.request_id, 7u);
+
+  // Errors travel the same wire: unknown instance -> kNotFound frame.
+  ServeRequest unknown = MimicRequest("Death[P] <= SelfPay[P]?", 8);
+  unknown.instance = "nope";
+  ASSERT_OK(client.Call(unknown, &response));
+  EXPECT_EQ(response.code, StatusCode::kNotFound);
+  EXPECT_EQ(response.request_id, 8u);
+
+  // Several clients on separate connections, concurrently.
+  constexpr int kClients = 4;
+  std::atomic<int> oks{0};
+  std::vector<std::thread> threads;
+  for (int c = 0; c < kClients; ++c) {
+    threads.emplace_back([&, c] {
+      TcpClient thread_client;
+      ASSERT_OK(thread_client.Connect("127.0.0.1", server.port()));
+      ServeResponse thread_response;
+      ASSERT_OK(thread_client.Call(
+          MimicRequest("Death[P] <= SelfPay[P]?", 100 + c),
+          &thread_response));
+      ExpectMatchesDirect(thread_response, direct, "tcp-concurrent");
+      if (thread_response.code == StatusCode::kOk) {
+        oks.fetch_add(1, std::memory_order_relaxed);
+      }
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+  EXPECT_EQ(oks.load(), kClients);
+
+  client.Close();
+  server.Stop();
+  service.Shutdown();
+}
+
+}  // namespace
+}  // namespace serve
+}  // namespace carl
