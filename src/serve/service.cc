@@ -111,40 +111,45 @@ void ServeService::Submit(const ServeRequest& request, Callback callback) {
                                     ? request.max_bindings
                                     : options_.default_max_bindings;
 
+  // Admission decisions happen under mu_, but the rejection CALLBACK
+  // must not: the TCP path's callback blocks on a socket write, and a
+  // callback is allowed to read service state (ShardSessionStats). Only
+  // the Status is recorded inside the lock; reject() runs after it.
+  Status admit_status;
   {
     std::lock_guard<std::mutex> lock(mu_);
-    if (stopping_) {
-      reject(Status::Unavailable("service is shutting down"));
-      return;
-    }
     auto instance_it = instances_.find(request.instance);
-    if (instance_it == instances_.end()) {
-      reject(Status::NotFound("unknown instance '" + request.instance + "'"));
-      return;
-    }
-    if (queued_requests_ >= options_.max_queue_depth) {
-      reject(Status::ResourceExhausted(
+    if (stopping_) {
+      admit_status = Status::Unavailable("service is shutting down");
+    } else if (instance_it == instances_.end()) {
+      admit_status =
+          Status::NotFound("unknown instance '" + request.instance + "'");
+    } else if (queued_requests_ >= options_.max_queue_depth) {
+      admit_status = Status::ResourceExhausted(
           "admission queue full (" + std::to_string(queued_requests_) +
-          " queued, bound " + std::to_string(options_.max_queue_depth) + ")"));
-      return;
+          " queued, bound " + std::to_string(options_.max_queue_depth) + ")");
+    } else {
+      // All rejection paths are behind us: only now does the callback
+      // move into the pending record (reject() must stay callable).
+      pending.callback = std::move(callback);
+      std::string key = ShardKey(request.instance, request.program);
+      Shard& shard = shards_[key];
+      if (shard.dataset.instance == nullptr) {
+        shard.instance_name = request.instance;
+        shard.program = request.program;
+        shard.dataset = instance_it->second;
+      }
+      shard.pending.push_back(std::move(pending));
+      ++queued_requests_;
+      if (!shard.active && !shard.queued) {
+        shard.queued = true;
+        ready_.push_back(std::move(key));
+      }
     }
-
-    // All rejection paths are behind us: only now does the callback move
-    // into the pending record (reject() must stay callable above).
-    pending.callback = std::move(callback);
-    std::string key = ShardKey(request.instance, request.program);
-    Shard& shard = shards_[key];
-    if (shard.dataset.instance == nullptr) {
-      shard.instance_name = request.instance;
-      shard.program = request.program;
-      shard.dataset = instance_it->second;
-    }
-    shard.pending.push_back(std::move(pending));
-    ++queued_requests_;
-    if (!shard.active && !shard.queued) {
-      shard.queued = true;
-      ready_.push_back(std::move(key));
-    }
+  }
+  if (!admit_status.ok()) {
+    reject(admit_status);
+    return;
   }
   stats_.admitted.fetch_add(1, std::memory_order_relaxed);
   counters.admitted.Increment();
@@ -247,28 +252,12 @@ void ServeService::RunWave(Shard* shard) {
     counters.wave_coalesced.Add(followers);
   }
 
-  // The wave leader creates the shard's engine on the first wave —
-  // grounding the model exactly once for every request that ever hits
-  // this (instance, program) variant. `active` makes this worker the
-  // shard's exclusive owner, so engine/session need no lock here.
-  if (!shard->engine_attempted) {
-    shard->engine_attempted = true;
-    shard->session = std::make_shared<QuerySession>(shard->dataset.instance);
-    Result<RelationalCausalModel> model = RelationalCausalModel::Parse(
-        *shard->dataset.schema, shard->program);
-    if (!model.ok()) {
-      shard->engine_status = model.status();
-    } else {
-      Result<std::unique_ptr<CarlEngine>> engine =
-          CarlEngine::Create(shard->session, std::move(model).ValueUnsafe());
-      if (!engine.ok()) {
-        shard->engine_status = engine.status();
-      } else {
-        shard->engine = std::move(engine).ValueUnsafe();
-      }
-    }
-  }
-
+  // The first request that reaches execution with deadline remaining
+  // creates the shard's engine (inside Execute, under its own guard
+  // token) — grounding the model exactly once for every request that
+  // ever hits this (instance, program) variant. `active` makes this
+  // worker the shard's exclusive owner, so engine/session need no lock
+  // during the wave.
   bool leader = true;
   for (Pending& pending : wave) {
     Execute(shard, &pending, /*coalesced=*/!leader);
@@ -309,21 +298,59 @@ void ServeService::Execute(Shard* shard, Pending* pending, bool coalesced) {
     budget.deadline_ms = remaining;
   }
 
+  // The server path installs its own token unconditionally — even an
+  // unlimited one — so the engine's env-default fallback never runs (no
+  // ambient CARL_DEADLINE_MS in the server path). One token spans both
+  // engine creation and Answer: the request's remaining deadline and
+  // memory budget bound the grounding, not just the query.
+  guard::ExecToken token(budget);
+  guard::ScopedToken scoped(&token);
+
+  if (shard->engine == nullptr) {
+    // This request is the grounding leader: the shard's first executed
+    // request, or every earlier leader was preempted or guard-aborted
+    // before an engine existed. Creation (parse + full model grounding,
+    // the expensive phase) runs under the token installed above.
+    if (shard->session == nullptr) {
+      shard->session = std::make_shared<QuerySession>(shard->dataset.instance);
+    }
+    Status create_status;
+    Result<RelationalCausalModel> model = RelationalCausalModel::Parse(
+        *shard->dataset.schema, shard->program);
+    if (!model.ok()) {
+      create_status = model.status();
+    } else {
+      Result<std::unique_ptr<CarlEngine>> engine =
+          CarlEngine::Create(shard->session, std::move(model).ValueUnsafe());
+      if (!engine.ok()) {
+        create_status = engine.status();
+      } else {
+        shard->engine = std::move(engine).ValueUnsafe();
+      }
+    }
+    if (!create_status.ok()) {
+      // A guard stop is this request's budget running out, not a fact
+      // about the variant: leave `engine` unset so the next request
+      // retries (an aborted ground never poisons the session — see
+      // guard.h). Anything else is deterministic; cache it so
+      // follow-up waves fail fast.
+      if (!guard::IsGuardStop(create_status.code())) {
+        shard->engine_status = create_status;
+      }
+      response.code = create_status.code();
+      response.message = create_status.message();
+      Respond(pending, std::move(response));
+      return;
+    }
+  }
+
   QueryRequest query;
   query.query_text = pending->request.query;
   query.options.bootstrap_replicates =
       static_cast<int>(pending->request.bootstrap_replicates);
   query.options.seed = pending->request.seed;
 
-  // The server path installs its own token unconditionally — even an
-  // unlimited one — so the engine's env-default fallback never runs
-  // (no ambient CARL_DEADLINE_MS in the server path).
-  guard::ExecToken token(budget);
-  QueryResponse engine_response;
-  {
-    guard::ScopedToken scoped(&token);
-    engine_response = shard->engine->Answer(query);
-  }
+  QueryResponse engine_response = shard->engine->Answer(query);
 
   ServeResponse wire = FromQueryResponse(engine_response);
   wire.request_id = response.request_id;

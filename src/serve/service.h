@@ -17,15 +17,16 @@
 //    keyed (instance name, program text) — the service-level equivalent
 //    of QuerySession's (instance fp, model fp) grounding key. A worker
 //    claims a ready shard and drains its whole pending queue as one
-//    WAVE: the first request (the leader) runs against the shard's
-//    engine, creating it — and grounding the model — if this is the
-//    shard's first wave; every follower in the wave reuses that
-//    grounding. Identical variants therefore ground once per wave
-//    (serve.wave_coalesced ticks wave_size - 1), while requests for
-//    DISTINCT shards run concurrently on separate workers, all sharing
-//    the carl_exec pool underneath. A shard is active on at most one
-//    worker at a time, which is what makes the per-shard QuerySession
-//    (not thread-safe by contract) safe here.
+//    WAVE: the first request that executes creates the shard's engine —
+//    grounding the model under that request's OWN guard token, so its
+//    deadline/memory budget bound the grounding and a request that
+//    expired in the queue never triggers one — and every later request
+//    reuses that grounding. Identical variants therefore ground once
+//    per wave (serve.wave_coalesced ticks wave_size - 1), while
+//    requests for DISTINCT shards run concurrently on separate workers,
+//    all sharing the carl_exec pool underneath. A shard is active on at
+//    most one worker at a time, which is what makes the per-shard
+//    QuerySession (not thread-safe by contract) safe here.
 //
 //  * Budgets. The effective budget is request fields, falling back to
 //    ServeOptions defaults — the environment (CARL_DEADLINE_MS /
@@ -115,8 +116,9 @@ class ServeService {
                           const Instance* instance);
 
   /// Admits one request. The callback fires exactly once — inline on
-  /// rejection, on a worker thread otherwise — and must not call back
-  /// into Submit/Shutdown on the same stack.
+  /// rejection (always outside the service lock, so it may block or
+  /// read service state), on a worker thread otherwise — and must not
+  /// call back into Submit/Shutdown on the same stack.
   void Submit(const ServeRequest& request, Callback callback);
 
   /// Spawns the worker pool. Idempotent.
@@ -153,10 +155,14 @@ class ServeService {
   };
 
   // All requests for one (instance, program) variant. `engine` (and the
-  // session inside it) is created by the first wave's leader and reused
-  // by every later request; `engine_status` caches a deterministic
-  // creation failure so follow-up waves fail fast. Guarded by mu_
-  // except during a wave: the draining worker owns `engine` /
+  // session inside it) is created by the first request that reaches
+  // execution with deadline remaining — creation runs under THAT
+  // request's guard token, so its deadline/memory budget bound the
+  // grounding — and is reused by every later request. `engine_status`
+  // caches a DETERMINISTIC creation failure (parse error, bad model) so
+  // follow-up waves fail fast; a guard-aborted creation is charged to
+  // the aborted request only and the next request retries. Guarded by
+  // mu_ except during a wave: the draining worker owns `engine` /
   // `engine_status` / `session` exclusively while `active` (shards are
   // never claimed by two workers).
   struct Shard {
@@ -169,7 +175,6 @@ class ServeService {
     std::shared_ptr<QuerySession> session;
     std::unique_ptr<CarlEngine> engine;
     Status engine_status;  // OK until a creation attempt fails
-    bool engine_attempted = false;
   };
 
   void WorkerLoop();

@@ -21,6 +21,13 @@ void CloseFd(int fd) {
 
 }  // namespace
 
+TcpServer::Connection::~Connection() {
+  // Stop() closes the fd for every connection it tears down (and sets
+  // it to -1); this covers a connection destroyed without Stop having
+  // run, e.g. the last shared_ptr ref dropping in a late callback.
+  CloseFd(fd);
+}
+
 TcpServer::~TcpServer() { Stop(); }
 
 Status TcpServer::Listen(uint16_t port) {
@@ -70,16 +77,28 @@ void TcpServer::Stop() {
   CloseFd(listen_fd_);
   listen_fd_ = -1;
 
-  std::vector<std::unique_ptr<Connection>> conns;
+  std::vector<std::shared_ptr<Connection>> conns;
   {
     std::lock_guard<std::mutex> lock(conns_mu_);
     conns.swap(conns_);
   }
   for (auto& conn : conns) {
     conn->open.store(false, std::memory_order_release);
-    ::shutdown(conn->fd, SHUT_RDWR);
+    {
+      // write_mu: a callback mid-WriteFrame finishes against a live fd
+      // before the shutdown; any callback acquiring the lock afterwards
+      // re-checks `open` and drops its response.
+      std::lock_guard<std::mutex> lock(conn->write_mu);
+      ::shutdown(conn->fd, SHUT_RDWR);
+    }
     if (conn->reader.joinable()) conn->reader.join();
-    CloseFd(conn->fd);
+    {
+      std::lock_guard<std::mutex> lock(conn->write_mu);
+      CloseFd(conn->fd);
+      conn->fd = -1;
+    }
+    // Late responses may still hold shared_ptr refs to this Connection;
+    // they see open == false and return without touching the fd.
   }
 }
 
@@ -96,16 +115,15 @@ void TcpServer::AcceptLoop() {
     }
     int one = 1;
     ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
-    auto conn = std::make_unique<Connection>();
+    auto conn = std::make_shared<Connection>();
     conn->fd = fd;
-    Connection* raw = conn.get();
-    raw->reader = std::thread([this, raw] { ConnectionLoop(raw); });
+    conn->reader = std::thread([this, conn] { ConnectionLoop(conn); });
     std::lock_guard<std::mutex> lock(conns_mu_);
-    conns_.push_back(std::move(conn));
+    conns_.push_back(conn);
   }
 }
 
-void TcpServer::ConnectionLoop(Connection* conn) {
+void TcpServer::ConnectionLoop(const std::shared_ptr<Connection>& conn) {
   std::string payload;
   for (;;) {
     Status status = ReadFrame(conn->fd, &payload);
@@ -127,9 +145,12 @@ void TcpServer::ConnectionLoop(Connection* conn) {
       continue;
     }
     // The callback may run on a worker thread after this loop moved on
-    // to the next frame — the per-connection write mutex serializes the
-    // response frames, and `open` keeps a late response off a socket
-    // Stop() already handed back to the OS.
+    // to the next frame — or after Stop() tore this connection down.
+    // The captured shared_ptr keeps the Connection alive for that late
+    // response; the per-connection write mutex serializes the response
+    // frames against each other and against Stop()'s fd teardown, and
+    // `open` (re-checked under the lock) keeps a late response off a
+    // socket Stop() already handed back to the OS.
     service_->Submit(request, [conn](const ServeResponse& response) {
       if (!conn->open.load(std::memory_order_acquire)) return;
       std::lock_guard<std::mutex> lock(conn->write_mu);

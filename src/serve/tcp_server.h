@@ -53,7 +53,14 @@ class TcpServer {
   uint16_t port() const { return port_; }
 
  private:
+  // Shared between the reader thread, the response callbacks queued in
+  // the ServeService, and Stop(): the Submit callback holds a
+  // shared_ptr copy, so a response that lands after Stop() tore the
+  // socket down still finds a live Connection (it sees open == false
+  // and drops the frame instead of touching freed memory).
   struct Connection {
+    ~Connection();
+
     int fd = -1;
     std::mutex write_mu;
     std::atomic<bool> open{true};
@@ -61,14 +68,14 @@ class TcpServer {
   };
 
   void AcceptLoop();
-  void ConnectionLoop(Connection* conn);
+  void ConnectionLoop(const std::shared_ptr<Connection>& conn);
 
   ServeService* service_;
   int listen_fd_ = -1;
   uint16_t port_ = 0;
   std::thread acceptor_;
   std::mutex conns_mu_;
-  std::vector<std::unique_ptr<Connection>> conns_;
+  std::vector<std::shared_ptr<Connection>> conns_;
   std::atomic<bool> stopping_{false};
 };
 

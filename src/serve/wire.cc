@@ -191,8 +191,11 @@ WireEstimate ToWire(const EffectEstimate& e) {
 }  // namespace
 
 uint32_t WireCode(StatusCode code) {
-  // The wire values ARE the enum values today, but the switch freezes
-  // them: reordering StatusCode must not silently change the protocol.
+  // Wire values are INDEPENDENT of the StatusCode enum's numeric values
+  // and frozen by this switch (e.g. kUnavailable is enum value 11 but 8
+  // on the wire): reordering or extending StatusCode never changes the
+  // protocol — a new code gets the next unused wire value here and in
+  // CodeFromWire.
   switch (code) {
     case StatusCode::kOk: return 0;
     case StatusCode::kInvalidArgument: return 1;

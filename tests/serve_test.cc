@@ -16,6 +16,7 @@
 // many concurrent ServeDriver clients against multiple workers.
 
 #include <atomic>
+#include <chrono>
 #include <cmath>
 #include <cstring>
 #include <future>
@@ -401,6 +402,49 @@ TEST_F(ServeServiceTest, DeadlineSurfacesWithoutPoisoningTheSession) {
   service.Shutdown();
 }
 
+// A request whose deadline expired while queued is preempted BEFORE the
+// expensive phase: on a fresh shard it must not trigger engine creation
+// (parse + full model grounding) at all — the next live request becomes
+// the grounding leader instead.
+TEST_F(ServeServiceTest, QueueExpiredRequestDoesNotGround) {
+  ServeOptions options;
+  options.num_workers = 1;
+  ServeService service(options);
+  ASSERT_OK(service.RegisterInstance("mimic", mimic_.schema.get(),
+                                     mimic_.instance.get()));
+
+  // Submit before Start with a deadline far smaller than the queue wait
+  // below: by the time a worker picks it up, it has expired.
+  auto promise = std::make_shared<std::promise<ServeResponse>>();
+  std::future<ServeResponse> future = promise->get_future();
+  ServeRequest doomed = MimicRequest("Death[P] <= SelfPay[P]?", 1);
+  doomed.deadline_ms = 0.01;
+  service.Submit(doomed, [promise](const ServeResponse& response) {
+    promise->set_value(response);
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  service.Start();
+
+  ServeResponse dead = future.get();
+  EXPECT_EQ(dead.code, StatusCode::kDeadlineExceeded) << dead.message;
+  EXPECT_EQ(service.Snapshot().deadline_preempted, 1u);
+  // The preempt skipped engine creation entirely: the shard has no
+  // session yet, so there is nothing to snapshot.
+  EXPECT_FALSE(
+      service.ShardSessionStats("mimic", mimic_.model_text).has_value());
+
+  // The next live request grounds (once) and answers normally.
+  ServeDriver driver(&service);
+  ServeResponse after = driver.Call(MimicRequest("Death[P] <= SelfPay[P]?", 2));
+  AteAnswer direct = DirectAnswer(mimic_, "Death[P] <= SelfPay[P]?");
+  ExpectMatchesDirect(after, direct, "post-preempt");
+  auto session_stats = service.ShardSessionStats("mimic", mimic_.model_text);
+  ASSERT_TRUE(session_stats.has_value());
+  EXPECT_EQ(session_stats->ground_full, 1u);
+
+  service.Shutdown();
+}
+
 TEST_F(ServeServiceTest, ShutdownFailsUnexecutedRequests) {
   ServeService service;  // never started
   ASSERT_OK(service.RegisterInstance("mimic", mimic_.schema.get(),
@@ -473,6 +517,49 @@ TEST_F(ServeServiceTest, TcpRoundTripBitIdentical) {
 
   client.Close();
   server.Stop();
+  service.Shutdown();
+}
+
+// Tearing the server down while responses are still in flight: the
+// response callbacks queued in the ServeService keep their Connection
+// alive (shared_ptr) past Stop() and drop their frames once `open`
+// clears. The ASan/TSan legs turn a regression here (use-after-free on
+// the Connection, write to a closed/reused fd) into a hard failure.
+TEST_F(ServeServiceTest, TcpStopWithInFlightResponsesIsSafe) {
+  ServeOptions options;
+  options.num_workers = 1;  // one worker: later requests queue behind
+  ServeService service(options);
+  ASSERT_OK(service.RegisterInstance("mimic", mimic_.schema.get(),
+                                     mimic_.instance.get()));
+  service.Start();
+  TcpServer server(&service);
+  ASSERT_OK(server.Listen(0));
+
+  // Each client sends one slow request (1000-replicate bootstrap) and
+  // blocks for a response that Stop() may sever first — both outcomes
+  // are fine; the test asserts teardown safety, not delivery.
+  constexpr int kClients = 3;
+  std::vector<std::thread> clients;
+  clients.reserve(kClients);
+  for (int c = 0; c < kClients; ++c) {
+    clients.emplace_back([&, c] {
+      TcpClient tcp_client;
+      if (!tcp_client.Connect("127.0.0.1", server.port()).ok()) return;
+      ServeRequest slow = MimicRequest("Death[P] <= SelfPay[P]?",
+                                       static_cast<uint64_t>(200 + c));
+      slow.bootstrap_replicates = 1000;
+      ServeResponse response;
+      (void)tcp_client.Call(slow, &response);
+    });
+  }
+
+  // Let the requests admit and start executing, then sever the
+  // connections while the single worker is still draining the wave.
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  server.Stop();
+  for (std::thread& client_thread : clients) client_thread.join();
+  // Shutdown drains the remaining requests; their callbacks fire
+  // against connections Stop() already tore down and must drop cleanly.
   service.Shutdown();
 }
 
